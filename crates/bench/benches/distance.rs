@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the distance kernels — the operation every virtual
+//! clock in the simulation is priced in. Run `cargo bench -p fastann-bench`
+//! and compare `ns/eval` with the [`fastann_mpisim::CostModel`] defaults.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastann_data::metric::{cosine, dot, l1, squared_l2};
+use fastann_data::synth;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [16usize, 96, 128, 512, 960] {
+        let a = synth::sift_like(1, dim, 1);
+        let b = synth::sift_like(1, dim, 2);
+        let (a, b) = (a.get(0).to_vec(), b.get(0).to_vec());
+        group.bench_with_input(BenchmarkId::new("squared_l2", dim), &dim, |bench, _| {
+            bench.iter(|| squared_l2(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l1", dim), &dim, |bench, _| {
+            bench.iter(|| l1(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
+            bench.iter(|| cosine(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_scan(c: &mut Criterion) {
+    // brute-force scan throughput: the building block of ground truth
+    let data = synth::sift_like(10_000, 128, 3);
+    let q = synth::sift_like(1, 128, 4);
+    let q = q.get(0).to_vec();
+    c.bench_function("scan_10k_x_128d", |bench| {
+        bench.iter(|| {
+            let mut best = f32::INFINITY;
+            for row in data.iter() {
+                let d = squared_l2(black_box(&q), row);
+                if d < best {
+                    best = d;
+                }
+            }
+            best
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_batch_scan);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end engine benchmarks (host wall time of the simulated runs):
+//! one-sided vs two-sided transports, replication factors, and the
+//! multiple-owner strategy on one prebuilt index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastann_core::{
+    search_batch, search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions,
+};
+use fastann_data::synth;
+use fastann_hnsw::HnswConfig;
+
+fn bench_engine(c: &mut Criterion) {
+    let data = synth::sift_like(8_000, 64, 11);
+    let queries = synth::queries_near(&data, 100, 0.02, 12);
+    let cfg = EngineConfig::new(16, 4)
+        .hnsw(HnswConfig::with_m(8).ef_construction(40))
+        .seed(11);
+    let index = DistIndex::build(&data, cfg);
+
+    let mut group = c.benchmark_group("engine_16c_8k_points_100q");
+    group.sample_size(10);
+    group.bench_function("one_sided", |b| {
+        b.iter(|| search_batch(&index, &queries, &SearchOptions::new(10).one_sided(true)))
+    });
+    group.bench_function("two_sided", |b| {
+        b.iter(|| search_batch(&index, &queries, &SearchOptions::new(10).one_sided(false)))
+    });
+    group.bench_function("replicated_r3", |b| {
+        b.iter(|| search_batch(&index, &queries, &SearchOptions::new(10).replication(3)))
+    });
+    group.bench_function("multi_owner", |b| {
+        b.iter(|| search_batch_multi_owner(&index, &queries, &SearchOptions::new(10)))
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let data = synth::sift_like(8_000, 64, 13);
+    let mut group = c.benchmark_group("dist_build_8k_points");
+    group.sample_size(10);
+    group.bench_function("16_cores", |b| {
+        b.iter(|| {
+            let cfg = EngineConfig::new(16, 4)
+                .hnsw(HnswConfig::with_m(8).ef_construction(40))
+                .seed(13);
+            DistIndex::build(&data, cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Simulator-substrate micro-benchmarks: how much host time the virtual
+//! cluster itself costs (message passing, collectives, RMA, wire codec).
+
+use bytes::{Bytes, BytesMut};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastann_mpisim::{wire, Cluster, ReduceOp, SimConfig, Window};
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_p2p");
+    group.sample_size(20);
+    group.bench_function("ping_pong_1k_msgs", |b| {
+        b.iter(|| {
+            Cluster::new(SimConfig::new(2)).run(|rank| {
+                let payload = Bytes::from_static(&[0u8; 64]);
+                for i in 0..500u64 {
+                    if rank.rank() == 0 {
+                        rank.send_bytes(1, i, payload.clone());
+                        let _ = rank.recv(Some(1), Some(i));
+                    } else {
+                        let _ = rank.recv(Some(0), Some(i));
+                        rank.send_bytes(0, i, payload.clone());
+                    }
+                }
+                rank.now()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_collectives");
+    group.sample_size(20);
+    for ranks in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("allreduce_x100", ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                Cluster::new(SimConfig::new(n)).run(|rank| {
+                    let comm = rank.world();
+                    let mut acc = 0.0;
+                    for _ in 0..100 {
+                        acc = comm.allreduce_f64(rank, rank.rank() as f64, ReduceOp::Sum);
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bcast_4k_x100", ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                Cluster::new(SimConfig::new(n)).run(|rank| {
+                    let comm = rank.world();
+                    let data = Bytes::from(vec![7u8; 4096]);
+                    for _ in 0..100 {
+                        let root_data =
+                            if comm.my_index(rank) == 0 { Some(data.clone()) } else { None };
+                        black_box(comm.bcast(rank, 0, root_data));
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_rma");
+    group.sample_size(20);
+    group.bench_function("accumulate_4r_x1000", |b| {
+        b.iter(|| {
+            Cluster::new(SimConfig::new(4)).run(|rank| {
+                let comm = rank.world();
+                let win: Window<u64> = Window::create(rank, &comm, 0, 64, |_| 0);
+                for i in 0..1000usize {
+                    win.accumulate(rank, i % 64, 8, |v| *v += 1);
+                }
+                rank.send_bytes(0, 1, Bytes::new());
+                if rank.rank() == 0 {
+                    for _ in 0..4 {
+                        let _ = rank.recv(None, Some(1));
+                    }
+                    win.owner_sync(rank);
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    let vecf: Vec<f32> = (0..128).map(|i| i as f32).collect();
+    let pairs: Vec<(u32, f32)> = (0..10).map(|i| (i, i as f32)).collect();
+    group.bench_function("encode_query_128d", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(528);
+            wire::put_u32(&mut buf, 1);
+            wire::put_u32(&mut buf, 2);
+            wire::put_f32_slice(&mut buf, black_box(&vecf));
+            buf.freeze()
+        })
+    });
+    group.bench_function("roundtrip_neighbors_k10", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(96);
+            wire::put_neighbors(&mut buf, black_box(&pairs));
+            let mut r = buf.freeze();
+            wire::get_neighbors(&mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p, bench_collectives, bench_rma, bench_wire);
+criterion_main!(benches);

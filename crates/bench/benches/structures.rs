@@ -1,0 +1,89 @@
+//! Data-structure micro-benchmarks: top-k selection, order statistics,
+//! query routing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastann_data::select::{median, select_nth};
+use fastann_data::{synth, Distance, Neighbor, TopK};
+use fastann_vptree::{PartitionTree, RouteConfig};
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let stream: Vec<Neighbor> = (0..10_000u32)
+        .map(|i| Neighbor::new(i, ((i.wrapping_mul(2654435761)) % 100_000) as f32))
+        .collect();
+    for k in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("push_10k_stream", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = TopK::new(k);
+                for &n in &stream {
+                    t.push(black_box(n));
+                }
+                t.worst()
+            })
+        });
+    }
+    group.bench_function("merge_two_k10", |b| {
+        let mut x = TopK::new(10);
+        let mut y = TopK::new(10);
+        for &n in &stream[..100] {
+            x.push(n);
+        }
+        for &n in &stream[100..200] {
+            y.push(n);
+        }
+        b.iter(|| {
+            let mut m = x.clone();
+            m.merge(black_box(&y));
+            m.worst()
+        })
+    });
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select");
+    let data: Vec<f32> =
+        (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) % 1_000_003) as f32).collect();
+    group.bench_function("select_nth_100k", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            select_nth(black_box(&mut d), 50_000)
+        })
+    });
+    group.bench_function("median_100k", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            median(black_box(&mut d))
+        })
+    });
+    group.bench_function("full_sort_100k_reference", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            d.sort_unstable_by(f32::total_cmp);
+            d[50_000]
+        })
+    });
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    let data = synth::sift_like(20_000, 128, 9);
+    let queries = synth::queries_near(&data, 128, 0.02, 10);
+    for parts in [16usize, 64, 256] {
+        let (tree, _) = PartitionTree::build_local(&data, parts, Distance::L2, 9);
+        group.bench_with_input(BenchmarkId::new("f_of_q", parts), &parts, |b, _| {
+            let cfg = RouteConfig { margin_frac: 0.2, max_partitions: 4 };
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries.get(i % queries.len());
+                i += 1;
+                tree.route(black_box(q), &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk, bench_select, bench_route);
+criterion_main!(benches);

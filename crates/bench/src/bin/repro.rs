@@ -1,0 +1,130 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [experiment]
+//!   table1             datasets (paper vs generated stand-ins)
+//!   fig3a              strong scaling, SYN_1M / SYN_10M
+//!   fig3b              strong scaling, ANN_SIFT1B / DEEP1B stand-ins
+//!   table2             construction times
+//!   fig4               replication-factor load balancing (both panels)
+//!   table3             ours vs the distributed KD-tree baseline
+//!   fig5               search-time breakdown
+//!   fig6               recall vs query time for M ∈ {8,16,32,64}
+//!   ablation-owner     master-worker vs multiple-owner
+//!   ablation-local     HNSW vs exact VP-tree vs brute-force local indexes
+//!   baseline-pivot     VP-tree vs flat-pivot partitioning (ref [16])
+//!   ablation-compression  SQ8 recall ceiling vs uncompressed (Section V-F)
+//!   ablation-onesided  one-sided vs two-sided result aggregation
+//!   all                everything above, in order
+//! ```
+//!
+//! Scale with `FASTANN_SCALE=full` for 8× points / 4× cores.
+
+use fastann_bench::{experiments as exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let t0 = std::time::Instant::now();
+    let all = arg == "all";
+    let mut ran = false;
+
+    if all || arg == "table1" {
+        ran = true;
+        println!("# Table I — datasets\n");
+        println!("{}", exp::table1(scale));
+    }
+    if all || arg == "fig3a" {
+        ran = true;
+        let series = exp::fig3a(scale);
+        println!("{}", exp::render_scaling("Figure 3(a) — strong scaling, SYN datasets", &series));
+    }
+    if all || arg == "fig3b" {
+        ran = true;
+        let series = exp::fig3b(scale);
+        println!(
+            "{}",
+            exp::render_scaling("Figure 3(b) — strong scaling, billion-style datasets", &series)
+        );
+    }
+    if all || arg == "table2" {
+        ran = true;
+        println!("# Table II — construction times (ANN_SIFT1B stand-in)\n");
+        println!("{}", exp::render_table2(&exp::table2(scale)));
+    }
+    if all || arg == "fig4" || arg == "fig4a" || arg == "fig4b" {
+        ran = true;
+        println!("# Figure 4 — load balancing by replication (skewed queries)\n");
+        let (rows, optimal) = exp::fig4(scale);
+        println!("{}", exp::render_fig4(&rows, optimal));
+    }
+    if all || arg == "table3" {
+        ran = true;
+        println!("# Table III — total search times vs KD-tree\n");
+        println!("{}", exp::render_table3(&exp::table3(scale)));
+    }
+    if all || arg == "fig5" {
+        ran = true;
+        println!("# Figure 5 — search time breakdown (ANN_SIFT1B stand-in)\n");
+        println!("{}", exp::render_fig5(&exp::fig5(scale)));
+    }
+    if all || arg == "fig6" {
+        ran = true;
+        println!("# Figure 6 — recall vs query time, M sweep\n");
+        println!("{}", exp::render_fig6(&exp::fig6(scale)));
+    }
+    if all || arg == "ablation-owner" {
+        ran = true;
+        println!("# Ablation — master-worker vs multiple-owner (Section IV)\n");
+        println!("{}", exp::render_owner(&exp::ablation_owner(scale)));
+    }
+    if all || arg == "ablation-compression" {
+        ran = true;
+        println!("# Ablation — compressed-index recall ceiling (Section V-F)\n");
+        println!("{}", exp::render_compression(&exp::ablation_compression(scale)));
+    }
+    if all || arg == "baseline-pivot" {
+        ran = true;
+        println!("# Baseline — VP-tree vs flat-pivot partitioning (ref [16])\n");
+        println!("{}", exp::render_pivot(&exp::baseline_pivot(scale)));
+    }
+    if all || arg == "ablation-local" {
+        ran = true;
+        println!("# Ablation — local index kind (Section VI extensibility)\n");
+        println!("{}", exp::render_local(&exp::ablation_local(scale)));
+    }
+    if all || arg == "ablation-onesided" {
+        ran = true;
+        println!("# Ablation — one-sided vs two-sided aggregation (Section IV-C1)\n");
+        println!("{}", exp::render_onesided(&exp::ablation_onesided(scale)));
+    }
+
+    if arg == "debug" {
+        ran = true;
+        use fastann_bench::datasets;
+        use fastann_core::{search_batch, DistIndex};
+        let w = datasets::sift(scale);
+        for cores in [16usize, 128] {
+            let index = DistIndex::build(&w.data, fastann_bench::experiments::debug_cfg(cores));
+            let r = search_batch(&index, &w.queries, &fastann_bench::experiments::debug_opts());
+            println!(
+                "cores={cores} total={:.1}us route={:.1}us comm_cpu={:.1}us wait={:.1}us fanout={:.2} \
+                 ndist={} busy_max={:.1}us busy_sum={:.1}us",
+                r.total_ns / 1e3,
+                r.master_route_ns / 1e3,
+                r.master_comm_cpu_ns / 1e3,
+                r.master_wait_ns / 1e3,
+                r.mean_fanout,
+                r.total_ndist,
+                r.node_busy_ns.iter().cloned().fold(0.0, f64::max) / 1e3,
+                r.node_busy_ns.iter().sum::<f64>() / 1e3,
+            );
+        }
+    }
+
+    if !ran {
+        eprintln!("unknown experiment '{arg}'; see `repro --help` header in the source");
+        std::process::exit(2);
+    }
+    eprintln!("\n[repro: {arg} done in {:.1}s wall]", t0.elapsed().as_secs_f64());
+}

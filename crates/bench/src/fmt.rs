@@ -1,0 +1,82 @@
+//! Small table/number formatting helpers for the experiment reports.
+
+/// Formats virtual nanoseconds as an adaptive human unit.
+pub fn ns(v: f64) -> String {
+    if v >= 60e9 {
+        format!("{:.2} min", v / 60e9)
+    } else if v >= 1e9 {
+        format!("{:.2} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} µs", v / 1e3)
+    } else {
+        format!("{v:.0} ns")
+    }
+}
+
+/// Renders a markdown-style table: header row + aligned body rows.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let hdr: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_units() {
+        assert_eq!(ns(500.0), "500 ns");
+        assert_eq!(ns(2_500.0), "2.50 µs");
+        assert_eq!(ns(3.2e6), "3.20 ms");
+        assert_eq!(ns(7.5e9), "7.50 s");
+        assert_eq!(ns(120e9), "2.00 min");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[1].starts_with("|-"));
+        // all lines same width
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

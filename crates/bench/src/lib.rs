@@ -1,0 +1,64 @@
+//! # fastann-bench
+//!
+//! The experiment harness: one function per table and figure of the paper,
+//! plus the `repro` binary that regenerates them all.
+//!
+//! Everything runs at a configurable scale ([`Scale`]): the default `quick`
+//! scale finishes a full reproduction in minutes on a laptop; `full`
+//! (env `FASTANN_SCALE=full`) uses 8× the points and 4× the cores. Core
+//! counts and dataset sizes are scaled-down versions of the paper's —
+//! virtual-time simulation preserves the *shapes* (who wins, by what
+//! factor, where curves bend), not the absolute numbers, as documented in
+//! DESIGN.md.
+
+pub mod datasets;
+pub mod experiments;
+pub mod fmt;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-on-a-laptop scale (default).
+    Quick,
+    /// 8× points, 4× cores (`FASTANN_SCALE=full`).
+    Full,
+}
+
+impl Scale {
+    /// Reads `FASTANN_SCALE` from the environment (`full` → [`Scale::Full`],
+    /// anything else → [`Scale::Quick`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("FASTANN_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Dataset size multiplier.
+    pub fn points_mult(self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Core-count multiplier.
+    pub fn cores_mult(self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_multipliers() {
+        assert_eq!(Scale::Quick.points_mult(), 1);
+        assert_eq!(Scale::Full.points_mult(), 8);
+        assert_eq!(Scale::Full.cores_mult(), 4);
+    }
+}

@@ -1,0 +1,175 @@
+//! Engine configuration.
+
+use fastann_data::Distance;
+use fastann_hnsw::HnswConfig;
+use fastann_mpisim::{CostModel, NetModel};
+use fastann_vptree::RouteConfig;
+
+use crate::local::LocalIndexKind;
+
+/// Static configuration of a distributed index: cluster shape, metric,
+/// HNSW parameters and query-routing policy.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Total processing cores `P` = number of data partitions (power of
+    /// two, the paper's Section IV mapping "one partition per core").
+    pub n_cores: usize,
+    /// Cores per compute node (`T` OpenMP threads per worker process). The
+    /// paper's Cray XC40 nodes have 24; `n_cores` must be divisible by it.
+    pub cores_per_node: usize,
+    /// Metric (the paper evaluates with L2).
+    pub metric: Distance,
+    /// Per-partition HNSW construction parameters (used when
+    /// `local_index` is [`LocalIndexKind::Hnsw`]).
+    pub hnsw: HnswConfig,
+    /// Which index structure serves each partition (paper Section VI:
+    /// "any algorithm can be used for local indexing … instead of HNSW").
+    pub local_index: LocalIndexKind,
+    /// Query-routing policy (`F(q)` margin and partition budget).
+    pub route: RouteConfig,
+    /// Simulated interconnect.
+    pub net: NetModel,
+    /// Compute pricing for the virtual clocks.
+    pub cost: CostModel,
+    /// RNG seed for construction.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Configuration for `n_cores` total cores grouped `cores_per_node` to
+    /// a node, with paper-default parameters elsewhere.
+    ///
+    /// # Panics
+    /// Panics unless `n_cores` is a power of two divisible by
+    /// `cores_per_node`.
+    pub fn new(n_cores: usize, cores_per_node: usize) -> Self {
+        assert!(n_cores.is_power_of_two(), "core count must be a power of two");
+        assert!(cores_per_node >= 1 && n_cores % cores_per_node == 0,
+            "cores ({n_cores}) must divide evenly into nodes of {cores_per_node}");
+        Self {
+            n_cores,
+            cores_per_node,
+            metric: Distance::L2,
+            hnsw: HnswConfig::default(),
+            local_index: LocalIndexKind::Hnsw,
+            route: RouteConfig::default(),
+            net: NetModel::default(),
+            cost: CostModel::default(),
+            seed: 0,
+        }
+    }
+
+    /// Number of worker compute nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_cores / self.cores_per_node
+    }
+
+    /// Sets the HNSW parameters (builder style).
+    pub fn hnsw(mut self, hnsw: HnswConfig) -> Self {
+        self.hnsw = hnsw;
+        self
+    }
+
+    /// Sets the per-partition index kind (builder style).
+    pub fn local_index(mut self, kind: LocalIndexKind) -> Self {
+        self.local_index = kind;
+        self
+    }
+
+    /// Sets the routing policy (builder style).
+    pub fn route(mut self, route: RouteConfig) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-batch search options — the paper's optimisation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// Neighbours per query (the paper uses k = 10 throughout).
+    pub k: usize,
+    /// HNSW beam width for the local searches.
+    pub ef: usize,
+    /// Use MPI one-sided result aggregation (Section IV-C1). When `false`,
+    /// workers return results with two-sided messages the master must
+    /// receive one by one.
+    pub one_sided: bool,
+    /// Replication factor `r` (Section IV-C2): each partition is replicated
+    /// on `r` consecutive cores and queries are dispatched round-robin
+    /// within the workgroup. `1` disables replication (the baseline).
+    pub replication: usize,
+}
+
+impl SearchOptions {
+    /// Paper defaults: `ef = 4k`, one-sided on, no replication.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, ef: (4 * k).max(32), one_sided: true, replication: 1 }
+    }
+
+    /// Sets the replication factor (builder style).
+    pub fn replication(mut self, r: usize) -> Self {
+        assert!(r >= 1, "replication factor must be at least 1");
+        self.replication = r;
+        self
+    }
+
+    /// Sets one-sided aggregation on or off (builder style).
+    pub fn one_sided(mut self, on: bool) -> Self {
+        self.one_sided = on;
+        self
+    }
+
+    /// Sets the HNSW beam width (builder style).
+    pub fn ef(mut self, ef: usize) -> Self {
+        assert!(ef >= 1, "ef must be positive");
+        self.ef = ef;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_derived_from_cores() {
+        let c = EngineConfig::new(32, 8);
+        assert_eq!(c.n_nodes(), 4);
+        let c = EngineConfig::new(16, 1);
+        assert_eq!(c.n_nodes(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_cores_rejected() {
+        let _ = EngineConfig::new(24, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn indivisible_node_size_rejected() {
+        let _ = EngineConfig::new(16, 3);
+    }
+
+    #[test]
+    fn search_options_builders() {
+        let o = SearchOptions::new(10).replication(3).one_sided(false).ef(99);
+        assert_eq!(o.k, 10);
+        assert_eq!(o.replication, 3);
+        assert!(!o.one_sided);
+        assert_eq!(o.ef, 99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_replication_rejected() {
+        let _ = SearchOptions::new(10).replication(0);
+    }
+}

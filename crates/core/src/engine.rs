@@ -1,0 +1,529 @@
+//! Master–worker batch search — paper Section IV-B/C, Algorithms 3–5.
+//!
+//! Rank 0 is the master: it routes every query through the VP-tree skeleton
+//! (`F(q)`), dispatches `(query, partition)` work items to worker nodes,
+//! and merges results. Worker nodes model one MPI process per compute node
+//! with `T` OpenMP threads: incoming queries are assigned to the
+//! earliest-free virtual thread ([`VThreadPool`]) and answered with a local
+//! HNSW search whose *measured* distance-evaluation count is charged to the
+//! virtual clock.
+//!
+//! Two result paths (the paper's Section IV-C1 optimisation):
+//! * **two-sided** — workers `Isend` results; the master receives and
+//!   merges each one, paying a per-message receive overhead (the
+//!   scalability bottleneck the paper observed);
+//! * **one-sided** — workers deposit results into the master's RMA window
+//!   with `Get_accumulate`; the master's CPU is untouched until a final
+//!   synchronisation.
+//!
+//! Load balancing by replication (Section IV-C2, Algorithm 5): partition
+//! `i`'s workgroup is cores `{i, i+1, …, i+r−1 mod P}`; the master
+//! dispatches round-robin within the workgroup.
+
+use bytes::{Bytes, BytesMut};
+use fastann_data::{Neighbor, TopK, VectorSet};
+use fastann_hnsw::SearchScratch;
+use fastann_mpisim::{
+    wire, Cluster, Rank, SimConfig, SpanKind, Topology, Trace, VThreadPool, Window,
+};
+
+use crate::build::DistIndex;
+use crate::config::SearchOptions;
+use crate::stats::QueryReport;
+
+pub(crate) const TAG_QUERY: u64 = 201;
+pub(crate) const TAG_RESULT: u64 = 202;
+pub(crate) const TAG_END: u64 = 203;
+pub(crate) const TAG_DONE: u64 = 204;
+
+/// Virtual cost (ns) of merging one returned neighbour at the master.
+pub(crate) const MERGE_NS_PER_NEIGHBOR: f64 = 4.0;
+
+/// Runs a batch of queries against a built [`DistIndex`] on a simulated
+/// cluster (1 master + `n_nodes` workers) and returns merged results with
+/// full virtual-time accounting.
+///
+/// # Panics
+/// Panics on dimension mismatch or empty query set.
+pub fn search_batch(index: &DistIndex, queries: &VectorSet, opts: &SearchOptions) -> QueryReport {
+    search_batch_inner(index, queries, opts, None)
+}
+
+/// Like [`search_batch`], additionally recording a virtual-time execution
+/// trace: per-query compute spans on the worker nodes (rank rows `1..=N`)
+/// and the master's dispatch/collect phases (rank row `0`). Render with
+/// [`Trace::render`].
+pub fn search_batch_traced(
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    trace: &Trace,
+) -> QueryReport {
+    search_batch_inner(index, queries, opts, Some(trace))
+}
+
+fn search_batch_inner(
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    trace: Option<&Trace>,
+) -> QueryReport {
+    assert!(!queries.is_empty(), "empty query batch");
+    assert_eq!(queries.dim(), index.dim(), "query dimension mismatch");
+    assert!(
+        opts.replication <= index.config.n_cores,
+        "replication factor exceeds core count"
+    );
+    let n_nodes = index.config.n_nodes();
+    let sim = SimConfig::new(n_nodes + 1)
+        .topology(Topology::one_rank_per_node())
+        .net(index.config.net)
+        .cost(index.config.cost);
+    let cluster = Cluster::new(sim);
+
+    let outs = cluster.run(|rank| {
+        if rank.rank() == 0 {
+            RankOut::Master(master(rank, index, queries, opts, trace))
+        } else {
+            RankOut::Worker(worker(rank, index, opts, trace))
+        }
+    });
+
+    let mut report: Option<QueryReport> = None;
+    let mut node_busy = vec![0f64; n_nodes];
+    let mut node_comm = vec![0f64; n_nodes];
+    let mut total_ndist = 0u64;
+    for out in outs {
+        match out {
+            RankOut::Master(r) => report = Some(r),
+            RankOut::Worker(w) => {
+                node_busy[w.node] = w.busy_ns;
+                node_comm[w.node] = w.comm_cpu_ns;
+                total_ndist += w.ndist;
+            }
+        }
+    }
+    let mut report = report.expect("master produced a report");
+    report.node_busy_ns = node_busy;
+    report.node_comm_cpu_ns = node_comm;
+    report.total_ndist = total_ndist;
+    report
+}
+
+enum RankOut {
+    Master(QueryReport),
+    Worker(WorkerOut),
+}
+
+struct WorkerOut {
+    node: usize,
+    busy_ns: f64,
+    comm_cpu_ns: f64,
+    ndist: u64,
+}
+
+/// Encodes a work item: query id, target partition, query vector.
+fn encode_query(qid: u32, partition: u32, q: &[f32]) -> Bytes {
+    let mut b = BytesMut::with_capacity(12 + q.len() * 4);
+    wire::put_u32(&mut b, qid);
+    wire::put_u32(&mut b, partition);
+    wire::put_f32_slice(&mut b, q);
+    b.freeze()
+}
+
+fn master(
+    rank: &mut Rank,
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    trace: Option<&Trace>,
+) -> QueryReport {
+    let world = rank.world();
+    let p_cores = index.config.n_cores;
+    let t_cores = index.config.cores_per_node;
+    let n_nodes = index.config.n_nodes();
+    let nq = queries.len();
+    let k = opts.k;
+    let dim = index.dim();
+
+    // One-sided path: expose a window of per-query result slots.
+    let window: Option<Window<TopK>> = if opts.one_sided {
+        Some(Window::create(rank, &world, 0, nq, |_| TopK::new(k)))
+    } else {
+        // workers still participate in the collective create decision via a
+        // barrier so both paths start from synchronised clocks
+        world.barrier(rank);
+        None
+    };
+    if window.is_some() {
+        world.barrier(rank);
+    }
+
+    let start_ns = rank.now();
+    let route_cost_per_dist = index.config.cost.dist_ns(dim);
+
+    // Algorithm 5 state: round-robin pointer per workgroup.
+    let mut wg_next = vec![0usize; p_cores];
+    let mut per_core_queries = vec![0u64; p_cores];
+    let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
+    let mut route_ns = 0f64;
+    let mut fanout_total = 0u64;
+    let mut pending_total = 0u64;
+
+    for qi in 0..nq {
+        let q = queries.get(qi);
+        let (parts, ndist) = index.router.route(q, &index.config.route);
+        let c = ndist as f64 * route_cost_per_dist;
+        rank.charge(c);
+        route_ns += c;
+        fanout_total += parts.len() as u64;
+        for d in parts {
+            // workgroup W_d = {d, d+1, …, d+r-1 mod P}, round-robin
+            let offset = wg_next[d as usize];
+            wg_next[d as usize] = (offset + 1) % opts.replication;
+            let core = (d as usize + offset) % p_cores;
+            per_core_queries[core] += 1;
+            let node = core / t_cores;
+            rank.send_bytes(1 + node, TAG_QUERY, encode_query(qi as u32, d, q));
+            pending_total += 1;
+        }
+    }
+    for nodej in 0..n_nodes {
+        rank.send_bytes(1 + nodej, TAG_END, Bytes::new());
+    }
+    if let Some(t) = trace {
+        t.record(0, start_ns, rank.now(), SpanKind::Compute, "route+dispatch");
+    }
+    let collect_start = rank.now();
+
+    let mut result_bytes = 0u64;
+    if let Some(win) = &window {
+        // One-sided: wait only for per-worker completion signals, then
+        // synchronise with the deposited updates.
+        for _ in 0..n_nodes {
+            let _ = rank.recv(None, Some(TAG_DONE));
+        }
+        win.owner_sync(rank);
+        for (qi, top) in tops.iter_mut().enumerate() {
+            win.read(qi, |t| top.merge(t));
+            rank.charge(k as f64 * 1.0);
+        }
+        result_bytes = (pending_total as u64) * (k as u64) * 8;
+    } else {
+        // Two-sided: receive and merge every single result message.
+        let mut received = 0u64;
+        while received < pending_total {
+            let msg = rank.recv(None, Some(TAG_RESULT));
+            let mut payload = msg.payload;
+            result_bytes += payload.len() as u64;
+            let qi = wire::get_u32(&mut payload) as usize;
+            let pairs = wire::get_neighbors(&mut payload);
+            rank.charge(pairs.len() as f64 * MERGE_NS_PER_NEIGHBOR);
+            for (id, d) in pairs {
+                tops[qi].push(Neighbor::new(id, d));
+            }
+            received += 1;
+        }
+    }
+
+    if let Some(t) = trace {
+        t.record(0, collect_start, rank.now(), SpanKind::Wait, "collect results");
+    }
+    let stats = rank.stats();
+    QueryReport {
+        results: tops.into_iter().map(TopK::into_sorted).collect(),
+        total_ns: rank.now() - start_ns,
+        master_route_ns: route_ns,
+        master_comm_cpu_ns: stats.send_cpu_ns + stats.recv_cpu_ns + stats.rma_cpu_ns,
+        master_wait_ns: stats.wait_ns,
+        per_core_queries,
+        mean_fanout: fanout_total as f64 / nq as f64,
+        node_busy_ns: Vec::new(),     // filled by the caller
+        node_comm_cpu_ns: Vec::new(), // filled by the caller
+        total_ndist: 0,               // filled by the caller
+        result_bytes,
+    }
+}
+
+fn worker(
+    rank: &mut Rank,
+    index: &DistIndex,
+    opts: &SearchOptions,
+    trace: Option<&Trace>,
+) -> WorkerOut {
+    let world = rank.world();
+    let node = rank.rank() - 1;
+    let t_cores = index.config.cores_per_node;
+    let p_cores = index.config.n_cores;
+    let k = opts.k;
+    let dim = index.dim();
+
+    let window: Option<Window<TopK>> = if opts.one_sided {
+        Some(Window::create(rank, &world, 0, 0usize.max(1), |_| TopK::new(k)))
+    } else {
+        world.barrier(rank);
+        None
+    };
+    // NB: window slot count is decided by the master's create call — the
+    // collective transports the master's Arc, so the `n_slots` argument on
+    // workers is ignored by construction.
+    if window.is_some() {
+        world.barrier(rank);
+    }
+
+    // Partitions this node can serve: for each of its cores c, partitions
+    // {c-i mod P : i < r} (partition p is replicated on cores p..p+r-1).
+    let mut serveable = vec![false; p_cores];
+    for c in node * t_cores..(node + 1) * t_cores {
+        for i in 0..opts.replication {
+            serveable[(c + p_cores - i) % p_cores] = true;
+        }
+    }
+
+    let mut pool = VThreadPool::new(t_cores, 0.0);
+    let mut scratch = SearchScratch::default();
+    let mut ndist_total = 0u64;
+
+    loop {
+        let msg = rank.recv(Some(0), None);
+        match msg.tag {
+            TAG_END => break,
+            TAG_QUERY => {
+                let arrival = msg.arrival;
+                let mut payload = msg.payload;
+                let qid = wire::get_u32(&mut payload);
+                let part = wire::get_u32(&mut payload) as usize;
+                let q = wire::get_f32_vec(&mut payload);
+                assert!(
+                    serveable[part],
+                    "node {node} asked to serve partition {part} it does not hold"
+                );
+                let partition = &index.partitions[part];
+                let (local, ndist) = partition.index.search(&q, k, opts.ef, &mut scratch);
+                ndist_total += ndist;
+                let cost = index.config.cost.dists_ns(ndist, dim);
+                let done_at = pool.assign(arrival, cost);
+                if let Some(t) = trace {
+                    t.record(rank.rank(), done_at - cost, done_at, SpanKind::Compute, "hnsw search");
+                }
+                // translate to global ids
+                let pairs: Vec<(u32, f32)> = local
+                    .iter()
+                    .map(|n| (partition.global_ids[n.id as usize], n.dist))
+                    .collect();
+                match &window {
+                    Some(win) => {
+                        win.accumulate_at(rank, qid as usize, pairs.len() * 8 + 8, done_at, |t| {
+                            for &(id, d) in &pairs {
+                                t.push(Neighbor::new(id, d));
+                            }
+                        });
+                    }
+                    None => {
+                        let mut b = BytesMut::new();
+                        wire::put_u32(&mut b, qid);
+                        wire::put_neighbors(&mut b, &pairs);
+                        rank.send_bytes_at(0, TAG_RESULT, b.freeze(), done_at);
+                    }
+                }
+            }
+            t => panic!("worker node {node}: unexpected tag {t}"),
+        }
+    }
+
+    if window.is_some() {
+        // All deposits for this node are posted by its pool makespan.
+        rank.send_bytes_at(0, TAG_DONE, Bytes::new(), pool.makespan());
+    }
+
+    let stats = rank.stats();
+    WorkerOut {
+        node,
+        busy_ns: pool.busy(),
+        comm_cpu_ns: stats.send_cpu_ns + stats.recv_cpu_ns + stats.rma_cpu_ns,
+        ndist: ndist_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use fastann_data::{ground_truth, synth, Distance};
+    use fastann_hnsw::HnswConfig;
+    use fastann_vptree::RouteConfig;
+
+    fn build_small(n: usize, dim: usize, cores: usize, per_node: usize, seed: u64) -> (VectorSet, DistIndex) {
+        let data = synth::sift_like(n, dim, seed);
+        let cfg = EngineConfig::new(cores, per_node)
+            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+            .seed(seed);
+        let index = DistIndex::build(&data, cfg);
+        (data, index)
+    }
+
+    #[test]
+    fn results_have_k_sorted_unique_neighbors() {
+        let (data, index) = build_small(3000, 16, 8, 2, 1);
+        let queries = synth::queries_near(&data, 20, 0.02, 2);
+        let report = search_batch(&index, &queries, &SearchOptions::new(10));
+        assert_eq!(report.results.len(), 20);
+        for r in &report.results {
+            assert_eq!(r.len(), 10);
+            for w in r.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+            let mut ids: Vec<u32> = r.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 10, "duplicate global ids in result");
+            assert!(ids.iter().all(|&id| (id as usize) < data.len()));
+        }
+    }
+
+    #[test]
+    fn recall_is_high_with_generous_routing() {
+        let (data, index) = build_small(4000, 16, 8, 2, 3);
+        let queries = synth::queries_near(&data, 30, 0.02, 4);
+        let mut opts = SearchOptions::new(10);
+        opts.ef = 128;
+        let report = search_batch(&index, &queries, &opts);
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let rec = ground_truth::recall_at_k(&report.results, &gt, 10);
+        assert!(rec.mean > 0.7, "recall too low: {}", rec.mean);
+    }
+
+    #[test]
+    fn one_sided_matches_two_sided_results() {
+        let (data, index) = build_small(2000, 16, 8, 2, 5);
+        let queries = synth::queries_near(&data, 15, 0.02, 6);
+        let one = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(true));
+        let two = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(false));
+        assert_eq!(one.results, two.results, "result content must not depend on transport");
+    }
+
+    #[test]
+    fn one_sided_reduces_master_comm_cpu() {
+        let (data, index) = build_small(2000, 16, 16, 2, 7);
+        let queries = synth::queries_near(&data, 200, 0.05, 8);
+        let one = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(true));
+        let two = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(false));
+        assert!(
+            one.master_comm_cpu_ns < two.master_comm_cpu_ns,
+            "one-sided should cut master comm CPU: {} vs {}",
+            one.master_comm_cpu_ns,
+            two.master_comm_cpu_ns
+        );
+    }
+
+    #[test]
+    fn replication_spreads_queries() {
+        let (data, mut index) = build_small(2000, 16, 8, 2, 9);
+        // route every query to exactly its home partition so the workgroup
+        // round-robin is the only load-spreading mechanism under test
+        index.config.route = RouteConfig { margin_frac: 0.0, max_partitions: 1 };
+        // skewed workload: all queries near one point -> same home partition
+        let mut queries = VectorSet::new(16);
+        let base = data.get(0).to_vec();
+        for i in 0..60 {
+            let mut q = base.clone();
+            q[0] += (i % 5) as f32 * 0.01;
+            queries.push(&q);
+        }
+        let r1 = search_batch(&index, &queries, &SearchOptions::new(10).replication(1));
+        let r3 = search_batch(&index, &queries, &SearchOptions::new(10).replication(3));
+        assert_eq!(r1.results.len(), r3.results.len());
+        let d1 = r1.query_distribution();
+        let d3 = r3.query_distribution();
+        assert!(
+            d3.max < d1.max,
+            "replication must shrink the busiest core: {} vs {}",
+            d1.max,
+            d3.max
+        );
+    }
+
+    #[test]
+    fn per_core_counts_match_fanout() {
+        let (data, index) = build_small(2000, 16, 8, 2, 11);
+        let queries = synth::queries_near(&data, 25, 0.05, 12);
+        let report = search_batch(&index, &queries, &SearchOptions::new(10));
+        let dispatched: u64 = report.per_core_queries.iter().sum();
+        assert_eq!(dispatched as f64, report.mean_fanout * 25.0);
+    }
+
+    #[test]
+    fn accounting_is_populated() {
+        let (data, index) = build_small(2000, 16, 8, 4, 13);
+        let queries = synth::queries_near(&data, 20, 0.05, 14);
+        let report = search_batch(&index, &queries, &SearchOptions::new(10));
+        assert!(report.total_ns > 0.0);
+        assert!(report.master_route_ns > 0.0);
+        assert!(report.mean_fanout >= 1.0);
+        assert_eq!(report.node_busy_ns.len(), 2);
+        assert!(report.total_ndist > 0);
+        assert!(report.throughput_qps() > 0.0);
+        let (c, m, i) = report.breakdown();
+        assert!((c + m + i - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_cores_cut_query_time() {
+        // the strong-scaling effect of Fig. 3 at miniature scale
+        let data = synth::sift_like(6000, 16, 15);
+        let queries = synth::queries_near(&data, 60, 0.05, 16);
+        let time_for = |cores: usize| {
+            let cfg = EngineConfig::new(cores, 2)
+                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(15))
+                .seed(15);
+            let index = DistIndex::build(&data, cfg);
+            search_batch(&index, &queries, &SearchOptions::new(10)).total_ns
+        };
+        let slow = time_for(4);
+        let fast = time_for(16);
+        assert!(
+            fast < slow,
+            "16 cores ({fast:.0} ns) should beat 4 cores ({slow:.0} ns)"
+        );
+    }
+
+    #[test]
+    fn route_cap_bounds_fanout() {
+        let (data, index) = build_small(2000, 16, 8, 2, 17);
+        let queries = synth::queries_near(&data, 10, 0.05, 18);
+        let report = search_batch(&index, &queries, &SearchOptions::new(5));
+        assert!(report.mean_fanout <= index.config.route.max_partitions as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let (_, index) = build_small(500, 8, 4, 2, 19);
+        let queries = synth::sift_like(3, 16, 20);
+        let _ = search_batch(&index, &queries, &SearchOptions::new(5));
+    }
+
+    #[test]
+    fn wider_margin_improves_recall() {
+        let data = synth::sift_like(3000, 16, 21);
+        let queries = synth::queries_near(&data, 30, 0.02, 22);
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let recall_for = |margin: f32, cap: usize| {
+            let cfg = EngineConfig::new(8, 2)
+                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(21))
+                .route(RouteConfig { margin_frac: margin, max_partitions: cap })
+                .seed(21);
+            let index = DistIndex::build(&data, cfg);
+            let mut o = SearchOptions::new(10);
+            o.ef = 128;
+            let r = search_batch(&index, &queries, &o);
+            ground_truth::recall_at_k(&r.results, &gt, 10).mean
+        };
+        let narrow = recall_for(0.0, 1);
+        let wide = recall_for(0.3, 8);
+        assert!(
+            wide >= narrow,
+            "wider routing must not hurt recall: narrow {narrow} wide {wide}"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # fastann-core
+//!
+//! The paper's system: **distributed approximate k-NN search** that
+//! partitions the dataset with a vantage-point tree across processing
+//! cores, indexes each partition with HNSW, and answers query batches with
+//! a master–worker protocol over the simulated MPI cluster.
+//!
+//! The pieces, mapped to the paper's sections:
+//!
+//! * [`DistIndex::build`] — Section IV-A, Algorithms 1–2: distributed
+//!   VP-tree construction (distributed vantage-point selection, distributed
+//!   median, `Alltoallv` shuffles), hybrid with a node-local phase that
+//!   splits a node's data into one partition per core, then per-partition
+//!   HNSW construction.
+//! * [`search_batch`] — Section IV-B, Algorithms 3–4: the master routes
+//!   each query to the partitions `F(q)` chosen by the VP-tree skeleton;
+//!   worker nodes answer with multi-threaded local HNSW searches (modelled
+//!   by per-node virtual thread pools).
+//! * [`SearchOptions::one_sided`] — Section IV-C1: workers deposit results
+//!   straight into the master's memory window (`MPI_Get_accumulate`
+//!   semantics) instead of two-sided replies.
+//! * [`SearchOptions::replication`] — Section IV-C2, Algorithm 5:
+//!   partitions are replicated across workgroups of `r` cores and queries
+//!   dispatched round-robin within the workgroup.
+//! * [`search_batch_multi_owner`] — the multiple-owner variant discussed in
+//!   Section IV: every node owns a hash-slice of the queries and routes
+//!   them itself against a replicated skeleton.
+//!
+//! ```no_run
+//! use fastann_core::{DistIndex, EngineConfig, SearchOptions, search_batch};
+//! use fastann_data::synth;
+//!
+//! let data = synth::sift_like(20_000, 64, 1);
+//! let queries = synth::queries_near(&data, 100, 0.02, 2);
+//! let index = DistIndex::build(&data, EngineConfig::new(16, 4));
+//! let report = search_batch(&index, &queries, &SearchOptions::new(10));
+//! println!("10-NN for 100 queries in {:.2} virtual ms", report.total_ns / 1e6);
+//! ```
+
+mod build;
+mod config;
+mod engine;
+mod local;
+mod owner;
+mod persist;
+mod router;
+mod stats;
+mod tune;
+
+pub use build::{DistIndex, Partition};
+pub use config::{EngineConfig, SearchOptions};
+pub use engine::{search_batch, search_batch_traced};
+pub use local::{LocalIndex, LocalIndexKind};
+pub use owner::search_batch_multi_owner;
+pub use persist::PersistError;
+pub use router::Router;
+pub use stats::{BuildStats, Distribution, QueryReport};
+pub use tune::{tune_routing, TuneOutcome};

@@ -1,0 +1,197 @@
+//! Pluggable per-partition indexes.
+//!
+//! The paper's Section VI: "Our approach is extensible in that any algorithm
+//! can be used for local indexing and searching instead of HNSW." This
+//! module is that extension point: a partition can be served by
+//!
+//! * [`LocalIndexKind::Hnsw`] — the paper's choice (approximate, fast in
+//!   high dimension),
+//! * [`LocalIndexKind::VpExact`] — an exact vantage-point tree, making the
+//!   whole distributed engine exact *within the routed partitions*,
+//! * [`LocalIndexKind::BruteForce`] — exhaustive scan, the calibration
+//!   baseline.
+//!
+//! All variants report their distance-evaluation counts so the virtual-time
+//! accounting stays uniform.
+
+use fastann_data::{ground_truth, Distance, Neighbor, VectorSet};
+use fastann_hnsw::{Hnsw, HnswConfig, SearchScratch};
+use fastann_vptree::{VpTree, VpTreeConfig};
+
+/// Which index structure serves a partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalIndexKind {
+    /// HNSW graph (approximate) — the paper's system.
+    Hnsw,
+    /// Exact VP tree.
+    VpExact,
+    /// Exhaustive scan.
+    BruteForce,
+}
+
+/// A built per-partition index.
+pub enum LocalIndex {
+    /// HNSW graph.
+    Hnsw(Hnsw),
+    /// Exact VP tree.
+    VpTree(VpTree),
+    /// Plain vectors, scanned exhaustively.
+    Brute { data: VectorSet, metric: Distance },
+}
+
+impl LocalIndex {
+    /// Builds the index of the requested kind over `rows`.
+    pub fn build(
+        kind: LocalIndexKind,
+        rows: VectorSet,
+        metric: Distance,
+        hnsw: HnswConfig,
+        seed: u64,
+    ) -> LocalIndex {
+        match kind {
+            LocalIndexKind::Hnsw => {
+                let mut cfg = hnsw;
+                cfg.seed = seed;
+                LocalIndex::Hnsw(Hnsw::build(rows, metric, cfg))
+            }
+            LocalIndexKind::VpExact => LocalIndex::VpTree(VpTree::build(
+                rows,
+                metric,
+                VpTreeConfig { seed, ..VpTreeConfig::default() },
+            )),
+            LocalIndexKind::BruteForce => LocalIndex::Brute { data: rows, metric },
+        }
+    }
+
+    /// k-NN over the partition; returns local row ids and the number of
+    /// distance evaluations performed (for virtual-time charging).
+    pub fn search(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, u64) {
+        match self {
+            LocalIndex::Hnsw(h) => {
+                let (r, s) = h.search_with_scratch(q, k, ef, scratch);
+                (r, s.ndist)
+            }
+            LocalIndex::VpTree(t) => {
+                let (r, s) = t.knn(q, k);
+                (r, s.ndist)
+            }
+            LocalIndex::Brute { data, metric } => {
+                let r = ground_truth::brute_force_one(data, q, k, *metric);
+                (r, data.len() as u64)
+            }
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        match self {
+            LocalIndex::Hnsw(h) => h.len(),
+            LocalIndex::VpTree(t) => t.len(),
+            LocalIndex::Brute { data, .. } => data.len(),
+        }
+    }
+
+    /// `true` when the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            LocalIndex::Hnsw(h) => h.dim(),
+            LocalIndex::VpTree(t) => t.dim(),
+            LocalIndex::Brute { data, .. } => data.dim(),
+        }
+    }
+
+    /// Distance evaluations spent during construction.
+    pub fn build_ndist(&self) -> u64 {
+        match self {
+            LocalIndex::Hnsw(h) => h.build_ndist(),
+            LocalIndex::VpTree(t) => t.build_ndist(),
+            LocalIndex::Brute { .. } => 0,
+        }
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            LocalIndex::Hnsw(h) => h.approx_bytes(),
+            LocalIndex::VpTree(t) => t.approx_bytes(),
+            LocalIndex::Brute { data, .. } => data.as_flat().len() * 4,
+        }
+    }
+
+    /// `true` when every reported neighbour is exact.
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, LocalIndex::Hnsw(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::synth;
+
+    fn rows() -> VectorSet {
+        synth::sift_like(500, 12, 55)
+    }
+
+    #[test]
+    fn all_kinds_build_and_search() {
+        let mut scratch = SearchScratch::default();
+        for kind in [LocalIndexKind::Hnsw, LocalIndexKind::VpExact, LocalIndexKind::BruteForce] {
+            let idx =
+                LocalIndex::build(kind, rows(), Distance::L2, HnswConfig::with_m(8), 1);
+            assert_eq!(idx.len(), 500);
+            assert_eq!(idx.dim(), 12);
+            let (r, ndist) = idx.search(rows().get(3), 5, 32, &mut scratch);
+            assert_eq!(r[0].id, 3, "{kind:?} should find the point itself");
+            assert!(ndist > 0, "{kind:?} must report work");
+            assert!(idx.approx_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn exact_kinds_agree_with_brute_force() {
+        let data = rows();
+        let mut scratch = SearchScratch::default();
+        let vp = LocalIndex::build(
+            LocalIndexKind::VpExact,
+            data.clone(),
+            Distance::L2,
+            HnswConfig::default(),
+            2,
+        );
+        let brute = LocalIndex::build(
+            LocalIndexKind::BruteForce,
+            data.clone(),
+            Distance::L2,
+            HnswConfig::default(),
+            2,
+        );
+        let q = synth::queries_near(&data, 10, 0.05, 3);
+        for qi in 0..10 {
+            let (a, _) = vp.search(q.get(qi), 7, 0, &mut scratch);
+            let (b, _) = brute.search(q.get(qi), 7, 0, &mut scratch);
+            assert_eq!(a, b, "exact kinds must agree on query {qi}");
+        }
+    }
+
+    #[test]
+    fn exactness_flags() {
+        let h = LocalIndex::build(LocalIndexKind::Hnsw, rows(), Distance::L2, HnswConfig::with_m(8), 4);
+        let v = LocalIndex::build(LocalIndexKind::VpExact, rows(), Distance::L2, HnswConfig::with_m(8), 4);
+        assert!(!h.is_exact());
+        assert!(v.is_exact());
+        assert!(h.build_ndist() > 0);
+        assert!(v.build_ndist() > 0);
+    }
+}

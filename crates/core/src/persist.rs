@@ -1,0 +1,315 @@
+//! Distributed-index persistence: save a built [`DistIndex`] to one file
+//! and load it back — "build once on the cluster, serve many batches
+//! later" without paying construction again.
+//!
+//! Format (little endian):
+//!
+//! ```text
+//! magic "FANNDIST" | version u32
+//! metric u8 | n_cores u32 | cores_per_node u32 | seed u64
+//! hnsw: m u32 | m_max0 u32 | ef_construction u32 | level_mult f64
+//! route: margin f32 | max_partitions u64
+//! router: len u64 | PartitionTree bytes            (VP-tree routers only)
+//! partitions: n_cores × [ids: len u32, u32… | hnsw: len u64, bytes…]
+//! ```
+//!
+//! Only the paper's configuration (VP-tree router + HNSW local indexes) is
+//! persistable; exact/brute local indexes rebuild quickly from data, and
+//! flat-pivot indexes exist as an experimental baseline.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use fastann_data::Distance;
+use fastann_hnsw::Hnsw;
+use fastann_vptree::PartitionTree;
+
+use crate::build::{DistIndex, Partition};
+use crate::config::EngineConfig;
+use crate::local::LocalIndex;
+use crate::router::Router;
+use crate::stats::BuildStats;
+
+const MAGIC: &[u8; 8] = b"FANNDIST";
+const VERSION: u32 = 1;
+
+/// Errors raised when persisting or loading a distributed index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural problem in the file.
+    Format(String),
+    /// The index configuration cannot be persisted (non-HNSW local index
+    /// or non-VP-tree router).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+            PersistError::Unsupported(m) => write!(f, "unsupported configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn metric_code(d: Distance) -> u8 {
+    match d {
+        Distance::L2 => 0,
+        Distance::SquaredL2 => 1,
+        Distance::L1 => 2,
+        Distance::Chebyshev => 3,
+        Distance::Cosine => 4,
+        Distance::NegativeDot => 5,
+    }
+}
+
+fn metric_from(c: u8) -> Result<Distance, PersistError> {
+    Ok(match c {
+        0 => Distance::L2,
+        1 => Distance::SquaredL2,
+        2 => Distance::L1,
+        3 => Distance::Chebyshev,
+        4 => Distance::Cosine,
+        5 => Distance::NegativeDot,
+        x => return Err(PersistError::Format(format!("unknown metric code {x}"))),
+    })
+}
+
+fn rd_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), PersistError> {
+    r.read_exact(buf).map_err(|_| PersistError::Format("truncated".into()))
+}
+
+fn rd_u32(r: &mut impl Read) -> Result<u32, PersistError> {
+    let mut b = [0u8; 4];
+    rd_exact(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn rd_u64(r: &mut impl Read) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    rd_exact(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+impl DistIndex {
+    /// Writes the index to `path`.
+    ///
+    /// # Errors
+    /// [`PersistError::Unsupported`] unless every partition is HNSW-backed
+    /// and the router is a VP tree; IO errors pass through.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let Router::VpTree(tree) = &*self.router else {
+            return Err(PersistError::Unsupported("only VP-tree routers persist"));
+        };
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&[metric_code(self.config.metric)])?;
+        w.write_all(&(self.config.n_cores as u32).to_le_bytes())?;
+        w.write_all(&(self.config.cores_per_node as u32).to_le_bytes())?;
+        w.write_all(&self.config.seed.to_le_bytes())?;
+        let h = &self.config.hnsw;
+        w.write_all(&(h.m as u32).to_le_bytes())?;
+        w.write_all(&(h.m_max0 as u32).to_le_bytes())?;
+        w.write_all(&(h.ef_construction as u32).to_le_bytes())?;
+        w.write_all(&h.level_mult.to_bits().to_le_bytes())?;
+        w.write_all(&self.config.route.margin_frac.to_bits().to_le_bytes())?;
+        w.write_all(&(self.config.route.max_partitions as u64).to_le_bytes())?;
+        let skel = tree.to_bytes();
+        w.write_all(&(skel.len() as u64).to_le_bytes())?;
+        w.write_all(&skel)?;
+        for p in self.partitions.iter() {
+            let LocalIndex::Hnsw(hnsw) = &p.index else {
+                return Err(PersistError::Unsupported("only HNSW partitions persist"));
+            };
+            w.write_all(&(p.global_ids.len() as u32).to_le_bytes())?;
+            for &id in &p.global_ids {
+                w.write_all(&id.to_le_bytes())?;
+            }
+            let bytes = hnsw.to_bytes();
+            w.write_all(&(bytes.len() as u64).to_le_bytes())?;
+            w.write_all(&bytes)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Loads an index previously written by [`DistIndex::save`].
+    ///
+    /// Construction statistics are not persisted; the loaded index carries
+    /// partition sizes only.
+    pub fn load(path: impl AsRef<Path>) -> Result<DistIndex, PersistError> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        rd_exact(&mut r, &mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::Format("bad magic".into()));
+        }
+        let version = rd_u32(&mut r)?;
+        if version != VERSION {
+            return Err(PersistError::Format(format!("unsupported version {version}")));
+        }
+        let mut mc = [0u8; 1];
+        rd_exact(&mut r, &mut mc)?;
+        let metric = metric_from(mc[0])?;
+        let n_cores = rd_u32(&mut r)? as usize;
+        let cores_per_node = rd_u32(&mut r)? as usize;
+        let seed = rd_u64(&mut r)?;
+        if n_cores == 0 || !n_cores.is_power_of_two() || n_cores % cores_per_node.max(1) != 0 {
+            return Err(PersistError::Format("implausible cluster shape".into()));
+        }
+        let m = rd_u32(&mut r)? as usize;
+        let m_max0 = rd_u32(&mut r)? as usize;
+        let ef_construction = rd_u32(&mut r)? as usize;
+        let level_mult = f64::from_bits(rd_u64(&mut r)?);
+        let margin_frac = f32::from_bits(rd_u32(&mut r)?);
+        let max_partitions = rd_u64(&mut r)? as usize;
+
+        let skel_len = rd_u64(&mut r)? as usize;
+        let mut skel = vec![0u8; skel_len];
+        rd_exact(&mut r, &mut skel)?;
+        let tree = PartitionTree::from_bytes(&skel, metric);
+        if tree.n_partitions() != n_cores {
+            return Err(PersistError::Format("skeleton / core-count mismatch".into()));
+        }
+
+        let mut partitions = Vec::with_capacity(n_cores);
+        for pid in 0..n_cores {
+            let n_ids = rd_u32(&mut r)? as usize;
+            let mut ids = Vec::with_capacity(n_ids);
+            for _ in 0..n_ids {
+                ids.push(rd_u32(&mut r)?);
+            }
+            let blob_len = rd_u64(&mut r)? as usize;
+            let mut blob = vec![0u8; blob_len];
+            rd_exact(&mut r, &mut blob)?;
+            let hnsw = Hnsw::from_bytes(&blob)
+                .map_err(|e| PersistError::Format(format!("partition {pid}: {e}")))?;
+            if hnsw.len() != n_ids {
+                return Err(PersistError::Format(format!(
+                    "partition {pid}: {} ids but {} vectors",
+                    n_ids,
+                    hnsw.len()
+                )));
+            }
+            partitions.push(Partition {
+                id: pid as u32,
+                global_ids: ids,
+                index: LocalIndex::Hnsw(hnsw),
+            });
+        }
+
+        let mut config = EngineConfig::new(n_cores, cores_per_node);
+        config.metric = metric;
+        config.seed = seed;
+        config.hnsw.m = m;
+        config.hnsw.m_max0 = m_max0;
+        config.hnsw.ef_construction = ef_construction;
+        config.hnsw.level_mult = level_mult;
+        config.route.margin_frac = margin_frac;
+        config.route.max_partitions = max_partitions;
+
+        let build_stats = BuildStats {
+            partition_sizes: partitions.iter().map(|p| p.global_ids.len()).collect(),
+            ..BuildStats::default()
+        };
+        Ok(DistIndex {
+            config,
+            partitions: Arc::new(partitions),
+            router: Arc::new(Router::VpTree(tree)),
+            build_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchOptions;
+    use crate::engine::search_batch;
+    use fastann_data::synth;
+    use fastann_hnsw::HnswConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fastann_persist_{name}.idx"))
+    }
+
+    fn build_one(seed: u64) -> (fastann_data::VectorSet, DistIndex) {
+        let data = synth::sift_like(2_000, 12, seed);
+        let cfg = EngineConfig::new(8, 2)
+            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+            .seed(seed);
+        (data.clone(), DistIndex::build(&data, cfg))
+    }
+
+    #[test]
+    fn save_load_preserves_results() {
+        let (data, index) = build_one(81);
+        let path = tmp("roundtrip");
+        index.save(&path).expect("save");
+        let back = DistIndex::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.n_partitions(), index.n_partitions());
+        assert_eq!(back.dim(), index.dim());
+        let queries = synth::queries_near(&data, 15, 0.02, 82);
+        let a = search_batch(&index, &queries, &SearchOptions::new(10));
+        let b = search_batch(&back, &queries, &SearchOptions::new(10));
+        assert_eq!(a.results, b.results, "loaded index must answer identically");
+    }
+
+    #[test]
+    fn non_hnsw_index_refuses_to_save() {
+        let data = synth::sift_like(500, 8, 83);
+        let cfg = EngineConfig::new(4, 2)
+            .local_index(crate::local::LocalIndexKind::VpExact)
+            .seed(83);
+        let index = DistIndex::build(&data, cfg);
+        let err = index.save(tmp("refuse")).unwrap_err();
+        assert!(matches!(err, PersistError::Unsupported(_)));
+    }
+
+    #[test]
+    fn flat_pivot_router_refuses_to_save() {
+        let data = synth::sift_like(500, 8, 84);
+        let index = DistIndex::build_flat_pivot(&data, EngineConfig::new(4, 2).seed(84));
+        let err = index.save(tmp("refuse2")).unwrap_err();
+        assert!(matches!(err, PersistError::Unsupported(_)));
+    }
+
+    #[test]
+    fn corrupted_file_rejected() {
+        let (_, index) = build_one(85);
+        let path = tmp("corrupt");
+        index.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len() / 2;
+        bytes.truncate(cut);
+        std::fs::write(&path, &bytes).unwrap();
+        let res = DistIndex::load(&path);
+        std::fs::remove_file(&path).ok();
+        let Err(err) = res else { panic!("corrupted file must not load") };
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let Err(err) = DistIndex::load("/nonexistent/fastann.idx") else {
+            panic!("missing file must not load")
+        };
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Query routers: how the master maps a query to partitions.
+//!
+//! Two implementations:
+//!
+//! * [`Router::VpTree`] — the paper's hierarchical VP-tree skeleton:
+//!   `O(max_partitions × depth)` distance evaluations per query and
+//!   balanced partitions by construction (median splits).
+//! * [`Router::FlatPivot`] — the flat randomized pivot scheme of the
+//!   paper's reference [16] (Zhou et al., CBD 2013): every point belongs to
+//!   its closest pivot; routing scores the query against *all* P pivots and
+//!   picks the closest few. Simple, but routing is `O(P)` per query and
+//!   closest-pivot assignment produces "significant load imbalance across
+//!   processes" (the paper's words) — both effects reproduced by the
+//!   `repro baseline-pivot` experiment.
+
+use fastann_data::{Distance, TopK, VectorSet};
+use fastann_vptree::{PartitionTree, RouteConfig};
+
+/// Maps queries to the partitions that must be searched.
+pub enum Router {
+    /// Hierarchical VP-tree skeleton (the paper's design).
+    VpTree(PartitionTree),
+    /// Flat pivot table (the [16] baseline).
+    FlatPivot {
+        /// One pivot vector per partition.
+        pivots: VectorSet,
+        /// Metric used for pivot assignment.
+        metric: Distance,
+    },
+}
+
+impl Router {
+    /// Partitions to search for `q`, most promising first, plus the number
+    /// of distance evaluations spent routing.
+    pub fn route(&self, q: &[f32], cfg: &RouteConfig) -> (Vec<u32>, u64) {
+        match self {
+            Router::VpTree(tree) => tree.route(q, cfg),
+            Router::FlatPivot { pivots, metric } => {
+                // score ALL pivots — the O(P) master cost of flat schemes
+                let cap = cfg.max_partitions.max(1).min(pivots.len());
+                let mut top = TopK::new(cap);
+                for (i, p) in pivots.iter().enumerate() {
+                    top.push(fastann_data::Neighbor::new(i as u32, metric.eval(q, p)));
+                }
+                let ids = top.into_sorted().into_iter().map(|n| n.id).collect();
+                (ids, pivots.len() as u64)
+            }
+        }
+    }
+
+    /// Number of partitions this router addresses.
+    pub fn n_partitions(&self) -> usize {
+        match self {
+            Router::VpTree(tree) => tree.n_partitions(),
+            Router::FlatPivot { pivots, .. } => pivots.len(),
+        }
+    }
+
+    /// Bytes the master keeps resident for routing.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Router::VpTree(tree) => tree.approx_bytes(),
+            Router::FlatPivot { pivots, .. } => pivots.as_flat().len() * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::synth;
+
+    fn pivot_router() -> Router {
+        let pivots = synth::sift_like(8, 4, 1);
+        Router::FlatPivot { pivots, metric: Distance::L2 }
+    }
+
+    #[test]
+    fn flat_pivot_routes_to_closest_pivot_first() {
+        let r = pivot_router();
+        let Router::FlatPivot { pivots, .. } = &r else { unreachable!() };
+        let q = pivots.get(5).to_vec();
+        let (route, ndist) =
+            r.route(&q, &RouteConfig { margin_frac: 0.0, max_partitions: 3 });
+        assert_eq!(route[0], 5, "closest pivot must come first");
+        assert_eq!(route.len(), 3);
+        assert_eq!(ndist, 8, "flat routing scores every pivot");
+    }
+
+    #[test]
+    fn flat_pivot_cap_respected() {
+        let r = pivot_router();
+        let q = vec![0.0; 4];
+        let (route, _) = r.route(&q, &RouteConfig { margin_frac: 0.5, max_partitions: 100 });
+        assert_eq!(route.len(), 8, "cap clamps to pivot count");
+        let mut dedup = route.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn n_partitions_and_bytes() {
+        let r = pivot_router();
+        assert_eq!(r.n_partitions(), 8);
+        assert_eq!(r.approx_bytes(), 8 * 4 * 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Routing auto-tuner: pick the cheapest `F(q)` policy that hits a recall
+//! target on a validation sample.
+//!
+//! The paper fixes its routing policy per experiment; a downstream user
+//! instead asks "give me recall ≥ 0.9 as cheaply as possible". The knobs
+//! are [`RouteConfig::margin_frac`] (which boundaries count as "near") and
+//! [`RouteConfig::max_partitions`] (the fan-out budget): more of either
+//! means more partitions searched per query — higher recall, more work.
+//! [`tune_routing`] walks a small policy ladder from cheapest to most
+//! generous and returns the first rung that reaches the target on the
+//! sample, measured against exact ground truth.
+
+use fastann_data::{ground_truth, VectorSet};
+use fastann_vptree::RouteConfig;
+
+use crate::build::DistIndex;
+use crate::config::SearchOptions;
+use crate::engine::search_batch;
+
+/// Result of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// The selected policy (also the cheapest that met the target, or the
+    /// most generous rung if none did).
+    pub route: RouteConfig,
+    /// Recall@k achieved on the validation sample with that policy.
+    pub recall: f64,
+    /// Mean partitions searched per query under that policy.
+    pub mean_fanout: f64,
+    /// `true` when the target was actually met.
+    pub met_target: bool,
+    /// Every rung evaluated, cheapest first: `(policy, recall, fanout)`.
+    pub ladder: Vec<(RouteConfig, f64, f64)>,
+}
+
+/// The policy ladder, cheapest first.
+fn ladder(n_partitions: usize) -> Vec<RouteConfig> {
+    let p = n_partitions;
+    vec![
+        RouteConfig { margin_frac: 0.0, max_partitions: 1 },
+        RouteConfig { margin_frac: 0.1, max_partitions: 2.min(p) },
+        RouteConfig { margin_frac: 0.15, max_partitions: 4.min(p) },
+        RouteConfig { margin_frac: 0.25, max_partitions: 6.min(p) },
+        RouteConfig { margin_frac: 0.35, max_partitions: (p / 4).max(8).min(p) },
+        RouteConfig { margin_frac: 0.5, max_partitions: (p / 2).max(8).min(p) },
+    ]
+}
+
+/// Finds the cheapest routing policy reaching `target_recall` (recall@k on
+/// `sample` against exact ground truth computed here by brute force).
+///
+/// The returned policy should be written into a copy of the engine config
+/// (`index.config.route`) for subsequent batches; the index itself is not
+/// modified.
+///
+/// # Panics
+/// Panics if `sample` is empty or the target is outside `(0, 1]`.
+pub fn tune_routing(
+    index: &DistIndex,
+    data: &VectorSet,
+    sample: &VectorSet,
+    opts: &SearchOptions,
+    target_recall: f64,
+) -> TuneOutcome {
+    assert!(!sample.is_empty(), "empty validation sample");
+    assert!(
+        target_recall > 0.0 && target_recall <= 1.0,
+        "target recall must be in (0, 1]"
+    );
+    let gt = ground_truth::brute_force(data, sample, opts.k, index.config.metric);
+
+    let mut probe = index.shallow_clone();
+    let mut evaluated = Vec::new();
+    for rung in ladder(index.n_partitions()) {
+        probe.config.route = rung;
+        let report = search_batch(&probe, sample, opts);
+        let recall = ground_truth::recall_at_k(&report.results, &gt, opts.k).mean;
+        evaluated.push((rung, recall, report.mean_fanout));
+        if recall >= target_recall {
+            return TuneOutcome {
+                route: rung,
+                recall,
+                mean_fanout: report.mean_fanout,
+                met_target: true,
+                ladder: evaluated,
+            };
+        }
+    }
+    let &(route, recall, mean_fanout) = evaluated.last().expect("non-empty ladder");
+    TuneOutcome { route, recall, mean_fanout, met_target: false, ladder: evaluated }
+}
+
+impl DistIndex {
+    /// Cheap handle sharing the partitions and skeleton but owning its own
+    /// config — what the tuner mutates per rung.
+    pub(crate) fn shallow_clone(&self) -> DistIndex {
+        DistIndex {
+            config: self.config.clone(),
+            partitions: std::sync::Arc::clone(&self.partitions),
+            router: std::sync::Arc::clone(&self.router),
+            build_stats: self.build_stats.clone(),
+        }
+    }
+
+    /// Returns a copy of this index handle with a different routing policy
+    /// (partitions and skeleton shared, not rebuilt).
+    pub fn with_route(&self, route: RouteConfig) -> DistIndex {
+        let mut c = self.shallow_clone();
+        c.config.route = route;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use fastann_data::synth;
+    use fastann_hnsw::HnswConfig;
+
+    fn setup() -> (VectorSet, VectorSet, DistIndex) {
+        let data = synth::sift_like(4_000, 16, 71);
+        let sample = synth::queries_near(&data, 40, 0.02, 72);
+        let cfg = EngineConfig::new(16, 4)
+            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(71))
+            .seed(71);
+        let index = DistIndex::build(&data, cfg);
+        (data, sample, index)
+    }
+
+    #[test]
+    fn tuner_meets_moderate_target() {
+        let (data, sample, index) = setup();
+        let out = tune_routing(&index, &data, &sample, &SearchOptions::new(10).ef(96), 0.8);
+        assert!(out.met_target, "recall {} below target", out.recall);
+        assert!(out.recall >= 0.8);
+        assert!(!out.ladder.is_empty());
+    }
+
+    #[test]
+    fn cheaper_targets_get_cheaper_policies() {
+        let (data, sample, index) = setup();
+        let opts = SearchOptions::new(10).ef(96);
+        let easy = tune_routing(&index, &data, &sample, &opts, 0.3);
+        let hard = tune_routing(&index, &data, &sample, &opts, 0.9);
+        assert!(
+            easy.mean_fanout <= hard.mean_fanout,
+            "easy target fanout {} should not exceed hard target fanout {}",
+            easy.mean_fanout,
+            hard.mean_fanout
+        );
+        assert!(easy.ladder.len() <= hard.ladder.len());
+    }
+
+    #[test]
+    fn impossible_target_reports_honestly() {
+        let (data, sample, index) = setup();
+        // ef=k exactly and a 1.0 target: likely unreachable; the tuner must
+        // say so instead of pretending
+        let out = tune_routing(&index, &data, &sample, &SearchOptions::new(10).ef(10), 1.0);
+        if !out.met_target {
+            assert!(out.recall < 1.0);
+            assert_eq!(out.ladder.len(), 6, "all rungs evaluated");
+        }
+    }
+
+    #[test]
+    fn with_route_shares_partitions() {
+        let (_, sample, index) = setup();
+        let generous = index
+            .with_route(RouteConfig { margin_frac: 0.5, max_partitions: 16 });
+        let a = search_batch(&generous, &sample, &SearchOptions::new(5));
+        let b = search_batch(&index, &sample, &SearchOptions::new(5));
+        // more generous routing searches at least as many partitions
+        assert!(a.mean_fanout >= b.mean_fanout);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_target_panics() {
+        let (data, sample, index) = setup();
+        let _ = tune_routing(&index, &data, &sample, &SearchOptions::new(5), 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Readers and writers for the TEXMEX vector file formats.
+//!
+//! The datasets the paper evaluates on (ANN_SIFT1B, DEEP1B, ANN_GIST1M) ship
+//! in the `.fvecs` / `.bvecs` / `.ivecs` formats from the INRIA TEXMEX
+//! corpus: each vector is stored as a little-endian `i32` dimension header
+//! followed by `dim` components (`f32`, `u8`, or `i32` respectively).
+//!
+//! We implement the formats so users with the real corpora can load them
+//! directly; the test-suite and benchmarks use the synthetic generators in
+//! [`crate::synth`] instead (billion-point files do not fit this host).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::vector::VectorSet;
+
+/// Errors raised by the vector-file codecs.
+#[derive(Debug)]
+pub enum VecsError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structural problem in the file (bad header, truncation, mixed dims).
+    Format(String),
+}
+
+impl std::fmt::Display for VecsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VecsError::Io(e) => write!(f, "io error: {e}"),
+            VecsError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VecsError {}
+
+impl From<io::Error> for VecsError {
+    fn from(e: io::Error) -> Self {
+        VecsError::Io(e)
+    }
+}
+
+fn read_dim_header(r: &mut impl Read) -> Result<Option<usize>, VecsError> {
+    let mut hdr = [0u8; 4];
+    match r.read_exact(&mut hdr) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let d = i32::from_le_bytes(hdr);
+    if d <= 0 {
+        return Err(VecsError::Format(format!("non-positive dimension header {d}")));
+    }
+    Ok(Some(d as usize))
+}
+
+/// Reads an `.fvecs` file (`f32` components). `limit` caps the number of
+/// vectors read (`None` reads all).
+pub fn read_fvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<VectorSet, VecsError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_fvecs_from(&mut r, limit)
+}
+
+/// Reads `.fvecs` data from any reader.
+pub fn read_fvecs_from(r: &mut impl Read, limit: Option<usize>) -> Result<VectorSet, VecsError> {
+    let mut out: Option<VectorSet> = None;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut count = 0usize;
+    while limit.map_or(true, |l| count < l) {
+        let Some(dim) = read_dim_header(r)? else { break };
+        buf.resize(dim * 4, 0);
+        r.read_exact(&mut buf)
+            .map_err(|_| VecsError::Format("truncated vector body".into()))?;
+        let vs = out.get_or_insert_with(|| VectorSet::new(dim));
+        if vs.dim() != dim {
+            return Err(VecsError::Format(format!(
+                "mixed dimensions: {} then {}",
+                vs.dim(),
+                dim
+            )));
+        }
+        let row: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        vs.push(&row);
+        count += 1;
+    }
+    out.ok_or_else(|| VecsError::Format("empty fvecs stream".into()))
+}
+
+/// Reads a `.bvecs` file (`u8` components, e.g. ANN_SIFT1B base vectors),
+/// widening to `f32`.
+pub fn read_bvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<VectorSet, VecsError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_bvecs_from(&mut r, limit)
+}
+
+/// Reads `.bvecs` data from any reader.
+pub fn read_bvecs_from(r: &mut impl Read, limit: Option<usize>) -> Result<VectorSet, VecsError> {
+    let mut out: Option<VectorSet> = None;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut count = 0usize;
+    while limit.map_or(true, |l| count < l) {
+        let Some(dim) = read_dim_header(r)? else { break };
+        buf.resize(dim, 0);
+        r.read_exact(&mut buf)
+            .map_err(|_| VecsError::Format("truncated vector body".into()))?;
+        let vs = out.get_or_insert_with(|| VectorSet::new(dim));
+        if vs.dim() != dim {
+            return Err(VecsError::Format(format!(
+                "mixed dimensions: {} then {}",
+                vs.dim(),
+                dim
+            )));
+        }
+        let row: Vec<f32> = buf.iter().map(|&b| b as f32).collect();
+        vs.push(&row);
+        count += 1;
+    }
+    out.ok_or_else(|| VecsError::Format("empty bvecs stream".into()))
+}
+
+/// Reads an `.ivecs` file — the TEXMEX ground-truth format: each record is
+/// the list of true neighbour ids for one query.
+pub fn read_ivecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Vec<Vec<u32>>, VecsError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_ivecs_from(&mut r, limit)
+}
+
+/// Reads `.ivecs` data from any reader.
+pub fn read_ivecs_from(
+    r: &mut impl Read,
+    limit: Option<usize>,
+) -> Result<Vec<Vec<u32>>, VecsError> {
+    let mut out = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    while limit.map_or(true, |l| out.len() < l) {
+        let Some(dim) = read_dim_header(r)? else { break };
+        buf.resize(dim * 4, 0);
+        r.read_exact(&mut buf)
+            .map_err(|_| VecsError::Format("truncated record body".into()))?;
+        let row: Vec<u32> = buf
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u32)
+            .collect();
+        out.push(row);
+    }
+    if out.is_empty() {
+        return Err(VecsError::Format("empty ivecs stream".into()));
+    }
+    Ok(out)
+}
+
+/// Writes a [`VectorSet`] in `.fvecs` format.
+pub fn write_fvecs(path: impl AsRef<Path>, vs: &VectorSet) -> Result<(), VecsError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_fvecs_to(&mut w, vs)
+}
+
+/// Writes `.fvecs` data to any writer.
+pub fn write_fvecs_to(w: &mut impl Write, vs: &VectorSet) -> Result<(), VecsError> {
+    let dim = vs.dim() as i32;
+    for row in vs.iter() {
+        w.write_all(&dim.to_le_bytes())?;
+        for &x in row {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes ground-truth id lists in `.ivecs` format.
+pub fn write_ivecs_to(w: &mut impl Write, rows: &[Vec<u32>]) -> Result<(), VecsError> {
+    for row in rows {
+        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        for &id in row {
+            w.write_all(&(id as i32).to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn fvecs_round_trip() {
+        let vs = VectorSet::from_flat(3, vec![1.0, 2.0, 3.0, -4.5, 0.0, 7.25]);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &vs).unwrap();
+        let back = read_fvecs_from(&mut Cursor::new(buf), None).unwrap();
+        assert_eq!(back, vs);
+    }
+
+    #[test]
+    fn fvecs_limit_caps_rows() {
+        let vs = VectorSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &vs).unwrap();
+        let back = read_fvecs_from(&mut Cursor::new(buf), Some(2)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn ivecs_round_trip() {
+        let rows = vec![vec![1u32, 2, 3], vec![9, 8, 7]];
+        let mut buf = Vec::new();
+        write_ivecs_to(&mut buf, &rows).unwrap();
+        let back = read_ivecs_from(&mut Cursor::new(buf), None).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn bvecs_widen_to_f32() {
+        // hand-build a bvecs stream: dim=2, bytes [5, 250]
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2i32.to_le_bytes());
+        buf.extend_from_slice(&[5u8, 250u8]);
+        let back = read_bvecs_from(&mut Cursor::new(buf), None).unwrap();
+        assert_eq!(back.get(0), &[5.0, 250.0]);
+    }
+
+    #[test]
+    fn truncated_body_is_format_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3i32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes()); // only 1 of 3 floats
+        let err = read_fvecs_from(&mut Cursor::new(buf), None).unwrap_err();
+        assert!(matches!(err, VecsError::Format(_)));
+    }
+
+    #[test]
+    fn negative_dim_is_format_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(-1i32).to_le_bytes());
+        let err = read_fvecs_from(&mut Cursor::new(buf), None).unwrap_err();
+        assert!(matches!(err, VecsError::Format(_)));
+    }
+
+    #[test]
+    fn mixed_dims_is_format_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1i32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        buf.extend_from_slice(&2i32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        buf.extend_from_slice(&2.0f32.to_le_bytes());
+        let err = read_fvecs_from(&mut Cursor::new(buf), None).unwrap_err();
+        assert!(matches!(err, VecsError::Format(_)));
+    }
+
+    #[test]
+    fn empty_stream_is_error() {
+        let err = read_fvecs_from(&mut Cursor::new(Vec::new()), None).unwrap_err();
+        assert!(matches!(err, VecsError::Format(_)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fastann_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fvecs");
+        let vs = VectorSet::from_flat(4, (0..16).map(|i| i as f32).collect());
+        write_fvecs(&path, &vs).unwrap();
+        let back = read_fvecs(&path, None).unwrap();
+        assert_eq!(back, vs);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,234 @@
+//! Distance metrics over dense `f32` vectors.
+//!
+//! The paper operates in general metric spaces (the VP tree is
+//! metric-agnostic) and evaluates with the L2 norm. [`Distance`] is a small
+//! enum dispatched with `match` — cheap, `Copy`, and trivially sendable
+//! across the simulated cluster, unlike a boxed trait object.
+//!
+//! The kernels are written as chunked scalar loops that LLVM reliably
+//! auto-vectorises in release builds; this is the portable equivalent of the
+//! SIMD-optimised bucket scans in PANDA.
+
+/// A distance (or dissimilarity) function between two equal-length vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// Euclidean distance (the paper's evaluation metric).
+    L2,
+    /// Squared Euclidean distance. Not a metric (triangle inequality fails)
+    /// but order-equivalent to [`Distance::L2`]; useful for pure ranking.
+    SquaredL2,
+    /// Manhattan distance.
+    L1,
+    /// Chebyshev / L-infinity distance.
+    Chebyshev,
+    /// Cosine *distance*, `1 - cos(a, b)`. A dissimilarity, not a metric;
+    /// accepted by the graph indexes but rejected by the metric trees.
+    Cosine,
+    /// Negative inner product, `-<a, b>`. Dissimilarity for MIPS workloads.
+    NegativeDot,
+}
+
+impl Distance {
+    /// Evaluates the distance between `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics (debug assertion) if the slices have different lengths.
+    #[inline]
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "distance between different dimensions");
+        match self {
+            Distance::L2 => squared_l2(a, b).sqrt(),
+            Distance::SquaredL2 => squared_l2(a, b),
+            Distance::L1 => l1(a, b),
+            Distance::Chebyshev => chebyshev(a, b),
+            Distance::Cosine => cosine(a, b),
+            Distance::NegativeDot => -dot(a, b),
+        }
+    }
+
+    /// `true` when the function satisfies the metric axioms (identity,
+    /// symmetry, triangle inequality) required by VP- and KD-tree pruning.
+    pub fn is_metric(self) -> bool {
+        matches!(self, Distance::L2 | Distance::L1 | Distance::Chebyshev)
+    }
+
+    /// Human-readable name, used in reports and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distance::L2 => "L2",
+            Distance::SquaredL2 => "squared-L2",
+            Distance::L1 => "L1",
+            Distance::Chebyshev => "Linf",
+            Distance::Cosine => "cosine",
+            Distance::NegativeDot => "neg-dot",
+        }
+    }
+}
+
+/// Squared Euclidean distance, 4-way unrolled for auto-vectorisation.
+#[inline]
+pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (ac, bc) = (&a[..n], &b[..n]);
+    let mut s0 = 0.0f32;
+    let mut s1 = 0.0f32;
+    let mut s2 = 0.0f32;
+    let mut s3 = 0.0f32;
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = ac[j] - bc[j];
+        let d1 = ac[j + 1] - bc[j + 1];
+        let d2 = ac[j + 2] - bc[j + 2];
+        let d3 = ac[j + 3] - bc[j + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut rest = 0.0f32;
+    for j in chunks * 4..n {
+        let d = ac[j] - bc[j];
+        rest += d * d;
+    }
+    s0 + s1 + s2 + s3 + rest
+}
+
+/// Manhattan distance.
+#[inline]
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev distance.
+#[inline]
+pub fn chebyshev(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Dot product, 4-way unrolled.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (ac, bc) = (&a[..n], &b[..n]);
+    let mut s0 = 0.0f32;
+    let mut s1 = 0.0f32;
+    let mut s2 = 0.0f32;
+    let mut s3 = 0.0f32;
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += ac[j] * bc[j];
+        s1 += ac[j + 1] * bc[j + 1];
+        s2 += ac[j + 2] * bc[j + 2];
+        s3 += ac[j + 3] * bc[j + 3];
+    }
+    let mut rest = 0.0f32;
+    for j in chunks * 4..n {
+        rest += ac[j] * bc[j];
+    }
+    s0 + s1 + s2 + s3 + rest
+}
+
+/// Cosine distance, `1 - a·b / (|a||b|)`; 0 for zero vectors.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let ab = dot(a, b);
+    let aa = dot(a, a);
+    let bb = dot(b, b);
+    if aa == 0.0 || bb == 0.0 {
+        return 0.0;
+    }
+    1.0 - ab / (aa.sqrt() * bb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f32; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+    const B: [f32; 5] = [5.0, 4.0, 3.0, 2.0, 1.0];
+
+    #[test]
+    fn l2_matches_manual() {
+        // diffs: -4,-2,0,2,4 -> squares 16+4+0+4+16 = 40
+        assert!((Distance::SquaredL2.eval(&A, &B) - 40.0).abs() < 1e-6);
+        assert!((Distance::L2.eval(&A, &B) - 40.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_and_chebyshev() {
+        assert!((Distance::L1.eval(&A, &B) - 12.0).abs() < 1e-6);
+        assert!((Distance::Chebyshev.eval(&A, &B) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        // a·b = 5+8+9+8+5 = 35
+        assert!((dot(&A, &B) - 35.0).abs() < 1e-6);
+        assert!((Distance::NegativeDot.eval(&A, &B) + 35.0).abs() < 1e-6);
+        // cosine of identical vectors is 0 distance
+        assert!(Distance::Cosine.eval(&A, &A).abs() < 1e-6);
+        // orthogonal vectors -> distance 1
+        let x = [1.0, 0.0];
+        let y = [0.0, 1.0];
+        assert!((Distance::Cosine.eval(&x, &y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let z = [0.0, 0.0];
+        assert_eq!(Distance::Cosine.eval(&z, &A[..2]), 0.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for d in [Distance::L2, Distance::SquaredL2, Distance::L1, Distance::Chebyshev] {
+            assert_eq!(d.eval(&A, &A), 0.0, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for d in [Distance::L2, Distance::L1, Distance::Chebyshev, Distance::Cosine] {
+            assert!((d.eval(&A, &B) - d.eval(&B, &A)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn metric_flags() {
+        assert!(Distance::L2.is_metric());
+        assert!(Distance::L1.is_metric());
+        assert!(Distance::Chebyshev.is_metric());
+        assert!(!Distance::SquaredL2.is_metric());
+        assert!(!Distance::Cosine.is_metric());
+        assert!(!Distance::NegativeDot.is_metric());
+    }
+
+    #[test]
+    fn unrolled_kernels_handle_non_multiple_of_four() {
+        // length 7 exercises the remainder loop
+        let a: Vec<f32> = (0..7).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..7).map(|i| (i * 2) as f32).collect();
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((squared_l2(&a, &b) - expect).abs() < 1e-5);
+        let expect_dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - expect_dot).abs() < 1e-4);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            Distance::L2,
+            Distance::SquaredL2,
+            Distance::L1,
+            Distance::Chebyshev,
+            Distance::Cosine,
+            Distance::NegativeDot,
+        ];
+        let mut names: Vec<_> = all.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

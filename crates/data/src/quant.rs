@@ -1,0 +1,178 @@
+//! Scalar quantization (SQ8): the simplest member of the compressed-index
+//! family the paper contrasts itself against.
+//!
+//! Section V-F argues that compression-based billion-scale indexes
+//! "cannot achieve near perfect recalls" — quantization error puts a
+//! ceiling on recall that no amount of extra search effort removes, while
+//! the paper's uncompressed distributed index reaches recall ≈ 1 by raising
+//! M. [`Sq8`] lets the benchmark suite demonstrate that plateau: vectors
+//! are compressed 4× (f32 → u8 per dimension, per-dimension affine grid)
+//! and searched exhaustively in the quantized domain.
+
+use crate::metric::Distance;
+use crate::topk::{Neighbor, TopK};
+use crate::vector::VectorSet;
+
+/// An SQ8-compressed vector set: one byte per dimension, per-dimension
+/// affine dequantization `x ≈ lo + code * (hi - lo) / 255`.
+#[derive(Clone, Debug)]
+pub struct Sq8 {
+    dim: usize,
+    lo: Vec<f32>,
+    step: Vec<f32>,
+    codes: Vec<u8>,
+    n: usize,
+}
+
+impl Sq8 {
+    /// Quantizes `data` (trains the per-dimension grid on the data itself).
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn encode(data: &VectorSet) -> Sq8 {
+        assert!(!data.is_empty(), "cannot quantize an empty set");
+        let dim = data.dim();
+        let (lo, hi) = data.bounds().expect("non-empty");
+        let step: Vec<f32> =
+            lo.iter().zip(&hi).map(|(&l, &h)| ((h - l) / 255.0).max(f32::MIN_POSITIVE)).collect();
+        let mut codes = Vec::with_capacity(data.len() * dim);
+        for row in data.iter() {
+            for d in 0..dim {
+                let c = ((row[d] - lo[d]) / step[d]).round().clamp(0.0, 255.0);
+                codes.push(c as u8);
+            }
+        }
+        Sq8 { dim, lo, step, codes, n: data.len() }
+    }
+
+    /// Number of compressed vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when empty (never after `encode`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Compressed bytes (codes only; the grid adds `2 × dim × 4`).
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Dequantizes row `i` (for inspection/testing).
+    pub fn decode(&self, i: usize) -> Vec<f32> {
+        let s = i * self.dim;
+        self.codes[s..s + self.dim]
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| self.lo[d] + c as f32 * self.step[d])
+            .collect()
+    }
+
+    /// Exhaustive k-NN in the quantized domain: the query is quantized to
+    /// the same grid and distances computed between dequantized values.
+    /// This is where the recall ceiling comes from — true neighbours whose
+    /// distance gap is below the quantization error get misranked, no
+    /// matter how hard you search.
+    pub fn knn(&self, q: &[f32], k: usize, dist: Distance) -> Vec<Neighbor> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        // dequantized query (same information loss the stored vectors had)
+        let qq: Vec<f32> = q
+            .iter()
+            .enumerate()
+            .map(|(d, &x)| {
+                let c = ((x - self.lo[d]) / self.step[d]).round().clamp(0.0, 255.0);
+                self.lo[d] + c * self.step[d]
+            })
+            .collect();
+        let mut top = TopK::new(k);
+        let mut row = vec![0f32; self.dim];
+        for i in 0..self.n {
+            let s = i * self.dim;
+            for (d, r) in row.iter_mut().enumerate() {
+                *r = self.lo[d] + self.codes[s + d] as f32 * self.step[d];
+            }
+            top.push(Neighbor::new(i as u32, dist.eval(&qq, &row)));
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth;
+    use crate::synth;
+
+    #[test]
+    fn decode_error_bounded_by_step() {
+        let data = synth::sift_like(200, 8, 1);
+        let sq = Sq8::encode(&data);
+        for i in (0..200).step_by(37) {
+            let orig = data.get(i);
+            let dec = sq.decode(i);
+            for d in 0..8 {
+                assert!(
+                    (orig[d] - dec[d]).abs() <= sq.step[d] * 0.51,
+                    "dim {d}: {} vs {}",
+                    orig[d],
+                    dec[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compression_is_4x() {
+        let data = synth::sift_like(100, 32, 2);
+        let sq = Sq8::encode(&data);
+        assert_eq!(sq.code_bytes(), 100 * 32);
+        assert_eq!(sq.code_bytes() * 4, data.as_flat().len() * 4);
+    }
+
+    #[test]
+    fn quantized_search_is_good_but_not_perfect() {
+        // SIFT-like data has byte-range values, so SQ8 is nearly lossless
+        // there; use fine-grained unit-norm data where quantization bites.
+        let data = synth::deep_like(3000, 24, 3);
+        let queries = synth::queries_near(&data, 40, 0.01, 4);
+        let sq = Sq8::encode(&data);
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let approx: Vec<_> =
+            (0..queries.len()).map(|i| sq.knn(queries.get(i), 10, Distance::L2)).collect();
+        let recall = ground_truth::recall_at_k(&approx, &gt, 10);
+        assert!(recall.mean > 0.6, "SQ8 recall collapsed: {}", recall.mean);
+        assert!(
+            recall.mean < 1.0,
+            "quantization should cost at least a little recall on dense data"
+        );
+    }
+
+    #[test]
+    fn exact_grid_points_round_trip() {
+        // data already on the grid -> lossless
+        let mut data = VectorSet::new(2);
+        data.push(&[0.0, 0.0]);
+        data.push(&[255.0, 255.0]);
+        data.push(&[128.0, 64.0]);
+        let sq = Sq8::encode(&data);
+        for i in 0..3 {
+            let dec = sq.decode(i);
+            for d in 0..2 {
+                assert!((dec[d] - data.get(i)[d]).abs() < 0.51);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_encode_panics() {
+        let _ = Sq8::encode(&VectorSet::new(4));
+    }
+}

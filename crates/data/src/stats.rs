@@ -1,0 +1,177 @@
+//! Dataset diagnostics: the quantities that predict how hard a dataset is
+//! to index and search.
+//!
+//! The paper's thesis is that *dimensionality* governs which index wins —
+//! but what matters is the data's **intrinsic** dimensionality, not the
+//! ambient one (a 960-dimensional GIST descriptor living near a
+//! low-dimensional manifold is easy; uniform noise in 32 dimensions is
+//! brutal). These estimators quantify that, and are used in the docs and
+//! tests to sanity-check the synthetic generators against their real
+//! counterparts' character.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metric::Distance;
+use crate::topk::TopK;
+use crate::vector::VectorSet;
+
+/// Summary statistics of a dataset sample.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetStats {
+    /// Ambient dimensionality.
+    pub dim: usize,
+    /// Points examined (sampled).
+    pub sample: usize,
+    /// Mean distance to the nearest neighbour in the sample.
+    pub mean_nn: f64,
+    /// Mean distance between random pairs.
+    pub mean_pair: f64,
+    /// `mean_nn / mean_pair` — contrast ratio; near 1 means neighbours are
+    /// no closer than random points (the curse of dimensionality in full
+    /// force), near 0 means strong cluster structure.
+    pub contrast: f64,
+    /// Two-NN intrinsic-dimension estimate (Facco et al. 2017): the MLE of
+    /// dimension from the ratio of 2nd to 1st neighbour distances.
+    pub intrinsic_dim: f64,
+}
+
+/// Computes [`DatasetStats`] over a deterministic sample of up to
+/// `max_sample` points.
+///
+/// # Panics
+/// Panics if the dataset has fewer than 3 points.
+pub fn dataset_stats(
+    data: &VectorSet,
+    dist: Distance,
+    max_sample: usize,
+    seed: u64,
+) -> DatasetStats {
+    assert!(data.len() >= 3, "need at least 3 points");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = data.len();
+    let sample: Vec<usize> = if n <= max_sample {
+        (0..n).collect()
+    } else {
+        (0..max_sample).map(|_| rng.gen_range(0..n)).collect()
+    };
+
+    let mut sum_nn = 0f64;
+    let mut sum_ratio_ln = 0f64;
+    let mut ratio_count = 0usize;
+    for &i in &sample {
+        // exact 2-NN of point i within the whole dataset
+        let mut top = TopK::new(2);
+        let qi = data.get(i);
+        for (j, row) in data.iter().enumerate() {
+            if j != i {
+                top.push(crate::topk::Neighbor::new(j as u32, dist.eval(qi, row)));
+            }
+        }
+        let nn = top.into_sorted();
+        let r1 = nn[0].dist as f64;
+        let r2 = nn[1].dist as f64;
+        sum_nn += r1;
+        if r1 > 0.0 && r2 > r1 {
+            sum_ratio_ln += (r2 / r1).ln();
+            ratio_count += 1;
+        }
+    }
+    let mean_nn = sum_nn / sample.len() as f64;
+
+    let mut sum_pair = 0f64;
+    let pairs = sample.len().max(2);
+    for _ in 0..pairs {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        sum_pair += dist.eval(data.get(a), data.get(b)) as f64;
+    }
+    let mean_pair = sum_pair / pairs as f64;
+
+    // Facco et al.: d ≈ N / Σ ln(r2/r1)
+    let intrinsic_dim = if ratio_count > 0 && sum_ratio_ln > 0.0 {
+        ratio_count as f64 / sum_ratio_ln
+    } else {
+        0.0
+    };
+
+    DatasetStats {
+        dim: data.dim(),
+        sample: sample.len(),
+        mean_nn,
+        mean_pair,
+        contrast: if mean_pair > 0.0 { mean_nn / mean_pair } else { 1.0 },
+        intrinsic_dim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn uniform_noise_has_high_intrinsic_dim_and_contrast() {
+        // i.i.d. uniform points: intrinsic dim ≈ ambient dim, neighbours
+        // barely closer than random pairs
+        let mut rng = SmallRng::seed_from_u64(1);
+        let dim = 12;
+        let mut data = VectorSet::new(dim);
+        let mut row = vec![0f32; dim];
+        for _ in 0..1500 {
+            for x in row.iter_mut() {
+                *x = rng.gen();
+            }
+            data.push(&row);
+        }
+        let s = dataset_stats(&data, Distance::L2, 200, 2);
+        assert!(s.intrinsic_dim > dim as f64 * 0.5, "intrinsic {}", s.intrinsic_dim);
+        assert!(s.contrast > 0.4, "contrast {}", s.contrast);
+    }
+
+    #[test]
+    fn low_dim_manifold_detected_in_high_ambient_dim() {
+        // points on a 2-d plane embedded in 64 dimensions
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut data = VectorSet::new(64);
+        let mut row = vec![0f32; 64];
+        for _ in 0..1500 {
+            let (u, v): (f32, f32) = (rng.gen(), rng.gen());
+            for (d, x) in row.iter_mut().enumerate() {
+                *x = u * (d as f32 * 0.1).sin() + v * (d as f32 * 0.1).cos();
+            }
+            data.push(&row);
+        }
+        let s = dataset_stats(&data, Distance::L2, 200, 4);
+        assert!(
+            s.intrinsic_dim < 8.0,
+            "2-d manifold should have low intrinsic dim, got {}",
+            s.intrinsic_dim
+        );
+        assert_eq!(s.dim, 64);
+    }
+
+    #[test]
+    fn clustered_data_has_low_contrast() {
+        let clustered = synth::sift_like(1500, 24, 5);
+        let s = dataset_stats(&clustered, Distance::L2, 200, 6);
+        assert!(s.contrast < 0.7, "clustered contrast {}", s.contrast);
+        assert!(s.mean_nn < s.mean_pair);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = synth::sift_like(500, 8, 7);
+        let a = dataset_stats(&data, Distance::L2, 100, 8);
+        let b = dataset_stats(&data, Distance::L2, 100, 8);
+        assert_eq!(a.mean_nn, b.mean_nn);
+        assert_eq!(a.intrinsic_dim, b.intrinsic_dim);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_dataset_panics() {
+        let data = VectorSet::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]);
+        let _ = dataset_stats(&data, Distance::L2, 10, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Image-descriptor-shaped synthetic generators.
+//!
+//! Stand-ins for the real corpora in the paper's Table I (substitution
+//! documented in DESIGN.md): each preserves the dimensionality, value range
+//! and coarse cluster structure of the original descriptors, which is what
+//! the VP-tree partitioning quality, HNSW search cost and routing fan-out
+//! depend on. All are deterministic given the seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{fill_normal, normal};
+use crate::vector::VectorSet;
+
+/// SIFT-descriptor-like vectors (stands in for ANN_SIFT1B): non-negative,
+/// byte-range values with heavy cluster structure. Real SIFT descriptors are
+/// 128-dimensional gradient histograms stored as `u8`; we model them as a
+/// mixture of Gaussians clipped to `[0, 255]` and rounded to integers, which
+/// reproduces their discrete byte grid.
+pub fn sift_like(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_clusters = 64.min(n.max(1));
+    // Cluster centres: exponential-ish histogram profile typical of SIFT.
+    let mut centers = Vec::with_capacity(n_clusters);
+    for _ in 0..n_clusters {
+        let mut c = vec![0f32; dim];
+        for x in c.iter_mut() {
+            let mag: f32 = rng.gen::<f32>();
+            *x = 255.0 * mag * mag; // skew towards small bin values
+        }
+        centers.push(c);
+    }
+    let mut out = VectorSet::with_capacity(dim, n);
+    let mut row = vec![0f32; dim];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..n_clusters)];
+        for (d, x) in row.iter_mut().enumerate() {
+            let v = c[d] + 25.0 * normal(&mut rng);
+            *x = v.clamp(0.0, 255.0).round();
+        }
+        out.push(&row);
+    }
+    out
+}
+
+/// CNN-descriptor-like vectors (stands in for DEEP1B): dense Gaussian
+/// mixture, unit L2-normalised, the form produced by the GoogLeNet features
+/// DEEP1B was extracted from.
+pub fn deep_like(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdeec);
+    let n_clusters = 32.min(n.max(1));
+    let mut centers = Vec::with_capacity(n_clusters);
+    for _ in 0..n_clusters {
+        let mut c = vec![0f32; dim];
+        fill_normal(&mut rng, &mut c, 0.0, 1.0);
+        centers.push(c);
+    }
+    let mut out = VectorSet::with_capacity(dim, n);
+    let mut row = vec![0f32; dim];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..n_clusters)];
+        for (d, x) in row.iter_mut().enumerate() {
+            *x = c[d] + 0.35 * normal(&mut rng);
+        }
+        out.push(&row);
+    }
+    out.normalize_l2();
+    out
+}
+
+/// GIST-descriptor-like vectors (stands in for ANN_GIST1M): very high
+/// dimensional, values in `[0, 1]`, strong inter-dimension correlation
+/// (neighbouring GIST cells are correlated). Modelled as a smoothed Gaussian
+/// field around cluster centres, clipped to the unit interval.
+pub fn gist_like(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x915);
+    let n_clusters = 16.min(n.max(1));
+    let mut centers = Vec::with_capacity(n_clusters);
+    for _ in 0..n_clusters {
+        let mut c = vec![0f32; dim];
+        // random walk -> correlated neighbouring dimensions
+        let mut level: f32 = rng.gen_range(0.2..0.8);
+        for x in c.iter_mut() {
+            level = (level + 0.08 * normal(&mut rng)).clamp(0.05, 0.95);
+            *x = level;
+        }
+        centers.push(c);
+    }
+    let mut out = VectorSet::with_capacity(dim, n);
+    let mut row = vec![0f32; dim];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..n_clusters)];
+        let mut drift = 0f32;
+        for (d, x) in row.iter_mut().enumerate() {
+            drift = 0.7 * drift + 0.03 * normal(&mut rng);
+            *x = (c[d] + drift + 0.02 * normal(&mut rng)).clamp(0.0, 1.0);
+        }
+        out.push(&row);
+    }
+    out
+}
+
+/// Draws `n` query vectors near rows of `data`: each query is a perturbed
+/// copy of a random data row. `noise` is the perturbation std relative to
+/// the per-dimension data spread. This matches how the TEXMEX query sets
+/// relate to their base sets (held-out descriptors from the same source).
+pub fn queries_near(data: &VectorSet, n: usize, noise: f32, seed: u64) -> VectorSet {
+    assert!(!data.is_empty(), "cannot draw queries from an empty dataset");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9d5);
+    let dim = data.dim();
+    let (lo, hi) = data.bounds().expect("non-empty");
+    let mut out = VectorSet::with_capacity(dim, n);
+    let mut row = vec![0f32; dim];
+    for _ in 0..n {
+        let base = data.get(rng.gen_range(0..data.len()));
+        for (d, x) in row.iter_mut().enumerate() {
+            let spread = (hi[d] - lo[d]).max(1e-6);
+            *x = base[d] + noise * spread * normal(&mut rng);
+        }
+        out.push(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sift_like_in_byte_range_and_integral() {
+        let v = sift_like(500, 32, 1);
+        assert_eq!(v.len(), 500);
+        assert_eq!(v.dim(), 32);
+        for row in v.iter() {
+            for &x in row {
+                assert!((0.0..=255.0).contains(&x));
+                assert_eq!(x, x.round(), "sift values are integral bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_like_is_unit_norm() {
+        let v = deep_like(200, 24, 2);
+        for row in v.iter() {
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn gist_like_in_unit_interval() {
+        let v = gist_like(100, 96, 3);
+        for row in v.iter() {
+            for &x in row {
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn gist_like_neighbouring_dims_correlate() {
+        // correlation between adjacent dimensions should be clearly positive
+        let v = gist_like(2000, 64, 4);
+        let mut num = 0f64;
+        let mut den_a = 0f64;
+        let mut den_b = 0f64;
+        let (mut ma, mut mb) = (0f64, 0f64);
+        let mut cnt = 0f64;
+        for row in v.iter() {
+            for d in 0..63 {
+                ma += row[d] as f64;
+                mb += row[d + 1] as f64;
+                cnt += 1.0;
+            }
+        }
+        ma /= cnt;
+        mb /= cnt;
+        for row in v.iter() {
+            for d in 0..63 {
+                let a = row[d] as f64 - ma;
+                let b = row[d + 1] as f64 - mb;
+                num += a * b;
+                den_a += a * a;
+                den_b += b * b;
+            }
+        }
+        let corr = num / (den_a.sqrt() * den_b.sqrt());
+        assert!(corr > 0.5, "adjacent-dim correlation too low: {corr}");
+    }
+
+    #[test]
+    fn queries_near_have_close_neighbours() {
+        use crate::metric::Distance;
+        let data = sift_like(300, 16, 9);
+        let q = queries_near(&data, 20, 0.01, 10);
+        assert_eq!(q.len(), 20);
+        // each query should have at least one data point much closer than
+        // the typical inter-point distance
+        let typical = Distance::L2.eval(data.get(0), data.get(1));
+        for qi in q.iter() {
+            let best = data
+                .iter()
+                .map(|p| Distance::L2.eval(qi, p))
+                .fold(f32::INFINITY, f32::min);
+            assert!(best < typical, "query not near data: {best} vs {typical}");
+        }
+    }
+
+    #[test]
+    fn clustered_structure_present() {
+        // points should be closer to some others than a uniform cloud would be
+        use crate::metric::Distance;
+        let v = deep_like(400, 32, 5);
+        let mut nn = 0f64;
+        for i in 0..50 {
+            let best = (0..400)
+                .filter(|&j| j != i)
+                .map(|j| Distance::L2.eval(v.get(i), v.get(j)))
+                .fold(f32::INFINITY, f32::min);
+            nn += best as f64;
+        }
+        // unit-norm vectors: random pairs are ~sqrt(2) apart; clustered NN far less
+        assert!(nn / 50.0 < 1.0, "no cluster structure: mean nn {}", nn / 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn queries_from_empty_panics() {
+        let _ = queries_near(&VectorSet::new(4), 1, 0.1, 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! MDCGen-style multidimensional cluster generator.
+//!
+//! Re-implements the generator used for the paper's SYN_1M and SYN_10M
+//! datasets (Iglesias, Zseby, Ferreira, Zimek — "MDCGen: Multidimensional
+//! Dataset Generator for Clustering", Journal of Classification 2019) to the
+//! extent the paper exercises it: `k` clusters placed uniformly in a unit
+//! hyper-box, per-cluster Gaussian or uniform spreads, a configurable number
+//! of outliers drawn uniformly from the whole domain, and query sets drawn
+//! from a single cluster with a *compactness factor* (the paper uses 0.01).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{fill_normal, fill_uniform};
+use crate::vector::VectorSet;
+
+/// Intra-cluster point distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Spread {
+    /// Isotropic Gaussian around the cluster centre.
+    Gaussian,
+    /// Uniform in a hyper-box around the cluster centre.
+    Uniform,
+    /// Alternate Gaussian / uniform per cluster — the paper's SYN datasets
+    /// "use Gaussian and uniform distributions to generate points in 10
+    /// clusters".
+    Mixed,
+}
+
+/// Configuration for [`generate`]. Defaults mirror the paper's SYN setup:
+/// 10 clusters, mixed spreads, compactness 0.1 of the domain per cluster.
+#[derive(Clone, Debug)]
+pub struct MdcConfig {
+    /// Total number of clustered points (outliers are additional).
+    pub n_points: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of clusters.
+    pub n_clusters: usize,
+    /// Number of outliers, uniform over the whole `[0,1]^dim` domain.
+    /// The paper sets 5000 for SYN_1M and 50000 for SYN_10M.
+    pub n_outliers: usize,
+    /// Cluster scale as a fraction of the domain side (std for Gaussian,
+    /// half-width for uniform).
+    pub compactness: f32,
+    /// Intra-cluster distribution.
+    pub spread: Spread,
+    /// RNG seed; generation is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for MdcConfig {
+    fn default() -> Self {
+        Self {
+            n_points: 10_000,
+            dim: 32,
+            n_clusters: 10,
+            n_outliers: 0,
+            compactness: 0.1,
+            spread: Spread::Mixed,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated dataset: points (clustered then outliers), per-point labels
+/// (`-1` for outliers), and the cluster centres.
+#[derive(Clone, Debug)]
+pub struct MdcDataset {
+    /// All generated points; rows `0..n_points` are clustered, the rest are
+    /// outliers.
+    pub points: VectorSet,
+    /// Cluster label per row; `-1` marks an outlier.
+    pub labels: Vec<i32>,
+    /// Centre of each cluster.
+    pub centers: VectorSet,
+    /// The configuration that produced this dataset.
+    pub config: MdcConfig,
+}
+
+impl MdcDataset {
+    /// Draws a query set from a single cluster with the given compactness
+    /// factor, the way the paper generates its SYN query workloads
+    /// ("uniform distribution in a single cluster with a compactness factor
+    /// of 0.01").
+    pub fn queries_from_cluster(&self, n: usize, cluster: usize, compactness: f32, seed: u64) -> VectorSet {
+        assert!(cluster < self.centers.len(), "cluster index out of range");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let dim = self.points.dim();
+        let center = self.centers.get(cluster);
+        let half = compactness;
+        let mut out = VectorSet::with_capacity(dim, n);
+        let mut row = vec![0f32; dim];
+        for _ in 0..n {
+            for (d, x) in row.iter_mut().enumerate() {
+                *x = center[d] + rng.gen_range(-half..half);
+            }
+            out.push(&row);
+        }
+        out
+    }
+
+    /// Convenience: queries spread over *all* clusters (round-robin), for
+    /// workloads without the single-cluster skew.
+    pub fn queries_all_clusters(&self, n: usize, compactness: f32, seed: u64) -> VectorSet {
+        let dim = self.points.dim();
+        let mut out = VectorSet::with_capacity(dim, n);
+        let k = self.centers.len();
+        for i in 0..n {
+            let q = self.queries_from_cluster(1, i % k, compactness, seed.wrapping_add(i as u64));
+            out.push(q.get(0));
+        }
+        out
+    }
+}
+
+/// Generates a clustered dataset per `cfg`. Cluster sizes are near-equal
+/// (the first `n_points % n_clusters` clusters get one extra point).
+///
+/// # Panics
+/// Panics if `n_clusters == 0` or `dim == 0`.
+pub fn generate(cfg: &MdcConfig) -> MdcDataset {
+    assert!(cfg.n_clusters > 0, "need at least one cluster");
+    assert!(cfg.dim > 0, "dimension must be positive");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let dim = cfg.dim;
+
+    // Cluster centres: uniform in the inner 80% of the domain so clusters
+    // do not straddle the boundary.
+    let mut centers = VectorSet::with_capacity(dim, cfg.n_clusters);
+    let mut row = vec![0f32; dim];
+    for _ in 0..cfg.n_clusters {
+        fill_uniform(&mut rng, &mut row, 0.1, 0.9);
+        centers.push(&row);
+    }
+
+    let total = cfg.n_points + cfg.n_outliers;
+    let mut points = VectorSet::with_capacity(dim, total);
+    let mut labels = Vec::with_capacity(total);
+
+    let base = cfg.n_points / cfg.n_clusters;
+    let extra = cfg.n_points % cfg.n_clusters;
+    for c in 0..cfg.n_clusters {
+        let sz = base + usize::from(c < extra);
+        let spread = match cfg.spread {
+            Spread::Gaussian => Spread::Gaussian,
+            Spread::Uniform => Spread::Uniform,
+            Spread::Mixed => {
+                if c % 2 == 0 {
+                    Spread::Gaussian
+                } else {
+                    Spread::Uniform
+                }
+            }
+        };
+        let center = centers.get(c).to_vec();
+        for _ in 0..sz {
+            match spread {
+                Spread::Gaussian => fill_normal(&mut rng, &mut row, 0.0, cfg.compactness),
+                Spread::Uniform => fill_uniform(&mut rng, &mut row, -cfg.compactness, cfg.compactness),
+                Spread::Mixed => unreachable!("resolved above"),
+            }
+            for (d, x) in row.iter_mut().enumerate() {
+                *x += center[d];
+            }
+            points.push(&row);
+            labels.push(c as i32);
+        }
+    }
+
+    for _ in 0..cfg.n_outliers {
+        fill_uniform(&mut rng, &mut row, 0.0, 1.0);
+        points.push(&row);
+        labels.push(-1);
+    }
+
+    MdcDataset { points, labels, centers, config: cfg.clone() }
+}
+
+/// The paper's SYN_1M analogue at a configurable scale: `n` points in `dim`
+/// dimensions, 10 clusters, mixed spreads, 0.5% outliers.
+pub fn syn_like(n: usize, dim: usize, seed: u64) -> MdcDataset {
+    generate(&MdcConfig {
+        n_points: n,
+        dim,
+        n_clusters: 10,
+        n_outliers: n / 200,
+        compactness: 0.05,
+        spread: Spread::Mixed,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Distance;
+
+    #[test]
+    fn sizes_and_labels() {
+        let ds = generate(&MdcConfig {
+            n_points: 103,
+            dim: 8,
+            n_clusters: 10,
+            n_outliers: 7,
+            ..Default::default()
+        });
+        assert_eq!(ds.points.len(), 110);
+        assert_eq!(ds.labels.len(), 110);
+        assert_eq!(ds.centers.len(), 10);
+        assert_eq!(ds.labels.iter().filter(|&&l| l == -1).count(), 7);
+        // first cluster gets the extra 3 points: 11,11,11,10,...
+        assert_eq!(ds.labels.iter().filter(|&&l| l == 0).count(), 11);
+        assert_eq!(ds.labels.iter().filter(|&&l| l == 9).count(), 10);
+    }
+
+    #[test]
+    fn clustered_points_near_their_center() {
+        let ds = generate(&MdcConfig {
+            n_points: 500,
+            dim: 16,
+            n_clusters: 5,
+            compactness: 0.02,
+            spread: Spread::Gaussian,
+            seed: 11,
+            n_outliers: 0,
+        });
+        // every point should be far closer to its own centre than the domain diagonal
+        for (i, row) in ds.points.iter().enumerate() {
+            let c = ds.labels[i] as usize;
+            let d = Distance::L2.eval(row, ds.centers.get(c));
+            assert!(d < 0.02 * 6.0 * (16f32).sqrt(), "point {i} too far: {d}");
+        }
+    }
+
+    #[test]
+    fn uniform_spread_is_bounded() {
+        let ds = generate(&MdcConfig {
+            n_points: 300,
+            dim: 4,
+            n_clusters: 3,
+            compactness: 0.05,
+            spread: Spread::Uniform,
+            seed: 3,
+            n_outliers: 0,
+        });
+        for (i, row) in ds.points.iter().enumerate() {
+            let c = ds.labels[i] as usize;
+            let center = ds.centers.get(c);
+            for d in 0..4 {
+                assert!((row[d] - center[d]).abs() <= 0.05 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn outliers_span_domain() {
+        let ds = generate(&MdcConfig {
+            n_points: 10,
+            dim: 2,
+            n_clusters: 1,
+            n_outliers: 2000,
+            compactness: 0.01,
+            spread: Spread::Gaussian,
+            seed: 4,
+        });
+        let outliers: Vec<&[f32]> = ds
+            .points
+            .iter()
+            .zip(&ds.labels)
+            .filter(|(_, &l)| l == -1)
+            .map(|(p, _)| p)
+            .collect();
+        let min = outliers.iter().map(|p| p[0]).fold(f32::INFINITY, f32::min);
+        let max = outliers.iter().map(|p| p[0]).fold(f32::NEG_INFINITY, f32::max);
+        assert!(min < 0.1 && max > 0.9, "outliers do not span domain: {min}..{max}");
+    }
+
+    #[test]
+    fn queries_land_inside_cluster_box() {
+        let ds = syn_like(1000, 8, 21);
+        let q = ds.queries_from_cluster(50, 2, 0.01, 99);
+        assert_eq!(q.len(), 50);
+        let center = ds.centers.get(2);
+        for row in q.iter() {
+            for d in 0..8 {
+                assert!((row[d] - center[d]).abs() < 0.01 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_all_clusters_round_robin() {
+        let ds = syn_like(1000, 4, 2);
+        let q = ds.queries_all_clusters(20, 0.01, 5);
+        assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&MdcConfig { seed: 42, ..Default::default() });
+        let b = generate(&MdcConfig { seed: 42, ..Default::default() });
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clusters_panics() {
+        let _ = generate(&MdcConfig { n_clusters: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic]
+    fn query_bad_cluster_panics() {
+        let ds = syn_like(100, 4, 1);
+        let _ = ds.queries_from_cluster(1, 10, 0.01, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Streaming top-k selection of nearest neighbours.
+//!
+//! [`TopK`] is a bounded max-heap keyed on distance: it retains the `k`
+//! smallest-distance [`Neighbor`]s seen so far and exposes the current worst
+//! (k-th) distance for search pruning. This is the container every search
+//! routine in the workspace funnels candidates through, and the unit the
+//! distributed engine merges across partitions.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One search result: a dataset row id and its distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Row id in the dataset the search ran over.
+    pub id: u32,
+    /// Distance from the query to that row.
+    pub dist: f32,
+}
+
+impl Neighbor {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(id: u32, dist: f32) -> Self {
+        Self { id, dist }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    /// Total order by distance (via `f32::total_cmp`), ties broken by id so
+    /// that merged results are deterministic across partition orderings.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded max-heap retaining the `k` nearest neighbours seen so far.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Creates an empty collector for the `k` nearest neighbours.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// The configured `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of neighbours currently held (`<= k`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no neighbour has been offered yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` once `k` neighbours are held.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// Offers a candidate; keeps it only if it improves the current top-k.
+    /// Returns `true` when the candidate was retained.
+    #[inline]
+    pub fn push(&mut self, n: Neighbor) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(n);
+            true
+        } else if n < *self.heap.peek().expect("non-empty full heap") {
+            // Strictly better than the current worst: replace it.
+            *self.heap.peek_mut().expect("non-empty full heap") = n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current worst retained distance — the pruning radius. `f32::INFINITY`
+    /// until the collector is full, so that searches never prune while fewer
+    /// than `k` candidates have been found.
+    #[inline]
+    pub fn prune_radius(&self) -> f32 {
+        if self.is_full() {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.dist)
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// The worst distance currently held (regardless of fullness); `None`
+    /// when empty.
+    #[inline]
+    pub fn worst(&self) -> Option<Neighbor> {
+        self.heap.peek().copied()
+    }
+
+    /// Merges another collector into this one (used when combining local
+    /// partition results into a global answer).
+    pub fn merge(&mut self, other: &TopK) {
+        for &n in other.heap.iter() {
+            self.push(n);
+        }
+    }
+
+    /// Merges a sorted-or-not slice of neighbours.
+    pub fn merge_slice(&mut self, other: &[Neighbor]) {
+        for &n in other {
+            self.push(n);
+        }
+    }
+
+    /// Consumes the collector, returning neighbours sorted by ascending
+    /// distance (ties by id).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Returns a sorted copy without consuming the collector.
+    pub fn to_sorted(&self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (id, d) in [(0u32, 5.0f32), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)] {
+            t.push(Neighbor::new(id, d));
+        }
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(out[0].dist, 1.0);
+    }
+
+    #[test]
+    fn push_reports_retention() {
+        let mut t = TopK::new(2);
+        assert!(t.push(Neighbor::new(0, 10.0)));
+        assert!(t.push(Neighbor::new(1, 5.0)));
+        assert!(!t.push(Neighbor::new(2, 20.0)));
+        assert!(t.push(Neighbor::new(3, 1.0)));
+    }
+
+    #[test]
+    fn prune_radius_infinite_until_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.prune_radius(), f32::INFINITY);
+        t.push(Neighbor::new(0, 1.0));
+        assert_eq!(t.prune_radius(), f32::INFINITY);
+        t.push(Neighbor::new(1, 2.0));
+        assert_eq!(t.prune_radius(), 2.0);
+        t.push(Neighbor::new(2, 0.5));
+        assert_eq!(t.prune_radius(), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let items: Vec<Neighbor> =
+            (0..20).map(|i| Neighbor::new(i, ((i * 7) % 13) as f32)).collect();
+        let mut a = TopK::new(5);
+        let mut b = TopK::new(5);
+        for n in &items[..10] {
+            a.push(*n);
+        }
+        for n in &items[10..] {
+            b.push(*n);
+        }
+        let mut merged = TopK::new(5);
+        merged.merge(&a);
+        merged.merge(&b);
+
+        let mut direct = TopK::new(5);
+        for n in &items {
+            direct.push(*n);
+        }
+        assert_eq!(merged.into_sorted(), direct.into_sorted());
+    }
+
+    #[test]
+    fn tie_break_by_id_is_deterministic() {
+        let mut t = TopK::new(2);
+        t.push(Neighbor::new(7, 1.0));
+        t.push(Neighbor::new(3, 1.0));
+        t.push(Neighbor::new(5, 1.0));
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn handles_fewer_than_k() {
+        let mut t = TopK::new(10);
+        t.push(Neighbor::new(1, 2.0));
+        t.push(Neighbor::new(0, 1.0));
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn merge_slice_and_to_sorted() {
+        let mut t = TopK::new(2);
+        t.merge_slice(&[Neighbor::new(0, 3.0), Neighbor::new(1, 1.0), Neighbor::new(2, 2.0)]);
+        assert_eq!(t.to_sorted().iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 2]);
+        // to_sorted does not consume
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn neighbor_total_order_handles_nan() {
+        // total_cmp places NaN after all finite values, so a NaN candidate
+        // never displaces a real one.
+        let mut t = TopK::new(1);
+        t.push(Neighbor::new(0, 1.0));
+        t.push(Neighbor::new(1, f32::NAN));
+        assert_eq!(t.into_sorted()[0].id, 0);
+    }
+}

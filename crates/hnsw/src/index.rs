@@ -1,0 +1,706 @@
+//! The HNSW index: construction and search.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fastann_data::{Distance, Neighbor, TopK, VectorSet};
+use parking_lot::RwLock;
+use rayon::prelude::*;
+
+use crate::config::HnswConfig;
+use crate::graph::Graph;
+use crate::scratch::SearchScratch;
+use crate::select::select_neighbors_heuristic;
+
+/// Per-search accounting. `ndist` is the number the distributed engine
+/// charges to a worker's virtual clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distance evaluations performed.
+    pub ndist: u64,
+    /// Graph nodes expanded (popped from the candidate heap).
+    pub hops: u64,
+}
+
+/// A Hierarchical Navigable Small World approximate k-NN index over an owned
+/// [`VectorSet`].
+pub struct Hnsw {
+    config: HnswConfig,
+    dist: Distance,
+    data: VectorSet,
+    levels: Vec<u8>,
+    graph: Graph,
+    /// `(entry node, top level)`; `None` for an empty index.
+    entry: RwLock<Option<(u32, u8)>>,
+    /// Distance evaluations spent during construction (the quantity the
+    /// distributed engine charges to a builder's virtual clock).
+    build_ndist: std::sync::atomic::AtomicU64,
+}
+
+/// Maximum layer index; levels are geometric so 30 is unreachable in
+/// practice (p < 16^-30) but bounds the `u8` storage.
+const MAX_LEVEL: u8 = 30;
+
+/// Deterministic per-node level assignment: `floor(-ln(U) * mult)` with `U`
+/// derived from a splitmix64 hash of `(seed, id)`, so levels do not depend
+/// on insertion order or thread interleaving.
+fn assign_level(seed: u64, id: u32, mult: f64) -> u8 {
+    let mut x = seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    // splitmix64 finalizer
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let u = ((x >> 11) as f64 + 1.0) / ((1u64 << 53) as f64 + 1.0); // in (0,1]
+    let lvl = (-u.ln() * mult).floor();
+    (lvl as u64).min(MAX_LEVEL as u64) as u8
+}
+
+impl Hnsw {
+    /// Builds the index over `data` sequentially (deterministic given the
+    /// config seed).
+    pub fn build(data: VectorSet, dist: Distance, config: HnswConfig) -> Self {
+        let index = Self::empty_for(data, dist, config);
+        let mut scratch = SearchScratch::with_capacity(index.len());
+        let order = index.insertion_order();
+        for id in order {
+            index.insert(id, &mut scratch);
+        }
+        index
+    }
+
+    /// Builds the index using all rayon threads — the analogue of the
+    /// multi-threaded OpenMP construction in the paper. Link structure may
+    /// vary run-to-run (insertions race benignly) but search quality is
+    /// equivalent to the sequential build.
+    pub fn build_parallel(data: VectorSet, dist: Distance, config: HnswConfig) -> Self {
+        let index = Self::empty_for(data, dist, config);
+        let order = index.insertion_order();
+        if order.is_empty() {
+            return index;
+        }
+        // Seed the graph with the highest-level node so every thread has an
+        // entry point.
+        let mut scratch = SearchScratch::with_capacity(index.len());
+        index.insert(order[0], &mut scratch);
+        order[1..].par_iter().for_each_init(
+            || SearchScratch::with_capacity(index.len()),
+            |scratch, &id| index.insert(id, scratch),
+        );
+        index
+    }
+
+    fn empty_for(data: VectorSet, dist: Distance, config: HnswConfig) -> Self {
+        let n = data.len();
+        let levels: Vec<u8> = (0..n as u32)
+            .map(|id| assign_level(config.seed, id, config.level_mult))
+            .collect();
+        let graph = Graph::for_levels(&levels, config.m, config.m_max0);
+        Self {
+            config,
+            dist,
+            data,
+            levels,
+            graph,
+            entry: RwLock::new(None),
+            build_ndist: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Total distance evaluations spent constructing the index.
+    pub fn build_ndist(&self) -> u64 {
+        self.build_ndist.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Current `(entry node, top level)` pair, for serialization.
+    pub(crate) fn entry_snapshot(&self) -> Option<(u32, u8)> {
+        *self.entry.read()
+    }
+
+    /// Copy of node `id`'s neighbour list at `layer`, for serialization.
+    pub(crate) fn links_of(&self, id: u32, layer: usize) -> Vec<u32> {
+        self.graph.neighbors(id, layer)
+    }
+
+    /// Reassembles an index from deserialized parts. Callers must supply a
+    /// structurally valid graph (the deserializer validates link ranges).
+    pub(crate) fn from_parts(
+        config: HnswConfig,
+        dist: Distance,
+        data: VectorSet,
+        levels: Vec<u8>,
+        links: Vec<Vec<Vec<u32>>>,
+        entry: Option<(u32, u8)>,
+    ) -> Self {
+        assert_eq!(levels.len(), data.len());
+        assert_eq!(links.len(), data.len());
+        let graph = Graph::for_levels(&levels, config.m, config.m_max0);
+        for (id, per_layer) in links.into_iter().enumerate() {
+            for (layer, l) in per_layer.into_iter().enumerate() {
+                graph.set_neighbors(id as u32, layer, l);
+            }
+        }
+        Self {
+            config,
+            dist,
+            data,
+            levels,
+            graph,
+            entry: RwLock::new(entry),
+            build_ndist: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Highest-level node first, then natural order — gives the parallel
+    /// build a stable entry point.
+    fn insertion_order(&self) -> Vec<u32> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let top = (0..n).max_by_key(|&i| self.levels[i]).expect("non-empty") as u32;
+        let mut order = Vec::with_capacity(n);
+        order.push(top);
+        order.extend((0..n as u32).filter(|&i| i != top));
+        order
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of the indexed vectors.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// The metric this index was built with.
+    pub fn distance(&self) -> Distance {
+        self.dist
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    /// Borrow the indexed vectors.
+    pub fn vectors(&self) -> &VectorSet {
+        &self.data
+    }
+
+    /// Level of node `id` (for diagnostics and tests).
+    pub fn level(&self, id: u32) -> u8 {
+        self.levels[id as usize]
+    }
+
+    /// Top layer currently populated; `None` when empty.
+    pub fn top_level(&self) -> Option<u8> {
+        self.entry.read().map(|(_, l)| l)
+    }
+
+    /// Total directed edges in the graph (memory/diagnostics).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Approximate resident bytes of the index (vectors + links), used for
+    /// the replication-factor memory accounting in the distributed engine.
+    pub fn approx_bytes(&self) -> usize {
+        self.data.as_flat().len() * 4 + self.edge_count() * 4 + self.levels.len()
+    }
+
+    #[inline]
+    fn d(&self, q: &[f32], id: u32, scratch: &mut SearchScratch) -> f32 {
+        scratch.ndist += 1;
+        self.dist.eval(q, self.data.get(id as usize))
+    }
+
+    /// Inserts node `id` (its vector is already in `self.data`).
+    fn insert(&self, id: u32, scratch: &mut SearchScratch) {
+        let level = self.levels[id as usize];
+        let q = self.data.get(id as usize).to_vec();
+        scratch.begin(self.len());
+
+        let entry_snapshot = *self.entry.read();
+        let Some((mut ep, top)) = entry_snapshot else {
+            *self.entry.write() = Some((id, level));
+            return;
+        };
+
+        let mut ep_dist = self.d(&q, ep, scratch);
+        // Greedy descent through layers above the node's level.
+        for lc in ((level as usize + 1)..=(top as usize)).rev() {
+            (ep, ep_dist) = self.greedy_step(&q, ep, ep_dist, lc, scratch);
+        }
+
+        let mut eps: Vec<Neighbor> = vec![Neighbor::new(ep, ep_dist)];
+        for lc in (0..=(level.min(top) as usize)).rev() {
+            let w = self.search_layer(&q, &eps, self.config.ef_construction, lc, scratch);
+            let selected = select_neighbors_heuristic(
+                &self.data,
+                &q,
+                &w,
+                self.config.m,
+                self.dist,
+                self.config.keep_pruned,
+                &mut scratch.ndist,
+            );
+            // connect id <-> selected
+            self.graph.set_neighbors(id, lc, selected.clone());
+            for &s in &selected {
+                self.link_back(s, id, lc, scratch);
+            }
+            eps = w;
+        }
+
+        if level > top {
+            let mut entry = self.entry.write();
+            match *entry {
+                Some((_, cur_top)) if cur_top >= level => {}
+                _ => *entry = Some((id, level)),
+            }
+        }
+        self.build_ndist
+            .fetch_add(scratch.ndist, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Adds edge `from -> to` at `layer`, shrinking `from`'s neighbourhood
+    /// with the selection heuristic if it overflows.
+    fn link_back(&self, from: u32, to: u32, layer: usize, scratch: &mut SearchScratch) {
+        let max = self.config.max_links(layer);
+        let mut links = self.graph.neighbors(from, layer);
+        if links.contains(&to) {
+            return;
+        }
+        links.push(to);
+        if links.len() > max {
+            let fv = self.data.get(from as usize);
+            let mut cands: Vec<Neighbor> = links
+                .iter()
+                .map(|&l| {
+                    scratch.ndist += 1;
+                    Neighbor::new(l, self.dist.eval(fv, self.data.get(l as usize)))
+                })
+                .collect();
+            cands.sort_unstable();
+            links = select_neighbors_heuristic(
+                &self.data,
+                fv,
+                &cands,
+                max,
+                self.dist,
+                self.config.keep_pruned,
+                &mut scratch.ndist,
+            );
+        }
+        self.graph.set_neighbors(from, layer, links);
+    }
+
+    /// One greedy walk on `layer`: repeatedly move to the closest neighbour
+    /// until no neighbour improves.
+    fn greedy_step(
+        &self,
+        q: &[f32],
+        mut ep: u32,
+        mut ep_dist: f32,
+        layer: usize,
+        scratch: &mut SearchScratch,
+    ) -> (u32, f32) {
+        let mut nbuf: Vec<u32> = Vec::new();
+        loop {
+            nbuf.clear();
+            self.graph.with_neighbors(ep, layer, |ns| nbuf.extend_from_slice(ns));
+            let mut improved = false;
+            for &nb in &nbuf {
+                let d = self.d(q, nb, scratch);
+                if d < ep_dist {
+                    ep = nb;
+                    ep_dist = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return (ep, ep_dist);
+            }
+        }
+    }
+
+    /// `ef`-bounded best-first search on one layer (HNSW Algorithm 2).
+    /// Returns up to `ef` nearest candidates sorted ascending.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entry_points: &[Neighbor],
+        ef: usize,
+        layer: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Neighbor> {
+        scratch.new_epoch(self.len());
+        let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+        let mut results = TopK::new(ef);
+        for &ep in entry_points {
+            if scratch.mark(ep.id) {
+                candidates.push(Reverse(ep));
+                results.push(ep);
+            }
+        }
+        let mut nbuf: Vec<u32> = Vec::new();
+        while let Some(Reverse(c)) = candidates.pop() {
+            if c.dist > results.prune_radius() {
+                break;
+            }
+            nbuf.clear();
+            self.graph.with_neighbors(c.id, layer, |ns| nbuf.extend_from_slice(ns));
+            for &nb in &nbuf {
+                if !scratch.mark(nb) {
+                    continue;
+                }
+                let d = self.d(q, nb, scratch);
+                if !results.is_full() || d < results.prune_radius() {
+                    let n = Neighbor::new(nb, d);
+                    candidates.push(Reverse(n));
+                    results.push(n);
+                }
+            }
+        }
+        results.into_sorted()
+    }
+
+    /// Appends one vector to the index and links it into the graph —
+    /// dynamic insertion for indexes that keep growing after the bulk
+    /// build. Returns the new point's id.
+    ///
+    /// The level is drawn from the same deterministic per-id hash as the
+    /// bulk build, so an index grown by `add` is distributed identically to
+    /// one built at full size.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim()` (for a non-empty index).
+    pub fn add(&mut self, v: &[f32]) -> u32 {
+        if !self.data.is_empty() {
+            assert_eq!(v.len(), self.dim(), "inserted vector has wrong dimension");
+        }
+        let id = self.data.len() as u32;
+        let level = assign_level(self.config.seed, id, self.config.level_mult);
+        self.data.push(v);
+        self.levels.push(level);
+        self.graph.push_node(level as usize, self.config.m, self.config.m_max0);
+        let mut scratch = SearchScratch::with_capacity(self.len());
+        self.insert(id, &mut scratch);
+        id
+    }
+
+    /// k-NN search with beam width `ef` (clamped up to `k`). Allocates a
+    /// fresh scratch; use [`Hnsw::search_with_scratch`] in hot loops.
+    pub fn search(&self, q: &[f32], k: usize, ef: usize) -> (Vec<Neighbor>, SearchStats) {
+        let mut scratch = SearchScratch::with_capacity(self.len());
+        let r = self.search_with_scratch(q, k, ef, &mut scratch);
+        r
+    }
+
+    /// k-NN search reusing caller-provided scratch space.
+    pub fn search_with_scratch(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
+        scratch.begin(self.len());
+        let Some((mut ep, top)) = *self.entry.read() else {
+            return (Vec::new(), SearchStats::default());
+        };
+        let ef = ef.max(k);
+        let mut ep_dist = self.d(q, ep, scratch);
+        let mut hops = 0u64;
+        for lc in (1..=(top as usize)).rev() {
+            let (n_ep, n_dist) = self.greedy_step(q, ep, ep_dist, lc, scratch);
+            ep = n_ep;
+            ep_dist = n_dist;
+            hops += 1;
+        }
+        let w = self.search_layer(q, &[Neighbor::new(ep, ep_dist)], ef, 0, scratch);
+        let out: Vec<Neighbor> = w.into_iter().take(k).collect();
+        (out, SearchStats { ndist: scratch.ndist(), hops })
+    }
+}
+
+impl std::fmt::Debug for Hnsw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hnsw")
+            .field("len", &self.len())
+            .field("dim", &self.dim())
+            .field("m", &self.config.m)
+            .field("top_level", &self.top_level())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::{ground_truth, synth};
+
+    fn small_index(n: usize, dim: usize, seed: u64) -> (VectorSet, Hnsw) {
+        let data = synth::sift_like(n, dim, seed);
+        let idx = Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(8).seed(seed));
+        (data, idx)
+    }
+
+    #[test]
+    fn empty_index_searches_empty() {
+        let idx = Hnsw::build(VectorSet::new(4), Distance::L2, HnswConfig::default());
+        let (r, s) = idx.search(&[0.0; 4], 3, 10);
+        assert!(r.is_empty());
+        assert_eq!(s.ndist, 0);
+    }
+
+    #[test]
+    fn single_point_index() {
+        let mut data = VectorSet::new(2);
+        data.push(&[1.0, 2.0]);
+        let idx = Hnsw::build(data, Distance::L2, HnswConfig::default());
+        let (r, _) = idx.search(&[1.0, 2.0], 3, 10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, 0);
+        assert_eq!(r[0].dist, 0.0);
+    }
+
+    #[test]
+    fn finds_self_as_nearest() {
+        let (data, idx) = small_index(500, 16, 3);
+        for i in (0..500).step_by(37) {
+            let (r, _) = idx.search(data.get(i), 1, 32);
+            assert_eq!(r[0].id, i as u32, "point {i} should find itself");
+        }
+    }
+
+    #[test]
+    fn results_sorted_and_unique() {
+        let (data, idx) = small_index(800, 16, 4);
+        let (r, _) = idx.search(data.get(5), 10, 64);
+        assert_eq!(r.len(), 10);
+        for w in r.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        let mut ids: Vec<u32> = r.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn high_recall_on_small_set() {
+        let data = synth::sift_like(2000, 16, 5);
+        let queries = synth::queries_near(&data, 50, 0.02, 6);
+        let idx =
+            Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(16).seed(5));
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let approx: Vec<_> =
+            (0..queries.len()).map(|i| idx.search(queries.get(i), 10, 128).0).collect();
+        let rec = ground_truth::recall_at_k(&approx, &gt, 10);
+        assert!(rec.mean > 0.9, "recall too low: {}", rec.mean);
+    }
+
+    #[test]
+    fn higher_ef_never_lowers_mean_recall_much() {
+        let data = synth::deep_like(1500, 24, 8);
+        let queries = synth::queries_near(&data, 30, 0.02, 9);
+        let idx = Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(8).seed(8));
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let recall_for = |ef: usize| {
+            let approx: Vec<_> =
+                (0..queries.len()).map(|i| idx.search(queries.get(i), 10, ef).0).collect();
+            ground_truth::recall_at_k(&approx, &gt, 10).mean
+        };
+        let lo = recall_for(16);
+        let hi = recall_for(256);
+        assert!(hi >= lo - 0.02, "ef=256 recall {hi} worse than ef=16 {lo}");
+        assert!(hi > 0.85, "recall at ef=256 too low: {hi}");
+    }
+
+    #[test]
+    fn ndist_grows_with_ef() {
+        let (data, idx) = small_index(2000, 16, 10);
+        let (_, s_small) = idx.search(data.get(0), 10, 16);
+        let (_, s_large) = idx.search(data.get(0), 10, 256);
+        assert!(
+            s_large.ndist > s_small.ndist,
+            "ef=256 ({}) should cost more than ef=16 ({})",
+            s_large.ndist,
+            s_small.ndist
+        );
+    }
+
+    #[test]
+    fn link_degrees_respect_bounds() {
+        let (_, idx) = small_index(1000, 8, 11);
+        for id in 0..1000u32 {
+            for layer in 0..=idx.level(id) as usize {
+                idx.graph.with_neighbors(id, layer, |ns| {
+                    assert!(
+                        ns.len() <= idx.config.max_links(layer),
+                        "node {id} layer {layer} degree {} > bound",
+                        ns.len()
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn level_distribution_is_geometric() {
+        let n = 20_000;
+        let mult = 1.0 / 16f64.ln();
+        let levels: Vec<u8> = (0..n as u32).map(|i| assign_level(42, i, mult)).collect();
+        let l0 = levels.iter().filter(|&&l| l == 0).count() as f64 / n as f64;
+        // P(level = 0) = 1 - 1/16 = 0.9375
+        assert!((l0 - 0.9375).abs() < 0.01, "layer-0 fraction {l0}");
+        let l1 = levels.iter().filter(|&&l| l == 1).count() as f64 / n as f64;
+        assert!((l1 - 0.0586).abs() < 0.01, "layer-1 fraction {l1}");
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_quality() {
+        let data = synth::sift_like(1500, 16, 12);
+        let queries = synth::queries_near(&data, 30, 0.02, 13);
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let cfg = HnswConfig::with_m(8).seed(12);
+        let seq = Hnsw::build(data.clone(), Distance::L2, cfg);
+        let par = Hnsw::build_parallel(data.clone(), Distance::L2, cfg);
+        let rec = |idx: &Hnsw| {
+            let approx: Vec<_> =
+                (0..queries.len()).map(|i| idx.search(queries.get(i), 10, 96).0).collect();
+            ground_truth::recall_at_k(&approx, &gt, 10).mean
+        };
+        let rs = rec(&seq);
+        let rp = rec(&par);
+        assert!(rp > rs - 0.1, "parallel recall {rp} far below sequential {rs}");
+    }
+
+    #[test]
+    fn graph_is_connected_at_layer0() {
+        // BFS from entry must reach every node: the graph search can only
+        // return reachable points.
+        let (_, idx) = small_index(600, 8, 14);
+        let (entry, _) = idx.entry.read().expect("non-empty");
+        let n = idx.len();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[entry as usize] = true;
+        queue.push_back(entry);
+        while let Some(u) = queue.pop_front() {
+            for nb in idx.graph.neighbors(u, 0) {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        let reached = seen.iter().filter(|&&s| s).count();
+        assert!(
+            reached as f64 >= n as f64 * 0.99,
+            "only {reached}/{n} nodes reachable from entry"
+        );
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_all() {
+        let (_, idx) = small_index(5, 8, 15);
+        let (r, _) = idx.search(idx.vectors().get(0), 20, 64);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dim_query_panics() {
+        let (_, idx) = small_index(10, 8, 16);
+        let _ = idx.search(&[0.0; 4], 1, 8);
+    }
+
+    #[test]
+    fn approx_bytes_counts_vectors_and_edges() {
+        let (_, idx) = small_index(100, 8, 17);
+        let b = idx.approx_bytes();
+        assert!(b >= 100 * 8 * 4, "must at least count vector storage");
+    }
+
+    #[test]
+    fn deterministic_sequential_build() {
+        let data = synth::sift_like(400, 8, 18);
+        let cfg = HnswConfig::with_m(8).seed(18);
+        let a = Hnsw::build(data.clone(), Distance::L2, cfg);
+        let b = Hnsw::build(data.clone(), Distance::L2, cfg);
+        let qa = a.search(data.get(3), 5, 32).0;
+        let qb = b.search(data.get(3), 5, 32).0;
+        assert_eq!(qa, qb);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn add_grows_index_incrementally() {
+        let data = synth::sift_like(600, 12, 30);
+        let mut idx = Hnsw::build(
+            data.split_even(2)[0].clone(),
+            Distance::L2,
+            HnswConfig::with_m(8).seed(30),
+        );
+        assert_eq!(idx.len(), 300);
+        let second = data.split_even(2)[1].clone();
+        for row in second.iter() {
+            idx.add(row);
+        }
+        assert_eq!(idx.len(), 600);
+        // newly added points are findable
+        for i in (300..600).step_by(51) {
+            let (r, _) = idx.search(data.get(i), 1, 48);
+            assert_eq!(r[0].dist, 0.0, "added point {i} not found");
+        }
+        // recall comparable to a bulk-built index over the same data
+        let bulk = Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(8).seed(30));
+        let queries = synth::queries_near(&data, 20, 0.03, 31);
+        let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);
+        let rec = |ix: &Hnsw| {
+            let res: Vec<_> =
+                (0..queries.len()).map(|i| ix.search(queries.get(i), 5, 64).0).collect();
+            ground_truth::recall_at_k(&res, &gt, 5).mean
+        };
+        let (grown, built) = (rec(&idx), rec(&bulk));
+        assert!(grown > built - 0.15, "grown index recall {grown} far below bulk {built}");
+    }
+
+    #[test]
+    fn add_into_empty_index() {
+        let mut idx = Hnsw::build(VectorSet::new(3), Distance::L2, HnswConfig::with_m(4));
+        let id = idx.add(&[1.0, 2.0, 3.0]);
+        assert_eq!(id, 0);
+        idx.add(&[1.1, 2.0, 3.0]);
+        let (r, _) = idx.search(&[1.0, 2.0, 3.0], 2, 8);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_wrong_dim_panics() {
+        let data = synth::sift_like(10, 4, 32);
+        let mut idx = Hnsw::build(data, Distance::L2, HnswConfig::with_m(4));
+        idx.add(&[0.0; 5]);
+    }
+
+    #[test]
+    fn works_with_cosine_distance() {
+        let data = synth::deep_like(500, 16, 19);
+        let idx = Hnsw::build(data.clone(), Distance::Cosine, HnswConfig::with_m(8).seed(19));
+        let (r, _) = idx.search(data.get(7), 3, 32);
+        assert_eq!(r[0].id, 7);
+    }
+}

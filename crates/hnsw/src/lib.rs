@@ -1,0 +1,43 @@
+//! # fastann-hnsw
+//!
+//! A from-scratch implementation of **Hierarchical Navigable Small World**
+//! graphs (Malkov & Yashunin, TPAMI 2018) — the approximate k-NN index the
+//! paper runs *inside every data partition* (Section III-A).
+//!
+//! The index is a stack of navigable-small-world layers. Every point lives
+//! in layer 0; each point is independently promoted to higher layers with a
+//! geometric probability (the skip-list construction), and search descends
+//! greedily from the sparse top layer to the dense bottom layer, turning a
+//! k-NN query into an `O(log n)` greedy graph walk.
+//!
+//! Implemented here:
+//! * insertion with the *heuristic* neighbour selection of the HNSW paper's
+//!   Algorithm 4 (`extend_candidates` / `keep_pruned` knobs included),
+//! * `ef`-bounded best-first layer search with an epoch-based visited set,
+//! * multi-threaded bulk construction (rayon + per-node `RwLock`s), the
+//!   analogue of the OpenMP-parallel construction used in the paper,
+//! * distance-evaluation accounting ([`SearchStats`]) — the quantity the
+//!   virtual-time cluster simulation charges for compute.
+//!
+//! ```
+//! use fastann_data::{synth, Distance};
+//! use fastann_hnsw::{Hnsw, HnswConfig};
+//!
+//! let data = synth::sift_like(2_000, 32, 7);
+//! let index = Hnsw::build(data.clone(), Distance::L2, HnswConfig::default());
+//! let (hits, stats) = index.search(data.get(0), 5, 64);
+//! assert_eq!(hits[0].id, 0); // a point's nearest neighbour is itself
+//! assert!(stats.ndist > 0);
+//! ```
+
+mod config;
+mod graph;
+mod index;
+mod scratch;
+mod select;
+mod serialize;
+
+pub use config::HnswConfig;
+pub use index::{Hnsw, SearchStats};
+pub use scratch::SearchScratch;
+pub use serialize::LoadError;

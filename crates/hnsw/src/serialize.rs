@@ -1,0 +1,336 @@
+//! Index serialization: write an HNSW index to a compact binary blob and
+//! load it back — the "build once, ship the index as a static file" usage
+//! (how Annoy-style indexes are shared across processes, cf. the paper's
+//! related-work discussion).
+//!
+//! The format is a little-endian custom codec (no serde format dependency):
+//!
+//! ```text
+//! magic "FANNHNSW" | version u32 | dist u8 | dim u32 | n u32
+//! m u32 | m_max0 u32 | ef_construction u32 | level_mult f64
+//! extend u8 | keep_pruned u8 | seed u64
+//! entry: present u8 [node u32, level u8]
+//! levels: n × u8
+//! vectors: n × dim × f32
+//! links: per node, per layer 0..=level: len u32, len × u32
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use fastann_data::{Distance, VectorSet};
+
+use crate::config::HnswConfig;
+use crate::index::Hnsw;
+
+const MAGIC: &[u8; 8] = b"FANNHNSW";
+const VERSION: u32 = 1;
+
+/// Errors raised when loading a serialized index.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural problem (bad magic, truncation, inconsistent sizes).
+    Format(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn dist_code(d: Distance) -> u8 {
+    match d {
+        Distance::L2 => 0,
+        Distance::SquaredL2 => 1,
+        Distance::L1 => 2,
+        Distance::Chebyshev => 3,
+        Distance::Cosine => 4,
+        Distance::NegativeDot => 5,
+    }
+}
+
+fn dist_from_code(c: u8) -> Result<Distance, LoadError> {
+    Ok(match c {
+        0 => Distance::L2,
+        1 => Distance::SquaredL2,
+        2 => Distance::L1,
+        3 => Distance::Chebyshev,
+        4 => Distance::Cosine,
+        5 => Distance::NegativeDot,
+        x => return Err(LoadError::Format(format!("unknown distance code {x}"))),
+    })
+}
+
+struct Reader<R> {
+    inner: R,
+}
+
+impl<R: Read> Reader<R> {
+    fn u8(&mut self) -> Result<u8, LoadError> {
+        let mut b = [0u8; 1];
+        self.inner
+            .read_exact(&mut b)
+            .map_err(|_| LoadError::Format("truncated".into()))?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        let mut b = [0u8; 4];
+        self.inner
+            .read_exact(&mut b)
+            .map_err(|_| LoadError::Format("truncated".into()))?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, LoadError> {
+        let mut b = [0u8; 8];
+        self.inner
+            .read_exact(&mut b)
+            .map_err(|_| LoadError::Format("truncated".into()))?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> Result<f64, LoadError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn f32(&mut self) -> Result<f32, LoadError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+}
+
+impl Hnsw {
+    /// Serializes the index to a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.len() * (self.dim() * 4 + 8));
+        self.write_to(&mut out).expect("writing to Vec cannot fail");
+        out
+    }
+
+    /// Writes the serialized index to any writer.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let cfg = self.config();
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&[dist_code(self.distance())])?;
+        w.write_all(&(self.dim() as u32).to_le_bytes())?;
+        w.write_all(&(self.len() as u32).to_le_bytes())?;
+        w.write_all(&(cfg.m as u32).to_le_bytes())?;
+        w.write_all(&(cfg.m_max0 as u32).to_le_bytes())?;
+        w.write_all(&(cfg.ef_construction as u32).to_le_bytes())?;
+        w.write_all(&cfg.level_mult.to_bits().to_le_bytes())?;
+        w.write_all(&[u8::from(cfg.extend_candidates), u8::from(cfg.keep_pruned)])?;
+        w.write_all(&cfg.seed.to_le_bytes())?;
+        match self.entry_snapshot() {
+            Some((node, level)) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&node.to_le_bytes())?;
+                w.write_all(&[level])?;
+            }
+            None => w.write_all(&[0u8])?,
+        }
+        for id in 0..self.len() as u32 {
+            w.write_all(&[self.level(id)])?;
+        }
+        for x in self.vectors().as_flat() {
+            w.write_all(&x.to_bits().to_le_bytes())?;
+        }
+        for id in 0..self.len() as u32 {
+            for layer in 0..=self.level(id) as usize {
+                let links = self.links_of(id, layer);
+                w.write_all(&(links.len() as u32).to_le_bytes())?;
+                for l in links {
+                    w.write_all(&l.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Saves the index to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Deserializes an index from bytes produced by [`Hnsw::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Hnsw, LoadError> {
+        Self::read_from(&mut std::io::Cursor::new(bytes))
+    }
+
+    /// Loads an index from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Hnsw, LoadError> {
+        let mut r = BufReader::new(File::open(path)?);
+        Self::read_from(&mut r)
+    }
+
+    /// Reads a serialized index from any reader.
+    pub fn read_from(r: &mut impl Read) -> Result<Hnsw, LoadError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|_| LoadError::Format("missing header".into()))?;
+        if &magic != MAGIC {
+            return Err(LoadError::Format("bad magic".into()));
+        }
+        let mut rd = Reader { inner: r };
+        let version = rd.u32()?;
+        if version != VERSION {
+            return Err(LoadError::Format(format!("unsupported version {version}")));
+        }
+        let dist = dist_from_code(rd.u8()?)?;
+        let dim = rd.u32()? as usize;
+        let n = rd.u32()? as usize;
+        if dim == 0 {
+            return Err(LoadError::Format("zero dimension".into()));
+        }
+        let m = rd.u32()? as usize;
+        let m_max0 = rd.u32()? as usize;
+        let ef_construction = rd.u32()? as usize;
+        let level_mult = rd.f64()?;
+        let extend_candidates = rd.u8()? != 0;
+        let keep_pruned = rd.u8()? != 0;
+        let seed = rd.u64()?;
+        if m < 2 || m_max0 < m {
+            return Err(LoadError::Format("implausible link bounds".into()));
+        }
+        let config = HnswConfig {
+            m,
+            m_max0,
+            ef_construction,
+            level_mult,
+            extend_candidates,
+            keep_pruned,
+            seed,
+        };
+        let entry = match rd.u8()? {
+            0 => None,
+            1 => {
+                let node = rd.u32()?;
+                let level = rd.u8()?;
+                if node as usize >= n {
+                    return Err(LoadError::Format("entry node out of range".into()));
+                }
+                Some((node, level))
+            }
+            x => return Err(LoadError::Format(format!("bad entry flag {x}"))),
+        };
+        let mut levels = Vec::with_capacity(n);
+        for _ in 0..n {
+            levels.push(rd.u8()?);
+        }
+        let mut flat = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            flat.push(rd.f32()?);
+        }
+        let data = VectorSet::from_flat(dim, flat);
+        let mut all_links: Vec<Vec<Vec<u32>>> = Vec::with_capacity(n);
+        for &lvl in &levels {
+            let mut per_layer = Vec::with_capacity(lvl as usize + 1);
+            for _ in 0..=lvl as usize {
+                let len = rd.u32()? as usize;
+                if len > n {
+                    return Err(LoadError::Format("implausible link count".into()));
+                }
+                let mut links = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let l = rd.u32()?;
+                    if l as usize >= n {
+                        return Err(LoadError::Format("link target out of range".into()));
+                    }
+                    links.push(l);
+                }
+                per_layer.push(links);
+            }
+            all_links.push(per_layer);
+        }
+        Ok(Hnsw::from_parts(config, dist, data, levels, all_links, entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::synth;
+
+    fn sample_index() -> Hnsw {
+        let data = synth::sift_like(600, 12, 77);
+        Hnsw::build(data, Distance::L2, HnswConfig::with_m(8).seed(77))
+    }
+
+    #[test]
+    fn round_trip_preserves_search_results() {
+        let idx = sample_index();
+        let bytes = idx.to_bytes();
+        let back = Hnsw::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.dim(), idx.dim());
+        assert_eq!(back.edge_count(), idx.edge_count());
+        for i in (0..600).step_by(41) {
+            let q = idx.vectors().get(i);
+            assert_eq!(idx.search(q, 5, 32).0, back.search(q, 5, 32).0, "query {i}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let idx = sample_index();
+        let path = std::env::temp_dir().join("fastann_hnsw_test.idx");
+        idx.save(&path).unwrap();
+        let back = Hnsw::load(&path).unwrap();
+        assert_eq!(back.len(), idx.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = Hnsw::build(VectorSet::new(4), Distance::L2, HnswConfig::default());
+        let back = Hnsw::from_bytes(&idx.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert!(back.search(&[0.0; 4], 3, 8).0.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Hnsw::from_bytes(b"NOTANIDX________").unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample_index().to_bytes();
+        for cut in [8usize, 20, 60, bytes.len() / 2, bytes.len() - 3] {
+            let err = Hnsw::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, LoadError::Format(_)), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_link_target_rejected() {
+        let mut bytes = sample_index().to_bytes();
+        // stomp the last 4 bytes (a link id) with an out-of-range value
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Hnsw::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)));
+    }
+
+    #[test]
+    fn preserves_metric() {
+        let data = synth::deep_like(200, 8, 78);
+        let idx = Hnsw::build(data, Distance::Cosine, HnswConfig::with_m(4).seed(78));
+        let back = Hnsw::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back.distance(), Distance::Cosine);
+    }
+}

@@ -1,0 +1,356 @@
+//! Bucketed KD tree with exact k-NN search.
+
+use fastann_data::select::select_nth;
+use fastann_data::{Distance, Neighbor, TopK, VectorSet};
+
+/// Construction parameters for [`KdTree`].
+#[derive(Clone, Copy, Debug)]
+pub struct KdTreeConfig {
+    /// Maximum points per leaf bucket. PANDA keeps SIMD-friendly buckets;
+    /// our leaves are scanned with the vectorised kernels of
+    /// `fastann-data`.
+    pub bucket_size: usize,
+}
+
+impl Default for KdTreeConfig {
+    fn default() -> Self {
+        Self { bucket_size: 32 }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Inner { dim: u32, split: f32, left: u32, right: u32 },
+    Leaf { start: u32, end: u32 },
+}
+
+/// Per-search accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KdSearchStats {
+    /// Distance evaluations performed (leaf scans).
+    pub ndist: u64,
+    /// Tree nodes visited.
+    pub nodes_visited: u64,
+    /// Leaves scanned.
+    pub leaves_visited: u64,
+}
+
+/// An exact k-NN KD tree over an owned [`VectorSet`]. Splits are at the
+/// coordinate median of the widest-spread dimension.
+///
+/// Only [`Distance::L2`] / [`Distance::SquaredL2`] queries are supported:
+/// axis-aligned plane pruning is tight for Euclidean balls (the reason the
+/// paper calls KD trees poorly suited to other metrics).
+pub struct KdTree {
+    data: VectorSet,
+    ids: Vec<u32>,
+    nodes: Vec<Node>,
+    root: u32,
+    config: KdTreeConfig,
+}
+
+impl KdTree {
+    /// Builds the tree.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn build(data: VectorSet, config: KdTreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot build a KD tree over an empty set");
+        assert!(config.bucket_size >= 1, "bucket size must be at least 1");
+        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let n = ids.len();
+        let root = build_rec(&data, &config, &mut ids, 0, n, &mut nodes);
+        Self { data, ids, nodes, root, config }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no points are indexed (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &KdTreeConfig {
+        &self.config
+    }
+
+    /// Tree depth in edges.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], n: u32) -> usize {
+            match &nodes[n as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Inner { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, self.root)
+    }
+
+    /// Exact k-nearest neighbours under L2.
+    pub fn knn(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, KdSearchStats) {
+        self.knn_with_seed(q, k, &[])
+    }
+
+    /// Exact k-NN seeded with candidates already known (used by the
+    /// distributed second phase: the home partition's results bound the
+    /// search radius from the start). Seeds must carry **L2** distances;
+    /// ids of seeds are preserved in the output and assumed disjoint from
+    /// this tree's ids.
+    pub fn knn_with_seed(
+        &self,
+        q: &[f32],
+        k: usize,
+        seed: &[Neighbor],
+    ) -> (Vec<Neighbor>, KdSearchStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
+        let mut top = TopK::new(k);
+        for &s in seed {
+            top.push(s);
+        }
+        let mut stats = KdSearchStats::default();
+        self.search_rec(self.root, q, &mut top, &mut stats, 0.0);
+        (top.into_sorted(), stats)
+    }
+
+    /// `cell_dist2` is the squared distance from `q` to the current node's
+    /// cell (0 along the descent into the containing cell).
+    fn search_rec(
+        &self,
+        node: u32,
+        q: &[f32],
+        top: &mut TopK,
+        stats: &mut KdSearchStats,
+        cell_dist2: f32,
+    ) {
+        stats.nodes_visited += 1;
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                stats.leaves_visited += 1;
+                for &id in &self.ids[*start as usize..*end as usize] {
+                    stats.ndist += 1;
+                    let d = Distance::L2.eval(q, self.data.get(id as usize));
+                    top.push(Neighbor::new(id, d));
+                }
+            }
+            Node::Inner { dim, split, left, right } => {
+                let diff = q[*dim as usize] - split;
+                let (near, far) = if diff <= 0.0 { (*left, *right) } else { (*right, *left) };
+                self.search_rec(near, q, top, stats, cell_dist2);
+                let far_dist2 = cell_dist2 + diff * diff;
+                let tau = top.prune_radius();
+                if far_dist2.sqrt() <= tau {
+                    self.search_rec(far, q, top, stats, far_dist2);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for KdTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KdTree")
+            .field("len", &self.len())
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+/// Dimension with the widest value spread over `ids[start..end]`.
+fn widest_dim(data: &VectorSet, ids: &[u32]) -> usize {
+    let dim = data.dim();
+    let mut lo = vec![f32::INFINITY; dim];
+    let mut hi = vec![f32::NEG_INFINITY; dim];
+    for &id in ids {
+        let row = data.get(id as usize);
+        for d in 0..dim {
+            if row[d] < lo[d] {
+                lo[d] = row[d];
+            }
+            if row[d] > hi[d] {
+                hi[d] = row[d];
+            }
+        }
+    }
+    (0..dim)
+        .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
+        .expect("positive dimension")
+}
+
+fn build_rec(
+    data: &VectorSet,
+    config: &KdTreeConfig,
+    ids: &mut [u32],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let n = end - start;
+    if n <= config.bucket_size {
+        nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
+        return (nodes.len() - 1) as u32;
+    }
+    let slice = &mut ids[start..end];
+    let dim = widest_dim(data, slice);
+    let mut coords: Vec<f32> = slice.iter().map(|&i| data.get(i as usize)[dim]).collect();
+    let mid = (n - 1) / 2;
+    let split = select_nth(&mut coords, mid);
+    // partition ids: <= split left, > split right (with a guard against a
+    // degenerate all-equal side)
+    slice.sort_unstable_by(|&a, &b| {
+        data.get(a as usize)[dim].total_cmp(&data.get(b as usize)[dim])
+    });
+    let mut left_len = slice.partition_point(|&i| data.get(i as usize)[dim] <= split);
+    left_len = left_len.clamp(1, n - 1);
+
+    let node_idx = nodes.len();
+    nodes.push(Node::Leaf { start: 0, end: 0 }); // placeholder
+    let left = build_rec(data, config, ids, start, start + left_len, nodes);
+    let right = build_rec(data, config, ids, start + left_len, end, nodes);
+    nodes[node_idx] = Node::Inner { dim: dim as u32, split, left, right };
+    node_idx as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::{ground_truth, synth};
+
+    #[test]
+    fn knn_is_exact() {
+        let data = synth::sift_like(1000, 10, 1);
+        let tree = KdTree::build(data.clone(), KdTreeConfig::default());
+        let queries = synth::queries_near(&data, 25, 0.05, 2);
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        for (qi, truth) in gt.iter().enumerate() {
+            let (res, _) = tree.knn(queries.get(qi), 10);
+            assert_eq!(&res, truth, "query {qi} differs from brute force");
+        }
+    }
+
+    #[test]
+    fn pruning_effective_in_low_dim() {
+        let data = synth::sift_like(8000, 4, 3);
+        let tree = KdTree::build(data.clone(), KdTreeConfig::default());
+        let (_, stats) = tree.knn(data.get(0), 1);
+        assert!(
+            stats.ndist < 2000,
+            "low-dim KD search should prune hard; evaluated {}",
+            stats.ndist
+        );
+    }
+
+    #[test]
+    fn pruning_degrades_with_dimension() {
+        // the curse of dimensionality: same point count, higher dimension
+        // -> dramatically more distance evaluations
+        let n = 4000;
+        let frac = |dim: usize| {
+            let data = synth::deep_like(n, dim, 4);
+            let tree = KdTree::build(data.clone(), KdTreeConfig::default());
+            let q = synth::queries_near(&data, 10, 0.05, 5);
+            let mut total = 0u64;
+            for i in 0..10 {
+                total += tree.knn(q.get(i), 10).1.ndist;
+            }
+            total as f64 / (10.0 * n as f64)
+        };
+        let low = frac(4);
+        let high = frac(64);
+        assert!(
+            high > low * 2.0,
+            "expected pruning collapse with dimension: low {low:.3}, high {high:.3}"
+        );
+    }
+
+    #[test]
+    fn seed_tightens_search() {
+        let data = synth::sift_like(4000, 8, 6);
+        let tree = KdTree::build(data.clone(), KdTreeConfig::default());
+        let q = data.get(0).to_vec();
+        let (exact, unseeded) = tree.knn(&q, 5);
+        // seed with the true answers (ids offset to avoid clashes)
+        let seed: Vec<Neighbor> =
+            exact.iter().map(|n| Neighbor::new(n.id + 100_000, n.dist)).collect();
+        let (_, seeded) = tree.knn_with_seed(&q, 5, &seed);
+        assert!(
+            seeded.ndist <= unseeded.ndist,
+            "seeding should never cost more: {} vs {}",
+            seeded.ndist,
+            unseeded.ndist
+        );
+    }
+
+    #[test]
+    fn single_point_and_duplicates() {
+        let mut data = VectorSet::new(3);
+        data.push(&[1.0, 2.0, 3.0]);
+        let tree = KdTree::build(data, KdTreeConfig::default());
+        let (r, _) = tree.knn(&[0.0, 0.0, 0.0], 4);
+        assert_eq!(r.len(), 1);
+
+        let mut dup = VectorSet::new(2);
+        for _ in 0..50 {
+            dup.push(&[5.0, 5.0]);
+        }
+        let tree = KdTree::build(dup, KdTreeConfig { bucket_size: 4 });
+        let (r, _) = tree.knn(&[5.0, 5.0], 7);
+        assert_eq!(r.len(), 7);
+        assert!(r.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn bucket_size_one() {
+        let data = synth::sift_like(128, 6, 7);
+        let tree = KdTree::build(data.clone(), KdTreeConfig { bucket_size: 1 });
+        let gt = ground_truth::brute_force(&data, &data, 3, Distance::L2);
+        for i in (0..128).step_by(17) {
+            let (res, _) = tree.knn(data.get(i), 3);
+            assert_eq!(&res, &gt[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_build_panics() {
+        let _ = KdTree::build(VectorSet::new(2), KdTreeConfig::default());
+    }
+
+    #[test]
+    fn depth_reasonable() {
+        let data = synth::sift_like(4096, 8, 8);
+        let tree = KdTree::build(data, KdTreeConfig::default());
+        assert!(tree.depth() <= 16, "depth {}", tree.depth());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fastann_data::ground_truth;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn kd_knn_always_matches_brute_force(
+            seed in 0u64..1000,
+            n in 10usize..300,
+            k in 1usize..10,
+            bucket in 1usize..40,
+        ) {
+            let data = fastann_data::synth::sift_like(n, 5, seed);
+            let tree = KdTree::build(data.clone(), KdTreeConfig { bucket_size: bucket });
+            let q = fastann_data::synth::sift_like(3, 5, seed ^ 0xdef);
+            for qi in 0..3 {
+                let (res, _) = tree.knn(q.get(qi), k);
+                let truth = ground_truth::brute_force_one(&data, q.get(qi), k, Distance::L2);
+                prop_assert_eq!(&res, &truth);
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Global KD split tree over partitions, with exact ball-intersection
+//! routing.
+
+use fastann_data::select::select_nth;
+use fastann_data::VectorSet;
+
+#[derive(Clone, Debug)]
+enum SkNode {
+    Inner { dim: u32, split: f32, left: u32, right: u32 },
+    Leaf { partition: u32 },
+}
+
+/// Builder used by the distributed construction to assemble a skeleton from
+/// already-computed splits.
+#[derive(Debug, Default)]
+pub struct KdSkeletonBuilder {
+    nodes: Vec<SkNode>,
+}
+
+impl KdSkeletonBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a leaf naming `partition`; returns its handle.
+    pub fn leaf(&mut self, partition: u32) -> u32 {
+        self.nodes.push(SkNode::Leaf { partition });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Adds an inner split node; returns its handle.
+    pub fn inner(&mut self, dim: u32, split: f32, left: u32, right: u32) -> u32 {
+        assert!((left as usize) < self.nodes.len(), "unknown left child");
+        assert!((right as usize) < self.nodes.len(), "unknown right child");
+        self.nodes.push(SkNode::Inner { dim, split, left, right });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Finishes the skeleton with `root` as the root handle.
+    pub fn finish(self, root: u32) -> KdSkeleton {
+        assert!((root as usize) < self.nodes.len(), "unknown root");
+        KdSkeleton { nodes: self.nodes, root }
+    }
+}
+
+/// The master-side global KD tree: leaves are partitions.
+#[derive(Clone, Debug)]
+pub struct KdSkeleton {
+    nodes: Vec<SkNode>,
+    root: u32,
+}
+
+impl KdSkeleton {
+    /// Builds the skeleton locally over `data` (sequential reference for
+    /// the distributed builder): recursive coordinate-median splits on the
+    /// widest dimension until `n_partitions` leaves exist. Returns the
+    /// skeleton and the per-partition row ids.
+    pub fn build_local(data: &VectorSet, n_partitions: usize) -> (KdSkeleton, Vec<Vec<u32>>) {
+        assert!(n_partitions >= 1 && n_partitions.is_power_of_two(), "partitions must be 2^k");
+        assert!(data.len() >= n_partitions, "more partitions than points");
+        let mut b = KdSkeletonBuilder::new();
+        let mut parts = Vec::with_capacity(n_partitions);
+        let all: Vec<u32> = (0..data.len() as u32).collect();
+        let root = split_rec(data, all, n_partitions, &mut b, &mut parts);
+        (b.finish(root), parts)
+    }
+
+    /// Number of leaf partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, SkNode::Leaf { .. })).count()
+    }
+
+    /// The home partition of `q` (descend by split sign). Returns the
+    /// partition id and the number of scalar comparisons made.
+    pub fn home_partition(&self, q: &[f32]) -> (u32, u64) {
+        let mut node = self.root;
+        let mut cmps = 0u64;
+        loop {
+            match &self.nodes[node as usize] {
+                SkNode::Leaf { partition } => return (*partition, cmps),
+                SkNode::Inner { dim, split, left, right } => {
+                    cmps += 1;
+                    node = if q[*dim as usize] <= *split { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Every partition whose cell intersects the L2 ball of `radius` around
+    /// `q` — the exact fan-out set of the second query phase. Uses the
+    /// classic incremental cell-distance traversal.
+    pub fn partitions_in_ball(&self, q: &[f32], radius: f32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        self.ball_rec(self.root, q, r2, 0.0, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn ball_rec(&self, node: u32, q: &[f32], r2: f32, cell_d2: f32, out: &mut Vec<u32>) {
+        match &self.nodes[node as usize] {
+            SkNode::Leaf { partition } => out.push(*partition),
+            SkNode::Inner { dim, split, left, right } => {
+                let diff = q[*dim as usize] - split;
+                let (near, far) = if diff <= 0.0 { (*left, *right) } else { (*right, *left) };
+                self.ball_rec(near, q, r2, cell_d2, out);
+                let far_d2 = cell_d2 + diff * diff;
+                if far_d2 <= r2 {
+                    self.ball_rec(far, q, r2, far_d2, out);
+                }
+            }
+        }
+    }
+
+    /// Serialized size estimate (for skeleton broadcast costing).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * 16
+    }
+}
+
+fn split_rec(
+    data: &VectorSet,
+    ids: Vec<u32>,
+    parts_left: usize,
+    b: &mut KdSkeletonBuilder,
+    parts: &mut Vec<Vec<u32>>,
+) -> u32 {
+    if parts_left == 1 {
+        let pid = parts.len() as u32;
+        parts.push(ids);
+        return b.leaf(pid);
+    }
+    // widest dimension over this subset
+    let dim = {
+        let d = data.dim();
+        let mut lo = vec![f32::INFINITY; d];
+        let mut hi = vec![f32::NEG_INFINITY; d];
+        for &id in &ids {
+            let row = data.get(id as usize);
+            for j in 0..d {
+                lo[j] = lo[j].min(row[j]);
+                hi[j] = hi[j].max(row[j]);
+            }
+        }
+        (0..d).max_by(|&a, &c| (hi[a] - lo[a]).total_cmp(&(hi[c] - lo[c]))).expect("dim > 0")
+    };
+    let mut coords: Vec<f32> = ids.iter().map(|&i| data.get(i as usize)[dim]).collect();
+    let mid = (coords.len() - 1) / 2;
+    let split = select_nth(&mut coords, mid);
+    let mut left_ids = Vec::with_capacity(ids.len() / 2 + 1);
+    let mut right_ids = Vec::with_capacity(ids.len() / 2 + 1);
+    for &id in &ids {
+        if data.get(id as usize)[dim] <= split {
+            left_ids.push(id);
+        } else {
+            right_ids.push(id);
+        }
+    }
+    // guard degenerate splits (many ties)
+    while right_ids.len() < parts_left / 2 && !left_ids.is_empty() {
+        right_ids.push(left_ids.pop().expect("non-empty"));
+    }
+    while left_ids.len() < parts_left / 2 && !right_ids.is_empty() {
+        left_ids.push(right_ids.pop().expect("non-empty"));
+    }
+    let left = split_rec(data, left_ids, parts_left / 2, b, parts);
+    let right = split_rec(data, right_ids, parts_left / 2, b, parts);
+    b.inner(dim as u32, split, left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::{synth, Distance};
+
+    #[test]
+    fn build_local_covers_dataset() {
+        let data = synth::sift_like(1000, 8, 1);
+        let (sk, parts) = KdSkeleton::build_local(&data, 8);
+        assert_eq!(sk.n_partitions(), 8);
+        let mut all: Vec<u32> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn home_partition_contains_point() {
+        let data = synth::sift_like(500, 8, 2);
+        let (sk, parts) = KdSkeleton::build_local(&data, 8);
+        let mut misrouted = 0;
+        for (pid, ids) in parts.iter().enumerate() {
+            for &id in ids {
+                let (home, _) = sk.home_partition(data.get(id as usize));
+                if home as usize != pid {
+                    misrouted += 1;
+                }
+            }
+        }
+        // tie-rebalancing may displace a handful of boundary points
+        assert!(misrouted <= 5, "{misrouted} points routed away from their partition");
+    }
+
+    #[test]
+    fn zero_radius_ball_is_home_only() {
+        let data = synth::sift_like(500, 8, 3);
+        let (sk, _) = KdSkeleton::build_local(&data, 16);
+        let q = data.get(7);
+        let (home, _) = sk.home_partition(q);
+        let in_ball = sk.partitions_in_ball(q, 0.0);
+        assert_eq!(in_ball, vec![home]);
+    }
+
+    #[test]
+    fn huge_radius_ball_is_everything() {
+        let data = synth::sift_like(500, 8, 4);
+        let (sk, _) = KdSkeleton::build_local(&data, 16);
+        let in_ball = sk.partitions_in_ball(data.get(0), 1e9);
+        assert_eq!(in_ball, (0..16u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ball_routing_is_sound() {
+        // every partition containing a point within `radius` of q must be
+        // in the returned set
+        let data = synth::sift_like(2000, 8, 5);
+        let (sk, parts) = KdSkeleton::build_local(&data, 16);
+        let q = synth::queries_near(&data, 1, 0.05, 6);
+        let q = q.get(0);
+        let radius = 150.0f32;
+        let in_ball = sk.partitions_in_ball(q, radius);
+        for (pid, ids) in parts.iter().enumerate() {
+            let has_close = ids
+                .iter()
+                .any(|&id| Distance::L2.eval(q, data.get(id as usize)) <= radius);
+            if has_close {
+                assert!(
+                    in_ball.contains(&(pid as u32)),
+                    "partition {pid} holds a point within {radius} but was not routed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_grows_with_dimension() {
+        // the Table III effect: same radius in units of typical NN distance
+        // touches far more partitions in high dimension
+        let fanout = |dim: usize| {
+            let data = synth::deep_like(2000, dim, 7);
+            let (sk, _) = KdSkeleton::build_local(&data, 32);
+            let qs = synth::queries_near(&data, 10, 0.02, 8);
+            // radius = exact 10-NN distance per query
+            let mut total = 0usize;
+            for i in 0..10 {
+                let gt = fastann_data::ground_truth::brute_force_one(
+                    &data,
+                    qs.get(i),
+                    10,
+                    Distance::L2,
+                );
+                let r = gt.last().expect("k results").dist;
+                total += sk.partitions_in_ball(qs.get(i), r).len();
+            }
+            total as f64 / 10.0
+        };
+        let low = fanout(2);
+        let high = fanout(48);
+        assert!(
+            high >= low * 2.0,
+            "expected fan-out explosion with dimension: {low:.1} vs {high:.1}"
+        );
+    }
+
+    #[test]
+    fn builder_manual_tree_routes() {
+        let mut b = KdSkeletonBuilder::new();
+        let l = b.leaf(0);
+        let r = b.leaf(1);
+        let root = b.inner(0, 10.0, l, r);
+        let sk = b.finish(root);
+        assert_eq!(sk.home_partition(&[5.0, 0.0]).0, 0);
+        assert_eq!(sk.home_partition(&[15.0, 0.0]).0, 1);
+        assert_eq!(sk.partitions_in_ball(&[9.0, 0.0], 2.0), vec![0, 1]);
+        assert_eq!(sk.partitions_in_ball(&[5.0, 0.0], 2.0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let data = synth::sift_like(100, 4, 9);
+        let _ = KdSkeleton::build_local(&data, 6);
+    }
+}

@@ -1,0 +1,201 @@
+//! Cluster construction and rank-thread orchestration.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::cost::CostModel;
+use crate::net::{NetModel, Topology};
+use crate::rank::{Mailbox, Rank};
+
+/// Configuration of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of simulated MPI ranks (each is an OS thread).
+    pub n_ranks: usize,
+    /// Rank → compute-node mapping (drives intra- vs inter-node costs).
+    pub topology: Topology,
+    /// α–β network model.
+    pub net: NetModel,
+    /// Compute cost model for [`Rank::charge_dists`].
+    pub cost: CostModel,
+    /// Stack size per rank thread. Simulated programs keep their data in
+    /// shared structures, so a modest stack suffices even for thousands of
+    /// ranks.
+    pub stack_bytes: usize,
+    /// Watchdog: a blocking receive that waits longer than this (real time)
+    /// panics, turning simulated deadlocks into test failures.
+    pub recv_timeout: Duration,
+}
+
+impl SimConfig {
+    /// Default configuration for `n_ranks` ranks.
+    pub fn new(n_ranks: usize) -> Self {
+        assert!(n_ranks > 0, "cluster needs at least one rank");
+        Self {
+            n_ranks,
+            topology: Topology::default(),
+            net: NetModel::default(),
+            cost: CostModel::default(),
+            stack_bytes: 1 << 20,
+            recv_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Sets the topology (builder style).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Sets the network model (builder style).
+    pub fn net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the compute cost model (builder style).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+/// State shared by all rank threads of one cluster run.
+pub(crate) struct Shared {
+    pub(crate) cfg: SimConfig,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    registry: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+    next_key: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn registry_put(&self, value: Box<dyn Any + Send + Sync>) -> u64 {
+        let key = self.next_key.fetch_add(1, Ordering::Relaxed);
+        self.registry.lock().insert(key, Arc::from(value));
+        key
+    }
+
+    pub(crate) fn registry_get(&self, key: u64) -> Arc<dyn Any + Send + Sync> {
+        self.registry
+            .lock()
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| panic!("registry key {key} not found"))
+    }
+}
+
+/// A simulated cluster: spawns one OS thread per rank and runs an SPMD
+/// closure on each.
+pub struct Cluster {
+    cfg: SimConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this cluster runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `f` on every rank and returns the per-rank results in rank
+    /// order. Panics in any rank are propagated (with the rank id) after
+    /// all threads have been joined or abandoned.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Send + Sync,
+    {
+        let n = self.cfg.n_ranks;
+        let shared = Arc::new(Shared {
+            cfg: self.cfg.clone(),
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            registry: Mutex::new(HashMap::new()),
+            next_key: AtomicU64::new(1),
+        });
+
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(n);
+            for (r, slot) in results.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                let builder = std::thread::Builder::new()
+                    .name(format!("simrank-{r}"))
+                    .stack_size(self.cfg.stack_bytes);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut rank = Rank::new(r, shared);
+                        *slot = Some(f(&mut rank));
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push((r, handle));
+            }
+            let mut first_panic: Option<(usize, Box<dyn Any + Send>)> = None;
+            for (r, h) in handles {
+                if let Err(p) = h.join() {
+                    first_panic.get_or_insert((r, p));
+                }
+            }
+            if let Some((r, p)) = first_panic {
+                eprintln!("simulated rank {r} panicked");
+                std::panic::resume_unwind(p);
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = Cluster::new(SimConfig::new(8)).run(|rank| rank.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn many_ranks_spawn_fine() {
+        let out = Cluster::new(SimConfig::new(512)).run(|rank| rank.rank());
+        assert_eq!(out.len(), 512);
+        assert_eq!(out[511], 511);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        Cluster::new(SimConfig::new(4)).run(|rank| {
+            if rank.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn clocks_start_at_zero() {
+        let out = Cluster::new(SimConfig::new(3)).run(|rank| rank.now());
+        assert!(out.iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_rejected() {
+        let _ = SimConfig::new(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # fastann-mpisim
+//!
+//! A **virtual-time message-passing cluster simulator**: the substrate that
+//! stands in for the paper's Cray XC40 + Cray MPICH (substitution rationale
+//! in the repository's DESIGN.md — this repo reproduces cluster-scale
+//! behaviour on a single-core host).
+//!
+//! Each simulated MPI rank runs as an OS thread with its own **virtual
+//! clock** (nanoseconds, `f64`). Clocks advance two ways:
+//!
+//! * **compute** — code charges modelled work explicitly, e.g.
+//!   [`Rank::charge_dists`] charges `n` distance evaluations priced by the
+//!   [`CostModel`]; this makes strong-scaling curves deterministic and
+//!   independent of host load (essential on a 1-core machine);
+//! * **communication** — messages carry timestamps through an α–β network
+//!   model ([`NetModel`]): a message sent at sender-time `t` with `b` bytes
+//!   arrives at `t + α(src,dst) + b·β`; a receive completes at
+//!   `max(receiver clock, arrival)`, and the gap is recorded as
+//!   communication wait time.
+//!
+//! On top of the point-to-point layer sit MPI-style **collectives**
+//! (barrier, broadcast, gather, all-gather, reductions, `Alltoallv`) over
+//! sub-communicators ([`Comm`]), and **one-sided RMA windows**
+//! ([`Window`]) with `MPI_Get_accumulate`-style atomic read-modify-write
+//! at the origin's cost only — the primitive behind the paper's
+//! "MPI one-sided communication" optimisation (Section IV-C1).
+//!
+//! ```
+//! use fastann_mpisim::{Cluster, ReduceOp, SimConfig};
+//!
+//! let results = Cluster::new(SimConfig::new(4)).run(|rank| {
+//!     let comm = rank.world();
+//!     comm.allreduce_f64(rank, rank.rank() as f64, ReduceOp::Sum)
+//! });
+//! assert!(results.iter().all(|&s| s == 6.0));
+//! ```
+
+mod cluster;
+mod comm;
+mod cost;
+mod net;
+mod rank;
+mod rma;
+mod trace;
+mod vthreads;
+pub mod wire;
+
+pub use cluster::{Cluster, SimConfig};
+pub use comm::{Comm, ReduceOp};
+pub use cost::CostModel;
+pub use net::{NetModel, Topology};
+pub use rank::{Msg, Rank, RankStats};
+pub use rma::Window;
+pub use trace::{Span, SpanKind, Trace};
+pub use vthreads::VThreadPool;

@@ -1,0 +1,404 @@
+//! Per-rank execution context: virtual clock, point-to-point messaging,
+//! compute charging, and accounting.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::cluster::Shared;
+use crate::comm::Comm;
+
+/// A message delivered to a rank's mailbox.
+#[derive(Clone, Debug)]
+pub struct Msg {
+    /// Global rank of the sender.
+    pub src: usize,
+    /// User tag (bit 63 is reserved for collectives).
+    pub tag: u64,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Sender virtual time at which the send was posted (ns).
+    pub sent_at: f64,
+    /// Virtual time at which the message reaches the receiver (ns).
+    pub arrival: f64,
+}
+
+/// One rank's mailbox.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    pub(crate) queue: Mutex<VecDeque<Msg>>,
+    pub(crate) cv: Condvar,
+}
+
+/// Accounting for one rank's virtual activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Modelled compute time charged (ns).
+    pub compute_ns: f64,
+    /// Time spent blocked on message arrivals (receiver clock advanced to
+    /// meet arrivals), ns.
+    pub wait_ns: f64,
+    /// CPU overhead of posting sends, ns.
+    pub send_cpu_ns: f64,
+    /// CPU overhead of completing receives, ns.
+    pub recv_cpu_ns: f64,
+    /// CPU overhead of origin-side RMA operations, ns.
+    pub rma_cpu_ns: f64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// One-sided operations issued.
+    pub rma_ops: u64,
+}
+
+impl RankStats {
+    /// Total accounted virtual time (compute + communication overheads +
+    /// waits).
+    pub fn total_ns(&self) -> f64 {
+        self.compute_ns + self.wait_ns + self.send_cpu_ns + self.recv_cpu_ns + self.rma_cpu_ns
+    }
+}
+
+/// The execution context handed to each simulated rank.
+pub struct Rank {
+    pub(crate) rank: usize,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) clock: f64,
+    pub(crate) stats: RankStats,
+}
+
+impl Rank {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>) -> Self {
+        Self { rank, shared, clock: 0.0, stats: RankStats::default() }
+    }
+
+    /// This rank's global id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.cfg.n_ranks
+    }
+
+    /// Current virtual time (ns since cluster start).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> RankStats {
+        self.stats
+    }
+
+    /// The communicator spanning all ranks.
+    pub fn world(&self) -> Comm {
+        Comm::world(self.size())
+    }
+
+    /// Charges `ns` of modelled compute time.
+    #[inline]
+    pub fn charge(&mut self, ns: f64) {
+        debug_assert!(ns >= 0.0, "negative compute charge");
+        self.clock += ns;
+        self.stats.compute_ns += ns;
+    }
+
+    /// Charges `n` distance evaluations between `dim`-dimensional vectors,
+    /// priced by the cluster's [`crate::CostModel`].
+    #[inline]
+    pub fn charge_dists(&mut self, n: u64, dim: usize) {
+        self.charge(self.shared.cfg.cost.dists_ns(n, dim));
+    }
+
+    /// Posts a non-blocking send (models `MPI_Isend` with a buffered
+    /// payload): the sender pays only the posting overhead; the message
+    /// arrives at `now + α + bytes·β`.
+    pub fn send_bytes(&mut self, dst: usize, tag: u64, payload: Bytes) {
+        assert!(dst < self.size(), "send to unknown rank {dst}");
+        let cfg = &self.shared.cfg;
+        let bytes = payload.len();
+        self.clock += cfg.net.send_overhead_ns;
+        self.stats.send_cpu_ns += cfg.net.send_overhead_ns;
+        let seq = self.stats.msgs_sent;
+        let arrival =
+            self.clock + cfg.net.xfer_jittered_ns(&cfg.topology, self.rank, dst, bytes, seq);
+        let msg = Msg { src: self.rank, tag, payload, sent_at: self.clock, arrival };
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let mb = &self.shared.mailboxes[dst];
+        mb.queue.lock().push_back(msg);
+        mb.cv.notify_all();
+    }
+
+    /// Posts a send on behalf of a *virtual worker thread* that finishes at
+    /// virtual time `not_before` (see [`crate::VThreadPool`]): the message
+    /// leaves at `max(not_before, 0)` regardless of this rank's progress
+    /// clock, modelling a compute thread that posts its own result. The
+    /// rank's clock is not advanced; the posting overhead is attributed to
+    /// the virtual thread (added to the departure time).
+    pub fn send_bytes_at(&mut self, dst: usize, tag: u64, payload: Bytes, not_before: f64) {
+        assert!(dst < self.size(), "send to unknown rank {dst}");
+        let cfg = &self.shared.cfg;
+        let bytes = payload.len();
+        let depart = not_before.max(0.0) + cfg.net.send_overhead_ns;
+        let seq = self.stats.msgs_sent;
+        let arrival =
+            depart + cfg.net.xfer_jittered_ns(&cfg.topology, self.rank, dst, bytes, seq);
+        let msg = Msg { src: self.rank, tag, payload, sent_at: depart, arrival };
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.stats.send_cpu_ns += cfg.net.send_overhead_ns;
+        let mb = &self.shared.mailboxes[dst];
+        mb.queue.lock().push_back(msg);
+        mb.cv.notify_all();
+    }
+
+    /// Blocking receive of the first message matching `src`/`tag`
+    /// (`None` = wildcard). The receiver's clock advances to the message's
+    /// arrival when it arrives "in the future"; the gap is recorded as
+    /// communication wait.
+    ///
+    /// # Panics
+    /// Panics after the cluster's watchdog timeout — a deadlocked simulated
+    /// program fails loudly instead of hanging the host.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u64>) -> Msg {
+        let msg = self.wait_message(src, tag);
+        self.complete_recv(msg)
+    }
+
+    /// Non-blocking probe-and-receive (models an `MPI_Test` loop that found
+    /// a message): returns the first matching queued message, if any.
+    pub fn try_recv(&mut self, src: Option<usize>, tag: Option<u64>) -> Option<Msg> {
+        let msg = {
+            let mut q = self.shared.mailboxes[self.rank].queue.lock();
+            take_match(&mut q, src, tag)
+        }?;
+        Some(self.complete_recv(msg))
+    }
+
+    fn complete_recv(&mut self, msg: Msg) -> Msg {
+        let cfg = &self.shared.cfg;
+        if msg.arrival > self.clock {
+            self.stats.wait_ns += msg.arrival - self.clock;
+            self.clock = msg.arrival;
+        }
+        self.clock += cfg.net.recv_overhead_ns;
+        self.stats.recv_cpu_ns += cfg.net.recv_overhead_ns;
+        self.stats.msgs_recv += 1;
+        msg
+    }
+
+    fn wait_message(&self, src: Option<usize>, tag: Option<u64>) -> Msg {
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(m) = take_match(&mut q, src, tag) {
+                return m;
+            }
+            let timeout = self.shared.cfg.recv_timeout;
+            if mb.cv.wait_for(&mut q, timeout).timed_out() {
+                panic!(
+                    "rank {} timed out after {:?} waiting for src={:?} tag={:?} \
+                     (queued: {} unmatched messages) — simulated program deadlock",
+                    self.rank,
+                    timeout,
+                    src,
+                    tag,
+                    q.len()
+                );
+            }
+        }
+    }
+
+    /// Registers a shared object and returns its key (used by RMA windows
+    /// to hand `Arc`s across rank threads).
+    pub(crate) fn registry_put(
+        &self,
+        value: Box<dyn std::any::Any + Send + Sync>,
+    ) -> u64 {
+        self.shared.registry_put(value)
+    }
+
+    pub(crate) fn registry_get(&self, key: u64) -> Arc<dyn std::any::Any + Send + Sync> {
+        self.shared.registry_get(key)
+    }
+}
+
+/// Bit 63 marks collective-internal traffic. A wildcard-tag receive never
+/// matches it — mirroring MPI, where collectives use a separate matching
+/// context and cannot be intercepted by `MPI_Recv(ANY_TAG)`.
+pub(crate) const COLL_FLAG: u64 = 1 << 63;
+
+fn take_match(q: &mut VecDeque<Msg>, src: Option<usize>, tag: Option<u64>) -> Option<Msg> {
+    let pos = q.iter().position(|m| {
+        src.map_or(true, |s| m.src == s)
+            && tag.map_or(m.tag & COLL_FLAG == 0, |t| m.tag == t)
+    })?;
+    q.remove(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, SimConfig};
+
+    #[test]
+    fn send_recv_advances_clocks() {
+        let out = Cluster::new(SimConfig::new(2)).run(|rank| {
+            if rank.rank() == 0 {
+                rank.charge(1000.0);
+                rank.send_bytes(1, 7, Bytes::from_static(b"hello"));
+                rank.now()
+            } else {
+                let m = rank.recv(Some(0), Some(7));
+                assert_eq!(&m.payload[..], b"hello");
+                assert!(m.arrival > 1000.0, "arrival {} must include compute+net", m.arrival);
+                assert!(rank.now() >= m.arrival);
+                rank.now()
+            }
+        });
+        assert!(out[1] > out[0], "receiver finishes after sender posted");
+    }
+
+    #[test]
+    fn wildcard_recv_matches_any() {
+        let out = Cluster::new(SimConfig::new(3)).run(|rank| match rank.rank() {
+            0 => {
+                rank.send_bytes(2, 1, Bytes::from_static(b"a"));
+                0
+            }
+            1 => {
+                rank.send_bytes(2, 2, Bytes::from_static(b"b"));
+                0
+            }
+            _ => {
+                let m1 = rank.recv(None, None);
+                let m2 = rank.recv(None, None);
+                let mut srcs = [m1.src, m2.src];
+                srcs.sort_unstable();
+                assert_eq!(srcs, [0, 1]);
+                (m1.payload.len() + m2.payload.len()) as i32
+            }
+        });
+        assert_eq!(out[2], 2);
+    }
+
+    #[test]
+    fn tag_filtering_defers_other_tags() {
+        Cluster::new(SimConfig::new(2)).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send_bytes(1, 5, Bytes::from_static(b"five"));
+                rank.send_bytes(1, 6, Bytes::from_static(b"six"));
+            } else {
+                // ask for tag 6 first even though 5 arrives first
+                let m6 = rank.recv(Some(0), Some(6));
+                assert_eq!(&m6.payload[..], b"six");
+                let m5 = rank.recv(Some(0), Some(5));
+                assert_eq!(&m5.payload[..], b"five");
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        Cluster::new(SimConfig::new(2)).run(|rank| {
+            if rank.rank() == 1 {
+                // nothing sent yet with tag 9 from rank 0 — simulate one
+                // failed probe, then a successful blocking receive
+                let probe = rank.try_recv(Some(0), Some(9));
+                let _ = probe; // may be None or Some depending on scheduling
+            } else {
+                rank.send_bytes(1, 9, Bytes::new());
+            }
+        });
+    }
+
+    #[test]
+    fn charge_dists_uses_cost_model() {
+        let cfg = SimConfig::new(1);
+        let per = cfg.cost.dist_ns(128);
+        let out = Cluster::new(cfg).run(|rank| {
+            rank.charge_dists(100, 128);
+            rank.now()
+        });
+        assert!((out[0] - 100.0 * per).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_track_messages() {
+        let out = Cluster::new(SimConfig::new(2)).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send_bytes(1, 1, Bytes::from_static(b"xyz"));
+                rank.stats()
+            } else {
+                let _ = rank.recv(None, None);
+                rank.stats()
+            }
+        });
+        assert_eq!(out[0].msgs_sent, 1);
+        assert_eq!(out[0].bytes_sent, 3);
+        assert_eq!(out[1].msgs_recv, 1);
+        assert!(out[1].wait_ns >= 0.0);
+    }
+
+    #[test]
+    fn wildcard_recv_never_steals_collective_traffic() {
+        // Regression test: a rank still in its point-to-point serve loop
+        // must not intercept collective-internal messages (e.g. another
+        // rank's gather contribution) with a wildcard receive — the bug
+        // class that deadlocked the multiple-owner engine.
+        use crate::comm::ReduceOp;
+        Cluster::new(SimConfig::new(3)).run(|rank| {
+            let world = rank.world();
+            if rank.rank() == 0 {
+                // ranks 1 and 2 enter the allreduce immediately; their
+                // contributions land in rank 0's mailbox while it is still
+                // doing wildcard point-to-point receives.
+                let m = rank.recv(None, None); // must match ONLY the user msg
+                assert_eq!(m.tag, 42, "wildcard matched a collective message");
+            }
+            if rank.rank() == 1 {
+                rank.send_bytes(0, 42, Bytes::from_static(b"user"));
+            }
+            let s = world.allreduce_f64(rank, 1.0, ReduceOp::Sum);
+            assert_eq!(s, 3.0);
+        });
+    }
+
+    #[test]
+    fn explicit_tag_recv_matches_collective_flagged_messages() {
+        // Collectives themselves must still find their traffic (exact-tag
+        // matching bypasses the wildcard guard) — exercised implicitly by
+        // every collective test, asserted directly here via a barrier after
+        // queued user messages.
+        Cluster::new(SimConfig::new(2)).run(|rank| {
+            let world = rank.world();
+            if rank.rank() == 0 {
+                rank.send_bytes(1, 7, Bytes::new());
+            }
+            world.barrier(rank); // must complete despite the queued user msg
+            if rank.rank() == 1 {
+                let m = rank.recv(Some(0), Some(7));
+                assert_eq!(m.tag, 7);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_to_unknown_rank_panics() {
+        Cluster::new(SimConfig::new(1)).run(|rank| {
+            rank.send_bytes(5, 0, Bytes::new());
+        });
+    }
+}

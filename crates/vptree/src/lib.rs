@@ -1,0 +1,52 @@
+//! # fastann-vptree
+//!
+//! Vantage-point trees (Yianilos, SODA 1993) — the space-partitioning
+//! structure the paper uses to split a dataset across processes
+//! (Section III-B).
+//!
+//! Two structures are provided:
+//!
+//! * [`VpTree`] — a classic *exact* metric k-NN tree with bucket leaves:
+//!   every inner node stores a vantage point and the median distance µ; the
+//!   ball of radius µ around the vantage point forms the left subspace.
+//!   Search prunes a subtree whenever the query ball (radius = current k-th
+//!   distance) cannot intersect it. Used as an exact reference and for the
+//!   single-node engine.
+//! * [`PartitionTree`] — the *skeleton* the distributed engine needs: inner
+//!   nodes hold `(vantage vector, µ)` and leaves name data partitions. Its
+//!   [`PartitionTree::route`] implements the paper's `F(q)` — the subset of
+//!   partitions a query must visit — by descending into the containing
+//!   child and also into the sibling whenever the query lies within a
+//!   margin of the boundary.
+//!
+//! Vantage points are chosen with the second-moment heuristic of the paper
+//! (`SelectVantagePointSerial`): sample candidates, keep the one whose
+//! distance distribution to a data sample has the largest spread about its
+//! median.
+//!
+//! ```
+//! use fastann_data::{synth, Distance};
+//! use fastann_vptree::{PartitionTree, RouteConfig, VpTree, VpTreeConfig};
+//!
+//! let data = synth::sift_like(2_000, 16, 1);
+//!
+//! // Exact k-NN.
+//! let tree = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
+//! let (hits, stats) = tree.knn(data.get(0), 5);
+//! assert_eq!(hits[0].id, 0);
+//! assert!(stats.ndist < 2_000, "search must prune");
+//!
+//! // Space partitioning + F(q) routing.
+//! let (skel, parts) = PartitionTree::build_local(&data, 8, Distance::L2, 1);
+//! assert_eq!(parts.len(), 8);
+//! let (route, _) = skel.route(data.get(0), &RouteConfig::default());
+//! assert!(!route.is_empty());
+//! ```
+
+mod partition;
+mod tree;
+mod vantage;
+
+pub use partition::{PartitionTree, PartitionTreeBuilder, RouteConfig};
+pub use tree::{VpSearchStats, VpTree, VpTreeConfig};
+pub use vantage::{select_vantage, spread_about_median};

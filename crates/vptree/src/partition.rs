@@ -1,0 +1,570 @@
+//! Partition skeleton tree and query routing — the paper's `F(q)`.
+//!
+//! The distributed engine builds a VP tree whose leaves are whole data
+//! partitions (one per processing core). The *skeleton* — vantage vectors
+//! and µ radii of the inner nodes, partition ids at the leaves — is all the
+//! master process keeps; it is assembled either by the distributed
+//! construction (fastann-core) or locally by [`PartitionTree::build_local`].
+//!
+//! Routing a query returns the partitions whose subspace could contain its
+//! nearest neighbours: the search descends into the child containing the
+//! query and *also* into the sibling whenever the query is within a margin
+//! of the µ boundary. The margin and the partition budget are the knobs
+//! that trade recall against work, mirroring how the paper localises each
+//! query to a subset of partitions.
+
+use fastann_data::select::median;
+use fastann_data::{Distance, VectorSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::vantage::select_vantage;
+
+#[derive(Clone, Debug)]
+enum PNode {
+    Inner { vp: Vec<f32>, mu: f32, left: u32, right: u32 },
+    Leaf { partition: u32 },
+}
+
+/// Routing parameters for [`PartitionTree::route`].
+#[derive(Clone, Copy, Debug)]
+pub struct RouteConfig {
+    /// A sibling subtree is also visited when the query's boundary slack
+    /// `|d(q, vp) - mu|` is at most `margin_frac * mu`.
+    pub margin_frac: f32,
+    /// Upper bound on the number of partitions returned (the nearest-
+    /// boundary ones win). `usize::MAX` disables the cap.
+    pub max_partitions: usize,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        Self { margin_frac: 0.15, max_partitions: 4 }
+    }
+}
+
+/// Builder used by the distributed construction to assemble a skeleton from
+/// already-computed `(vantage, mu)` pairs.
+#[derive(Debug, Default)]
+pub struct PartitionTreeBuilder {
+    nodes: Vec<PNode>,
+}
+
+impl PartitionTreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a leaf naming `partition`; returns its node handle.
+    pub fn leaf(&mut self, partition: u32) -> u32 {
+        self.nodes.push(PNode::Leaf { partition });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Adds an inner node over two existing handles; returns its handle.
+    pub fn inner(&mut self, vp: Vec<f32>, mu: f32, left: u32, right: u32) -> u32 {
+        assert!((left as usize) < self.nodes.len(), "unknown left child");
+        assert!((right as usize) < self.nodes.len(), "unknown right child");
+        self.nodes.push(PNode::Inner { vp, mu, left, right });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Finishes the tree with `root` as the root handle.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a node or the structure is not a tree that
+    /// covers every node exactly once.
+    pub fn finish(self, root: u32, dist: Distance) -> PartitionTree {
+        assert!((root as usize) < self.nodes.len(), "unknown root");
+        let tree = PartitionTree { nodes: self.nodes, root, dist };
+        tree.validate();
+        tree
+    }
+}
+
+/// The master-side partition skeleton: maps a query to the partitions that
+/// must be searched.
+#[derive(Clone, Debug)]
+pub struct PartitionTree {
+    nodes: Vec<PNode>,
+    root: u32,
+    dist: Distance,
+}
+
+impl PartitionTree {
+    /// Builds the skeleton locally over `data`, splitting by median distance
+    /// until `n_partitions` leaves exist, and returns the per-partition row
+    /// ids alongside. This is the sequential reference implementation of
+    /// the paper's construction (Algorithm 2 without the message passing);
+    /// the distributed builder in `fastann-core` produces the same shape.
+    ///
+    /// `n_partitions` must be a power of two (the construction halves
+    /// process groups, paper Section IV-A).
+    pub fn build_local(
+        data: &VectorSet,
+        n_partitions: usize,
+        dist: Distance,
+        seed: u64,
+    ) -> (PartitionTree, Vec<Vec<u32>>) {
+        assert!(n_partitions >= 1, "need at least one partition");
+        assert!(n_partitions.is_power_of_two(), "partition count must be a power of two");
+        assert!(
+            data.len() >= n_partitions,
+            "cannot split {} points into {} partitions",
+            data.len(),
+            n_partitions
+        );
+        assert!(dist.is_metric(), "partitioning requires a true metric");
+        let mut nodes = Vec::new();
+        let mut parts: Vec<Vec<u32>> = Vec::with_capacity(n_partitions);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let all: Vec<u32> = (0..data.len() as u32).collect();
+        let root = split_rec(data, dist, all, n_partitions, &mut nodes, &mut parts, &mut rng);
+        let tree = PartitionTree { nodes, root, dist };
+        tree.validate();
+        (tree, parts)
+    }
+
+    /// Number of leaf partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, PNode::Leaf { .. })).count()
+    }
+
+    /// The metric the tree routes with.
+    pub fn distance(&self) -> Distance {
+        self.dist
+    }
+
+    /// Tree depth in edges.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[PNode], n: u32) -> usize {
+            match &nodes[n as usize] {
+                PNode::Leaf { .. } => 0,
+                PNode::Inner { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, self.root)
+    }
+
+    /// The paper's `F(q)`: partitions to search for query `q`, ordered by
+    /// ascending boundary slack (the home partition first, slack 0), capped
+    /// at `cfg.max_partitions`. Also returns the number of distance
+    /// evaluations spent routing (charged to the master's virtual clock by
+    /// the engine).
+    ///
+    /// The traversal is *bounded best-first*: a frontier ordered by the
+    /// loosest boundary crossed so far, expanded until `max_partitions`
+    /// leaves are found. This caps the routing work at roughly
+    /// `max_partitions × depth` distance evaluations — the DFS alternative
+    /// explores every in-margin branch and its cost explodes with tree
+    /// depth, which would make the sequential master the bottleneck (the
+    /// effect the paper fights with its optimisations).
+    pub fn route(&self, q: &[f32], cfg: &RouteConfig) -> (Vec<u32>, u64) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Frontier(f32, u32); // (worst slack so far, node)
+        impl Eq for Frontier {}
+        impl Ord for Frontier {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+            }
+        }
+        impl PartialOrd for Frontier {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let cap = cfg.max_partitions.max(1).min(self.nodes.len());
+        let mut ndist = 0u64;
+        let mut out: Vec<u32> = Vec::with_capacity(cap);
+        let mut heap: BinaryHeap<Reverse<Frontier>> = BinaryHeap::new();
+        heap.push(Reverse(Frontier(0.0, self.root)));
+        while let Some(Reverse(Frontier(worst, mut node))) = heap.pop() {
+            // descend to a leaf, deferring in-margin siblings to the frontier
+            loop {
+                match &self.nodes[node as usize] {
+                    PNode::Leaf { partition } => {
+                        out.push(*partition);
+                        break;
+                    }
+                    PNode::Inner { vp, mu, left, right } => {
+                        ndist += 1;
+                        let d = self.dist.eval(q, vp);
+                        let slack = (d - mu).abs();
+                        let (near, far) =
+                            if d <= *mu { (*left, *right) } else { (*right, *left) };
+                        if slack <= cfg.margin_frac * mu {
+                            heap.push(Reverse(Frontier(worst.max(slack), far)));
+                        }
+                        node = near;
+                    }
+                }
+            }
+            if out.len() >= cap {
+                break;
+            }
+        }
+        (out, ndist)
+    }
+
+    /// Checks the node array forms a tree rooted at `self.root` covering
+    /// every node once.
+    fn validate(&self) {
+        let mut seen = vec![false; self.nodes.len()];
+        fn rec(nodes: &[PNode], n: u32, seen: &mut [bool]) {
+            assert!(!seen[n as usize], "node {n} reachable twice: not a tree");
+            seen[n as usize] = true;
+            if let PNode::Inner { left, right, .. } = &nodes[n as usize] {
+                rec(nodes, *left, seen);
+                rec(nodes, *right, seen);
+            }
+        }
+        rec(&self.nodes, self.root, &mut seen);
+        assert!(seen.iter().all(|&s| s), "orphan nodes present");
+    }
+
+    /// Serializes the skeleton to bytes (preorder; little endian): the
+    /// format the distributed construction ships between ranks and that
+    /// [`PartitionTree::from_bytes`] reads back.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn rec(nodes: &[PNode], n: u32, out: &mut Vec<u8>) {
+            match &nodes[n as usize] {
+                PNode::Leaf { partition } => {
+                    out.extend_from_slice(&0u32.to_le_bytes());
+                    out.extend_from_slice(&partition.to_le_bytes());
+                }
+                PNode::Inner { vp, mu, left, right } => {
+                    out.extend_from_slice(&1u32.to_le_bytes());
+                    out.extend_from_slice(&mu.to_le_bytes());
+                    out.extend_from_slice(&(vp.len() as u32).to_le_bytes());
+                    for &x in vp {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                    rec(nodes, *left, out);
+                    rec(nodes, *right, out);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.approx_bytes());
+        rec(&self.nodes, self.root, &mut out);
+        out
+    }
+
+    /// Deserializes a skeleton produced by [`PartitionTree::to_bytes`].
+    ///
+    /// # Panics
+    /// Panics on malformed input (the skeleton travels inside trusted
+    /// index files and simulated messages, not across trust boundaries).
+    pub fn from_bytes(bytes: &[u8], dist: Distance) -> PartitionTree {
+        struct Rd<'a>(&'a [u8], usize);
+        impl Rd<'_> {
+            fn u32(&mut self) -> u32 {
+                let v = u32::from_le_bytes(self.0[self.1..self.1 + 4].try_into().expect("u32"));
+                self.1 += 4;
+                v
+            }
+            fn f32(&mut self) -> f32 {
+                f32::from_bits(self.u32())
+            }
+        }
+        fn rec(rd: &mut Rd<'_>, b: &mut PartitionTreeBuilder) -> u32 {
+            let tag = rd.u32();
+            if tag == 0 {
+                let p = rd.u32();
+                b.leaf(p)
+            } else {
+                let mu = rd.f32();
+                let n = rd.u32() as usize;
+                let vp: Vec<f32> = (0..n).map(|_| rd.f32()).collect();
+                let left = rec(rd, b);
+                let right = rec(rd, b);
+                b.inner(vp, mu, left, right)
+            }
+        }
+        let mut rd = Rd(bytes, 0);
+        let mut b = PartitionTreeBuilder::new();
+        let root = rec(&mut rd, &mut b);
+        assert_eq!(rd.1, bytes.len(), "trailing bytes in skeleton");
+        b.finish(root, dist)
+    }
+
+    /// Serialized size estimate in bytes (vantage vectors dominate); used
+    /// to model the cost of broadcasting the skeleton.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                PNode::Inner { vp, .. } => 16 + vp.len() * 4,
+                PNode::Leaf { .. } => 8,
+            })
+            .sum()
+    }
+}
+
+/// Recursive median split of `ids` into `parts_left` partitions.
+fn split_rec(
+    data: &VectorSet,
+    dist: Distance,
+    ids: Vec<u32>,
+    parts_left: usize,
+    nodes: &mut Vec<PNode>,
+    parts: &mut Vec<Vec<u32>>,
+    rng: &mut SmallRng,
+) -> u32 {
+    if parts_left == 1 {
+        let pid = parts.len() as u32;
+        parts.push(ids);
+        nodes.push(PNode::Leaf { partition: pid });
+        return (nodes.len() - 1) as u32;
+    }
+    // vantage selection over a sample (paper: candidates of 100)
+    let n_cand = 16.min(ids.len());
+    let n_samp = 64.min(ids.len());
+    let candidates: Vec<u32> = ids.choose_multiple(rng, n_cand).copied().collect();
+    let sample: Vec<u32> = ids.choose_multiple(rng, n_samp).copied().collect();
+    let (best, _) = select_vantage(data, &candidates, data, &sample, dist);
+    let vp = data.get(candidates[best] as usize).to_vec();
+
+    let dists: Vec<f32> = ids.iter().map(|&i| dist.eval(&vp, data.get(i as usize))).collect();
+    let mu = median(&mut dists.clone());
+    let mut left_ids = Vec::with_capacity(ids.len() / 2 + 1);
+    let mut right_ids = Vec::with_capacity(ids.len() / 2 + 1);
+    for (i, &id) in ids.iter().enumerate() {
+        if dists[i] <= mu {
+            left_ids.push(id);
+        } else {
+            right_ids.push(id);
+        }
+    }
+    // Ties on mu can empty one side of a tiny split; rebalance minimally so
+    // both subtrees receive points.
+    while right_ids.len() < parts_left / 2 && !left_ids.is_empty() {
+        right_ids.push(left_ids.pop().expect("non-empty"));
+    }
+    while left_ids.len() < parts_left / 2 && !right_ids.is_empty() {
+        left_ids.push(right_ids.pop().expect("non-empty"));
+    }
+
+    let node_idx = nodes.len();
+    nodes.push(PNode::Leaf { partition: u32::MAX }); // placeholder
+    let left = split_rec(data, dist, left_ids, parts_left / 2, nodes, parts, rng);
+    let right = split_rec(data, dist, right_ids, parts_left / 2, nodes, parts, rng);
+    nodes[node_idx] = PNode::Inner { vp, mu, left, right };
+    node_idx as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::synth;
+
+    #[test]
+    fn build_local_partitions_cover_dataset() {
+        let data = synth::sift_like(1000, 8, 1);
+        let (tree, parts) = PartitionTree::build_local(&data, 8, Distance::L2, 1);
+        assert_eq!(tree.n_partitions(), 8);
+        assert_eq!(parts.len(), 8);
+        let mut all: Vec<u32> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000u32).collect::<Vec<_>>(), "partitions must cover exactly");
+    }
+
+    #[test]
+    fn partitions_are_roughly_balanced() {
+        let data = synth::sift_like(2048, 8, 2);
+        let (_, parts) = PartitionTree::build_local(&data, 16, Distance::L2, 2);
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        // median splits: each level halves within tie tolerance
+        assert!(min * 3 >= max, "imbalance too high: {min} vs {max}");
+    }
+
+    #[test]
+    fn route_returns_home_partition_first() {
+        let data = synth::sift_like(500, 8, 3);
+        let (tree, parts) = PartitionTree::build_local(&data, 8, Distance::L2, 3);
+        // a data point's home partition must be the first routed partition
+        for pid in 0..8usize {
+            let Some(&id) = parts[pid].first() else { continue };
+            let (route, nd) = tree.route(
+                data.get(id as usize),
+                &RouteConfig { margin_frac: 0.0, max_partitions: 1 },
+            );
+            assert_eq!(route.len(), 1);
+            assert_eq!(route[0] as usize, pid, "point {id} routed away from home");
+            assert!(nd > 0);
+        }
+    }
+
+    #[test]
+    fn wider_margin_routes_to_more_partitions() {
+        let data = synth::sift_like(1000, 8, 4);
+        let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 4);
+        let q = data.get(0);
+        let narrow = tree.route(q, &RouteConfig { margin_frac: 0.0, max_partitions: 100 }).0;
+        let wide = tree.route(q, &RouteConfig { margin_frac: 0.5, max_partitions: 100 }).0;
+        assert_eq!(narrow.len(), 1);
+        assert!(wide.len() >= narrow.len());
+    }
+
+    #[test]
+    fn max_partitions_caps_route() {
+        let data = synth::sift_like(1000, 8, 5);
+        let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 5);
+        let (route, _) =
+            tree.route(data.get(3), &RouteConfig { margin_frac: 1.0, max_partitions: 3 });
+        assert!(route.len() <= 3);
+        assert!(!route.is_empty());
+    }
+
+    #[test]
+    fn route_is_deduplicated_and_valid() {
+        let data = synth::sift_like(600, 8, 6);
+        let (tree, _) = PartitionTree::build_local(&data, 8, Distance::L2, 6);
+        let (route, _) =
+            tree.route(data.get(0), &RouteConfig { margin_frac: 0.8, max_partitions: 64 });
+        let mut sorted = route.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), route.len(), "no duplicate partitions");
+        assert!(route.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn builder_assembles_manual_tree() {
+        let mut b = PartitionTreeBuilder::new();
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let root = b.inner(vec![0.0, 0.0], 1.0, l0, l1);
+        let tree = b.finish(root, Distance::L2);
+        assert_eq!(tree.n_partitions(), 2);
+        // query inside the ball routes to partition 0
+        let (route, _) =
+            tree.route(&[0.1, 0.1], &RouteConfig { margin_frac: 0.0, max_partitions: 8 });
+        assert_eq!(route, vec![0]);
+        // query outside routes to partition 1
+        let (route, _) =
+            tree.route(&[5.0, 5.0], &RouteConfig { margin_frac: 0.0, max_partitions: 8 });
+        assert_eq!(route, vec![1]);
+    }
+
+    #[test]
+    fn builder_near_boundary_routes_to_both() {
+        let mut b = PartitionTreeBuilder::new();
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let root = b.inner(vec![0.0], 1.0, l0, l1);
+        let tree = b.finish(root, Distance::L2);
+        let (route, _) =
+            tree.route(&[0.95], &RouteConfig { margin_frac: 0.2, max_partitions: 8 });
+        assert_eq!(route.len(), 2, "boundary query must visit both children");
+        assert_eq!(route[0], 0, "home partition first");
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_bad_child_panics() {
+        let mut b = PartitionTreeBuilder::new();
+        let l0 = b.leaf(0);
+        let _ = b.inner(vec![0.0], 1.0, l0, 99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let data = synth::sift_like(100, 4, 7);
+        let _ = PartitionTree::build_local(&data, 3, Distance::L2, 7);
+    }
+
+    #[test]
+    fn depth_matches_partition_count() {
+        let data = synth::sift_like(512, 8, 8);
+        let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 8);
+        assert_eq!(tree.depth(), 4, "16 partitions -> depth log2(16)");
+    }
+
+    #[test]
+    fn best_first_route_prefers_tightest_boundaries() {
+        // With a cap of 2 and a wide margin, the two returned partitions
+        // must be the two with the smallest boundary slack among all
+        // in-margin leaves (best-first, not DFS truncation).
+        let data = synth::sift_like(800, 8, 10);
+        let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 10);
+        let q = data.get(11);
+        let all = tree.route(q, &RouteConfig { margin_frac: 0.6, max_partitions: 1000 }).0;
+        let capped = tree.route(q, &RouteConfig { margin_frac: 0.6, max_partitions: 2 }).0;
+        assert_eq!(capped.len(), 2.min(all.len()));
+        assert_eq!(&all[..capped.len()], &capped[..], "cap must take the best-ranked prefix");
+    }
+
+    #[test]
+    fn skeleton_round_trips_through_bytes() {
+        let data = synth::sift_like(600, 8, 11);
+        let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 11);
+        let back = PartitionTree::from_bytes(&tree.to_bytes(), Distance::L2);
+        assert_eq!(back.n_partitions(), 16);
+        let cfg = RouteConfig { margin_frac: 0.3, max_partitions: 6 };
+        for qi in (0..600).step_by(97) {
+            let q = data.get(qi);
+            assert_eq!(tree.route(q, &cfg), back.route(q, &cfg), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn approx_bytes_reasonable() {
+        let data = synth::sift_like(256, 8, 9);
+        let (tree, _) = PartitionTree::build_local(&data, 8, Distance::L2, 9);
+        // 7 inner nodes, dim 8 -> at least 7*(16+32) bytes
+        assert!(tree.approx_bytes() >= 7 * 48);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fastann_data::synth;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn route_always_contains_home_partition(
+            seed in 0u64..500,
+            margin in 0.0f32..0.5,
+            cap in 1usize..16,
+        ) {
+            let data = synth::sift_like(300, 6, seed);
+            let (tree, _) = PartitionTree::build_local(&data, 8, Distance::L2, seed);
+            for qi in (0..300).step_by(61) {
+                let q = data.get(qi);
+                let home = tree.route(q, &RouteConfig { margin_frac: 0.0, max_partitions: 1 }).0[0];
+                let routed = tree.route(q, &RouteConfig { margin_frac: margin, max_partitions: cap }).0;
+                prop_assert_eq!(routed[0], home, "home partition must rank first");
+                prop_assert!(routed.len() <= cap);
+                let mut dedup = routed.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), routed.len(), "no duplicates");
+            }
+        }
+
+        #[test]
+        fn wider_margin_is_superset_prefix_monotone(
+            seed in 0u64..500,
+        ) {
+            let data = synth::sift_like(400, 6, seed);
+            let (tree, _) = PartitionTree::build_local(&data, 8, Distance::L2, seed);
+            let q = data.get(1);
+            let narrow = tree.route(q, &RouteConfig { margin_frac: 0.1, max_partitions: 64 }).0;
+            let wide = tree.route(q, &RouteConfig { margin_frac: 0.4, max_partitions: 64 }).0;
+            for p in &narrow {
+                prop_assert!(wide.contains(p), "wider margin must keep partition {}", p);
+            }
+        }
+    }
+}

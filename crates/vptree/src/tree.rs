@@ -1,0 +1,500 @@
+//! Exact vantage-point tree with bucket leaves.
+
+use fastann_data::{Distance, Neighbor, TopK, VectorSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::vantage::select_vantage;
+
+/// Construction parameters for [`VpTree`].
+#[derive(Clone, Copy, Debug)]
+pub struct VpTreeConfig {
+    /// Maximum points in a leaf bucket.
+    pub bucket_size: usize,
+    /// Vantage-point candidates sampled per node (the paper samples 100).
+    pub candidate_sample: usize,
+    /// Data points sampled to score each candidate.
+    pub spread_sample: usize,
+    /// RNG seed; construction is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for VpTreeConfig {
+    fn default() -> Self {
+        Self { bucket_size: 32, candidate_sample: 16, spread_sample: 64, seed: 0 }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Inner {
+        /// Row id (into the original data) of the vantage point.
+        vp: u32,
+        /// Median distance: the left child holds points within `mu` of `vp`.
+        mu: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        /// Range into the permuted `ids` array.
+        start: u32,
+        end: u32,
+    },
+}
+
+/// Per-search accounting for the exact VP-tree search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VpSearchStats {
+    /// Distance evaluations performed.
+    pub ndist: u64,
+    /// Tree nodes visited.
+    pub nodes_visited: u64,
+    /// Leaves scanned.
+    pub leaves_visited: u64,
+}
+
+/// An exact metric k-NN index: binary tree where each inner node splits
+/// space by the median distance to a vantage point.
+pub struct VpTree {
+    dist: Distance,
+    data: VectorSet,
+    ids: Vec<u32>,
+    nodes: Vec<Node>,
+    root: u32,
+    config: VpTreeConfig,
+    build_ndist: u64,
+}
+
+impl VpTree {
+    /// Builds a tree over `data` with the given metric.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or the metric is not a true metric
+    /// (pruning relies on the triangle inequality).
+    pub fn build(data: VectorSet, dist: Distance, config: VpTreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot build a VP tree over an empty set");
+        assert!(
+            dist.is_metric(),
+            "VP-tree pruning requires a true metric, got {}",
+            dist.name()
+        );
+        assert!(config.bucket_size >= 1, "bucket size must be at least 1");
+        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let n = ids.len();
+        let mut build_ndist = 0u64;
+        let root =
+            build_rec(&data, dist, &config, &mut ids, 0, n, &mut nodes, &mut rng, &mut build_ndist);
+        Self { dist, data, ids, nodes, root, config, build_ndist }
+    }
+
+    /// Distance evaluations spent constructing the tree (vantage scoring
+    /// plus the per-node distance pass), used for virtual-time charging.
+    pub fn build_ndist(&self) -> u64 {
+        self.build_ndist
+    }
+
+    /// Approximate resident bytes (vectors + nodes + permutation).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.as_flat().len() * 4 + self.nodes.len() * 24 + self.ids.len() * 4
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// `true` if the tree indexes no points (never true post-build).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The metric the tree was built with.
+    pub fn distance(&self) -> Distance {
+        self.dist
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &VpTreeConfig {
+        &self.config
+    }
+
+    /// Tree depth (longest root-to-leaf path, in edges).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], n: u32) -> usize {
+            match &nodes[n as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Inner { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, self.root)
+    }
+
+    /// Exact k-nearest-neighbour search.
+    pub fn knn(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, VpSearchStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
+        let mut top = TopK::new(k);
+        let mut stats = VpSearchStats::default();
+        self.search_rec(self.root, q, &mut top, &mut stats);
+        (top.into_sorted(), stats)
+    }
+
+    /// Exact range search: every indexed point within `radius` of `q`,
+    /// sorted by ascending distance. The same µ-boundary pruning as k-NN,
+    /// with a fixed ball instead of a shrinking one.
+    pub fn range(&self, q: &[f32], radius: f32) -> (Vec<Neighbor>, VpSearchStats) {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
+        let mut out = Vec::new();
+        let mut stats = VpSearchStats::default();
+        self.range_rec(self.root, q, radius, &mut out, &mut stats);
+        out.sort_unstable();
+        (out, stats)
+    }
+
+    fn range_rec(
+        &self,
+        node: u32,
+        q: &[f32],
+        radius: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut VpSearchStats,
+    ) {
+        stats.nodes_visited += 1;
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                stats.leaves_visited += 1;
+                for &id in &self.ids[*start as usize..*end as usize] {
+                    stats.ndist += 1;
+                    let d = self.dist.eval(q, self.data.get(id as usize));
+                    if d <= radius {
+                        out.push(Neighbor::new(id, d));
+                    }
+                }
+            }
+            Node::Inner { vp, mu, left, right } => {
+                stats.ndist += 1;
+                let d = self.dist.eval(q, self.data.get(*vp as usize));
+                if d <= radius {
+                    out.push(Neighbor::new(*vp, d));
+                }
+                if d - radius <= *mu {
+                    self.range_rec(*left, q, radius, out, stats);
+                }
+                if d + radius > *mu {
+                    self.range_rec(*right, q, radius, out, stats);
+                }
+            }
+        }
+    }
+
+    fn search_rec(&self, node: u32, q: &[f32], top: &mut TopK, stats: &mut VpSearchStats) {
+        stats.nodes_visited += 1;
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                stats.leaves_visited += 1;
+                for &id in &self.ids[*start as usize..*end as usize] {
+                    stats.ndist += 1;
+                    top.push(Neighbor::new(id, self.dist.eval(q, self.data.get(id as usize))));
+                }
+            }
+            Node::Inner { vp, mu, left, right } => {
+                stats.ndist += 1;
+                let d = self.dist.eval(q, self.data.get(*vp as usize));
+                top.push(Neighbor::new(*vp, d));
+                // Search the containing side first so the prune radius
+                // tightens before the far side is considered.
+                let (near, far) = if d < *mu { (*left, *right) } else { (*right, *left) };
+                self.search_rec(near, q, top, stats);
+                // The far subspace can contain a neighbour only if the query
+                // ball of radius tau crosses the mu boundary.
+                let tau = top.prune_radius();
+                if (d - *mu).abs() <= tau {
+                    self.search_rec(far, q, top, stats);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for VpTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VpTree")
+            .field("len", &self.len())
+            .field("depth", &self.depth())
+            .field("bucket_size", &self.config.bucket_size)
+            .finish()
+    }
+}
+
+/// Recursive construction over `ids[start..end]`; returns the node index.
+#[allow(clippy::too_many_arguments)]
+fn build_rec(
+    data: &VectorSet,
+    dist: Distance,
+    config: &VpTreeConfig,
+    ids: &mut [u32],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+    rng: &mut SmallRng,
+    build_ndist: &mut u64,
+) -> u32 {
+    let n = end - start;
+    if n <= config.bucket_size {
+        nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
+        return (nodes.len() - 1) as u32;
+    }
+
+    // --- vantage point selection (second-moment heuristic) ---
+    let slice = &ids[start..end];
+    let n_cand = config.candidate_sample.min(n).max(1);
+    let n_sample = config.spread_sample.min(n).max(1);
+    let candidates: Vec<u32> = slice.choose_multiple(rng, n_cand).copied().collect();
+    let sample: Vec<u32> = slice.choose_multiple(rng, n_sample).copied().collect();
+    let (best, sel_ndist) = select_vantage(data, &candidates, data, &sample, dist);
+    *build_ndist += sel_ndist;
+    let vp = candidates[best];
+
+    // Move vp out of the range (it lives at the inner node).
+    let slice = &mut ids[start..end];
+    let vp_pos = slice.iter().position(|&x| x == vp).expect("vp is in range");
+    slice.swap(vp_pos, n - 1);
+    let rest = n - 1;
+
+    // --- median split by distance to vp ---
+    let vpv = data.get(vp as usize).to_vec();
+    *build_ndist += rest as u64;
+    let mut dists: Vec<f32> = slice[..rest].iter().map(|&i| dist.eval(&vpv, data.get(i as usize))).collect();
+    let mut order: Vec<usize> = (0..rest).collect();
+    order.sort_unstable_by(|&a, &b| dists[a].total_cmp(&dists[b]));
+    let permuted: Vec<u32> = order.iter().map(|&o| slice[o]).collect();
+    slice[..rest].copy_from_slice(&permuted);
+    dists.sort_unstable_by(f32::total_cmp);
+    let mid = (rest - 1) / 2;
+    let mu = dists[mid];
+    // left = indices with d <= mu. Because of ties, find the last position
+    // with d <= mu to keep the split deterministic.
+    let left_len = dists.partition_point(|&d| d <= mu).max(1).min(rest.saturating_sub(1)).max(1);
+
+    let node_idx = nodes.len();
+    nodes.push(Node::Leaf { start: 0, end: 0 }); // placeholder, patched below
+
+    let left = build_rec(data, dist, config, ids, start, start + left_len, nodes, rng, build_ndist);
+    let right = if left_len < rest {
+        build_rec(data, dist, config, ids, start + left_len, start + rest, nodes, rng, build_ndist)
+    } else {
+        // all remaining points tied at mu: degenerate right side is an
+        // empty leaf
+        nodes.push(Node::Leaf { start: (start + rest) as u32, end: (start + rest) as u32 });
+        (nodes.len() - 1) as u32
+    };
+    nodes[node_idx] = Node::Inner { vp, mu, left, right };
+    node_idx as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::{ground_truth, synth};
+
+    fn build_small(n: usize, dim: usize, seed: u64) -> (VectorSet, VpTree) {
+        let data = synth::sift_like(n, dim, seed);
+        let tree = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
+        (data, tree)
+    }
+
+    #[test]
+    fn knn_is_exact() {
+        let (data, tree) = build_small(1000, 12, 1);
+        let queries = synth::queries_near(&data, 25, 0.05, 2);
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        for (qi, truth) in gt.iter().enumerate() {
+            let (res, _) = tree.knn(queries.get(qi), 10);
+            assert_eq!(&res, truth, "query {qi} differs from brute force");
+        }
+    }
+
+    #[test]
+    fn knn_exact_under_l1() {
+        let data = synth::sift_like(500, 8, 3);
+        let tree = VpTree::build(data.clone(), Distance::L1, VpTreeConfig::default());
+        let queries = synth::queries_near(&data, 10, 0.05, 4);
+        let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L1);
+        for (qi, truth) in gt.iter().enumerate() {
+            let (res, _) = tree.knn(queries.get(qi), 5);
+            assert_eq!(&res, truth, "L1 query {qi}");
+        }
+    }
+
+    #[test]
+    fn pruning_actually_happens() {
+        let (data, tree) = build_small(4000, 8, 5);
+        let (_, stats) = tree.knn(data.get(0), 1);
+        assert!(
+            stats.ndist < 4000,
+            "search should prune; evaluated {} of 4000",
+            stats.ndist
+        );
+    }
+
+    #[test]
+    fn deeper_pruning_for_smaller_k() {
+        let (data, tree) = build_small(4000, 8, 6);
+        let (_, s1) = tree.knn(data.get(1), 1);
+        let (_, s50) = tree.knn(data.get(1), 50);
+        assert!(s1.ndist <= s50.ndist, "k=1 {} vs k=50 {}", s1.ndist, s50.ndist);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let mut data = VectorSet::new(2);
+        data.push(&[3.0, 4.0]);
+        let tree = VpTree::build(data, Distance::L2, VpTreeConfig::default());
+        let (r, _) = tree.knn(&[0.0, 0.0], 5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, 0);
+        assert!((r[0].dist - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut data = VectorSet::new(2);
+        for _ in 0..100 {
+            data.push(&[1.0, 1.0]);
+        }
+        let tree = VpTree::build(data, Distance::L2, VpTreeConfig { bucket_size: 4, ..Default::default() });
+        let (r, _) = tree.knn(&[1.0, 1.0], 10);
+        assert_eq!(r.len(), 10);
+        assert!(r.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn bucket_size_one_works() {
+        let data = synth::sift_like(64, 4, 7);
+        let tree = VpTree::build(
+            data.clone(),
+            Distance::L2,
+            VpTreeConfig { bucket_size: 1, ..Default::default() },
+        );
+        let gt = ground_truth::brute_force(&data, &data, 3, Distance::L2);
+        for i in 0..8 {
+            let (res, _) = tree.knn(data.get(i), 3);
+            assert_eq!(&res, &gt[i]);
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let (_, tree) = build_small(4096, 8, 8);
+        // ~4096/32 = 128 leaves -> ideal depth 7; allow slack for imbalance
+        assert!(tree.depth() <= 20, "depth {} too large", tree.depth());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_build_panics() {
+        let _ = VpTree::build(VectorSet::new(3), Distance::L2, VpTreeConfig::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_metric_rejected() {
+        let data = synth::sift_like(10, 4, 9);
+        let _ = VpTree::build(data, Distance::Cosine, VpTreeConfig::default());
+    }
+
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let data = synth::sift_like(1200, 8, 20);
+        let tree = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
+        let queries = synth::queries_near(&data, 10, 0.05, 21);
+        for qi in 0..queries.len() {
+            let q = queries.get(qi);
+            // pick a radius that captures a nontrivial set
+            let radius = {
+                let mut ds: Vec<f32> =
+                    data.iter().map(|r| Distance::L2.eval(q, r)).collect();
+                fastann_data::select::select_nth(&mut ds, 25)
+            };
+            let (got, stats) = tree.range(q, radius);
+            let mut want: Vec<_> = data
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    let d = Distance::L2.eval(q, r);
+                    (d <= radius).then(|| fastann_data::Neighbor::new(i as u32, d))
+                })
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "range query {qi} differs from scan");
+            assert!(stats.ndist <= 1200 + tree.nodes.len() as u64);
+        }
+    }
+
+    #[test]
+    fn zero_radius_range_finds_exact_duplicates() {
+        let data = synth::sift_like(300, 6, 22);
+        let tree = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
+        let (hits, _) = tree.range(data.get(5), 0.0);
+        assert!(hits.iter().any(|n| n.id == 5));
+        assert!(hits.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn huge_radius_returns_everything() {
+        let data = synth::sift_like(200, 4, 23);
+        let tree = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
+        let (hits, _) = tree.range(data.get(0), f32::MAX);
+        assert_eq!(hits.len(), 200);
+    }
+
+    #[test]
+    fn stats_populate() {
+        let (data, tree) = build_small(512, 8, 10);
+        let (_, stats) = tree.knn(data.get(0), 5);
+        assert!(stats.ndist > 0);
+        assert!(stats.nodes_visited > 0);
+        assert!(stats.leaves_visited > 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fastann_data::ground_truth;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn vp_knn_always_matches_brute_force(
+            seed in 0u64..1000,
+            n in 10usize..300,
+            k in 1usize..10,
+            bucket in 1usize..40,
+        ) {
+            let data = fastann_data::synth::sift_like(n, 6, seed);
+            let tree = VpTree::build(
+                data.clone(),
+                Distance::L2,
+                VpTreeConfig { bucket_size: bucket, seed, ..Default::default() },
+            );
+            let q = fastann_data::synth::sift_like(3, 6, seed ^ 0xabc);
+            for qi in 0..3 {
+                let (res, _) = tree.knn(q.get(qi), k);
+                let truth = ground_truth::brute_force_one(&data, q.get(qi), k, Distance::L2);
+                prop_assert_eq!(&res, &truth);
+            }
+        }
+    }
+}

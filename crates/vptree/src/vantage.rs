@@ -1,0 +1,105 @@
+//! Vantage-point selection heuristic.
+//!
+//! Yianilos' construction (and the paper's `SelectVantagePointSerial`)
+//! picks, from a random candidate subset, the point whose distances to a
+//! data sample have the largest **second moment about their median**. A
+//! large spread means the median sphere separates the space into two
+//! well-distinguished shells, which maximises pruning during search.
+
+use fastann_data::select::median;
+use fastann_data::{Distance, VectorSet};
+
+/// Second moment of `dists` about their median: `mean((d - med)^2)`.
+/// Larger is better for a vantage point. Returns 0 for an empty slice.
+pub fn spread_about_median(dists: &mut [f32]) -> f64 {
+    if dists.is_empty() {
+        return 0.0;
+    }
+    let med = median(dists) as f64;
+    dists.iter().map(|&d| (d as f64 - med).powi(2)).sum::<f64>() / dists.len() as f64
+}
+
+/// Selects the best vantage point among `candidates` (row indexes into
+/// `cand_set`), scoring each against the sample rows `sample` of
+/// `sample_set`. Returns the index *within `candidates`* of the winner and
+/// the number of distance evaluations spent.
+///
+/// The double indirection (separate candidate and sample sets) is what the
+/// distributed construction needs: candidates may be representatives
+/// received from other ranks while the sample is local data.
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn select_vantage(
+    cand_set: &VectorSet,
+    candidates: &[u32],
+    sample_set: &VectorSet,
+    sample: &[u32],
+    dist: Distance,
+) -> (usize, u64) {
+    assert!(!candidates.is_empty(), "no vantage-point candidates");
+    let mut best_idx = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    let mut ndist = 0u64;
+    let mut dists = vec![0f32; sample.len()];
+    for (ci, &cand) in candidates.iter().enumerate() {
+        let cv = cand_set.get(cand as usize);
+        for (j, &s) in sample.iter().enumerate() {
+            dists[j] = dist.eval(cv, sample_set.get(s as usize));
+        }
+        ndist += sample.len() as u64;
+        let score = spread_about_median(&mut dists);
+        if score > best_score {
+            best_score = score;
+            best_idx = ci;
+        }
+    }
+    (best_idx, ndist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_zero_for_identical() {
+        let mut d = vec![2.0f32; 10];
+        assert_eq!(spread_about_median(&mut d), 0.0);
+        assert_eq!(spread_about_median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn spread_grows_with_dispersion() {
+        let mut tight = vec![1.0f32, 1.1, 0.9, 1.05, 0.95];
+        let mut wide = vec![0.0f32, 2.0, 0.1, 1.9, 1.0];
+        assert!(spread_about_median(&mut wide) > spread_about_median(&mut tight));
+    }
+
+    #[test]
+    fn corner_point_beats_center_point() {
+        // For points uniform on a segment, a vantage point at the end has a
+        // wider distance spread than one in the middle — the classic reason
+        // VP trees favour "corner" vantage points.
+        let n = 101;
+        let data = VectorSet::from_flat(1, (0..n).map(|i| i as f32).collect());
+        let sample: Vec<u32> = (0..n as u32).collect();
+        // candidate 0 = end point (id 0), candidate 1 = centre (id 50)
+        let (best, ndist) = select_vantage(&data, &[0, 50], &data, &sample, Distance::L2);
+        assert_eq!(best, 0, "end point should win");
+        assert_eq!(ndist, 2 * n as u64);
+    }
+
+    #[test]
+    fn single_candidate_wins_trivially() {
+        let data = VectorSet::from_flat(1, vec![1.0, 2.0, 3.0]);
+        let (best, _) = select_vantage(&data, &[2], &data, &[0, 1], Distance::L2);
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_panic() {
+        let data = VectorSet::from_flat(1, vec![1.0]);
+        let _ = select_vantage(&data, &[], &data, &[0], Distance::L2);
+    }
+}

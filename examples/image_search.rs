@@ -1,0 +1,71 @@
+//! Image similarity search — the workload the paper's intro motivates.
+//!
+//! A photo service holds millions of images, each represented by a SIFT
+//! descriptor; a nightly batch job finds, for every newly uploaded image,
+//! the 10 most similar catalogue images (for dedup and related-image
+//! links). Batched k-NN with no real-time requirement: exactly the high-
+//! throughput regime the paper targets.
+//!
+//! ```sh
+//! cargo run --release --example image_search
+//! ```
+
+use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::data::{ground_truth, synth, Distance};
+use fastann::hnsw::HnswConfig;
+use fastann::vptree::RouteConfig;
+
+fn main() {
+    // The "catalogue": 50k images as 128-d SIFT-like descriptors.
+    let catalogue = synth::sift_like(50_000, 128, 7);
+    // Tonight's "uploads": 1k new images, similar to catalogue content.
+    let uploads = synth::queries_near(&catalogue, 1_000, 0.03, 8);
+
+    // 32 cores, 8 per node; M = 16 HNSW graphs inside the partitions, a
+    // generous routing margin for quality.
+    let config = EngineConfig::new(32, 8)
+        .hnsw(HnswConfig::with_m(16).ef_construction(80))
+        .route(RouteConfig { margin_frac: 0.25, max_partitions: 4 });
+    let index = DistIndex::build(&catalogue, config);
+
+    println!(
+        "catalogue indexed: {} partitions, sizes {}..{}",
+        index.n_partitions(),
+        index.build_stats.partition_sizes.iter().min().unwrap(),
+        index.build_stats.partition_sizes.iter().max().unwrap(),
+    );
+
+    let opts = SearchOptions::new(10).ef(96);
+    let report = search_batch(&index, &uploads, &opts);
+
+    // Quality control: sample 100 uploads against exact search.
+    let sample: Vec<usize> = (0..100).map(|i| i * 10).collect();
+    let mut sample_queries = fastann::data::VectorSet::new(uploads.dim());
+    for &i in &sample {
+        sample_queries.push(uploads.get(i));
+    }
+    let gt = ground_truth::brute_force(&catalogue, &sample_queries, 10, Distance::L2);
+    let sampled: Vec<_> = sample.iter().map(|&i| report.results[i].clone()).collect();
+    let recall = ground_truth::recall_at_k(&sampled, &gt, 10);
+
+    println!(
+        "batch of {} uploads matched in {:.1} virtual ms ({:.0}/s), recall@10 = {:.3}",
+        uploads.len(),
+        report.total_ns / 1e6,
+        report.throughput_qps(),
+        recall.mean,
+    );
+    let (compute, comm, idle) = report.breakdown();
+    println!(
+        "cluster utilisation: {:.0}% compute, {:.0}% communication, {:.0}% idle",
+        compute * 100.0,
+        comm * 100.0,
+        idle * 100.0
+    );
+
+    // Show the related-images links for the first three uploads.
+    for (u, res) in report.results.iter().take(3).enumerate() {
+        let ids: Vec<u32> = res.iter().take(5).map(|n| n.id).collect();
+        println!("upload {u}: related catalogue images {ids:?}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a distributed index over a synthetic dataset and
+//! answer a query batch.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::data::{synth, Distance};
+
+fn main() {
+    // 20k SIFT-style 64-dimensional descriptors and 100 queries drawn near
+    // the data (held-out descriptors from the same source).
+    let data = synth::sift_like(20_000, 64, 42);
+    let queries = synth::queries_near(&data, 100, 0.02, 43);
+
+    // A simulated cluster of 16 processing cores, 4 per compute node.
+    // The dataset is partitioned by a distributed VP tree; each partition
+    // gets a local HNSW index.
+    let config = EngineConfig::new(16, 4);
+    let index = DistIndex::build(&data, config);
+    println!(
+        "built {} partitions over {} points in {:.1} virtual ms \
+         (VP tree {:.1} ms, HNSW {:.1} ms)",
+        index.n_partitions(),
+        data.len(),
+        index.build_stats.total_ns / 1e6,
+        index.build_stats.vptree_ns / 1e6,
+        index.build_stats.hnsw_ns / 1e6,
+    );
+
+    // 10-NN for the whole batch through the master-worker engine with
+    // one-sided result aggregation (the paper's optimised path).
+    let report = search_batch(&index, &queries, &SearchOptions::new(10));
+    println!(
+        "answered {} queries in {:.2} virtual ms  ({:.0} queries/s, mean fan-out {:.2})",
+        report.results.len(),
+        report.total_ns / 1e6,
+        report.throughput_qps(),
+        report.mean_fanout,
+    );
+
+    // Check quality against exact brute force.
+    let gt = fastann::data::ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+    let recall = fastann::data::ground_truth::recall_at_k(&report.results, &gt, 10);
+    println!("mean recall@10 = {:.3} (min {:.3})", recall.mean, recall.min);
+
+    // Peek at one result.
+    let first = &report.results[0];
+    println!("query 0 neighbours: {:?}", &first[..3.min(first.len())]);
+}

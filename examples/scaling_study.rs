@@ -1,0 +1,38 @@
+//! Mini strong-scaling study using the library API directly — a compact
+//! version of the paper's Figure 3 that also demonstrates the simulator's
+//! per-phase accounting.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::data::synth;
+use fastann::hnsw::HnswConfig;
+
+fn main() {
+    let data = synth::sift_like(30_000, 96, 3);
+    let queries = synth::queries_near(&data, 300, 0.02, 4);
+
+    println!("strong scaling of 10-NN over {} x {}d points, {} queries", data.len(), data.dim(), queries.len());
+    println!("{:>6} {:>12} {:>9} {:>12} {:>12}", "cores", "query time", "speedup", "build time", "comm share");
+
+    let mut base: Option<f64> = None;
+    for cores in [4usize, 8, 16, 32, 64] {
+        let config = EngineConfig::new(cores, 4.min(cores))
+            .hnsw(HnswConfig::with_m(12).ef_construction(50));
+        let index = DistIndex::build(&data, config);
+        let report = search_batch(&index, &queries, &SearchOptions::new(10));
+        let b = *base.get_or_insert(report.total_ns);
+        let (_, comm, _) = report.breakdown();
+        println!(
+            "{:>6} {:>12} {:>8.2}x {:>12} {:>11.1}%",
+            cores,
+            format!("{:.2} ms", report.total_ns / 1e6),
+            b / report.total_ns,
+            format!("{:.0} ms", index.build_stats.total_ns / 1e6),
+            comm * 100.0,
+        );
+    }
+    println!("\n(virtual times from the simulated cluster; see DESIGN.md for the model)");
+}

@@ -1,0 +1,70 @@
+//! File-based pipeline in the TEXMEX formats the real corpora ship in:
+//! write a base set as `.fvecs`, load it back, auto-tune the routing for a
+//! recall target, search, and emit the results as `.ivecs` (the ground-
+//! truth format). Swap the synthetic writer for your downloaded
+//! `sift_base.fvecs` to run against the real thing.
+//!
+//! ```sh
+//! cargo run --release --example texmex_pipeline
+//! ```
+
+use fastann::core::{search_batch, tune_routing, DistIndex, EngineConfig, SearchOptions};
+use fastann::data::{dataset_stats, io, synth, Distance};
+use fastann::hnsw::HnswConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("fastann_texmex_demo");
+    std::fs::create_dir_all(&dir)?;
+    let base_path = dir.join("base.fvecs");
+    let query_path = dir.join("query.fvecs");
+    let out_path = dir.join("results.ivecs");
+
+    // 1. Materialise a synthetic corpus on disk in the interchange format.
+    io::write_fvecs(&base_path, &synth::sift_like(25_000, 64, 99))?;
+    io::write_fvecs(&query_path, &synth::queries_near(&synth::sift_like(25_000, 64, 99), 200, 0.02, 100))?;
+
+    // 2. Load (cap at 25k rows; real files can be partially loaded too).
+    let base = io::read_fvecs(&base_path, Some(25_000))?;
+    let queries = io::read_fvecs(&query_path, None)?;
+    let s = dataset_stats(&base, Distance::L2, 150, 101);
+    println!(
+        "loaded {} x {}d base vectors (intrinsic dim ~{:.1}, NN contrast {:.2})",
+        base.len(),
+        base.dim(),
+        s.intrinsic_dim,
+        s.contrast
+    );
+
+    // 3. Build and auto-tune for recall >= 0.9 on a held-out slice.
+    let index = DistIndex::build(
+        &base,
+        EngineConfig::new(16, 4).hnsw(HnswConfig::with_m(16).ef_construction(60)),
+    );
+    let tune_sample = synth::queries_near(&base, 50, 0.02, 102);
+    let opts = SearchOptions::new(10).ef(96);
+    let outcome = tune_routing(&index, &base, &tune_sample, &opts, 0.9);
+    println!(
+        "tuned routing: margin {:.2}, <= {} partitions/query -> recall {:.3} (target met: {})",
+        outcome.route.margin_frac,
+        outcome.route.max_partitions,
+        outcome.recall,
+        outcome.met_target
+    );
+
+    // 4. Run the real batch with the tuned policy and persist the results.
+    let tuned = index.with_route(outcome.route);
+    let report = search_batch(&tuned, &queries, &opts);
+    let id_lists: Vec<Vec<u32>> =
+        report.results.iter().map(|r| r.iter().map(|n| n.id).collect()).collect();
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+    io::write_ivecs_to(&mut f, &id_lists)?;
+    println!(
+        "answered {} queries in {:.2} virtual ms; neighbour ids written to {}",
+        queries.len(),
+        report.total_ns / 1e6,
+        out_path.display()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

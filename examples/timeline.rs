@@ -1,0 +1,45 @@
+//! Visualise a query batch as a virtual-time Gantt chart — where does the
+//! time actually go? Compares a balanced batch against a skewed one (the
+//! situation the paper's replication optimisation targets) so the hot-node
+//! serialisation is visible at a glance.
+//!
+//! ```sh
+//! cargo run --release --example timeline
+//! ```
+
+use fastann::core::{search_batch_traced, DistIndex, EngineConfig, SearchOptions};
+use fastann::data::{synth, VectorSet};
+use fastann::hnsw::HnswConfig;
+use fastann::mpisim::Trace;
+
+fn main() {
+    let data = synth::sift_like(20_000, 64, 5);
+    let config = EngineConfig::new(16, 4).hnsw(HnswConfig::with_m(12).ef_construction(50));
+    let index = DistIndex::build(&data, config);
+    let n_rows = index.config.n_nodes() + 1; // master + worker nodes
+
+    // Balanced batch: queries spread across the whole dataset.
+    let balanced = synth::queries_near(&data, 150, 0.05, 6);
+    let trace = Trace::new();
+    let report = search_batch_traced(&index, &balanced, &SearchOptions::new(10), &trace);
+    println!("=== balanced batch ({:.2} virtual ms) ===", report.total_ns / 1e6);
+    print!("{}", trace.render(n_rows, 90));
+
+    // Skewed batch: everything near one point -> one hot partition.
+    let mut skewed = VectorSet::new(64);
+    for i in 0..150 {
+        let mut q = data.get(17).to_vec();
+        q[0] += (i % 7) as f32;
+        skewed.push(&q);
+    }
+    let trace = Trace::new();
+    let report = search_batch_traced(&index, &skewed, &SearchOptions::new(10), &trace);
+    println!("\n=== skewed batch, no replication ({:.2} virtual ms) ===", report.total_ns / 1e6);
+    print!("{}", trace.render(n_rows, 90));
+
+    let trace = Trace::new();
+    let report =
+        search_batch_traced(&index, &skewed, &SearchOptions::new(10).replication(4), &trace);
+    println!("\n=== skewed batch, replication r=4 ({:.2} virtual ms) ===", report.total_ns / 1e6);
+    print!("{}", trace.render(n_rows, 90));
+}

@@ -1,0 +1,52 @@
+//! Cross-crate agreement between the exact structures: brute force,
+//! VP tree, KD tree (local and distributed) must return identical answers.
+
+use fastann::data::{ground_truth, synth, Distance, Neighbor};
+use fastann::kdtree::{dist as kd, KdTree, KdTreeConfig};
+use fastann::vptree::{VpTree, VpTreeConfig};
+
+#[test]
+fn all_exact_indexes_agree() {
+    let data = synth::sift_like(1_500, 10, 201);
+    let queries = synth::queries_near(&data, 25, 0.05, 202);
+    let vp = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
+    let kdt = KdTree::build(data.clone(), KdTreeConfig::default());
+    for qi in 0..queries.len() {
+        let q = queries.get(qi);
+        let truth = ground_truth::brute_force_one(&data, q, 8, Distance::L2);
+        let (vp_res, _) = vp.knn(q, 8);
+        let (kd_res, _) = kdt.knn(q, 8);
+        assert_eq!(vp_res, truth, "VP tree diverged on query {qi}");
+        assert_eq!(kd_res, truth, "KD tree diverged on query {qi}");
+    }
+}
+
+#[test]
+fn distributed_kd_agrees_with_local_kd() {
+    let data = synth::sift_like(900, 8, 203);
+    let queries = synth::queries_near(&data, 12, 0.05, 204);
+    let local = KdTree::build(data.clone(), KdTreeConfig::default());
+    let report = kd::run(&data, &queries, &kd::DistKdConfig::new(4));
+    for qi in 0..queries.len() {
+        let (want, _) = local.knn(queries.get(qi), 10);
+        assert_eq!(report.results[qi], want, "distributed KD diverged on query {qi}");
+    }
+}
+
+#[test]
+fn exact_indexes_agree_under_duplicate_heavy_data() {
+    // many ties stress both median splits
+    let mut data = synth::sift_like(200, 6, 205);
+    let dup = data.get(0).to_vec();
+    for _ in 0..100 {
+        data.push(&dup);
+    }
+    let vp = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
+    let kdt = KdTree::build(data.clone(), KdTreeConfig::default());
+    let (vp_res, _) = vp.knn(&dup, 20);
+    let (kd_res, _) = kdt.knn(&dup, 20);
+    // distances must agree even though tie-broken ids may differ in order
+    let d = |v: &[Neighbor]| v.iter().map(|n| n.dist).collect::<Vec<_>>();
+    assert_eq!(d(&vp_res), d(&kd_res));
+    assert_eq!(vp_res.iter().filter(|n| n.dist == 0.0).count(), 20);
+}

@@ -1,0 +1,110 @@
+//! End-to-end integration: generate → distribute → index → search → verify,
+//! across every crate in the workspace.
+
+use fastann::core::{search_batch, search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions};
+use fastann::data::{ground_truth, synth, Distance, VectorSet};
+use fastann::hnsw::HnswConfig;
+use fastann::vptree::RouteConfig;
+
+fn small_engine(cores: usize, per_node: usize, seed: u64) -> EngineConfig {
+    EngineConfig::new(cores, per_node)
+        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .seed(seed)
+}
+
+#[test]
+fn full_pipeline_reaches_target_recall() {
+    let data = synth::sift_like(6_000, 32, 101);
+    let queries = synth::queries_near(&data, 50, 0.02, 102);
+    let cfg = small_engine(8, 2, 101)
+        .route(RouteConfig { margin_frac: 0.3, max_partitions: 6 });
+    let index = DistIndex::build(&data, cfg);
+    let report = search_batch(&index, &queries, &SearchOptions::new(10).ef(128));
+    let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+    let recall = ground_truth::recall_at_k(&report.results, &gt, 10);
+    assert!(recall.mean > 0.8, "end-to-end recall {:.3} too low", recall.mean);
+}
+
+#[test]
+fn transports_and_strategies_agree_on_results() {
+    let data = synth::deep_like(3_000, 24, 103);
+    let queries = synth::queries_near(&data, 20, 0.02, 104);
+    let index = DistIndex::build(&data, small_engine(8, 2, 103));
+    let a = search_batch(&index, &queries, &SearchOptions::new(5).one_sided(true));
+    let b = search_batch(&index, &queries, &SearchOptions::new(5).one_sided(false));
+    let c = search_batch_multi_owner(&index, &queries, &SearchOptions::new(5));
+    assert_eq!(a.results, b.results, "one-sided vs two-sided");
+    assert_eq!(a.results, c.results, "master-worker vs multiple-owner");
+}
+
+#[test]
+fn replication_factors_preserve_results_and_balance_load() {
+    let data = synth::sift_like(4_000, 16, 105);
+    // skewed queries: everything near one point
+    let mut queries = VectorSet::new(16);
+    for i in 0..40 {
+        let mut q = data.get(7).to_vec();
+        q[0] += i as f32 * 0.01;
+        queries.push(&q);
+    }
+    let mut cfg = small_engine(16, 2, 105);
+    cfg.route = RouteConfig { margin_frac: 0.0, max_partitions: 1 };
+    let index = DistIndex::build(&data, cfg);
+    let r1 = search_batch(&index, &queries, &SearchOptions::new(5).replication(1));
+    let r4 = search_batch(&index, &queries, &SearchOptions::new(5).replication(4));
+    assert_eq!(r1.results, r4.results, "replication must not change answers");
+    assert!(
+        r4.query_distribution().max < r1.query_distribution().max,
+        "replication must spread the hot partition"
+    );
+}
+
+#[test]
+fn distributed_equals_single_partition_when_routing_everywhere() {
+    // With the routing budget covering every partition and exhaustive local
+    // search (ef >= partition size), the distributed result must equal
+    // exact brute force.
+    let data = synth::sift_like(800, 8, 107);
+    let queries = synth::queries_near(&data, 10, 0.05, 108);
+    let cfg = small_engine(4, 2, 107)
+        .route(RouteConfig { margin_frac: f32::INFINITY, max_partitions: usize::MAX });
+    let index = DistIndex::build(&data, cfg);
+    let report = search_batch(&index, &queries, &SearchOptions::new(5).ef(800));
+    let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);
+    for (got, want) in report.results.iter().zip(&gt) {
+        let got_ids: Vec<u32> = got.iter().map(|n| n.id).collect();
+        let want_ids: Vec<u32> = want.iter().map(|n| n.id).collect();
+        // HNSW is approximate even exhaustively parameterised only through
+        // graph connectivity; demand >= 4 of 5 on every query
+        let hit = got_ids.iter().filter(|id| want_ids.contains(id)).count();
+        assert!(hit >= 4, "query result too far from exact: {got_ids:?} vs {want_ids:?}");
+    }
+}
+
+#[test]
+fn build_then_many_batches_is_consistent() {
+    // One build serving several query batches (the throughput scenario the
+    // paper motivates): results for identical queries must be identical
+    // across batches.
+    let data = synth::sift_like(2_000, 16, 109);
+    let queries = synth::queries_near(&data, 15, 0.02, 110);
+    let index = DistIndex::build(&data, small_engine(4, 2, 109));
+    let first = search_batch(&index, &queries, &SearchOptions::new(10));
+    for _ in 0..3 {
+        let again = search_batch(&index, &queries, &SearchOptions::new(10));
+        assert_eq!(first.results, again.results);
+    }
+}
+
+#[test]
+fn works_under_l1_metric() {
+    let data = synth::sift_like(2_000, 16, 111);
+    let queries = synth::queries_near(&data, 15, 0.02, 112);
+    let mut cfg = small_engine(4, 2, 111);
+    cfg.metric = Distance::L1;
+    let index = DistIndex::build(&data, cfg);
+    let report = search_batch(&index, &queries, &SearchOptions::new(10).ef(128));
+    let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L1);
+    let recall = ground_truth::recall_at_k(&report.results, &gt, 10);
+    assert!(recall.mean > 0.6, "L1 recall {:.3}", recall.mean);
+}

@@ -1,0 +1,67 @@
+//! The Section VI extension point: swapping the per-partition index.
+
+use fastann::core::{search_batch, DistIndex, EngineConfig, LocalIndexKind, SearchOptions};
+use fastann::data::{ground_truth, synth, Distance};
+use fastann::hnsw::HnswConfig;
+use fastann::vptree::RouteConfig;
+
+fn cfg(kind: LocalIndexKind, seed: u64) -> EngineConfig {
+    EngineConfig::new(8, 2)
+        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .local_index(kind)
+        .seed(seed)
+}
+
+#[test]
+fn engine_runs_with_every_local_index_kind() {
+    let data = synth::sift_like(3_000, 16, 401);
+    let queries = synth::queries_near(&data, 20, 0.02, 402);
+    for kind in [LocalIndexKind::Hnsw, LocalIndexKind::VpExact, LocalIndexKind::BruteForce] {
+        let index = DistIndex::build(&data, cfg(kind, 401));
+        let report = search_batch(&index, &queries, &SearchOptions::new(10));
+        assert_eq!(report.results.len(), 20, "{kind:?}");
+        assert!(report.results.iter().all(|r| r.len() == 10), "{kind:?}");
+        assert!(report.total_ndist > 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn exact_local_kinds_agree_and_beat_hnsw_recall() {
+    let data = synth::sift_like(4_000, 16, 403);
+    let queries = synth::queries_near(&data, 30, 0.02, 404);
+    let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+
+    let recall_of = |kind: LocalIndexKind| {
+        let index = DistIndex::build(&data, cfg(kind, 403));
+        let report = search_batch(&index, &queries, &SearchOptions::new(10).ef(24));
+        (
+            ground_truth::recall_at_k(&report.results, &gt, 10).mean,
+            report.results,
+        )
+    };
+    let (r_vp, res_vp) = recall_of(LocalIndexKind::VpExact);
+    let (r_bf, res_bf) = recall_of(LocalIndexKind::BruteForce);
+    let (r_hnsw, _) = recall_of(LocalIndexKind::Hnsw);
+    assert_eq!(res_vp, res_bf, "two exact local indexes must agree exactly");
+    assert!(
+        r_vp >= r_hnsw - 1e-9,
+        "exact local search cannot lose to approximate: {r_vp} vs {r_hnsw}"
+    );
+    assert!(r_bf > 0.7, "routing-limited exact recall {r_bf}");
+}
+
+#[test]
+fn fully_exact_configuration_matches_brute_force() {
+    // Exact local index + routing that covers every partition == exact
+    // global k-NN, end to end through the distributed engine.
+    let data = synth::sift_like(1_000, 8, 405);
+    let queries = synth::queries_near(&data, 10, 0.05, 406);
+    let config = cfg(LocalIndexKind::VpExact, 405)
+        .route(RouteConfig { margin_frac: f32::INFINITY, max_partitions: usize::MAX });
+    let index = DistIndex::build(&data, config);
+    let report = search_batch(&index, &queries, &SearchOptions::new(5));
+    let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);
+    for (qi, (got, want)) in report.results.iter().zip(&gt).enumerate() {
+        assert_eq!(got, want, "query {qi} must be exact");
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests of the virtual-time model: physical knobs (network
+//! parameters, cost model, topology) must move the reported times in the
+//! physically expected directions.
+
+use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::data::synth;
+use fastann::hnsw::HnswConfig;
+use fastann::mpisim::{CostModel, NetModel};
+
+fn base_cfg(seed: u64) -> EngineConfig {
+    EngineConfig::new(8, 2)
+        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .seed(seed)
+}
+
+#[test]
+fn slower_network_means_slower_queries() {
+    let data = synth::sift_like(3_000, 16, 301);
+    let queries = synth::queries_near(&data, 30, 0.02, 302);
+
+    let fast = DistIndex::build(&data, base_cfg(301));
+    let slow_net = NetModel {
+        alpha_inter_ns: 50_000.0, // 50 µs latency interconnect
+        beta_inter_ns_per_byte: 1.0,
+        ..NetModel::default()
+    };
+    let mut slow_cfg = base_cfg(301);
+    slow_cfg.net = slow_net;
+    let slow = DistIndex::build(&data, slow_cfg);
+
+    let rf = search_batch(&fast, &queries, &SearchOptions::new(10));
+    let rs = search_batch(&slow, &queries, &SearchOptions::new(10));
+    assert_eq!(rf.results, rs.results, "network speed must not change answers");
+    assert!(
+        rs.total_ns > rf.total_ns,
+        "slow net {:.0} should exceed fast net {:.0}",
+        rs.total_ns,
+        rf.total_ns
+    );
+}
+
+#[test]
+fn pricier_compute_means_slower_queries() {
+    let data = synth::sift_like(3_000, 16, 303);
+    let queries = synth::queries_near(&data, 30, 0.02, 304);
+
+    let cheap = DistIndex::build(&data, base_cfg(303));
+    let mut costly_cfg = base_cfg(303);
+    costly_cfg.cost = CostModel { base_ns: 80.0, per_dim_ns: 1.0 };
+    let costly = DistIndex::build(&data, costly_cfg);
+
+    let rc = search_batch(&cheap, &queries, &SearchOptions::new(10));
+    let rx = search_batch(&costly, &queries, &SearchOptions::new(10));
+    assert_eq!(rc.results, rx.results);
+    assert!(rx.total_ns > rc.total_ns);
+    assert!(rx.node_busy_ns.iter().sum::<f64>() > rc.node_busy_ns.iter().sum::<f64>());
+}
+
+#[test]
+fn build_times_scale_down_with_more_cores() {
+    // Table II's trend as an invariant: HNSW construction virtual time
+    // decreases when the same data is split over more partitions.
+    let data = synth::sift_like(6_000, 16, 305);
+    let t4 = DistIndex::build(&data, {
+        let mut c = base_cfg(305);
+        c.n_cores = 4;
+        c.cores_per_node = 2;
+        c
+    });
+    let t16 = DistIndex::build(&data, {
+        let mut c = base_cfg(305);
+        c.n_cores = 16;
+        c.cores_per_node = 2;
+        c
+    });
+    assert!(
+        t16.build_stats.hnsw_ns < t4.build_stats.hnsw_ns,
+        "HNSW phase must shrink: {:.0} vs {:.0}",
+        t16.build_stats.hnsw_ns,
+        t4.build_stats.hnsw_ns
+    );
+}
+
+#[test]
+fn more_queries_take_longer() {
+    let data = synth::sift_like(3_000, 16, 307);
+    let q_small = synth::queries_near(&data, 10, 0.02, 308);
+    let q_large = synth::queries_near(&data, 200, 0.02, 308);
+    let index = DistIndex::build(&data, base_cfg(307));
+    let small = search_batch(&index, &q_small, &SearchOptions::new(10));
+    let large = search_batch(&index, &q_large, &SearchOptions::new(10));
+    assert!(large.total_ns > small.total_ns);
+    // throughput should not degrade drastically with batch size
+    assert!(large.throughput_qps() > small.throughput_qps() * 0.5);
+}
+
+#[test]
+fn virtual_times_are_independent_of_host_load() {
+    // Two identical runs must produce close virtual totals (the model is
+    // counted work + modelled messages, not wall time). The only
+    // nondeterminism is the order in which simultaneously queued messages
+    // are received, which permutes the `max(clock, arrival) + overhead`
+    // fold at the receivers — bounded by (#messages × recv overhead), a few
+    // microseconds here, exactly as in a real MPI run. Results must be
+    // identical; times must agree within that bound.
+    let data = synth::sift_like(2_000, 16, 309);
+    let queries = synth::queries_near(&data, 20, 0.02, 310);
+    let index = DistIndex::build(&data, base_cfg(309));
+    let a = search_batch(&index, &queries, &SearchOptions::new(10));
+    let b = search_batch(&index, &queries, &SearchOptions::new(10));
+    assert_eq!(a.results, b.results);
+    let bound_ns = 20_000.0; // ~80 messages x 250 ns, with slack
+    assert!(
+        (a.total_ns - b.total_ns).abs() < bound_ns,
+        "virtual time varied by {:.1} µs between runs",
+        (a.total_ns - b.total_ns).abs() / 1e3
+    );
+}
+
+#[test]
+fn network_jitter_preserves_results_and_bounds_slowdown() {
+    let data = synth::sift_like(2_500, 16, 311);
+    let queries = synth::queries_near(&data, 25, 0.02, 312);
+
+    let calm = DistIndex::build(&data, base_cfg(311));
+    let mut jit_cfg = base_cfg(311);
+    jit_cfg.net = NetModel { jitter_frac: 0.5, ..NetModel::default() };
+    let jittery = DistIndex::build(&data, jit_cfg);
+
+    let rc = search_batch(&calm, &queries, &SearchOptions::new(10));
+    let rj = search_batch(&jittery, &queries, &SearchOptions::new(10));
+    assert_eq!(rc.results, rj.results, "jitter must not change answers");
+    // 50% per-message jitter cannot slow a latency-tolerant pipeline by
+    // more than ~50% + scheduling slack
+    assert!(rj.total_ns <= rc.total_ns * 1.8, "{} vs {}", rj.total_ns, rc.total_ns);
+    assert!(rj.total_ns >= rc.total_ns * 0.9);
+}
