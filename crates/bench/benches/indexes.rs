@@ -83,5 +83,10 @@ fn bench_hnsw_ef_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_search_by_dim, bench_hnsw_ef_sweep);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_search_by_dim,
+    bench_hnsw_ef_sweep
+);
 criterion_main!(benches);

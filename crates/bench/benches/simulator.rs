@@ -32,26 +32,33 @@ fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpisim_collectives");
     group.sample_size(20);
     for ranks in [8usize, 32] {
-        group.bench_with_input(BenchmarkId::new("allreduce_x100", ranks), &ranks, |b, &n| {
-            b.iter(|| {
-                Cluster::new(SimConfig::new(n)).run(|rank| {
-                    let comm = rank.world();
-                    let mut acc = 0.0;
-                    for _ in 0..100 {
-                        acc = comm.allreduce_f64(rank, rank.rank() as f64, ReduceOp::Sum);
-                    }
-                    black_box(acc)
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_x100", ranks),
+            &ranks,
+            |b, &n| {
+                b.iter(|| {
+                    Cluster::new(SimConfig::new(n)).run(|rank| {
+                        let comm = rank.world();
+                        let mut acc = 0.0;
+                        for _ in 0..100 {
+                            acc = comm.allreduce_f64(rank, rank.rank() as f64, ReduceOp::Sum);
+                        }
+                        black_box(acc)
+                    })
                 })
-            })
-        });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("bcast_4k_x100", ranks), &ranks, |b, &n| {
             b.iter(|| {
                 Cluster::new(SimConfig::new(n)).run(|rank| {
                     let comm = rank.world();
                     let data = Bytes::from(vec![7u8; 4096]);
                     for _ in 0..100 {
-                        let root_data =
-                            if comm.my_index(rank) == 0 { Some(data.clone()) } else { None };
+                        let root_data = if comm.my_index(rank) == 0 {
+                            Some(data.clone())
+                        } else {
+                            None
+                        };
                         black_box(comm.bcast(rank, 0, root_data));
                     }
                 })

@@ -42,8 +42,9 @@ fn bench_topk(c: &mut Criterion) {
 
 fn bench_select(c: &mut Criterion) {
     let mut group = c.benchmark_group("select");
-    let data: Vec<f32> =
-        (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) % 1_000_003) as f32).collect();
+    let data: Vec<f32> = (0..100_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) % 1_000_003) as f32)
+        .collect();
     group.bench_function("select_nth_100k", |b| {
         b.iter(|| {
             let mut d = data.clone();
@@ -73,7 +74,10 @@ fn bench_route(c: &mut Criterion) {
     for parts in [16usize, 64, 256] {
         let (tree, _) = PartitionTree::build_local(&data, parts, Distance::L2, 9);
         group.bench_with_input(BenchmarkId::new("f_of_q", parts), &parts, |b, _| {
-            let cfg = RouteConfig { margin_frac: 0.2, max_partitions: 4 };
+            let cfg = RouteConfig {
+                margin_frac: 0.2,
+                max_partitions: 4,
+            };
             let mut i = 0;
             b.iter(|| {
                 let q = queries.get(i % queries.len());

@@ -37,14 +37,20 @@ fn main() {
     if all || arg == "fig3a" {
         ran = true;
         let series = exp::fig3a(scale);
-        println!("{}", exp::render_scaling("Figure 3(a) — strong scaling, SYN datasets", &series));
+        println!(
+            "{}",
+            exp::render_scaling("Figure 3(a) — strong scaling, SYN datasets", &series)
+        );
     }
     if all || arg == "fig3b" {
         ran = true;
         let series = exp::fig3b(scale);
         println!(
             "{}",
-            exp::render_scaling("Figure 3(b) — strong scaling, billion-style datasets", &series)
+            exp::render_scaling(
+                "Figure 3(b) — strong scaling, billion-style datasets",
+                &series
+            )
         );
     }
     if all || arg == "table2" {
@@ -81,7 +87,10 @@ fn main() {
     if all || arg == "ablation-compression" {
         ran = true;
         println!("# Ablation — compressed-index recall ceiling (Section V-F)\n");
-        println!("{}", exp::render_compression(&exp::ablation_compression(scale)));
+        println!(
+            "{}",
+            exp::render_compression(&exp::ablation_compression(scale))
+        );
     }
     if all || arg == "baseline-pivot" {
         ran = true;
@@ -106,7 +115,11 @@ fn main() {
         let w = datasets::sift(scale);
         for cores in [16usize, 128] {
             let index = DistIndex::build(&w.data, fastann_bench::experiments::debug_cfg(cores));
-            let r = search_batch(&index, &w.queries, &fastann_bench::experiments::debug_opts());
+            let r = search_batch(
+                &index,
+                &w.queries,
+                &fastann_bench::experiments::debug_opts(),
+            );
             println!(
                 "cores={cores} total={:.1}us route={:.1}us comm_cpu={:.1}us wait={:.1}us fanout={:.2} \
                  ndist={} busy_max={:.1}us busy_sum={:.1}us",
@@ -126,5 +139,8 @@ fn main() {
         eprintln!("unknown experiment '{arg}'; see `repro --help` header in the source");
         std::process::exit(2);
     }
-    eprintln!("\n[repro: {arg} done in {:.1}s wall]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[repro: {arg} done in {:.1}s wall]",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -34,7 +34,11 @@ pub fn sift(scale: Scale) -> Workload {
     let n = 48_000 * scale.points_mult();
     let data = synth::sift_like(n, 128, 0x51f7);
     let queries = synth::queries_near(&data, 400, 0.02, 0x51f8);
-    Workload { name: "ANN_SIFT1B", data, queries }
+    Workload {
+        name: "ANN_SIFT1B",
+        data,
+        queries,
+    }
 }
 
 /// DEEP1B stand-in.
@@ -42,7 +46,11 @@ pub fn deep(scale: Scale) -> Workload {
     let n = 48_000 * scale.points_mult();
     let data = synth::deep_like(n, 96, 0xdee9);
     let queries = synth::queries_near(&data, 400, 0.02, 0xdeea);
-    Workload { name: "DEEP1B", data, queries }
+    Workload {
+        name: "DEEP1B",
+        data,
+        queries,
+    }
 }
 
 /// ANN_GIST1M stand-in.
@@ -50,7 +58,11 @@ pub fn gist(scale: Scale) -> Workload {
     let n = 8_000 * scale.points_mult();
     let data = synth::gist_like(n, 960, 0x915a);
     let queries = synth::queries_near(&data, 100, 0.01, 0x915b);
-    Workload { name: "ANN_GIST1M", data, queries }
+    Workload {
+        name: "ANN_GIST1M",
+        data,
+        queries,
+    }
 }
 
 /// SYN_1M stand-in (MDCGen, 10 clusters, mixed spreads, 0.5% outliers,
@@ -68,7 +80,11 @@ pub fn syn_1m(scale: Scale) -> Workload {
         seed: 0x517,
     });
     let queries = ds.queries_from_cluster(300, 3, 0.01, 0x518);
-    Workload { name: "SYN_1M", data: ds.points, queries }
+    Workload {
+        name: "SYN_1M",
+        data: ds.points,
+        queries,
+    }
 }
 
 /// SYN_10M stand-in.
@@ -84,7 +100,11 @@ pub fn syn_10m(scale: Scale) -> Workload {
         seed: 0x10a7,
     });
     let queries = ds.queries_from_cluster(300, 6, 0.01, 0x10a8);
-    Workload { name: "SYN_10M", data: ds.points, queries }
+    Workload {
+        name: "SYN_10M",
+        data: ds.points,
+        queries,
+    }
 }
 
 /// A *skewed* SIFT-like query set for the load-balancing study (Figure 4):

@@ -36,7 +36,10 @@ fn engine_cfg(cores: usize, seed: u64) -> EngineConfig {
     let cap = (cores / 16).max(4);
     EngineConfig::new(cores, pick_t(cores))
         .hnsw(HnswConfig::with_m(16).ef_construction(60).seed(seed))
-        .route(RouteConfig { margin_frac: 0.2, max_partitions: cap })
+        .route(RouteConfig {
+            margin_frac: 0.2,
+            max_partitions: cap,
+        })
         .seed(seed)
 }
 
@@ -83,7 +86,15 @@ pub fn table1(scale: Scale) -> String {
         })
         .collect();
     fmt::table(
-        &["dataset", "paper points", "paper dim", "paper queries", "our points", "our dim", "our queries"],
+        &[
+            "dataset",
+            "paper points",
+            "paper dim",
+            "paper queries",
+            "our points",
+            "our dim",
+            "our queries",
+        ],
         &body,
     )
 }
@@ -130,7 +141,10 @@ fn run_scaling(w: &Workload, grid: &[usize], seed: u64) -> ScalingSeries {
             recall,
         });
     }
-    ScalingSeries { dataset: w.name, points }
+    ScalingSeries {
+        dataset: w.name,
+        points,
+    }
 }
 
 /// Figure 3(a): strong scaling on the synthetic MDCGen datasets.
@@ -170,7 +184,10 @@ pub fn render_scaling(title: &str, series: &[ScalingSeries]) -> String {
                 ]
             })
             .collect();
-        out.push_str(&fmt::table(&["cores", "query time", "speedup", "recall@10"], &rows));
+        out.push_str(&fmt::table(
+            &["cores", "query time", "speedup", "recall@10"],
+            &rows,
+        ));
         out.push('\n');
     }
     out
@@ -213,9 +230,7 @@ pub fn table2(scale: Scale) -> Vec<BuildRow> {
 pub fn render_table2(rows: &[BuildRow]) -> String {
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.cores.to_string(), fmt::ns(r.total_ns), fmt::ns(r.hnsw_ns)]
-        })
+        .map(|r| vec![r.cores.to_string(), fmt::ns(r.total_ns), fmt::ns(r.hnsw_ns)])
         .collect();
     fmt::table(&["cores", "total construction", "HNSW construction"], &body)
 }
@@ -252,7 +267,10 @@ pub fn fig4(scale: Scale) -> (Vec<ReplicationRow>, f64) {
     // cross nodes regularly).
     let cfg = EngineConfig::new(cores, 2)
         .hnsw(HnswConfig::with_m(16).ef_construction(60).seed(0xd1))
-        .route(RouteConfig { margin_frac: 0.2, max_partitions: 4 })
+        .route(RouteConfig {
+            margin_frac: 0.2,
+            max_partitions: 4,
+        })
         .seed(0xd1);
     let index = DistIndex::build(&w.data, cfg);
     let mut rows = Vec::new();
@@ -376,7 +394,13 @@ pub fn render_table3(rows: &[CompareRow]) -> String {
         })
         .collect();
     fmt::table(
-        &["dataset", "our method", "KD-tree [PANDA]", "our recall", "KD fan-out"],
+        &[
+            "dataset",
+            "our method",
+            "KD-tree [PANDA]",
+            "our recall",
+            "KD fan-out",
+        ],
         &body,
     )
 }
@@ -409,7 +433,12 @@ pub fn fig5(scale: Scale) -> Vec<BreakdownRow> {
             let index = DistIndex::build(&w.data, engine_cfg(cores, 0xf0));
             let report = search_batch(&index, &w.queries, &search_opts());
             let (compute, comm, idle) = report.breakdown();
-            BreakdownRow { cores, compute, comm, idle }
+            BreakdownRow {
+                cores,
+                compute,
+                comm,
+                idle,
+            }
         })
         .collect()
 }
@@ -427,7 +456,10 @@ pub fn render_fig5(rows: &[BreakdownRow]) -> String {
             ]
         })
         .collect();
-    fmt::table(&["cores", "computation", "communication", "idle/other"], &body)
+    fmt::table(
+        &["cores", "computation", "communication", "idle/other"],
+        &body,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -460,7 +492,10 @@ pub fn fig6(scale: Scale) -> Vec<RecallRow> {
         .map(|&m| {
             let cfg = EngineConfig::new(cores, pick_t(cores))
                 .hnsw(HnswConfig::with_m(m).ef_construction(60).seed(0x6f))
-                .route(RouteConfig { margin_frac: 0.3, max_partitions: 6 })
+                .route(RouteConfig {
+                    margin_frac: 0.3,
+                    max_partitions: 6,
+                })
                 .seed(0x6f);
             let index = DistIndex::build(&w.data, cfg);
             let report = search_batch(&index, &w.queries, &search_opts().ef(16));
@@ -523,12 +558,19 @@ pub fn ablation_owner(scale: Scale) -> Vec<OwnerRow> {
             // small nodes so replication can move work across nodes
             let cfg = EngineConfig::new(cores, 2.min(cores))
                 .hnsw(HnswConfig::with_m(16).ef_construction(60).seed(0x0a))
-                .route(RouteConfig { margin_frac: 0.2, max_partitions: 4 })
+                .route(RouteConfig {
+                    margin_frac: 0.2,
+                    max_partitions: 4,
+                })
                 .seed(0x0a);
             let index = DistIndex::build(&w.data, cfg);
             let mw = search_batch(&index, &queries, &search_opts().replication(3.min(cores)));
             let mo = search_batch_multi_owner(&index, &queries, &search_opts());
-            OwnerRow { cores, master_worker_ns: mw.total_ns, multi_owner_ns: mo.total_ns }
+            OwnerRow {
+                cores,
+                master_worker_ns: mw.total_ns,
+                multi_owner_ns: mo.total_ns,
+            }
         })
         .collect()
 }
@@ -546,7 +588,15 @@ pub fn render_owner(rows: &[OwnerRow]) -> String {
             ]
         })
         .collect();
-    fmt::table(&["cores", "master-worker", "multiple-owner", "owner/mw speedup"], &body)
+    fmt::table(
+        &[
+            "cores",
+            "master-worker",
+            "multiple-owner",
+            "owner/mw speedup",
+        ],
+        &body,
+    )
 }
 
 /// One-sided vs two-sided result aggregation at one core count.
@@ -610,8 +660,9 @@ pub fn ablation_compression(scale: Scale) -> Vec<CompressionRow> {
     let mut rows = Vec::new();
 
     let sq = Sq8::encode(&w.data);
-    let approx: Vec<_> =
-        (0..w.queries.len()).map(|i| sq.knn(w.queries.get(i), K, Distance::L2)).collect();
+    let approx: Vec<_> = (0..w.queries.len())
+        .map(|i| sq.knn(w.queries.get(i), K, Distance::L2))
+        .collect();
     let sq_recall = ground_truth::recall_at_k(&approx, &gt, K).mean;
     rows.push(CompressionRow {
         system: "SQ8 exhaustive (compressed)",
@@ -621,8 +672,10 @@ pub fn ablation_compression(scale: Scale) -> Vec<CompressionRow> {
     });
 
     let cores = 16 * scale.cores_mult();
-    let cfg = engine_cfg(cores, 0x59f)
-        .route(RouteConfig { margin_frac: 0.35, max_partitions: 8 });
+    let cfg = engine_cfg(cores, 0x59f).route(RouteConfig {
+        margin_frac: 0.35,
+        max_partitions: 8,
+    });
     let index = DistIndex::build(&w.data, cfg);
     let idx_bytes: usize = index.partitions.iter().map(|p| p.approx_bytes()).sum();
     for ef in [16usize, 64, 256] {
@@ -644,7 +697,11 @@ pub fn render_compression(rows: &[CompressionRow]) -> String {
         .map(|r| {
             vec![
                 r.system.to_string(),
-                if r.effort == 0 { "-".into() } else { format!("ef={}", r.effort) },
+                if r.effort == 0 {
+                    "-".into()
+                } else {
+                    format!("ef={}", r.effort)
+                },
                 format!("{:.3}", r.recall),
                 format!("{:.1} MiB", r.bytes as f64 / (1 << 20) as f64),
             ]
@@ -713,7 +770,13 @@ pub fn render_pivot(rows: &[PivotRow]) -> String {
         })
         .collect();
     fmt::table(
-        &["partitioning", "query time", "recall@10", "master routing", "size max/mean"],
+        &[
+            "partitioning",
+            "query time",
+            "recall@10",
+            "master routing",
+            "size max/mean",
+        ],
         &body,
     )
 }
@@ -772,7 +835,10 @@ pub fn render_local(rows: &[LocalKindRow]) -> String {
             ]
         })
         .collect();
-    fmt::table(&["local index", "query time", "recall@10", "distance evals"], &body)
+    fmt::table(
+        &["local index", "query time", "recall@10", "distance evals"],
+        &body,
+    )
 }
 
 /// Renders the one-sided ablation.
@@ -790,7 +856,13 @@ pub fn render_onesided(rows: &[OneSidedRow]) -> String {
         })
         .collect();
     fmt::table(
-        &["cores", "one-sided total", "two-sided total", "master comm CPU (1s)", "master comm CPU (2s)"],
+        &[
+            "cores",
+            "one-sided total",
+            "two-sided total",
+            "master comm CPU (1s)",
+            "master comm CPU (2s)",
+        ],
         &body,
     )
 }
@@ -823,11 +895,25 @@ mod tests {
 
     #[test]
     fn renderers_do_not_panic() {
-        let rows = vec![BuildRow { cores: 8, total_ns: 1e9, hnsw_ns: 5e8 }];
+        let rows = vec![BuildRow {
+            cores: 8,
+            total_ns: 1e9,
+            hnsw_ns: 5e8,
+        }];
         assert!(render_table2(&rows).contains("8"));
-        let rows = vec![BreakdownRow { cores: 8, compute: 0.7, comm: 0.1, idle: 0.2 }];
+        let rows = vec![BreakdownRow {
+            cores: 8,
+            compute: 0.7,
+            comm: 0.1,
+            idle: 0.2,
+        }];
         assert!(render_fig5(&rows).contains("70.0%"));
-        let rows = vec![RecallRow { m: 16, total_ns: 1e6, recall: 0.9, index_bytes: 1 << 20 }];
+        let rows = vec![RecallRow {
+            m: 16,
+            total_ns: 1e6,
+            recall: 0.9,
+            index_bytes: 1 << 20,
+        }];
         assert!(render_fig6(&rows).contains("0.900"));
     }
 

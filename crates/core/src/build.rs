@@ -74,7 +74,10 @@ impl DistIndex {
     /// Panics if `data` has fewer than `2 × n_cores` points or the metric
     /// is not a true metric.
     pub fn build(data: &VectorSet, config: EngineConfig) -> DistIndex {
-        assert!(config.metric.is_metric(), "VP partitioning requires a true metric");
+        assert!(
+            config.metric.is_metric(),
+            "VP partitioning requires a true metric"
+        );
         assert!(
             data.len() >= config.n_cores * 2,
             "need at least {} points for {} partitions",
@@ -112,13 +115,19 @@ impl DistIndex {
             hnsw_ndist += out.hnsw_ndist;
             shuffle_bytes += out.shuffle_bytes;
         }
-        let partitions: Vec<Partition> =
-            partitions.into_iter().map(|p| p.expect("missing partition")).collect();
+        let partitions: Vec<Partition> = partitions
+            .into_iter()
+            .map(|p| p.expect("missing partition"))
+            .collect();
         let mut skel = skeleton.expect("node 0 produced the skeleton");
         let mut builder = PartitionTreeBuilder::new();
         let root = decode_vp_subtree(&mut skel, &mut builder);
         let tree = builder.finish(root, config.metric);
-        assert_eq!(tree.n_partitions(), config.n_cores, "skeleton / partition mismatch");
+        assert_eq!(
+            tree.n_partitions(),
+            config.n_cores,
+            "skeleton / partition mismatch"
+        );
 
         let build_stats = BuildStats {
             total_ns,
@@ -185,7 +194,11 @@ impl DistIndex {
                 config.hnsw,
                 config.seed ^ ((pid as u64) << 8),
             );
-            partitions.push(Partition { id: pid as u32, global_ids: gids, index });
+            partitions.push(Partition {
+                id: pid as u32,
+                global_ids: gids,
+                index,
+            });
         }
         let build_stats = BuildStats {
             partition_sizes: partitions.iter().map(|q| q.global_ids.len()).collect(),
@@ -334,10 +347,14 @@ fn build_node(rank: &mut Rank, data: &VectorSet, cfg: &EngineConfig) -> NodeBuil
                 None
             } else {
                 let all: Vec<u32> = (0..rows.len() as u32).collect();
-                let cands: Vec<u32> =
-                    all.choose_multiple(&mut rng, N_CANDIDATES.min(rows.len())).copied().collect();
-                let sample: Vec<u32> =
-                    all.choose_multiple(&mut rng, N_SCORE_SAMPLE.min(rows.len())).copied().collect();
+                let cands: Vec<u32> = all
+                    .choose_multiple(&mut rng, N_CANDIDATES.min(rows.len()))
+                    .copied()
+                    .collect();
+                let sample: Vec<u32> = all
+                    .choose_multiple(&mut rng, N_SCORE_SAMPLE.min(rows.len()))
+                    .copied()
+                    .collect();
                 let (best, ndist) = select_vantage(&rows, &cands, &rows, &sample, cfg.metric);
                 rank.charge_dists(ndist, dim);
                 Some(rows.get(cands[best] as usize).to_vec())
@@ -382,8 +399,7 @@ fn build_node(rank: &mut Rank, data: &VectorSet, cfg: &EngineConfig) -> NodeBuil
 
         // --- Algorithm 2 line 6: distributed median radius ---
         rank.charge_dists(rows.len() as u64, dim);
-        let dists: Vec<f32> =
-            rows.iter().map(|r| cfg.metric.eval(&vp, r)).collect();
+        let dists: Vec<f32> = rows.iter().map(|r| cfg.metric.eval(&vp, r)).collect();
         let local_med = if dists.is_empty() {
             f32::NAN
         } else {
@@ -431,7 +447,11 @@ fn build_node(rank: &mut Rank, data: &VectorSet, cfg: &EngineConfig) -> NodeBuil
         rows = new_rows;
 
         path.push((vp, mu, half));
-        comm = if me < half { comm.subset(0, half) } else { comm.subset(half, size) };
+        comm = if me < half {
+            comm.subset(0, half)
+        } else {
+            comm.subset(half, size)
+        };
     }
 
     // --- node-local phase: split into one partition per core ---
@@ -465,11 +485,17 @@ fn build_node(rank: &mut Rank, data: &VectorSet, cfg: &EngineConfig) -> NodeBuil
             rank.send_bytes(world.ranks()[lo], TAG_SUBTREE, subtree.clone().freeze());
         }
         if me == lo {
-            let right = rank.recv(Some(world.ranks()[mid]), Some(TAG_SUBTREE)).payload;
+            let right = rank
+                .recv(Some(world.ranks()[mid]), Some(TAG_SUBTREE))
+                .payload;
             subtree = encode_inner(mu, vp, &subtree, &right);
         }
     }
-    let skeleton = if me == 0 { Some(subtree.freeze()) } else { None };
+    let skeleton = if me == 0 {
+        Some(subtree.freeze())
+    } else {
+        None
+    };
     let shuffle_bytes = rank.stats().bytes_sent - bytes_before;
 
     world.barrier(rank);
@@ -490,7 +516,11 @@ fn build_node(rank: &mut Rank, data: &VectorSet, cfg: &EngineConfig) -> NodeBuil
         let nd = index.build_ndist();
         hnsw_ndist += nd;
         pool.assign(vptree_end_ns, cfg.cost.dists_ns(nd, dim));
-        partitions.push(Partition { id: pid, global_ids: gids, index });
+        partitions.push(Partition {
+            id: pid,
+            global_ids: gids,
+            index,
+        });
     }
     let hnsw_end_local = pool.makespan().max(vptree_end_ns);
     let hnsw_end_ns = world.allreduce_f64(rank, hnsw_end_local, ReduceOp::Max);
@@ -529,10 +559,14 @@ fn split_local(
     );
     // vantage selection on local rows
     let all: Vec<u32> = (0..rows.len() as u32).collect();
-    let cands: Vec<u32> =
-        all.choose_multiple(rng, N_CANDIDATES.min(rows.len())).copied().collect();
-    let sample: Vec<u32> =
-        all.choose_multiple(rng, N_SCORE_SAMPLE.min(rows.len())).copied().collect();
+    let cands: Vec<u32> = all
+        .choose_multiple(rng, N_CANDIDATES.min(rows.len()))
+        .copied()
+        .collect();
+    let sample: Vec<u32> = all
+        .choose_multiple(rng, N_SCORE_SAMPLE.min(rows.len()))
+        .copied()
+        .collect();
     let (best, ndist) = select_vantage(&rows, &cands, &rows, &sample, cfg.metric);
     rank.charge_dists(ndist, dim);
     let vp = rows.get(cands[best] as usize).to_vec();
@@ -579,8 +613,15 @@ fn split_local(
     }
 
     let (lsub, mut lparts) = split_local(rank, cfg, rng, li, lr, parts / 2, first_pid);
-    let (rsub, rparts) =
-        split_local(rank, cfg, rng, ri, rr, parts / 2, first_pid + (parts / 2) as u32);
+    let (rsub, rparts) = split_local(
+        rank,
+        cfg,
+        rng,
+        ri,
+        rr,
+        parts / 2,
+        first_pid + (parts / 2) as u32,
+    );
     lparts.extend(rparts);
     (encode_inner(mu, &vp, &lsub, &rsub), lparts)
 }
@@ -602,10 +643,17 @@ mod tests {
         let data = synth::sift_like(2000, 16, 1);
         let index = DistIndex::build(&data, small_cfg(8, 2));
         assert_eq!(index.n_partitions(), 8);
-        let mut all: Vec<u32> =
-            index.partitions.iter().flat_map(|p| p.global_ids.iter().copied()).collect();
+        let mut all: Vec<u32> = index
+            .partitions
+            .iter()
+            .flat_map(|p| p.global_ids.iter().copied())
+            .collect();
         all.sort_unstable();
-        assert_eq!(all, (0..2000u32).collect::<Vec<_>>(), "every point in exactly one partition");
+        assert_eq!(
+            all,
+            (0..2000u32).collect::<Vec<_>>(),
+            "every point in exactly one partition"
+        );
     }
 
     #[test]
@@ -628,10 +676,15 @@ mod tests {
         let mut hits = 0;
         let mut total = 0;
         for p in index.partitions.iter() {
-            let Some(&gid) = p.global_ids.first() else { continue };
+            let Some(&gid) = p.global_ids.first() else {
+                continue;
+            };
             let (route, _) = index.router.route(
                 data.get(gid as usize),
-                &RouteConfig { margin_frac: 0.0, max_partitions: 1 },
+                &RouteConfig {
+                    margin_frac: 0.0,
+                    max_partitions: 1,
+                },
             );
             total += 1;
             if route[0] == p.id {
@@ -640,7 +693,10 @@ mod tests {
         }
         // weighted-median approximation can misplace boundary points, but
         // the bulk must route home
-        assert!(hits * 4 >= total * 3, "only {hits}/{total} partition exemplars route home");
+        assert!(
+            hits * 4 >= total * 3,
+            "only {hits}/{total} partition exemplars route home"
+        );
     }
 
     #[test]
@@ -652,7 +708,10 @@ mod tests {
         assert!(s.vptree_ns > 0.0);
         assert!(s.hnsw_ns >= 0.0);
         assert!(s.total_ns >= s.vptree_ns);
-        assert!(s.shuffle_bytes > 0, "distributed construction must move data");
+        assert!(
+            s.shuffle_bytes > 0,
+            "distributed construction must move data"
+        );
         assert!(s.hnsw_ndist > 0);
         assert_eq!(s.partition_sizes.len(), 4);
     }
@@ -690,8 +749,11 @@ mod tests {
         let data = synth::sift_like(2000, 16, 9);
         let index = DistIndex::build_flat_pivot(&data, small_cfg(8, 2));
         assert_eq!(index.n_partitions(), 8);
-        let mut all: Vec<u32> =
-            index.partitions.iter().flat_map(|p| p.global_ids.iter().copied()).collect();
+        let mut all: Vec<u32> = index
+            .partitions
+            .iter()
+            .flat_map(|p| p.global_ids.iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..2000u32).collect::<Vec<_>>());
     }
@@ -728,7 +790,10 @@ mod tests {
         let index = DistIndex::build_flat_pivot(&data, small_cfg(16, 2));
         let (_, ndist) = index.router.route(
             data.get(0),
-            &fastann_vptree::RouteConfig { margin_frac: 0.2, max_partitions: 4 },
+            &fastann_vptree::RouteConfig {
+                margin_frac: 0.2,
+                max_partitions: 4,
+            },
         );
         assert_eq!(ndist, 16, "flat routing must score every pivot");
     }

@@ -43,9 +43,14 @@ impl EngineConfig {
     /// Panics unless `n_cores` is a power of two divisible by
     /// `cores_per_node`.
     pub fn new(n_cores: usize, cores_per_node: usize) -> Self {
-        assert!(n_cores.is_power_of_two(), "core count must be a power of two");
-        assert!(cores_per_node >= 1 && n_cores % cores_per_node == 0,
-            "cores ({n_cores}) must divide evenly into nodes of {cores_per_node}");
+        assert!(
+            n_cores.is_power_of_two(),
+            "core count must be a power of two"
+        );
+        assert!(
+            cores_per_node >= 1 && n_cores.is_multiple_of(cores_per_node),
+            "cores ({n_cores}) must divide evenly into nodes of {cores_per_node}"
+        );
         Self {
             n_cores,
             cores_per_node,
@@ -104,13 +109,31 @@ pub struct SearchOptions {
     /// on `r` consecutive cores and queries are dispatched round-robin
     /// within the workgroup. `1` disables replication (the baseline).
     pub replication: usize,
+    /// Fault-tolerant path only ([`crate::search_batch_chaos`]): virtual
+    /// time after dispatch before an unanswered partition probe is declared
+    /// timed out and eligible for retry.
+    pub timeout_ns: f64,
+    /// Fault-tolerant path only: retry rounds per timed-out probe. Each
+    /// retry targets the next replica in the partition's workgroup, so with
+    /// `replication > 1` a retry is a failover to a different core. `0`
+    /// disables retries (a lost probe degrades the query immediately).
+    pub max_retries: usize,
 }
 
 impl SearchOptions {
-    /// Paper defaults: `ef = 4k`, one-sided on, no replication.
+    /// Paper defaults: `ef = 4k`, one-sided on, no replication; fault
+    /// tolerance tuned for the simulator's default cost model (10 ms
+    /// virtual timeout, 2 retries).
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, ef: (4 * k).max(32), one_sided: true, replication: 1 }
+        Self {
+            k,
+            ef: (4 * k).max(32),
+            one_sided: true,
+            replication: 1,
+            timeout_ns: 1e7,
+            max_retries: 2,
+        }
     }
 
     /// Sets the replication factor (builder style).
@@ -130,6 +153,19 @@ impl SearchOptions {
     pub fn ef(mut self, ef: usize) -> Self {
         assert!(ef >= 1, "ef must be positive");
         self.ef = ef;
+        self
+    }
+
+    /// Sets the fault-tolerant request timeout (builder style).
+    pub fn timeout_ns(mut self, ns: f64) -> Self {
+        assert!(ns > 0.0, "timeout must be positive");
+        self.timeout_ns = ns;
+        self
+    }
+
+    /// Sets the retry budget of the fault-tolerant path (builder style).
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.max_retries = n;
         self
     }
 }
@@ -160,7 +196,10 @@ mod tests {
 
     #[test]
     fn search_options_builders() {
-        let o = SearchOptions::new(10).replication(3).one_sided(false).ef(99);
+        let o = SearchOptions::new(10)
+            .replication(3)
+            .one_sided(false)
+            .ef(99);
         assert_eq!(o.k, 10);
         assert_eq!(o.replication, 3);
         assert!(!o.one_sided);

@@ -20,21 +20,35 @@
 //! `i`'s workgroup is cores `{i, i+1, …, i+r−1 mod P}`; the master
 //! dispatches round-robin within the workgroup.
 
+use std::collections::HashSet;
+
 use bytes::{Bytes, BytesMut};
 use fastann_data::{Neighbor, TopK, VectorSet};
 use fastann_hnsw::SearchScratch;
 use fastann_mpisim::{
-    wire, Cluster, Rank, SimConfig, SpanKind, Topology, Trace, VThreadPool, Window,
+    wire, Cluster, FaultPlan, Rank, SimConfig, SpanKind, Topology, Trace, VThreadPool, Window,
 };
 
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
+use crate::router::ReplicaDispatcher;
 use crate::stats::QueryReport;
 
-pub(crate) const TAG_QUERY: u64 = 201;
-pub(crate) const TAG_RESULT: u64 = 202;
-pub(crate) const TAG_END: u64 = 203;
-pub(crate) const TAG_DONE: u64 = 204;
+/// Master → worker: one `(query, partition)` work item. Public so fault
+/// plans (chaos tests) can target the engine's data-plane traffic by tag.
+pub const TAG_QUERY: u64 = 201;
+/// Worker → master: one answered probe (two-sided result path).
+pub const TAG_RESULT: u64 = 202;
+/// Master → worker: batch over, shut down. Protected from fault injection
+/// on the chaos path.
+pub const TAG_END: u64 = 203;
+/// Worker → master: all one-sided deposits posted.
+pub const TAG_DONE: u64 = 204;
+/// Fault-tolerant path: master asks a node to acknowledge once every query
+/// queued before this marker has been served (or dropped). Protected.
+pub const TAG_FLUSH: u64 = 205;
+/// Fault-tolerant path: the worker's answer to [`TAG_FLUSH`]. Protected.
+pub const TAG_FLUSH_ACK: u64 = 206;
 
 /// Virtual cost (ns) of merging one returned neighbour at the master.
 pub(crate) const MERGE_NS_PER_NEIGHBOR: f64 = 4.0;
@@ -60,6 +74,117 @@ pub fn search_batch_traced(
     trace: &Trace,
 ) -> QueryReport {
     search_batch_inner(index, queries, opts, Some(trace))
+}
+
+/// Fault-tolerant batch search: like [`search_batch`], but the simulated
+/// cluster runs under the seeded fault `plan` and the protocol survives it.
+///
+/// The master tracks a virtual-time deadline per partition probe
+/// ([`SearchOptions::timeout_ns`]); probes unanswered at the deadline are
+/// re-dispatched up to [`SearchOptions::max_retries`] times, each retry
+/// targeting the next replica of the partition's Algorithm-5 workgroup (a
+/// true failover when `replication > 1`). Probes still unanswered after the
+/// retry budget degrade their query: the partial top-k is returned and
+/// flagged in [`QueryReport::degraded`] / [`QueryReport::missing_partitions`]
+/// — the batch *never* hangs on lost messages or a crashed worker.
+///
+/// Protocol notes:
+///
+/// * Collection is always two-sided ([`SearchOptions::one_sided`] is
+///   ignored): RMA deposits from a crashed or lossy worker cannot be
+///   detected per-probe, so the fault-tolerant path pays the two-sided
+///   receive cost for retry-ability.
+/// * The control plane — `TAG_END`, the flush handshake used to detect
+///   round completion — is protected from injection (a perfect failure
+///   detector, in the ULFM sense); only data-plane traffic is at risk.
+/// * A vacuous plan ([`FaultPlan::is_vacuous`]) delegates to the exact
+///   fault-free path: `search_batch_chaos(i, q, o, &FaultPlan::none())`
+///   returns a report identical to `search_batch(i, q, o)`, virtual times
+///   included.
+/// * The whole run is deterministic for a fixed plan: results are drained
+///   node-by-node in rank order, so virtual-time folding never depends on
+///   OS thread scheduling.
+///
+/// # Panics
+/// Panics on dimension mismatch or empty query set.
+pub fn search_batch_chaos(
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    plan: &FaultPlan,
+) -> QueryReport {
+    search_batch_chaos_inner(index, queries, opts, plan, None)
+}
+
+/// [`search_batch_chaos`] with a virtual-time execution trace; timeout
+/// windows, retries and failovers show up as [`SpanKind::Recovery`] spans
+/// on the master row.
+pub fn search_batch_chaos_traced(
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    plan: &FaultPlan,
+    trace: &Trace,
+) -> QueryReport {
+    search_batch_chaos_inner(index, queries, opts, plan, Some(trace))
+}
+
+fn search_batch_chaos_inner(
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    plan: &FaultPlan,
+    trace: Option<&Trace>,
+) -> QueryReport {
+    if plan.is_vacuous() {
+        // no injected faults — take the exact fault-free path so that
+        // FaultPlan::none() provably changes nothing, costs included
+        return search_batch_inner(index, queries, opts, trace);
+    }
+    assert!(!queries.is_empty(), "empty query batch");
+    assert_eq!(queries.dim(), index.dim(), "query dimension mismatch");
+    assert!(
+        opts.replication <= index.config.n_cores,
+        "replication factor exceeds core count"
+    );
+    let n_nodes = index.config.n_nodes();
+    // the shutdown + flush handshake is the failure-detection oracle; it
+    // must survive any plan
+    let protected = plan.clone().protect(&[TAG_END, TAG_FLUSH, TAG_FLUSH_ACK]);
+    let sim = SimConfig::new(n_nodes + 1)
+        .topology(Topology::one_rank_per_node())
+        .net(index.config.net)
+        .cost(index.config.cost)
+        .fault(protected);
+    let cluster = Cluster::new(sim);
+
+    let outs = cluster.run(|rank| {
+        if rank.rank() == 0 {
+            RankOut::Master(master_chaos(rank, index, queries, opts, trace))
+        } else {
+            RankOut::Worker(worker_chaos(rank, index, opts, trace))
+        }
+    });
+
+    let mut report: Option<QueryReport> = None;
+    let mut node_busy = vec![0f64; n_nodes];
+    let mut node_comm = vec![0f64; n_nodes];
+    let mut total_ndist = 0u64;
+    for out in outs {
+        match out {
+            RankOut::Master(r) => report = Some(r),
+            RankOut::Worker(w) => {
+                node_busy[w.node] = w.busy_ns;
+                node_comm[w.node] = w.comm_cpu_ns;
+                total_ndist += w.ndist;
+            }
+        }
+    }
+    let mut report = report.expect("master produced a report");
+    report.node_busy_ns = node_busy;
+    report.node_comm_cpu_ns = node_comm;
+    report.total_ndist = total_ndist;
+    report
 }
 
 fn search_batch_inner(
@@ -163,12 +288,13 @@ fn master(
     let route_cost_per_dist = index.config.cost.dist_ns(dim);
 
     // Algorithm 5 state: round-robin pointer per workgroup.
-    let mut wg_next = vec![0usize; p_cores];
+    let mut dispatcher = ReplicaDispatcher::new(p_cores, opts.replication);
     let mut per_core_queries = vec![0u64; p_cores];
     let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
     let mut route_ns = 0f64;
     let mut fanout_total = 0u64;
     let mut pending_total = 0u64;
+    let mut per_node_pending = vec![0u64; n_nodes];
 
     for qi in 0..nq {
         let q = queries.get(qi);
@@ -179,13 +305,12 @@ fn master(
         fanout_total += parts.len() as u64;
         for d in parts {
             // workgroup W_d = {d, d+1, …, d+r-1 mod P}, round-robin
-            let offset = wg_next[d as usize];
-            wg_next[d as usize] = (offset + 1) % opts.replication;
-            let core = (d as usize + offset) % p_cores;
+            let (core, _slot) = dispatcher.next_primary(d);
             per_core_queries[core] += 1;
             let node = core / t_cores;
             rank.send_bytes(1 + node, TAG_QUERY, encode_query(qi as u32, d, q));
             pending_total += 1;
+            per_node_pending[node] += 1;
         }
     }
     for nodej in 0..n_nodes {
@@ -196,38 +321,50 @@ fn master(
     }
     let collect_start = rank.now();
 
+    // Collection folds message arrivals into the master clock, so it must
+    // visit nodes in a fixed order: a wildcard-source receive would pick
+    // whichever message the OS scheduler enqueued first and make the
+    // virtual-time accounting differ from run to run. Per-source receives
+    // in rank order keep the whole simulation deterministic.
     let mut result_bytes = 0u64;
     if let Some(win) = &window {
         // One-sided: wait only for per-worker completion signals, then
         // synchronise with the deposited updates.
-        for _ in 0..n_nodes {
-            let _ = rank.recv(None, Some(TAG_DONE));
+        for j in 0..n_nodes {
+            let _ = rank.recv(Some(1 + j), Some(TAG_DONE));
         }
         win.owner_sync(rank);
         for (qi, top) in tops.iter_mut().enumerate() {
             win.read(qi, |t| top.merge(t));
             rank.charge(k as f64 * 1.0);
         }
-        result_bytes = (pending_total as u64) * (k as u64) * 8;
+        result_bytes = pending_total * (k as u64) * 8;
     } else {
-        // Two-sided: receive and merge every single result message.
-        let mut received = 0u64;
-        while received < pending_total {
-            let msg = rank.recv(None, Some(TAG_RESULT));
-            let mut payload = msg.payload;
-            result_bytes += payload.len() as u64;
-            let qi = wire::get_u32(&mut payload) as usize;
-            let pairs = wire::get_neighbors(&mut payload);
-            rank.charge(pairs.len() as f64 * MERGE_NS_PER_NEIGHBOR);
-            for (id, d) in pairs {
-                tops[qi].push(Neighbor::new(id, d));
+        // Two-sided: receive and merge every single result message; the
+        // master knows exactly how many answers each node owes it.
+        for (j, &owed) in per_node_pending.iter().enumerate() {
+            for _ in 0..owed {
+                let msg = rank.recv(Some(1 + j), Some(TAG_RESULT));
+                let mut payload = msg.payload;
+                result_bytes += payload.len() as u64;
+                let qi = wire::get_u32(&mut payload) as usize;
+                let pairs = wire::get_neighbors(&mut payload);
+                rank.charge(pairs.len() as f64 * MERGE_NS_PER_NEIGHBOR);
+                for (id, d) in pairs {
+                    tops[qi].push(Neighbor::new(id, d));
+                }
             }
-            received += 1;
         }
     }
 
     if let Some(t) = trace {
-        t.record(0, collect_start, rank.now(), SpanKind::Wait, "collect results");
+        t.record(
+            0,
+            collect_start,
+            rank.now(),
+            SpanKind::Wait,
+            "collect results",
+        );
     }
     let stats = rank.stats();
     QueryReport {
@@ -242,6 +379,10 @@ fn master(
         node_comm_cpu_ns: Vec::new(), // filled by the caller
         total_ndist: 0,               // filled by the caller
         result_bytes,
+        degraded: vec![false; nq],
+        missing_partitions: vec![0; nq],
+        retries: 0,
+        failovers: 0,
     }
 }
 
@@ -259,7 +400,7 @@ fn worker(
     let dim = index.dim();
 
     let window: Option<Window<TopK>> = if opts.one_sided {
-        Some(Window::create(rank, &world, 0, 0usize.max(1), |_| TopK::new(k)))
+        Some(Window::create(rank, &world, 0, 1, |_| TopK::new(k)))
     } else {
         world.barrier(rank);
         None
@@ -304,7 +445,13 @@ fn worker(
                 let cost = index.config.cost.dists_ns(ndist, dim);
                 let done_at = pool.assign(arrival, cost);
                 if let Some(t) = trace {
-                    t.record(rank.rank(), done_at - cost, done_at, SpanKind::Compute, "hnsw search");
+                    t.record(
+                        rank.rank(),
+                        done_at - cost,
+                        done_at,
+                        SpanKind::Compute,
+                        "hnsw search",
+                    );
                 }
                 // translate to global ids
                 let pairs: Vec<(u32, f32)> = local
@@ -345,6 +492,291 @@ fn worker(
     }
 }
 
+/// One dispatched `(query, partition)` probe awaiting its answer.
+struct Probe {
+    qid: u32,
+    part: u32,
+    /// Workgroup slot of the first dispatch (failovers derive from it).
+    slot: usize,
+    /// Retries so far; attempt `a` targets workgroup slot `(slot + a) % r`.
+    attempt: usize,
+    /// Virtual time at which this probe counts as timed out.
+    deadline: f64,
+}
+
+/// Chaos-path result message: query id, answered partition, neighbours.
+/// (The fault-free path omits the partition — here the master needs it to
+/// de-duplicate answers that arrive twice, e.g. a duplicated message or a
+/// retry racing its slow original.)
+fn encode_result(qid: u32, part: u32, pairs: &[(u32, f32)]) -> Bytes {
+    let mut b = BytesMut::new();
+    wire::put_u32(&mut b, qid);
+    wire::put_u32(&mut b, part);
+    wire::put_neighbors(&mut b, pairs);
+    b.freeze()
+}
+
+fn master_chaos(
+    rank: &mut Rank,
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    trace: Option<&Trace>,
+) -> QueryReport {
+    let world = rank.world();
+    let p_cores = index.config.n_cores;
+    let t_cores = index.config.cores_per_node;
+    let n_nodes = index.config.n_nodes();
+    let nq = queries.len();
+    let k = opts.k;
+    let dim = index.dim();
+
+    world.barrier(rank); // synchronised clock origin, as on the fault-free path
+
+    let start_ns = rank.now();
+    let route_cost_per_dist = index.config.cost.dist_ns(dim);
+
+    let mut dispatcher = ReplicaDispatcher::new(p_cores, opts.replication);
+    let mut per_core_queries = vec![0u64; p_cores];
+    let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
+    let mut route_ns = 0f64;
+    let mut fanout_total = 0u64;
+    let mut outstanding: Vec<Probe> = Vec::new();
+
+    for qi in 0..nq {
+        let q = queries.get(qi);
+        let (parts, ndist) = index.router.route(q, &index.config.route);
+        let c = ndist as f64 * route_cost_per_dist;
+        rank.charge(c);
+        route_ns += c;
+        fanout_total += parts.len() as u64;
+        for d in parts {
+            let (core, slot) = dispatcher.next_primary(d);
+            per_core_queries[core] += 1;
+            rank.send_bytes(1 + core / t_cores, TAG_QUERY, encode_query(qi as u32, d, q));
+            outstanding.push(Probe {
+                qid: qi as u32,
+                part: d,
+                slot,
+                attempt: 0,
+                deadline: rank.now() + opts.timeout_ns,
+            });
+        }
+    }
+    if let Some(t) = trace {
+        t.record(0, start_ns, rank.now(), SpanKind::Compute, "route+dispatch");
+    }
+
+    // Answers already merged, keyed (query, partition) — a second answer
+    // for the same probe (duplicate fault, retry racing its original) is
+    // discarded instead of double-merged.
+    let mut fulfilled: HashSet<(u32, u32)> = HashSet::new();
+    let mut result_bytes = 0u64;
+    let mut retries = 0u64;
+    let mut failovers = 0u64;
+    let mut round = 0usize;
+
+    loop {
+        // Round barrier: flush every node, then drain each node's mailbox
+        // subsequence *in rank order* until its ack. Per-source message
+        // order is the sender's program order — deterministic — so folding
+        // arrival times into the master clock in this fixed order keeps the
+        // whole run independent of OS thread scheduling.
+        let drain_start = rank.now();
+        for j in 0..n_nodes {
+            rank.send_bytes(1 + j, TAG_FLUSH, Bytes::new());
+        }
+        for j in 0..n_nodes {
+            loop {
+                let msg = rank.recv(Some(1 + j), None);
+                match msg.tag {
+                    TAG_FLUSH_ACK => break,
+                    TAG_RESULT => {
+                        let mut payload = msg.payload;
+                        result_bytes += payload.len() as u64;
+                        let qid = wire::get_u32(&mut payload);
+                        let part = wire::get_u32(&mut payload);
+                        let pairs = wire::get_neighbors(&mut payload);
+                        if fulfilled.insert((qid, part)) {
+                            rank.charge(pairs.len() as f64 * MERGE_NS_PER_NEIGHBOR);
+                            for (id, d) in pairs {
+                                tops[qid as usize].push(Neighbor::new(id, d));
+                            }
+                        }
+                    }
+                    t => panic!("master: unexpected tag {t} from node {j}"),
+                }
+            }
+        }
+        if let Some(t) = trace {
+            t.record(0, drain_start, rank.now(), SpanKind::Wait, "collect");
+        }
+
+        outstanding.retain(|p| !fulfilled.contains(&(p.qid, p.part)));
+        if outstanding.is_empty() || round == opts.max_retries {
+            break;
+        }
+        round += 1;
+
+        // Anything still outstanding has been flushed past on its node: it
+        // was lost (or its owner crashed). Honour the timeout contract —
+        // a probe may only be re-dispatched once its deadline has passed.
+        let max_deadline = outstanding.iter().fold(f64::MIN, |m, p| m.max(p.deadline));
+        if max_deadline > rank.now() {
+            let t0 = rank.now();
+            rank.wait_until(max_deadline);
+            if let Some(t) = trace {
+                t.record(0, t0, rank.now(), SpanKind::Recovery, "timeout");
+            }
+        }
+        for p in outstanding.iter_mut() {
+            let prev_core = dispatcher.failover(p.part, p.slot, p.attempt);
+            p.attempt += 1;
+            let core = dispatcher.failover(p.part, p.slot, p.attempt);
+            retries += 1;
+            if core != prev_core {
+                failovers += 1;
+            }
+            per_core_queries[core] += 1;
+            let t0 = rank.now();
+            rank.send_bytes(
+                1 + core / t_cores,
+                TAG_QUERY,
+                encode_query(p.qid, p.part, queries.get(p.qid as usize)),
+            );
+            p.deadline = rank.now() + opts.timeout_ns;
+            if let Some(t) = trace {
+                let label = if core != prev_core {
+                    "failover"
+                } else {
+                    "retry"
+                };
+                t.record(0, t0, rank.now(), SpanKind::Recovery, label);
+            }
+        }
+    }
+    for j in 0..n_nodes {
+        rank.send_bytes(1 + j, TAG_END, Bytes::new());
+    }
+
+    // Degraded accounting: whatever survived the retry budget unanswered.
+    let mut missing_partitions = vec![0u32; nq];
+    for p in &outstanding {
+        missing_partitions[p.qid as usize] += 1;
+    }
+    let degraded: Vec<bool> = missing_partitions.iter().map(|&m| m > 0).collect();
+
+    let stats = rank.stats();
+    QueryReport {
+        results: tops.into_iter().map(TopK::into_sorted).collect(),
+        total_ns: rank.now() - start_ns,
+        master_route_ns: route_ns,
+        master_comm_cpu_ns: stats.send_cpu_ns + stats.recv_cpu_ns + stats.rma_cpu_ns,
+        master_wait_ns: stats.wait_ns,
+        per_core_queries,
+        mean_fanout: fanout_total as f64 / nq as f64,
+        node_busy_ns: Vec::new(),     // filled by the caller
+        node_comm_cpu_ns: Vec::new(), // filled by the caller
+        total_ndist: 0,               // filled by the caller
+        result_bytes,
+        degraded,
+        missing_partitions,
+        retries,
+        failovers,
+    }
+}
+
+fn worker_chaos(
+    rank: &mut Rank,
+    index: &DistIndex,
+    opts: &SearchOptions,
+    trace: Option<&Trace>,
+) -> WorkerOut {
+    let world = rank.world();
+    let node = rank.rank() - 1;
+    let t_cores = index.config.cores_per_node;
+    let p_cores = index.config.n_cores;
+    let k = opts.k;
+    let dim = index.dim();
+
+    world.barrier(rank);
+
+    // Partitions this node can serve (identical to the fault-free path).
+    let mut serveable = vec![false; p_cores];
+    for c in node * t_cores..(node + 1) * t_cores {
+        for i in 0..opts.replication {
+            serveable[(c + p_cores - i) % p_cores] = true;
+        }
+    }
+
+    let mut pool = VThreadPool::new(t_cores, 0.0);
+    let mut scratch = SearchScratch::default();
+    let mut ndist_total = 0u64;
+
+    loop {
+        let msg = rank.recv(Some(0), None);
+        match msg.tag {
+            TAG_END => break,
+            TAG_FLUSH => {
+                // Control plane: always answered, even by a crashed rank —
+                // the master's failure detection relies on it. Ack once the
+                // search pool has finished everything queued so far.
+                let at = pool.makespan().max(rank.now());
+                rank.send_bytes_at(0, TAG_FLUSH_ACK, Bytes::new(), at);
+            }
+            TAG_QUERY => {
+                if rank.is_crashed() {
+                    // fail-stop data plane: the query is swallowed; the
+                    // master's timeout + failover machinery recovers it
+                    continue;
+                }
+                let arrival = msg.arrival;
+                let mut payload = msg.payload;
+                let qid = wire::get_u32(&mut payload);
+                let part = wire::get_u32(&mut payload) as usize;
+                let q = wire::get_f32_vec(&mut payload);
+                assert!(
+                    serveable[part],
+                    "node {node} asked to serve partition {part} it does not hold"
+                );
+                let partition = &index.partitions[part];
+                let (local, ndist) = partition.index.search(&q, k, opts.ef, &mut scratch);
+                ndist_total += ndist;
+                let cost = index.config.cost.dists_ns(ndist, dim);
+                let done_at = pool.assign(arrival, cost);
+                if let Some(t) = trace {
+                    t.record(
+                        rank.rank(),
+                        done_at - cost,
+                        done_at,
+                        SpanKind::Compute,
+                        "hnsw search",
+                    );
+                }
+                let pairs: Vec<(u32, f32)> = local
+                    .iter()
+                    .map(|n| (partition.global_ids[n.id as usize], n.dist))
+                    .collect();
+                rank.send_bytes_at(
+                    0,
+                    TAG_RESULT,
+                    encode_result(qid, part as u32, &pairs),
+                    done_at,
+                );
+            }
+            t => panic!("worker node {node}: unexpected tag {t}"),
+        }
+    }
+
+    let stats = rank.stats();
+    WorkerOut {
+        node,
+        busy_ns: pool.busy(),
+        comm_cpu_ns: stats.send_cpu_ns + stats.recv_cpu_ns + stats.rma_cpu_ns,
+        ndist: ndist_total,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,7 +785,13 @@ mod tests {
     use fastann_hnsw::HnswConfig;
     use fastann_vptree::RouteConfig;
 
-    fn build_small(n: usize, dim: usize, cores: usize, per_node: usize, seed: u64) -> (VectorSet, DistIndex) {
+    fn build_small(
+        n: usize,
+        dim: usize,
+        cores: usize,
+        per_node: usize,
+        seed: u64,
+    ) -> (VectorSet, DistIndex) {
         let data = synth::sift_like(n, dim, seed);
         let cfg = EngineConfig::new(cores, per_node)
             .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
@@ -399,7 +837,10 @@ mod tests {
         let queries = synth::queries_near(&data, 15, 0.02, 6);
         let one = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(true));
         let two = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(false));
-        assert_eq!(one.results, two.results, "result content must not depend on transport");
+        assert_eq!(
+            one.results, two.results,
+            "result content must not depend on transport"
+        );
     }
 
     #[test]
@@ -421,7 +862,10 @@ mod tests {
         let (data, mut index) = build_small(2000, 16, 8, 2, 9);
         // route every query to exactly its home partition so the workgroup
         // round-robin is the only load-spreading mechanism under test
-        index.config.route = RouteConfig { margin_frac: 0.0, max_partitions: 1 };
+        index.config.route = RouteConfig {
+            margin_frac: 0.0,
+            max_partitions: 1,
+        };
         // skewed workload: all queries near one point -> same home partition
         let mut queries = VectorSet::new(16);
         let base = data.get(0).to_vec();
@@ -511,7 +955,10 @@ mod tests {
         let recall_for = |margin: f32, cap: usize| {
             let cfg = EngineConfig::new(8, 2)
                 .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(21))
-                .route(RouteConfig { margin_frac: margin, max_partitions: cap })
+                .route(RouteConfig {
+                    margin_frac: margin,
+                    max_partitions: cap,
+                })
                 .seed(21);
             let index = DistIndex::build(&data, cfg);
             let mut o = SearchOptions::new(10);

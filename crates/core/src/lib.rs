@@ -25,6 +25,11 @@
 //! * [`search_batch_multi_owner`] — the multiple-owner variant discussed in
 //!   Section IV: every node owns a hash-slice of the queries and routes
 //!   them itself against a replicated skeleton.
+//! * [`search_batch_chaos`] — the same master–worker protocol hardened
+//!   against a seeded [`fastann_mpisim::FaultPlan`]: virtual-time request
+//!   timeouts, bounded retry with failover across the Algorithm-5 replica
+//!   workgroups, and a degraded mode that returns partial top-k (flagged
+//!   per query in [`QueryReport::degraded`]) instead of hanging.
 //!
 //! ```no_run
 //! use fastann_core::{DistIndex, EngineConfig, SearchOptions, search_batch};
@@ -49,10 +54,13 @@ mod tune;
 
 pub use build::{DistIndex, Partition};
 pub use config::{EngineConfig, SearchOptions};
-pub use engine::{search_batch, search_batch_traced};
+pub use engine::{
+    search_batch, search_batch_chaos, search_batch_chaos_traced, search_batch_traced, TAG_DONE,
+    TAG_END, TAG_FLUSH, TAG_FLUSH_ACK, TAG_QUERY, TAG_RESULT,
+};
 pub use local::{LocalIndex, LocalIndexKind};
 pub use owner::search_batch_multi_owner;
 pub use persist::PersistError;
-pub use router::Router;
+pub use router::{ReplicaDispatcher, Router};
 pub use stats::{BuildStats, Distribution, QueryReport};
 pub use tune::{tune_routing, TuneOutcome};

@@ -57,7 +57,10 @@ impl LocalIndex {
             LocalIndexKind::VpExact => LocalIndex::VpTree(VpTree::build(
                 rows,
                 metric,
-                VpTreeConfig { seed, ..VpTreeConfig::default() },
+                VpTreeConfig {
+                    seed,
+                    ..VpTreeConfig::default()
+                },
             )),
             LocalIndexKind::BruteForce => LocalIndex::Brute { data: rows, metric },
         }
@@ -147,9 +150,12 @@ mod tests {
     #[test]
     fn all_kinds_build_and_search() {
         let mut scratch = SearchScratch::default();
-        for kind in [LocalIndexKind::Hnsw, LocalIndexKind::VpExact, LocalIndexKind::BruteForce] {
-            let idx =
-                LocalIndex::build(kind, rows(), Distance::L2, HnswConfig::with_m(8), 1);
+        for kind in [
+            LocalIndexKind::Hnsw,
+            LocalIndexKind::VpExact,
+            LocalIndexKind::BruteForce,
+        ] {
+            let idx = LocalIndex::build(kind, rows(), Distance::L2, HnswConfig::with_m(8), 1);
             assert_eq!(idx.len(), 500);
             assert_eq!(idx.dim(), 12);
             let (r, ndist) = idx.search(rows().get(3), 5, 32, &mut scratch);
@@ -187,8 +193,20 @@ mod tests {
 
     #[test]
     fn exactness_flags() {
-        let h = LocalIndex::build(LocalIndexKind::Hnsw, rows(), Distance::L2, HnswConfig::with_m(8), 4);
-        let v = LocalIndex::build(LocalIndexKind::VpExact, rows(), Distance::L2, HnswConfig::with_m(8), 4);
+        let h = LocalIndex::build(
+            LocalIndexKind::Hnsw,
+            rows(),
+            Distance::L2,
+            HnswConfig::with_m(8),
+            4,
+        );
+        let v = LocalIndex::build(
+            LocalIndexKind::VpExact,
+            rows(),
+            Distance::L2,
+            HnswConfig::with_m(8),
+            4,
+        );
         assert!(!h.is_exact());
         assert!(v.is_exact());
         assert!(h.build_ndist() > 0);

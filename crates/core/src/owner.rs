@@ -88,6 +88,10 @@ pub fn search_batch_multi_owner(
         node_comm_cpu_ns: node_comm,
         total_ndist,
         result_bytes,
+        degraded: vec![false; queries.len()],
+        missing_partitions: vec![0; queries.len()],
+        retries: 0,
+        failovers: 0,
     }
 }
 
@@ -136,13 +140,13 @@ fn node_main(
 
     // Local query processing shared by the dispatch and serve paths.
     let process = |rank: &mut Rank,
-                       pool: &mut VThreadPool,
-                       scratch: &mut SearchScratch,
-                       ndist_total: &mut u64,
-                       qid: usize,
-                       part: usize,
-                       q: &[f32],
-                       ready: f64|
+                   pool: &mut VThreadPool,
+                   scratch: &mut SearchScratch,
+                   ndist_total: &mut u64,
+                   qid: usize,
+                   part: usize,
+                   q: &[f32],
+                   ready: f64|
      -> (Vec<(u32, f32)>, f64) {
         let partition = &index.partitions[part];
         let (local, ndist) = partition.index.search(q, k, opts.ef, scratch);
@@ -200,10 +204,10 @@ fn node_main(
         }
     }
     // tell every other node how much work to expect from me
-    for j in 0..n_nodes {
+    for (j, &count) in sent_to.iter().enumerate() {
         if j != me {
             let mut b = BytesMut::with_capacity(8);
-            wire::put_u64(&mut b, sent_to[j]);
+            wire::put_u64(&mut b, count);
             rank.send_bytes(j, TAG_COUNT, b.freeze());
         }
     }
@@ -264,8 +268,11 @@ fn node_main(
     wire::put_u32(&mut b, owned.len() as u32);
     for &qi in &owned {
         wire::put_u32(&mut b, qi as u32);
-        let pairs: Vec<(u32, f32)> =
-            tops[&qi].to_sorted().iter().map(|n| (n.id, n.dist)).collect();
+        let pairs: Vec<(u32, f32)> = tops[&qi]
+            .to_sorted()
+            .iter()
+            .map(|n| (n.id, n.dist))
+            .collect();
         wire::put_neighbors(&mut b, &pairs);
     }
     let gathered = world.gather(rank, 0, b.freeze());

@@ -89,7 +89,8 @@ fn metric_from(c: u8) -> Result<Distance, PersistError> {
 }
 
 fn rd_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), PersistError> {
-    r.read_exact(buf).map_err(|_| PersistError::Format("truncated".into()))
+    r.read_exact(buf)
+        .map_err(|_| PersistError::Format("truncated".into()))
 }
 
 fn rd_u32(r: &mut impl Read) -> Result<u32, PersistError> {
@@ -160,7 +161,9 @@ impl DistIndex {
         }
         let version = rd_u32(&mut r)?;
         if version != VERSION {
-            return Err(PersistError::Format(format!("unsupported version {version}")));
+            return Err(PersistError::Format(format!(
+                "unsupported version {version}"
+            )));
         }
         let mut mc = [0u8; 1];
         rd_exact(&mut r, &mut mc)?;
@@ -168,7 +171,10 @@ impl DistIndex {
         let n_cores = rd_u32(&mut r)? as usize;
         let cores_per_node = rd_u32(&mut r)? as usize;
         let seed = rd_u64(&mut r)?;
-        if n_cores == 0 || !n_cores.is_power_of_two() || n_cores % cores_per_node.max(1) != 0 {
+        if n_cores == 0
+            || !n_cores.is_power_of_two()
+            || !n_cores.is_multiple_of(cores_per_node.max(1))
+        {
             return Err(PersistError::Format("implausible cluster shape".into()));
         }
         let m = rd_u32(&mut r)? as usize;
@@ -183,7 +189,9 @@ impl DistIndex {
         rd_exact(&mut r, &mut skel)?;
         let tree = PartitionTree::from_bytes(&skel, metric);
         if tree.n_partitions() != n_cores {
-            return Err(PersistError::Format("skeleton / core-count mismatch".into()));
+            return Err(PersistError::Format(
+                "skeleton / core-count mismatch".into(),
+            ));
         }
 
         let mut partitions = Vec::with_capacity(n_cores);
@@ -301,7 +309,9 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let res = DistIndex::load(&path);
         std::fs::remove_file(&path).ok();
-        let Err(err) = res else { panic!("corrupted file must not load") };
+        let Err(err) = res else {
+            panic!("corrupted file must not load")
+        };
         assert!(matches!(err, PersistError::Format(_)));
     }
 

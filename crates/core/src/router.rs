@@ -65,6 +65,56 @@ impl Router {
     }
 }
 
+/// Algorithm-5 replica dispatch: partition `d`'s workgroup is the cores
+/// `{d, d+1, …, d+r−1 mod P}`, and probes rotate round-robin within it.
+///
+/// The same workgroup doubles as the failover chain of the fault-tolerant
+/// path: attempt `a` of a probe first dispatched at workgroup slot `s`
+/// targets slot `(s + a) mod r`, so with `r > 1` a timed-out probe lands on
+/// a *different* replica, while `r = 1` retries the (only) owner — which
+/// recovers lost messages but not a dead core.
+pub struct ReplicaDispatcher {
+    p_cores: usize,
+    replication: usize,
+    next_slot: Vec<usize>,
+}
+
+impl ReplicaDispatcher {
+    /// Dispatcher over `p_cores` cores with replication factor
+    /// `replication ≥ 1`.
+    pub fn new(p_cores: usize, replication: usize) -> Self {
+        assert!(
+            replication >= 1 && replication <= p_cores,
+            "bad replication factor"
+        );
+        Self {
+            p_cores,
+            replication,
+            next_slot: vec![0; p_cores],
+        }
+    }
+
+    /// The core at workgroup `slot` (taken mod `r`) of `part`'s workgroup.
+    pub fn member(&self, part: u32, slot: usize) -> usize {
+        (part as usize + slot % self.replication) % self.p_cores
+    }
+
+    /// Picks the core for a fresh probe of `part` and advances the
+    /// round-robin pointer. Returns `(core, slot)`; keep `slot` to derive
+    /// failover targets for this probe.
+    pub fn next_primary(&mut self, part: u32) -> (usize, usize) {
+        let slot = self.next_slot[part as usize];
+        self.next_slot[part as usize] = (slot + 1) % self.replication;
+        (self.member(part, slot), slot)
+    }
+
+    /// The core serving retry `attempt` (1-based) of a probe first sent at
+    /// `slot`.
+    pub fn failover(&self, part: u32, slot: usize, attempt: usize) -> usize {
+        self.member(part, slot + attempt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,16 +122,26 @@ mod tests {
 
     fn pivot_router() -> Router {
         let pivots = synth::sift_like(8, 4, 1);
-        Router::FlatPivot { pivots, metric: Distance::L2 }
+        Router::FlatPivot {
+            pivots,
+            metric: Distance::L2,
+        }
     }
 
     #[test]
     fn flat_pivot_routes_to_closest_pivot_first() {
         let r = pivot_router();
-        let Router::FlatPivot { pivots, .. } = &r else { unreachable!() };
+        let Router::FlatPivot { pivots, .. } = &r else {
+            unreachable!()
+        };
         let q = pivots.get(5).to_vec();
-        let (route, ndist) =
-            r.route(&q, &RouteConfig { margin_frac: 0.0, max_partitions: 3 });
+        let (route, ndist) = r.route(
+            &q,
+            &RouteConfig {
+                margin_frac: 0.0,
+                max_partitions: 3,
+            },
+        );
         assert_eq!(route[0], 5, "closest pivot must come first");
         assert_eq!(route.len(), 3);
         assert_eq!(ndist, 8, "flat routing scores every pivot");
@@ -91,7 +151,13 @@ mod tests {
     fn flat_pivot_cap_respected() {
         let r = pivot_router();
         let q = vec![0.0; 4];
-        let (route, _) = r.route(&q, &RouteConfig { margin_frac: 0.5, max_partitions: 100 });
+        let (route, _) = r.route(
+            &q,
+            &RouteConfig {
+                margin_frac: 0.5,
+                max_partitions: 100,
+            },
+        );
         assert_eq!(route.len(), 8, "cap clamps to pivot count");
         let mut dedup = route.clone();
         dedup.sort_unstable();
@@ -104,5 +170,50 @@ mod tests {
         let r = pivot_router();
         assert_eq!(r.n_partitions(), 8);
         assert_eq!(r.approx_bytes(), 8 * 4 * 4);
+    }
+
+    #[test]
+    fn dispatcher_round_robins_within_workgroup() {
+        let mut d = ReplicaDispatcher::new(8, 3);
+        // partition 6's workgroup is {6, 7, 0}
+        assert_eq!(d.next_primary(6), (6, 0));
+        assert_eq!(d.next_primary(6), (7, 1));
+        assert_eq!(d.next_primary(6), (0, 2));
+        assert_eq!(d.next_primary(6), (6, 0), "pointer wraps");
+        // other partitions have independent pointers
+        assert_eq!(d.next_primary(2), (2, 0));
+    }
+
+    #[test]
+    fn dispatcher_failover_cycles_replicas() {
+        let d = ReplicaDispatcher::new(8, 2);
+        let (core, slot) = (5, 1); // probe of partition 4 sent to slot 1
+        assert_eq!(d.member(4, slot), core);
+        assert_eq!(
+            d.failover(4, slot, 1),
+            4,
+            "first retry moves to the other replica"
+        );
+        assert_eq!(d.failover(4, slot, 2), 5, "second retry wraps back");
+    }
+
+    #[test]
+    fn dispatcher_without_replication_is_identity() {
+        let mut d = ReplicaDispatcher::new(4, 1);
+        for part in 0..4u32 {
+            assert_eq!(d.next_primary(part), (part as usize, 0));
+            assert_eq!(d.next_primary(part), (part as usize, 0));
+            assert_eq!(
+                d.failover(part, 0, 3),
+                part as usize,
+                "r=1 retries the owner"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dispatcher_rejects_oversized_replication() {
+        let _ = ReplicaDispatcher::new(4, 5);
     }
 }

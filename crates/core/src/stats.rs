@@ -69,7 +69,10 @@ impl Distribution {
 }
 
 /// Query-phase report (drives Figures 3, 4, 5 and Tables III).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field — chaos tests assert that two runs
+/// under the same fault seed produce *identical* reports.
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryReport {
     /// k-NN per query, global dataset row ids, ascending distance.
     pub results: Vec<Vec<Neighbor>>,
@@ -94,6 +97,18 @@ pub struct QueryReport {
     pub total_ndist: u64,
     /// Total result bytes deposited/returned to the master.
     pub result_bytes: u64,
+    /// Per-query degraded flag: `true` when at least one routed partition
+    /// never answered (within the retry budget) and the result is a
+    /// partial top-k. Always all-`false` on the fault-free paths.
+    pub degraded: Vec<bool>,
+    /// Per-query count of routed partitions that never answered.
+    pub missing_partitions: Vec<u32>,
+    /// Partition probes re-dispatched after a virtual-time timeout
+    /// (fault-tolerant path only).
+    pub retries: u64,
+    /// Retries that failed over to a *different* replica core (a subset of
+    /// `retries`; zero when `replication == 1`).
+    pub failovers: u64,
 }
 
 impl QueryReport {
@@ -109,6 +124,16 @@ impl QueryReport {
     /// Distribution of queries over cores (Fig. 4(b)).
     pub fn query_distribution(&self) -> Distribution {
         Distribution::of(&self.per_core_queries)
+    }
+
+    /// `true` when any query returned a partial (degraded) result.
+    pub fn any_degraded(&self) -> bool {
+        self.degraded.iter().any(|&d| d)
+    }
+
+    /// Number of degraded queries.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded.iter().filter(|&&d| d).count()
     }
 
     /// Fraction of the run's aggregate core-time spent computing, vs
@@ -180,6 +205,10 @@ mod tests {
             node_comm_cpu_ns: vec![50.0, 20.0],
             total_ndist: 100,
             result_bytes: 10,
+            degraded: vec![false; 10],
+            missing_partitions: vec![0; 10],
+            retries: 0,
+            failovers: 0,
         };
         let (c, m, i) = r.breakdown();
         assert!((c + m + i - 1.0).abs() < 1e-9);
@@ -200,7 +229,13 @@ mod tests {
             node_comm_cpu_ns: vec![],
             total_ndist: 0,
             result_bytes: 0,
+            degraded: vec![false; 100],
+            missing_partitions: vec![0; 100],
+            retries: 0,
+            failovers: 0,
         };
         assert_eq!(r.throughput_qps(), 100.0);
+        assert!(!r.any_degraded());
+        assert_eq!(r.degraded_count(), 0);
     }
 }

@@ -37,12 +37,30 @@ pub struct TuneOutcome {
 fn ladder(n_partitions: usize) -> Vec<RouteConfig> {
     let p = n_partitions;
     vec![
-        RouteConfig { margin_frac: 0.0, max_partitions: 1 },
-        RouteConfig { margin_frac: 0.1, max_partitions: 2.min(p) },
-        RouteConfig { margin_frac: 0.15, max_partitions: 4.min(p) },
-        RouteConfig { margin_frac: 0.25, max_partitions: 6.min(p) },
-        RouteConfig { margin_frac: 0.35, max_partitions: (p / 4).max(8).min(p) },
-        RouteConfig { margin_frac: 0.5, max_partitions: (p / 2).max(8).min(p) },
+        RouteConfig {
+            margin_frac: 0.0,
+            max_partitions: 1,
+        },
+        RouteConfig {
+            margin_frac: 0.1,
+            max_partitions: 2.min(p),
+        },
+        RouteConfig {
+            margin_frac: 0.15,
+            max_partitions: 4.min(p),
+        },
+        RouteConfig {
+            margin_frac: 0.25,
+            max_partitions: 6.min(p),
+        },
+        RouteConfig {
+            margin_frac: 0.35,
+            max_partitions: (p / 4).max(8).min(p),
+        },
+        RouteConfig {
+            margin_frac: 0.5,
+            max_partitions: (p / 2).max(8).min(p),
+        },
     ]
 }
 
@@ -87,7 +105,13 @@ pub fn tune_routing(
         }
     }
     let &(route, recall, mean_fanout) = evaluated.last().expect("non-empty ladder");
-    TuneOutcome { route, recall, mean_fanout, met_target: false, ladder: evaluated }
+    TuneOutcome {
+        route,
+        recall,
+        mean_fanout,
+        met_target: false,
+        ladder: evaluated,
+    }
 }
 
 impl DistIndex {
@@ -167,8 +191,10 @@ mod tests {
     #[test]
     fn with_route_shares_partitions() {
         let (_, sample, index) = setup();
-        let generous = index
-            .with_route(RouteConfig { margin_frac: 0.5, max_partitions: 16 });
+        let generous = index.with_route(RouteConfig {
+            margin_frac: 0.5,
+            max_partitions: 16,
+        });
         let a = search_batch(&generous, &sample, &SearchOptions::new(5));
         let b = search_batch(&index, &sample, &SearchOptions::new(5));
         // more generous routing searches at least as many partitions

@@ -1,0 +1,239 @@
+//! Chaos tests: the fault-tolerant query path under a seeded
+//! [`FaultPlan`] — determinism, failover recovery, and degraded mode.
+
+use fastann_core::{
+    search_batch, search_batch_chaos, search_batch_chaos_traced, DistIndex, EngineConfig,
+    QueryReport, SearchOptions, TAG_QUERY, TAG_RESULT,
+};
+use fastann_data::{ground_truth, synth, Distance, VectorSet};
+use fastann_hnsw::HnswConfig;
+use fastann_mpisim::{FaultPlan, Span, SpanKind, Trace};
+use fastann_vptree::RouteConfig;
+
+/// A small but non-trivial cluster: 8 cores spread over `nodes_of` cores
+/// per node, miniature SIFT-like data.
+fn build(nodes_of: usize, seed: u64) -> (VectorSet, VectorSet, DistIndex) {
+    let data = synth::sift_like(3000, 16, seed);
+    let queries = synth::queries_near(&data, 25, 0.02, seed + 1);
+    let cfg = EngineConfig::new(8, nodes_of)
+        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .seed(seed);
+    let index = DistIndex::build(&data, cfg);
+    (data, queries, index)
+}
+
+fn assert_results_well_formed(report: &QueryReport, k: usize, n: usize) {
+    for r in &report.results {
+        assert!(r.len() <= k);
+        for w in r.windows(2) {
+            assert!(w[0].dist <= w[1].dist, "results must stay sorted");
+        }
+        let mut ids: Vec<u32> = r.iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), r.len(), "duplicate ids in result");
+        assert!(ids.iter().all(|&id| (id as usize) < n));
+    }
+}
+
+/// Spans in a scheduling-independent order (worker threads append to the
+/// shared trace concurrently, so the raw vector order is not comparable).
+fn sorted_spans(t: &Trace) -> Vec<(usize, u64, u64, u8, &'static str)> {
+    let kind_ord = |k: SpanKind| match k {
+        SpanKind::Compute => 0u8,
+        SpanKind::Wait => 1,
+        SpanKind::Comm => 2,
+        SpanKind::Recovery => 3,
+    };
+    let mut v: Vec<_> = t
+        .spans()
+        .iter()
+        .map(|s: &Span| {
+            (
+                s.rank,
+                s.start.to_bits(),
+                s.end.to_bits(),
+                kind_ord(s.kind),
+                s.label,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn fault_plan_none_is_a_true_noop() {
+    let (_, queries, index) = build(2, 41);
+    for one_sided in [true, false] {
+        let opts = SearchOptions::new(10).one_sided(one_sided);
+        let clean = search_batch(&index, &queries, &opts);
+        let chaos = search_batch_chaos(&index, &queries, &opts, &FaultPlan::none());
+        // full-report equality: results AND every virtual-time cost field
+        assert_eq!(
+            clean, chaos,
+            "FaultPlan::none() must change nothing (one_sided={one_sided})"
+        );
+        assert!(!chaos.any_degraded());
+        assert_eq!(chaos.retries, 0);
+        assert_eq!(chaos.failovers, 0);
+    }
+}
+
+#[test]
+fn same_seed_gives_identical_report_and_trace() {
+    let (data, queries, index) = build(2, 43);
+    let opts = SearchOptions::new(10).replication(2).timeout_ns(5e6);
+    // a bit of everything: loss, delay, duplication, plus a mid-run stall
+    let plan = FaultPlan::new(0xC0FFEE)
+        .drop_msgs(None, None, Some(TAG_RESULT), 0.25)
+        .drop_msgs(Some(0), None, Some(TAG_QUERY), 0.10)
+        .delay_msgs(None, None, None, 0.20, 2e6)
+        .duplicate_msgs(None, None, Some(TAG_RESULT), 0.15)
+        .stall(2, 1e5, 3e6);
+
+    let run = || {
+        let trace = Trace::new();
+        let report = search_batch_chaos_traced(&index, &queries, &opts, &plan, &trace);
+        (report, sorted_spans(&trace))
+    };
+    let (r1, t1) = run();
+    let (r2, t2) = run();
+    assert_eq!(
+        r1, r2,
+        "same fault seed must reproduce the report bit-for-bit"
+    );
+    assert_eq!(t1, t2, "same fault seed must reproduce the trace");
+    assert!(
+        r1.retries > 0,
+        "a 25% result-loss plan should force retries"
+    );
+    assert!(
+        t1.iter().any(|s| s.3 == 3),
+        "retries must be visible as Recovery spans in the trace"
+    );
+    assert_results_well_formed(&r1, 10, data.len());
+}
+
+#[test]
+fn crashed_worker_with_replicas_recovers_full_recall() {
+    // one core per node so a partition's r=2 workgroup spans two *nodes* —
+    // crashing one leaves a live replica on the other
+    let (data, queries, index) = build(1, 47);
+    let opts = SearchOptions::new(10)
+        .replication(2)
+        .ef(128)
+        .timeout_ns(5e6);
+    let clean = search_batch(&index, &queries, &opts);
+    // rank 3 = worker node 2 = core 2, dead from the first virtual instant
+    let plan = FaultPlan::new(7).crash(3, 0.0);
+    let report = search_batch_chaos(&index, &queries, &opts, &plan);
+
+    assert!(
+        !report.any_degraded(),
+        "with a live replica every probe must be recovered: {:?}",
+        report.missing_partitions
+    );
+    assert!(
+        report.retries > 0,
+        "probes sent to the dead core must time out"
+    );
+    assert!(
+        report.failovers > 0,
+        "r=2 retries must move to the other replica"
+    );
+    assert_eq!(report.per_core_queries.len(), 8);
+
+    let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+    let rec_clean = ground_truth::recall_at_k(&clean.results, &gt, 10).mean;
+    let rec_chaos = ground_truth::recall_at_k(&report.results, &gt, 10).mean;
+    assert!(
+        rec_chaos >= rec_clean - 0.01,
+        "failover must preserve recall: clean {rec_clean:.3} vs chaos {rec_chaos:.3}"
+    );
+    assert_results_well_formed(&report, 10, data.len());
+}
+
+#[test]
+fn crashed_worker_without_replicas_degrades_instead_of_hanging() {
+    let (data, _, mut index) = build(1, 53);
+    // route every query to every partition so each one provably touches
+    // the dead core's (sole) partition
+    index.config.route = RouteConfig {
+        margin_frac: 1.0,
+        max_partitions: 8,
+    };
+    let queries = synth::queries_near(&data, 12, 0.02, 54);
+    let opts = SearchOptions::new(10).timeout_ns(5e6).max_retries(2);
+    let plan = FaultPlan::new(11).crash(3, 0.0);
+    let report = search_batch_chaos(&index, &queries, &opts, &plan);
+
+    assert_eq!(report.mean_fanout, 8.0, "full-fanout routing expected");
+    assert!(report.any_degraded());
+    assert_eq!(
+        report.degraded_count(),
+        12,
+        "every query misses the dead partition"
+    );
+    for (qi, (&deg, &miss)) in report
+        .degraded
+        .iter()
+        .zip(&report.missing_partitions)
+        .enumerate()
+    {
+        assert!(deg, "query {qi} must be flagged degraded");
+        assert_eq!(
+            miss, 1,
+            "query {qi} misses exactly the dead core's partition"
+        );
+    }
+    assert!(report.retries > 0, "the retry budget must be spent first");
+    assert_eq!(report.failovers, 0, "r=1 has no replica to fail over to");
+    // partial top-k still well-formed (the other 7 partitions answered)
+    assert_results_well_formed(&report, 10, data.len());
+    assert!(report.results.iter().all(|r| !r.is_empty()));
+}
+
+#[test]
+fn dropped_results_are_recovered_by_retry_on_the_same_owner() {
+    let (data, queries, index) = build(2, 59);
+    // lossy link from worker node 1 back to the master; no replication, so
+    // recovery can only come from re-asking the same owner
+    let plan = FaultPlan::new(99).drop_msgs(Some(2), Some(0), Some(TAG_RESULT), 0.5);
+    let opts = SearchOptions::new(10).timeout_ns(5e6).max_retries(6);
+    let report = search_batch_chaos(&index, &queries, &opts, &plan);
+
+    assert!(
+        report.retries > 0,
+        "half the node's results vanish: retries required"
+    );
+    assert_eq!(report.failovers, 0, "r=1 retries never change core");
+    for (&deg, &miss) in report.degraded.iter().zip(&report.missing_partitions) {
+        assert_eq!(deg, miss > 0, "degraded flag must mirror the missing count");
+    }
+    assert!(
+        !report.any_degraded(),
+        "six retries at 50% loss must recover every probe for this seed"
+    );
+    assert_results_well_formed(&report, 10, data.len());
+}
+
+#[test]
+fn delayed_results_slow_the_batch_but_lose_nothing() {
+    let (data, queries, index) = build(2, 61);
+    // two-sided baseline so the vacuous run uses the same transport
+    let opts = SearchOptions::new(10).one_sided(false).timeout_ns(5e6);
+    // every result from every worker limps home 8 virtual ms late
+    let plan = FaultPlan::new(5).delay_msgs(None, Some(0), Some(TAG_RESULT), 1.0, 8e6);
+    let clean = search_batch_chaos(&index, &queries, &opts, &FaultPlan::none());
+    let slow = search_batch_chaos(&index, &queries, &opts, &plan);
+    assert!(!slow.any_degraded(), "delay is not loss");
+    assert!(
+        slow.total_ns > clean.total_ns + 8e6,
+        "delays must show up in virtual time: {} vs {}",
+        slow.total_ns,
+        clean.total_ns
+    );
+    assert_eq!(clean.results, slow.results, "delayed answers still count");
+    assert_results_well_formed(&slow, 10, data.len());
+}

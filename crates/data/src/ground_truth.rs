@@ -77,7 +77,11 @@ pub fn recall_at_k(approx: &[Vec<Neighbor>], truth: &[Vec<Neighbor>], k: usize) 
             min = r;
         }
     }
-    Recall { mean: sum / truth.len() as f64, min, n_queries: truth.len() }
+    Recall {
+        mean: sum / truth.len() as f64,
+        min,
+        n_queries: truth.len(),
+    }
 }
 
 /// Recall computed against plain id lists (e.g. loaded from `.ivecs`
@@ -96,7 +100,11 @@ pub fn recall_against_ids(approx: &[Vec<Neighbor>], truth_ids: &[Vec<u32>], k: u
             min = r;
         }
     }
-    Recall { mean: sum / truth_ids.len() as f64, min, n_queries: truth_ids.len() }
+    Recall {
+        mean: sum / truth_ids.len() as f64,
+        min,
+        n_queries: truth_ids.len(),
+    }
 }
 
 #[cfg(test)]
@@ -181,9 +189,93 @@ mod tests {
         let data = synth::deep_like(50, 12, 6);
         let q = synth::deep_like(3, 12, 7);
         let batch = brute_force(&data, &q, 4, Distance::L2);
-        for i in 0..3 {
+        for (i, expected) in batch.iter().enumerate() {
             let one = brute_force_one(&data, q.get(i), 4, Distance::L2);
-            assert_eq!(one, batch[i]);
+            assert_eq!(&one, expected);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_whole_dataset() {
+        let data = synth::sift_like(5, 8, 8);
+        let q = synth::sift_like(2, 8, 9);
+        let res = brute_force(&data, &q, 50, Distance::L2);
+        for r in &res {
+            assert_eq!(r.len(), 5, "k > n clamps to the dataset size");
+            for w in r.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+            let mut ids: Vec<u32> = r.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3, 4], "every point appears exactly once");
+        }
+        // recall of a k>n result against itself is still perfect
+        let rec = recall_at_k(&res, &res, 50);
+        assert_eq!(rec.mean, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn brute_force_rejects_k_zero() {
+        let data = synth::sift_like(10, 4, 10);
+        let _ = brute_force(&data, &data, 0, Distance::L2);
+    }
+
+    #[test]
+    fn recall_at_k_zero_is_zero_without_panicking() {
+        let lists = vec![vec![Neighbor::new(0, 0.0)]];
+        let r = recall_at_k(&lists, &lists, 0);
+        assert_eq!(r.mean, 0.0, "k = 0 truncates both lists to nothing");
+        assert_eq!(r.n_queries, 1);
+        let r = recall_against_ids(&lists, &[vec![0u32]], 0);
+        assert_eq!(r.mean, 0.0);
+    }
+
+    #[test]
+    fn recall_with_empty_truth_list_is_zero() {
+        // an empty per-query truth list (e.g. an empty partition's ground
+        // truth) must not divide by zero
+        let approx = vec![vec![Neighbor::new(1, 0.5)]];
+        let truth: Vec<Vec<Neighbor>> = vec![vec![]];
+        let r = recall_at_k(&approx, &truth, 3);
+        assert_eq!(r.mean, 0.0);
+        let r = recall_against_ids(&approx, &[vec![]], 3);
+        assert_eq!(r.mean, 0.0);
+    }
+
+    #[test]
+    fn duplicate_distances_match_by_id_not_distance() {
+        // two points equidistant from the query: recall is defined over ids
+        // (Section V-D), so returning the *other* tied point is a miss
+        let truth = vec![vec![Neighbor::new(0, 1.0), Neighbor::new(1, 1.0)]];
+        let wrong_tie = vec![vec![Neighbor::new(2, 1.0), Neighbor::new(0, 1.0)]];
+        let r = recall_at_k(&wrong_tie, &truth, 2);
+        assert!((r.mean - 0.5).abs() < 1e-12, "one of two tied ids matched");
+        let r1 = recall_at_k(&wrong_tie, &truth, 1);
+        assert_eq!(r1.mean, 0.0, "top-1 tie resolved to a different id");
+    }
+
+    #[test]
+    fn brute_force_is_deterministic_under_duplicate_points() {
+        // duplicated rows ⇒ duplicate distances; the id tie-break must make
+        // the exact result reproducible
+        let base = synth::sift_like(20, 6, 11);
+        let mut data = crate::vector::VectorSet::new(6);
+        for i in 0..20 {
+            data.push(base.get(i));
+            data.push(base.get(i)); // exact duplicate, different id
+        }
+        let q = synth::sift_like(4, 6, 12);
+        let a = brute_force(&data, &q, 8, Distance::L2);
+        let b = brute_force(&data, &q, 8, Distance::L2);
+        assert_eq!(a, b);
+        for r in &a {
+            for w in r.windows(2) {
+                assert!(
+                    w[0].dist < w[1].dist || (w[0].dist == w[1].dist && w[0].id < w[1].id),
+                    "ties must be ordered by id"
+                );
+            }
         }
     }
 

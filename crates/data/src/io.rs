@@ -50,7 +50,9 @@ fn read_dim_header(r: &mut impl Read) -> Result<Option<usize>, VecsError> {
     }
     let d = i32::from_le_bytes(hdr);
     if d <= 0 {
-        return Err(VecsError::Format(format!("non-positive dimension header {d}")));
+        return Err(VecsError::Format(format!(
+            "non-positive dimension header {d}"
+        )));
     }
     Ok(Some(d as usize))
 }
@@ -67,8 +69,10 @@ pub fn read_fvecs_from(r: &mut impl Read, limit: Option<usize>) -> Result<Vector
     let mut out: Option<VectorSet> = None;
     let mut buf: Vec<u8> = Vec::new();
     let mut count = 0usize;
-    while limit.map_or(true, |l| count < l) {
-        let Some(dim) = read_dim_header(r)? else { break };
+    while limit.is_none_or(|l| count < l) {
+        let Some(dim) = read_dim_header(r)? else {
+            break;
+        };
         buf.resize(dim * 4, 0);
         r.read_exact(&mut buf)
             .map_err(|_| VecsError::Format("truncated vector body".into()))?;
@@ -102,8 +106,10 @@ pub fn read_bvecs_from(r: &mut impl Read, limit: Option<usize>) -> Result<Vector
     let mut out: Option<VectorSet> = None;
     let mut buf: Vec<u8> = Vec::new();
     let mut count = 0usize;
-    while limit.map_or(true, |l| count < l) {
-        let Some(dim) = read_dim_header(r)? else { break };
+    while limit.is_none_or(|l| count < l) {
+        let Some(dim) = read_dim_header(r)? else {
+            break;
+        };
         buf.resize(dim, 0);
         r.read_exact(&mut buf)
             .map_err(|_| VecsError::Format("truncated vector body".into()))?;
@@ -124,7 +130,10 @@ pub fn read_bvecs_from(r: &mut impl Read, limit: Option<usize>) -> Result<Vector
 
 /// Reads an `.ivecs` file — the TEXMEX ground-truth format: each record is
 /// the list of true neighbour ids for one query.
-pub fn read_ivecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Vec<Vec<u32>>, VecsError> {
+pub fn read_ivecs(
+    path: impl AsRef<Path>,
+    limit: Option<usize>,
+) -> Result<Vec<Vec<u32>>, VecsError> {
     let mut r = BufReader::new(File::open(path)?);
     read_ivecs_from(&mut r, limit)
 }
@@ -136,8 +145,10 @@ pub fn read_ivecs_from(
 ) -> Result<Vec<Vec<u32>>, VecsError> {
     let mut out = Vec::new();
     let mut buf: Vec<u8> = Vec::new();
-    while limit.map_or(true, |l| out.len() < l) {
-        let Some(dim) = read_dim_header(r)? else { break };
+    while limit.is_none_or(|l| out.len() < l) {
+        let Some(dim) = read_dim_header(r)? else {
+            break;
+        };
         buf.resize(dim * 4, 0);
         r.read_exact(&mut buf)
             .map_err(|_| VecsError::Format("truncated record body".into()))?;

@@ -36,7 +36,7 @@ pub mod topk;
 pub mod vector;
 
 pub use ground_truth::{recall_at_k, Recall};
-pub use stats::{dataset_stats, DatasetStats};
 pub use metric::Distance;
+pub use stats::{dataset_stats, DatasetStats};
 pub use topk::{Neighbor, TopK};
 pub use vector::VectorSet;

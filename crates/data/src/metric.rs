@@ -103,7 +103,10 @@ pub fn l1(a: &[f32], b: &[f32]) -> f32 {
 /// Chebyshev distance.
 #[inline]
 pub fn chebyshev(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Dot product, 4-way unrolled.
@@ -183,14 +186,24 @@ mod tests {
 
     #[test]
     fn identity_of_indiscernibles() {
-        for d in [Distance::L2, Distance::SquaredL2, Distance::L1, Distance::Chebyshev] {
+        for d in [
+            Distance::L2,
+            Distance::SquaredL2,
+            Distance::L1,
+            Distance::Chebyshev,
+        ] {
             assert_eq!(d.eval(&A, &A), 0.0, "{}", d.name());
         }
     }
 
     #[test]
     fn symmetry() {
-        for d in [Distance::L2, Distance::L1, Distance::Chebyshev, Distance::Cosine] {
+        for d in [
+            Distance::L2,
+            Distance::L1,
+            Distance::Chebyshev,
+            Distance::Cosine,
+        ] {
             assert!((d.eval(&A, &B) - d.eval(&B, &A)).abs() < 1e-6);
         }
     }

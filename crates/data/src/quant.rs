@@ -33,8 +33,11 @@ impl Sq8 {
         assert!(!data.is_empty(), "cannot quantize an empty set");
         let dim = data.dim();
         let (lo, hi) = data.bounds().expect("non-empty");
-        let step: Vec<f32> =
-            lo.iter().zip(&hi).map(|(&l, &h)| ((h - l) / 255.0).max(f32::MIN_POSITIVE)).collect();
+        let step: Vec<f32> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| ((h - l) / 255.0).max(f32::MIN_POSITIVE))
+            .collect();
         let mut codes = Vec::with_capacity(data.len() * dim);
         for row in data.iter() {
             for d in 0..dim {
@@ -42,7 +45,13 @@ impl Sq8 {
                 codes.push(c as u8);
             }
         }
-        Sq8 { dim, lo, step, codes, n: data.len() }
+        Sq8 {
+            dim,
+            lo,
+            step,
+            codes,
+            n: data.len(),
+        }
     }
 
     /// Number of compressed vectors.
@@ -144,8 +153,9 @@ mod tests {
         let queries = synth::queries_near(&data, 40, 0.01, 4);
         let sq = Sq8::encode(&data);
         let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
-        let approx: Vec<_> =
-            (0..queries.len()).map(|i| sq.knn(queries.get(i), 10, Distance::L2)).collect();
+        let approx: Vec<_> = (0..queries.len())
+            .map(|i| sq.knn(queries.get(i), 10, Distance::L2))
+            .collect();
         let recall = ground_truth::recall_at_k(&approx, &gt, 10);
         assert!(recall.mean > 0.6, "SQ8 recall collapsed: {}", recall.mean);
         assert!(
@@ -164,8 +174,8 @@ mod tests {
         let sq = Sq8::encode(&data);
         for i in 0..3 {
             let dec = sq.decode(i);
-            for d in 0..2 {
-                assert!((dec[d] - data.get(i)[d]).abs() < 0.51);
+            for (got, want) in dec.iter().zip(data.get(i)) {
+                assert!((got - want).abs() < 0.51);
             }
         }
     }

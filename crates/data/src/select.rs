@@ -19,7 +19,12 @@
 /// Panics if `data` is empty or `n >= data.len()`.
 pub fn select_nth(data: &mut [f32], n: usize) -> f32 {
     assert!(!data.is_empty(), "select_nth on empty slice");
-    assert!(n < data.len(), "rank {} out of bounds for length {}", n, data.len());
+    assert!(
+        n < data.len(),
+        "rank {} out of bounds for length {}",
+        n,
+        data.len()
+    );
     let mut lo = 0usize;
     let mut hi = data.len();
     let mut n = n;
@@ -134,18 +139,27 @@ mod tests {
         let base = vec![3.0f32, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         for n in 0..base.len() {
             let mut d = base.clone();
-            assert_eq!(select_nth(&mut d, n), sorted_ref(base.clone(), n), "rank {n}");
+            assert_eq!(
+                select_nth(&mut d, n),
+                sorted_ref(base.clone(), n),
+                "rank {n}"
+            );
         }
     }
 
     #[test]
     fn select_matches_sort_large_with_duplicates() {
         // deterministic pseudo-random with many duplicates
-        let base: Vec<f32> =
-            (0..1000u32).map(|i| (i.wrapping_mul(2654435761) % 97) as f32).collect();
+        let base: Vec<f32> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(2654435761) % 97) as f32)
+            .collect();
         for n in [0, 1, 499, 500, 998, 999] {
             let mut d = base.clone();
-            assert_eq!(select_nth(&mut d, n), sorted_ref(base.clone(), n), "rank {n}");
+            assert_eq!(
+                select_nth(&mut d, n),
+                sorted_ref(base.clone(), n),
+                "rank {n}"
+            );
         }
     }
 

@@ -100,7 +100,11 @@ pub fn dataset_stats(
         sample: sample.len(),
         mean_nn,
         mean_pair,
-        contrast: if mean_pair > 0.0 { mean_nn / mean_pair } else { 1.0 },
+        contrast: if mean_pair > 0.0 {
+            mean_nn / mean_pair
+        } else {
+            1.0
+        },
         intrinsic_dim,
     }
 }
@@ -125,7 +129,11 @@ mod tests {
             data.push(&row);
         }
         let s = dataset_stats(&data, Distance::L2, 200, 2);
-        assert!(s.intrinsic_dim > dim as f64 * 0.5, "intrinsic {}", s.intrinsic_dim);
+        assert!(
+            s.intrinsic_dim > dim as f64 * 0.5,
+            "intrinsic {}",
+            s.intrinsic_dim
+        );
         assert!(s.contrast > 0.4, "contrast {}", s.contrast);
     }
 

@@ -105,7 +105,10 @@ pub fn gist_like(n: usize, dim: usize, seed: u64) -> VectorSet {
 /// the per-dimension data spread. This matches how the TEXMEX query sets
 /// relate to their base sets (held-out descriptors from the same source).
 pub fn queries_near(data: &VectorSet, n: usize, noise: f32, seed: u64) -> VectorSet {
-    assert!(!data.is_empty(), "cannot draw queries from an empty dataset");
+    assert!(
+        !data.is_empty(),
+        "cannot draw queries from an empty dataset"
+    );
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9d5);
     let dim = data.dim();
     let (lo, hi) = data.bounds().expect("non-empty");
@@ -221,7 +224,11 @@ mod tests {
             nn += best as f64;
         }
         // unit-norm vectors: random pairs are ~sqrt(2) apart; clustered NN far less
-        assert!(nn / 50.0 < 1.0, "no cluster structure: mean nn {}", nn / 50.0);
+        assert!(
+            nn / 50.0 < 1.0,
+            "no cluster structure: mean nn {}",
+            nn / 50.0
+        );
     }
 
     #[test]

@@ -83,7 +83,13 @@ impl MdcDataset {
     /// factor, the way the paper generates its SYN query workloads
     /// ("uniform distribution in a single cluster with a compactness factor
     /// of 0.01").
-    pub fn queries_from_cluster(&self, n: usize, cluster: usize, compactness: f32, seed: u64) -> VectorSet {
+    pub fn queries_from_cluster(
+        &self,
+        n: usize,
+        cluster: usize,
+        compactness: f32,
+        seed: u64,
+    ) -> VectorSet {
         assert!(cluster < self.centers.len(), "cluster index out of range");
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let dim = self.points.dim();
@@ -157,7 +163,9 @@ pub fn generate(cfg: &MdcConfig) -> MdcDataset {
         for _ in 0..sz {
             match spread {
                 Spread::Gaussian => fill_normal(&mut rng, &mut row, 0.0, cfg.compactness),
-                Spread::Uniform => fill_uniform(&mut rng, &mut row, -cfg.compactness, cfg.compactness),
+                Spread::Uniform => {
+                    fill_uniform(&mut rng, &mut row, -cfg.compactness, cfg.compactness)
+                }
                 Spread::Mixed => unreachable!("resolved above"),
             }
             for (d, x) in row.iter_mut().enumerate() {
@@ -174,7 +182,12 @@ pub fn generate(cfg: &MdcConfig) -> MdcDataset {
         labels.push(-1);
     }
 
-    MdcDataset { points, labels, centers, config: cfg.clone() }
+    MdcDataset {
+        points,
+        labels,
+        centers,
+        config: cfg.clone(),
+    }
 }
 
 /// The paper's SYN_1M analogue at a configurable scale: `n` points in `dim`
@@ -272,8 +285,14 @@ mod tests {
             .map(|(p, _)| p)
             .collect();
         let min = outliers.iter().map(|p| p[0]).fold(f32::INFINITY, f32::min);
-        let max = outliers.iter().map(|p| p[0]).fold(f32::NEG_INFINITY, f32::max);
-        assert!(min < 0.1 && max > 0.9, "outliers do not span domain: {min}..{max}");
+        let max = outliers
+            .iter()
+            .map(|p| p[0])
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            min < 0.1 && max > 0.9,
+            "outliers do not span domain: {min}..{max}"
+        );
     }
 
     #[test]
@@ -298,8 +317,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = generate(&MdcConfig { seed: 42, ..Default::default() });
-        let b = generate(&MdcConfig { seed: 42, ..Default::default() });
+        let a = generate(&MdcConfig {
+            seed: 42,
+            ..Default::default()
+        });
+        let b = generate(&MdcConfig {
+            seed: 42,
+            ..Default::default()
+        });
         assert_eq!(a.points, b.points);
         assert_eq!(a.labels, b.labels);
     }
@@ -307,7 +332,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_clusters_panics() {
-        let _ = generate(&MdcConfig { n_clusters: 0, ..Default::default() });
+        let _ = generate(&MdcConfig {
+            n_clusters: 0,
+            ..Default::default()
+        });
     }
 
     #[test]

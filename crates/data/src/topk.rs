@@ -58,7 +58,10 @@ impl TopK {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// The configured `k`.
@@ -189,8 +192,9 @@ mod tests {
 
     #[test]
     fn merge_equals_bulk_insert() {
-        let items: Vec<Neighbor> =
-            (0..20).map(|i| Neighbor::new(i, ((i * 7) % 13) as f32)).collect();
+        let items: Vec<Neighbor> = (0..20)
+            .map(|i| Neighbor::new(i, ((i * 7) % 13) as f32))
+            .collect();
         let mut a = TopK::new(5);
         let mut b = TopK::new(5);
         for n in &items[..10] {
@@ -239,10 +243,111 @@ mod tests {
     #[test]
     fn merge_slice_and_to_sorted() {
         let mut t = TopK::new(2);
-        t.merge_slice(&[Neighbor::new(0, 3.0), Neighbor::new(1, 1.0), Neighbor::new(2, 2.0)]);
-        assert_eq!(t.to_sorted().iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 2]);
+        t.merge_slice(&[
+            Neighbor::new(0, 3.0),
+            Neighbor::new(1, 1.0),
+            Neighbor::new(2, 2.0),
+        ]);
+        assert_eq!(
+            t.to_sorted().iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         // to_sorted does not consume
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_candidate_count_returns_all() {
+        let mut t = TopK::new(100);
+        for i in 0..7u32 {
+            t.push(Neighbor::new(i, i as f32));
+        }
+        assert!(!t.is_full());
+        assert_eq!(
+            t.prune_radius(),
+            f32::INFINITY,
+            "never prune below k results"
+        );
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 7, "k > n yields every candidate, not k");
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn duplicate_distances_select_lowest_ids() {
+        // every candidate at the same distance: the id tie-break must pick a
+        // unique, deterministic subset (the k smallest ids)
+        let mut t = TopK::new(3);
+        for id in [9u32, 2, 7, 4, 1, 8] {
+            t.push(Neighbor::new(id, 5.0));
+        }
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 2, 4]);
+        // an exact duplicate of a retained entry must be rejected, not
+        // double-counted
+        let mut t = TopK::new(2);
+        assert!(t.push(Neighbor::new(3, 1.0)));
+        assert!(t.push(Neighbor::new(4, 2.0)));
+        assert!(
+            !t.push(Neighbor::new(4, 2.0)),
+            "identical candidate is not 'better'"
+        );
+        assert_eq!(t.into_sorted().len(), 2);
+    }
+
+    #[test]
+    fn empty_partition_merges_are_noops() {
+        // the engine merges per-partition results; an empty partition (or a
+        // degraded probe that never answered) contributes an empty collector
+        let mut full = TopK::new(3);
+        full.merge_slice(&[Neighbor::new(0, 1.0), Neighbor::new(1, 2.0)]);
+        let before = full.to_sorted();
+
+        let empty = TopK::new(3);
+        full.merge(&empty);
+        full.merge_slice(&[]);
+        assert_eq!(full.to_sorted(), before, "merging nothing changes nothing");
+
+        let mut target = TopK::new(3);
+        target.merge(&full);
+        assert_eq!(
+            target.to_sorted(),
+            before,
+            "merge into empty copies content"
+        );
+
+        let mut both = TopK::new(3);
+        both.merge(&TopK::new(3));
+        assert!(both.is_empty());
+        assert_eq!(both.into_sorted(), vec![]);
+    }
+
+    #[test]
+    fn merge_order_is_irrelevant_even_with_ties() {
+        let a_items = [
+            Neighbor::new(1, 1.0),
+            Neighbor::new(3, 1.0),
+            Neighbor::new(5, 2.0),
+        ];
+        let b_items = [
+            Neighbor::new(2, 1.0),
+            Neighbor::new(4, 2.0),
+            Neighbor::new(6, 1.0),
+        ];
+        let mut a = TopK::new(4);
+        a.merge_slice(&a_items);
+        let mut b = TopK::new(4);
+        b.merge_slice(&b_items);
+
+        let mut ab = TopK::new(4);
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = TopK::new(4);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.into_sorted(), ba.into_sorted());
     }
 
     #[test]

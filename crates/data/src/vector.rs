@@ -24,13 +24,19 @@ impl VectorSet {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty set with capacity for `n` vectors.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Builds a set from a flat buffer of length `n*dim`.
@@ -40,7 +46,7 @@ impl VectorSet {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim
@@ -284,7 +290,10 @@ mod tests {
             v.push(&[i as f32]);
         }
         let parts = v.split_even(3);
-        assert_eq!(parts.iter().map(VectorSet::len).collect::<Vec<_>>(), vec![3, 2, 2]);
+        assert_eq!(
+            parts.iter().map(VectorSet::len).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
         assert_eq!(parts[0].get(2), &[2.0]);
         assert_eq!(parts[2].get(0), &[5.0]);
     }

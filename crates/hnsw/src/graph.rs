@@ -64,7 +64,8 @@ impl Graph {
 
     /// Appends storage for one new node participating up to `level`.
     pub fn push_node(&mut self, level: usize, m: usize, m_max0: usize) {
-        self.nodes.push(RwLock::new(NodeLinks::with_level(level, m, m_max0)));
+        self.nodes
+            .push(RwLock::new(NodeLinks::with_level(level, m, m_max0)));
     }
 
     /// Total number of directed edges (for memory accounting / tests).

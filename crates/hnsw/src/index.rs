@@ -315,7 +315,8 @@ impl Hnsw {
         let mut nbuf: Vec<u32> = Vec::new();
         loop {
             nbuf.clear();
-            self.graph.with_neighbors(ep, layer, |ns| nbuf.extend_from_slice(ns));
+            self.graph
+                .with_neighbors(ep, layer, |ns| nbuf.extend_from_slice(ns));
             let mut improved = false;
             for &nb in &nbuf {
                 let d = self.d(q, nb, scratch);
@@ -356,7 +357,8 @@ impl Hnsw {
                 break;
             }
             nbuf.clear();
-            self.graph.with_neighbors(c.id, layer, |ns| nbuf.extend_from_slice(ns));
+            self.graph
+                .with_neighbors(c.id, layer, |ns| nbuf.extend_from_slice(ns));
             for &nb in &nbuf {
                 if !scratch.mark(nb) {
                     continue;
@@ -390,7 +392,8 @@ impl Hnsw {
         let level = assign_level(self.config.seed, id, self.config.level_mult);
         self.data.push(v);
         self.levels.push(level);
-        self.graph.push_node(level as usize, self.config.m, self.config.m_max0);
+        self.graph
+            .push_node(level as usize, self.config.m, self.config.m_max0);
         let mut scratch = SearchScratch::with_capacity(self.len());
         self.insert(id, &mut scratch);
         id
@@ -400,8 +403,8 @@ impl Hnsw {
     /// fresh scratch; use [`Hnsw::search_with_scratch`] in hot loops.
     pub fn search(&self, q: &[f32], k: usize, ef: usize) -> (Vec<Neighbor>, SearchStats) {
         let mut scratch = SearchScratch::with_capacity(self.len());
-        let r = self.search_with_scratch(q, k, ef, &mut scratch);
-        r
+
+        self.search_with_scratch(q, k, ef, &mut scratch)
     }
 
     /// k-NN search reusing caller-provided scratch space.
@@ -429,7 +432,13 @@ impl Hnsw {
         }
         let w = self.search_layer(q, &[Neighbor::new(ep, ep_dist)], ef, 0, scratch);
         let out: Vec<Neighbor> = w.into_iter().take(k).collect();
-        (out, SearchStats { ndist: scratch.ndist(), hops })
+        (
+            out,
+            SearchStats {
+                ndist: scratch.ndist(),
+                hops,
+            },
+        )
     }
 }
 
@@ -501,11 +510,11 @@ mod tests {
     fn high_recall_on_small_set() {
         let data = synth::sift_like(2000, 16, 5);
         let queries = synth::queries_near(&data, 50, 0.02, 6);
-        let idx =
-            Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(16).seed(5));
+        let idx = Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(16).seed(5));
         let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
-        let approx: Vec<_> =
-            (0..queries.len()).map(|i| idx.search(queries.get(i), 10, 128).0).collect();
+        let approx: Vec<_> = (0..queries.len())
+            .map(|i| idx.search(queries.get(i), 10, 128).0)
+            .collect();
         let rec = ground_truth::recall_at_k(&approx, &gt, 10);
         assert!(rec.mean > 0.9, "recall too low: {}", rec.mean);
     }
@@ -517,8 +526,9 @@ mod tests {
         let idx = Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(8).seed(8));
         let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
         let recall_for = |ef: usize| {
-            let approx: Vec<_> =
-                (0..queries.len()).map(|i| idx.search(queries.get(i), 10, ef).0).collect();
+            let approx: Vec<_> = (0..queries.len())
+                .map(|i| idx.search(queries.get(i), 10, ef).0)
+                .collect();
             ground_truth::recall_at_k(&approx, &gt, 10).mean
         };
         let lo = recall_for(16);
@@ -577,13 +587,17 @@ mod tests {
         let seq = Hnsw::build(data.clone(), Distance::L2, cfg);
         let par = Hnsw::build_parallel(data.clone(), Distance::L2, cfg);
         let rec = |idx: &Hnsw| {
-            let approx: Vec<_> =
-                (0..queries.len()).map(|i| idx.search(queries.get(i), 10, 96).0).collect();
+            let approx: Vec<_> = (0..queries.len())
+                .map(|i| idx.search(queries.get(i), 10, 96).0)
+                .collect();
             ground_truth::recall_at_k(&approx, &gt, 10).mean
         };
         let rs = rec(&seq);
         let rp = rec(&par);
-        assert!(rp > rs - 0.1, "parallel recall {rp} far below sequential {rs}");
+        assert!(
+            rp > rs - 0.1,
+            "parallel recall {rp} far below sequential {rs}"
+        );
     }
 
     #[test]
@@ -669,12 +683,16 @@ mod tests {
         let queries = synth::queries_near(&data, 20, 0.03, 31);
         let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);
         let rec = |ix: &Hnsw| {
-            let res: Vec<_> =
-                (0..queries.len()).map(|i| ix.search(queries.get(i), 5, 64).0).collect();
+            let res: Vec<_> = (0..queries.len())
+                .map(|i| ix.search(queries.get(i), 5, 64).0)
+                .collect();
             ground_truth::recall_at_k(&res, &gt, 5).mean
         };
         let (grown, built) = (rec(&idx), rec(&bulk));
-        assert!(grown > built - 0.15, "grown index recall {grown} far below bulk {built}");
+        assert!(
+            grown > built - 0.15,
+            "grown index recall {grown} far below bulk {built}"
+        );
     }
 
     #[test]
@@ -699,7 +717,11 @@ mod tests {
     #[test]
     fn works_with_cosine_distance() {
         let data = synth::deep_like(500, 16, 19);
-        let idx = Hnsw::build(data.clone(), Distance::Cosine, HnswConfig::with_m(8).seed(19));
+        let idx = Hnsw::build(
+            data.clone(),
+            Distance::Cosine,
+            HnswConfig::with_m(8).seed(19),
+        );
         let (r, _) = idx.search(data.get(7), 3, 32);
         assert_eq!(r[0].id, 7);
     }

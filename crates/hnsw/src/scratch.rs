@@ -16,7 +16,11 @@ pub struct SearchScratch {
 impl SearchScratch {
     /// Creates scratch sized for an `n`-point index (it grows on demand).
     pub fn with_capacity(n: usize) -> Self {
-        Self { visited: vec![0; n], epoch: 0, ndist: 0 }
+        Self {
+            visited: vec![0; n],
+            epoch: 0,
+            ndist: 0,
+        }
     }
 
     /// Starts a new search: bumps the epoch and clears the distance counter.

@@ -152,8 +152,7 @@ mod tests {
     fn empty_candidates_ok() {
         let data = line_data();
         let mut nd = 0;
-        let sel =
-            select_neighbors_heuristic(&data, &[0.0], &[], 4, Distance::L2, true, &mut nd);
+        let sel = select_neighbors_heuristic(&data, &[0.0], &[], 4, Distance::L2, true, &mut nd);
         assert!(sel.is_empty());
         assert_eq!(nd, 0);
     }

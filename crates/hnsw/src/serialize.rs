@@ -255,7 +255,9 @@ impl Hnsw {
             }
             all_links.push(per_layer);
         }
-        Ok(Hnsw::from_parts(config, dist, data, levels, all_links, entry))
+        Ok(Hnsw::from_parts(
+            config, dist, data, levels, all_links, entry,
+        ))
     }
 }
 
@@ -312,7 +314,10 @@ mod tests {
         let bytes = sample_index().to_bytes();
         for cut in [8usize, 20, 60, bytes.len() / 2, bytes.len() - 3] {
             let err = Hnsw::from_bytes(&bytes[..cut]).unwrap_err();
-            assert!(matches!(err, LoadError::Format(_)), "cut at {cut} should fail");
+            assert!(
+                matches!(err, LoadError::Format(_)),
+                "cut at {cut} should fail"
+            );
         }
     }
 

@@ -57,7 +57,10 @@ pub struct DistKdConfig {
 impl DistKdConfig {
     /// Defaults for `n_partitions` workers.
     pub fn new(n_partitions: usize) -> Self {
-        assert!(n_partitions.is_power_of_two(), "partitions must be a power of two");
+        assert!(
+            n_partitions.is_power_of_two(),
+            "partitions must be a power of two"
+        );
         Self {
             n_partitions,
             k: 10,
@@ -92,7 +95,10 @@ pub struct DistKdReport {
 /// Panics on configuration errors (non-power-of-two partitions, empty
 /// data/queries, dimension mismatch).
 pub fn run(data: &VectorSet, queries: &VectorSet, cfg: &DistKdConfig) -> DistKdReport {
-    assert!(!data.is_empty() && !queries.is_empty(), "need data and queries");
+    assert!(
+        !data.is_empty() && !queries.is_empty(),
+        "need data and queries"
+    );
     assert_eq!(data.dim(), queries.dim(), "dimension mismatch");
     assert!(
         data.len() >= cfg.n_partitions * 2,
@@ -108,9 +114,9 @@ pub fn run(data: &VectorSet, queries: &VectorSet, cfg: &DistKdConfig) -> DistKdR
     let dim = data.dim();
 
     // Host-side handles shared read-only into the rank threads.
-    let data_ref = &*data;
-    let queries_ref = &*queries;
-    let cfg_ref = &*cfg;
+    let data_ref = data;
+    let queries_ref = queries;
+    let cfg_ref = cfg;
 
     let outcomes = cluster.run(move |rank| worker_or_master(rank, data_ref, queries_ref, cfg_ref));
 
@@ -123,13 +129,23 @@ pub fn run(data: &VectorSet, queries: &VectorSet, cfg: &DistKdConfig) -> DistKdR
     let mut total_ndist = 0u64;
     for o in outcomes {
         match o {
-            Outcome::Master { results: r, build_ns: b, query_ns: q, mean_fanout: f } => {
+            Outcome::Master {
+                results: r,
+                build_ns: b,
+                query_ns: q,
+                mean_fanout: f,
+            } => {
                 results = r;
                 build_ns = b;
                 query_ns = q;
                 mean_fanout = f;
             }
-            Outcome::Worker { idx, queries, ndist, build_end_ns } => {
+            Outcome::Worker {
+                idx,
+                queries,
+                ndist,
+                build_end_ns,
+            } => {
                 per_worker_queries[idx] = queries;
                 total_ndist += ndist;
                 build_ns = build_ns.max(build_end_ns);
@@ -141,7 +157,14 @@ pub fn run(data: &VectorSet, queries: &VectorSet, cfg: &DistKdConfig) -> DistKdR
         debug_assert!(r.len() <= k);
     }
     let _ = dim;
-    DistKdReport { results, build_ns, query_ns, mean_fanout, per_worker_queries, total_ndist }
+    DistKdReport {
+        results,
+        build_ns,
+        query_ns,
+        mean_fanout,
+        per_worker_queries,
+        total_ndist,
+    }
 }
 
 enum Outcome {
@@ -255,7 +278,9 @@ fn build_distributed(
 
         // 1. agree on the widest dimension: all-gather per-rank bounds
         rank.charge(rows.len() as f64 * dim as f64 * SCAN_NS);
-        let (lo, hi) = rows.bounds().unwrap_or((vec![f32::MAX; dim], vec![f32::MIN; dim]));
+        let (lo, hi) = rows
+            .bounds()
+            .unwrap_or((vec![f32::MAX; dim], vec![f32::MIN; dim]));
         let mut b = BytesMut::new();
         wire::put_f32_slice(&mut b, &lo);
         wire::put_f32_slice(&mut b, &hi);
@@ -275,8 +300,7 @@ fn build_distributed(
             .expect("dim > 0") as u32;
 
         // 2. agree on the split: weighted median of per-rank medians
-        let mut coords: Vec<f32> =
-            rows.iter().map(|r| r[sdim as usize]).collect();
+        let mut coords: Vec<f32> = rows.iter().map(|r| r[sdim as usize]).collect();
         rank.charge(coords.len() as f64 * SCAN_NS * 4.0); // quickselect work
         let local_med = if coords.is_empty() {
             f32::NAN
@@ -316,8 +340,7 @@ fn build_distributed(
             };
             // round-robin slice of the pool for member j
             let jd = j - base;
-            let take: Vec<usize> =
-                pool.iter().copied().skip(jd).step_by(nparts).collect();
+            let take: Vec<usize> = pool.iter().copied().skip(jd).step_by(nparts).collect();
             let mut b = BytesMut::new();
             encode_rows(&mut b, &ids, &rows, &take);
             payloads.push(b.freeze());
@@ -333,7 +356,11 @@ fn build_distributed(
 
         // 4. record the decision and recurse into my half
         path.push((sdim, split, half));
-        comm = if me < half { comm.subset(0, half) } else { comm.subset(half, size) };
+        comm = if me < half {
+            comm.subset(0, half)
+        } else {
+            comm.subset(half, size)
+        };
     }
 
     // Each worker now owns exactly one partition: its index in the worker
@@ -372,7 +399,9 @@ fn build_distributed(
             rank.send_bytes(workers.ranks()[lo], TAG_SUBTREE, subtree.clone().freeze());
         }
         if me == lo {
-            let right = rank.recv(Some(workers.ranks()[mid]), Some(TAG_SUBTREE)).payload;
+            let right = rank
+                .recv(Some(workers.ranks()[mid]), Some(TAG_SUBTREE))
+                .payload;
             subtree = encode_subtree_inner(dim, split, &subtree, &right);
         }
         if me != lo {
@@ -383,7 +412,11 @@ fn build_distributed(
         }
     }
 
-    let skel = if me == 0 { Some(subtree.freeze()) } else { None };
+    let skel = if me == 0 {
+        Some(subtree.freeze())
+    } else {
+        None
+    };
     (ids, rows, skel)
 }
 
@@ -442,8 +475,11 @@ fn master(rank: &mut Rank, queries: &VectorSet, cfg: &DistKdConfig) -> Outcome {
             let radius = if radius.is_finite() { radius } else { f32::MAX };
             let fan = skel.partitions_in_ball(q, radius);
             rank.charge(fan.len() as f64 * SCAN_NS * 8.0);
-            let seed: Vec<(u32, f32)> =
-                tops[qi].to_sorted().iter().map(|n| (n.id, n.dist)).collect();
+            let seed: Vec<(u32, f32)> = tops[qi]
+                .to_sorted()
+                .iter()
+                .map(|n| (n.id, n.dist))
+                .collect();
             for p in fan {
                 if p == homes[qi] {
                     continue;
@@ -479,12 +515,7 @@ fn master(rank: &mut Rank, queries: &VectorSet, cfg: &DistKdConfig) -> Outcome {
 // worker
 // ---------------------------------------------------------------------
 
-fn worker(
-    rank: &mut Rank,
-    workers: &Comm,
-    data: &VectorSet,
-    cfg: &DistKdConfig,
-) -> Outcome {
+fn worker(rank: &mut Rank, workers: &Comm, data: &VectorSet, cfg: &DistKdConfig) -> Outcome {
     let widx = workers.my_index(rank);
     let nworkers = workers.size();
     let dim = data.dim();
@@ -504,12 +535,19 @@ fn worker(
     let (ids, rows, skel) = build_distributed(rank, workers, ids, rows);
 
     // Local index construction: charged as n·log(n/bucket)·dim scans.
-    let levels = ((rows.len().max(2) as f64) / cfg.bucket_size as f64).log2().max(1.0);
+    let levels = ((rows.len().max(2) as f64) / cfg.bucket_size as f64)
+        .log2()
+        .max(1.0);
     rank.charge(rows.len() as f64 * levels * dim as f64 * SCAN_NS);
     let tree = if rows.is_empty() {
         None
     } else {
-        Some(KdTree::build(rows, KdTreeConfig { bucket_size: cfg.bucket_size }))
+        Some(KdTree::build(
+            rows,
+            KdTreeConfig {
+                bucket_size: cfg.bucket_size,
+            },
+        ))
     };
 
     if let Some(skel) = skel {
@@ -548,8 +586,10 @@ fn worker(
                 ndist += stats.ndist;
                 nq += 1;
                 // translate local ids -> global ids
-                let pairs: Vec<(u32, f32)> =
-                    res.iter().map(|nb| (ids[nb.id as usize], nb.dist)).collect();
+                let pairs: Vec<(u32, f32)> = res
+                    .iter()
+                    .map(|nb| (ids[nb.id as usize], nb.dist))
+                    .collect();
                 let mut b = BytesMut::new();
                 wire::put_u32(&mut b, qi);
                 wire::put_neighbors(&mut b, &pairs);
@@ -560,7 +600,12 @@ fn worker(
         }
     }
 
-    Outcome::Worker { idx: widx, queries: nq, ndist, build_end_ns }
+    Outcome::Worker {
+        idx: widx,
+        queries: nq,
+        ndist,
+        build_end_ns,
+    }
 }
 
 #[cfg(test)]

@@ -20,8 +20,16 @@ impl Default for KdTreeConfig {
 
 #[derive(Clone, Debug)]
 enum Node {
-    Inner { dim: u32, split: f32, left: u32, right: u32 },
-    Leaf { start: u32, end: u32 },
+    Inner {
+        dim: u32,
+        split: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        start: u32,
+        end: u32,
+    },
 }
 
 /// Per-search accounting.
@@ -61,7 +69,13 @@ impl KdTree {
         let mut nodes = Vec::new();
         let n = ids.len();
         let root = build_rec(&data, &config, &mut ids, 0, n, &mut nodes);
-        Self { data, ids, nodes, root, config }
+        Self {
+            data,
+            ids,
+            nodes,
+            root,
+            config,
+        }
     }
 
     /// Number of indexed points.
@@ -137,9 +151,18 @@ impl KdTree {
                     top.push(Neighbor::new(id, d));
                 }
             }
-            Node::Inner { dim, split, left, right } => {
+            Node::Inner {
+                dim,
+                split,
+                left,
+                right,
+            } => {
                 let diff = q[*dim as usize] - split;
-                let (near, far) = if diff <= 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.search_rec(near, q, top, stats, cell_dist2);
                 let far_dist2 = cell_dist2 + diff * diff;
                 let tau = top.prune_radius();
@@ -191,7 +214,10 @@ fn build_rec(
 ) -> u32 {
     let n = end - start;
     if n <= config.bucket_size {
-        nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
+        nodes.push(Node::Leaf {
+            start: start as u32,
+            end: end as u32,
+        });
         return (nodes.len() - 1) as u32;
     }
     let slice = &mut ids[start..end];
@@ -201,9 +227,8 @@ fn build_rec(
     let split = select_nth(&mut coords, mid);
     // partition ids: <= split left, > split right (with a guard against a
     // degenerate all-equal side)
-    slice.sort_unstable_by(|&a, &b| {
-        data.get(a as usize)[dim].total_cmp(&data.get(b as usize)[dim])
-    });
+    slice
+        .sort_unstable_by(|&a, &b| data.get(a as usize)[dim].total_cmp(&data.get(b as usize)[dim]));
     let mut left_len = slice.partition_point(|&i| data.get(i as usize)[dim] <= split);
     left_len = left_len.clamp(1, n - 1);
 
@@ -211,7 +236,12 @@ fn build_rec(
     nodes.push(Node::Leaf { start: 0, end: 0 }); // placeholder
     let left = build_rec(data, config, ids, start, start + left_len, nodes);
     let right = build_rec(data, config, ids, start + left_len, end, nodes);
-    nodes[node_idx] = Node::Inner { dim: dim as u32, split, left, right };
+    nodes[node_idx] = Node::Inner {
+        dim: dim as u32,
+        split,
+        left,
+        right,
+    };
     node_idx as u32
 }
 
@@ -274,8 +304,10 @@ mod tests {
         let q = data.get(0).to_vec();
         let (exact, unseeded) = tree.knn(&q, 5);
         // seed with the true answers (ids offset to avoid clashes)
-        let seed: Vec<Neighbor> =
-            exact.iter().map(|n| Neighbor::new(n.id + 100_000, n.dist)).collect();
+        let seed: Vec<Neighbor> = exact
+            .iter()
+            .map(|n| Neighbor::new(n.id + 100_000, n.dist))
+            .collect();
         let (_, seeded) = tree.knn_with_seed(&q, 5, &seed);
         assert!(
             seeded.ndist <= unseeded.ndist,

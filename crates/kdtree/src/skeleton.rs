@@ -6,8 +6,15 @@ use fastann_data::VectorSet;
 
 #[derive(Clone, Debug)]
 enum SkNode {
-    Inner { dim: u32, split: f32, left: u32, right: u32 },
-    Leaf { partition: u32 },
+    Inner {
+        dim: u32,
+        split: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        partition: u32,
+    },
 }
 
 /// Builder used by the distributed construction to assemble a skeleton from
@@ -33,14 +40,22 @@ impl KdSkeletonBuilder {
     pub fn inner(&mut self, dim: u32, split: f32, left: u32, right: u32) -> u32 {
         assert!((left as usize) < self.nodes.len(), "unknown left child");
         assert!((right as usize) < self.nodes.len(), "unknown right child");
-        self.nodes.push(SkNode::Inner { dim, split, left, right });
+        self.nodes.push(SkNode::Inner {
+            dim,
+            split,
+            left,
+            right,
+        });
         (self.nodes.len() - 1) as u32
     }
 
     /// Finishes the skeleton with `root` as the root handle.
     pub fn finish(self, root: u32) -> KdSkeleton {
         assert!((root as usize) < self.nodes.len(), "unknown root");
-        KdSkeleton { nodes: self.nodes, root }
+        KdSkeleton {
+            nodes: self.nodes,
+            root,
+        }
     }
 }
 
@@ -57,7 +72,10 @@ impl KdSkeleton {
     /// widest dimension until `n_partitions` leaves exist. Returns the
     /// skeleton and the per-partition row ids.
     pub fn build_local(data: &VectorSet, n_partitions: usize) -> (KdSkeleton, Vec<Vec<u32>>) {
-        assert!(n_partitions >= 1 && n_partitions.is_power_of_two(), "partitions must be 2^k");
+        assert!(
+            n_partitions >= 1 && n_partitions.is_power_of_two(),
+            "partitions must be 2^k"
+        );
         assert!(data.len() >= n_partitions, "more partitions than points");
         let mut b = KdSkeletonBuilder::new();
         let mut parts = Vec::with_capacity(n_partitions);
@@ -68,7 +86,10 @@ impl KdSkeleton {
 
     /// Number of leaf partitions.
     pub fn n_partitions(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, SkNode::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, SkNode::Leaf { .. }))
+            .count()
     }
 
     /// The home partition of `q` (descend by split sign). Returns the
@@ -79,9 +100,18 @@ impl KdSkeleton {
         loop {
             match &self.nodes[node as usize] {
                 SkNode::Leaf { partition } => return (*partition, cmps),
-                SkNode::Inner { dim, split, left, right } => {
+                SkNode::Inner {
+                    dim,
+                    split,
+                    left,
+                    right,
+                } => {
                     cmps += 1;
-                    node = if q[*dim as usize] <= *split { *left } else { *right };
+                    node = if q[*dim as usize] <= *split {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -101,9 +131,18 @@ impl KdSkeleton {
     fn ball_rec(&self, node: u32, q: &[f32], r2: f32, cell_d2: f32, out: &mut Vec<u32>) {
         match &self.nodes[node as usize] {
             SkNode::Leaf { partition } => out.push(*partition),
-            SkNode::Inner { dim, split, left, right } => {
+            SkNode::Inner {
+                dim,
+                split,
+                left,
+                right,
+            } => {
                 let diff = q[*dim as usize] - split;
-                let (near, far) = if diff <= 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.ball_rec(near, q, r2, cell_d2, out);
                 let far_d2 = cell_d2 + diff * diff;
                 if far_d2 <= r2 {
@@ -143,7 +182,9 @@ fn split_rec(
                 hi[j] = hi[j].max(row[j]);
             }
         }
-        (0..d).max_by(|&a, &c| (hi[a] - lo[a]).total_cmp(&(hi[c] - lo[c]))).expect("dim > 0")
+        (0..d)
+            .max_by(|&a, &c| (hi[a] - lo[a]).total_cmp(&(hi[c] - lo[c])))
+            .expect("dim > 0")
     };
     let mut coords: Vec<f32> = ids.iter().map(|&i| data.get(i as usize)[dim]).collect();
     let mid = (coords.len() - 1) / 2;
@@ -198,7 +239,10 @@ mod tests {
             }
         }
         // tie-rebalancing may displace a handful of boundary points
-        assert!(misrouted <= 5, "{misrouted} points routed away from their partition");
+        assert!(
+            misrouted <= 5,
+            "{misrouted} points routed away from their partition"
+        );
     }
 
     #[test]
@@ -253,12 +297,8 @@ mod tests {
             // radius = exact 10-NN distance per query
             let mut total = 0usize;
             for i in 0..10 {
-                let gt = fastann_data::ground_truth::brute_force_one(
-                    &data,
-                    qs.get(i),
-                    10,
-                    Distance::L2,
-                );
+                let gt =
+                    fastann_data::ground_truth::brute_force_one(&data, qs.get(i), 10, Distance::L2);
                 let r = gt.last().expect("k results").dist;
                 total += sk.partitions_in_ball(qs.get(i), r).len();
             }

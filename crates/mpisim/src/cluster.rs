@@ -9,6 +9,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crate::net::{NetModel, Topology};
 use crate::rank::{Mailbox, Rank};
 
@@ -30,6 +31,10 @@ pub struct SimConfig {
     /// Watchdog: a blocking receive that waits longer than this (real time)
     /// panics, turning simulated deadlocks into test failures.
     pub recv_timeout: Duration,
+    /// Seeded fault-injection schedule ([`FaultPlan::none`] by default —
+    /// a vacuous plan adds one boolean check to the send path and nothing
+    /// else).
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -43,6 +48,7 @@ impl SimConfig {
             cost: CostModel::default(),
             stack_bytes: 1 << 20,
             recv_timeout: Duration::from_secs(120),
+            fault: FaultPlan::none(),
         }
     }
 
@@ -61,6 +67,12 @@ impl SimConfig {
     /// Sets the compute cost model (builder style).
     pub fn cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Sets the fault-injection plan (builder style).
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 }

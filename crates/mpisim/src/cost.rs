@@ -19,7 +19,10 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         // ~0.1 ns/dim ≈ 4 f32 lanes/cycle @ 2.5 GHz with load pressure.
-        Self { base_ns: 8.0, per_dim_ns: 0.1 }
+        Self {
+            base_ns: 8.0,
+            per_dim_ns: 0.1,
+        }
     }
 }
 
@@ -54,7 +57,10 @@ impl CostModel {
         let per_eval = elapsed / n as f64;
         // Split measured cost into a small base and a per-dim slope.
         let base = 8.0f64.min(per_eval * 0.2);
-        Self { base_ns: base, per_dim_ns: ((per_eval - base) / dim as f64).max(0.01) }
+        Self {
+            base_ns: base,
+            per_dim_ns: ((per_eval - base) / dim as f64).max(0.01),
+        }
     }
 }
 
@@ -80,7 +86,10 @@ mod tests {
     fn default_in_plausible_range() {
         let m = CostModel::default();
         let c = m.dist_ns(128);
-        assert!(c > 5.0 && c < 1000.0, "128-dim eval cost {c} ns implausible");
+        assert!(
+            c > 5.0 && c < 1000.0,
+            "128-dim eval cost {c} ns implausible"
+        );
     }
 
     #[test]

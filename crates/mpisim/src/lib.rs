@@ -38,6 +38,7 @@
 mod cluster;
 mod comm;
 mod cost;
+mod fault;
 mod net;
 mod rank;
 mod rma;
@@ -48,6 +49,7 @@ pub mod wire;
 pub use cluster::{Cluster, SimConfig};
 pub use comm::{Comm, ReduceOp};
 pub use cost::CostModel;
+pub use fault::{Fate, FaultAction, FaultPlan};
 pub use net::{NetModel, Topology};
 pub use rank::{Msg, Rank, RankStats};
 pub use rma::Window;

@@ -214,12 +214,18 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_and_bounded() {
         let t = Topology::one_rank_per_node();
-        let net = NetModel { jitter_frac: 0.3, ..NetModel::default() };
+        let net = NetModel {
+            jitter_frac: 0.3,
+            ..NetModel::default()
+        };
         let base = net.xfer_ns(&t, 0, 1, 512);
         let a = net.xfer_jittered_ns(&t, 0, 1, 512, 7);
         let b = net.xfer_jittered_ns(&t, 0, 1, 512, 7);
         assert_eq!(a, b, "same message identity -> same jitter");
-        assert!(a >= base && a <= base * 1.3 + 1e-9, "jitter out of bounds: {a} vs {base}");
+        assert!(
+            a >= base && a <= base * 1.3 + 1e-9,
+            "jitter out of bounds: {a} vs {base}"
+        );
         let c = net.xfer_jittered_ns(&t, 0, 1, 512, 8);
         assert_ne!(a, c, "different sequence numbers should jitter differently");
         // zero jitter passes through exactly

@@ -9,6 +9,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::cluster::Shared;
 use crate::comm::Comm;
+use crate::fault::Fate;
 
 /// A message delivered to a rank's mailbox.
 #[derive(Clone, Debug)]
@@ -54,6 +55,13 @@ pub struct RankStats {
     pub bytes_sent: u64,
     /// One-sided operations issued.
     pub rma_ops: u64,
+    /// Sends suppressed by fault injection (dropped rules or a crashed
+    /// sender). Counted within `msgs_sent`.
+    pub msgs_dropped: u64,
+    /// Sends duplicated by fault injection.
+    pub msgs_duplicated: u64,
+    /// Virtual time lost to injected stalls, ns.
+    pub stall_ns: f64,
 }
 
 impl RankStats {
@@ -70,11 +78,24 @@ pub struct Rank {
     pub(crate) shared: Arc<Shared>,
     pub(crate) clock: f64,
     pub(crate) stats: RankStats,
+    /// Crash point from the fault plan, cached for cheap checks.
+    crash_at: Option<f64>,
+    /// Pending one-shot stall `(at_ns, dur_ns)`; taken when it fires.
+    stall: Option<(f64, f64)>,
 }
 
 impl Rank {
     pub(crate) fn new(rank: usize, shared: Arc<Shared>) -> Self {
-        Self { rank, shared, clock: 0.0, stats: RankStats::default() }
+        let crash_at = shared.cfg.fault.crashed_at(rank);
+        let stall = shared.cfg.fault.stall_of(rank);
+        Self {
+            rank,
+            shared,
+            clock: 0.0,
+            stats: RankStats::default(),
+            crash_at,
+            stall,
+        }
     }
 
     /// This rank's global id.
@@ -105,12 +126,46 @@ impl Rank {
         Comm::world(self.size())
     }
 
+    /// `true` once this rank's virtual clock has reached the crash point
+    /// of the cluster's [`crate::FaultPlan`] (always `false` without one).
+    /// Simulated code polls this to stop doing work; the send layer
+    /// additionally suppresses everything a crashed rank posts.
+    #[inline]
+    pub fn is_crashed(&self) -> bool {
+        self.crash_at.is_some_and(|t| self.clock >= t)
+    }
+
+    /// Advances the clock to `t_ns` (no-op when already past), recording
+    /// the gap as communication wait — virtual-time timeouts are built on
+    /// this.
+    pub fn wait_until(&mut self, t_ns: f64) {
+        if t_ns > self.clock {
+            self.stats.wait_ns += t_ns - self.clock;
+            self.clock = t_ns;
+        }
+        self.apply_stall();
+    }
+
+    /// Fires the plan's one-shot stall once the clock crosses its
+    /// threshold.
+    #[inline]
+    fn apply_stall(&mut self) {
+        if let Some((at, dur)) = self.stall {
+            if self.clock >= at {
+                self.stall = None;
+                self.clock += dur;
+                self.stats.stall_ns += dur;
+            }
+        }
+    }
+
     /// Charges `ns` of modelled compute time.
     #[inline]
     pub fn charge(&mut self, ns: f64) {
         debug_assert!(ns >= 0.0, "negative compute charge");
         self.clock += ns;
         self.stats.compute_ns += ns;
+        self.apply_stall();
     }
 
     /// Charges `n` distance evaluations between `dim`-dimensional vectors,
@@ -130,14 +185,14 @@ impl Rank {
         self.clock += cfg.net.send_overhead_ns;
         self.stats.send_cpu_ns += cfg.net.send_overhead_ns;
         let seq = self.stats.msgs_sent;
-        let arrival =
-            self.clock + cfg.net.xfer_jittered_ns(&cfg.topology, self.rank, dst, bytes, seq);
-        let msg = Msg { src: self.rank, tag, payload, sent_at: self.clock, arrival };
+        let arrival = self.clock
+            + cfg
+                .net
+                .xfer_jittered_ns(&cfg.topology, self.rank, dst, bytes, seq);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
-        let mb = &self.shared.mailboxes[dst];
-        mb.queue.lock().push_back(msg);
-        mb.cv.notify_all();
+        let sent_at = self.clock;
+        self.deliver(dst, tag, payload, sent_at, arrival, seq);
     }
 
     /// Posts a send on behalf of a *virtual worker thread* that finishes at
@@ -152,14 +207,63 @@ impl Rank {
         let bytes = payload.len();
         let depart = not_before.max(0.0) + cfg.net.send_overhead_ns;
         let seq = self.stats.msgs_sent;
-        let arrival =
-            depart + cfg.net.xfer_jittered_ns(&cfg.topology, self.rank, dst, bytes, seq);
-        let msg = Msg { src: self.rank, tag, payload, sent_at: depart, arrival };
+        let arrival = depart
+            + cfg
+                .net
+                .xfer_jittered_ns(&cfg.topology, self.rank, dst, bytes, seq);
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         self.stats.send_cpu_ns += cfg.net.send_overhead_ns;
+        self.deliver(dst, tag, payload, depart, arrival, seq);
+    }
+
+    /// Enqueues a posted message, applying the cluster's fault plan: a
+    /// vacuous plan takes the plain path; otherwise the message may be
+    /// suppressed (crashed sender), dropped, delayed, or duplicated — all
+    /// decided by a deterministic hash, never by wall-clock state.
+    fn deliver(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: Bytes,
+        sent_at: f64,
+        arrival: f64,
+        seq: u64,
+    ) {
+        let fault = &self.shared.cfg.fault;
+        let mut arrival = arrival;
+        let mut copies = 1usize;
+        if !fault.is_vacuous() {
+            if fault.send_suppressed(self.rank, sent_at, tag) {
+                self.stats.msgs_dropped += 1;
+                return;
+            }
+            match fault.fate(self.rank, dst, tag, seq) {
+                Fate::Deliver => {}
+                Fate::Drop => {
+                    self.stats.msgs_dropped += 1;
+                    return;
+                }
+                Fate::Delay(extra) => arrival += extra,
+                Fate::Duplicate => {
+                    copies = 2;
+                    self.stats.msgs_duplicated += 1;
+                }
+            }
+        }
         let mb = &self.shared.mailboxes[dst];
-        mb.queue.lock().push_back(msg);
+        {
+            let mut q = mb.queue.lock();
+            for _ in 0..copies {
+                q.push_back(Msg {
+                    src: self.rank,
+                    tag,
+                    payload: payload.clone(),
+                    sent_at,
+                    arrival,
+                });
+            }
+        }
         mb.cv.notify_all();
     }
 
@@ -195,6 +299,7 @@ impl Rank {
         self.clock += cfg.net.recv_overhead_ns;
         self.stats.recv_cpu_ns += cfg.net.recv_overhead_ns;
         self.stats.msgs_recv += 1;
+        self.apply_stall();
         msg
     }
 
@@ -222,10 +327,7 @@ impl Rank {
 
     /// Registers a shared object and returns its key (used by RMA windows
     /// to hand `Arc`s across rank threads).
-    pub(crate) fn registry_put(
-        &self,
-        value: Box<dyn std::any::Any + Send + Sync>,
-    ) -> u64 {
+    pub(crate) fn registry_put(&self, value: Box<dyn std::any::Any + Send + Sync>) -> u64 {
         self.shared.registry_put(value)
     }
 
@@ -241,8 +343,7 @@ pub(crate) const COLL_FLAG: u64 = 1 << 63;
 
 fn take_match(q: &mut VecDeque<Msg>, src: Option<usize>, tag: Option<u64>) -> Option<Msg> {
     let pos = q.iter().position(|m| {
-        src.map_or(true, |s| m.src == s)
-            && tag.map_or(m.tag & COLL_FLAG == 0, |t| m.tag == t)
+        src.is_none_or(|s| m.src == s) && tag.map_or(m.tag & COLL_FLAG == 0, |t| m.tag == t)
     })?;
     q.remove(pos)
 }
@@ -262,7 +363,11 @@ mod tests {
             } else {
                 let m = rank.recv(Some(0), Some(7));
                 assert_eq!(&m.payload[..], b"hello");
-                assert!(m.arrival > 1000.0, "arrival {} must include compute+net", m.arrival);
+                assert!(
+                    m.arrival > 1000.0,
+                    "arrival {} must include compute+net",
+                    m.arrival
+                );
                 assert!(rank.now() >= m.arrival);
                 rank.now()
             }

@@ -32,7 +32,10 @@ pub struct Window<T> {
 
 impl<T> Clone for Window<T> {
     fn clone(&self) -> Self {
-        Self { owner: self.owner, slots: Arc::clone(&self.slots) }
+        Self {
+            owner: self.owner,
+            slots: Arc::clone(&self.slots),
+        }
     }
 }
 
@@ -52,7 +55,12 @@ impl<T: Send + Sync + 'static> Window<T> {
         let key = if me == owner_idx {
             let slots: Slots<T> = Arc::new(
                 (0..n_slots)
-                    .map(|i| Mutex::new(Slot { value: init(i), last_arrival: 0.0 }))
+                    .map(|i| {
+                        Mutex::new(Slot {
+                            value: init(i),
+                            last_arrival: 0.0,
+                        })
+                    })
                     .collect(),
             );
             let key = rank.registry_put(Box::new(slots));
@@ -68,7 +76,10 @@ impl<T: Send + Sync + 'static> Window<T> {
         let slots = any
             .downcast::<Slots<T>>()
             .unwrap_or_else(|_| panic!("window registry type mismatch"));
-        Window { owner: owner_rank, slots: Slots::clone(&slots) }
+        Window {
+            owner: owner_rank,
+            slots: Slots::clone(&slots),
+        }
     }
 
     /// Number of slots.
@@ -102,7 +113,8 @@ impl<T: Send + Sync + 'static> Window<T> {
             let cfg = &rank.shared.cfg;
             (
                 cfg.net.rma_overhead_ns,
-                cfg.net.xfer_ns(&cfg.topology, rank.rank(), self.owner, payload_bytes),
+                cfg.net
+                    .xfer_ns(&cfg.topology, rank.rank(), self.owner, payload_bytes),
             )
         };
         rank.clock += rma_overhead;
@@ -132,7 +144,8 @@ impl<T: Send + Sync + 'static> Window<T> {
             let cfg = &rank.shared.cfg;
             (
                 cfg.net.rma_overhead_ns,
-                cfg.net.xfer_ns(&cfg.topology, rank.rank(), self.owner, payload_bytes),
+                cfg.net
+                    .xfer_ns(&cfg.topology, rank.rank(), self.owner, payload_bytes),
             )
         };
         rank.stats.rma_cpu_ns += rma_overhead;
@@ -248,7 +261,11 @@ mod tests {
                 rank.now()
             }
         });
-        assert!(out[0] > 5_000_000.0, "owner clock {} must pass the deposit time", out[0]);
+        assert!(
+            out[0] > 5_000_000.0,
+            "owner clock {} must pass the deposit time",
+            out[0]
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum SpanKind {
     Wait,
     /// Communication CPU (send/receive/RMA overheads).
     Comm,
+    /// Fault-recovery activity: request timeouts, retries, failover
+    /// re-dispatches, degraded-result bookkeeping.
+    Recovery,
 }
 
 impl SpanKind {
@@ -27,12 +30,13 @@ impl SpanKind {
             SpanKind::Compute => '#',
             SpanKind::Wait => '.',
             SpanKind::Comm => '~',
+            SpanKind::Recovery => '!',
         }
     }
 }
 
 /// One recorded interval on one rank's virtual timeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Span {
     /// Global rank the span belongs to.
     pub rank: usize,
@@ -64,7 +68,13 @@ impl Trace {
     /// Panics if `end < start`.
     pub fn record(&self, rank: usize, start: f64, end: f64, kind: SpanKind, label: &'static str) {
         assert!(end >= start, "span ends before it starts: {start}..{end}");
-        self.spans.lock().push(Span { rank, start, end, kind, label });
+        self.spans.lock().push(Span {
+            rank,
+            start,
+            end,
+            kind,
+            label,
+        });
     }
 
     /// Number of recorded spans.
@@ -90,24 +100,29 @@ impl Trace {
     }
 
     /// Total span time per rank and kind: `(compute, wait, comm)`.
+    /// Recovery spans are excluded — use [`Trace::kind_total`] for them.
     pub fn totals(&self, rank: usize) -> (f64, f64, f64) {
-        let mut c = 0.0;
-        let mut w = 0.0;
-        let mut m = 0.0;
-        for s in self.spans.lock().iter().filter(|s| s.rank == rank) {
-            let d = s.end - s.start;
-            match s.kind {
-                SpanKind::Compute => c += d,
-                SpanKind::Wait => w += d,
-                SpanKind::Comm => m += d,
-            }
-        }
-        (c, w, m)
+        (
+            self.kind_total(rank, SpanKind::Compute),
+            self.kind_total(rank, SpanKind::Wait),
+            self.kind_total(rank, SpanKind::Comm),
+        )
+    }
+
+    /// Total span time of one kind on one rank.
+    pub fn kind_total(&self, rank: usize, kind: SpanKind) -> f64 {
+        self.spans
+            .lock()
+            .iter()
+            .filter(|s| s.rank == rank && s.kind == kind)
+            .map(|s| s.end - s.start)
+            .sum()
     }
 
     /// Renders an ASCII Gantt chart: one row per rank, `width` columns over
-    /// `[0, end_ns]`. `#` compute, `~` comm CPU, `.` waiting, space idle.
-    /// Later-recorded spans overwrite earlier ones in a cell.
+    /// `[0, end_ns]`. `#` compute, `~` comm CPU, `.` waiting, `!` fault
+    /// recovery, space idle. Later-recorded spans overwrite earlier ones in
+    /// a cell.
     pub fn render(&self, n_ranks: usize, width: usize) -> String {
         assert!(width >= 10, "need at least 10 columns");
         let end = self.end_ns().max(1.0);
@@ -124,7 +139,7 @@ impl Trace {
         }
         let mut out = String::new();
         out.push_str(&format!(
-            "virtual timeline 0 .. {:.2} ms   (# compute, ~ comm, . wait)\n",
+            "virtual timeline 0 .. {:.2} ms   (# compute, ~ comm, . wait, ! recovery)\n",
             end / 1e6
         ));
         for (r, row) in rows.iter().enumerate() {

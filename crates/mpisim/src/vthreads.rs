@@ -22,7 +22,10 @@ impl VThreadPool {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize, start_ns: f64) -> Self {
         assert!(threads > 0, "pool needs at least one thread");
-        Self { clocks: vec![start_ns; threads], busy_ns: 0.0 }
+        Self {
+            clocks: vec![start_ns; threads],
+            busy_ns: 0.0,
+        }
     }
 
     /// Number of virtual threads.

@@ -110,7 +110,9 @@ pub fn put_neighbors(buf: &mut BytesMut, pairs: &[(u32, f32)]) {
 /// Reads `(id, dist)` pairs.
 pub fn get_neighbors(buf: &mut impl Buf) -> Vec<(u32, f32)> {
     let n = get_u32(buf) as usize;
-    (0..n).map(|_| (buf.get_u32_le(), buf.get_f32_le())).collect()
+    (0..n)
+        .map(|_| (buf.get_u32_le(), buf.get_f32_le()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,8 +23,15 @@ use crate::vantage::select_vantage;
 
 #[derive(Clone, Debug)]
 enum PNode {
-    Inner { vp: Vec<f32>, mu: f32, left: u32, right: u32 },
-    Leaf { partition: u32 },
+    Inner {
+        vp: Vec<f32>,
+        mu: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        partition: u32,
+    },
 }
 
 /// Routing parameters for [`PartitionTree::route`].
@@ -40,7 +47,10 @@ pub struct RouteConfig {
 
 impl Default for RouteConfig {
     fn default() -> Self {
-        Self { margin_frac: 0.15, max_partitions: 4 }
+        Self {
+            margin_frac: 0.15,
+            max_partitions: 4,
+        }
     }
 }
 
@@ -67,7 +77,12 @@ impl PartitionTreeBuilder {
     pub fn inner(&mut self, vp: Vec<f32>, mu: f32, left: u32, right: u32) -> u32 {
         assert!((left as usize) < self.nodes.len(), "unknown left child");
         assert!((right as usize) < self.nodes.len(), "unknown right child");
-        self.nodes.push(PNode::Inner { vp, mu, left, right });
+        self.nodes.push(PNode::Inner {
+            vp,
+            mu,
+            left,
+            right,
+        });
         (self.nodes.len() - 1) as u32
     }
 
@@ -78,7 +93,11 @@ impl PartitionTreeBuilder {
     /// covers every node exactly once.
     pub fn finish(self, root: u32, dist: Distance) -> PartitionTree {
         assert!((root as usize) < self.nodes.len(), "unknown root");
-        let tree = PartitionTree { nodes: self.nodes, root, dist };
+        let tree = PartitionTree {
+            nodes: self.nodes,
+            root,
+            dist,
+        };
         tree.validate();
         tree
     }
@@ -109,7 +128,10 @@ impl PartitionTree {
         seed: u64,
     ) -> (PartitionTree, Vec<Vec<u32>>) {
         assert!(n_partitions >= 1, "need at least one partition");
-        assert!(n_partitions.is_power_of_two(), "partition count must be a power of two");
+        assert!(
+            n_partitions.is_power_of_two(),
+            "partition count must be a power of two"
+        );
         assert!(
             data.len() >= n_partitions,
             "cannot split {} points into {} partitions",
@@ -121,7 +143,15 @@ impl PartitionTree {
         let mut parts: Vec<Vec<u32>> = Vec::with_capacity(n_partitions);
         let mut rng = SmallRng::seed_from_u64(seed);
         let all: Vec<u32> = (0..data.len() as u32).collect();
-        let root = split_rec(data, dist, all, n_partitions, &mut nodes, &mut parts, &mut rng);
+        let root = split_rec(
+            data,
+            dist,
+            all,
+            n_partitions,
+            &mut nodes,
+            &mut parts,
+            &mut rng,
+        );
         let tree = PartitionTree { nodes, root, dist };
         tree.validate();
         (tree, parts)
@@ -129,7 +159,10 @@ impl PartitionTree {
 
     /// Number of leaf partitions.
     pub fn n_partitions(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, PNode::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PNode::Leaf { .. }))
+            .count()
     }
 
     /// The metric the tree routes with.
@@ -192,12 +225,20 @@ impl PartitionTree {
                         out.push(*partition);
                         break;
                     }
-                    PNode::Inner { vp, mu, left, right } => {
+                    PNode::Inner {
+                        vp,
+                        mu,
+                        left,
+                        right,
+                    } => {
                         ndist += 1;
                         let d = self.dist.eval(q, vp);
                         let slack = (d - mu).abs();
-                        let (near, far) =
-                            if d <= *mu { (*left, *right) } else { (*right, *left) };
+                        let (near, far) = if d <= *mu {
+                            (*left, *right)
+                        } else {
+                            (*right, *left)
+                        };
                         if slack <= cfg.margin_frac * mu {
                             heap.push(Reverse(Frontier(worst.max(slack), far)));
                         }
@@ -238,7 +279,12 @@ impl PartitionTree {
                     out.extend_from_slice(&0u32.to_le_bytes());
                     out.extend_from_slice(&partition.to_le_bytes());
                 }
-                PNode::Inner { vp, mu, left, right } => {
+                PNode::Inner {
+                    vp,
+                    mu,
+                    left,
+                    right,
+                } => {
                     out.extend_from_slice(&1u32.to_le_bytes());
                     out.extend_from_slice(&mu.to_le_bytes());
                     out.extend_from_slice(&(vp.len() as u32).to_le_bytes());
@@ -330,7 +376,10 @@ fn split_rec(
     let (best, _) = select_vantage(data, &candidates, data, &sample, dist);
     let vp = data.get(candidates[best] as usize).to_vec();
 
-    let dists: Vec<f32> = ids.iter().map(|&i| dist.eval(&vp, data.get(i as usize))).collect();
+    let dists: Vec<f32> = ids
+        .iter()
+        .map(|&i| dist.eval(&vp, data.get(i as usize)))
+        .collect();
     let mu = median(&mut dists.clone());
     let mut left_ids = Vec::with_capacity(ids.len() / 2 + 1);
     let mut right_ids = Vec::with_capacity(ids.len() / 2 + 1);
@@ -351,10 +400,17 @@ fn split_rec(
     }
 
     let node_idx = nodes.len();
-    nodes.push(PNode::Leaf { partition: u32::MAX }); // placeholder
+    nodes.push(PNode::Leaf {
+        partition: u32::MAX,
+    }); // placeholder
     let left = split_rec(data, dist, left_ids, parts_left / 2, nodes, parts, rng);
     let right = split_rec(data, dist, right_ids, parts_left / 2, nodes, parts, rng);
-    nodes[node_idx] = PNode::Inner { vp, mu, left, right };
+    nodes[node_idx] = PNode::Inner {
+        vp,
+        mu,
+        left,
+        right,
+    };
     node_idx as u32
 }
 
@@ -371,7 +427,11 @@ mod tests {
         assert_eq!(parts.len(), 8);
         let mut all: Vec<u32> = parts.iter().flatten().copied().collect();
         all.sort_unstable();
-        assert_eq!(all, (0..1000u32).collect::<Vec<_>>(), "partitions must cover exactly");
+        assert_eq!(
+            all,
+            (0..1000u32).collect::<Vec<_>>(),
+            "partitions must cover exactly"
+        );
     }
 
     #[test]
@@ -389,11 +449,16 @@ mod tests {
         let data = synth::sift_like(500, 8, 3);
         let (tree, parts) = PartitionTree::build_local(&data, 8, Distance::L2, 3);
         // a data point's home partition must be the first routed partition
-        for pid in 0..8usize {
-            let Some(&id) = parts[pid].first() else { continue };
+        for (pid, part) in parts.iter().enumerate() {
+            let Some(&id) = part.first() else {
+                continue;
+            };
             let (route, nd) = tree.route(
                 data.get(id as usize),
-                &RouteConfig { margin_frac: 0.0, max_partitions: 1 },
+                &RouteConfig {
+                    margin_frac: 0.0,
+                    max_partitions: 1,
+                },
             );
             assert_eq!(route.len(), 1);
             assert_eq!(route[0] as usize, pid, "point {id} routed away from home");
@@ -406,8 +471,24 @@ mod tests {
         let data = synth::sift_like(1000, 8, 4);
         let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 4);
         let q = data.get(0);
-        let narrow = tree.route(q, &RouteConfig { margin_frac: 0.0, max_partitions: 100 }).0;
-        let wide = tree.route(q, &RouteConfig { margin_frac: 0.5, max_partitions: 100 }).0;
+        let narrow = tree
+            .route(
+                q,
+                &RouteConfig {
+                    margin_frac: 0.0,
+                    max_partitions: 100,
+                },
+            )
+            .0;
+        let wide = tree
+            .route(
+                q,
+                &RouteConfig {
+                    margin_frac: 0.5,
+                    max_partitions: 100,
+                },
+            )
+            .0;
         assert_eq!(narrow.len(), 1);
         assert!(wide.len() >= narrow.len());
     }
@@ -416,8 +497,13 @@ mod tests {
     fn max_partitions_caps_route() {
         let data = synth::sift_like(1000, 8, 5);
         let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 5);
-        let (route, _) =
-            tree.route(data.get(3), &RouteConfig { margin_frac: 1.0, max_partitions: 3 });
+        let (route, _) = tree.route(
+            data.get(3),
+            &RouteConfig {
+                margin_frac: 1.0,
+                max_partitions: 3,
+            },
+        );
         assert!(route.len() <= 3);
         assert!(!route.is_empty());
     }
@@ -426,8 +512,13 @@ mod tests {
     fn route_is_deduplicated_and_valid() {
         let data = synth::sift_like(600, 8, 6);
         let (tree, _) = PartitionTree::build_local(&data, 8, Distance::L2, 6);
-        let (route, _) =
-            tree.route(data.get(0), &RouteConfig { margin_frac: 0.8, max_partitions: 64 });
+        let (route, _) = tree.route(
+            data.get(0),
+            &RouteConfig {
+                margin_frac: 0.8,
+                max_partitions: 64,
+            },
+        );
         let mut sorted = route.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -444,12 +535,22 @@ mod tests {
         let tree = b.finish(root, Distance::L2);
         assert_eq!(tree.n_partitions(), 2);
         // query inside the ball routes to partition 0
-        let (route, _) =
-            tree.route(&[0.1, 0.1], &RouteConfig { margin_frac: 0.0, max_partitions: 8 });
+        let (route, _) = tree.route(
+            &[0.1, 0.1],
+            &RouteConfig {
+                margin_frac: 0.0,
+                max_partitions: 8,
+            },
+        );
         assert_eq!(route, vec![0]);
         // query outside routes to partition 1
-        let (route, _) =
-            tree.route(&[5.0, 5.0], &RouteConfig { margin_frac: 0.0, max_partitions: 8 });
+        let (route, _) = tree.route(
+            &[5.0, 5.0],
+            &RouteConfig {
+                margin_frac: 0.0,
+                max_partitions: 8,
+            },
+        );
         assert_eq!(route, vec![1]);
     }
 
@@ -460,8 +561,13 @@ mod tests {
         let l1 = b.leaf(1);
         let root = b.inner(vec![0.0], 1.0, l0, l1);
         let tree = b.finish(root, Distance::L2);
-        let (route, _) =
-            tree.route(&[0.95], &RouteConfig { margin_frac: 0.2, max_partitions: 8 });
+        let (route, _) = tree.route(
+            &[0.95],
+            &RouteConfig {
+                margin_frac: 0.2,
+                max_partitions: 8,
+            },
+        );
         assert_eq!(route.len(), 2, "boundary query must visit both children");
         assert_eq!(route[0], 0, "home partition first");
     }
@@ -496,10 +602,30 @@ mod tests {
         let data = synth::sift_like(800, 8, 10);
         let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 10);
         let q = data.get(11);
-        let all = tree.route(q, &RouteConfig { margin_frac: 0.6, max_partitions: 1000 }).0;
-        let capped = tree.route(q, &RouteConfig { margin_frac: 0.6, max_partitions: 2 }).0;
+        let all = tree
+            .route(
+                q,
+                &RouteConfig {
+                    margin_frac: 0.6,
+                    max_partitions: 1000,
+                },
+            )
+            .0;
+        let capped = tree
+            .route(
+                q,
+                &RouteConfig {
+                    margin_frac: 0.6,
+                    max_partitions: 2,
+                },
+            )
+            .0;
         assert_eq!(capped.len(), 2.min(all.len()));
-        assert_eq!(&all[..capped.len()], &capped[..], "cap must take the best-ranked prefix");
+        assert_eq!(
+            &all[..capped.len()],
+            &capped[..],
+            "cap must take the best-ranked prefix"
+        );
     }
 
     #[test]
@@ -508,7 +634,10 @@ mod tests {
         let (tree, _) = PartitionTree::build_local(&data, 16, Distance::L2, 11);
         let back = PartitionTree::from_bytes(&tree.to_bytes(), Distance::L2);
         assert_eq!(back.n_partitions(), 16);
-        let cfg = RouteConfig { margin_frac: 0.3, max_partitions: 6 };
+        let cfg = RouteConfig {
+            margin_frac: 0.3,
+            max_partitions: 6,
+        };
         for qi in (0..600).step_by(97) {
             let q = data.get(qi);
             assert_eq!(tree.route(q, &cfg), back.route(q, &cfg), "query {qi}");

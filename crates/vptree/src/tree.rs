@@ -22,7 +22,12 @@ pub struct VpTreeConfig {
 
 impl Default for VpTreeConfig {
     fn default() -> Self {
-        Self { bucket_size: 32, candidate_sample: 16, spread_sample: 64, seed: 0 }
+        Self {
+            bucket_size: 32,
+            candidate_sample: 16,
+            spread_sample: 64,
+            seed: 0,
+        }
     }
 }
 
@@ -85,9 +90,26 @@ impl VpTree {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let n = ids.len();
         let mut build_ndist = 0u64;
-        let root =
-            build_rec(&data, dist, &config, &mut ids, 0, n, &mut nodes, &mut rng, &mut build_ndist);
-        Self { dist, data, ids, nodes, root, config, build_ndist }
+        let root = build_rec(
+            &data,
+            dist,
+            &config,
+            &mut ids,
+            0,
+            n,
+            &mut nodes,
+            &mut rng,
+            &mut build_ndist,
+        );
+        Self {
+            dist,
+            data,
+            ids,
+            nodes,
+            root,
+            config,
+            build_ndist,
+        }
     }
 
     /// Distance evaluations spent constructing the tree (vantage scoring
@@ -180,7 +202,12 @@ impl VpTree {
                     }
                 }
             }
-            Node::Inner { vp, mu, left, right } => {
+            Node::Inner {
+                vp,
+                mu,
+                left,
+                right,
+            } => {
                 stats.ndist += 1;
                 let d = self.dist.eval(q, self.data.get(*vp as usize));
                 if d <= radius {
@@ -203,16 +230,28 @@ impl VpTree {
                 stats.leaves_visited += 1;
                 for &id in &self.ids[*start as usize..*end as usize] {
                     stats.ndist += 1;
-                    top.push(Neighbor::new(id, self.dist.eval(q, self.data.get(id as usize))));
+                    top.push(Neighbor::new(
+                        id,
+                        self.dist.eval(q, self.data.get(id as usize)),
+                    ));
                 }
             }
-            Node::Inner { vp, mu, left, right } => {
+            Node::Inner {
+                vp,
+                mu,
+                left,
+                right,
+            } => {
                 stats.ndist += 1;
                 let d = self.dist.eval(q, self.data.get(*vp as usize));
                 top.push(Neighbor::new(*vp, d));
                 // Search the containing side first so the prune radius
                 // tightens before the far side is considered.
-                let (near, far) = if d < *mu { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if d < *mu {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.search_rec(near, q, top, stats);
                 // The far subspace can contain a neighbour only if the query
                 // ball of radius tau crosses the mu boundary.
@@ -250,7 +289,10 @@ fn build_rec(
 ) -> u32 {
     let n = end - start;
     if n <= config.bucket_size {
-        nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
+        nodes.push(Node::Leaf {
+            start: start as u32,
+            end: end as u32,
+        });
         return (nodes.len() - 1) as u32;
     }
 
@@ -273,7 +315,10 @@ fn build_rec(
     // --- median split by distance to vp ---
     let vpv = data.get(vp as usize).to_vec();
     *build_ndist += rest as u64;
-    let mut dists: Vec<f32> = slice[..rest].iter().map(|&i| dist.eval(&vpv, data.get(i as usize))).collect();
+    let mut dists: Vec<f32> = slice[..rest]
+        .iter()
+        .map(|&i| dist.eval(&vpv, data.get(i as usize)))
+        .collect();
     let mut order: Vec<usize> = (0..rest).collect();
     order.sort_unstable_by(|&a, &b| dists[a].total_cmp(&dists[b]));
     let permuted: Vec<u32> = order.iter().map(|&o| slice[o]).collect();
@@ -283,21 +328,53 @@ fn build_rec(
     let mu = dists[mid];
     // left = indices with d <= mu. Because of ties, find the last position
     // with d <= mu to keep the split deterministic.
-    let left_len = dists.partition_point(|&d| d <= mu).max(1).min(rest.saturating_sub(1)).max(1);
+    let left_len = dists
+        .partition_point(|&d| d <= mu)
+        .max(1)
+        .min(rest.saturating_sub(1))
+        .max(1);
 
     let node_idx = nodes.len();
     nodes.push(Node::Leaf { start: 0, end: 0 }); // placeholder, patched below
 
-    let left = build_rec(data, dist, config, ids, start, start + left_len, nodes, rng, build_ndist);
+    let left = build_rec(
+        data,
+        dist,
+        config,
+        ids,
+        start,
+        start + left_len,
+        nodes,
+        rng,
+        build_ndist,
+    );
     let right = if left_len < rest {
-        build_rec(data, dist, config, ids, start + left_len, start + rest, nodes, rng, build_ndist)
+        build_rec(
+            data,
+            dist,
+            config,
+            ids,
+            start + left_len,
+            start + rest,
+            nodes,
+            rng,
+            build_ndist,
+        )
     } else {
         // all remaining points tied at mu: degenerate right side is an
         // empty leaf
-        nodes.push(Node::Leaf { start: (start + rest) as u32, end: (start + rest) as u32 });
+        nodes.push(Node::Leaf {
+            start: (start + rest) as u32,
+            end: (start + rest) as u32,
+        });
         (nodes.len() - 1) as u32
     };
-    nodes[node_idx] = Node::Inner { vp, mu, left, right };
+    nodes[node_idx] = Node::Inner {
+        vp,
+        mu,
+        left,
+        right,
+    };
     node_idx as u32
 }
 
@@ -351,7 +428,12 @@ mod tests {
         let (data, tree) = build_small(4000, 8, 6);
         let (_, s1) = tree.knn(data.get(1), 1);
         let (_, s50) = tree.knn(data.get(1), 50);
-        assert!(s1.ndist <= s50.ndist, "k=1 {} vs k=50 {}", s1.ndist, s50.ndist);
+        assert!(
+            s1.ndist <= s50.ndist,
+            "k=1 {} vs k=50 {}",
+            s1.ndist,
+            s50.ndist
+        );
     }
 
     #[test]
@@ -371,7 +453,14 @@ mod tests {
         for _ in 0..100 {
             data.push(&[1.0, 1.0]);
         }
-        let tree = VpTree::build(data, Distance::L2, VpTreeConfig { bucket_size: 4, ..Default::default() });
+        let tree = VpTree::build(
+            data,
+            Distance::L2,
+            VpTreeConfig {
+                bucket_size: 4,
+                ..Default::default()
+            },
+        );
         let (r, _) = tree.knn(&[1.0, 1.0], 10);
         assert_eq!(r.len(), 10);
         assert!(r.iter().all(|n| n.dist == 0.0));
@@ -383,12 +472,15 @@ mod tests {
         let tree = VpTree::build(
             data.clone(),
             Distance::L2,
-            VpTreeConfig { bucket_size: 1, ..Default::default() },
+            VpTreeConfig {
+                bucket_size: 1,
+                ..Default::default()
+            },
         );
         let gt = ground_truth::brute_force(&data, &data, 3, Distance::L2);
-        for i in 0..8 {
+        for (i, expected) in gt.iter().enumerate().take(8) {
             let (res, _) = tree.knn(data.get(i), 3);
-            assert_eq!(&res, &gt[i]);
+            assert_eq!(&res, expected);
         }
     }
 
@@ -412,7 +504,6 @@ mod tests {
         let _ = VpTree::build(data, Distance::Cosine, VpTreeConfig::default());
     }
 
-
     #[test]
     fn range_matches_linear_scan() {
         let data = synth::sift_like(1200, 8, 20);
@@ -422,8 +513,7 @@ mod tests {
             let q = queries.get(qi);
             // pick a radius that captures a nontrivial set
             let radius = {
-                let mut ds: Vec<f32> =
-                    data.iter().map(|r| Distance::L2.eval(q, r)).collect();
+                let mut ds: Vec<f32> = data.iter().map(|r| Distance::L2.eval(q, r)).collect();
                 fastann_data::select::select_nth(&mut ds, 25)
             };
             let (got, stats) = tree.range(q, radius);

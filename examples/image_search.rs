@@ -25,7 +25,10 @@ fn main() {
     // generous routing margin for quality.
     let config = EngineConfig::new(32, 8)
         .hnsw(HnswConfig::with_m(16).ef_construction(80))
-        .route(RouteConfig { margin_frac: 0.25, max_partitions: 4 });
+        .route(RouteConfig {
+            margin_frac: 0.25,
+            max_partitions: 4,
+        });
     let index = DistIndex::build(&catalogue, config);
 
     println!(

@@ -43,7 +43,10 @@ fn main() {
     // Check quality against exact brute force.
     let gt = fastann::data::ground_truth::brute_force(&data, &queries, 10, Distance::L2);
     let recall = fastann::data::ground_truth::recall_at_k(&report.results, &gt, 10);
-    println!("mean recall@10 = {:.3} (min {:.3})", recall.mean, recall.min);
+    println!(
+        "mean recall@10 = {:.3} (min {:.3})",
+        recall.mean, recall.min
+    );
 
     // Peek at one result.
     let first = &report.results[0];

@@ -50,7 +50,11 @@ fn main() {
 
     let d0 = baseline.query_distribution();
     let d4 = balanced.query_distribution();
-    println!("nightly recommendation batch: {} users x top-10 of {} items", users.len(), items.len());
+    println!(
+        "nightly recommendation batch: {} users x top-10 of {} items",
+        users.len(),
+        items.len()
+    );
     println!(
         "  no replication : {:.2} virtual ms, busiest core handled {} queries (max/mean {:.1})",
         baseline.total_ns / 1e6,
@@ -66,8 +70,20 @@ fn main() {
     println!(
         "  speedup from load balancing: {:.2}x (extra memory: {:.1} MiB -> {:.1} MiB max/node)",
         baseline.total_ns / balanced.total_ns,
-        index.node_memory_bytes(1).iter().max().unwrap_or(&0).to_owned() as f64 / (1 << 20) as f64,
-        index.node_memory_bytes(4).iter().max().unwrap_or(&0).to_owned() as f64 / (1 << 20) as f64,
+        index
+            .node_memory_bytes(1)
+            .iter()
+            .max()
+            .unwrap_or(&0)
+            .to_owned() as f64
+            / (1 << 20) as f64,
+        index
+            .node_memory_bytes(4)
+            .iter()
+            .max()
+            .unwrap_or(&0)
+            .to_owned() as f64
+            / (1 << 20) as f64,
     );
 
     // The recommendations themselves (first two users).

@@ -14,13 +14,21 @@ fn main() {
     let data = synth::sift_like(30_000, 96, 3);
     let queries = synth::queries_near(&data, 300, 0.02, 4);
 
-    println!("strong scaling of 10-NN over {} x {}d points, {} queries", data.len(), data.dim(), queries.len());
-    println!("{:>6} {:>12} {:>9} {:>12} {:>12}", "cores", "query time", "speedup", "build time", "comm share");
+    println!(
+        "strong scaling of 10-NN over {} x {}d points, {} queries",
+        data.len(),
+        data.dim(),
+        queries.len()
+    );
+    println!(
+        "{:>6} {:>12} {:>9} {:>12} {:>12}",
+        "cores", "query time", "speedup", "build time", "comm share"
+    );
 
     let mut base: Option<f64> = None;
     for cores in [4usize, 8, 16, 32, 64] {
-        let config = EngineConfig::new(cores, 4.min(cores))
-            .hnsw(HnswConfig::with_m(12).ef_construction(50));
+        let config =
+            EngineConfig::new(cores, 4.min(cores)).hnsw(HnswConfig::with_m(12).ef_construction(50));
         let index = DistIndex::build(&data, config);
         let report = search_batch(&index, &queries, &SearchOptions::new(10));
         let b = *base.get_or_insert(report.total_ns);

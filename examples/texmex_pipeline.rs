@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Materialise a synthetic corpus on disk in the interchange format.
     io::write_fvecs(&base_path, &synth::sift_like(25_000, 64, 99))?;
-    io::write_fvecs(&query_path, &synth::queries_near(&synth::sift_like(25_000, 64, 99), 200, 0.02, 100))?;
+    io::write_fvecs(
+        &query_path,
+        &synth::queries_near(&synth::sift_like(25_000, 64, 99), 200, 0.02, 100),
+    )?;
 
     // 2. Load (cap at 25k rows; real files can be partially loaded too).
     let base = io::read_fvecs(&base_path, Some(25_000))?;
@@ -45,17 +48,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = tune_routing(&index, &base, &tune_sample, &opts, 0.9);
     println!(
         "tuned routing: margin {:.2}, <= {} partitions/query -> recall {:.3} (target met: {})",
-        outcome.route.margin_frac,
-        outcome.route.max_partitions,
-        outcome.recall,
-        outcome.met_target
+        outcome.route.margin_frac, outcome.route.max_partitions, outcome.recall, outcome.met_target
     );
 
     // 4. Run the real batch with the tuned policy and persist the results.
     let tuned = index.with_route(outcome.route);
     let report = search_batch(&tuned, &queries, &opts);
-    let id_lists: Vec<Vec<u32>> =
-        report.results.iter().map(|r| r.iter().map(|n| n.id).collect()).collect();
+    let id_lists: Vec<Vec<u32>> = report
+        .results
+        .iter()
+        .map(|r| r.iter().map(|n| n.id).collect())
+        .collect();
     let mut f = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
     io::write_ivecs_to(&mut f, &id_lists)?;
     println!(

@@ -22,7 +22,10 @@ fn main() {
     let balanced = synth::queries_near(&data, 150, 0.05, 6);
     let trace = Trace::new();
     let report = search_batch_traced(&index, &balanced, &SearchOptions::new(10), &trace);
-    println!("=== balanced batch ({:.2} virtual ms) ===", report.total_ns / 1e6);
+    println!(
+        "=== balanced batch ({:.2} virtual ms) ===",
+        report.total_ns / 1e6
+    );
     print!("{}", trace.render(n_rows, 90));
 
     // Skewed batch: everything near one point -> one hot partition.
@@ -34,12 +37,22 @@ fn main() {
     }
     let trace = Trace::new();
     let report = search_batch_traced(&index, &skewed, &SearchOptions::new(10), &trace);
-    println!("\n=== skewed batch, no replication ({:.2} virtual ms) ===", report.total_ns / 1e6);
+    println!(
+        "\n=== skewed batch, no replication ({:.2} virtual ms) ===",
+        report.total_ns / 1e6
+    );
     print!("{}", trace.render(n_rows, 90));
 
     let trace = Trace::new();
-    let report =
-        search_batch_traced(&index, &skewed, &SearchOptions::new(10).replication(4), &trace);
-    println!("\n=== skewed batch, replication r=4 ({:.2} virtual ms) ===", report.total_ns / 1e6);
+    let report = search_batch_traced(
+        &index,
+        &skewed,
+        &SearchOptions::new(10).replication(4),
+        &trace,
+    );
+    println!(
+        "\n=== skewed batch, replication r=4 ({:.2} virtual ms) ===",
+        report.total_ns / 1e6
+    );
     print!("{}", trace.render(n_rows, 90));
 }

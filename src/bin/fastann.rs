@@ -47,7 +47,9 @@ impl Args {
     fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} wants an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} wants an integer, got '{v}'")),
         }
     }
 
@@ -144,11 +146,12 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         .replication(replication)
         .one_sided(!args.bool_flag("two-sided"));
     let report = search_batch(&index, &queries, &opts);
-    let lists: Vec<Vec<u32>> =
-        report.results.iter().map(|r| r.iter().map(|n| n.id).collect()).collect();
-    let mut f = std::io::BufWriter::new(
-        std::fs::File::create(out).map_err(|e| e.to_string())?,
-    );
+    let lists: Vec<Vec<u32>> = report
+        .results
+        .iter()
+        .map(|r| r.iter().map(|n| n.id).collect())
+        .collect();
+    let mut f = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
     io::write_ivecs_to(&mut f, &lists).map_err(|e| e.to_string())?;
     eprintln!(
         "{} queries in {:.2} virtual ms ({:.0} q/s, fan-out {:.2}) -> {}",
@@ -169,10 +172,11 @@ fn cmd_gt(args: &Args) -> Result<(), String> {
     let data = io::read_fvecs(base, None).map_err(|e| e.to_string())?;
     let queries = io::read_fvecs(q_path, None).map_err(|e| e.to_string())?;
     let gt = ground_truth::brute_force(&data, &queries, k, Distance::L2);
-    let lists: Vec<Vec<u32>> = gt.iter().map(|r| r.iter().map(|n| n.id).collect()).collect();
-    let mut f = std::io::BufWriter::new(
-        std::fs::File::create(out).map_err(|e| e.to_string())?,
-    );
+    let lists: Vec<Vec<u32>> = gt
+        .iter()
+        .map(|r| r.iter().map(|n| n.id).collect())
+        .collect();
+    let mut f = std::io::BufWriter::new(std::fs::File::create(out).map_err(|e| e.to_string())?);
     io::write_ivecs_to(&mut f, &lists).map_err(|e| e.to_string())?;
     eprintln!("exact {k}-NN for {} queries -> {}", queries.len(), out);
     Ok(())
@@ -185,18 +189,29 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let approx = io::read_ivecs(approx_path, None).map_err(|e| e.to_string())?;
     let truth = io::read_ivecs(truth_path, None).map_err(|e| e.to_string())?;
     if approx.len() != truth.len() {
-        return Err(format!("query counts differ: {} vs {}", approx.len(), truth.len()));
+        return Err(format!(
+            "query counts differ: {} vs {}",
+            approx.len(),
+            truth.len()
+        ));
     }
     // adapt id lists to the recall helper's neighbour form
     let as_neighbors = |lists: &[Vec<u32>]| -> Vec<Vec<Neighbor>> {
         lists
             .iter()
-            .map(|l| l.iter().enumerate().map(|(i, &id)| Neighbor::new(id, i as f32)).collect())
+            .map(|l| {
+                l.iter()
+                    .enumerate()
+                    .map(|(i, &id)| Neighbor::new(id, i as f32))
+                    .collect()
+            })
             .collect()
     };
-    let recall =
-        ground_truth::recall_at_k(&as_neighbors(&approx), &as_neighbors(&truth), k);
-    println!("recall@{k}: mean {:.4}, min {:.4} over {} queries", recall.mean, recall.min, recall.n_queries);
+    let recall = ground_truth::recall_at_k(&as_neighbors(&approx), &as_neighbors(&truth), k);
+    println!(
+        "recall@{k}: mean {:.4}, min {:.4} over {} queries",
+        recall.mean, recall.min, recall.n_queries
+    );
     Ok(())
 }
 
@@ -210,6 +225,9 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     println!("intrinsic dim   {:.1}", s.intrinsic_dim);
     println!("mean NN dist    {:.3}", s.mean_nn);
     println!("mean pair dist  {:.3}", s.mean_pair);
-    println!("NN contrast     {:.3}  (1.0 = no structure, near 0 = highly clustered)", s.contrast);
+    println!(
+        "NN contrast     {:.3}  (1.0 = no structure, near 0 = highly clustered)",
+        s.contrast
+    );
     Ok(())
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-979c710c55a0f822.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-979c710c55a0f822: tests/baselines.rs
+
+tests/baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-53e16421fa6753de.d: crates/core/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-53e16421fa6753de.rmeta: crates/core/tests/chaos.rs Cargo.toml
+
+crates/core/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-9abd80413c4f0161.d: crates/core/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-9abd80413c4f0161: crates/core/tests/chaos.rs
+
+crates/core/tests/chaos.rs:

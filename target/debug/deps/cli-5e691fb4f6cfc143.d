@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-5e691fb4f6cfc143.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-5e691fb4f6cfc143: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_fastann=/root/repo/target/debug/fastann

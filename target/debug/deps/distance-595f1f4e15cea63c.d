@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distance-595f1f4e15cea63c.d: crates/bench/benches/distance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistance-595f1f4e15cea63c.rmeta: crates/bench/benches/distance.rs Cargo.toml
+
+crates/bench/benches/distance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

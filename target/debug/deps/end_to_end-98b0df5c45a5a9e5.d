@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-98b0df5c45a5a9e5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-98b0df5c45a5a9e5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

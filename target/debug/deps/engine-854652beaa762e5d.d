@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-854652beaa762e5d.d: crates/bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-854652beaa762e5d.rmeta: crates/bench/benches/engine.rs Cargo.toml
+
+crates/bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastann-1cf57ee89608d614.d: src/bin/fastann.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann-1cf57ee89608d614.rmeta: src/bin/fastann.rs Cargo.toml
+
+src/bin/fastann.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastann-50a04eee85ce9fbe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfastann-50a04eee85ce9fbe.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfastann-50a04eee85ce9fbe.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastann-75eaf23d349c3d4d.d: src/lib.rs
+
+/root/repo/target/debug/deps/fastann-75eaf23d349c3d4d: src/lib.rs
+
+src/lib.rs:

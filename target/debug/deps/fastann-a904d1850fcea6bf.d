@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastann-a904d1850fcea6bf.d: src/bin/fastann.rs
+
+/root/repo/target/debug/deps/fastann-a904d1850fcea6bf: src/bin/fastann.rs
+
+src/bin/fastann.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastann-b4e2459bd4bdd1cf.d: src/bin/fastann.rs
+
+/root/repo/target/debug/deps/fastann-b4e2459bd4bdd1cf: src/bin/fastann.rs
+
+src/bin/fastann.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastann-d879760ba23140ef.d: src/bin/fastann.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann-d879760ba23140ef.rmeta: src/bin/fastann.rs Cargo.toml
+
+src/bin/fastann.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

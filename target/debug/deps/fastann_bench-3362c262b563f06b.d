@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastann_bench-3362c262b563f06b.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_bench-3362c262b563f06b.rmeta: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

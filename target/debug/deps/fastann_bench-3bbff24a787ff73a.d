@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastann_bench-3bbff24a787ff73a.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/libfastann_bench-3bbff24a787ff73a.rlib: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/libfastann_bench-3bbff24a787ff73a.rmeta: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastann_bench-4f7468409ecc97a5.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_bench-4f7468409ecc97a5.rmeta: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

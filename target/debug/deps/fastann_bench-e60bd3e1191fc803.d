@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastann_bench-e60bd3e1191fc803.d: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/fastann_bench-e60bd3e1191fc803: crates/bench/src/lib.rs crates/bench/src/datasets.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/datasets.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fastann_core-9c1e90f906073197.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_core-9c1e90f906073197.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/local.rs:
+crates/core/src/owner.rs:
+crates/core/src/persist.rs:
+crates/core/src/router.rs:
+crates/core/src/stats.rs:
+crates/core/src/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

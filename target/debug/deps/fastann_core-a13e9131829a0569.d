@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fastann_core-a13e9131829a0569.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+/root/repo/target/debug/deps/fastann_core-a13e9131829a0569: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/local.rs:
+crates/core/src/owner.rs:
+crates/core/src/persist.rs:
+crates/core/src/router.rs:
+crates/core/src/stats.rs:
+crates/core/src/tune.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fastann_core-fb63ebc3f1718c32.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+/root/repo/target/debug/deps/libfastann_core-fb63ebc3f1718c32.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+/root/repo/target/debug/deps/libfastann_core-fb63ebc3f1718c32.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/local.rs:
+crates/core/src/owner.rs:
+crates/core/src/persist.rs:
+crates/core/src/router.rs:
+crates/core/src/stats.rs:
+crates/core/src/tune.rs:

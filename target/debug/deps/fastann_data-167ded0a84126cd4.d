@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fastann_data-167ded0a84126cd4.d: crates/data/src/lib.rs crates/data/src/ground_truth.rs crates/data/src/io.rs crates/data/src/metric.rs crates/data/src/quant.rs crates/data/src/select.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/descriptors.rs crates/data/src/synth/mdcgen.rs crates/data/src/topk.rs crates/data/src/vector.rs
+
+/root/repo/target/debug/deps/fastann_data-167ded0a84126cd4: crates/data/src/lib.rs crates/data/src/ground_truth.rs crates/data/src/io.rs crates/data/src/metric.rs crates/data/src/quant.rs crates/data/src/select.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/descriptors.rs crates/data/src/synth/mdcgen.rs crates/data/src/topk.rs crates/data/src/vector.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ground_truth.rs:
+crates/data/src/io.rs:
+crates/data/src/metric.rs:
+crates/data/src/quant.rs:
+crates/data/src/select.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/descriptors.rs:
+crates/data/src/synth/mdcgen.rs:
+crates/data/src/topk.rs:
+crates/data/src/vector.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fastann_data-ce825762019c1fe6.d: crates/data/src/lib.rs crates/data/src/ground_truth.rs crates/data/src/io.rs crates/data/src/metric.rs crates/data/src/quant.rs crates/data/src/select.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/descriptors.rs crates/data/src/synth/mdcgen.rs crates/data/src/topk.rs crates/data/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_data-ce825762019c1fe6.rmeta: crates/data/src/lib.rs crates/data/src/ground_truth.rs crates/data/src/io.rs crates/data/src/metric.rs crates/data/src/quant.rs crates/data/src/select.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/descriptors.rs crates/data/src/synth/mdcgen.rs crates/data/src/topk.rs crates/data/src/vector.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/ground_truth.rs:
+crates/data/src/io.rs:
+crates/data/src/metric.rs:
+crates/data/src/quant.rs:
+crates/data/src/select.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/descriptors.rs:
+crates/data/src/synth/mdcgen.rs:
+crates/data/src/topk.rs:
+crates/data/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

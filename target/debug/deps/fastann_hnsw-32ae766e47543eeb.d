@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fastann_hnsw-32ae766e47543eeb.d: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+/root/repo/target/debug/deps/libfastann_hnsw-32ae766e47543eeb.rlib: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+/root/repo/target/debug/deps/libfastann_hnsw-32ae766e47543eeb.rmeta: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+crates/hnsw/src/lib.rs:
+crates/hnsw/src/config.rs:
+crates/hnsw/src/graph.rs:
+crates/hnsw/src/index.rs:
+crates/hnsw/src/scratch.rs:
+crates/hnsw/src/select.rs:
+crates/hnsw/src/serialize.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fastann_hnsw-43139ef58d9d5123.d: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_hnsw-43139ef58d9d5123.rmeta: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs Cargo.toml
+
+crates/hnsw/src/lib.rs:
+crates/hnsw/src/config.rs:
+crates/hnsw/src/graph.rs:
+crates/hnsw/src/index.rs:
+crates/hnsw/src/scratch.rs:
+crates/hnsw/src/select.rs:
+crates/hnsw/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fastann_hnsw-979c77e96acac94b.d: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+/root/repo/target/debug/deps/fastann_hnsw-979c77e96acac94b: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+crates/hnsw/src/lib.rs:
+crates/hnsw/src/config.rs:
+crates/hnsw/src/graph.rs:
+crates/hnsw/src/index.rs:
+crates/hnsw/src/scratch.rs:
+crates/hnsw/src/select.rs:
+crates/hnsw/src/serialize.rs:

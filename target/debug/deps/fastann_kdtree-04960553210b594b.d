@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastann_kdtree-04960553210b594b.d: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+/root/repo/target/debug/deps/libfastann_kdtree-04960553210b594b.rlib: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+/root/repo/target/debug/deps/libfastann_kdtree-04960553210b594b.rmeta: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+crates/kdtree/src/lib.rs:
+crates/kdtree/src/dist.rs:
+crates/kdtree/src/local.rs:
+crates/kdtree/src/skeleton.rs:

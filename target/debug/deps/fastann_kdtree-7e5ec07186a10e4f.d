@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastann_kdtree-7e5ec07186a10e4f.d: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_kdtree-7e5ec07186a10e4f.rmeta: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs Cargo.toml
+
+crates/kdtree/src/lib.rs:
+crates/kdtree/src/dist.rs:
+crates/kdtree/src/local.rs:
+crates/kdtree/src/skeleton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastann_kdtree-d7730bb946935797.d: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+/root/repo/target/debug/deps/fastann_kdtree-d7730bb946935797: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+crates/kdtree/src/lib.rs:
+crates/kdtree/src/dist.rs:
+crates/kdtree/src/local.rs:
+crates/kdtree/src/skeleton.rs:

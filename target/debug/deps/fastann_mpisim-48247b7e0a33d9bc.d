@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fastann_mpisim-48247b7e0a33d9bc.d: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs
+
+/root/repo/target/debug/deps/libfastann_mpisim-48247b7e0a33d9bc.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs
+
+/root/repo/target/debug/deps/libfastann_mpisim-48247b7e0a33d9bc.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/cluster.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/cost.rs:
+crates/mpisim/src/fault.rs:
+crates/mpisim/src/net.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/rma.rs:
+crates/mpisim/src/trace.rs:
+crates/mpisim/src/vthreads.rs:
+crates/mpisim/src/wire.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fastann_mpisim-b74d6fd7b371134e.d: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_mpisim-b74d6fd7b371134e.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs Cargo.toml
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/cluster.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/cost.rs:
+crates/mpisim/src/fault.rs:
+crates/mpisim/src/net.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/rma.rs:
+crates/mpisim/src/trace.rs:
+crates/mpisim/src/vthreads.rs:
+crates/mpisim/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

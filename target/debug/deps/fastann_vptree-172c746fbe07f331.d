@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastann_vptree-172c746fbe07f331.d: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastann_vptree-172c746fbe07f331.rmeta: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs Cargo.toml
+
+crates/vptree/src/lib.rs:
+crates/vptree/src/partition.rs:
+crates/vptree/src/tree.rs:
+crates/vptree/src/vantage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastann_vptree-269a34ba05faae40.d: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+/root/repo/target/debug/deps/libfastann_vptree-269a34ba05faae40.rlib: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+/root/repo/target/debug/deps/libfastann_vptree-269a34ba05faae40.rmeta: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+crates/vptree/src/lib.rs:
+crates/vptree/src/partition.rs:
+crates/vptree/src/tree.rs:
+crates/vptree/src/vantage.rs:

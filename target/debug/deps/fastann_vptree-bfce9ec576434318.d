@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastann_vptree-bfce9ec576434318.d: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+/root/repo/target/debug/deps/fastann_vptree-bfce9ec576434318: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+crates/vptree/src/lib.rs:
+crates/vptree/src/partition.rs:
+crates/vptree/src/tree.rs:
+crates/vptree/src/vantage.rs:

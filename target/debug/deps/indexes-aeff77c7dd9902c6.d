@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/indexes-aeff77c7dd9902c6.d: crates/bench/benches/indexes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindexes-aeff77c7dd9902c6.rmeta: crates/bench/benches/indexes.rs Cargo.toml
+
+crates/bench/benches/indexes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

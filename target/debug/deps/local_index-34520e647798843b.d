@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/local_index-34520e647798843b.d: tests/local_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocal_index-34520e647798843b.rmeta: tests/local_index.rs Cargo.toml
+
+tests/local_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_index-72da3d2c2b2234de.d: tests/local_index.rs
+
+/root/repo/target/debug/deps/local_index-72da3d2c2b2234de: tests/local_index.rs
+
+tests/local_index.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ece3b09ddbe738b1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ece3b09ddbe738b1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-49aa0d0d6f6bdc00.d: tests/simulation.rs
+
+/root/repo/target/debug/deps/simulation-49aa0d0d6f6bdc00: tests/simulation.rs
+
+tests/simulation.rs:

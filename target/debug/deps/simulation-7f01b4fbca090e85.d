@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-7f01b4fbca090e85.d: tests/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-7f01b4fbca090e85.rmeta: tests/simulation.rs Cargo.toml
+
+tests/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structures-2d567e43c7b84dbf.d: crates/bench/benches/structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructures-2d567e43c7b84dbf.rmeta: crates/bench/benches/structures.rs Cargo.toml
+
+crates/bench/benches/structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_props-69356cc5e80b7179.d: crates/mpisim/tests/wire_props.rs
+
+/root/repo/target/debug/deps/wire_props-69356cc5e80b7179: crates/mpisim/tests/wire_props.rs
+
+crates/mpisim/tests/wire_props.rs:

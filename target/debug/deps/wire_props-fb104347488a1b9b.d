@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_props-fb104347488a1b9b.d: crates/mpisim/tests/wire_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_props-fb104347488a1b9b.rmeta: crates/mpisim/tests/wire_props.rs Cargo.toml
+
+crates/mpisim/tests/wire_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

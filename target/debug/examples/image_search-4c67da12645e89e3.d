@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-4c67da12645e89e3.d: examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-4c67da12645e89e3: examples/image_search.rs
+
+examples/image_search.rs:

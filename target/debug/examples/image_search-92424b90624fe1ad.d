@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_search-92424b90624fe1ad.d: examples/image_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_search-92424b90624fe1ad.rmeta: examples/image_search.rs Cargo.toml
+
+examples/image_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

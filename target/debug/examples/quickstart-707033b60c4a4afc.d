@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-707033b60c4a4afc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-707033b60c4a4afc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recommender-0a764e0cbda96229.d: examples/recommender.rs
+
+/root/repo/target/debug/examples/recommender-0a764e0cbda96229: examples/recommender.rs
+
+examples/recommender.rs:

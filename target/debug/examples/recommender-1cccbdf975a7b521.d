@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recommender-1cccbdf975a7b521.d: examples/recommender.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecommender-1cccbdf975a7b521.rmeta: examples/recommender.rs Cargo.toml
+
+examples/recommender.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

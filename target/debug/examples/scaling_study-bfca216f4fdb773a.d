@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-bfca216f4fdb773a.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-bfca216f4fdb773a: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/texmex_pipeline-975dc9d3bd5aa0c0.d: examples/texmex_pipeline.rs
+
+/root/repo/target/debug/examples/texmex_pipeline-975dc9d3bd5aa0c0: examples/texmex_pipeline.rs
+
+examples/texmex_pipeline.rs:

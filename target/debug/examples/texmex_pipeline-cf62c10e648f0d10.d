@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/texmex_pipeline-cf62c10e648f0d10.d: examples/texmex_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtexmex_pipeline-cf62c10e648f0d10.rmeta: examples/texmex_pipeline.rs Cargo.toml
+
+examples/texmex_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timeline-a3e773732cf79b2c.d: examples/timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeline-a3e773732cf79b2c.rmeta: examples/timeline.rs Cargo.toml
+
+examples/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

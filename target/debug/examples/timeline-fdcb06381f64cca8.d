@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeline-fdcb06381f64cca8.d: examples/timeline.rs
+
+/root/repo/target/debug/examples/timeline-fdcb06381f64cca8: examples/timeline.rs
+
+examples/timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-c5bf94610fd64260.d: crates/core/tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-c5bf94610fd64260: crates/core/tests/chaos.rs
+
+crates/core/tests/chaos.rs:

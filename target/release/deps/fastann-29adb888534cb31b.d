@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastann-29adb888534cb31b.d: src/bin/fastann.rs
+
+/root/repo/target/release/deps/fastann-29adb888534cb31b: src/bin/fastann.rs
+
+src/bin/fastann.rs:

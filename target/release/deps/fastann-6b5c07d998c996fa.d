@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastann-6b5c07d998c996fa.d: src/lib.rs
+
+/root/repo/target/release/deps/libfastann-6b5c07d998c996fa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfastann-6b5c07d998c996fa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fastann_core-58fe20a1be9a7a71.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+/root/repo/target/release/deps/libfastann_core-58fe20a1be9a7a71.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+/root/repo/target/release/deps/libfastann_core-58fe20a1be9a7a71.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/local.rs crates/core/src/owner.rs crates/core/src/persist.rs crates/core/src/router.rs crates/core/src/stats.rs crates/core/src/tune.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/local.rs:
+crates/core/src/owner.rs:
+crates/core/src/persist.rs:
+crates/core/src/router.rs:
+crates/core/src/stats.rs:
+crates/core/src/tune.rs:

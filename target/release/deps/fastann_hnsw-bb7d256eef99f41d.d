@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fastann_hnsw-bb7d256eef99f41d.d: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+/root/repo/target/release/deps/libfastann_hnsw-bb7d256eef99f41d.rlib: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+/root/repo/target/release/deps/libfastann_hnsw-bb7d256eef99f41d.rmeta: crates/hnsw/src/lib.rs crates/hnsw/src/config.rs crates/hnsw/src/graph.rs crates/hnsw/src/index.rs crates/hnsw/src/scratch.rs crates/hnsw/src/select.rs crates/hnsw/src/serialize.rs
+
+crates/hnsw/src/lib.rs:
+crates/hnsw/src/config.rs:
+crates/hnsw/src/graph.rs:
+crates/hnsw/src/index.rs:
+crates/hnsw/src/scratch.rs:
+crates/hnsw/src/select.rs:
+crates/hnsw/src/serialize.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastann_kdtree-bbd8c09c88666594.d: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+/root/repo/target/release/deps/libfastann_kdtree-bbd8c09c88666594.rlib: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+/root/repo/target/release/deps/libfastann_kdtree-bbd8c09c88666594.rmeta: crates/kdtree/src/lib.rs crates/kdtree/src/dist.rs crates/kdtree/src/local.rs crates/kdtree/src/skeleton.rs
+
+crates/kdtree/src/lib.rs:
+crates/kdtree/src/dist.rs:
+crates/kdtree/src/local.rs:
+crates/kdtree/src/skeleton.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fastann_mpisim-fe8b49db07d421a4.d: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs
+
+/root/repo/target/release/deps/libfastann_mpisim-fe8b49db07d421a4.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs
+
+/root/repo/target/release/deps/libfastann_mpisim-fe8b49db07d421a4.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/cluster.rs crates/mpisim/src/comm.rs crates/mpisim/src/cost.rs crates/mpisim/src/fault.rs crates/mpisim/src/net.rs crates/mpisim/src/rank.rs crates/mpisim/src/rma.rs crates/mpisim/src/trace.rs crates/mpisim/src/vthreads.rs crates/mpisim/src/wire.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/cluster.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/cost.rs:
+crates/mpisim/src/fault.rs:
+crates/mpisim/src/net.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/rma.rs:
+crates/mpisim/src/trace.rs:
+crates/mpisim/src/vthreads.rs:
+crates/mpisim/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastann_vptree-39b3760b90a62653.d: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+/root/repo/target/release/deps/libfastann_vptree-39b3760b90a62653.rlib: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+/root/repo/target/release/deps/libfastann_vptree-39b3760b90a62653.rmeta: crates/vptree/src/lib.rs crates/vptree/src/partition.rs crates/vptree/src/tree.rs crates/vptree/src/vantage.rs
+
+crates/vptree/src/lib.rs:
+crates/vptree/src/partition.rs:
+crates/vptree/src/tree.rs:
+crates/vptree/src/vantage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/noop_dbg-9f733da753e681d5.d: crates/core/tests/noop_dbg.rs
+
+/root/repo/target/release/deps/noop_dbg-9f733da753e681d5: crates/core/tests/noop_dbg.rs
+
+crates/core/tests/noop_dbg.rs:

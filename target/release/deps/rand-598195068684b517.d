@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-598195068684b517.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-598195068684b517.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-598195068684b517.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

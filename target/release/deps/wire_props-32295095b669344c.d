@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wire_props-32295095b669344c.d: crates/mpisim/tests/wire_props.rs
+
+/root/repo/target/release/deps/wire_props-32295095b669344c: crates/mpisim/tests/wire_props.rs
+
+crates/mpisim/tests/wire_props.rs:

@@ -29,7 +29,10 @@ fn distributed_kd_agrees_with_local_kd() {
     let report = kd::run(&data, &queries, &kd::DistKdConfig::new(4));
     for qi in 0..queries.len() {
         let (want, _) = local.knn(queries.get(qi), 10);
-        assert_eq!(report.results[qi], want, "distributed KD diverged on query {qi}");
+        assert_eq!(
+            report.results[qi], want,
+            "distributed KD diverged on query {qi}"
+        );
     }
 }
 

@@ -23,7 +23,10 @@ fn cli_full_pipeline() {
 
     let data = fastann::data::synth::sift_like(2_000, 12, 501);
     write_fvecs(&base, &data);
-    write_fvecs(&queries, &fastann::data::synth::queries_near(&data, 30, 0.02, 502));
+    write_fvecs(
+        &queries,
+        &fastann::data::synth::queries_near(&data, 30, 0.02, 502),
+    );
 
     let ok = |mut c: Command| {
         let out = c.output().expect("spawn fastann CLI");
@@ -43,17 +46,33 @@ fn cli_full_pipeline() {
     assert!(idx.exists(), "index file written");
 
     let mut c = fastann();
-    c.args(["search", idx.to_str().unwrap(), queries.to_str().unwrap(), approx.to_str().unwrap()])
-        .args(["--k", "5", "--ef", "64"]);
+    c.args([
+        "search",
+        idx.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        approx.to_str().unwrap(),
+    ])
+    .args(["--k", "5", "--ef", "64"]);
     ok(c);
 
     let mut c = fastann();
-    c.args(["gt", base.to_str().unwrap(), queries.to_str().unwrap(), truth.to_str().unwrap()])
-        .args(["--k", "5"]);
+    c.args([
+        "gt",
+        base.to_str().unwrap(),
+        queries.to_str().unwrap(),
+        truth.to_str().unwrap(),
+    ])
+    .args(["--k", "5"]);
     ok(c);
 
     let mut c = fastann();
-    c.args(["eval", approx.to_str().unwrap(), truth.to_str().unwrap(), "--k", "5"]);
+    c.args([
+        "eval",
+        approx.to_str().unwrap(),
+        truth.to_str().unwrap(),
+        "--k",
+        "5",
+    ]);
     let out = ok(c);
     let stdout = String::from_utf8_lossy(&out.stdout);
     let recall: f64 = stdout

@@ -1,7 +1,9 @@
 //! End-to-end integration: generate → distribute → index → search → verify,
 //! across every crate in the workspace.
 
-use fastann::core::{search_batch, search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{
+    search_batch, search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions,
+};
 use fastann::data::{ground_truth, synth, Distance, VectorSet};
 use fastann::hnsw::HnswConfig;
 use fastann::vptree::RouteConfig;
@@ -16,13 +18,19 @@ fn small_engine(cores: usize, per_node: usize, seed: u64) -> EngineConfig {
 fn full_pipeline_reaches_target_recall() {
     let data = synth::sift_like(6_000, 32, 101);
     let queries = synth::queries_near(&data, 50, 0.02, 102);
-    let cfg = small_engine(8, 2, 101)
-        .route(RouteConfig { margin_frac: 0.3, max_partitions: 6 });
+    let cfg = small_engine(8, 2, 101).route(RouteConfig {
+        margin_frac: 0.3,
+        max_partitions: 6,
+    });
     let index = DistIndex::build(&data, cfg);
     let report = search_batch(&index, &queries, &SearchOptions::new(10).ef(128));
     let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
     let recall = ground_truth::recall_at_k(&report.results, &gt, 10);
-    assert!(recall.mean > 0.8, "end-to-end recall {:.3} too low", recall.mean);
+    assert!(
+        recall.mean > 0.8,
+        "end-to-end recall {:.3} too low",
+        recall.mean
+    );
 }
 
 #[test]
@@ -48,11 +56,17 @@ fn replication_factors_preserve_results_and_balance_load() {
         queries.push(&q);
     }
     let mut cfg = small_engine(16, 2, 105);
-    cfg.route = RouteConfig { margin_frac: 0.0, max_partitions: 1 };
+    cfg.route = RouteConfig {
+        margin_frac: 0.0,
+        max_partitions: 1,
+    };
     let index = DistIndex::build(&data, cfg);
     let r1 = search_batch(&index, &queries, &SearchOptions::new(5).replication(1));
     let r4 = search_batch(&index, &queries, &SearchOptions::new(5).replication(4));
-    assert_eq!(r1.results, r4.results, "replication must not change answers");
+    assert_eq!(
+        r1.results, r4.results,
+        "replication must not change answers"
+    );
     assert!(
         r4.query_distribution().max < r1.query_distribution().max,
         "replication must spread the hot partition"
@@ -66,8 +80,10 @@ fn distributed_equals_single_partition_when_routing_everywhere() {
     // exact brute force.
     let data = synth::sift_like(800, 8, 107);
     let queries = synth::queries_near(&data, 10, 0.05, 108);
-    let cfg = small_engine(4, 2, 107)
-        .route(RouteConfig { margin_frac: f32::INFINITY, max_partitions: usize::MAX });
+    let cfg = small_engine(4, 2, 107).route(RouteConfig {
+        margin_frac: f32::INFINITY,
+        max_partitions: usize::MAX,
+    });
     let index = DistIndex::build(&data, cfg);
     let report = search_batch(&index, &queries, &SearchOptions::new(5).ef(800));
     let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);
@@ -77,7 +93,10 @@ fn distributed_equals_single_partition_when_routing_everywhere() {
         // HNSW is approximate even exhaustively parameterised only through
         // graph connectivity; demand >= 4 of 5 on every query
         let hit = got_ids.iter().filter(|id| want_ids.contains(id)).count();
-        assert!(hit >= 4, "query result too far from exact: {got_ids:?} vs {want_ids:?}");
+        assert!(
+            hit >= 4,
+            "query result too far from exact: {got_ids:?} vs {want_ids:?}"
+        );
     }
 }
 

@@ -16,7 +16,11 @@ fn cfg(kind: LocalIndexKind, seed: u64) -> EngineConfig {
 fn engine_runs_with_every_local_index_kind() {
     let data = synth::sift_like(3_000, 16, 401);
     let queries = synth::queries_near(&data, 20, 0.02, 402);
-    for kind in [LocalIndexKind::Hnsw, LocalIndexKind::VpExact, LocalIndexKind::BruteForce] {
+    for kind in [
+        LocalIndexKind::Hnsw,
+        LocalIndexKind::VpExact,
+        LocalIndexKind::BruteForce,
+    ] {
         let index = DistIndex::build(&data, cfg(kind, 401));
         let report = search_batch(&index, &queries, &SearchOptions::new(10));
         assert_eq!(report.results.len(), 20, "{kind:?}");
@@ -56,8 +60,10 @@ fn fully_exact_configuration_matches_brute_force() {
     // global k-NN, end to end through the distributed engine.
     let data = synth::sift_like(1_000, 8, 405);
     let queries = synth::queries_near(&data, 10, 0.05, 406);
-    let config = cfg(LocalIndexKind::VpExact, 405)
-        .route(RouteConfig { margin_frac: f32::INFINITY, max_partitions: usize::MAX });
+    let config = cfg(LocalIndexKind::VpExact, 405).route(RouteConfig {
+        margin_frac: f32::INFINITY,
+        max_partitions: usize::MAX,
+    });
     let index = DistIndex::build(&data, config);
     let report = search_batch(&index, &queries, &SearchOptions::new(5));
     let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);

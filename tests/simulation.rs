@@ -30,7 +30,10 @@ fn slower_network_means_slower_queries() {
 
     let rf = search_batch(&fast, &queries, &SearchOptions::new(10));
     let rs = search_batch(&slow, &queries, &SearchOptions::new(10));
-    assert_eq!(rf.results, rs.results, "network speed must not change answers");
+    assert_eq!(
+        rf.results, rs.results,
+        "network speed must not change answers"
+    );
     assert!(
         rs.total_ns > rf.total_ns,
         "slow net {:.0} should exceed fast net {:.0}",
@@ -46,7 +49,10 @@ fn pricier_compute_means_slower_queries() {
 
     let cheap = DistIndex::build(&data, base_cfg(303));
     let mut costly_cfg = base_cfg(303);
-    costly_cfg.cost = CostModel { base_ns: 80.0, per_dim_ns: 1.0 };
+    costly_cfg.cost = CostModel {
+        base_ns: 80.0,
+        per_dim_ns: 1.0,
+    };
     let costly = DistIndex::build(&data, costly_cfg);
 
     let rc = search_batch(&cheap, &queries, &SearchOptions::new(10));
@@ -124,7 +130,10 @@ fn network_jitter_preserves_results_and_bounds_slowdown() {
 
     let calm = DistIndex::build(&data, base_cfg(311));
     let mut jit_cfg = base_cfg(311);
-    jit_cfg.net = NetModel { jitter_frac: 0.5, ..NetModel::default() };
+    jit_cfg.net = NetModel {
+        jitter_frac: 0.5,
+        ..NetModel::default()
+    };
     let jittery = DistIndex::build(&data, jit_cfg);
 
     let rc = search_batch(&calm, &queries, &SearchOptions::new(10));
@@ -132,6 +141,11 @@ fn network_jitter_preserves_results_and_bounds_slowdown() {
     assert_eq!(rc.results, rj.results, "jitter must not change answers");
     // 50% per-message jitter cannot slow a latency-tolerant pipeline by
     // more than ~50% + scheduling slack
-    assert!(rj.total_ns <= rc.total_ns * 1.8, "{} vs {}", rj.total_ns, rc.total_ns);
+    assert!(
+        rj.total_ns <= rc.total_ns * 1.8,
+        "{} vs {}",
+        rj.total_ns,
+        rc.total_ns
+    );
     assert!(rj.total_ns >= rc.total_ns * 0.9);
 }

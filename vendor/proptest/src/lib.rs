@@ -1,0 +1,346 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a deterministic property-testing harness with the API subset it
+//! uses: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`prelude::ProptestConfig`] and strategies for numeric ranges, tuples
+//! and [`collection::vec`]. Differences from upstream, deliberately chosen
+//! for a hermetic test suite:
+//!
+//! * **fully deterministic** — case `i` of test `t` always sees the same
+//!   inputs (seeded from a hash of the test path and `i`); there is no
+//!   persistence file and no flaky regression corpus;
+//! * **boundary cases first** — case 0 generates every strategy's minimum
+//!   and case 1 its maximum, so range endpoints are always exercised;
+//! * **no shrinking** — failures report the generated inputs via panic
+//!   message instead of minimising them.
+
+/// How a [`Gen`] resolves strategy choices for the current case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Every strategy yields its minimum value.
+    Min,
+    /// Every strategy yields its maximum value.
+    Max,
+    /// Pseudo-random values from the per-case stream.
+    Random,
+}
+
+/// Deterministic per-case value source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct Gen {
+    state: u64,
+    mode: Mode,
+}
+
+impl Gen {
+    /// Source for case `case` of the named test: case 0 is all-minimums,
+    /// case 1 all-maximums, later cases pseudo-random.
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mode = match case {
+            0 => Mode::Min,
+            1 => Mode::Max,
+            _ => Mode::Random,
+        };
+        Self { state: h, mode }
+    }
+
+    /// Next 64 pseudo-random bits (SplitMix64).
+    pub fn bits(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`; pinned to `0` / `~1` in min/max mode.
+    pub fn unit(&mut self) -> f64 {
+        match self.mode {
+            Mode::Min => 0.0,
+            Mode::Max => 1.0 - 1.0 / (1u64 << 32) as f64,
+            Mode::Random => (self.bits() >> 11) as f64 / (1u64 << 53) as f64,
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)` as `u128` arithmetic on the caller.
+    fn index(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        match self.mode {
+            Mode::Min => 0,
+            Mode::Max => span - 1,
+            Mode::Random => self.bits() % span,
+        }
+    }
+}
+
+/// Value generators (subset of `proptest::strategy::Strategy`).
+pub mod strategy {
+    use super::Gen;
+
+    /// A source of deterministic test values.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Produces this case's value.
+        fn generate(&self, g: &mut Gen) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, g: &mut Gen) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + g.index(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, g: &mut Gen) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + g.unit() as f32 * (self.end - self.start);
+            // rounding can land exactly on the exclusive end; pull it back in
+            if v >= self.end {
+                self.end.next_down()
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, g: &mut Gen) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + g.unit() * (self.end - self.start);
+            if v >= self.end {
+                self.end.next_down()
+            } else {
+                v
+            }
+        }
+    }
+
+    /// A strategy yielding one fixed value (subset of `proptest::strategy::Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _g: &mut Gen) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident: $idx:tt),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+
+                fn generate(&self, g: &mut Gen) -> Self::Value {
+                    ($(self.$idx.generate(g),)*)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::Gen;
+
+    /// Strategy for `Vec<T>` with element strategy `S` and a length range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vector of values from `element`, with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let n = self.len.clone().generate(g);
+            (0..n).map(|_| self.element.generate(g)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// How many cases each property runs (subset of
+    /// `proptest::test_runner::Config`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the hermetic suite quick
+            // while still covering min, max and 62 random cases.
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// The names call sites import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            (<$crate::test_runner::Config as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for __case in 0..config.cases as u64 {
+                    let mut __gen = $crate::Gen::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __gen);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds (panics with the condition on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::Gen::for_case("t", 5);
+        let mut b = crate::Gen::for_case("t", 5);
+        for _ in 0..32 {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    #[test]
+    fn case_zero_is_minimum_case_one_is_maximum() {
+        let mut g0 = crate::Gen::for_case("x", 0);
+        let v0 = Strategy::generate(&(3u32..17), &mut g0);
+        assert_eq!(v0, 3);
+        let mut g1 = crate::Gen::for_case("x", 1);
+        let v1 = Strategy::generate(&(3u32..17), &mut g1);
+        assert_eq!(v1, 16);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        for case in 0..40u64 {
+            let mut g = crate::Gen::for_case("v", case);
+            let v = Strategy::generate(&collection::vec(0f32..1.0, 2..9), &mut g);
+            assert!((2..9).contains(&v.len()), "bad length {}", v.len());
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_in_range(x in 5u64..50, f in -1.0f32..1.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn macro_tuples_and_vecs(pairs in collection::vec((0u32..9, 0.0f64..2.0), 1..20)) {
+            prop_assert!(!pairs.is_empty());
+            for (a, b) in &pairs {
+                prop_assert!(*a < 9);
+                prop_assert!((0.0..2.0).contains(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *API subset it actually uses*: [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] sampling methods
+//! (`gen`, `gen_range`, `gen_bool`) and [`seq::SliceRandom`]
+//! (`choose`, `choose_multiple`, `shuffle`). The generator is
+//! xoshiro256** seeded through SplitMix64 — the same family the real
+//! `SmallRng` uses on 64-bit targets. Streams are deterministic per seed but
+//! are **not** bit-compatible with upstream `rand`; nothing in the
+//! workspace depends on upstream streams, only on per-seed determinism.
+
+/// Seedable random generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-size byte array upstream; mirrored here).
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform `[0, 1)` for floats, uniform over all values for ints).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self.next_u64(), range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample(self.next_u64()) < p
+    }
+}
+
+/// Types samplable from raw bits (stand-in for `rand::distributions::Standard`).
+pub trait Standard {
+    /// Maps 64 uniform random bits to a value.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(bits: u64) -> f64 {
+        // 53 mantissa bits -> uniform [0, 1)
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(bits: u64) -> f32 {
+        // 24 bits -> uniform [0, 1)
+        (bits >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a range (stand-in for
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps 64 uniform random bits into `[lo, hi)`.
+    fn sample_range(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let off = (bits as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range(bits: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        let u = f64::sample(bits);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range(bits: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        let u = f32::sample(bits);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256** seeded through
+    /// SplitMix64 (the construction upstream `SmallRng` uses on 64-bit
+    /// targets).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s.iter().all(|&x| x == 0) {
+                // xoshiro must not start from the all-zero state
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut state);
+            }
+            Self { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice sampling helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::rngs::SmallRng;
+    use super::Rng;
+
+    /// Random selection from slices (subset of `rand::seq::SliceRandom`,
+    /// monomorphised to [`SmallRng`] — the only generator this workspace
+    /// uses).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// One uniformly chosen element, `None` on an empty slice.
+        fn choose<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a Self::Item>;
+
+        /// `amount` distinct elements by partial Fisher–Yates; order is the
+        /// selection order. Returns fewer when the slice is shorter.
+        fn choose_multiple<'a>(
+            &'a self,
+            rng: &mut SmallRng,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle(&mut self, rng: &mut SmallRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<'a>(
+            &'a self,
+            rng: &mut SmallRng,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a T> {
+            let n = self.len();
+            let amount = amount.min(n);
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn shuffle(&mut self, rng: &mut SmallRng) {
+            let n = self.len();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let f = r.gen_range(-2.5f32..2.5);
+            assert!((-2.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let x = r.gen_range(0.0f64..1.0);
+            lo_seen |= x < 0.1;
+            hi_seen |= x > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "range sampling should cover the span");
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let v: Vec<u32> = (0..50).collect();
+        let mut r = SmallRng::seed_from_u64(5);
+        let picked: Vec<u32> = v.choose_multiple(&mut r, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut d = picked.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10, "choose_multiple must not repeat elements");
+    }
+
+    #[test]
+    fn choose_multiple_clamps_to_len() {
+        let v = [1u8, 2, 3];
+        let mut r = SmallRng::seed_from_u64(5);
+        let picked: Vec<u8> = v.choose_multiple(&mut r, 10).copied().collect();
+        let mut d = picked.clone();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..20).collect();
+        let mut r = SmallRng::seed_from_u64(11);
+        v.shuffle(&mut r);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(13);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the parallel-iterator API subset it uses — `par_iter()` on
+//! slices and `into_par_iter()` on ranges, with `map`/`collect`/
+//! `for_each`/`for_each_init` — executed **sequentially**. Virtual-time
+//! accounting in this repository is explicit (costs are charged to
+//! simulated clocks, never measured), so sequential execution changes
+//! wall-clock speed only, not any reported number. If real data
+//! parallelism becomes a bottleneck, swap this crate back for upstream
+//! rayon; call sites need no changes.
+
+/// The traits call sites import via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A "parallel" iterator — a thin wrapper over a sequential one.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+/// Conversion into a [`ParIter`] by value (subset of
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = std::ops::Range<T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Conversion into a borrowing [`ParIter`] (subset of
+/// `rayon::iter::IntoParallelRefIterator`, which backs `slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Borrows as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// The adapter/consumer methods call sites use (subset of
+/// `rayon::iter::ParallelIterator` + `IndexedParallelIterator`).
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Unwraps the sequential iterator.
+    fn into_seq(self) -> Self::Iter;
+
+    /// Maps each element.
+    fn map<R, F: FnMut(Self::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<Self::Iter, F>> {
+        ParIter {
+            inner: self.into_seq().map(f),
+        }
+    }
+
+    /// Consumes every element.
+    fn for_each<F: FnMut(Self::Item)>(self, f: F) {
+        self.into_seq().for_each(f);
+    }
+
+    /// Consumes every element with per-"thread" scratch state. Sequential
+    /// execution means the initialiser runs exactly once.
+    fn for_each_init<S, INIT, F>(self, init: INIT, mut f: F)
+    where
+        INIT: Fn() -> S,
+        F: FnMut(&mut S, Self::Item),
+    {
+        let mut state = init();
+        for item in self.into_seq() {
+            f(&mut state, item);
+        }
+    }
+
+    /// Collects into any `FromIterator` container.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_seq().collect()
+    }
+
+    /// Sums the elements.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_seq().sum()
+    }
+
+    /// Number of elements.
+    fn count(self) -> usize {
+        self.into_seq().count()
+    }
+}
+
+impl<I: Iterator> ParallelIterator for ParIter<I> {
+    type Item = I::Item;
+    type Iter = I;
+
+    fn into_seq(self) -> I {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn slice_par_iter_for_each_init() {
+        let data = [1u32, 2, 3, 4];
+        let mut sum = 0u32;
+        data[..].par_iter().for_each_init(
+            || 10u32,
+            |scratch, &x| {
+                assert_eq!(*scratch, 10);
+                sum += x;
+            },
+        );
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let v: Vec<i32> = vec![3, 1, 2].into_par_iter().map(|x| x - 1).collect();
+        assert_eq!(v, vec![2, 0, 1]);
+    }
+}
