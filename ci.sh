@@ -13,4 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fastann-check lint"
+cargo run -q -p fastann-check -- lint
+
+echo "==> invariant validators are exercised"
+for crate in hnsw vptree mpisim; do
+    if ! grep -rq "fn validator_" "crates/$crate/src"; then
+        echo "no validator_* test exercises crates/$crate" >&2
+        exit 1
+    fi
+done
+
+echo "==> schedule-perturbation race smoke (K=8)"
+cargo run -q -p fastann-check -- race --k 8
+
 echo "CI green."

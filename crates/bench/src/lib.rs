@@ -11,6 +11,8 @@
 //! factor, where curves bend), not the absolute numbers, as documented in
 //! DESIGN.md.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod experiments;
 pub mod fmt;

@@ -1,0 +1,27 @@
+//! # fastann-check — workspace correctness tooling
+//!
+//! Three subsystems keep the workspace honest:
+//!
+//! * [`lint`] — a textual source lint over `crates/*/src` and `src/`:
+//!   no bare `unwrap`, no panicking macros in library code, no
+//!   wildcard/untagged receives outside the simulator, every wire tag
+//!   registered in `fastann_core::tags::TAG_TABLE`, and doc comments on
+//!   every public item of `fastann-core` / `fastann-mpisim`. Justified
+//!   exceptions live in `crates/check/allowlist.txt`.
+//! * [`race`] — a schedule-perturbation race detector: run the same
+//!   workload under K seed-perturbed scheduler interleavings
+//!   ([`fastann_mpisim::SchedPerturb`]) and diff the observable events.
+//!   Any fault-free divergence is a race, minimized to the first
+//!   diverging span with both interleavings' event windows.
+//! * the runtime invariant validators themselves live next to the data
+//!   structures they check (`Hnsw::validate`, `VpTree::validate`, the
+//!   simulator's message-conservation ledger); this crate's CI entry
+//!   points make sure they are exercised.
+//!
+//! The `fastann-check` binary exposes `lint` and `race` subcommands for
+//! `ci.sh`.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod race;

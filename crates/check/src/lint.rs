@@ -1,0 +1,561 @@
+//! Textual lint over the workspace source tree.
+//!
+//! Five rules, all enforced without a Rust parser — the source
+//! conventions of this workspace (one statement per line, one tag-table
+//! field per line) are strict enough for a line lint, and a textual pass
+//! keeps this crate dependency-free:
+//!
+//! | rule            | meaning                                                        |
+//! |-----------------|----------------------------------------------------------------|
+//! | `no-unwrap`     | no bare `unwrap` in non-test library code (`expect` is fine)   |
+//! | `no-panic`      | no panicking macro in non-test library code (simulator exempt) |
+//! | `wildcard-recv` | no wildcard-source / untagged receive outside the simulator    |
+//! | `tag-registry`  | every `TAG_*` constant and every sent tag is registered        |
+//! | `missing-doc`   | every `pub` item of fastann-core / fastann-mpisim has a doc    |
+//!
+//! Test modules (`#[cfg(test)] mod …`), `tests/` and `benches/`
+//! directories, and `vendor/` stand-ins are out of scope. Justified
+//! violations are suppressed by `crates/check/allowlist.txt`, one
+//! `path rule reason…` triple per line at file + rule granularity.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// The needles are spliced at compile time so that scanning this very
+// file does not self-flag the patterns as violations.
+const UNWRAP_PAT: &str = concat!(".unw", "rap()");
+const PANIC_PATS: [&str; 4] = [
+    concat!("pan", "ic!("),
+    concat!("unreach", "able!("),
+    concat!("tod", "o!("),
+    concat!("unimplem", "ented!("),
+];
+const RECV_PATS: [&str; 2] = [concat!(".re", "cv("), concat!(".try_", "recv(")];
+const SEND_PATS: [&str; 2] = [concat!(".send_", "bytes("), concat!(".send_", "bytes_at(")];
+const TAG_CONST_PAT: &str = concat!("const ", "TAG_");
+
+/// Rule identifier: bare `unwrap` in non-test library code.
+pub const RULE_UNWRAP: &str = "no-unwrap";
+/// Rule identifier: panicking macro in non-test library code.
+pub const RULE_PANIC: &str = "no-panic";
+/// Rule identifier: wildcard/untagged receive outside the simulator.
+pub const RULE_RECV: &str = "wildcard-recv";
+/// Rule identifier: unregistered wire tag or non-symbolic send tag.
+pub const RULE_TAG: &str = "tag-registry";
+/// Rule identifier: undocumented public item.
+pub const RULE_DOC: &str = "missing-doc";
+
+/// One lint finding, anchored to a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// One of the `RULE_*` identifiers.
+    pub rule: &'static str,
+    /// The offending source line (trimmed) or a description.
+    pub text: String,
+}
+
+/// One `path rule reason…` allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// File the entry applies to, relative to the workspace root.
+    pub path: String,
+    /// Rule identifier it suppresses in that file.
+    pub rule: String,
+    /// Human justification (free text).
+    pub reason: String,
+}
+
+/// Outcome of a lint pass over the workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by the allowlist. Non-empty fails CI.
+    pub violations: Vec<Violation>,
+    /// Findings suppressed by an allowlist entry.
+    pub suppressed: usize,
+    /// Allowlist entries that suppressed nothing (stale — worth pruning).
+    pub unused_allowlist: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when no violation survived the allowlist.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Multi-line human rendering for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.text));
+        }
+        for e in &self.unused_allowlist {
+            out.push_str(&format!("warning: unused allowlist entry: {e}\n"));
+        }
+        out.push_str(&format!(
+            "lint: {} files scanned, {} violations, {} suppressed by allowlist\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed
+        ));
+        out
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// Scans `crates/*/src/**/*.rs` and `src/**/*.rs`, skipping `tests/`,
+/// `benches/`, `vendor/` and `target/`. The tag registry is parsed
+/// textually from `crates/core/src/tags.rs`; the allowlist from
+/// `crates/check/allowlist.txt` (both optional — missing files simply
+/// disable the corresponding mechanism).
+pub fn run(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let tag_table = parse_tag_table(&root.join("crates/core/src/tags.rs"))?;
+    let allowlist = parse_allowlist(&root.join("crates/check/allowlist.txt"))?;
+
+    let mut all = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let content = fs::read_to_string(path)?;
+        lint_file(&rel, &content, &tag_table, &mut all);
+    }
+
+    let mut used = vec![false; allowlist.len()];
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for v in all {
+        let hit = allowlist
+            .iter()
+            .position(|e| e.path == v.file && e.rule == v.rule);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                report.suppressed += 1;
+            }
+            None => report.violations.push(v),
+        }
+    }
+    for (e, used) in allowlist.iter().zip(used) {
+        if !used {
+            report
+                .unused_allowlist
+                .push(format!("{} {}", e.path, e.rule));
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "tests" | "benches" | "vendor" | "target") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Parses `(name, value)` pairs out of the tag-table source. Relies on
+/// the "one field per line" convention documented on `TAG_TABLE`.
+fn parse_tag_table(path: &Path) -> io::Result<Vec<(String, u64)>> {
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let content = fs::read_to_string(path)?;
+    let mut pairs = Vec::new();
+    let mut cur_name: Option<String> = None;
+    for line in content.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("name: \"") {
+            if let Some(end) = rest.find('"') {
+                cur_name = Some(rest[..end].to_string());
+            }
+        } else if let Some(rest) = t.strip_prefix("value: ") {
+            let num = rest.trim_end_matches(',').trim();
+            if let (Some(name), Ok(value)) = (cur_name.take(), num.parse::<u64>()) {
+                pairs.push((name, value));
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+fn parse_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let content = fs::read_to_string(path)?;
+    let mut entries = Vec::new();
+    for line in content.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.splitn(3, char::is_whitespace);
+        if let (Some(path), Some(rule)) = (parts.next(), parts.next()) {
+            entries.push(AllowEntry {
+                path: path.to_string(),
+                rule: rule.to_string(),
+                reason: parts.next().unwrap_or("").trim().to_string(),
+            });
+        }
+    }
+    Ok(entries)
+}
+
+/// Lints one file; appends findings to `out`.
+fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Vec<Violation>) {
+    let is_mpisim = rel.starts_with("crates/mpisim/");
+    let is_tags_file = rel == "crates/core/src/tags.rs";
+    let wants_docs = rel.starts_with("crates/core/src") || rel.starts_with("crates/mpisim/src");
+
+    let lines: Vec<&str> = content.lines().collect();
+    let mut in_test = false;
+    let mut test_depth: i64 = 0;
+    let mut pending_cfg_test = false;
+
+    for (i, raw) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        let t = raw.trim();
+        let opens = raw.matches('{').count() as i64;
+        let closes = raw.matches('}').count() as i64;
+
+        if in_test {
+            test_depth += opens - closes;
+            if test_depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if t.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if t.starts_with("#[") {
+                continue; // further attributes on the same item
+            }
+            pending_cfg_test = false;
+            if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                in_test = true;
+                test_depth = opens - closes;
+                if test_depth <= 0 {
+                    in_test = false;
+                }
+                continue;
+            }
+        }
+
+        let is_comment = t.starts_with("//");
+
+        if !is_comment {
+            // no-unwrap
+            if t.contains(UNWRAP_PAT) {
+                out.push(violation(rel, line_no, RULE_UNWRAP, t));
+            }
+
+            // no-panic (the simulator's own internals legitimately panic:
+            // a simulated-rank panic is the simulated fault model)
+            if !is_mpisim && PANIC_PATS.iter().any(|p| t.contains(p)) {
+                out.push(violation(rel, line_no, RULE_PANIC, t));
+            }
+
+            // wildcard-recv
+            if !is_mpisim {
+                for pat in RECV_PATS {
+                    if let Some(pos) = t.find(pat) {
+                        let args = call_args(&t[pos + pat.len()..]);
+                        if args.contains("None") {
+                            out.push(violation(rel, line_no, RULE_RECV, t));
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // tag-registry, part 1: declarations must match the table
+            if !is_mpisim && !is_tags_file {
+                if let Some(pos) = t.find(TAG_CONST_PAT) {
+                    let name_start = pos + TAG_CONST_PAT.len() - 4; // keep "TAG_"
+                    let rest = &t[name_start..];
+                    if let Some(colon) = rest.find(':') {
+                        let name = rest[..colon].trim();
+                        let value = rest
+                            .split('=')
+                            .nth(1)
+                            .and_then(|v| v.trim().trim_end_matches(';').parse::<u64>().ok());
+                        if let Some(value) = value {
+                            let registered =
+                                tag_table.iter().any(|(n, v)| n == name && *v == value);
+                            if !registered {
+                                out.push(Violation {
+                                    file: rel.to_string(),
+                                    line: line_no,
+                                    rule: RULE_TAG,
+                                    text: format!(
+                                        "{name} = {value} is not registered in core/src/tags.rs TAG_TABLE"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+
+                // tag-registry, part 2: sent tags must be symbolic
+                for pat in SEND_PATS {
+                    if let Some(pos) = t.find(pat) {
+                        let joined = lines[i..lines.len().min(i + 3)].join(" ");
+                        let jpos = joined.find(pat).map(|p| p + pat.len()).unwrap_or(0);
+                        let args: Vec<&str> = joined[jpos..].splitn(3, ',').collect();
+                        let tag_ok = args
+                            .get(1)
+                            .map(|a| a.contains("TAG_") || a.to_lowercase().contains("tag"))
+                            .unwrap_or(false);
+                        if !tag_ok {
+                            out.push(Violation {
+                                file: rel.to_string(),
+                                line: line_no,
+                                rule: RULE_TAG,
+                                text: format!(
+                                    "tag argument is not a TAG_* identifier: {}",
+                                    &t[pos..]
+                                ),
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        // missing-doc
+        if wants_docs && !is_comment && is_pub_item(t) {
+            let mut j = i;
+            let mut documented = false;
+            while j > 0 {
+                j -= 1;
+                let prev = lines[j].trim();
+                if prev.starts_with("///") {
+                    documented = true;
+                    break;
+                }
+                // walk through attributes (including wrapped ones)
+                if prev.starts_with("#[") || prev.starts_with("#![") || prev.ends_with(")]") {
+                    continue;
+                }
+                break;
+            }
+            if !documented {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: RULE_DOC,
+                    text: format!("undocumented public item: {}", first_words(t, 6)),
+                });
+            }
+        }
+    }
+}
+
+fn violation(rel: &str, line: usize, rule: &'static str, text: &str) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line,
+        rule,
+        text: text.to_string(),
+    }
+}
+
+/// The argument span of a call: `rest` starts just past the opening
+/// parenthesis; the span ends at the matching close (or end of line for
+/// calls that wrap).
+fn call_args(rest: &str) -> &str {
+    let mut depth = 1usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &rest[..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    rest
+}
+
+/// Is this line the head of a `pub` item that needs a doc comment?
+/// `pub(crate)` and `pub use` are exempt.
+fn is_pub_item(t: &str) -> bool {
+    const HEADS: [&str; 10] = [
+        "pub fn ",
+        "pub async fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub const ",
+        "pub static ",
+        "pub type ",
+        "pub mod ",
+        "pub union ",
+    ];
+    HEADS.iter().any(|h| t.starts_with(h))
+}
+
+fn first_words(t: &str, n: usize) -> String {
+    t.split_whitespace().take(n).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, src: &str) -> Vec<Violation> {
+        let table = vec![("TAG_GOOD".to_string(), 7u64)];
+        let mut out = Vec::new();
+        lint_file(rel, src, &table, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_outside_tests() {
+        let src = "fn f() {\n    let x = g().unwrap();\n}\n";
+        let v = lint_str("crates/data/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_UNWRAP);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn ignores_test_modules_and_comments() {
+        let src = "\
+// a comment mentioning x.unwrap() and rank.recv(None, None)
+#[cfg(test)]
+mod tests {
+    fn f() {
+        let x = g().unwrap();
+        panic!(\"in tests this is fine\");
+    }
+}
+";
+        assert!(lint_str("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_panics_except_in_mpisim() {
+        let src = "fn f() {\n    panic!(\"boom\");\n    unreachable!();\n}\n";
+        let v = lint_str("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == RULE_PANIC));
+        assert!(lint_str("crates/mpisim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_wildcard_and_untagged_receives() {
+        let src = "fn f(rank: &mut Rank) {\n    let a = rank.recv(None, Some(3));\n    let b = rank.recv(Some(1), None);\n    let c = rank.recv(Some(1), Some(3));\n    let d = rank.try_recv(None, None);\n}\n";
+        let v = lint_str("crates/kdtree/src/x.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == RULE_RECV));
+    }
+
+    #[test]
+    fn flags_unregistered_tag_constants() {
+        let good = "const TAG_GOOD: u64 = 7;\n";
+        assert!(lint_str("crates/kdtree/src/x.rs", good).is_empty());
+        let wrong_value = "const TAG_GOOD: u64 = 8;\n";
+        assert_eq!(
+            lint_str("crates/kdtree/src/x.rs", wrong_value)[0].rule,
+            RULE_TAG
+        );
+        let unknown = "pub const TAG_ROGUE: u64 = 9;\n";
+        assert_eq!(
+            lint_str("crates/kdtree/src/x.rs", unknown)[0].rule,
+            RULE_TAG
+        );
+    }
+
+    #[test]
+    fn flags_non_symbolic_send_tags() {
+        let bad = "fn f(r: &mut Rank) {\n    r.send_bytes(0, 42, payload);\n}\n";
+        let v = lint_str("crates/core/src/x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_TAG);
+        let good = "fn f(r: &mut Rank) {\n    r.send_bytes(0, TAG_GOOD, payload);\n    r.send_bytes(0, rtag, payload);\n}\n";
+        assert!(lint_str("crates/core/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn flags_undocumented_pub_items_in_core_and_mpisim_only() {
+        let src = "pub fn naked() {}\n\n/// Documented.\npub fn clothed() {}\n\npub use other::thing;\npub(crate) fn internal() {}\n";
+        let v = lint_str("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DOC);
+        assert_eq!(v[0].line, 1);
+        // other crates are not under the doc rule
+        assert!(lint_str("crates/hnsw/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_rule_sees_through_attributes() {
+        let src = "/// Documented.\n#[derive(Clone)]\n#[repr(C)]\npub struct S;\n";
+        assert!(lint_str("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_at_file_rule_granularity() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("fastann-check-lint-{}", std::process::id()));
+        let src_dir = dir.join("crates/x/src");
+        fs::create_dir_all(&src_dir).expect("temp tree is creatable");
+        fs::create_dir_all(dir.join("crates/check")).expect("temp tree is creatable");
+        let mut f = fs::File::create(src_dir.join("lib.rs")).expect("temp file is creatable");
+        writeln!(f, "fn f() {{\n    g().unwrap();\n    h().unwrap();\n}}").expect("write succeeds");
+        fs::write(
+            dir.join("crates/check/allowlist.txt"),
+            "crates/x/src/lib.rs no-unwrap temp fixture\ncrates/x/src/lib.rs no-panic stale entry\n",
+        )
+        .expect("allowlist is writable");
+        let report = run(&dir).expect("lint runs");
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.suppressed, 2);
+        assert_eq!(
+            report.unused_allowlist,
+            vec!["crates/x/src/lib.rs no-panic".to_string()]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! The workspace must lint clean against its own rules — this is the
+//! same check `ci.sh` runs via `fastann-check lint`, kept as a test so
+//! `cargo test` alone catches regressions.
+
+use std::path::PathBuf;
+
+use fastann_check::lint;
+
+#[test]
+fn workspace_lint_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint::run(&root).expect("lint pass runs");
+    assert!(
+        report.files_scanned > 20,
+        "workspace scan found too few files"
+    );
+    assert!(
+        report.is_clean(),
+        "workspace lint violations:\n{}",
+        report.render()
+    );
+    assert!(
+        report.unused_allowlist.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.unused_allowlist
+    );
+}

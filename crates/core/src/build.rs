@@ -661,8 +661,8 @@ mod tests {
         let data = synth::sift_like(4096, 16, 2);
         let index = DistIndex::build(&data, small_cfg(16, 4));
         let sizes = &index.build_stats.partition_sizes;
-        let min = *sizes.iter().min().unwrap();
-        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().expect("at least one partition");
+        let max = *sizes.iter().max().expect("at least one partition");
         assert!(min > 0);
         assert!(max <= min * 4, "partition imbalance too high: {min}..{max}");
     }
@@ -772,7 +772,7 @@ mod tests {
         // closest-pivot assignment on clustered data is lumpier than
         // median splits (the complaint the paper raises against [16])
         let imb = |sizes: &[usize]| {
-            let max = *sizes.iter().max().unwrap() as f64;
+            let max = *sizes.iter().max().expect("at least one partition") as f64;
             let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
             max / mean
         };

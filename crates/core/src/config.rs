@@ -118,6 +118,14 @@ pub struct SearchOptions {
     /// `replication > 1` a retry is a failover to a different core. `0`
     /// disables retries (a lost probe degrades the query immediately).
     pub max_retries: usize,
+    /// Seed for the schedule-perturbation race detector
+    /// ([`fastann_mpisim::SchedPerturb`]): `0` (the default) runs the
+    /// deterministic baseline schedule; any other value perturbs wildcard
+    /// message matching, injects real-time stalls at receive boundaries and
+    /// shuffles virtual-thread tie-breaks. A correct batch returns an
+    /// identical [`crate::QueryReport`] for every seed — `fastann-check
+    /// race` sweeps seeds and reports any divergence as a race.
+    pub sched_seed: u64,
 }
 
 impl SearchOptions {
@@ -133,6 +141,7 @@ impl SearchOptions {
             replication: 1,
             timeout_ns: 1e7,
             max_retries: 2,
+            sched_seed: 0,
         }
     }
 
@@ -166,6 +175,12 @@ impl SearchOptions {
     /// Sets the retry budget of the fault-tolerant path (builder style).
     pub fn max_retries(mut self, n: usize) -> Self {
         self.max_retries = n;
+        self
+    }
+
+    /// Sets the schedule-perturbation seed (builder style); `0` disables.
+    pub fn sched_seed(mut self, seed: u64) -> Self {
+        self.sched_seed = seed;
         self
     }
 }

@@ -26,13 +26,15 @@ use bytes::{Bytes, BytesMut};
 use fastann_data::{Neighbor, TopK, VectorSet};
 use fastann_hnsw::SearchScratch;
 use fastann_mpisim::{
-    wire, Cluster, FaultPlan, Rank, SimConfig, SpanKind, Topology, Trace, VThreadPool, Window,
+    wire, Cluster, FaultPlan, Rank, SchedPerturb, SimConfig, SpanKind, Topology, Trace,
+    VThreadPool, Window,
 };
 
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
 use crate::router::ReplicaDispatcher;
 use crate::stats::QueryReport;
+use crate::tags;
 
 /// Master → worker: one `(query, partition)` work item. Public so fault
 /// plans (chaos tests) can target the engine's data-plane traffic by tag.
@@ -148,23 +150,30 @@ fn search_batch_chaos_inner(
         "replication factor exceeds core count"
     );
     let n_nodes = index.config.n_nodes();
-    // the shutdown + flush handshake is the failure-detection oracle; it
-    // must survive any plan
-    let protected = plan.clone().protect(&[TAG_END, TAG_FLUSH, TAG_FLUSH_ACK]);
+    // the control plane (shutdown + flush handshake) is the failure-detection
+    // oracle; the central tag registry says which tags that is
+    let protected = plan.clone().protect(&tags::protected_values("engine"));
     let sim = SimConfig::new(n_nodes + 1)
         .topology(Topology::one_rank_per_node())
         .net(index.config.net)
         .cost(index.config.cost)
-        .fault(protected);
+        .fault(protected)
+        .sched(SchedPerturb::seeded(opts.sched_seed));
     let cluster = Cluster::new(sim);
 
-    let outs = cluster.run(|rank| {
+    let (outs, conservation) = cluster.run_checked(|rank| {
         if rank.rank() == 0 {
             RankOut::Master(master_chaos(rank, index, queries, opts, trace))
         } else {
             RankOut::Worker(worker_chaos(rank, index, opts, trace))
         }
     });
+    // Even under injected faults the protocol must account for every
+    // message: fault-plan drops are ledgered, so anything left over in a
+    // mailbox at shutdown is a protocol bug.
+    if cfg!(debug_assertions) {
+        conservation.assert_clean();
+    }
 
     let mut report: Option<QueryReport> = None;
     let mut node_busy = vec![0f64; n_nodes];
@@ -203,16 +212,20 @@ fn search_batch_inner(
     let sim = SimConfig::new(n_nodes + 1)
         .topology(Topology::one_rank_per_node())
         .net(index.config.net)
-        .cost(index.config.cost);
+        .cost(index.config.cost)
+        .sched(SchedPerturb::seeded(opts.sched_seed));
     let cluster = Cluster::new(sim);
 
-    let outs = cluster.run(|rank| {
+    let (outs, conservation) = cluster.run_checked(|rank| {
         if rank.rank() == 0 {
             RankOut::Master(master(rank, index, queries, opts, trace))
         } else {
             RankOut::Worker(worker(rank, index, opts, trace))
         }
     });
+    if cfg!(debug_assertions) {
+        conservation.assert_clean();
+    }
 
     let mut report: Option<QueryReport> = None;
     let mut node_busy = vec![0f64; n_nodes];
@@ -422,6 +435,7 @@ fn worker(
     }
 
     let mut pool = VThreadPool::new(t_cores, 0.0);
+    pool.set_perturb(rank.sched_perturb());
     let mut scratch = SearchScratch::default();
     let mut ndist_total = 0u64;
 
@@ -710,6 +724,7 @@ fn worker_chaos(
     }
 
     let mut pool = VThreadPool::new(t_cores, 0.0);
+    pool.set_perturb(rank.sched_perturb());
     let mut scratch = SearchScratch::default();
     let mut ndist_total = 0u64;
 
@@ -945,6 +960,29 @@ mod tests {
         let (_, index) = build_small(500, 8, 4, 2, 19);
         let queries = synth::sift_like(3, 16, 20);
         let _ = search_batch(&index, &queries, &SearchOptions::new(5));
+    }
+
+    #[test]
+    fn perturbed_schedule_is_result_neutral() {
+        // the race-detector contract: a correct protocol returns an
+        // identical report under every schedule perturbation seed
+        let (data, index) = build_small(2000, 16, 8, 2, 23);
+        let queries = synth::queries_near(&data, 15, 0.02, 24);
+        for one_sided in [true, false] {
+            let base = search_batch(
+                &index,
+                &queries,
+                &SearchOptions::new(10).one_sided(one_sided),
+            );
+            for seed in [1u64, 7, 0xDEAD_BEEF] {
+                let opts = SearchOptions::new(10).one_sided(one_sided).sched_seed(seed);
+                let perturbed = search_batch(&index, &queries, &opts);
+                assert_eq!(
+                    base, perturbed,
+                    "seed {seed} diverged (one_sided={one_sided})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,8 @@
 //! println!("10-NN for 100 queries in {:.2} virtual ms", report.total_ns / 1e6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod build;
 mod config;
 mod engine;
@@ -50,6 +52,8 @@ mod owner;
 mod persist;
 mod router;
 mod stats;
+/// Central registry of every wire tag the workspace's protocols use.
+pub mod tags;
 mod tune;
 
 pub use build::{DistIndex, Partition};

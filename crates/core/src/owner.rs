@@ -13,7 +13,9 @@
 use bytes::BytesMut;
 use fastann_data::{Neighbor, TopK, VectorSet};
 use fastann_hnsw::SearchScratch;
-use fastann_mpisim::{wire, Cluster, Rank, ReduceOp, SimConfig, Topology, VThreadPool};
+use fastann_mpisim::{
+    wire, Cluster, Rank, ReduceOp, SchedPerturb, SimConfig, Topology, VThreadPool,
+};
 
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
@@ -40,10 +42,14 @@ pub fn search_batch_multi_owner(
     let sim = SimConfig::new(n_nodes)
         .topology(Topology::one_rank_per_node())
         .net(index.config.net)
-        .cost(index.config.cost);
+        .cost(index.config.cost)
+        .sched(SchedPerturb::seeded(opts.sched_seed));
     let cluster = Cluster::new(sim);
 
-    let outs = cluster.run(|rank| node_main(rank, index, queries, opts));
+    let (outs, conservation) = cluster.run_checked(|rank| node_main(rank, index, queries, opts));
+    if cfg!(debug_assertions) {
+        conservation.assert_clean();
+    }
 
     // Node 0 gathered the merged results.
     let mut results: Vec<Vec<Neighbor>> = Vec::new();
@@ -128,11 +134,11 @@ fn node_main(
     let owned: Vec<usize> = (0..nq).filter(|qi| qi % n_nodes == me).collect();
     let mut tops: std::collections::HashMap<usize, TopK> =
         owned.iter().map(|&qi| (qi, TopK::new(k))).collect();
-    let mut pending = 0u64;
     let mut per_core_queries = vec![0u64; p_cores];
     let mut route_ns = 0f64;
     let mut fanout = 0u64;
     let mut pool = VThreadPool::new(t_cores, 0.0);
+    pool.set_perturb(rank.sched_perturb());
     let mut scratch = SearchScratch::default();
     let mut ndist_total = 0u64;
     let mut sent_to = vec![0u64; n_nodes];
@@ -174,7 +180,6 @@ fn node_main(
             let core = d as usize; // no replication in this strategy
             per_core_queries[core] += 1;
             let target = core / t_cores;
-            pending += 1;
             if target == me {
                 // local work: no message, process straight away
                 let (pairs, _done) = process(
@@ -192,7 +197,6 @@ fn node_main(
                 for (id, dist) in pairs {
                     top.push(Neighbor::new(id, dist));
                 }
-                pending -= 1;
             } else {
                 let mut b = BytesMut::new();
                 wire::put_u32(&mut b, qi as u32);
@@ -212,54 +216,70 @@ fn node_main(
         }
     }
 
-    // --- serve + merge until all done ---
-    let mut counts_seen = 0usize;
-    let mut expected = 0u64;
-    let mut served = 0u64;
-    while counts_seen < n_nodes - 1 || served < expected || pending > 0 {
-        let msg = rank.recv(None, None);
-        match msg.tag {
-            TAG_COUNT => {
-                let mut p = msg.payload;
-                expected += wire::get_u64(&mut p);
-                counts_seen += 1;
+    // --- serve + merge, three deterministic phases ---
+    //
+    // An earlier version of this loop was a single `rank.recv(None, None)`
+    // wildcard dispatch — the exact PR 1 bug class: folding arrivals into
+    // the virtual clock in whatever order the OS scheduler enqueued them
+    // made the report's timing fields differ from run to run (the
+    // schedule-perturbation race detector flags it in one sweep). Draining
+    // per source in rank order with exact tags is schedule-independent.
+    //
+    // Deadlock-free by construction: every node posts *all* its dispatch
+    // sends (queries, then counts) before its first receive, sends are
+    // non-blocking, and each phase only consumes messages already posted —
+    // counts and queries during dispatch, results during phase B.
+
+    // Phase A: how many queries does each peer owe me?
+    let mut expected_from = vec![0u64; n_nodes];
+    for (j, slot) in expected_from.iter_mut().enumerate() {
+        if j != me {
+            let msg = rank.recv(Some(j), Some(TAG_COUNT));
+            let mut p = msg.payload;
+            *slot = wire::get_u64(&mut p);
+        }
+    }
+
+    // Phase B: serve every peer's queries, in rank order.
+    for (j, &owed) in expected_from.iter().enumerate() {
+        for _ in 0..owed {
+            let msg = rank.recv(Some(j), Some(TAG_QUERY));
+            let arrival = msg.arrival;
+            let mut p = msg.payload;
+            let qid = wire::get_u32(&mut p) as usize;
+            let part = wire::get_u32(&mut p) as usize;
+            let q = wire::get_f32_vec(&mut p);
+            let (pairs, done_at) = process(
+                rank,
+                &mut pool,
+                &mut scratch,
+                &mut ndist_total,
+                qid,
+                part,
+                &q,
+                arrival,
+            );
+            let owner = qid % n_nodes;
+            let mut b = BytesMut::new();
+            wire::put_u32(&mut b, qid as u32);
+            wire::put_neighbors(&mut b, &pairs);
+            rank.send_bytes_at(owner, TAG_RESULT, b.freeze(), done_at);
+        }
+    }
+
+    // Phase C: merge the answers to my own queries, in rank order.
+    for (j, &sent) in sent_to.iter().enumerate() {
+        for _ in 0..sent {
+            let msg = rank.recv(Some(j), Some(TAG_RESULT));
+            let mut p = msg.payload;
+            result_bytes += p.len() as u64;
+            let qid = wire::get_u32(&mut p) as usize;
+            let pairs = wire::get_neighbors(&mut p);
+            rank.charge(pairs.len() as f64 * MERGE_NS_PER_NEIGHBOR);
+            let top = tops.get_mut(&qid).expect("result for unowned query");
+            for (id, d) in pairs {
+                top.push(Neighbor::new(id, d));
             }
-            TAG_QUERY => {
-                let arrival = msg.arrival;
-                let mut p = msg.payload;
-                let qid = wire::get_u32(&mut p) as usize;
-                let part = wire::get_u32(&mut p) as usize;
-                let q = wire::get_f32_vec(&mut p);
-                let (pairs, done_at) = process(
-                    rank,
-                    &mut pool,
-                    &mut scratch,
-                    &mut ndist_total,
-                    qid,
-                    part,
-                    &q,
-                    arrival,
-                );
-                let owner = qid % n_nodes;
-                let mut b = BytesMut::new();
-                wire::put_u32(&mut b, qid as u32);
-                wire::put_neighbors(&mut b, &pairs);
-                rank.send_bytes_at(owner, TAG_RESULT, b.freeze(), done_at);
-                served += 1;
-            }
-            TAG_RESULT => {
-                let mut p = msg.payload;
-                result_bytes += p.len() as u64;
-                let qid = wire::get_u32(&mut p) as usize;
-                let pairs = wire::get_neighbors(&mut p);
-                rank.charge(pairs.len() as f64 * MERGE_NS_PER_NEIGHBOR);
-                let top = tops.get_mut(&qid).expect("result for unowned query");
-                for (id, d) in pairs {
-                    top.push(Neighbor::new(id, d));
-                }
-                pending -= 1;
-            }
-            t => panic!("node {me}: unexpected tag {t}"),
         }
     }
 
@@ -365,6 +385,21 @@ mod tests {
         assert!(r.total_ndist > 0);
         let dispatched: u64 = r.per_core_queries.iter().sum();
         assert_eq!(dispatched as f64, r.mean_fanout * 12.0);
+    }
+
+    #[test]
+    fn perturbed_schedule_is_result_neutral() {
+        // regression for the wildcard-receive race this loop used to have:
+        // the per-source three-phase drain must make the whole report —
+        // virtual times included — independent of the perturbation seed
+        let (data, index) = build_small(1500, 8, 2, 41);
+        let queries = synth::queries_near(&data, 13, 0.03, 42);
+        let base = search_batch_multi_owner(&index, &queries, &SearchOptions::new(5));
+        for seed in [1u64, 9, 0xFEED] {
+            let r =
+                search_batch_multi_owner(&index, &queries, &SearchOptions::new(5).sched_seed(seed));
+            assert_eq!(base, r, "seed {seed} diverged");
+        }
     }
 
     #[test]

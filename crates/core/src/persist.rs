@@ -280,6 +280,41 @@ mod tests {
     }
 
     #[test]
+    fn validator_accepts_loaded_index() {
+        let (data, index) = build_one(86);
+        let path = tmp("validate");
+        index.save(&path).expect("save to temp dir succeeds");
+        let back = DistIndex::load(&path).expect("load of just-saved index succeeds");
+        std::fs::remove_file(&path).ok();
+
+        // every loaded partition graph upholds the HNSW invariants …
+        for part in back.partitions.iter() {
+            let crate::local::LocalIndex::Hnsw(h) = &part.index else {
+                panic!("persisted engine partitions are HNSW");
+            };
+            h.validate()
+                .expect("loaded partition upholds every structural invariant");
+        }
+        // … the router skeleton upholds the VP-tree invariants …
+        let Router::VpTree(tree) = back.router.as_ref() else {
+            panic!("persisted engine router is a VP tree");
+        };
+        tree.validate()
+            .expect("loaded router upholds every structural invariant");
+
+        // … and the loaded index answers bit-identically.
+        let queries = synth::queries_near(&data, 12, 0.02, 87);
+        let a = search_batch(&index, &queries, &SearchOptions::new(10));
+        let b = search_batch(&back, &queries, &SearchOptions::new(10));
+        assert_eq!(a.results, b.results, "results must be bit-identical");
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn non_hnsw_index_refuses_to_save() {
         let data = synth::sift_like(500, 8, 83);
         let cfg = EngineConfig::new(4, 2)
@@ -302,11 +337,11 @@ mod tests {
     fn corrupted_file_rejected() {
         let (_, index) = build_one(85);
         let path = tmp("corrupt");
-        index.save(&path).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
+        index.save(&path).expect("save to temp dir succeeds");
+        let mut bytes = std::fs::read(&path).expect("saved file is readable");
         let cut = bytes.len() / 2;
         bytes.truncate(cut);
-        std::fs::write(&path, &bytes).unwrap();
+        std::fs::write(&path, &bytes).expect("rewrite of corrupted bytes succeeds");
         let res = DistIndex::load(&path);
         std::fs::remove_file(&path).ok();
         let Err(err) = res else {

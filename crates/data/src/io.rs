@@ -204,8 +204,8 @@ mod tests {
     fn fvecs_round_trip() {
         let vs = VectorSet::from_flat(3, vec![1.0, 2.0, 3.0, -4.5, 0.0, 7.25]);
         let mut buf = Vec::new();
-        write_fvecs_to(&mut buf, &vs).unwrap();
-        let back = read_fvecs_from(&mut Cursor::new(buf), None).unwrap();
+        write_fvecs_to(&mut buf, &vs).expect("write to Vec never fails");
+        let back = read_fvecs_from(&mut Cursor::new(buf), None).expect("round-trip read succeeds");
         assert_eq!(back, vs);
     }
 
@@ -213,8 +213,8 @@ mod tests {
     fn fvecs_limit_caps_rows() {
         let vs = VectorSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let mut buf = Vec::new();
-        write_fvecs_to(&mut buf, &vs).unwrap();
-        let back = read_fvecs_from(&mut Cursor::new(buf), Some(2)).unwrap();
+        write_fvecs_to(&mut buf, &vs).expect("write to Vec never fails");
+        let back = read_fvecs_from(&mut Cursor::new(buf), Some(2)).expect("bounded read succeeds");
         assert_eq!(back.len(), 2);
         assert_eq!(back.get(1), &[3.0, 4.0]);
     }
@@ -223,8 +223,8 @@ mod tests {
     fn ivecs_round_trip() {
         let rows = vec![vec![1u32, 2, 3], vec![9, 8, 7]];
         let mut buf = Vec::new();
-        write_ivecs_to(&mut buf, &rows).unwrap();
-        let back = read_ivecs_from(&mut Cursor::new(buf), None).unwrap();
+        write_ivecs_to(&mut buf, &rows).expect("write to Vec never fails");
+        let back = read_ivecs_from(&mut Cursor::new(buf), None).expect("round-trip read succeeds");
         assert_eq!(back, rows);
     }
 
@@ -234,7 +234,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&2i32.to_le_bytes());
         buf.extend_from_slice(&[5u8, 250u8]);
-        let back = read_bvecs_from(&mut Cursor::new(buf), None).unwrap();
+        let back = read_bvecs_from(&mut Cursor::new(buf), None).expect("round-trip read succeeds");
         assert_eq!(back.get(0), &[5.0, 250.0]);
     }
 
@@ -276,11 +276,11 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let dir = std::env::temp_dir().join("fastann_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
         let path = dir.join("t.fvecs");
         let vs = VectorSet::from_flat(4, (0..16).map(|i| i as f32).collect());
-        write_fvecs(&path, &vs).unwrap();
-        let back = read_fvecs(&path, None).unwrap();
+        write_fvecs(&path, &vs).expect("write to temp file succeeds");
+        let back = read_fvecs(&path, None).expect("read back from temp file succeeds");
         assert_eq!(back, vs);
         std::fs::remove_file(&path).ok();
     }

@@ -25,6 +25,8 @@
 //! assert_eq!(gt[0].len(), 5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ground_truth;
 pub mod io;
 pub mod metric;

@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn bounds_cover_all_rows() {
         let v = sample();
-        let (lo, hi) = v.bounds().unwrap();
+        let (lo, hi) = v.bounds().expect("non-empty set has bounds");
         assert_eq!(lo, vec![0.0, 1.0]);
         assert_eq!(hi, vec![4.0, 5.0]);
         assert!(VectorSet::new(2).bounds().is_none());

@@ -62,6 +62,17 @@ impl Graph {
         guard.layers[layer] = links;
     }
 
+    /// Removes `v` from node `u`'s neighbour list at `layer` (no-op when
+    /// absent). Used by symmetric pruning: dropping `u -> v` must drop
+    /// `v -> u` too, or the graph drifts away from link symmetry.
+    #[inline]
+    pub fn remove_neighbor(&self, u: u32, layer: usize, v: u32) {
+        let mut guard = self.nodes[u as usize].write();
+        if let Some(links) = guard.layers.get_mut(layer) {
+            links.retain(|&x| x != v);
+        }
+    }
+
     /// Appends storage for one new node participating up to `level`.
     pub fn push_node(&mut self, level: usize, m: usize, m_max0: usize) {
         self.nodes

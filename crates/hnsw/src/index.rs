@@ -65,6 +65,13 @@ impl Hnsw {
         for id in order {
             index.insert(id, &mut scratch);
         }
+        // Sequential construction must uphold every structural invariant;
+        // the parallel build is exempt (benign insertion races can leave
+        // individually asymmetric links).
+        #[cfg(debug_assertions)]
+        if let Err(e) = index.validate() {
+            panic!("sequential build produced an invalid graph: {e}");
+        }
         index
     }
 
@@ -272,6 +279,12 @@ impl Hnsw {
 
     /// Adds edge `from -> to` at `layer`, shrinking `from`'s neighbourhood
     /// with the selection heuristic if it overflows.
+    ///
+    /// Pruning is *symmetric*: every edge the reselection drops from
+    /// `from`'s list also drops its reverse edge. Without that, overflow
+    /// pruning leaves `l -> from` dangling whenever it discards
+    /// `from -> l` — the asymmetry the graph validator
+    /// ([`Hnsw::validate`]) was written to catch.
     fn link_back(&self, from: u32, to: u32, layer: usize, scratch: &mut SearchScratch) {
         let max = self.config.max_links(layer);
         let mut links = self.graph.neighbors(from, layer);
@@ -289,7 +302,7 @@ impl Hnsw {
                 })
                 .collect();
             cands.sort_unstable();
-            links = select_neighbors_heuristic(
+            let selected = select_neighbors_heuristic(
                 &self.data,
                 fv,
                 &cands,
@@ -298,6 +311,12 @@ impl Hnsw {
                 self.config.keep_pruned,
                 &mut scratch.ndist,
             );
+            for &l in &links {
+                if !selected.contains(&l) {
+                    self.graph.remove_neighbor(l, layer, from);
+                }
+            }
+            links = selected;
         }
         self.graph.set_neighbors(from, layer, links);
     }
@@ -397,6 +416,120 @@ impl Hnsw {
         let mut scratch = SearchScratch::with_capacity(self.len());
         self.insert(id, &mut scratch);
         id
+    }
+
+    /// Validates the structural invariants of the layered graph:
+    ///
+    /// * the entry point's stored level matches its node level and is the
+    ///   maximum over all nodes;
+    /// * every node has exactly `level + 1` layer lists;
+    /// * per-layer degrees respect [`HnswConfig::max_links`];
+    /// * links are in range, non-self, duplicate-free, and only target
+    ///   nodes that participate in the layer;
+    /// * links are symmetric (`u -> v` implies `v -> u`);
+    /// * every node is reachable from the entry point on layer 0.
+    ///
+    /// Sequential builds ([`Hnsw::build`], [`Hnsw::add`]) must satisfy all
+    /// of these (checked automatically in debug builds); parallel builds
+    /// may violate symmetry through benign insertion races.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        let entry = *self.entry.read();
+        let (ep, top) = match (n, entry) {
+            (0, None) => return Ok(()),
+            (0, Some(_)) => return Err("empty index has an entry point".into()),
+            (_, None) => return Err("non-empty index has no entry point".into()),
+            (_, Some(e)) => e,
+        };
+        if (ep as usize) >= n {
+            return Err(format!("entry point {ep} out of range (n = {n})"));
+        }
+        if self.levels[ep as usize] != top {
+            return Err(format!(
+                "entry point {ep} stored at level {top} but its node level is {}",
+                self.levels[ep as usize]
+            ));
+        }
+        let max_level = self.levels.iter().copied().max().unwrap_or(0);
+        if top != max_level {
+            return Err(format!(
+                "entry-point level {top} is not the graph maximum {max_level}"
+            ));
+        }
+        for id in 0..n as u32 {
+            let level = self.levels[id as usize] as usize;
+            let stored = self.graph.nodes[id as usize].read().layers.len();
+            if stored != level + 1 {
+                return Err(format!(
+                    "node {id} at level {level} stores {stored} layer lists"
+                ));
+            }
+            for layer in 0..=level {
+                let ns = self.graph.neighbors(id, layer);
+                if ns.len() > self.config.max_links(layer) {
+                    return Err(format!(
+                        "node {id} layer {layer} degree {} exceeds bound {}",
+                        ns.len(),
+                        self.config.max_links(layer)
+                    ));
+                }
+                let mut sorted = ns.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() != ns.len() {
+                    return Err(format!("node {id} layer {layer} has duplicate links"));
+                }
+                for &nb in &ns {
+                    if nb == id {
+                        return Err(format!("node {id} links to itself at layer {layer}"));
+                    }
+                    if (nb as usize) >= n {
+                        return Err(format!(
+                            "node {id} layer {layer} links to out-of-range {nb}"
+                        ));
+                    }
+                    if (self.levels[nb as usize] as usize) < layer {
+                        return Err(format!(
+                            "node {id} layer {layer} links to {nb}, which only \
+                             participates up to layer {}",
+                            self.levels[nb as usize]
+                        ));
+                    }
+                    let symmetric = self
+                        .graph
+                        .with_neighbors(nb, layer, |back| back.contains(&id));
+                    if !symmetric {
+                        return Err(format!(
+                            "asymmetric link: {id} -> {nb} at layer {layer} has no reverse edge"
+                        ));
+                    }
+                }
+            }
+        }
+        // Layer-0 reachability from the entry point.
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[ep as usize] = true;
+        queue.push_back(ep);
+        let mut reached = 1usize;
+        while let Some(u) = queue.pop_front() {
+            self.graph.with_neighbors(u, 0, |ns| {
+                for &nb in ns {
+                    if !seen[nb as usize] {
+                        seen[nb as usize] = true;
+                        reached += 1;
+                        queue.push_back(nb);
+                    }
+                }
+            });
+        }
+        if reached != n {
+            return Err(format!(
+                "{} of {n} nodes unreachable from entry {ep} on layer 0",
+                n - reached
+            ));
+        }
+        Ok(())
     }
 
     /// k-NN search with beam width `ef` (clamped up to `k`). Allocates a
@@ -712,6 +845,100 @@ mod tests {
         let data = synth::sift_like(10, 4, 32);
         let mut idx = Hnsw::build(data, Distance::L2, HnswConfig::with_m(4));
         idx.add(&[0.0; 5]);
+    }
+
+    fn tiny_points(n: usize) -> VectorSet {
+        let mut data = VectorSet::new(2);
+        for i in 0..n {
+            data.push(&[i as f32, (i * i) as f32 * 0.1]);
+        }
+        data
+    }
+
+    #[test]
+    fn validator_accepts_sequential_and_grown_index() {
+        let (_, idx) = small_index(700, 8, 33);
+        idx.validate().expect("sequential build is valid");
+        let mut idx = idx;
+        for i in 0..40 {
+            idx.add(&[i as f32; 8]);
+        }
+        idx.validate().expect("grown index is valid");
+    }
+
+    #[test]
+    fn validator_accepts_empty_index() {
+        let idx = Hnsw::build(VectorSet::new(4), Distance::L2, HnswConfig::default());
+        idx.validate().expect("empty index is valid");
+    }
+
+    #[test]
+    fn validator_rejects_asymmetric_link() {
+        let idx = Hnsw::from_parts(
+            HnswConfig::with_m(4),
+            Distance::L2,
+            tiny_points(2),
+            vec![0, 0],
+            vec![vec![vec![1]], vec![vec![]]],
+            Some((0, 0)),
+        );
+        let err = idx.validate().expect_err("asymmetry must be caught");
+        assert!(err.contains("asymmetric"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_degree_overflow() {
+        // m = 2 -> layer-0 bound is m_max0 = 4; give node 0 five links
+        let links = vec![
+            vec![vec![1, 2, 3, 4, 5]],
+            vec![vec![0]],
+            vec![vec![0]],
+            vec![vec![0]],
+            vec![vec![0]],
+            vec![vec![0]],
+        ];
+        let idx = Hnsw::from_parts(
+            HnswConfig::with_m(2),
+            Distance::L2,
+            tiny_points(6),
+            vec![0; 6],
+            links,
+            Some((0, 0)),
+        );
+        let err = idx.validate().expect_err("degree overflow must be caught");
+        assert!(err.contains("exceeds bound"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_unreachable_node() {
+        let idx = Hnsw::from_parts(
+            HnswConfig::with_m(4),
+            Distance::L2,
+            tiny_points(3),
+            vec![0, 0, 0],
+            vec![vec![vec![1]], vec![vec![0]], vec![vec![]]],
+            Some((0, 0)),
+        );
+        let err = idx.validate().expect_err("island must be caught");
+        assert!(err.contains("unreachable"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_stale_entry_level() {
+        // node 1 sits at level 1 but the entry point claims level 0 is top
+        let idx = Hnsw::from_parts(
+            HnswConfig::with_m(4),
+            Distance::L2,
+            tiny_points(2),
+            vec![0, 1],
+            vec![vec![vec![1]], vec![vec![0], vec![]]],
+            Some((0, 0)),
+        );
+        let err = idx.validate().expect_err("stale entry must be caught");
+        assert!(
+            err.contains("not the graph maximum"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! assert!(stats.ndist > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod graph;
 mod index;

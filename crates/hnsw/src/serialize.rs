@@ -286,11 +286,35 @@ mod tests {
     }
 
     #[test]
+    fn validator_accepts_round_tripped_index() {
+        let idx = sample_index();
+        let back =
+            Hnsw::from_bytes(&idx.to_bytes()).expect("decode of just-encoded index succeeds");
+        back.validate()
+            .expect("round-tripped graph upholds every structural invariant");
+        // and answers bit-identically to the original
+        for i in (0..600).step_by(17) {
+            let q = idx.vectors().get(i);
+            let (a, _) = idx.search(q, 8, 48);
+            let (b, _) = back.search(q, 8, 48);
+            assert_eq!(a.len(), b.len(), "query {i}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "query {i}");
+                assert_eq!(
+                    x.dist.to_bits(),
+                    y.dist.to_bits(),
+                    "query {i}: distances must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn file_round_trip() {
         let idx = sample_index();
         let path = std::env::temp_dir().join("fastann_hnsw_test.idx");
-        idx.save(&path).unwrap();
-        let back = Hnsw::load(&path).unwrap();
+        idx.save(&path).expect("save to temp dir succeeds");
+        let back = Hnsw::load(&path).expect("load of just-saved index succeeds");
         assert_eq!(back.len(), idx.len());
         std::fs::remove_file(&path).ok();
     }
@@ -298,7 +322,8 @@ mod tests {
     #[test]
     fn empty_index_round_trips() {
         let idx = Hnsw::build(VectorSet::new(4), Distance::L2, HnswConfig::default());
-        let back = Hnsw::from_bytes(&idx.to_bytes()).unwrap();
+        let back =
+            Hnsw::from_bytes(&idx.to_bytes()).expect("decode of just-encoded index succeeds");
         assert!(back.is_empty());
         assert!(back.search(&[0.0; 4], 3, 8).0.is_empty());
     }
@@ -335,7 +360,8 @@ mod tests {
     fn preserves_metric() {
         let data = synth::deep_like(200, 8, 78);
         let idx = Hnsw::build(data, Distance::Cosine, HnswConfig::with_m(4).seed(78));
-        let back = Hnsw::from_bytes(&idx.to_bytes()).unwrap();
+        let back =
+            Hnsw::from_bytes(&idx.to_bytes()).expect("decode of just-encoded index succeeds");
         assert_eq!(back.distance(), Distance::Cosine);
     }
 }

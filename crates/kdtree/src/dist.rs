@@ -441,9 +441,9 @@ fn master(rank: &mut Rank, queries: &VectorSet, cfg: &DistKdConfig) -> Outcome {
     let mut pending = vec![0u32; nq];
     let mut homes = vec![0u32; nq];
     let mut fanout_total = 0u64;
-    let mut done = 0usize;
 
     // Phase 1: route every query to its home partition.
+    let mut p1_sent: Vec<Vec<u32>> = vec![Vec::new(); nworkers];
     for qi in 0..nq {
         let q = queries.get(qi);
         let (home, cmps) = skel.home_partition(q);
@@ -453,50 +453,78 @@ fn master(rank: &mut Rank, queries: &VectorSet, cfg: &DistKdConfig) -> Outcome {
         wire::put_u32(&mut b, qi as u32);
         wire::put_f32_slice(&mut b, q);
         rank.send_bytes(1 + home as usize, TAG_P1, b.freeze());
+        p1_sent[home as usize].push(qi as u32);
         pending[qi] = 1;
         fanout_total += 1;
     }
 
-    // Merge loop: phase-1 replies trigger the fan-out; phase-2 replies
-    // just merge.
-    while done < nq {
-        let msg = rank.recv(None, None);
-        let mut payload = msg.payload;
-        let qi = wire::get_u32(&mut payload) as usize;
-        let neigh = wire::get_neighbors(&mut payload);
-        rank.charge(neigh.len() as f64 * SCAN_NS * 2.0);
-        for (id, d) in neigh {
-            tops[qi].push(Neighbor::new(id, d));
-        }
-        pending[qi] -= 1;
-        if msg.tag == TAG_R1 {
-            let q = queries.get(qi);
-            let radius = tops[qi].prune_radius();
-            let radius = if radius.is_finite() { radius } else { f32::MAX };
-            let fan = skel.partitions_in_ball(q, radius);
-            rank.charge(fan.len() as f64 * SCAN_NS * 8.0);
-            let seed: Vec<(u32, f32)> = tops[qi]
-                .to_sorted()
-                .iter()
-                .map(|n| (n.id, n.dist))
-                .collect();
-            for p in fan {
-                if p == homes[qi] {
-                    continue;
-                }
-                let mut b = BytesMut::new();
-                wire::put_u32(&mut b, qi as u32);
-                wire::put_f32_slice(&mut b, q);
-                wire::put_neighbors(&mut b, &seed);
-                rank.send_bytes(1 + p as usize, TAG_P2, b.freeze());
-                pending[qi] += 1;
-                fanout_total += 1;
+    // Drain phase-1 replies per worker, in rank order. Workers answer in
+    // arrival order and per-pair delivery is FIFO, so the master knows
+    // exactly which reply comes next — an earlier version used a wildcard
+    // `recv(None, None)` merge loop here, which folded arrivals into the
+    // master clock in OS-scheduler order (the PR 1 bug class). A query's
+    // phase-2 fan-out only depends on its *own* phase-1 reply, so the
+    // per-source drain returns identical results.
+    for (w, sent) in p1_sent.iter().enumerate() {
+        for &expect_qi in sent {
+            let msg = rank.recv(Some(1 + w), Some(TAG_R1));
+            let mut payload = msg.payload;
+            let qi = wire::get_u32(&mut payload) as usize;
+            debug_assert_eq!(
+                qi as u32, expect_qi,
+                "phase-1 replies arrive in dispatch order"
+            );
+            let neigh = wire::get_neighbors(&mut payload);
+            rank.charge(neigh.len() as f64 * SCAN_NS * 2.0);
+            for (id, d) in neigh {
+                tops[qi].push(Neighbor::new(id, d));
             }
-        }
-        if pending[qi] == 0 {
-            done += 1;
+            pending[qi] -= 1;
         }
     }
+
+    // Phase 2: fan each query out to every other partition its query ball
+    // overlaps, then drain the replies per worker in rank order.
+    let mut p2_sent = vec![0u32; nworkers];
+    for qi in 0..nq {
+        let q = queries.get(qi);
+        let radius = tops[qi].prune_radius();
+        let radius = if radius.is_finite() { radius } else { f32::MAX };
+        let fan = skel.partitions_in_ball(q, radius);
+        rank.charge(fan.len() as f64 * SCAN_NS * 8.0);
+        let seed: Vec<(u32, f32)> = tops[qi]
+            .to_sorted()
+            .iter()
+            .map(|n| (n.id, n.dist))
+            .collect();
+        for p in fan {
+            if p == homes[qi] {
+                continue;
+            }
+            let mut b = BytesMut::new();
+            wire::put_u32(&mut b, qi as u32);
+            wire::put_f32_slice(&mut b, q);
+            wire::put_neighbors(&mut b, &seed);
+            rank.send_bytes(1 + p as usize, TAG_P2, b.freeze());
+            p2_sent[p as usize] += 1;
+            pending[qi] += 1;
+            fanout_total += 1;
+        }
+    }
+    for (w, &sent) in p2_sent.iter().enumerate() {
+        for _ in 0..sent {
+            let msg = rank.recv(Some(1 + w), Some(TAG_R2));
+            let mut payload = msg.payload;
+            let qi = wire::get_u32(&mut payload) as usize;
+            let neigh = wire::get_neighbors(&mut payload);
+            rank.charge(neigh.len() as f64 * SCAN_NS * 2.0);
+            for (id, d) in neigh {
+                tops[qi].push(Neighbor::new(id, d));
+            }
+            pending[qi] -= 1;
+        }
+    }
+    debug_assert!(pending.iter().all(|&p| p == 0), "every query must settle");
 
     for w in 0..nworkers {
         rank.send_bytes(1 + w, TAG_END, Bytes::new());

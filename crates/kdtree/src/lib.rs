@@ -29,6 +29,8 @@
 //! assert_eq!(hits[0].id, 3); // exact: a point's nearest neighbour is itself
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 mod local;
 mod skeleton;

@@ -12,6 +12,7 @@ use crate::cost::CostModel;
 use crate::fault::FaultPlan;
 use crate::net::{NetModel, Topology};
 use crate::rank::{Mailbox, Rank};
+use crate::vthreads::SchedPerturb;
 
 /// Configuration of a simulated cluster.
 #[derive(Clone, Debug)]
@@ -35,6 +36,9 @@ pub struct SimConfig {
     /// a vacuous plan adds one boolean check to the send path and nothing
     /// else).
     pub fault: FaultPlan,
+    /// Seeded schedule perturbation for the race detector
+    /// ([`SchedPerturb::none`] by default — the identity schedule).
+    pub sched: SchedPerturb,
 }
 
 impl SimConfig {
@@ -49,6 +53,7 @@ impl SimConfig {
             stack_bytes: 1 << 20,
             recv_timeout: Duration::from_secs(120),
             fault: FaultPlan::none(),
+            sched: SchedPerturb::none(),
         }
     }
 
@@ -75,12 +80,80 @@ impl SimConfig {
         self.fault = fault;
         self
     }
+
+    /// Sets the schedule perturbation (builder style).
+    pub fn sched(mut self, sched: SchedPerturb) -> Self {
+        self.sched = sched;
+        self
+    }
+}
+
+/// Per-copy accounting of the shared mailbox plane: counts logical sends,
+/// fault outcomes and completed receives. Closed out into a
+/// [`Conservation`] report by [`Cluster::run_checked`].
+#[derive(Default)]
+pub(crate) struct Ledger {
+    pub(crate) sent: AtomicU64,
+    pub(crate) delivered: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+    pub(crate) duplicated: AtomicU64,
+    pub(crate) received: AtomicU64,
+}
+
+/// A message still sitting in a mailbox when its cluster shut down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeakedMsg {
+    /// Sender rank.
+    pub src: usize,
+    /// Receiver rank whose mailbox held the message.
+    pub dst: usize,
+    /// Message tag (bit 63 marks collective-internal traffic).
+    pub tag: u64,
+}
+
+/// Message-conservation report from [`Cluster::run_checked`]: at shutdown
+/// every posted send must have been received, explicitly dropped by the
+/// [`FaultPlan`], or be reported here as leaked with its `(src, dst, tag)`
+/// triple.
+#[derive(Clone, Debug, Default)]
+pub struct Conservation {
+    /// Logical sends posted (`send_bytes` / `send_bytes_at` calls).
+    pub sent: u64,
+    /// Message copies enqueued into mailboxes (`sent + duplicated −
+    /// dropped`).
+    pub delivered: u64,
+    /// Sends suppressed or dropped by the fault plan.
+    pub dropped: u64,
+    /// Extra copies created by duplication faults.
+    pub duplicated: u64,
+    /// Receives completed by simulated code.
+    pub received: u64,
+    /// Copies never received: one entry per message left in a mailbox.
+    pub leaked: Vec<LeakedMsg>,
+}
+
+impl Conservation {
+    /// `true` when every delivered copy was received and the per-copy
+    /// arithmetic closes. Fault-plan drops are accounted, not leaks — a
+    /// lossy run can still be clean.
+    pub fn is_clean(&self) -> bool {
+        self.leaked.is_empty()
+            && self.delivered == self.sent + self.duplicated - self.dropped
+            && self.received == self.delivered
+    }
+
+    /// Panics with the full report (leak triples included) unless
+    /// [`Conservation::is_clean`].
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "message conservation violated: {self:?}");
+    }
 }
 
 /// State shared by all rank threads of one cluster run.
 pub(crate) struct Shared {
     pub(crate) cfg: SimConfig,
     pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) ledger: Ledger,
     registry: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
     next_key: AtomicU64,
 }
@@ -126,10 +199,28 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Rank) -> R + Send + Sync,
     {
+        self.run_checked(f).0
+    }
+
+    /// Like [`Cluster::run`], additionally closing out the message ledger:
+    /// the returned [`Conservation`] report accounts for every posted send
+    /// (received, dropped by the fault plan, or leaked — still sitting in a
+    /// mailbox at shutdown, named by `(src, dst, tag)`).
+    ///
+    /// A leak is not automatically an error — a program that shuts down with
+    /// sends in flight (or a crashed receiver's backlog) legitimately leaves
+    /// mail behind. Fault-free protocol paths should assert
+    /// [`Conservation::is_clean`].
+    pub fn run_checked<R, F>(&self, f: F) -> (Vec<R>, Conservation)
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Send + Sync,
+    {
         let n = self.cfg.n_ranks;
         let shared = Arc::new(Shared {
             cfg: self.cfg.clone(),
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            ledger: Ledger::default(),
             registry: Mutex::new(HashMap::new()),
             next_key: AtomicU64::new(1),
         });
@@ -165,10 +256,31 @@ impl Cluster {
             }
         });
 
-        results
+        let ledger = &shared.ledger;
+        let mut leaked = Vec::new();
+        for (dst, mb) in shared.mailboxes.iter().enumerate() {
+            for m in mb.queue.lock().iter() {
+                leaked.push(LeakedMsg {
+                    src: m.src,
+                    dst,
+                    tag: m.tag,
+                });
+            }
+        }
+        let conservation = Conservation {
+            sent: ledger.sent.load(Ordering::Relaxed),
+            delivered: ledger.delivered.load(Ordering::Relaxed),
+            dropped: ledger.dropped.load(Ordering::Relaxed),
+            duplicated: ledger.duplicated.load(Ordering::Relaxed),
+            received: ledger.received.load(Ordering::Relaxed),
+            leaked,
+        };
+
+        let results = results
             .into_iter()
             .map(|r| r.expect("rank produced no result"))
-            .collect()
+            .collect();
+        (results, conservation)
     }
 }
 
@@ -209,5 +321,73 @@ mod tests {
     #[should_panic]
     fn zero_ranks_rejected() {
         let _ = SimConfig::new(0);
+    }
+
+    #[test]
+    fn validator_conservation_clean_run_balances() {
+        let (_, cons) = Cluster::new(SimConfig::new(3)).run_checked(|rank| {
+            if rank.rank() == 0 {
+                rank.send_bytes(1, 7, bytes::Bytes::from_static(b"a"));
+                rank.send_bytes(2, 8, bytes::Bytes::from_static(b"bb"));
+            } else {
+                let _ = rank.recv(Some(0), None);
+            }
+        });
+        assert_eq!(cons.sent, 2);
+        assert_eq!(cons.received, 2);
+        assert_eq!(cons.dropped, 0);
+        assert!(cons.leaked.is_empty());
+        cons.assert_clean();
+    }
+
+    #[test]
+    fn validator_conservation_reports_leak_triple() {
+        // deliberately corrupted protocol: rank 1 never receives its mail
+        let (_, cons) = Cluster::new(SimConfig::new(2)).run_checked(|rank| {
+            if rank.rank() == 0 {
+                rank.send_bytes(1, 42, bytes::Bytes::from_static(b"lost"));
+            }
+        });
+        assert!(!cons.is_clean());
+        assert_eq!(
+            cons.leaked,
+            vec![LeakedMsg {
+                src: 0,
+                dst: 1,
+                tag: 42
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "message conservation violated")]
+    fn validator_conservation_assert_clean_panics_on_leak() {
+        let (_, cons) = Cluster::new(SimConfig::new(2)).run_checked(|rank| {
+            if rank.rank() == 0 {
+                rank.send_bytes(1, 9, bytes::Bytes::new());
+            }
+        });
+        cons.assert_clean();
+    }
+
+    #[test]
+    fn validator_conservation_accounts_fault_drops_as_clean() {
+        use crate::fault::FaultPlan;
+        // every data message dropped; receiver uses try_recv so it cannot
+        // hang — drops are accounted, the run is still conservation-clean
+        let plan = FaultPlan::new(1).drop_msgs(None, None, None, 1.0);
+        let (_, cons) = Cluster::new(SimConfig::new(2).fault(plan)).run_checked(|rank| {
+            if rank.rank() == 0 {
+                for _ in 0..5 {
+                    rank.send_bytes(1, 3, bytes::Bytes::from_static(b"x"));
+                }
+            } else {
+                let _ = rank.try_recv(Some(0), Some(3));
+            }
+        });
+        assert_eq!(cons.sent, 5);
+        assert_eq!(cons.dropped, 5);
+        assert_eq!(cons.delivered, 0);
+        cons.assert_clean();
     }
 }

@@ -503,7 +503,9 @@ mod tests {
             let comm = rank.world();
             comm.barrier(rank);
             let b = comm.bcast(rank, 0, Some(Bytes::from_static(b"x")));
-            let g = comm.gather(rank, 0, Bytes::from_static(b"y")).unwrap();
+            let g = comm
+                .gather(rank, 0, Bytes::from_static(b"y"))
+                .expect("root rank receives the gather");
             let s = comm.allreduce_f64(rank, 2.5, ReduceOp::Sum);
             (b.to_vec(), g.len(), s)
         });

@@ -35,6 +35,8 @@
 //! assert!(results.iter().all(|&s| s == 6.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cluster;
 mod comm;
 mod cost;
@@ -44,9 +46,10 @@ mod rank;
 mod rma;
 mod trace;
 mod vthreads;
+/// Little-endian wire encoding helpers shared by every protocol.
 pub mod wire;
 
-pub use cluster::{Cluster, SimConfig};
+pub use cluster::{Cluster, Conservation, LeakedMsg, SimConfig};
 pub use comm::{Comm, ReduceOp};
 pub use cost::CostModel;
 pub use fault::{Fate, FaultAction, FaultPlan};
@@ -54,4 +57,4 @@ pub use net::{NetModel, Topology};
 pub use rank::{Msg, Rank, RankStats};
 pub use rma::Window;
 pub use trace::{Span, SpanKind, Trace};
-pub use vthreads::VThreadPool;
+pub use vthreads::{SchedPerturb, VThreadPool};

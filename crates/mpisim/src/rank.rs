@@ -2,6 +2,7 @@
 //! compute charging, and accounting.
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -10,6 +11,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::cluster::Shared;
 use crate::comm::Comm;
 use crate::fault::Fate;
+use crate::vthreads::SchedPerturb;
 
 /// A message delivered to a rank's mailbox.
 #[derive(Clone, Debug)]
@@ -126,6 +128,16 @@ impl Rank {
         Comm::world(self.size())
     }
 
+    /// The cluster's schedule perturbation (identity unless a race-detector
+    /// run installed one via [`crate::SimConfig`]). Simulated code models
+    /// its own intra-node scheduling choices — e.g. a worker's
+    /// [`crate::VThreadPool`] — off this value so the race detector can
+    /// shake those too.
+    #[inline]
+    pub fn sched_perturb(&self) -> SchedPerturb {
+        self.shared.cfg.sched
+    }
+
     /// `true` once this rank's virtual clock has reached the crash point
     /// of the cluster's [`crate::FaultPlan`] (always `false` without one).
     /// Simulated code polls this to stop doing work; the send layer
@@ -231,26 +243,32 @@ impl Rank {
         seq: u64,
     ) {
         let fault = &self.shared.cfg.fault;
+        let ledger = &self.shared.ledger;
+        ledger.sent.fetch_add(1, Ordering::Relaxed);
         let mut arrival = arrival;
         let mut copies = 1usize;
         if !fault.is_vacuous() {
             if fault.send_suppressed(self.rank, sent_at, tag) {
                 self.stats.msgs_dropped += 1;
+                ledger.dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             match fault.fate(self.rank, dst, tag, seq) {
                 Fate::Deliver => {}
                 Fate::Drop => {
                     self.stats.msgs_dropped += 1;
+                    ledger.dropped.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
                 Fate::Delay(extra) => arrival += extra,
                 Fate::Duplicate => {
                     copies = 2;
                     self.stats.msgs_duplicated += 1;
+                    ledger.duplicated.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        ledger.delivered.fetch_add(copies as u64, Ordering::Relaxed);
         let mb = &self.shared.mailboxes[dst];
         {
             let mut q = mb.queue.lock();
@@ -276,6 +294,7 @@ impl Rank {
     /// Panics after the cluster's watchdog timeout — a deadlocked simulated
     /// program fails loudly instead of hanging the host.
     pub fn recv(&mut self, src: Option<usize>, tag: Option<u64>) -> Msg {
+        self.maybe_stall_realtime();
         let msg = self.wait_message(src, tag);
         self.complete_recv(msg)
     }
@@ -283,11 +302,33 @@ impl Rank {
     /// Non-blocking probe-and-receive (models an `MPI_Test` loop that found
     /// a message): returns the first matching queued message, if any.
     pub fn try_recv(&mut self, src: Option<usize>, tag: Option<u64>) -> Option<Msg> {
+        self.maybe_stall_realtime();
+        let salt = self.match_salt();
+        let perturb = self.shared.cfg.sched;
         let msg = {
             let mut q = self.shared.mailboxes[self.rank].queue.lock();
-            take_match(&mut q, src, tag)
+            take_match(&mut q, src, tag, &perturb, salt)
         }?;
         Some(self.complete_recv(msg))
+    }
+
+    /// Race-detector hook: an OS-level sleep biased by the perturbation
+    /// seed. Changes which messages are physically enqueued when the
+    /// mailbox is next inspected; virtual clocks never see it.
+    #[inline]
+    fn maybe_stall_realtime(&self) {
+        let perturb = self.shared.cfg.sched;
+        if let Some(us) = perturb.stall_micros(self.match_salt() ^ (self.rank as u64) << 32) {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
+    /// Salt for the perturbed-matching hash: distinct per rank and per
+    /// completed receive, so reruns with one seed are still deterministic
+    /// with respect to the rank's own progress.
+    #[inline]
+    fn match_salt(&self) -> u64 {
+        (self.rank as u64) << 32 ^ self.stats.msgs_recv
     }
 
     fn complete_recv(&mut self, msg: Msg) -> Msg {
@@ -299,15 +340,18 @@ impl Rank {
         self.clock += cfg.net.recv_overhead_ns;
         self.stats.recv_cpu_ns += cfg.net.recv_overhead_ns;
         self.stats.msgs_recv += 1;
+        self.shared.ledger.received.fetch_add(1, Ordering::Relaxed);
         self.apply_stall();
         msg
     }
 
     fn wait_message(&self, src: Option<usize>, tag: Option<u64>) -> Msg {
+        let perturb = self.shared.cfg.sched;
+        let salt = self.match_salt();
         let mb = &self.shared.mailboxes[self.rank];
         let mut q = mb.queue.lock();
         loop {
-            if let Some(m) = take_match(&mut q, src, tag) {
+            if let Some(m) = take_match(&mut q, src, tag, &perturb, salt) {
                 return m;
             }
             let timeout = self.shared.cfg.recv_timeout;
@@ -341,10 +385,42 @@ impl Rank {
 /// context and cannot be intercepted by `MPI_Recv(ANY_TAG)`.
 pub(crate) const COLL_FLAG: u64 = 1 << 63;
 
-fn take_match(q: &mut VecDeque<Msg>, src: Option<usize>, tag: Option<u64>) -> Option<Msg> {
-    let pos = q.iter().position(|m| {
+/// Removes and returns the queued message a `recv(src, tag)` matches.
+///
+/// Baseline semantics: the first matching message in arrival order. Under
+/// an active [`SchedPerturb`] a *wildcard-source* receive instead picks a
+/// seeded-random candidate among the per-sender heads — the first matching
+/// message of each distinct sender. Per-sender order is never violated
+/// (MPI's non-overtaking guarantee), but the cross-sender choice models the
+/// legal `MPI_ANY_SOURCE` nondeterminism a real cluster exhibits. Programs
+/// whose observable state depends on that choice are racy; the race
+/// detector exists to find exactly them.
+fn take_match(
+    q: &mut VecDeque<Msg>,
+    src: Option<usize>,
+    tag: Option<u64>,
+    perturb: &SchedPerturb,
+    salt: u64,
+) -> Option<Msg> {
+    let matches = |m: &Msg| {
         src.is_none_or(|s| m.src == s) && tag.map_or(m.tag & COLL_FLAG == 0, |t| m.tag == t)
-    })?;
+    };
+    if src.is_none() && perturb.is_active() {
+        // candidate set: first matching message per distinct sender
+        let mut heads: Vec<usize> = Vec::new();
+        let mut seen_srcs: Vec<usize> = Vec::new();
+        for (pos, m) in q.iter().enumerate() {
+            if matches(m) && !seen_srcs.contains(&m.src) {
+                seen_srcs.push(m.src);
+                heads.push(pos);
+            }
+        }
+        if heads.is_empty() {
+            return None;
+        }
+        return q.remove(heads[perturb.pick(salt, heads.len())]);
+    }
+    let pos = q.iter().position(matches)?;
     q.remove(pos)
 }
 

@@ -1,4 +1,5 @@
-//! Virtual thread pools: modelled intra-node OpenMP-style workers.
+//! Virtual thread pools: modelled intra-node OpenMP-style workers — plus
+//! the seeded schedule perturbation the race detector drives through them.
 //!
 //! The paper's worker processes spawn a fixed set of OpenMP threads; queries
 //! arriving at a compute node are picked up by whichever thread is free
@@ -7,12 +8,90 @@
 //! task is assigned to the earliest-available virtual thread, yielding the
 //! task's completion timestamp.
 
+/// Seeded scheduler perturbation, the knob `fastann-check race` turns.
+///
+/// A perturbed run must produce *identical observable results* for a
+/// race-free program — otherwise every divergence the race detector reports
+/// would be a false positive. The three perturbations are therefore chosen
+/// to be virtual-time-neutral for correct programs:
+///
+/// * **randomized ready-queue pops** — when a wildcard-source receive could
+///   match queued messages from several senders, the winner is chosen by a
+///   seeded hash instead of mailbox arrival order (per-sender FIFO is
+///   preserved, mirroring MPI's non-overtaking guarantee). A program whose
+///   virtual-time folding depends on that order — the PR 1 wildcard-receive
+///   bug class — diverges; one that drains per source in a fixed order does
+///   not.
+/// * **biased stalls** — seeded *real-time* sleeps injected at receive
+///   boundaries. They reshuffle which messages are physically enqueued when
+///   a mailbox is inspected without ever touching a virtual clock.
+/// * **tie-break shuffling** in [`VThreadPool::assign`] — when several
+///   virtual threads are free at exactly the same instant the pick is
+///   hashed instead of lowest-index. The chosen clock value is identical by
+///   construction, so this perturbs the schedule shape, never the result.
+///
+/// The zero seed is the identity: `SchedPerturb::none()` runs the exact
+/// deterministic schedule every test has always used.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedPerturb {
+    seed: u64,
+}
+
+impl SchedPerturb {
+    /// The identity perturbation (deterministic baseline schedule).
+    pub fn none() -> Self {
+        Self { seed: 0 }
+    }
+
+    /// A perturbation driven by `seed`; `0` is the identity.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// `true` when this perturbation actually changes anything.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.seed != 0
+    }
+
+    /// splitmix64 of the seed and a caller-supplied salt.
+    #[inline]
+    fn hash(&self, salt: u64) -> u64 {
+        let mut x = self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Picks one of `n` equivalent choices (`0` when inactive or `n <= 1`).
+    #[inline]
+    pub fn pick(&self, salt: u64, n: usize) -> usize {
+        if !self.is_active() || n <= 1 {
+            return 0;
+        }
+        (self.hash(salt) % n as u64) as usize
+    }
+
+    /// Real-time stall to inject at a receive boundary, if any: roughly one
+    /// receive in four sleeps up to ~127 µs. Virtual clocks never see it.
+    #[inline]
+    pub fn stall_micros(&self, salt: u64) -> Option<u64> {
+        if !self.is_active() {
+            return None;
+        }
+        let h = self.hash(salt ^ 0x5741_4954); // "WAIT"
+        (h & 3 == 0).then_some(h >> 2 & 0x7f)
+    }
+}
+
 /// A pool of `T` virtual worker threads, each with its own availability
 /// clock.
 #[derive(Clone, Debug)]
 pub struct VThreadPool {
     clocks: Vec<f64>,
     busy_ns: f64,
+    perturb: SchedPerturb,
+    assigns: u64,
 }
 
 impl VThreadPool {
@@ -25,7 +104,17 @@ impl VThreadPool {
         Self {
             clocks: vec![start_ns; threads],
             busy_ns: 0.0,
+            perturb: SchedPerturb::none(),
+            assigns: 0,
         }
+    }
+
+    /// Installs a schedule perturbation: ready-queue pops with tied
+    /// availability clocks are hashed instead of lowest-index. The assigned
+    /// completion times are identical either way (ties share one clock
+    /// value), so this shuffles schedule shape without touching results.
+    pub fn set_perturb(&mut self, perturb: SchedPerturb) {
+        self.perturb = perturb;
     }
 
     /// Number of virtual threads.
@@ -38,12 +127,20 @@ impl VThreadPool {
     /// earlier than `ready_ns`. Returns the completion time.
     pub fn assign(&mut self, ready_ns: f64, cost_ns: f64) -> f64 {
         debug_assert!(cost_ns >= 0.0);
-        let (idx, _) = self
+        let (mut idx, min_clock) = self
             .clocks
             .iter()
+            .copied()
             .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty pool");
+        if self.perturb.is_active() {
+            let tied: Vec<usize> = (0..self.clocks.len())
+                .filter(|&i| self.clocks[i] == min_clock)
+                .collect();
+            idx = tied[self.perturb.pick(self.assigns, tied.len())];
+        }
+        self.assigns += 1;
         let start = self.clocks[idx].max(ready_ns);
         let done = start + cost_ns;
         self.clocks[idx] = done;
@@ -126,5 +223,42 @@ mod tests {
     #[should_panic]
     fn zero_threads_panics() {
         let _ = VThreadPool::new(0, 0.0);
+    }
+
+    #[test]
+    fn zero_seed_perturbation_is_identity() {
+        let p = SchedPerturb::none();
+        assert!(!p.is_active());
+        assert_eq!(p.pick(123, 8), 0);
+        assert_eq!(p.stall_micros(5), None);
+        assert_eq!(SchedPerturb::seeded(0), SchedPerturb::none());
+    }
+
+    #[test]
+    fn perturbed_pick_is_deterministic_and_in_range() {
+        let p = SchedPerturb::seeded(99);
+        for salt in 0..64 {
+            let a = p.pick(salt, 5);
+            assert_eq!(a, p.pick(salt, 5), "same salt must pick same index");
+            assert!(a < 5);
+        }
+        // different salts spread across the choices
+        let distinct: std::collections::HashSet<usize> =
+            (0..64).map(|salt| p.pick(salt, 5)).collect();
+        assert!(distinct.len() > 1, "perturbation never varies its pick");
+    }
+
+    #[test]
+    fn perturbed_pool_keeps_completion_times() {
+        // tie-break shuffling must not change any assigned completion time
+        let mut base = VThreadPool::new(4, 0.0);
+        let mut pert = VThreadPool::new(4, 0.0);
+        pert.set_perturb(SchedPerturb::seeded(7));
+        for i in 0..32 {
+            let (ready, cost) = ((i % 5) as f64 * 10.0, (i % 3) as f64 * 7.0);
+            assert_eq!(base.assign(ready, cost), pert.assign(ready, cost));
+        }
+        assert_eq!(base.makespan(), pert.makespan());
+        assert_eq!(base.busy(), pert.busy());
     }
 }

@@ -43,6 +43,8 @@
 //! assert!(!route.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod partition;
 mod tree;
 mod vantage;

@@ -98,7 +98,8 @@ impl PartitionTreeBuilder {
             root,
             dist,
         };
-        tree.validate();
+        tree.validate()
+            .expect("skeleton builder produced an invalid tree");
         tree
     }
 }
@@ -153,7 +154,8 @@ impl PartitionTree {
             &mut rng,
         );
         let tree = PartitionTree { nodes, root, dist };
-        tree.validate();
+        tree.validate()
+            .expect("local skeleton construction produced an invalid tree");
         (tree, parts)
     }
 
@@ -254,19 +256,25 @@ impl PartitionTree {
     }
 
     /// Checks the node array forms a tree rooted at `self.root` covering
-    /// every node once.
-    fn validate(&self) {
+    /// every node exactly once (no cycles, no sharing, no orphans).
+    pub fn validate(&self) -> Result<(), String> {
         let mut seen = vec![false; self.nodes.len()];
-        fn rec(nodes: &[PNode], n: u32, seen: &mut [bool]) {
-            assert!(!seen[n as usize], "node {n} reachable twice: not a tree");
+        fn rec(nodes: &[PNode], n: u32, seen: &mut [bool]) -> Result<(), String> {
+            if seen[n as usize] {
+                return Err(format!("node {n} reachable twice: not a tree"));
+            }
             seen[n as usize] = true;
             if let PNode::Inner { left, right, .. } = &nodes[n as usize] {
-                rec(nodes, *left, seen);
-                rec(nodes, *right, seen);
+                rec(nodes, *left, seen)?;
+                rec(nodes, *right, seen)?;
             }
+            Ok(())
         }
-        rec(&self.nodes, self.root, &mut seen);
-        assert!(seen.iter().all(|&s| s), "orphan nodes present");
+        rec(&self.nodes, self.root, &mut seen)?;
+        if let Some(orphan) = seen.iter().position(|&s| !s) {
+            return Err(format!("node {orphan} is not part of the tree"));
+        }
+        Ok(())
     }
 
     /// Serializes the skeleton to bytes (preorder; little endian): the
@@ -438,8 +446,16 @@ mod tests {
     fn partitions_are_roughly_balanced() {
         let data = synth::sift_like(2048, 8, 2);
         let (_, parts) = PartitionTree::build_local(&data, 16, Distance::L2, 2);
-        let min = parts.iter().map(Vec::len).min().unwrap();
-        let max = parts.iter().map(Vec::len).max().unwrap();
+        let min = parts
+            .iter()
+            .map(Vec::len)
+            .min()
+            .expect("at least one partition");
+        let max = parts
+            .iter()
+            .map(Vec::len)
+            .max()
+            .expect("at least one partition");
         // median splits: each level halves within tie tolerance
         assert!(min * 3 >= max, "imbalance too high: {min} vs {max}");
     }

@@ -159,6 +159,139 @@ impl VpTree {
         rec(&self.nodes, self.root)
     }
 
+    /// Validates the structural invariants of the tree:
+    ///
+    /// * `ids` is a permutation of `0..n` (every point indexed exactly
+    ///   once);
+    /// * the node ranges partition `ids` exactly — each position belongs to
+    ///   exactly one leaf range or is the vantage-point slot of exactly one
+    ///   inner node, and every stored node is part of the tree;
+    /// * every leaf holds at most `bucket_size` points (the degenerate
+    ///   empty right leaf produced by all-ties splits is allowed);
+    /// * both children of an inner node are non-trivial where required:
+    ///   the left subtree always holds at least one point;
+    /// * metric invariants: every point in the left subtree of an inner
+    ///   node is within `mu` of its vantage point, every point in the right
+    ///   subtree is at distance `>= mu` (ties may go right because the
+    ///   split clamps to keep both sides non-empty).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        if self.ids.len() != n {
+            return Err(format!("ids length {} != point count {n}", self.ids.len()));
+        }
+        let mut seen = vec![false; n];
+        for &id in &self.ids {
+            if (id as usize) >= n {
+                return Err(format!("ids holds out-of-range row {id}"));
+            }
+            if seen[id as usize] {
+                return Err(format!("row {id} appears twice in ids"));
+            }
+            seen[id as usize] = true;
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        self.validate_rec(self.root, 0, n, &mut visited)?;
+        if let Some(orphan) = visited.iter().position(|&v| !v) {
+            return Err(format!("node {orphan} is not part of the tree"));
+        }
+        Ok(())
+    }
+
+    /// Number of `ids` positions covered by the subtree at `node`
+    /// (including inner-node vantage slots).
+    fn subtree_span(&self, node: u32) -> usize {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => (*end - *start) as usize,
+            Node::Inner { left, right, .. } => {
+                1 + self.subtree_span(*left) + self.subtree_span(*right)
+            }
+        }
+    }
+
+    fn validate_rec(
+        &self,
+        node: u32,
+        start: usize,
+        end: usize,
+        visited: &mut [bool],
+    ) -> Result<(), String> {
+        if (node as usize) >= self.nodes.len() {
+            return Err(format!("node index {node} out of range"));
+        }
+        if visited[node as usize] {
+            return Err(format!("node {node} reached twice (shared or cyclic)"));
+        }
+        visited[node as usize] = true;
+        match &self.nodes[node as usize] {
+            Node::Leaf { start: s, end: e } => {
+                if (*s as usize, *e as usize) != (start, end) {
+                    return Err(format!(
+                        "leaf {node} covers [{s}, {e}) but its slot is [{start}, {end})"
+                    ));
+                }
+                if end - start > self.config.bucket_size {
+                    return Err(format!(
+                        "leaf {node} holds {} points, bucket bound is {}",
+                        end - start,
+                        self.config.bucket_size
+                    ));
+                }
+                Ok(())
+            }
+            Node::Inner {
+                vp,
+                mu,
+                left,
+                right,
+            } => {
+                if end <= start {
+                    return Err(format!("inner node {node} covers empty range"));
+                }
+                if self.ids[end - 1] != *vp {
+                    return Err(format!(
+                        "inner node {node}: vantage point {vp} is not at its slot \
+                         (ids[{}] = {})",
+                        end - 1,
+                        self.ids[end - 1]
+                    ));
+                }
+                let left_len = self.subtree_span(*left);
+                if left_len == 0 {
+                    return Err(format!("inner node {node} has an empty left subtree"));
+                }
+                let split = start + left_len;
+                if split > end - 1 {
+                    return Err(format!(
+                        "inner node {node}: children overflow its range \
+                         (left spans {left_len} of {})",
+                        end - 1 - start
+                    ));
+                }
+                let vpv = self.data.get(*vp as usize);
+                for &id in &self.ids[start..split] {
+                    let d = self.dist.eval(vpv, self.data.get(id as usize));
+                    if d > *mu {
+                        return Err(format!(
+                            "inner node {node}: left point {id} at distance {d} \
+                             outside radius mu = {mu}"
+                        ));
+                    }
+                }
+                for &id in &self.ids[split..end - 1] {
+                    let d = self.dist.eval(vpv, self.data.get(id as usize));
+                    if d < *mu {
+                        return Err(format!(
+                            "inner node {node}: right point {id} at distance {d} \
+                             inside radius mu = {mu}"
+                        ));
+                    }
+                }
+                self.validate_rec(*left, start, split, visited)?;
+                self.validate_rec(*right, split, end - 1, visited)
+            }
+        }
+    }
+
     /// Exact k-nearest-neighbour search.
     pub fn knn(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, VpSearchStats) {
         assert!(k > 0, "k must be positive");
@@ -546,6 +679,78 @@ mod tests {
         let tree = VpTree::build(data.clone(), Distance::L2, VpTreeConfig::default());
         let (hits, _) = tree.range(data.get(0), f32::MAX);
         assert_eq!(hits.len(), 200);
+    }
+
+    #[test]
+    fn validator_accepts_built_trees() {
+        let (_, tree) = build_small(1500, 8, 24);
+        tree.validate().expect("default build is valid");
+        let data = synth::sift_like(300, 6, 25);
+        let small_buckets = VpTree::build(
+            data,
+            Distance::L2,
+            VpTreeConfig {
+                bucket_size: 1,
+                ..Default::default()
+            },
+        );
+        small_buckets
+            .validate()
+            .expect("bucket_size 1 build is valid");
+        // all-ties data exercises the degenerate empty right leaf
+        let mut ties = VectorSet::new(2);
+        for _ in 0..50 {
+            ties.push(&[2.0, 2.0]);
+        }
+        let tied = VpTree::build(
+            ties,
+            Distance::L2,
+            VpTreeConfig {
+                bucket_size: 4,
+                ..Default::default()
+            },
+        );
+        tied.validate().expect("all-ties build is valid");
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_mu() {
+        let (_, mut tree) = build_small(600, 8, 26);
+        let root = tree.root as usize;
+        if let Node::Inner { mu, .. } = &mut tree.nodes[root] {
+            *mu *= 0.25; // left subtree now sticks out of the ball
+        } else {
+            panic!("600-point tree must have an inner root");
+        }
+        let err = tree.validate().expect_err("mu corruption must be caught");
+        assert!(err.contains("outside radius"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_duplicated_point() {
+        let (_, mut tree) = build_small(400, 8, 27);
+        tree.ids[0] = tree.ids[1];
+        let err = tree.validate().expect_err("duplicate must be caught");
+        assert!(err.contains("appears twice"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_leaf_range() {
+        let (_, mut tree) = build_small(500, 8, 28);
+        let leaf = tree
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::Leaf { start, end } if end > start))
+            .expect("tree has a non-empty leaf");
+        if let Node::Leaf { end, .. } = &mut tree.nodes[leaf] {
+            *end -= 1; // a point now belongs to no leaf
+        }
+        // the shrunken span misaligns every later range, so the validator
+        // may surface this as a slot mismatch or as a metric violation —
+        // either way it must not pass
+        let _ = tree
+            .validate()
+            .expect_err("range corruption must be caught");
     }
 
     #[test]

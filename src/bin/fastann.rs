@@ -13,6 +13,8 @@
 //! Vectors travel in the TEXMEX `.fvecs` format, neighbour lists in
 //! `.ivecs` — the formats the paper's corpora ship in.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};

@@ -12,6 +12,8 @@
 //! * [`mpisim`] — the virtual-time message-passing cluster simulator
 //! * [`core`] — the distributed VP-tree + HNSW engine
 
+#![forbid(unsafe_code)]
+
 pub use fastann_core as core;
 pub use fastann_data as data;
 pub use fastann_hnsw as hnsw;
