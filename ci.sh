@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q (real thread pool, FASTANN_THREADS=4)"
+# Same tier-1 suite with the vendored rayon pool defaulting to 4 real
+# threads: the determinism contract says every reported number must stay
+# bit-identical, so the whole suite must stay green.
+FASTANN_THREADS=4 cargo test -q
+
 echo "==> fastann-check lint"
 cargo run -q -p fastann-check -- lint
 
@@ -26,5 +32,10 @@ done
 
 echo "==> schedule-perturbation race smoke (K=8)"
 cargo run -q -p fastann-check -- race --k 8
+
+echo "==> BENCH_*.json perf smoke"
+cargo build -q --release -p fastann-bench
+./target/release/perf --smoke --threads 4 --out target
+test -s target/BENCH_SYN_SMOKE.json
 
 echo "CI green."

@@ -1,0 +1,228 @@
+//! `perf` — emits a `BENCH_<dataset>.json` wall-clock trajectory per
+//! dataset: HNSW build throughput, batched-search QPS and recall, each at
+//! 1 thread and at `--threads N`, plus the measured speedups.
+//!
+//! ```text
+//! perf [--smoke] [--threads N] [--out DIR]
+//!   --smoke     tiny synthetic dataset only (the CI smoke invocation)
+//!   --threads   pool width for the parallel legs (default: host cores)
+//!   --out       directory for the BENCH_*.json files (default: .)
+//! ```
+//!
+//! Numbers are honest wall-clock measurements on *this* host: the emitted
+//! `host_cores` field records how many cores were actually available, and
+//! on a single-core machine the speedup legs will sit near 1.0 no matter
+//! how wide the pool is. The parallel legs still exercise the full
+//! threaded code paths (batch-parallel construction, pooled search), and
+//! the JSON asserts their results match the sequential legs bit-for-bit.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fastann_bench::{datasets, Scale};
+use fastann_data::{ground_truth, Distance, VectorSet};
+use fastann_hnsw::{Hnsw, HnswConfig, SearchScratch};
+
+const K: usize = 10;
+const EF: usize = 64;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        out: ".".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                args.threads = v.parse().expect("--threads must be a number");
+            }
+            "--out" => args.out = it.next().expect("--out needs a directory"),
+            other => {
+                eprintln!("unknown argument {other:?} (try --smoke / --threads / --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args.threads = args.threads.max(1);
+    args
+}
+
+/// One dataset's measured trajectory.
+struct Record {
+    dataset: String,
+    points: usize,
+    dim: usize,
+    n_queries: usize,
+    threads: usize,
+    host_cores: usize,
+    build_seq_s: f64,
+    build_par_s: f64,
+    build_speedup: f64,
+    build_points_per_s: f64,
+    qps_1t: f64,
+    qps_nt: f64,
+    search_speedup: f64,
+    recall: f64,
+    recall_seq: f64,
+    pool_is_deterministic: bool,
+}
+
+impl Record {
+    /// Hand-rolled JSON (the workspace deliberately has no serde).
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"dataset\": \"{}\",", self.dataset);
+        let _ = writeln!(s, "  \"points\": {},", self.points);
+        let _ = writeln!(s, "  \"dim\": {},", self.dim);
+        let _ = writeln!(s, "  \"queries\": {},", self.n_queries);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        let _ = writeln!(s, "  \"build\": {{");
+        let _ = writeln!(s, "    \"seq_s\": {:.6},", self.build_seq_s);
+        let _ = writeln!(s, "    \"par_s\": {:.6},", self.build_par_s);
+        let _ = writeln!(s, "    \"speedup\": {:.3},", self.build_speedup);
+        let _ = writeln!(s, "    \"points_per_s\": {:.1}", self.build_points_per_s);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"search\": {{");
+        let _ = writeln!(s, "    \"k\": {K},");
+        let _ = writeln!(s, "    \"ef\": {EF},");
+        let _ = writeln!(s, "    \"qps_1t\": {:.1},", self.qps_1t);
+        let _ = writeln!(s, "    \"qps_nt\": {:.1},", self.qps_nt);
+        let _ = writeln!(s, "    \"speedup\": {:.3},", self.search_speedup);
+        let _ = writeln!(s, "    \"recall_at_k\": {:.4},", self.recall);
+        let _ = writeln!(s, "    \"recall_at_k_seq_build\": {:.4}", self.recall_seq);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(
+            s,
+            "  \"pool_is_deterministic\": {}",
+            self.pool_is_deterministic
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn measure(name: &str, data: &VectorSet, queries: &VectorSet, threads: usize) -> Record {
+    let hnsw_cfg = HnswConfig::with_m(16).ef_construction(100).seed(7);
+
+    // -- build: sequential reference, then the batch-parallel path --
+    let t0 = Instant::now();
+    let seq = Hnsw::build(data.clone(), Distance::L2, hnsw_cfg);
+    let build_seq_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let par = rayon::with_num_threads(threads, || {
+        Hnsw::build_parallel(data.clone(), Distance::L2, hnsw_cfg)
+    });
+    let build_par_s = t0.elapsed().as_secs_f64();
+
+    // -- batched search via the pool, 1 thread vs N threads --
+    let qvecs: Vec<Vec<f32>> = queries.iter().map(<[f32]>::to_vec).collect();
+    let search_all = |threads: usize| {
+        let t0 = Instant::now();
+        let out = rayon::with_num_threads(threads, || {
+            use rayon::prelude::*;
+            qvecs
+                .par_iter()
+                .map_init(
+                    || SearchScratch::with_capacity(par.len()),
+                    |scratch, q| par.search_with_scratch(q, K, EF, scratch).0,
+                )
+                .collect::<Vec<_>>()
+        });
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let _warmup = search_all(1); // untimed: page in graph + vectors
+    let (res_1t, wall_1t) = search_all(1);
+    let (res_nt, wall_nt) = search_all(threads);
+
+    // -- recall against brute force, for both graphs: the batch-parallel
+    // build produces a *different* (equally valid) graph than the
+    // sequential build, so quality parity is the meaningful comparison --
+    let gt = ground_truth::brute_force(data, queries, K, Distance::L2);
+    let recall = ground_truth::recall_at_k(&res_nt, &gt, K).mean;
+    let mut scratch = SearchScratch::with_capacity(seq.len());
+    let seq_res: Vec<_> = qvecs
+        .iter()
+        .map(|q| seq.search_with_scratch(q, K, EF, &mut scratch).0)
+        .collect();
+    let recall_seq = ground_truth::recall_at_k(&seq_res, &gt, K).mean;
+
+    // determinism spot-check: the pool is order-preserving, so the same
+    // graph searched at 1 and at N threads must answer bit-identically
+    let matches = res_1t == res_nt;
+
+    Record {
+        dataset: name.to_string(),
+        points: data.len(),
+        dim: data.dim(),
+        n_queries: queries.len(),
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        build_seq_s,
+        build_par_s,
+        build_speedup: build_seq_s / build_par_s.max(1e-9),
+        build_points_per_s: data.len() as f64 / build_par_s.max(1e-9),
+        qps_1t: qvecs.len() as f64 / wall_1t.max(1e-9),
+        qps_nt: qvecs.len() as f64 / wall_nt.max(1e-9),
+        search_speedup: wall_1t / wall_nt.max(1e-9),
+        recall,
+        recall_seq,
+        pool_is_deterministic: matches,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let workloads: Vec<datasets::Workload> = if args.smoke {
+        let data = fastann_data::synth::sift_like(3000, 32, 0xbe9c);
+        let queries = fastann_data::synth::queries_near(&data, 60, 0.02, 0xbe9d);
+        vec![datasets::Workload {
+            name: "SYN_SMOKE",
+            data,
+            queries,
+        }]
+    } else {
+        let scale = Scale::from_env();
+        vec![datasets::syn_1m(scale), datasets::syn_10m(scale)]
+    };
+
+    for w in &workloads {
+        eprintln!(
+            "perf: {} ({} x {}, {} queries, {} threads) ...",
+            w.name,
+            w.data.len(),
+            w.data.dim(),
+            w.queries.len(),
+            args.threads
+        );
+        let rec = measure(w.name, &w.data, &w.queries, args.threads);
+        assert!(
+            rec.pool_is_deterministic,
+            "{}: pooled search diverged between 1 and {} threads",
+            w.name, args.threads
+        );
+        let path = format!("{}/BENCH_{}.json", args.out, w.name);
+        std::fs::write(&path, rec.to_json()).expect("write BENCH json");
+        println!(
+            "{path}: build {:.2}x ({:.0} pts/s), search {:.2}x ({:.0} qps), recall@{K} {:.3} \
+             [host has {} core(s)]",
+            rec.build_speedup,
+            rec.build_points_per_s,
+            rec.search_speedup,
+            rec.qps_nt,
+            rec.recall,
+            rec.host_cores
+        );
+    }
+}

@@ -1,17 +1,18 @@
 //! Textual lint over the workspace source tree.
 //!
-//! Five rules, all enforced without a Rust parser — the source
+//! Six rules, all enforced without a Rust parser — the source
 //! conventions of this workspace (one statement per line, one tag-table
 //! field per line) are strict enough for a line lint, and a textual pass
 //! keeps this crate dependency-free:
 //!
-//! | rule            | meaning                                                        |
-//! |-----------------|----------------------------------------------------------------|
-//! | `no-unwrap`     | no bare `unwrap` in non-test library code (`expect` is fine)   |
-//! | `no-panic`      | no panicking macro in non-test library code (simulator exempt) |
-//! | `wildcard-recv` | no wildcard-source / untagged receive outside the simulator    |
-//! | `tag-registry`  | every `TAG_*` constant and every sent tag is registered        |
-//! | `missing-doc`   | every `pub` item of fastann-core / fastann-mpisim has a doc    |
+//! | rule              | meaning                                                        |
+//! |-------------------|----------------------------------------------------------------|
+//! | `no-unwrap`       | no bare `unwrap` in non-test library code (`expect` is fine)   |
+//! | `no-panic`        | no panicking macro in non-test library code (simulator exempt) |
+//! | `wildcard-recv`   | no wildcard-source / untagged receive outside the simulator    |
+//! | `tag-registry`    | every `TAG_*` constant and every sent tag is registered        |
+//! | `missing-doc`     | every `pub` item of fastann-core / fastann-mpisim has a doc    |
+//! | `no-thread-spawn` | no direct thread spawning outside the simulator — go through the rayon pool |
 //!
 //! Test modules (`#[cfg(test)] mod …`), `tests/` and `benches/`
 //! directories, and `vendor/` stand-ins are out of scope. Justified
@@ -34,6 +35,11 @@ const PANIC_PATS: [&str; 4] = [
 const RECV_PATS: [&str; 2] = [concat!(".re", "cv("), concat!(".try_", "recv(")];
 const SEND_PATS: [&str; 2] = [concat!(".send_", "bytes("), concat!(".send_", "bytes_at(")];
 const TAG_CONST_PAT: &str = concat!("const ", "TAG_");
+const SPAWN_PATS: [&str; 3] = [
+    concat!("thread::", "spawn("),
+    concat!(".spawn_", "scoped("),
+    concat!("thread::", "Builder::new("),
+];
 
 /// Rule identifier: bare `unwrap` in non-test library code.
 pub const RULE_UNWRAP: &str = "no-unwrap";
@@ -45,6 +51,8 @@ pub const RULE_RECV: &str = "wildcard-recv";
 pub const RULE_TAG: &str = "tag-registry";
 /// Rule identifier: undocumented public item.
 pub const RULE_DOC: &str = "missing-doc";
+/// Rule identifier: direct thread spawning outside the simulator.
+pub const RULE_SPAWN: &str = "no-thread-spawn";
 
 /// One lint finding, anchored to a file and line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -292,6 +300,15 @@ fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Ve
                 out.push(violation(rel, line_no, RULE_PANIC, t));
             }
 
+            // no-thread-spawn: all real parallelism goes through the
+            // vendored rayon pool (deterministic, order-preserving) — the
+            // only legitimate direct spawner is the cluster simulator's
+            // rank scheduler. The vendored pool itself lives under
+            // `vendor/`, which the file walk already skips.
+            if !is_mpisim && SPAWN_PATS.iter().any(|p| t.contains(p)) {
+                out.push(violation(rel, line_no, RULE_SPAWN, t));
+            }
+
             // wildcard-recv
             if !is_mpisim {
                 for pat in RECV_PATS {
@@ -490,6 +507,19 @@ mod tests {
         let v = lint_str("crates/kdtree/src/x.rs", src);
         assert_eq!(v.len(), 3, "{v:?}");
         assert!(v.iter().all(|v| v.rule == RULE_RECV));
+    }
+
+    #[test]
+    fn flags_direct_thread_spawns_except_in_mpisim() {
+        let src = "fn f() {\n    let h = std::thread::spawn(|| {});\n    let b = std::thread::Builder::new();\n    scope.spawn_scoped(s, || {});\n}\n";
+        let v = lint_str("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == RULE_SPAWN));
+        // the simulator's rank scheduler is the legitimate spawner
+        assert!(lint_str("crates/mpisim/src/x.rs", src).is_empty());
+        // pool-mediated parallelism does not trip the rule
+        let good = "fn f() {\n    rayon::with_num_threads(4, || xs.par_iter().for_each(g));\n}\n";
+        assert!(lint_str("crates/core/src/x.rs", good).is_empty());
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn run_lint(args: &[String]) -> ExitCode {
             print!("{}", report.render());
             if report.files_scanned == 0 {
                 // a bad --root (or wrong cwd) must not green-light CI
-                eprintln!("fastann-check lint: no source files under {}", root.display());
+                eprintln!(
+                    "fastann-check lint: no source files under {}",
+                    root.display()
+                );
                 return ExitCode::FAILURE;
             }
             if report.is_clean() {

@@ -21,6 +21,8 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use rayon::prelude::*;
+
 use crate::config::EngineConfig;
 use crate::local::LocalIndex;
 use crate::router::Router;
@@ -502,17 +504,30 @@ fn build_node(rank: &mut Rank, data: &VectorSet, cfg: &EngineConfig) -> NodeBuil
     let vptree_end_ns = world.allreduce_f64(rank, rank.now(), ReduceOp::Max);
 
     // --- local index per partition: T virtual cores build T partitions ---
+    // With `cfg.threads > 1` the per-partition builds run concurrently on
+    // the real thread pool. Each build is an independently seeded
+    // *sequential* construction and the pool preserves partition order, so
+    // the graphs, distance counts and (sequentially replayed) virtual-time
+    // charges are bit-identical to the `threads = 1` path.
+    let built: Vec<(u32, Vec<u32>, LocalIndex)> = rayon::with_num_threads(cfg.threads, || {
+        local_parts
+            .into_par_iter()
+            .map(|(pid, gids, prows)| {
+                let index = LocalIndex::build(
+                    cfg.local_index,
+                    prows,
+                    cfg.metric,
+                    cfg.hnsw,
+                    cfg.seed ^ ((pid as u64) << 8),
+                );
+                (pid, gids, index)
+            })
+            .collect()
+    });
     let mut pool = VThreadPool::new(t_cores, vptree_end_ns);
-    let mut partitions = Vec::with_capacity(local_parts.len());
+    let mut partitions = Vec::with_capacity(built.len());
     let mut hnsw_ndist = 0u64;
-    for (pid, gids, prows) in local_parts {
-        let index = LocalIndex::build(
-            cfg.local_index,
-            prows,
-            cfg.metric,
-            cfg.hnsw,
-            cfg.seed ^ ((pid as u64) << 8),
-        );
+    for (pid, gids, index) in built {
         let nd = index.build_ndist();
         hnsw_ndist += nd;
         pool.assign(vptree_end_ns, cfg.cost.dists_ns(nd, dim));

@@ -33,6 +33,15 @@ pub struct EngineConfig {
     pub cost: CostModel,
     /// RNG seed for construction.
     pub seed: u64,
+    /// Real OS threads each simulated node may use for local work — the
+    /// wall-clock analogue of the paper's OpenMP threads (the *virtual*
+    /// `cores_per_node` clock model is unaffected). `1` (the default) keeps
+    /// every code path sequential; larger values parallelise per-partition
+    /// index construction and batched worker-side search on the vendored
+    /// rayon pool. All reported results and virtual-time numbers are
+    /// bit-identical across `threads` settings; only wall-clock speed
+    /// changes.
+    pub threads: usize,
 }
 
 impl EngineConfig {
@@ -61,6 +70,7 @@ impl EngineConfig {
             net: NetModel::default(),
             cost: CostModel::default(),
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -90,6 +100,13 @@ impl EngineConfig {
     /// Sets the RNG seed (builder style).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the real OS thread count for local work (builder style).
+    /// Clamped up to 1; see [`EngineConfig::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -207,6 +224,15 @@ mod tests {
     #[should_panic]
     fn indivisible_node_size_rejected() {
         let _ = EngineConfig::new(16, 3);
+    }
+
+    #[test]
+    fn threads_defaults_to_sequential_and_clamps() {
+        let c = EngineConfig::new(8, 4);
+        assert_eq!(c.threads, 1, "default must stay sequential");
+        assert_eq!(c.threads(0).threads, 1, "0 clamps to 1");
+        let c = EngineConfig::new(8, 4).threads(6);
+        assert_eq!(c.threads, 6);
     }
 
     #[test]

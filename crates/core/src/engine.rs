@@ -29,6 +29,7 @@ use fastann_mpisim::{
     wire, Cluster, FaultPlan, Rank, SchedPerturb, SimConfig, SpanKind, Topology, Trace,
     VThreadPool, Window,
 };
+use rayon::prelude::*;
 
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
@@ -399,6 +400,75 @@ fn master(
     }
 }
 
+/// One decoded data-plane query a worker has accepted but not yet answered.
+/// The immediate path answers it on the spot; the deferred-batch path
+/// (`threads > 1`) queues these until `TAG_END` and searches them in
+/// parallel.
+struct PendingQuery {
+    qid: u32,
+    part: usize,
+    q: Vec<f32>,
+    arrival: f64,
+}
+
+/// The mutable worker state needed to account for and post one answered
+/// query. Shared by the immediate and deferred paths so both produce the
+/// exact same sequence of virtual-time effects: every timestamp is a
+/// function of the `emit` call order alone, never of when the search ran in
+/// real time.
+struct WorkerEmit<'a> {
+    rank: &'a mut Rank,
+    pool: &'a mut VThreadPool,
+    window: &'a Option<Window<TopK>>,
+    trace: Option<&'a Trace>,
+}
+
+impl WorkerEmit<'_> {
+    /// Charges the virtual thread pool, records the trace span, translates
+    /// local row ids to global ids, and posts the answer (RMA deposit or
+    /// two-sided message) at its virtual completion time.
+    fn emit(&mut self, index: &DistIndex, item: &PendingQuery, local: &[Neighbor], ndist: u64) {
+        let partition = &index.partitions[item.part];
+        let cost = index.config.cost.dists_ns(ndist, index.dim());
+        let done_at = self.pool.assign(item.arrival, cost);
+        if let Some(t) = self.trace {
+            t.record(
+                self.rank.rank(),
+                done_at - cost,
+                done_at,
+                SpanKind::Compute,
+                "hnsw search",
+            );
+        }
+        // translate to global ids
+        let pairs: Vec<(u32, f32)> = local
+            .iter()
+            .map(|n| (partition.global_ids[n.id as usize], n.dist))
+            .collect();
+        match self.window {
+            Some(win) => {
+                win.accumulate_at(
+                    self.rank,
+                    item.qid as usize,
+                    pairs.len() * 8 + 8,
+                    done_at,
+                    |t| {
+                        for &(id, d) in &pairs {
+                            t.push(Neighbor::new(id, d));
+                        }
+                    },
+                );
+            }
+            None => {
+                let mut b = BytesMut::new();
+                wire::put_u32(&mut b, item.qid);
+                wire::put_neighbors(&mut b, &pairs);
+                self.rank.send_bytes_at(0, TAG_RESULT, b.freeze(), done_at);
+            }
+        }
+    }
+}
+
 fn worker(
     rank: &mut Rank,
     index: &DistIndex,
@@ -410,7 +480,6 @@ fn worker(
     let t_cores = index.config.cores_per_node;
     let p_cores = index.config.n_cores;
     let k = opts.k;
-    let dim = index.dim();
 
     let window: Option<Window<TopK>> = if opts.one_sided {
         Some(Window::create(rank, &world, 0, 1, |_| TopK::new(k)))
@@ -438,6 +507,8 @@ fn worker(
     pool.set_perturb(rank.sched_perturb());
     let mut scratch = SearchScratch::default();
     let mut ndist_total = 0u64;
+    let threads = index.config.threads;
+    let mut queued: Vec<PendingQuery> = Vec::new();
 
     loop {
         let msg = rank.recv(Some(0), None);
@@ -453,42 +524,64 @@ fn worker(
                     serveable[part],
                     "node {node} asked to serve partition {part} it does not hold"
                 );
-                let partition = &index.partitions[part];
-                let (local, ndist) = partition.index.search(&q, k, opts.ef, &mut scratch);
-                ndist_total += ndist;
-                let cost = index.config.cost.dists_ns(ndist, dim);
-                let done_at = pool.assign(arrival, cost);
-                if let Some(t) = trace {
-                    t.record(
-                        rank.rank(),
-                        done_at - cost,
-                        done_at,
-                        SpanKind::Compute,
-                        "hnsw search",
-                    );
-                }
-                // translate to global ids
-                let pairs: Vec<(u32, f32)> = local
-                    .iter()
-                    .map(|n| (partition.global_ids[n.id as usize], n.dist))
-                    .collect();
-                match &window {
-                    Some(win) => {
-                        win.accumulate_at(rank, qid as usize, pairs.len() * 8 + 8, done_at, |t| {
-                            for &(id, d) in &pairs {
-                                t.push(Neighbor::new(id, d));
-                            }
-                        });
+                let item = PendingQuery {
+                    qid,
+                    part,
+                    q,
+                    arrival,
+                };
+                if threads > 1 {
+                    // Deferred-batch mode ("OpenMP" workers): accept the
+                    // whole batch first, fan the searches out across real
+                    // threads after TAG_END.
+                    queued.push(item);
+                } else {
+                    let (local, ndist) =
+                        index.partitions[item.part]
+                            .index
+                            .search(&item.q, k, opts.ef, &mut scratch);
+                    ndist_total += ndist;
+                    WorkerEmit {
+                        rank: &mut *rank,
+                        pool: &mut pool,
+                        window: &window,
+                        trace,
                     }
-                    None => {
-                        let mut b = BytesMut::new();
-                        wire::put_u32(&mut b, qid);
-                        wire::put_neighbors(&mut b, &pairs);
-                        rank.send_bytes_at(0, TAG_RESULT, b.freeze(), done_at);
-                    }
+                    .emit(index, &item, &local, ndist);
                 }
             }
             t => panic!("worker node {node}: unexpected tag {t}"),
+        }
+    }
+
+    // Deferred-batch mode: search every queued query on the real thread
+    // pool (per-worker scratch = per-thread distance counters), then replay
+    // the virtual-time accounting and result posting in arrival order.
+    // Searches read an immutable index, so results and per-query ndist are
+    // schedule-independent, and the replay makes every `pool.assign` /
+    // `send_bytes_at` call happen in the same order with the same operands
+    // as the immediate path — the whole report stays bit-identical to
+    // `threads = 1`.
+    if !queued.is_empty() {
+        let answers: Vec<(Vec<Neighbor>, u64)> = rayon::with_num_threads(threads, || {
+            queued
+                .par_iter()
+                .map_init(SearchScratch::default, |scratch, item| {
+                    index.partitions[item.part]
+                        .index
+                        .search(&item.q, k, opts.ef, scratch)
+                })
+                .collect()
+        });
+        for (item, (local, ndist)) in queued.iter().zip(answers) {
+            ndist_total += ndist;
+            WorkerEmit {
+                rank: &mut *rank,
+                pool: &mut pool,
+                window: &window,
+                trace,
+            }
+            .emit(index, item, &local, ndist);
         }
     }
 
@@ -982,6 +1075,37 @@ mod tests {
                     "seed {seed} diverged (one_sided={one_sided})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn threaded_engine_report_is_bit_identical() {
+        // the determinism contract of `EngineConfig::threads`: real
+        // thread-parallelism may only change wall-clock speed, never any
+        // reported number — graphs, results, virtual times, counters
+        let data = synth::sift_like(2000, 16, 25);
+        let queries = synth::queries_near(&data, 15, 0.02, 26);
+        let build_with = |threads: usize| {
+            let cfg = EngineConfig::new(8, 2)
+                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(25))
+                .seed(25)
+                .threads(threads);
+            DistIndex::build(&data, cfg)
+        };
+        let base_index = build_with(1);
+        let par_index = build_with(4);
+        assert_eq!(
+            base_index.build_stats, par_index.build_stats,
+            "threaded build must not change BuildStats"
+        );
+        for one_sided in [true, false] {
+            let opts = SearchOptions::new(10).one_sided(one_sided);
+            let base = search_batch(&base_index, &queries, &opts);
+            let fast = search_batch(&par_index, &queries, &opts);
+            assert_eq!(
+                base, fast,
+                "threads=4 report diverged (one_sided={one_sided})"
+            );
         }
     }
 

@@ -17,6 +17,7 @@
 use fastann_data::{ground_truth, Distance, Neighbor, VectorSet};
 use fastann_hnsw::{Hnsw, HnswConfig, SearchScratch};
 use fastann_vptree::{VpTree, VpTreeConfig};
+use rayon::prelude::*;
 
 /// Which index structure serves a partition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +90,36 @@ impl LocalIndex {
                 (r, data.len() as u64)
             }
         }
+    }
+
+    /// Answers a batch of queries using up to `threads` real OS threads —
+    /// the paper's worker-side OpenMP model, where one MPI rank fans its
+    /// queued queries out across the node's cores.
+    ///
+    /// Output element `i` is exactly what `search(&queries[i], ..)` returns
+    /// (results **and** per-query distance counts): every query's search is
+    /// independent and reads an immutable index, and the pool preserves
+    /// input order, so the outcome is bit-identical for every `threads`
+    /// value, including the sequential `threads = 1`. Each pool worker
+    /// keeps one private [`SearchScratch`] — the per-thread
+    /// distance-evaluation counters — and the per-query counts it reports
+    /// are what callers aggregate into build/query statistics.
+    pub fn search_many(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        ef: usize,
+        threads: usize,
+    ) -> Vec<(Vec<Neighbor>, u64)> {
+        rayon::with_num_threads(threads.max(1), || {
+            queries
+                .par_iter()
+                .map_init(
+                    || SearchScratch::with_capacity(self.len()),
+                    |scratch, q| self.search(q, k, ef, scratch),
+                )
+                .collect()
+        })
     }
 
     /// Number of indexed rows.
@@ -189,6 +220,43 @@ mod tests {
             let (b, _) = brute.search(q.get(qi), 7, 0, &mut scratch);
             assert_eq!(a, b, "exact kinds must agree on query {qi}");
         }
+    }
+
+    #[test]
+    fn search_many_matches_sequential_for_every_thread_count() {
+        let data = rows();
+        let queries: Vec<Vec<f32>> = synth::queries_near(&data, 16, 0.05, 7)
+            .iter()
+            .map(<[f32]>::to_vec)
+            .collect();
+        for kind in [
+            LocalIndexKind::Hnsw,
+            LocalIndexKind::VpExact,
+            LocalIndexKind::BruteForce,
+        ] {
+            let idx = LocalIndex::build(kind, data.clone(), Distance::L2, HnswConfig::with_m(8), 9);
+            let mut scratch = SearchScratch::default();
+            let expect: Vec<_> = queries
+                .iter()
+                .map(|q| idx.search(q, 5, 48, &mut scratch))
+                .collect();
+            for threads in [1, 2, 7] {
+                let got = idx.search_many(&queries, 5, 48, threads);
+                assert_eq!(got, expect, "{kind:?} with threads={threads} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn search_many_empty_batch() {
+        let idx = LocalIndex::build(
+            LocalIndexKind::Hnsw,
+            rows(),
+            Distance::L2,
+            HnswConfig::with_m(8),
+            9,
+        );
+        assert!(idx.search_many(&[], 5, 48, 4).is_empty());
     }
 
     #[test]

@@ -3,7 +3,10 @@
 use fastann_data::Neighbor;
 
 /// Construction-phase accounting (paper Table II's columns).
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field — the threading determinism tests
+/// assert that a `threads > 1` build produces *identical* stats.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BuildStats {
     /// Total virtual construction time: VP-tree phase + HNSW phase (ns).
     pub total_ns: f64,
@@ -59,6 +62,12 @@ impl Distribution {
     }
 
     /// Max/mean ratio — 1.0 is perfect balance.
+    ///
+    /// A `mean` of zero can only arise from an all-zero (or empty)
+    /// distribution, because the summarised values are unsigned; every
+    /// core then carries the same load, so the ratio is *defined* as 1.0
+    /// (perfect balance) rather than left to a 0/0. In particular an idle
+    /// cluster and a uniformly loaded cluster report the same imbalance.
     pub fn imbalance(&self) -> f64 {
         if self.mean == 0.0 {
             1.0
@@ -189,6 +198,16 @@ mod tests {
         let balanced = Distribution::of(&[10, 10, 10, 10]);
         let skewed = Distribution::of(&[0, 0, 0, 40]);
         assert!(skewed.imbalance() > balanced.imbalance());
+    }
+
+    #[test]
+    fn imbalance_of_zero_mean_is_perfect_balance() {
+        // all-zero and empty distributions are uniform by definition;
+        // the documented convention pins them to exactly 1.0, the same
+        // value a uniformly busy cluster reports
+        assert_eq!(Distribution::of(&[0, 0, 0]).imbalance(), 1.0);
+        assert_eq!(Distribution::of(&[]).imbalance(), 1.0);
+        assert_eq!(Distribution::of(&[7, 7]).imbalance(), 1.0);
     }
 
     #[test]

@@ -32,10 +32,14 @@ impl Distance {
     /// Evaluates the distance between `a` and `b`.
     ///
     /// # Panics
-    /// Panics (debug assertion) if the slices have different lengths.
+    /// Panics if the slices have different lengths — in release builds
+    /// too. A mismatch is always a caller bug (a query of the wrong
+    /// dimensionality), and silently scoring the common prefix returns an
+    /// ordering over *different geometry* per metric, which is far harder
+    /// to debug than the panic.
     #[inline]
     pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len(), "distance between different dimensions");
+        assert_eq!(a.len(), b.len(), "distance between different dimensions");
         match self {
             Distance::L2 => squared_l2(a, b).sqrt(),
             Distance::SquaredL2 => squared_l2(a, b),
@@ -66,9 +70,15 @@ impl Distance {
 }
 
 /// Squared Euclidean distance, 4-way unrolled for auto-vectorisation.
+///
+/// # Panics
+/// Panics on a length mismatch, in every build profile. (An earlier
+/// version silently computed over the shorter prefix in release builds,
+/// turning dimension bugs into wrong-but-plausible distances.)
 #[inline]
 pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
+    assert_eq!(a.len(), b.len(), "squared_l2 between different dimensions");
+    let n = a.len();
     let (ac, bc) = (&a[..n], &b[..n]);
     let mut s0 = 0.0f32;
     let mut s1 = 0.0f32;
@@ -95,14 +105,22 @@ pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Manhattan distance.
+///
+/// # Panics
+/// Panics on a length mismatch, in every build profile.
 #[inline]
 pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l1 between different dimensions");
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 
 /// Chebyshev distance.
+///
+/// # Panics
+/// Panics on a length mismatch, in every build profile.
 #[inline]
 pub fn chebyshev(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "chebyshev between different dimensions");
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y).abs())
@@ -110,9 +128,14 @@ pub fn chebyshev(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Dot product, 4-way unrolled.
+///
+/// # Panics
+/// Panics on a length mismatch, in every build profile — the same
+/// explicit-mismatch contract as [`squared_l2`].
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
+    assert_eq!(a.len(), b.len(), "dot between different dimensions");
+    let n = a.len();
     let (ac, bc) = (&a[..n], &b[..n]);
     let mut s0 = 0.0f32;
     let mut s1 = 0.0f32;
@@ -133,14 +156,20 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     s0 + s1 + s2 + s3 + rest
 }
 
-/// Cosine distance, `1 - a·b / (|a||b|)`; 0 for zero vectors.
+/// Cosine distance, `1 - a·b / (|a||b|)`.
+///
+/// A zero vector has no direction, so its angle to anything is undefined;
+/// we pin the distance to `1.0` (maximal indifference — the value an
+/// orthogonal pair gets) rather than the `0.0` an earlier version
+/// returned, which made the zero vector a spurious nearest neighbour of
+/// *every* query. Zero-vs-zero is also `1.0` by the same rule.
 #[inline]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let ab = dot(a, b);
     let aa = dot(a, a);
     let bb = dot(b, b);
     if aa == 0.0 || bb == 0.0 {
-        return 0.0;
+        return 1.0;
     }
     1.0 - ab / (aa.sqrt() * bb.sqrt())
 }
@@ -179,9 +208,38 @@ mod tests {
     }
 
     #[test]
-    fn cosine_zero_vector_is_zero() {
+    fn cosine_zero_vector_is_maximally_distant() {
+        // a zero vector has no direction: it must not come out as the
+        // nearest neighbour of everything (the 0.0 an earlier version
+        // returned); it sits at the orthogonal-pair distance instead
         let z = [0.0, 0.0];
-        assert_eq!(Distance::Cosine.eval(&z, &A[..2]), 0.0);
+        assert_eq!(Distance::Cosine.eval(&z, &A[..2]), 1.0);
+        assert_eq!(Distance::Cosine.eval(&A[..2], &z), 1.0);
+        assert_eq!(Distance::Cosine.eval(&z, &z), 1.0);
+        // and a parallel non-zero pair is still strictly closer
+        let w = [2.0, 4.0];
+        assert!(Distance::Cosine.eval(&A[..2], &w) < Distance::Cosine.eval(&A[..2], &z));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn squared_l2_rejects_dimension_mismatch() {
+        // regression: this used to silently score the 2-long prefix in
+        // release builds; the assert must fire in *every* profile
+        let _ = squared_l2(&A[..2], &A);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn dot_rejects_dimension_mismatch() {
+        let _ = dot(&A, &A[..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn eval_rejects_dimension_mismatch_in_release() {
+        // Distance::eval promotes the old debug_assert to a real assert
+        let _ = Distance::L2.eval(&A[..4], &A);
     }
 
     #[test]

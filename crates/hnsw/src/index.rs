@@ -22,6 +22,17 @@ pub struct SearchStats {
     pub hops: u64,
 }
 
+/// The outcome of the read-only planning half of one insertion: the
+/// neighbour lists selected for each layer (top-down), plus the distance
+/// evaluations the planning spent. Produced concurrently by
+/// [`Hnsw::plan_insert`], consumed sequentially by [`Hnsw::apply_insert`].
+struct InsertPlan {
+    id: u32,
+    /// `(layer, selected neighbours)` from the node's top layer down to 0.
+    layers: Vec<(usize, Vec<u32>)>,
+    ndist: u64,
+}
+
 /// A Hierarchical Navigable Small World approximate k-NN index over an owned
 /// [`VectorSet`].
 pub struct Hnsw {
@@ -65,9 +76,6 @@ impl Hnsw {
         for id in order {
             index.insert(id, &mut scratch);
         }
-        // Sequential construction must uphold every structural invariant;
-        // the parallel build is exempt (benign insertion races can leave
-        // individually asymmetric links).
         #[cfg(debug_assertions)]
         if let Err(e) = index.validate() {
             panic!("sequential build produced an invalid graph: {e}");
@@ -75,25 +83,109 @@ impl Hnsw {
         index
     }
 
-    /// Builds the index using all rayon threads — the analogue of the
-    /// multi-threaded OpenMP construction in the paper. Link structure may
-    /// vary run-to-run (insertions race benignly) but search quality is
-    /// equivalent to the sequential build.
+    /// Nodes per batch in [`Hnsw::build_parallel`]. Fixed (not derived from
+    /// the thread count) so the constructed graph is identical for every
+    /// thread count, including 1.
+    const PARALLEL_BATCH: usize = 64;
+
+    /// Builds the index with batch-parallel construction — the analogue of
+    /// the multi-threaded OpenMP construction in the paper.
+    ///
+    /// Insertion proceeds in fixed batches of [`Self::PARALLEL_BATCH`]
+    /// nodes. For each batch, the expensive read-only part of insertion
+    /// (greedy descent, `ef_construction` beam searches, neighbour
+    /// selection) runs on the rayon pool against the frozen graph
+    /// ([`Hnsw::plan_insert`]); the cheap link mutations are then applied
+    /// sequentially in batch order ([`Hnsw::apply_insert`]). Because no
+    /// thread ever mutates the graph concurrently, the result is
+    /// deterministic, independent of the thread count, and upholds every
+    /// [`Hnsw::validate`] invariant — at the cost of batch members not
+    /// seeing each other as candidates, which perturbs link structure
+    /// slightly versus [`Hnsw::build`] (search quality is equivalent; see
+    /// the parity tests).
+    ///
+    /// Thread count follows `rayon::current_num_threads()`; wrap the call
+    /// in `rayon::with_num_threads(t, ..)` to pin it.
     pub fn build_parallel(data: VectorSet, dist: Distance, config: HnswConfig) -> Self {
         let index = Self::empty_for(data, dist, config);
         let order = index.insertion_order();
         if order.is_empty() {
             return index;
         }
-        // Seed the graph with the highest-level node so every thread has an
+        // Seed the graph with the highest-level node so every planner has an
         // entry point.
         let mut scratch = SearchScratch::with_capacity(index.len());
         index.insert(order[0], &mut scratch);
-        order[1..].par_iter().for_each_init(
-            || SearchScratch::with_capacity(index.len()),
-            |scratch, &id| index.insert(id, scratch),
-        );
+        for batch in order[1..].chunks(Self::PARALLEL_BATCH) {
+            let plans: Vec<InsertPlan> = batch
+                .par_iter()
+                .map_init(
+                    || SearchScratch::with_capacity(index.len()),
+                    |scratch, &id| index.plan_insert(id, scratch),
+                )
+                .collect();
+            for plan in plans {
+                index.apply_insert(plan, &mut scratch);
+            }
+        }
+        // Planning against a frozen graph means batch peers do not see each
+        // other: clustered peers all court the same pre-batch neighbours,
+        // whose overflow prunes can drop every reverse edge of a redundant
+        // newcomer and orphan it on layer 0. Repair deterministically:
+        // unlink each orphan and re-insert it with the fresh-state
+        // sequential path, until the base layer is connected.
+        const MAX_REPAIR_ROUNDS: usize = 10;
+        for _ in 0..MAX_REPAIR_ROUNDS {
+            let orphans = index.layer0_orphans();
+            if orphans.is_empty() {
+                break;
+            }
+            for u in orphans {
+                index.unlink(u);
+                index.insert(u, &mut scratch);
+            }
+        }
+        #[cfg(debug_assertions)]
+        if let Err(e) = index.validate() {
+            panic!("parallel build produced an invalid graph: {e}");
+        }
         index
+    }
+
+    /// Ids unreachable from the entry point on layer 0, ascending. Empty
+    /// for an empty index.
+    fn layer0_orphans(&self) -> Vec<u32> {
+        let n = self.len();
+        let Some((ep, _)) = self.entry_snapshot() else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[ep as usize] = true;
+        queue.push_back(ep);
+        while let Some(u) = queue.pop_front() {
+            self.graph.with_neighbors(u, 0, |ns| {
+                for &nb in ns {
+                    if !seen[nb as usize] {
+                        seen[nb as usize] = true;
+                        queue.push_back(nb);
+                    }
+                }
+            });
+        }
+        (0..n as u32).filter(|&id| !seen[id as usize]).collect()
+    }
+
+    /// Symmetrically detaches node `u` from the graph (every `u -> v` and
+    /// its reverse edge), leaving its layer lists empty so it can be
+    /// re-inserted.
+    fn unlink(&self, u: u32) {
+        for layer in 0..=(self.levels[u as usize] as usize) {
+            for nb in self.graph.neighbors(u, layer) {
+                self.graph.remove_neighbor(nb, layer, u);
+            }
+            self.graph.set_neighbors(u, layer, Vec::new());
+        }
     }
 
     fn empty_for(data: VectorSet, dist: Distance, config: HnswConfig) -> Self {
@@ -277,6 +369,73 @@ impl Hnsw {
             .fetch_add(scratch.ndist, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// The read-only half of inserting `id`: greedy descent plus per-layer
+    /// beam search and neighbour selection against the current graph. Safe
+    /// to run concurrently with other planners (it takes only read locks);
+    /// the writes happen later in [`Hnsw::apply_insert`].
+    fn plan_insert(&self, id: u32, scratch: &mut SearchScratch) -> InsertPlan {
+        let level = self.levels[id as usize];
+        let q = self.data.get(id as usize).to_vec();
+        scratch.begin(self.len());
+
+        let (mut ep, top) = self
+            .entry_snapshot()
+            .expect("plan_insert requires a seeded graph");
+        let mut ep_dist = self.d(&q, ep, scratch);
+        for lc in ((level as usize + 1)..=(top as usize)).rev() {
+            (ep, ep_dist) = self.greedy_step(&q, ep, ep_dist, lc, scratch);
+        }
+
+        let mut eps: Vec<Neighbor> = vec![Neighbor::new(ep, ep_dist)];
+        let mut layers = Vec::with_capacity(level.min(top) as usize + 1);
+        for lc in (0..=(level.min(top) as usize)).rev() {
+            let w = self.search_layer(&q, &eps, self.config.ef_construction, lc, scratch);
+            let selected = select_neighbors_heuristic(
+                &self.data,
+                &q,
+                &w,
+                self.config.m,
+                self.dist,
+                self.config.keep_pruned,
+                &mut scratch.ndist,
+            );
+            layers.push((lc, selected));
+            eps = w;
+        }
+        InsertPlan {
+            id,
+            layers,
+            ndist: scratch.ndist(),
+        }
+    }
+
+    /// The mutating half of inserting `id`: wires up the links a
+    /// [`Hnsw::plan_insert`] selected and refreshes the entry point. Runs
+    /// strictly sequentially (one plan at a time, in batch order), which is
+    /// what keeps the parallel build deterministic and validator-clean.
+    fn apply_insert(&self, plan: InsertPlan, scratch: &mut SearchScratch) {
+        let InsertPlan { id, layers, ndist } = plan;
+        scratch.begin(self.len());
+        for (lc, selected) in layers {
+            self.graph.set_neighbors(id, lc, selected.clone());
+            for &s in &selected {
+                self.link_back(s, id, lc, scratch);
+            }
+        }
+        let level = self.levels[id as usize];
+        {
+            let mut entry = self.entry.write();
+            match *entry {
+                Some((_, cur_top)) if cur_top >= level => {}
+                _ => *entry = Some((id, level)),
+            }
+        }
+        self.build_ndist.fetch_add(
+            ndist + scratch.ndist(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
     /// Adds edge `from -> to` at `layer`, shrinking `from`'s neighbourhood
     /// with the selection heuristic if it overflows.
     ///
@@ -429,9 +588,11 @@ impl Hnsw {
     /// * links are symmetric (`u -> v` implies `v -> u`);
     /// * every node is reachable from the entry point on layer 0.
     ///
-    /// Sequential builds ([`Hnsw::build`], [`Hnsw::add`]) must satisfy all
-    /// of these (checked automatically in debug builds); parallel builds
-    /// may violate symmetry through benign insertion races.
+    /// Every construction path — [`Hnsw::build`], [`Hnsw::build_parallel`],
+    /// and [`Hnsw::add`] — must satisfy all of these (the builds check
+    /// automatically in debug profiles). The parallel build upholds them by
+    /// construction: graph mutation is confined to the sequential apply
+    /// phase.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.len();
         let entry = *self.entry.read();
@@ -731,6 +892,76 @@ mod tests {
             rp > rs - 0.1,
             "parallel recall {rp} far below sequential {rs}"
         );
+    }
+
+    #[test]
+    fn parallel_build_is_validator_clean_and_thread_count_independent() {
+        // The batch-parallel build mutates the graph only in its sequential
+        // apply phase, so the result must (a) pass the full validator even
+        // in release builds and (b) be identical for every thread count.
+        let data = synth::sift_like(900, 12, 40);
+        let cfg = HnswConfig::with_m(8).seed(40);
+        let one =
+            rayon::with_num_threads(1, || Hnsw::build_parallel(data.clone(), Distance::L2, cfg));
+        let four =
+            rayon::with_num_threads(4, || Hnsw::build_parallel(data.clone(), Distance::L2, cfg));
+        one.validate().expect("threads=1 parallel build is valid");
+        four.validate().expect("threads=4 parallel build is valid");
+        assert_eq!(one.edge_count(), four.edge_count());
+        assert_eq!(one.entry_snapshot(), four.entry_snapshot());
+        assert_eq!(one.build_ndist(), four.build_ndist());
+        for id in 0..one.len() as u32 {
+            for layer in 0..=one.level(id) as usize {
+                assert_eq!(
+                    one.links_of(id, layer),
+                    four.links_of(id, layer),
+                    "node {id} layer {layer} differs across thread counts"
+                );
+            }
+        }
+        for i in (0..900).step_by(97) {
+            assert_eq!(
+                one.search(data.get(i), 5, 48).0,
+                four.search(data.get(i), 5, 48).0
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_recall_parity_with_sequential() {
+        let data = synth::sift_like(1200, 16, 41);
+        let queries = synth::queries_near(&data, 40, 0.02, 42);
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let cfg = HnswConfig::with_m(8).seed(41);
+        let seq = Hnsw::build(data.clone(), Distance::L2, cfg);
+        let par = Hnsw::build_parallel(data.clone(), Distance::L2, cfg);
+        par.validate().expect("parallel build is valid");
+        let rec = |idx: &Hnsw| {
+            let approx: Vec<_> = (0..queries.len())
+                .map(|i| idx.search(queries.get(i), 10, 96).0)
+                .collect();
+            ground_truth::recall_at_k(&approx, &gt, 10).mean
+        };
+        let (rs, rp) = (rec(&seq), rec(&par));
+        assert!(rp > 0.85, "parallel recall too low: {rp}");
+        assert!(
+            rp > rs - 0.05,
+            "parallel recall {rp} far below sequential {rs}"
+        );
+    }
+
+    #[test]
+    fn parallel_build_empty_and_tiny_inputs() {
+        let empty = Hnsw::build_parallel(VectorSet::new(4), Distance::L2, HnswConfig::default());
+        assert!(empty.is_empty());
+        empty.validate().expect("empty parallel build is valid");
+        let mut data = VectorSet::new(2);
+        data.push(&[0.5, 0.5]);
+        let single = Hnsw::build_parallel(data, Distance::L2, HnswConfig::default());
+        assert_eq!(single.len(), 1);
+        single.validate().expect("1-point parallel build is valid");
+        let (r, _) = single.search(&[0.5, 0.5], 1, 8);
+        assert_eq!(r[0].id, 0);
     }
 
     #[test]

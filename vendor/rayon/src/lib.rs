@@ -1,21 +1,173 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now with a real thread pool.
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the parallel-iterator API subset it uses — `par_iter()` on
-//! slices and `into_par_iter()` on ranges, with `map`/`collect`/
-//! `for_each`/`for_each_init` — executed **sequentially**. Virtual-time
-//! accounting in this repository is explicit (costs are charged to
-//! simulated clocks, never measured), so sequential execution changes
-//! wall-clock speed only, not any reported number. If real data
-//! parallelism becomes a bottleneck, swap this crate back for upstream
-//! rayon; call sites need no changes.
+//! slices and `into_par_iter()` on ranges/vecs, with `map`/`map_init`/
+//! `collect`/`for_each`/`for_each_init`/`sum`/`count`. Unlike the original
+//! sequential stub, execution is genuinely parallel: each consuming call
+//! materialises the input, splits it into contiguous chunks, and drives the
+//! chunks through scoped `std::thread` workers that pull work off a shared
+//! atomic cursor. Results are reassembled in input order, so every adapter
+//! is order-preserving and deterministic for pure per-item closures.
+//!
+//! Differences from upstream rayon, on purpose:
+//!
+//! * No global pool. Workers are scoped threads spawned per consuming call
+//!   (`collect`/`for_each`/...), which keeps the crate `forbid(unsafe_code)`
+//!   and dependency-free. Spawn cost is microseconds; call sites here are
+//!   coarse-grained (index builds, query batches), so this is noise.
+//! * Closures take `Fn + Sync` (not `FnMut`) because they genuinely run
+//!   concurrently now. `for_each_init`/`map_init` provide per-worker
+//!   mutable state, matching upstream's contract.
+//! * Thread count comes from, in precedence order: a scoped
+//!   [`with_num_threads`] override, the `FASTANN_THREADS` or
+//!   `RAYON_NUM_THREADS` environment variables, then
+//!   `std::thread::available_parallelism()`.
+//! * Nested parallel iterators inside a worker run sequentially (upstream
+//!   would cooperatively schedule them; we must not spawn threads
+//!   quadratically).
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// The traits call sites import via `use rayon::prelude::*`.
 pub mod prelude {
     pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// A "parallel" iterator — a thin wrapper over a sequential one.
+thread_local! {
+    /// Scoped thread-count override (set by `with_num_threads`, and pinned
+    /// to 1 inside pool workers so nested parallelism stays sequential).
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Default thread count: `FASTANN_THREADS`, else `RAYON_NUM_THREADS`, else
+/// the machine's available parallelism. Read once per process.
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let from_env = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+        };
+        from_env("FASTANN_THREADS")
+            .or_else(|| from_env("RAYON_NUM_THREADS"))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of threads parallel iterators on this thread will use.
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+/// Index of the current pool worker (`0..threads`), or `None` when called
+/// outside a parallel-iterator worker. Lets callers keep per-thread
+/// counters without locks.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
+
+/// Runs `f` with parallel iterators on this thread capped at `n` threads
+/// (`n = 1` forces sequential execution). Restores the previous setting on
+/// exit, including on unwind.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            NUM_THREADS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(NUM_THREADS_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// The parallel engine: runs `f` over every item with per-worker state from
+/// `init`, returning results in input order.
+///
+/// Items are pre-split into `4 * threads` contiguous chunks (capped at the
+/// item count); workers claim chunks off an atomic cursor, so a slow chunk
+/// does not stall the rest of the pool. With one thread (or one item) the
+/// whole batch runs inline on the caller with a single `init()` — the exact
+/// behaviour of the old sequential stub.
+fn run_chunked<T, S, INIT, F, R>(items: Vec<T>, init: INIT, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    // Pre-split into contiguous chunks so output order is recoverable from
+    // chunk order alone.
+    let chunk_count = (threads * 4).min(n);
+    let base = n / chunk_count;
+    let extra = n % chunk_count;
+    let mut iter = items.into_iter();
+    let tasks: Vec<Mutex<Option<Vec<T>>>> = (0..chunk_count)
+        .map(|i| {
+            let len = base + usize::from(i < extra);
+            Mutex::new(Some(iter.by_ref().take(len).collect()))
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..chunk_count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let (tasks, slots, cursor, init, f) = (&tasks, &slots, &cursor, &init, &f);
+        for w in 0..threads {
+            scope.spawn(move || {
+                WORKER_INDEX.with(|c| c.set(Some(w)));
+                // Nested parallel iterators inside a worker run inline.
+                NUM_THREADS_OVERRIDE.with(|c| c.set(Some(1)));
+                let mut state = init();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= chunk_count {
+                        break;
+                    }
+                    let chunk = tasks[idx]
+                        .lock()
+                        .expect("chunk mutex poisoned")
+                        .take()
+                        .expect("chunk claimed twice");
+                    let out: Vec<R> = chunk.into_iter().map(|item| f(&mut state, item)).collect();
+                    *slots[idx].lock().expect("slot mutex poisoned") = Some(out);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .flat_map(|s| {
+            s.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("worker exited without filling its slot")
+        })
+        .collect()
+}
+
+/// A parallel iterator over a not-yet-materialised sequential source.
 pub struct ParIter<I> {
     inner: I,
 }
@@ -24,7 +176,7 @@ pub struct ParIter<I> {
 /// `rayon::iter::IntoParallelIterator`).
 pub trait IntoParallelIterator {
     /// Element type.
-    type Item;
+    type Item: Send;
     /// Underlying sequential iterator.
     type Iter: Iterator<Item = Self::Item>;
 
@@ -32,7 +184,7 @@ pub trait IntoParallelIterator {
     fn into_par_iter(self) -> ParIter<Self::Iter>;
 }
 
-impl<T> IntoParallelIterator for std::ops::Range<T>
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
 where
     std::ops::Range<T>: Iterator<Item = T>,
 {
@@ -44,7 +196,7 @@ where
     }
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     type Iter = std::vec::IntoIter<T>;
 
@@ -59,7 +211,7 @@ impl<T> IntoParallelIterator for Vec<T> {
 /// `rayon::iter::IntoParallelRefIterator`, which backs `slice.par_iter()`).
 pub trait IntoParallelRefIterator<'a> {
     /// Borrowed element type.
-    type Item: 'a;
+    type Item: 'a + Send;
     /// Underlying sequential iterator.
     type Iter: Iterator<Item = Self::Item>;
 
@@ -85,70 +237,161 @@ impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Lazy `map` adapter — the closure runs on pool workers at consumption.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+/// Lazy `map_init` adapter — like [`Map`] but with per-worker scratch state.
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
 /// The adapter/consumer methods call sites use (subset of
-/// `rayon::iter::ParallelIterator` + `IndexedParallelIterator`).
+/// `rayon::iter::ParallelIterator` + `IndexedParallelIterator`). All
+/// consumers preserve input order.
 pub trait ParallelIterator: Sized {
     /// Element type.
-    type Item;
-    /// Underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send;
 
-    /// Unwraps the sequential iterator.
-    fn into_seq(self) -> Self::Iter;
+    /// Drives the pipeline: applies `f` (with per-worker state from `init`)
+    /// to every element on the pool and returns results in input order.
+    /// Adapters compose by wrapping `f`; consumers below are sugar over
+    /// this single entry point.
+    fn exec<S, INIT, F, R>(self, init: INIT, f: F) -> Vec<R>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+        R: Send;
 
     /// Maps each element.
-    fn map<R, F: FnMut(Self::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<Self::Iter, F>> {
-        ParIter {
-            inner: self.into_seq().map(f),
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps each element with per-worker scratch state from `init`.
+    fn map_init<S, INIT, F, R>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
         }
     }
 
     /// Consumes every element.
-    fn for_each<F: FnMut(Self::Item)>(self, f: F) {
-        self.into_seq().for_each(f);
-    }
-
-    /// Consumes every element with per-"thread" scratch state. Sequential
-    /// execution means the initialiser runs exactly once.
-    fn for_each_init<S, INIT, F>(self, init: INIT, mut f: F)
+    fn for_each<F>(self, f: F)
     where
-        INIT: Fn() -> S,
-        F: FnMut(&mut S, Self::Item),
+        F: Fn(Self::Item) + Sync,
     {
-        let mut state = init();
-        for item in self.into_seq() {
-            f(&mut state, item);
-        }
+        self.exec(|| (), |(), item| f(item));
     }
 
-    /// Collects into any `FromIterator` container.
+    /// Consumes every element with per-worker scratch state. The
+    /// initialiser runs once per worker thread that participates.
+    fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) + Sync,
+    {
+        self.exec(init, |state, item| f(state, item));
+    }
+
+    /// Collects into any `FromIterator` container, in input order.
     fn collect<C: FromIterator<Self::Item>>(self) -> C {
-        self.into_seq().collect()
+        self.exec(|| (), |(), item| item).into_iter().collect()
     }
 
-    /// Sums the elements.
+    /// Sums the elements. Elements are produced in parallel but summed in
+    /// input order on the caller, so float sums are deterministic.
     fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
-        self.into_seq().sum()
+        self.exec(|| (), |(), item| item).into_iter().sum()
     }
 
     /// Number of elements.
     fn count(self) -> usize {
-        self.into_seq().count()
+        self.exec(|| (), |(), _| ()).len()
     }
 }
 
-impl<I: Iterator> ParallelIterator for ParIter<I> {
+impl<I> ParallelIterator for ParIter<I>
+where
+    I: Iterator,
+    I::Item: Send,
+{
     type Item = I::Item;
-    type Iter = I;
 
-    fn into_seq(self) -> I {
-        self.inner
+    fn exec<S, INIT, F, R>(self, init: INIT, f: F) -> Vec<R>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        run_chunked(self.inner.collect(), init, f)
+    }
+}
+
+impl<P, F, T> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> T + Sync,
+    T: Send,
+{
+    type Item = T;
+
+    fn exec<S, INIT, G, R>(self, init: INIT, g: G) -> Vec<R>
+    where
+        INIT: Fn() -> S + Sync,
+        G: Fn(&mut S, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        let f = self.f;
+        self.base.exec(init, move |state, item| g(state, f(item)))
+    }
+}
+
+impl<P, S1, INIT1, F, T> ParallelIterator for MapInit<P, INIT1, F>
+where
+    P: ParallelIterator,
+    INIT1: Fn() -> S1 + Sync,
+    F: Fn(&mut S1, P::Item) -> T + Sync,
+    T: Send,
+{
+    type Item = T;
+
+    fn exec<S, INIT, G, R>(self, init: INIT, g: G) -> Vec<R>
+    where
+        INIT: Fn() -> S + Sync,
+        G: Fn(&mut S, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        let MapInit {
+            base,
+            init: my_init,
+            f,
+        } = self;
+        base.exec(
+            move || (my_init(), init()),
+            move |(s1, s2), item| g(s2, f(s1, item)),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
     #[test]
     fn range_map_collect() {
@@ -158,21 +401,156 @@ mod tests {
 
     #[test]
     fn slice_par_iter_for_each_init() {
-        let data = [1u32, 2, 3, 4];
-        let mut sum = 0u32;
+        let data: Vec<u32> = (1..=100).collect();
+        let sum = AtomicU32::new(0);
         data[..].par_iter().for_each_init(
             || 10u32,
             |scratch, &x| {
-                assert_eq!(*scratch, 10);
-                sum += x;
+                assert_eq!(*scratch, 10, "every worker gets a fresh init value");
+                sum.fetch_add(x, Ordering::Relaxed);
             },
         );
-        assert_eq!(sum, 10);
+        assert_eq!(sum.into_inner(), 5050);
     }
 
     #[test]
     fn preserves_order() {
         let v: Vec<i32> = vec![3, 1, 2].into_par_iter().map(|x| x - 1).collect();
         assert_eq!(v, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn preserves_order_at_scale() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<usize> = (0..10_000).map(|x| x * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn map_init_threads_scratch_state() {
+        let data: Vec<usize> = (0..257).collect();
+        let v: Vec<usize> = data
+            .par_iter()
+            .map_init(|| 7usize, |scratch, &x| x + *scratch)
+            .collect();
+        let expect: Vec<usize> = (0..257).map(|x| x + 7).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        Vec::<u8>::new()
+            .into_par_iter()
+            .for_each(|_| panic!("closure must not run on empty input"));
+    }
+
+    #[test]
+    fn single_thread_override_runs_inline() {
+        super::with_num_threads(1, || {
+            let caller = std::thread::current().id();
+            let hits = AtomicUsize::new(0);
+            (0..64usize).into_par_iter().for_each(|_| {
+                assert_eq!(
+                    std::thread::current().id(),
+                    caller,
+                    "threads=1 must run on the calling thread"
+                );
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), 64);
+            assert_eq!(super::current_num_threads(), 1);
+        });
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        super::with_num_threads(64, || {
+            let v: Vec<usize> = (0..3usize).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v, vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn with_num_threads_restores_previous() {
+        let before = super::current_num_threads();
+        super::with_num_threads(3, || {
+            assert_eq!(super::current_num_threads(), 3);
+            super::with_num_threads(2, || assert_eq!(super::current_num_threads(), 2));
+            assert_eq!(super::current_num_threads(), 3);
+        });
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn worker_index_is_set_inside_and_unset_outside() {
+        assert_eq!(super::current_thread_index(), None);
+        super::with_num_threads(4, || {
+            let threads = super::current_num_threads();
+            (0..1024usize).into_par_iter().for_each(|_| {
+                let idx = super::current_thread_index();
+                if threads > 1 {
+                    let idx = idx.expect("worker index set inside the pool");
+                    assert!(idx < threads);
+                }
+            });
+        });
+        assert_eq!(super::current_thread_index(), None);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_sequentially() {
+        super::with_num_threads(4, || {
+            let data: Vec<usize> = (0..16).collect();
+            let sums: Vec<usize> = data
+                .par_iter()
+                .map(|&x| {
+                    // Inside a worker the nested iterator must not spawn.
+                    assert_eq!(super::current_num_threads(), 1);
+                    (0..x + 1).into_par_iter().sum::<usize>()
+                })
+                .collect();
+            let expect: Vec<usize> = (0..16).map(|x| x * (x + 1) / 2).collect();
+            assert_eq!(sums, expect);
+        });
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let s: u64 = (0..100u64).into_par_iter().sum();
+        assert_eq!(s, 4950);
+        assert_eq!((0..37usize).into_par_iter().count(), 37);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        // With enough items and threads >= 2 the pool must run on more than
+        // one OS thread. Use a barrier-free detection: record distinct
+        // thread ids.
+        super::with_num_threads(4, || {
+            if super::current_num_threads() < 2 {
+                return; // single-core machine: nothing to assert
+            }
+            let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+            (0..4096usize).into_par_iter().for_each(|i| {
+                // Enough per-item work that chunks outlast worker spawn
+                // latency, so several workers actually claim chunks.
+                let mut acc = i as u64;
+                for k in 0..5_000u64 {
+                    acc =
+                        std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(k));
+                }
+                std::hint::black_box(acc);
+                ids.lock()
+                    .expect("id set poisoned")
+                    .insert(std::thread::current().id());
+            });
+            let distinct = ids.into_inner().expect("id set poisoned").len();
+            assert!(
+                distinct >= 2,
+                "expected >= 2 worker threads, saw {distinct}"
+            );
+        });
     }
 }
