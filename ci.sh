@@ -38,4 +38,15 @@ cargo build -q --release -p fastann-bench
 ./target/release/perf --smoke --threads 4 --out target
 test -s target/BENCH_SYN_SMOKE.json
 
+echo "==> serve smoke (closed-loop run, seed-stable report)"
+# The load generator asserts nonzero throughput and request conservation
+# internally; CI additionally pins the determinism contract: two runs
+# with the same seed must emit byte-identical reports, including the
+# embedded FNV fingerprints.
+rm -rf target/serve_a target/serve_b
+mkdir -p target/serve_a target/serve_b
+./target/release/serveload --smoke --out target/serve_a
+FASTANN_THREADS=4 ./target/release/serveload --smoke --out target/serve_b
+cmp target/serve_a/BENCH_serve_SMOKE.json target/serve_b/BENCH_serve_SMOKE.json
+
 echo "CI green."

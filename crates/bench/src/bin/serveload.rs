@@ -1,0 +1,233 @@
+//! `serveload` — the load generator for the online serving runtime.
+//! Emits one `BENCH_serve_<dataset>.json` per dataset with an open-loop
+//! (seeded Poisson arrivals, two tenants, mixed deadlines) and a
+//! closed-loop (fixed client population) leg, both driven entirely in
+//! virtual time through [`fastann_serve::ServeRuntime`].
+//!
+//! ```text
+//! serveload [--smoke] [--seed N] [--out DIR]
+//!   --smoke   tiny synthetic dataset only (the CI smoke invocation)
+//!   --seed    workload seed (default 42); same seed => byte-identical JSON
+//!   --out     directory for the BENCH_serve_*.json files (default: .)
+//! ```
+//!
+//! Every quantity in the report is virtual, so the file is a
+//! reproducible artifact, not a host measurement: rerunning with the
+//! same seed — at any thread count, on any machine — must produce the
+//! same bytes, and `ci.sh` enforces exactly that with `cmp`.
+
+use std::fmt::Write as _;
+
+use fastann_core::{DistIndex, EngineConfig, SearchOptions};
+use fastann_data::quant::Sq8;
+use fastann_data::{synth, VectorSet};
+use fastann_hnsw::HnswConfig;
+use fastann_serve::{
+    AdmissionPolicy, ClosedLoopSpec, ClosedRequest, Request, ServeConfig, ServeReport, ServeRuntime,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 42,
+        out: ".".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                args.seed = v.parse().expect("--seed must be a number");
+            }
+            "--out" => args.out = it.next().expect("--out needs a directory"),
+            other => {
+                eprintln!("unknown argument {other:?} (try --smoke / --seed / --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Workload {
+    name: &'static str,
+    points: usize,
+    dim: usize,
+    open_requests: usize,
+    open_rate_qps: f64,
+    closed_clients: usize,
+    closed_requests: usize,
+}
+
+const SMOKE: Workload = Workload {
+    name: "SMOKE",
+    points: 2_000,
+    dim: 16,
+    open_requests: 120,
+    open_rate_qps: 20_000.0,
+    closed_clients: 6,
+    closed_requests: 60,
+};
+
+const SYNTHETIC: Workload = Workload {
+    name: "synthetic",
+    points: 20_000,
+    dim: 32,
+    open_requests: 2_000,
+    open_rate_qps: 40_000.0,
+    closed_clients: 16,
+    closed_requests: 800,
+};
+
+const K: usize = 10;
+
+/// Open-loop arrivals: a seeded Poisson process (exponential
+/// inter-arrival gaps) over a pool of near-corpus queries, with ~25% of
+/// the stream re-submitting an earlier query (cache food), two tenants,
+/// and a 20 ms deadline on every fourth request.
+fn open_workload(data: &VectorSet, w: &Workload, seed: u64) -> Vec<Request> {
+    let pool = synth::queries_near(data, w.open_requests / 2 + 1, 0.02, seed ^ 0x9e37);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mean_gap_ns = 1e9 / w.open_rate_qps;
+    let mut at = 0.0f64;
+    let mut reqs = Vec::with_capacity(w.open_requests);
+    for i in 0..w.open_requests {
+        let u: f64 = rng.gen();
+        at += -((1.0 - u).max(1e-12_f64)).ln() * mean_gap_ns;
+        let reuse = rng.gen_bool(0.25) && i > 0;
+        let qi = if reuse {
+            rng.gen_range(0..(i / 2 + 1).min(pool.len()))
+        } else {
+            i % pool.len()
+        };
+        let mut r = Request::new(i as u64, at, pool.get(qi).to_vec(), K).tenant((i % 2) as u32);
+        if i % 4 == 0 {
+            r = r.deadline_ns(at + 2e7);
+        }
+        reqs.push(r);
+    }
+    reqs
+}
+
+fn emit(name: &str, out_dir: &str, open: &ServeReport, closed: &ServeReport, seed: u64) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"dataset\": \"serve_{name}\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"k\": {K},");
+    let _ = writeln!(s, "  \"open_loop\":");
+    s.push_str(&open.to_json("  "));
+    s.push_str(",\n");
+    let _ = writeln!(s, "  \"closed_loop\":");
+    s.push_str(&closed.to_json("  "));
+    s.push('\n');
+    s.push_str("}\n");
+    let path = format!("{out_dir}/BENCH_serve_{name}.json");
+    std::fs::write(&path, s).expect("write BENCH_serve json");
+    println!(
+        "{path}: open {:.0} qps (p99 {:.0} us, {:.1}% rejected, cache {:.0}% hit), \
+         closed {:.0} qps over {} clients",
+        open.throughput_qps,
+        open.p99_ns / 1e3,
+        open.rejection_rate() * 100.0,
+        open.cache.hit_rate() * 100.0,
+        closed.throughput_qps,
+        closed.requests,
+    );
+}
+
+fn run(w: &Workload, seed: u64, out_dir: &str) {
+    eprintln!(
+        "serveload: {} ({} x {}, {} open + {} closed requests) ...",
+        w.name, w.points, w.dim, w.open_requests, w.closed_requests
+    );
+    let data = synth::sift_like(w.points, w.dim, seed);
+    let build = |s: u64| {
+        DistIndex::build(
+            &data,
+            EngineConfig::new(8, 2)
+                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(s))
+                .seed(s),
+        )
+    };
+
+    // open loop: Poisson arrivals against guarded admission
+    let cfg = ServeConfig::new(SearchOptions::new(K))
+        .batch(16, 150_000.0)
+        .cache_capacity(256)
+        .admission(AdmissionPolicy {
+            tenant_rate_qps: w.open_rate_qps,
+            tenant_burst: 32.0,
+            max_queue_depth: 128,
+        });
+    let mut rt = ServeRuntime::new(build(seed), Sq8::encode(&data), cfg);
+    let open = rt.serve_open(open_workload(&data, w, seed)).report;
+
+    // protocol sanity: the run must conserve requests and make progress
+    assert_eq!(
+        open.requests,
+        open.completed + open.rejected_overloaded + open.rejected_deadline,
+        "{}: open-loop outcomes must cover every request",
+        w.name
+    );
+    assert!(
+        open.throughput_qps > 0.0,
+        "{}: open-loop throughput must be nonzero",
+        w.name
+    );
+
+    // closed loop: a fixed client population, fresh runtime (and a
+    // rebuilt index installed first, to exercise the epoch path)
+    rt.install_index(build(seed ^ 0x5bd1));
+    let pool = synth::queries_near(&data, w.closed_requests / 4 + 1, 0.02, seed ^ 0x51ed);
+    let closed = rt
+        .serve_closed(
+            ClosedLoopSpec {
+                clients: w.closed_clients,
+                total_requests: w.closed_requests,
+            },
+            |id, client| ClosedRequest {
+                query: pool.get(id as usize % pool.len()).to_vec(),
+                k: K,
+                tenant: (client % 2) as u32,
+                deadline_rel_ns: f64::INFINITY,
+            },
+        )
+        .report;
+    assert_eq!(
+        closed.requests, w.closed_requests as u64,
+        "{}: closed loop must issue exactly the configured total",
+        w.name
+    );
+    assert_eq!(
+        closed.requests,
+        closed.completed + closed.rejected_overloaded + closed.rejected_deadline,
+        "{}: closed-loop outcomes must cover every request",
+        w.name
+    );
+    assert!(
+        closed.throughput_qps > 0.0,
+        "{}: closed-loop throughput must be nonzero",
+        w.name
+    );
+
+    emit(w.name, out_dir, &open, &closed, seed);
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        run(&SMOKE, args.seed, &args.out);
+    } else {
+        run(&SYNTHETIC, args.seed, &args.out);
+    }
+}

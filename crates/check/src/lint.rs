@@ -11,7 +11,7 @@
 //! | `no-panic`        | no panicking macro in non-test library code (simulator exempt) |
 //! | `wildcard-recv`   | no wildcard-source / untagged receive outside the simulator    |
 //! | `tag-registry`    | every `TAG_*` constant and every sent tag is registered        |
-//! | `missing-doc`     | every `pub` item of fastann-core / fastann-mpisim has a doc    |
+//! | `missing-doc`     | every `pub` item of fastann-core / -mpisim / -serve has a doc  |
 //! | `no-thread-spawn` | no direct thread spawning outside the simulator — go through the rayon pool |
 //!
 //! Test modules (`#[cfg(test)] mod …`), `tests/` and `benches/`
@@ -247,7 +247,9 @@ fn parse_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
 fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Vec<Violation>) {
     let is_mpisim = rel.starts_with("crates/mpisim/");
     let is_tags_file = rel == "crates/core/src/tags.rs";
-    let wants_docs = rel.starts_with("crates/core/src") || rel.starts_with("crates/mpisim/src");
+    let wants_docs = rel.starts_with("crates/core/src")
+        || rel.starts_with("crates/mpisim/src")
+        || rel.starts_with("crates/serve/src");
 
     let lines: Vec<&str> = content.lines().collect();
     let mut in_test = false;
@@ -549,12 +551,15 @@ mod tests {
     }
 
     #[test]
-    fn flags_undocumented_pub_items_in_core_and_mpisim_only() {
+    fn flags_undocumented_pub_items_in_registered_crates_only() {
         let src = "pub fn naked() {}\n\n/// Documented.\npub fn clothed() {}\n\npub use other::thing;\npub(crate) fn internal() {}\n";
-        let v = lint_str("crates/core/src/x.rs", src);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].rule, RULE_DOC);
-        assert_eq!(v[0].line, 1);
+        // core, mpisim and serve are registered under the doc rule
+        for dir in ["crates/core/src", "crates/mpisim/src", "crates/serve/src"] {
+            let v = lint_str(&format!("{dir}/x.rs"), src);
+            assert_eq!(v.len(), 1, "{dir}: {v:?}");
+            assert_eq!(v[0].rule, RULE_DOC);
+            assert_eq!(v[0].line, 1);
+        }
         // other crates are not under the doc rule
         assert!(lint_str("crates/hnsw/src/x.rs", src).is_empty());
     }

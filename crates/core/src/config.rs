@@ -195,6 +195,23 @@ impl SearchOptions {
         self
     }
 
+    /// Deadline propagation for online serving: clamps the per-probe
+    /// timeout so it never exceeds `headroom_ns` (the tightest
+    /// virtual-time budget any request in the batch has left at dispatch).
+    /// A probe that cannot answer before the strictest deadline is then
+    /// declared lost *within* that deadline, giving retries and failovers
+    /// a chance to produce an answer the caller can still use.
+    ///
+    /// Non-finite or non-positive headroom (no deadline pressure, or a
+    /// deadline already blown) leaves the timeout unchanged; the floor of
+    /// 1 ns keeps the clamped value a valid timeout.
+    pub fn cap_timeout_ns(mut self, headroom_ns: f64) -> Self {
+        if headroom_ns.is_finite() && headroom_ns > 0.0 {
+            self.timeout_ns = self.timeout_ns.min(headroom_ns.max(1.0));
+        }
+        self
+    }
+
     /// Sets the schedule-perturbation seed (builder style); `0` disables.
     pub fn sched_seed(mut self, seed: u64) -> Self {
         self.sched_seed = seed;
@@ -251,5 +268,35 @@ mod tests {
     #[should_panic]
     fn zero_replication_rejected() {
         let _ = SearchOptions::new(10).replication(0);
+    }
+
+    #[test]
+    fn cap_timeout_clamps_only_under_deadline_pressure() {
+        let o = SearchOptions::new(10); // default timeout 1e7 ns
+        assert_eq!(
+            o.cap_timeout_ns(5e6).timeout_ns,
+            5e6,
+            "tight deadline clamps"
+        );
+        assert_eq!(
+            o.cap_timeout_ns(5e9).timeout_ns,
+            1e7,
+            "loose deadline is a no-op"
+        );
+        assert_eq!(
+            o.cap_timeout_ns(f64::INFINITY).timeout_ns,
+            1e7,
+            "no deadline"
+        );
+        assert_eq!(
+            o.cap_timeout_ns(-3.0).timeout_ns,
+            1e7,
+            "blown deadline ignored"
+        );
+        assert_eq!(
+            o.cap_timeout_ns(1e-9).timeout_ns,
+            1.0,
+            "floor keeps it valid"
+        );
     }
 }

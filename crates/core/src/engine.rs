@@ -119,6 +119,29 @@ pub fn search_batch_chaos(
     search_batch_chaos_inner(index, queries, opts, plan, None)
 }
 
+/// Single batch entry point for layered runtimes (the `fastann-serve`
+/// micro-batcher dispatches through this): routes to the fault-free path
+/// when no fault plan is active and to the fault-tolerant chaos path
+/// otherwise.
+///
+/// `None` and a vacuous plan are equivalent — both take
+/// [`search_batch`] — so a serving stack configured "no faults" provably
+/// pays no fault-tolerance overhead and reports identical virtual times.
+///
+/// # Panics
+/// Panics on dimension mismatch or empty query set.
+pub fn search_batch_with_plan(
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    plan: Option<&FaultPlan>,
+) -> QueryReport {
+    match plan {
+        Some(p) if !p.is_vacuous() => search_batch_chaos(index, queries, opts, p),
+        _ => search_batch(index, queries, opts),
+    }
+}
+
 /// [`search_batch_chaos`] with a virtual-time execution trace; timeout
 /// windows, retries and failovers show up as [`SpanKind::Recovery`] spans
 /// on the master row.

@@ -59,8 +59,8 @@ mod tune;
 pub use build::{DistIndex, Partition};
 pub use config::{EngineConfig, SearchOptions};
 pub use engine::{
-    search_batch, search_batch_chaos, search_batch_chaos_traced, search_batch_traced, TAG_DONE,
-    TAG_END, TAG_FLUSH, TAG_FLUSH_ACK, TAG_QUERY, TAG_RESULT,
+    search_batch, search_batch_chaos, search_batch_chaos_traced, search_batch_traced,
+    search_batch_with_plan, TAG_DONE, TAG_END, TAG_FLUSH, TAG_FLUSH_ACK, TAG_QUERY, TAG_RESULT,
 };
 pub use local::{LocalIndex, LocalIndexKind};
 pub use owner::search_batch_multi_owner;

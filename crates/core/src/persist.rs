@@ -5,13 +5,18 @@
 //! Format (little endian):
 //!
 //! ```text
-//! magic "FANNDIST" | version u32
-//! metric u8 | n_cores u32 | cores_per_node u32 | seed u64
-//! hnsw: m u32 | m_max0 u32 | ef_construction u32 | level_mult f64
-//! route: margin f32 | max_partitions u64
-//! router: len u64 | PartitionTree bytes            (VP-tree routers only)
-//! partitions: n_cores × [ids: len u32, u32… | hnsw: len u64, bytes…]
+//! header:  magic "FANNDIST" | version u32 | payload_len u64 | fnv1a64 u64
+//! payload: metric u8 | n_cores u32 | cores_per_node u32 | seed u64
+//!          hnsw: m u32 | m_max0 u32 | ef_construction u32 | level_mult f64
+//!          route: margin f32 | max_partitions u64
+//!          router: len u64 | PartitionTree bytes    (VP-tree routers only)
+//!          partitions: n_cores × [ids: len u32, u32… | hnsw: len u64, bytes…]
 //! ```
+//!
+//! The header carries the payload length and an FNV-1a-64 checksum over the
+//! payload bytes, so a truncated or bit-flipped snapshot fails loading with
+//! a typed error ([`PersistError::Format`] / [`PersistError::Checksum`])
+//! instead of deserializing garbage into a live index.
 //!
 //! Only the paper's configuration (VP-tree router + HNSW local indexes) is
 //! persistable; exact/brute local indexes rebuild quickly from data, and
@@ -33,7 +38,20 @@ use crate::router::Router;
 use crate::stats::BuildStats;
 
 const MAGIC: &[u8; 8] = b"FANNDIST";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// FNV-1a 64-bit over `bytes` — the snapshot payload checksum. Chosen for
+/// being dependency-free and byte-order independent; this guards against
+/// accidental corruption (truncation, bit rot, partial writes), not
+/// adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Errors raised when persisting or loading a distributed index.
 #[derive(Debug)]
@@ -42,6 +60,14 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Structural problem in the file.
     Format(String),
+    /// The payload bytes do not hash to the checksum the header recorded —
+    /// the snapshot was corrupted after it was written.
+    Checksum {
+        /// Checksum recorded in the snapshot header.
+        expected: u64,
+        /// Checksum computed over the payload actually read.
+        found: u64,
+    },
     /// The index configuration cannot be persisted (non-HNSW local index
     /// or non-VP-tree router).
     Unsupported(&'static str),
@@ -52,6 +78,10 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Format(m) => write!(f, "format error: {m}"),
+            PersistError::Checksum { expected, found } => write!(
+                f,
+                "checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+            ),
             PersistError::Unsupported(m) => write!(f, "unsupported configuration: {m}"),
         }
     }
@@ -115,35 +145,43 @@ impl DistIndex {
         let Router::VpTree(tree) = &*self.router else {
             return Err(PersistError::Unsupported("only VP-tree routers persist"));
         };
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&[metric_code(self.config.metric)])?;
-        w.write_all(&(self.config.n_cores as u32).to_le_bytes())?;
-        w.write_all(&(self.config.cores_per_node as u32).to_le_bytes())?;
-        w.write_all(&self.config.seed.to_le_bytes())?;
+        // Build the payload in memory first: the header needs its length
+        // and checksum, and the indexes being persisted fit in memory by
+        // construction.
+        let mut payload: Vec<u8> = Vec::new();
+        payload.push(metric_code(self.config.metric));
+        payload.extend_from_slice(&(self.config.n_cores as u32).to_le_bytes());
+        payload.extend_from_slice(&(self.config.cores_per_node as u32).to_le_bytes());
+        payload.extend_from_slice(&self.config.seed.to_le_bytes());
         let h = &self.config.hnsw;
-        w.write_all(&(h.m as u32).to_le_bytes())?;
-        w.write_all(&(h.m_max0 as u32).to_le_bytes())?;
-        w.write_all(&(h.ef_construction as u32).to_le_bytes())?;
-        w.write_all(&h.level_mult.to_bits().to_le_bytes())?;
-        w.write_all(&self.config.route.margin_frac.to_bits().to_le_bytes())?;
-        w.write_all(&(self.config.route.max_partitions as u64).to_le_bytes())?;
+        payload.extend_from_slice(&(h.m as u32).to_le_bytes());
+        payload.extend_from_slice(&(h.m_max0 as u32).to_le_bytes());
+        payload.extend_from_slice(&(h.ef_construction as u32).to_le_bytes());
+        payload.extend_from_slice(&h.level_mult.to_bits().to_le_bytes());
+        payload.extend_from_slice(&self.config.route.margin_frac.to_bits().to_le_bytes());
+        payload.extend_from_slice(&(self.config.route.max_partitions as u64).to_le_bytes());
         let skel = tree.to_bytes();
-        w.write_all(&(skel.len() as u64).to_le_bytes())?;
-        w.write_all(&skel)?;
+        payload.extend_from_slice(&(skel.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&skel);
         for p in self.partitions.iter() {
             let LocalIndex::Hnsw(hnsw) = &p.index else {
                 return Err(PersistError::Unsupported("only HNSW partitions persist"));
             };
-            w.write_all(&(p.global_ids.len() as u32).to_le_bytes())?;
+            payload.extend_from_slice(&(p.global_ids.len() as u32).to_le_bytes());
             for &id in &p.global_ids {
-                w.write_all(&id.to_le_bytes())?;
+                payload.extend_from_slice(&id.to_le_bytes());
             }
             let bytes = hnsw.to_bytes();
-            w.write_all(&(bytes.len() as u64).to_le_bytes())?;
-            w.write_all(&bytes)?;
+            payload.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            payload.extend_from_slice(&bytes);
         }
+
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&fnv1a64(&payload).to_le_bytes())?;
+        w.write_all(&payload)?;
         w.flush()?;
         Ok(())
     }
@@ -153,18 +191,40 @@ impl DistIndex {
     /// Construction statistics are not persisted; the loaded index carries
     /// partition sizes only.
     pub fn load(path: impl AsRef<Path>) -> Result<DistIndex, PersistError> {
-        let mut r = BufReader::new(File::open(path)?);
+        // magic 8 + version 4 + payload_len 8 + checksum 8
+        const HEADER_LEN: u64 = 28;
+        let file_len = std::fs::metadata(path.as_ref())?.len();
+        let mut file = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 8];
-        rd_exact(&mut r, &mut magic)?;
+        rd_exact(&mut file, &mut magic)?;
         if &magic != MAGIC {
             return Err(PersistError::Format("bad magic".into()));
         }
-        let version = rd_u32(&mut r)?;
+        let version = rd_u32(&mut file)?;
         if version != VERSION {
             return Err(PersistError::Format(format!(
                 "unsupported version {version}"
             )));
         }
+        let payload_len = rd_u64(&mut file)? as usize;
+        let expected = rd_u64(&mut file)?;
+        // validate the recorded length against the real file size *before*
+        // allocating: a corrupted length field must not drive a huge
+        // allocation, and a mismatch (truncation, trailing garbage) is a
+        // structural error in its own right
+        if file_len < HEADER_LEN || payload_len as u64 != file_len - HEADER_LEN {
+            return Err(PersistError::Format(format!(
+                "payload length {payload_len} does not match file size {file_len}"
+            )));
+        }
+        let mut payload = vec![0u8; payload_len];
+        rd_exact(&mut file, &mut payload)?;
+        let found = fnv1a64(&payload);
+        if found != expected {
+            return Err(PersistError::Checksum { expected, found });
+        }
+
+        let mut r: &[u8] = &payload;
         let mut mc = [0u8; 1];
         rd_exact(&mut r, &mut mc)?;
         let metric = metric_from(mc[0])?;
@@ -218,6 +278,12 @@ impl DistIndex {
                 global_ids: ids,
                 index: LocalIndex::Hnsw(hnsw),
             });
+        }
+        if !r.is_empty() {
+            return Err(PersistError::Format(format!(
+                "{} unparsed bytes inside payload",
+                r.len()
+            )));
         }
 
         let mut config = EngineConfig::new(n_cores, cores_per_node);
@@ -346,6 +412,73 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let Err(err) = res else {
             panic!("corrupted file must not load")
+        };
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        // a single flipped bit — wherever it lands: magic, version, length,
+        // checksum, or payload — must surface as a typed error, never as a
+        // silently-wrong index and never as an `Ok`
+        let (_, index) = build_one(88);
+        let path = tmp("bitflip");
+        index.save(&path).expect("save to temp dir succeeds");
+        let clean = std::fs::read(&path).expect("saved file is readable");
+        assert!(clean.len() > 28, "file has a header and a payload");
+
+        // sweep the whole header plus payload offsets spread across the file
+        let mut offsets: Vec<usize> = (0..28).collect();
+        offsets.extend((28..clean.len()).step_by((clean.len() / 64).max(1)));
+        offsets.push(clean.len() - 1);
+
+        for off in offsets {
+            let mut bytes = clean.clone();
+            bytes[off] ^= 0x10;
+            std::fs::write(&path, &bytes).expect("rewrite of corrupted bytes succeeds");
+            let res = DistIndex::load(&path);
+            let Err(err) = res else {
+                panic!("bit flip at offset {off} must not load")
+            };
+            assert!(
+                matches!(err, PersistError::Format(_) | PersistError::Checksum { .. }),
+                "offset {off}: unexpected error class {err}"
+            );
+        }
+
+        // flipping a payload byte specifically must be caught by the
+        // checksum (the structural parser alone cannot see most of these)
+        let mut bytes = clean.clone();
+        let mid = 28 + (clean.len() - 28) / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite of corrupted bytes succeeds");
+        let Err(err) = DistIndex::load(&path) else {
+            panic!("payload flip must fail")
+        };
+        assert!(
+            matches!(err, PersistError::Checksum { expected, found } if expected != found),
+            "payload flip must be a checksum error, got {err}"
+        );
+
+        // the pristine bytes still load (the sweep itself is not destructive)
+        std::fs::write(&path, &clean).expect("restore clean bytes");
+        let back = DistIndex::load(&path).expect("clean file loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.n_partitions(), index.n_partitions());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (_, index) = build_one(89);
+        let path = tmp("trailing");
+        index.save(&path).expect("save to temp dir succeeds");
+        let mut bytes = std::fs::read(&path).expect("saved file is readable");
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&path, &bytes).expect("rewrite succeeds");
+        let res = DistIndex::load(&path);
+        std::fs::remove_file(&path).ok();
+        let Err(err) = res else {
+            panic!("trailing bytes must not load")
         };
         assert!(matches!(err, PersistError::Format(_)));
     }

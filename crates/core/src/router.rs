@@ -172,6 +172,103 @@ mod tests {
         assert_eq!(r.approx_bytes(), 8 * 4 * 4);
     }
 
+    /// Two-leaf skeleton with a single boundary at `mu`, vantage point at
+    /// the origin.
+    fn boundary_tree(mu: f32) -> Router {
+        let mut b = fastann_vptree::PartitionTreeBuilder::new();
+        let near = b.leaf(0);
+        let far = b.leaf(1);
+        let root = b.inner(vec![0.0, 0.0], mu, near, far);
+        Router::VpTree(b.finish(root, Distance::L2))
+    }
+
+    #[test]
+    fn query_exactly_at_radius_mu_visits_both_sides() {
+        // d(q, vp) == mu is the knife edge: the point belongs to the near
+        // (inside) half, but its slack is exactly zero, so the sibling is
+        // within *any* margin — even margin_frac = 0 must route both sides
+        let r = boundary_tree(2.0);
+        let q = [2.0, 0.0];
+        let (route, ndist) = r.route(
+            &q,
+            &RouteConfig {
+                margin_frac: 0.0,
+                max_partitions: 8,
+            },
+        );
+        assert_eq!(route, vec![0, 1], "home partition first, sibling second");
+        assert_eq!(ndist, 1, "one boundary comparison");
+
+        // … while a query strictly inside with zero margin stays one-sided
+        let (route, _) = r.route(
+            &[1.0, 0.0],
+            &RouteConfig {
+                margin_frac: 0.0,
+                max_partitions: 8,
+            },
+        );
+        assert_eq!(route, vec![0], "interior query does not cross");
+
+        // and the partition cap still applies at the knife edge
+        let (route, _) = r.route(
+            &q,
+            &RouteConfig {
+                margin_frac: 0.0,
+                max_partitions: 1,
+            },
+        );
+        assert_eq!(route, vec![0], "nprobe = 1 keeps only the home partition");
+    }
+
+    #[test]
+    fn nprobe_larger_than_partition_count_clamps() {
+        let data = synth::sift_like(256, 6, 5);
+        let (tree, parts) = fastann_vptree::PartitionTree::build_local(&data, 4, Distance::L2, 5);
+        assert_eq!(parts.len(), 4);
+        let r = Router::VpTree(tree);
+        // margin wide enough to admit every sibling, nprobe far above P
+        let (route, _) = r.route(
+            data.get(17),
+            &RouteConfig {
+                margin_frac: 1e6,
+                max_partitions: 100,
+            },
+        );
+        assert_eq!(route.len(), 4, "cannot probe more partitions than exist");
+        let mut dedup = route.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "each partition appears exactly once");
+
+        // nprobe = 0 is clamped up to 1 rather than returning nothing: a
+        // query must always have at least its home partition searched
+        let (route, _) = r.route(
+            data.get(17),
+            &RouteConfig {
+                margin_frac: 0.0,
+                max_partitions: 0,
+            },
+        );
+        assert_eq!(route.len(), 1, "zero nprobe clamps to the home partition");
+    }
+
+    #[test]
+    fn empty_partition_still_routes() {
+        // the skeleton is data-independent: a leaf whose partition ended up
+        // with zero vectors (possible under adversarial splits) must still
+        // be routable — the engine answers it with zero candidates rather
+        // than the router pretending it does not exist
+        let r = boundary_tree(1.0);
+        let (route, _) = r.route(
+            &[5.0, 0.0], // far outside: routes to the (empty) far leaf
+            &RouteConfig {
+                margin_frac: 0.1,
+                max_partitions: 1,
+            },
+        );
+        assert_eq!(route, vec![1], "empty partition id is still returned");
+    }
+
     #[test]
     fn dispatcher_round_robins_within_workgroup() {
         let mut d = ReplicaDispatcher::new(8, 3);

@@ -84,21 +84,37 @@ impl Sq8 {
             .collect()
     }
 
+    /// Quantizes a query onto the trained grid without storing it,
+    /// returning one code byte per dimension. Two queries produce the same
+    /// byte string iff they round to the same grid cell in every
+    /// dimension, so the codes double as a compact (deliberately lossy)
+    /// cache key for online serving: an exact re-submission always maps to
+    /// the same key, while near-duplicate queries coalesce onto one entry.
+    /// Callers that need exactness on top (the serving result cache does)
+    /// must verify the stored query against the incoming one on a hit.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.dim()`.
+    pub fn encode_query(&self, q: &[f32]) -> Vec<u8> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        q.iter()
+            .enumerate()
+            .map(|(d, &x)| ((x - self.lo[d]) / self.step[d]).round().clamp(0.0, 255.0) as u8)
+            .collect()
+    }
+
     /// Exhaustive k-NN in the quantized domain: the query is quantized to
     /// the same grid and distances computed between dequantized values.
     /// This is where the recall ceiling comes from — true neighbours whose
     /// distance gap is below the quantization error get misranked, no
     /// matter how hard you search.
     pub fn knn(&self, q: &[f32], k: usize, dist: Distance) -> Vec<Neighbor> {
-        assert_eq!(q.len(), self.dim, "query dimension mismatch");
         // dequantized query (same information loss the stored vectors had)
-        let qq: Vec<f32> = q
+        let qq: Vec<f32> = self
+            .encode_query(q)
             .iter()
             .enumerate()
-            .map(|(d, &x)| {
-                let c = ((x - self.lo[d]) / self.step[d]).round().clamp(0.0, 255.0);
-                self.lo[d] + c * self.step[d]
-            })
+            .map(|(d, &c)| self.lo[d] + c as f32 * self.step[d])
             .collect();
         let mut top = TopK::new(k);
         let mut row = vec![0f32; self.dim];
@@ -184,5 +200,36 @@ mod tests {
     #[should_panic]
     fn empty_encode_panics() {
         let _ = Sq8::encode(&VectorSet::new(4));
+    }
+
+    #[test]
+    fn encode_query_is_a_stable_lossy_key() {
+        let data = synth::sift_like(300, 16, 9);
+        let sq = Sq8::encode(&data);
+        let q: Vec<f32> = data.get(7).to_vec();
+
+        // exact resubmission -> identical key
+        assert_eq!(sq.encode_query(&q), sq.encode_query(&q));
+
+        // sub-step perturbation -> same grid cell, same key
+        let mut near = q.clone();
+        near[0] += sq.step[0] * 0.2;
+        assert_eq!(sq.encode_query(&q), sq.encode_query(&near));
+
+        // a far query -> different key
+        let far: Vec<f32> = data.get(100).to_vec();
+        assert_ne!(sq.encode_query(&q), sq.encode_query(&far));
+
+        // the key is exactly the stored code path: encoding row i's vector
+        // reproduces row i's stored codes
+        let key = sq.encode_query(data.get(7));
+        assert_eq!(&key[..], &sq.codes[7 * sq.dim..8 * sq.dim]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_query_rejects_dim_mismatch() {
+        let data = synth::sift_like(10, 8, 11);
+        let _ = Sq8::encode(&data).encode_query(&[0.0; 4]);
     }
 }

@@ -90,18 +90,42 @@ impl TopK {
 
     /// Offers a candidate; keeps it only if it improves the current top-k.
     /// Returns `true` when the candidate was retained.
+    ///
+    /// Offering an exact duplicate (same id, same distance bits) of a
+    /// neighbour already held is a no-op. Distributed merges can see the
+    /// same `(id, dist)` more than once — replicated probes, retried probes
+    /// after a timeout, overlapping partial results — and without the
+    /// duplicate check the merged top-k would depend on probe arrival
+    /// order: a duplicate arriving early eats a slot (or evicts a distinct
+    /// worse candidate) that a distinct candidate arriving late can no
+    /// longer claim.
     #[inline]
     pub fn push(&mut self, n: Neighbor) -> bool {
         if self.heap.len() < self.k {
+            if self.contains_exact(n) {
+                return false;
+            }
             self.heap.push(n);
             true
         } else if n < *self.heap.peek().expect("non-empty full heap") {
+            if self.contains_exact(n) {
+                return false;
+            }
             // Strictly better than the current worst: replace it.
             *self.heap.peek_mut().expect("non-empty full heap") = n;
             true
         } else {
             false
         }
+    }
+
+    /// `true` when an exact copy of `n` is already held. O(k) scan, taken
+    /// only on the would-retain paths of [`TopK::push`]; k is small.
+    #[inline]
+    fn contains_exact(&self, n: Neighbor) -> bool {
+        self.heap
+            .iter()
+            .any(|m| m.id == n.id && m.dist.to_bits() == n.dist.to_bits())
     }
 
     /// Current worst retained distance — the pruning radius. `f32::INFINITY`
@@ -351,6 +375,43 @@ mod tests {
     }
 
     #[test]
+    fn exact_duplicates_never_double_count() {
+        // below capacity: the duplicate must not consume a slot …
+        let mut t = TopK::new(3);
+        assert!(t.push(Neighbor::new(1, 1.0)));
+        assert!(!t.push(Neighbor::new(1, 1.0)), "duplicate while not full");
+        assert!(t.push(Neighbor::new(2, 2.0)));
+        assert!(t.push(Neighbor::new(3, 3.0)));
+        assert_eq!(
+            t.to_sorted().iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "slot freed by the rejected duplicate goes to a distinct candidate"
+        );
+
+        // … at capacity: a duplicate of a *better* entry must not evict the
+        // distinct current worst (the pre-fix behaviour that made merges
+        // depend on probe arrival order)
+        let mut t = TopK::new(2);
+        t.push(Neighbor::new(1, 1.0));
+        t.push(Neighbor::new(9, 5.0));
+        assert!(
+            !t.push(Neighbor::new(1, 1.0)),
+            "duplicate of a better entry"
+        );
+        assert_eq!(
+            t.into_sorted().iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![1, 9],
+            "the distinct worst entry survives"
+        );
+
+        // same id at a *different* distance is a distinct candidate
+        let mut t = TopK::new(3);
+        t.push(Neighbor::new(1, 2.0));
+        assert!(t.push(Neighbor::new(1, 1.0)), "same id, better distance");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
     fn neighbor_total_order_handles_nan() {
         // total_cmp places NaN after all finite values, so a NaN candidate
         // never displaces a real one.
@@ -358,5 +419,70 @@ mod tests {
         t.push(Neighbor::new(0, 1.0));
         t.push(Neighbor::new(1, f32::NAN));
         assert_eq!(t.into_sorted()[0].id, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference semantics of a distributed merge: the distinct candidates
+    /// (duplicates collapsed), sorted by (distance, id), first k.
+    fn reference(cands: &[Neighbor], k: usize) -> Vec<Neighbor> {
+        let mut distinct: Vec<Neighbor> = Vec::new();
+        for &c in cands {
+            if !distinct
+                .iter()
+                .any(|d| d.id == c.id && d.dist.to_bits() == c.dist.to_bits())
+            {
+                distinct.push(c);
+            }
+        }
+        distinct.sort_unstable();
+        distinct.truncate(k);
+        distinct
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn merge_is_invariant_under_arrival_order_and_sharding(
+            k in 1usize..8,
+            // small id/distance alphabets force heavy ties and duplicates —
+            // exactly the regime where arrival order used to leak through
+            ids in proptest::collection::vec(0u32..12, 1..40),
+            rot in 0usize..40,
+            cut in 0usize..40,
+        ) {
+            let cands: Vec<Neighbor> = ids
+                .iter()
+                .map(|&id| Neighbor::new(id, ((id * 7) % 3) as f32))
+                .collect();
+            let want = reference(&cands, k);
+
+            // any rotation of the arrival order …
+            let mut rotated = cands.clone();
+            rotated.rotate_left(rot % cands.len());
+            let mut direct = TopK::new(k);
+            direct.merge_slice(&rotated);
+            prop_assert_eq!(&direct.into_sorted(), &want);
+
+            // … and any 2-way sharding, merged in either order, agree
+            let cut = cut % (cands.len() + 1);
+            let (left, right) = cands.split_at(cut);
+            let mut a = TopK::new(k);
+            a.merge_slice(left);
+            let mut b = TopK::new(k);
+            b.merge_slice(right);
+            let mut ab = TopK::new(k);
+            ab.merge(&a);
+            ab.merge(&b);
+            let mut ba = TopK::new(k);
+            ba.merge(&b);
+            ba.merge(&a);
+            prop_assert_eq!(&ab.into_sorted(), &want);
+            prop_assert_eq!(&ba.into_sorted(), &want);
+        }
     }
 }

@@ -45,6 +45,7 @@ mod net;
 mod rank;
 mod rma;
 mod trace;
+mod vclock;
 mod vthreads;
 /// Little-endian wire encoding helpers shared by every protocol.
 pub mod wire;
@@ -57,4 +58,5 @@ pub use net::{NetModel, Topology};
 pub use rank::{Msg, Rank, RankStats};
 pub use rma::Window;
 pub use trace::{Span, SpanKind, Trace};
+pub use vclock::{EventQueue, VClock};
 pub use vthreads::{SchedPerturb, VThreadPool};

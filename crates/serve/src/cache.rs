@@ -1,0 +1,317 @@
+//! The serving result cache: an LRU keyed by quantized query bytes.
+//!
+//! Keys are `(Sq8 codes of the query, k, metric)` — the SQ8 grid
+//! ([`fastann_data::quant::Sq8`]) collapses a query to one byte per
+//! dimension, so an exact re-submission always maps to the same key and
+//! near-duplicate queries (within a grid cell per dimension) coalesce onto
+//! one entry. Because the key is deliberately lossy, every entry also
+//! stores the *exact* query it was filled with, and a lookup only hits
+//! when the stored query equals the incoming one bit for bit; a key
+//! collision between distinct queries is counted and treated as a miss, so
+//! a cache hit is always byte-identical to the cold search it replaced.
+//!
+//! Coherence with index rebuilds is epoch-based: the runtime bumps the
+//! cache epoch when a new index is installed
+//! ([`crate::ServeRuntime::install_index`]), and entries from an older
+//! epoch are dropped lazily on first touch — a rebuilt index can never
+//! serve a stale hit, without an eager flush pause.
+//!
+//! Recency is tracked with a deterministic stamp counter and a
+//! `BTreeMap<stamp, key>` (not hash-iteration order), so eviction order —
+//! and therefore every counter in [`CacheStats`] — replays identically
+//! from the same request stream.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fastann_data::quant::Sq8;
+use fastann_data::{Distance, Neighbor};
+
+/// Hit/miss/eviction counters, all monotonic over the cache's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable (includes stale and collision).
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries dropped on touch because their epoch predated the current
+    /// index.
+    pub stale_drops: u64,
+    /// Lookups that found a key whose stored query differed from the
+    /// incoming one (quantization collision; served as a miss).
+    pub collisions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    qbytes: Vec<u8>,
+    k: usize,
+    metric: &'static str,
+}
+
+struct Entry {
+    stamp: u64,
+    epoch: u64,
+    query: Vec<f32>,
+    results: Vec<Neighbor>,
+}
+
+/// The LRU result cache. See the module docs for key and coherence
+/// semantics.
+pub struct ResultCache {
+    codec: Sq8,
+    capacity: usize,
+    epoch: u64,
+    stamp: u64,
+    map: HashMap<CacheKey, Entry>,
+    lru: BTreeMap<u64, CacheKey>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries, keyed through `codec`'s
+    /// quantization grid. `capacity == 0` disables the cache (every lookup
+    /// misses, inserts are dropped).
+    pub fn new(codec: Sq8, capacity: usize) -> Self {
+        Self {
+            codec,
+            capacity,
+            epoch: 0,
+            stamp: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Invalidates every cached entry by advancing the epoch; entries are
+    /// dropped lazily on next touch. Called when a rebuilt index is
+    /// installed.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Current invalidation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live entries (stale ones included until touched).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up the results for `(query, k, metric)`. Returns a clone of
+    /// the cached neighbours only when the entry is current-epoch and its
+    /// stored query equals `query` exactly; refreshes recency on hit.
+    pub fn lookup(&mut self, query: &[f32], k: usize, metric: Distance) -> Option<Vec<Neighbor>> {
+        if self.capacity == 0 {
+            self.stats.misses += 1;
+            return None;
+        }
+        let key = self.key(query, k, metric);
+        let Some(entry) = self.map.get(&key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if entry.epoch != self.epoch {
+            let old = self.map.remove(&key).map(|e| e.stamp);
+            if let Some(stamp) = old {
+                self.lru.remove(&stamp);
+            }
+            self.stats.stale_drops += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        if entry.query != query {
+            self.stats.collisions += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        // refresh recency: move the entry to the newest stamp
+        let new_stamp = self.next_stamp();
+        let entry = self.map.get_mut(&key).expect("entry checked above");
+        self.lru.remove(&entry.stamp);
+        entry.stamp = new_stamp;
+        self.lru.insert(new_stamp, key);
+        self.stats.hits += 1;
+        Some(entry.results.clone())
+    }
+
+    /// Stores `results` for `(query, k, metric)`, evicting the least
+    /// recently used entry when full. Overwrites an existing entry for the
+    /// same key (e.g. after a collision or an epoch bump).
+    pub fn insert(&mut self, query: &[f32], k: usize, metric: Distance, results: Vec<Neighbor>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = self.key(query, k, metric);
+        let stamp = self.next_stamp();
+        if let Some(old) = self.map.insert(
+            key.clone(),
+            Entry {
+                stamp,
+                epoch: self.epoch,
+                query: query.to_vec(),
+                results,
+            },
+        ) {
+            self.lru.remove(&old.stamp);
+        }
+        self.lru.insert(stamp, key);
+        self.stats.insertions += 1;
+        while self.map.len() > self.capacity {
+            let Some((&oldest, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let Some(victim) = self.lru.remove(&oldest) else {
+                break;
+            };
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn key(&self, query: &[f32], k: usize, metric: Distance) -> CacheKey {
+        CacheKey {
+            qbytes: self.codec.encode_query(query),
+            k,
+            metric: metric.name(),
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::synth;
+
+    fn codec() -> Sq8 {
+        Sq8::encode(&synth::sift_like(200, 8, 42))
+    }
+
+    fn nb(id: u32) -> Vec<Neighbor> {
+        vec![Neighbor::new(id, id as f32)]
+    }
+
+    #[test]
+    fn hit_requires_exact_query_and_k_and_metric() {
+        let mut c = ResultCache::new(codec(), 8);
+        let q = vec![10.0; 8];
+        c.insert(&q, 5, Distance::L2, nb(1));
+        assert_eq!(c.lookup(&q, 5, Distance::L2), Some(nb(1)));
+        assert_eq!(c.lookup(&q, 6, Distance::L2), None, "different k");
+        assert_eq!(c.lookup(&q, 5, Distance::L1), None, "different metric");
+        let stats = c.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn collision_is_a_miss_never_a_wrong_answer() {
+        let cdc = codec();
+        let q1 = vec![10.0; 8];
+        // perturb below the grid step: same quantized key, different query
+        let mut q2 = q1.clone();
+        q2[0] += 1e-6;
+        assert_eq!(
+            cdc.encode_query(&q1),
+            cdc.encode_query(&q2),
+            "perturbation must stay inside one grid cell for this test"
+        );
+        let mut c = ResultCache::new(cdc, 8);
+        c.insert(&q1, 5, Distance::L2, nb(1));
+        assert_eq!(c.lookup(&q2, 5, Distance::L2), None, "collision -> miss");
+        assert_eq!(c.stats().collisions, 1);
+        assert_eq!(c.lookup(&q1, 5, Distance::L2), Some(nb(1)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(codec(), 2);
+        let qa = vec![1.0; 8];
+        let qb = vec![50.0; 8];
+        let qc = vec![100.0; 8];
+        c.insert(&qa, 5, Distance::L2, nb(1));
+        c.insert(&qb, 5, Distance::L2, nb(2));
+        // touch A so B becomes the LRU victim
+        assert!(c.lookup(&qa, 5, Distance::L2).is_some());
+        c.insert(&qc, 5, Distance::L2, nb(3));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.lookup(&qa, 5, Distance::L2).is_some(), "A survived");
+        assert!(c.lookup(&qb, 5, Distance::L2).is_none(), "B evicted");
+        assert!(c.lookup(&qc, 5, Distance::L2).is_some(), "C present");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_lazily() {
+        let mut c = ResultCache::new(codec(), 8);
+        let q = vec![10.0; 8];
+        c.insert(&q, 5, Distance::L2, nb(1));
+        c.bump_epoch();
+        assert_eq!(c.len(), 1, "invalidation is lazy");
+        assert_eq!(c.lookup(&q, 5, Distance::L2), None, "stale entry dropped");
+        assert_eq!(c.stats().stale_drops, 1);
+        assert_eq!(c.len(), 0, "touch removed it");
+        // re-inserting under the new epoch serves again
+        c.insert(&q, 5, Distance::L2, nb(9));
+        assert_eq!(c.lookup(&q, 5, Distance::L2), Some(nb(9)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(codec(), 0);
+        let q = vec![10.0; 8];
+        c.insert(&q, 5, Distance::L2, nb(1));
+        assert_eq!(c.lookup(&q, 5, Distance::L2), None);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn overwrite_same_key_keeps_len_and_lru_consistent() {
+        let mut c = ResultCache::new(codec(), 2);
+        let q = vec![10.0; 8];
+        c.insert(&q, 5, Distance::L2, nb(1));
+        c.insert(&q, 5, Distance::L2, nb(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(&q, 5, Distance::L2), Some(nb(2)));
+        // the stale LRU stamp from the first insert must not evict the
+        // overwritten entry later
+        let qb = vec![50.0; 8];
+        c.insert(&qb, 5, Distance::L2, nb(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

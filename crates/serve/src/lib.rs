@@ -1,0 +1,42 @@
+//! fastann-serve — the online serving runtime.
+//!
+//! The other crates answer "how fast can one batch of queries run?";
+//! this crate answers "what happens when queries arrive one at a time,
+//! from many tenants, with deadlines, against a system that is sometimes
+//! busy?". It layers three serving mechanisms over the distributed
+//! engine ([`fastann_core::search_batch`]) without touching the engine's
+//! wire protocol:
+//!
+//! * **Micro-batching** ([`BatchPolicy`]) — arrivals coalesce into one
+//!   engine batch until a size or wait bound trips, trading a bounded
+//!   per-request wait for batch throughput.
+//! * **Admission control** ([`AdmissionPolicy`]) — per-tenant token
+//!   buckets ([`TokenBucket`]) and a global queue-depth bound shed load
+//!   with typed [`Rejection`]s, and a deadline-feasibility check refuses
+//!   requests that could not be answered in time anyway. Deadlines of
+//!   admitted requests propagate into the engine's per-probe timeout.
+//! * **Result caching** ([`ResultCache`]) — an LRU keyed by quantized
+//!   query bytes serves exact repeats without the engine, with epoch
+//!   invalidation so an index rebuild never leaks stale answers.
+//!
+//! Everything runs in the simulator's virtual time
+//! ([`fastann_mpisim::VClock`] / [`fastann_mpisim::EventQueue`]): a run
+//! is a discrete-event simulation whose [`ServeReport`] is bit-identical
+//! for the same seed and configuration at any
+//! [`fastann_core::EngineConfig::threads`] setting.
+
+#![forbid(unsafe_code)]
+
+mod admission;
+mod cache;
+mod config;
+mod report;
+mod request;
+mod runtime;
+
+pub use admission::TokenBucket;
+pub use cache::{CacheStats, ResultCache};
+pub use config::{AdmissionPolicy, BatchPolicy, ServeConfig};
+pub use report::ServeReport;
+pub use request::{Completion, Outcome, Rejection, Request};
+pub use runtime::{ClosedLoopSpec, ClosedRequest, ServeRun, ServeRuntime};

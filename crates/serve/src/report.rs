@@ -1,0 +1,191 @@
+//! The serving report: one run's latency, throughput, rejection, cache
+//! and probe statistics, in virtual time.
+
+use std::fmt::Write as _;
+
+use crate::cache::CacheStats;
+
+/// Aggregated outcome of one serving run. Every field derives from
+/// virtual-time quantities, so two runs with the same seed and
+/// configuration produce bit-identical reports at any thread count — the
+/// determinism tests compare these with `==` and the CI smoke hashes the
+/// JSON rendering.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    /// Requests that arrived (admitted + rejected).
+    pub requests: u64,
+    /// Requests answered (engine or cache).
+    pub completed: u64,
+    /// Requests refused with [`crate::Rejection::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Requests refused with [`crate::Rejection::DeadlineUnmeetable`].
+    pub rejected_deadline: u64,
+    /// Completed requests whose answer arrived after their deadline.
+    pub deadline_misses: u64,
+    /// Completed requests flagged degraded by the fault-tolerant path.
+    pub degraded: u64,
+    /// Engine batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch (0 when no batch was needed).
+    pub mean_batch: f64,
+    /// Result-cache counters (cumulative over the runtime's lifetime).
+    pub cache: CacheStats,
+    /// Median end-to-end virtual latency of completed requests (ns).
+    pub p50_ns: f64,
+    /// 95th-percentile latency (ns).
+    pub p95_ns: f64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: f64,
+    /// Worst latency (ns).
+    pub max_ns: f64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Virtual time from the first arrival to the last completion (ns).
+    pub makespan_ns: f64,
+    /// Completed requests per virtual second.
+    pub throughput_qps: f64,
+    /// Total virtual time the engine spent serving batches (ns).
+    pub engine_busy_ns: f64,
+    /// Probe retries across all dispatched batches (fault path only).
+    pub retries: u64,
+    /// Replica failovers across all dispatched batches (fault path only).
+    pub failovers: u64,
+    /// Partition probes served per partition, summed over batches.
+    pub per_partition_probes: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Fraction of requests refused by admission control.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.rejected_overloaded + self.rejected_deadline) as f64 / self.requests as f64
+        }
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the full-precision report. Two
+    /// reports fingerprint equally iff every field (floats compared by
+    /// bits via their shortest-roundtrip rendering) is identical — the
+    /// seed-stability hash `ci.sh` compares across repeated runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        // `Debug` renders f64 with shortest-roundtrip precision, so the
+        // string is a faithful proxy for the exact field bits
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Renders the report as a JSON object (no trailing newline), for the
+    /// `BENCH_serve_*.json` emitters. `indent` is prepended to every line
+    /// so the object can nest inside a larger document.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        let i = indent;
+        let _ = writeln!(s, "{i}{{");
+        let _ = writeln!(s, "{i}  \"requests\": {},", self.requests);
+        let _ = writeln!(s, "{i}  \"completed\": {},", self.completed);
+        let _ = writeln!(
+            s,
+            "{i}  \"rejected_overloaded\": {},",
+            self.rejected_overloaded
+        );
+        let _ = writeln!(s, "{i}  \"rejected_deadline\": {},", self.rejected_deadline);
+        let _ = writeln!(s, "{i}  \"rejection_rate\": {:.4},", self.rejection_rate());
+        let _ = writeln!(s, "{i}  \"deadline_misses\": {},", self.deadline_misses);
+        let _ = writeln!(s, "{i}  \"degraded\": {},", self.degraded);
+        let _ = writeln!(s, "{i}  \"batches\": {},", self.batches);
+        let _ = writeln!(s, "{i}  \"mean_batch\": {:.3},", self.mean_batch);
+        let _ = writeln!(s, "{i}  \"cache\": {{");
+        let _ = writeln!(s, "{i}    \"hits\": {},", self.cache.hits);
+        let _ = writeln!(s, "{i}    \"misses\": {},", self.cache.misses);
+        let _ = writeln!(s, "{i}    \"hit_rate\": {:.4},", self.cache.hit_rate());
+        let _ = writeln!(s, "{i}    \"insertions\": {},", self.cache.insertions);
+        let _ = writeln!(s, "{i}    \"evictions\": {},", self.cache.evictions);
+        let _ = writeln!(s, "{i}    \"stale_drops\": {},", self.cache.stale_drops);
+        let _ = writeln!(s, "{i}    \"collisions\": {}", self.cache.collisions);
+        let _ = writeln!(s, "{i}  }},");
+        let _ = writeln!(s, "{i}  \"latency_virtual_us\": {{");
+        let _ = writeln!(s, "{i}    \"p50\": {:.3},", self.p50_ns / 1e3);
+        let _ = writeln!(s, "{i}    \"p95\": {:.3},", self.p95_ns / 1e3);
+        let _ = writeln!(s, "{i}    \"p99\": {:.3},", self.p99_ns / 1e3);
+        let _ = writeln!(s, "{i}    \"max\": {:.3},", self.max_ns / 1e3);
+        let _ = writeln!(s, "{i}    \"mean\": {:.3}", self.mean_ns / 1e3);
+        let _ = writeln!(s, "{i}  }},");
+        let _ = writeln!(
+            s,
+            "{i}  \"makespan_virtual_ms\": {:.3},",
+            self.makespan_ns / 1e6
+        );
+        let _ = writeln!(s, "{i}  \"throughput_qps\": {:.1},", self.throughput_qps);
+        let _ = writeln!(
+            s,
+            "{i}  \"engine_busy_ms\": {:.3},",
+            self.engine_busy_ns / 1e6
+        );
+        let _ = writeln!(s, "{i}  \"retries\": {},", self.retries);
+        let _ = writeln!(s, "{i}  \"failovers\": {},", self.failovers);
+        let probes: Vec<String> = self
+            .per_partition_probes
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        let _ = writeln!(s, "{i}  \"per_partition_probes\": [{}],", probes.join(", "));
+        let _ = writeln!(s, "{i}  \"fingerprint\": \"{:#018x}\"", self.fingerprint());
+        let _ = write!(s, "{i}}}");
+        s
+    }
+}
+
+/// `p`-th percentile (0 ≤ p ≤ 1) of an ascending-sorted slice, by the
+/// nearest-rank index `round((n-1)·p)`; 0 for an empty slice.
+pub(crate) fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 51.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let a = ServeReport::default();
+        assert_eq!(a.fingerprint(), ServeReport::default().fingerprint());
+        let b = ServeReport {
+            p99_ns: 1e-12, // tiny change must flip the fingerprint
+            ..Default::default()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn json_renders_and_nests() {
+        let r = ServeReport {
+            per_partition_probes: vec![3, 1, 4],
+            ..Default::default()
+        };
+        let j = r.to_json("  ");
+        assert!(j.starts_with("  {"));
+        assert!(j.ends_with('}'));
+        assert!(j.contains("\"per_partition_probes\": [3, 1, 4]"));
+        assert!(j.contains("\"fingerprint\": \"0x"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Request and outcome types of the serving runtime.
+
+use fastann_data::Neighbor;
+
+/// One timestamped online query entering the serving runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Caller-assigned request id (unique within a run; the runtime
+    /// reports outcomes keyed by it).
+    pub id: u64,
+    /// Tenant the request bills against (per-tenant token buckets).
+    pub tenant: u32,
+    /// Virtual arrival time in nanoseconds.
+    pub arrival_ns: f64,
+    /// The query vector (must match the index dimensionality).
+    pub query: Vec<f32>,
+    /// Neighbours requested.
+    pub k: usize,
+    /// Absolute virtual-time deadline in nanoseconds;
+    /// `f64::INFINITY` means "no deadline".
+    pub deadline_ns: f64,
+}
+
+impl Request {
+    /// A request with no deadline, arriving at `arrival_ns`.
+    pub fn new(id: u64, arrival_ns: f64, query: Vec<f32>, k: usize) -> Self {
+        Self {
+            id,
+            tenant: 0,
+            arrival_ns,
+            query,
+            k,
+            deadline_ns: f64::INFINITY,
+        }
+    }
+
+    /// Sets the tenant (builder style).
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets an absolute deadline (builder style).
+    pub fn deadline_ns(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+}
+
+/// Why admission control refused a request. Typed so callers (and the
+/// closed-loop load generator) can react differently to "back off" versus
+/// "this deadline was never feasible".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// The tenant's token bucket was empty or the global queue-depth bound
+    /// was reached: the system is shedding load.
+    Overloaded,
+    /// Even an immediate dispatch could not answer before the request's
+    /// deadline, so queueing it would only waste engine time.
+    DeadlineUnmeetable,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Overloaded => write!(f, "overloaded"),
+            Rejection::DeadlineUnmeetable => write!(f, "deadline unmeetable"),
+        }
+    }
+}
+
+/// A successfully answered request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// The request's tenant.
+    pub tenant: u32,
+    /// When the request arrived (virtual ns).
+    pub arrival_ns: f64,
+    /// When its results were ready (virtual ns).
+    pub done_ns: f64,
+    /// `true` when the result cache answered (no engine dispatch).
+    pub cache_hit: bool,
+    /// `true` when the fault-tolerant path returned a partial top-k.
+    pub degraded: bool,
+    /// The k nearest neighbours, ascending by distance.
+    pub results: Vec<Neighbor>,
+}
+
+impl Completion {
+    /// End-to-end virtual latency of this request.
+    #[inline]
+    pub fn latency_ns(&self) -> f64 {
+        self.done_ns - self.arrival_ns
+    }
+}
+
+/// Terminal state of one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Answered (through the engine or the cache).
+    Completed(Completion),
+    /// Refused by admission control.
+    Rejected {
+        /// The request's id.
+        id: u64,
+        /// The request's tenant.
+        tenant: u32,
+        /// Virtual time of the rejection (the arrival instant: admission
+        /// decisions are made before any queueing).
+        at_ns: f64,
+        /// Why it was refused.
+        reason: Rejection,
+    },
+}
+
+impl Outcome {
+    /// The request id this outcome belongs to.
+    pub fn id(&self) -> u64 {
+        match self {
+            Outcome::Completed(c) => c.id,
+            Outcome::Rejected { id, .. } => *id,
+        }
+    }
+
+    /// The completion, when the request was answered.
+    pub fn completion(&self) -> Option<&Completion> {
+        match self {
+            Outcome::Completed(c) => Some(c),
+            Outcome::Rejected { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! The serving event loop: arrivals → admission → cache → micro-batches →
+//! engine dispatch, all in virtual time.
+//!
+//! The runtime is a discrete-event simulation over the
+//! [`fastann_mpisim::EventQueue`]: `Arrival` events carry requests,
+//! `BatchTimer` events bound how long a forming batch may wait. Engine
+//! batches are serialized on one simulated cluster — a batch triggered
+//! while the previous one is still running dispatches when the engine
+//! frees up — so queueing delay is real and admission control has
+//! something to protect. Every quantity is virtual (`f64` ns), every
+//! container is iterated in a deterministic order, and the engine itself
+//! honours the PR-3 thread-determinism contract, so a run replays
+//! bit-identically from the same inputs at any `threads` setting.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+
+use fastann_core::{search_batch_with_plan, DistIndex};
+use fastann_data::quant::Sq8;
+use fastann_data::VectorSet;
+use fastann_mpisim::{EventQueue, VClock};
+
+use crate::admission::TokenBucket;
+use crate::cache::ResultCache;
+use crate::config::ServeConfig;
+use crate::report::{percentile, ServeReport};
+use crate::request::{Completion, Outcome, Rejection, Request};
+
+/// Everything one serving run produced: the aggregate [`ServeReport`] and
+/// the per-request [`Outcome`]s in decision order (rejections at arrival,
+/// completions at batch dispatch).
+pub struct ServeRun {
+    /// Aggregate statistics.
+    pub report: ServeReport,
+    /// Per-request terminal states.
+    pub outcomes: Vec<Outcome>,
+}
+
+impl ServeRun {
+    /// The completion for request `id`, if it completed.
+    pub fn completion_of(&self, id: u64) -> Option<&Completion> {
+        self.outcomes
+            .iter()
+            .filter_map(Outcome::completion)
+            .find(|c| c.id == id)
+    }
+}
+
+/// What a closed-loop client submits next (the runtime assigns id,
+/// arrival time and absolute deadline).
+pub struct ClosedRequest {
+    /// The query vector.
+    pub query: Vec<f32>,
+    /// Neighbours requested.
+    pub k: usize,
+    /// Tenant to bill.
+    pub tenant: u32,
+    /// Deadline relative to the arrival instant (`f64::INFINITY` = none).
+    pub deadline_rel_ns: f64,
+}
+
+/// Closed-loop workload shape: `clients` concurrent clients, each issuing
+/// its next request the moment its previous one terminates (completions
+/// re-issue immediately; rejections back off by
+/// [`ServeConfig::retry_backoff_ns`]), until `total_requests` have been
+/// issued overall.
+pub struct ClosedLoopSpec {
+    /// Concurrent clients (all start at virtual time 0).
+    pub clients: usize,
+    /// Total requests to issue across all clients.
+    pub total_requests: usize,
+}
+
+/// The online serving runtime. Owns the engine index, the result cache
+/// and the policy configuration; [`ServeRuntime::serve_open`] /
+/// [`ServeRuntime::serve_closed`] execute one workload each and can be
+/// called repeatedly (the cache — and its epoch — persist across runs,
+/// which is what makes [`ServeRuntime::install_index`] meaningful).
+pub struct ServeRuntime {
+    index: DistIndex,
+    cfg: ServeConfig,
+    cache: ResultCache,
+    service_est_ns: f64,
+}
+
+impl ServeRuntime {
+    /// A runtime serving `index`, with cache keys quantized through
+    /// `codec` (train it on a sample of the corpus) and behaviour set by
+    /// `cfg`.
+    ///
+    /// # Panics
+    /// Panics when the codec dimensionality does not match the index.
+    pub fn new(index: DistIndex, codec: Sq8, cfg: ServeConfig) -> Self {
+        assert_eq!(
+            codec.dim(),
+            index.dim(),
+            "cache codec dimensionality must match the index"
+        );
+        let cache = ResultCache::new(codec, cfg.cache_capacity);
+        let service_est_ns = cfg.service_estimate_ns;
+        Self {
+            index,
+            cfg,
+            cache,
+            service_est_ns,
+        }
+    }
+
+    /// Replaces the served index (a rebuild going live) and bumps the
+    /// result-cache epoch, so no request served from now on can observe a
+    /// hit computed against the old index.
+    ///
+    /// # Panics
+    /// Panics when the new index changes dimensionality.
+    pub fn install_index(&mut self, index: DistIndex) {
+        assert_eq!(
+            index.dim(),
+            self.index.dim(),
+            "a rebuilt index must keep the dimensionality"
+        );
+        self.index = index;
+        self.cache.bump_epoch();
+    }
+
+    /// Result-cache counter snapshot.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves an open-loop workload: `requests` arrive at their own
+    /// `arrival_ns` regardless of how the system keeps up (the load
+    /// generator's Poisson mode). Requests need not be pre-sorted.
+    pub fn serve_open(&mut self, requests: Vec<Request>) -> ServeRun {
+        let mut sim = Sim::new(self);
+        for r in requests {
+            sim.validate(&r);
+            let at = r.arrival_ns;
+            sim.events.push(at, Ev::Arrival(r));
+        }
+        sim.run(None);
+        sim.finish()
+    }
+
+    /// Serves a closed-loop workload: `spec.clients` clients each keep one
+    /// request outstanding, drawing the next submission from `gen(id,
+    /// client)`, until `spec.total_requests` have been issued.
+    pub fn serve_closed(
+        &mut self,
+        spec: ClosedLoopSpec,
+        mut gen: impl FnMut(u64, usize) -> ClosedRequest,
+    ) -> ServeRun {
+        assert!(spec.clients >= 1, "need at least one client");
+        let mut sim = Sim::new(self);
+        let mut driver = ClosedDriver {
+            issued: 0,
+            total: spec.total_requests,
+            client_of: HashMap::new(),
+        };
+        let first_wave = spec.clients.min(spec.total_requests);
+        for client in 0..first_wave {
+            let req = driver.issue(&mut gen, client, 0.0);
+            sim.validate(&req);
+            sim.events.push(0.0, Ev::Arrival(req));
+        }
+        sim.run(Some((&mut driver, &mut gen)));
+        sim.finish()
+    }
+}
+
+/// Borrowed closed-loop state: the driver plus the caller's generator.
+type DriverRef<'d, 'g> = (
+    &'d mut ClosedDriver,
+    &'g mut dyn FnMut(u64, usize) -> ClosedRequest,
+);
+
+struct ClosedDriver {
+    issued: u64,
+    total: usize,
+    client_of: HashMap<u64, usize>,
+}
+
+impl ClosedDriver {
+    fn issue(
+        &mut self,
+        gen: &mut impl FnMut(u64, usize) -> ClosedRequest,
+        client: usize,
+        at_ns: f64,
+    ) -> Request {
+        let id = self.issued;
+        self.issued += 1;
+        self.client_of.insert(id, client);
+        let c = gen(id, client);
+        Request {
+            id,
+            tenant: c.tenant,
+            arrival_ns: at_ns,
+            query: c.query,
+            k: c.k,
+            deadline_ns: at_ns + c.deadline_rel_ns,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.issued as usize >= self.total
+    }
+}
+
+enum Ev {
+    Arrival(Request),
+    BatchTimer(u64),
+}
+
+/// `f64` virtual timestamps with a total order, for the in-flight heap.
+#[derive(PartialEq)]
+struct OrdNs(f64);
+impl Eq for OrdNs {}
+impl Ord for OrdNs {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl PartialOrd for OrdNs {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One run's mutable simulation state, borrowing the runtime.
+struct Sim<'a> {
+    rt: &'a mut ServeRuntime,
+    clock: VClock,
+    events: EventQueue<Ev>,
+    forming: Vec<Request>,
+    forming_batch_id: u64,
+    engine_free_ns: f64,
+    inflight: BinaryHeap<Reverse<OrdNs>>,
+    buckets: HashMap<u32, TokenBucket>,
+    outcomes: Vec<Outcome>,
+    // report aggregates
+    requests: u64,
+    rejected_overloaded: u64,
+    rejected_deadline: u64,
+    deadline_misses: u64,
+    degraded: u64,
+    batches: u64,
+    dispatched: u64,
+    engine_busy_ns: f64,
+    retries: u64,
+    failovers: u64,
+    per_partition_probes: Vec<u64>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(rt: &'a mut ServeRuntime) -> Self {
+        let parts = rt.index.n_partitions();
+        Self {
+            rt,
+            clock: VClock::new(),
+            events: EventQueue::new(),
+            forming: Vec::new(),
+            forming_batch_id: 0,
+            engine_free_ns: 0.0,
+            inflight: BinaryHeap::new(),
+            buckets: HashMap::new(),
+            outcomes: Vec::new(),
+            requests: 0,
+            rejected_overloaded: 0,
+            rejected_deadline: 0,
+            deadline_misses: 0,
+            degraded: 0,
+            batches: 0,
+            dispatched: 0,
+            engine_busy_ns: 0.0,
+            retries: 0,
+            failovers: 0,
+            per_partition_probes: vec![0; parts],
+        }
+    }
+
+    fn validate(&self, r: &Request) {
+        assert_eq!(
+            r.query.len(),
+            self.rt.index.dim(),
+            "request {} dimension mismatch",
+            r.id
+        );
+        assert!(r.k >= 1, "request {} asks for zero neighbours", r.id);
+    }
+
+    /// Drains the event queue. With a closed-loop driver, every outcome
+    /// schedules the owning client's next request.
+    fn run(&mut self, mut driver: Option<DriverRef<'_, '_>>) {
+        while let Some((at, ev)) = self.events.pop() {
+            self.clock.advance_to(at);
+            let first_new = self.outcomes.len();
+            match ev {
+                Ev::Arrival(req) => self.on_arrival(req),
+                Ev::BatchTimer(batch_id) => {
+                    if batch_id == self.forming_batch_id && !self.forming.is_empty() {
+                        self.flush();
+                    }
+                }
+            }
+            if let Some((drv, gen)) = driver.as_mut() {
+                for i in first_new..self.outcomes.len() {
+                    if drv.exhausted() {
+                        break;
+                    }
+                    let (finished_id, next_at) = match &self.outcomes[i] {
+                        Outcome::Completed(c) => (c.id, c.done_ns),
+                        Outcome::Rejected { id, at_ns, .. } => {
+                            (*id, at_ns + self.rt.cfg.retry_backoff_ns.max(1.0))
+                        }
+                    };
+                    let Some(&client) = drv.client_of.get(&finished_id) else {
+                        continue;
+                    };
+                    let req = drv.issue(gen, client, next_at);
+                    self.validate(&req);
+                    self.events.push(next_at, Ev::Arrival(req));
+                }
+            }
+        }
+        debug_assert!(self.forming.is_empty(), "timer must have flushed the tail");
+    }
+
+    fn on_arrival(&mut self, req: Request) {
+        let now = self.clock.now();
+        self.requests += 1;
+
+        // retire dispatched work that finished before this instant, so the
+        // queue-depth bound sees the true number outstanding
+        while let Some(Reverse(OrdNs(done))) = self.inflight.peek() {
+            if *done <= now {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+
+        // 1. per-tenant token bucket
+        let adm = self.rt.cfg.admission;
+        let bucket = self
+            .buckets
+            .entry(req.tenant)
+            .or_insert_with(|| TokenBucket::new(adm.tenant_rate_qps, adm.tenant_burst));
+        if !bucket.try_take(now) {
+            self.reject(&req, now, Rejection::Overloaded);
+            return;
+        }
+
+        // 2. result cache — a hit answers without queue or engine, which
+        // is exactly why it sits before the depth bound: cached traffic
+        // must stay cheap when the system sheds load
+        let metric = self.rt.index.config.metric;
+        if let Some(results) = self.rt.cache.lookup(&req.query, req.k, metric) {
+            let done = now + self.rt.cfg.cache_hit_ns;
+            if req.deadline_ns.is_finite() && done > req.deadline_ns {
+                self.deadline_misses += 1;
+            }
+            self.outcomes.push(Outcome::Completed(Completion {
+                id: req.id,
+                tenant: req.tenant,
+                arrival_ns: req.arrival_ns,
+                done_ns: done,
+                cache_hit: true,
+                degraded: false,
+                results,
+            }));
+            return;
+        }
+
+        // 3. global queue-depth bound over outstanding admitted requests
+        let depth = self.forming.len() + self.inflight.len();
+        if depth >= adm.max_queue_depth {
+            self.reject(&req, now, Rejection::Overloaded);
+            return;
+        }
+
+        // 4. deadline feasibility: would this request — batched at worst
+        // after the full batching wait, behind the engine's backlog —
+        // still answer in time? The service estimate is an EMA of
+        // observed batch times, so the check adapts as load changes.
+        if req.deadline_ns.is_finite() {
+            let est_start = (now + self.rt.cfg.batch.max_wait_ns).max(self.engine_free_ns);
+            if est_start + self.rt.service_est_ns > req.deadline_ns {
+                self.reject(&req, now, Rejection::DeadlineUnmeetable);
+                return;
+            }
+        }
+
+        // admitted: join the forming batch
+        if self.forming.is_empty() {
+            self.events.push(
+                now + self.rt.cfg.batch.max_wait_ns,
+                Ev::BatchTimer(self.forming_batch_id),
+            );
+        }
+        self.forming.push(req);
+        if self.forming.len() >= self.rt.cfg.batch.max_batch {
+            self.flush();
+        }
+    }
+
+    fn reject(&mut self, req: &Request, now: f64, reason: Rejection) {
+        match reason {
+            Rejection::Overloaded => self.rejected_overloaded += 1,
+            Rejection::DeadlineUnmeetable => self.rejected_deadline += 1,
+        }
+        self.outcomes.push(Outcome::Rejected {
+            id: req.id,
+            tenant: req.tenant,
+            at_ns: now,
+            reason,
+        });
+    }
+
+    /// Dispatches the forming batch through the engine.
+    fn flush(&mut self) {
+        let batch = std::mem::take(&mut self.forming);
+        self.forming_batch_id += 1;
+        let trigger = self.clock.now();
+        // one simulated cluster: a batch waits for the previous one
+        let dispatch = trigger.max(self.engine_free_ns);
+
+        let mut queries = VectorSet::new(self.rt.index.dim());
+        for r in &batch {
+            queries.push(&r.query);
+        }
+        let kmax = batch.iter().map(|r| r.k).max().unwrap_or(1);
+        let mut opts = self.rt.cfg.search;
+        opts.k = kmax;
+        opts.ef = opts.ef.max(kmax);
+        // deadline propagation: the tightest headroom in the batch caps
+        // the per-probe timeout of the fault-tolerant path
+        let headroom = batch
+            .iter()
+            .map(|r| r.deadline_ns - dispatch)
+            .fold(f64::INFINITY, f64::min);
+        let opts = opts.cap_timeout_ns(headroom);
+
+        let report =
+            search_batch_with_plan(&self.rt.index, &queries, &opts, self.rt.cfg.fault.as_ref());
+        let done = dispatch + report.total_ns;
+        self.engine_free_ns = done;
+        self.engine_busy_ns += report.total_ns;
+        self.batches += 1;
+        self.dispatched += batch.len() as u64;
+        self.retries += report.retries;
+        self.failovers += report.failovers;
+        for (slot, &n) in report.per_core_queries.iter().enumerate() {
+            if let Some(p) = self.per_partition_probes.get_mut(slot) {
+                *p += n;
+            }
+        }
+        // adapt the feasibility estimate (deterministic EMA, α = 1/2)
+        self.rt.service_est_ns = 0.5 * self.rt.service_est_ns + 0.5 * report.total_ns;
+
+        let metric = self.rt.index.config.metric;
+        for (i, req) in batch.into_iter().enumerate() {
+            let mut results = report.results[i].clone();
+            results.truncate(req.k);
+            let was_degraded = report.degraded[i];
+            if was_degraded {
+                self.degraded += 1;
+            } else {
+                // degraded (partial) answers are never cached: a fault is
+                // transient, a cache entry is not
+                self.rt
+                    .cache
+                    .insert(&req.query, req.k, metric, results.clone());
+            }
+            if req.deadline_ns.is_finite() && done > req.deadline_ns {
+                self.deadline_misses += 1;
+            }
+            self.inflight.push(Reverse(OrdNs(done)));
+            self.outcomes.push(Outcome::Completed(Completion {
+                id: req.id,
+                tenant: req.tenant,
+                arrival_ns: req.arrival_ns,
+                done_ns: done,
+                cache_hit: false,
+                degraded: was_degraded,
+                results,
+            }));
+        }
+    }
+
+    fn finish(self) -> ServeRun {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut completed = 0u64;
+        let mut makespan: f64 = 0.0;
+        let mut lat_sum = 0.0;
+        for o in &self.outcomes {
+            match o {
+                Outcome::Completed(c) => {
+                    completed += 1;
+                    let l = c.latency_ns();
+                    latencies.push(l);
+                    lat_sum += l;
+                    makespan = makespan.max(c.done_ns);
+                }
+                Outcome::Rejected { at_ns, .. } => makespan = makespan.max(*at_ns),
+            }
+        }
+        latencies.sort_unstable_by(f64::total_cmp);
+        let report = ServeReport {
+            requests: self.requests,
+            completed,
+            rejected_overloaded: self.rejected_overloaded,
+            rejected_deadline: self.rejected_deadline,
+            deadline_misses: self.deadline_misses,
+            degraded: self.degraded,
+            batches: self.batches,
+            mean_batch: if self.batches == 0 {
+                0.0
+            } else {
+                self.dispatched as f64 / self.batches as f64
+            },
+            cache: self.rt.cache.stats(),
+            p50_ns: percentile(&latencies, 0.50),
+            p95_ns: percentile(&latencies, 0.95),
+            p99_ns: percentile(&latencies, 0.99),
+            max_ns: latencies.last().copied().unwrap_or(0.0),
+            mean_ns: if latencies.is_empty() {
+                0.0
+            } else {
+                lat_sum / latencies.len() as f64
+            },
+            makespan_ns: makespan,
+            throughput_qps: if makespan > 0.0 {
+                completed as f64 / (makespan / 1e9)
+            } else {
+                0.0
+            },
+            engine_busy_ns: self.engine_busy_ns,
+            retries: self.retries,
+            failovers: self.failovers,
+            per_partition_probes: self.per_partition_probes,
+        };
+        ServeRun {
+            report,
+            outcomes: self.outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdmissionPolicy;
+    use fastann_core::{EngineConfig, SearchOptions};
+    use fastann_data::synth;
+    use fastann_hnsw::HnswConfig;
+
+    fn small_runtime(cache_entries: usize) -> (fastann_data::VectorSet, ServeRuntime) {
+        let data = synth::sift_like(1_500, 12, 7);
+        let index = DistIndex::build(
+            &data,
+            EngineConfig::new(4, 2)
+                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(7))
+                .seed(7),
+        );
+        let codec = Sq8::encode(&data);
+        let cfg = ServeConfig::new(SearchOptions::new(5)).cache_capacity(cache_entries);
+        (data, ServeRuntime::new(index, codec, cfg))
+    }
+
+    fn open_requests(data: &fastann_data::VectorSet, n: usize, gap_ns: f64) -> Vec<Request> {
+        let queries = synth::queries_near(data, n, 0.02, 99);
+        (0..n)
+            .map(|i| Request::new(i as u64, i as f64 * gap_ns, queries.get(i).to_vec(), 5))
+            .collect()
+    }
+
+    #[test]
+    fn size_bound_flushes_full_batches() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.batch.max_batch = 8;
+        rt.cfg.batch.max_wait_ns = 1e12; // timer effectively off
+        let run = rt.serve_open(open_requests(&data, 24, 10.0));
+        assert_eq!(run.report.batches, 3, "24 requests / max_batch 8");
+        assert_eq!(run.report.mean_batch, 8.0);
+        assert_eq!(run.report.completed, 24);
+    }
+
+    #[test]
+    fn wait_bound_flushes_sparse_arrivals() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.batch.max_batch = 64;
+        rt.cfg.batch.max_wait_ns = 1_000.0;
+        // arrivals 1 ms apart: each must flush alone when its timer fires
+        let run = rt.serve_open(open_requests(&data, 5, 1e6));
+        assert_eq!(run.report.batches, 5, "each request rode its own timer");
+        assert_eq!(run.report.mean_batch, 1.0);
+        // latency includes the batching wait
+        for c in run.outcomes.iter().filter_map(Outcome::completion) {
+            assert!(c.latency_ns() >= 1_000.0, "paid the batch wait");
+        }
+    }
+
+    #[test]
+    fn stale_timer_does_not_reflush() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.batch.max_batch = 2;
+        rt.cfg.batch.max_wait_ns = 50_000.0;
+        // two quick arrivals flush by size before their timer fires; the
+        // stale timer must not dispatch an empty or duplicate batch
+        let run = rt.serve_open(open_requests(&data, 2, 10.0));
+        assert_eq!(run.report.batches, 1);
+        assert_eq!(run.report.completed, 2);
+    }
+
+    #[test]
+    fn token_bucket_rejects_burst_over_rate() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.admission = AdmissionPolicy {
+            tenant_rate_qps: 1_000.0,
+            tenant_burst: 4.0,
+            max_queue_depth: usize::MAX,
+        };
+        // 20 requests in one instant: burst admits 4, the rest shed
+        let run = rt.serve_open(open_requests(&data, 20, 0.0));
+        assert_eq!(run.report.requests, 20);
+        assert_eq!(run.report.completed, 4);
+        assert_eq!(run.report.rejected_overloaded, 16);
+        for o in &run.outcomes {
+            if let Outcome::Rejected { reason, .. } = o {
+                assert_eq!(*reason, Rejection::Overloaded);
+            }
+        }
+    }
+
+    #[test]
+    fn per_tenant_buckets_are_independent() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.admission = AdmissionPolicy {
+            tenant_rate_qps: 1_000.0,
+            tenant_burst: 2.0,
+            max_queue_depth: usize::MAX,
+        };
+        let mut reqs = open_requests(&data, 8, 0.0);
+        for (i, r) in reqs.iter_mut().enumerate() {
+            r.tenant = (i % 2) as u32;
+        }
+        let run = rt.serve_open(reqs);
+        assert_eq!(
+            run.report.completed, 4,
+            "each tenant's burst of 2 admits independently"
+        );
+    }
+
+    #[test]
+    fn unmeetable_deadline_is_typed() {
+        let (data, mut rt) = small_runtime(0);
+        let mut reqs = open_requests(&data, 4, 1e9);
+        // 1 ns after arrival: no batch can make that
+        for r in reqs.iter_mut() {
+            r.deadline_ns = r.arrival_ns + 1.0;
+        }
+        let run = rt.serve_open(reqs);
+        assert_eq!(run.report.rejected_deadline, 4);
+        assert_eq!(run.report.completed, 0);
+    }
+
+    #[test]
+    fn closed_loop_issues_exactly_total() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.batch.max_batch = 4;
+        rt.cfg.batch.max_wait_ns = 5_000.0;
+        let queries = synth::queries_near(&data, 32, 0.02, 5);
+        let run = rt.serve_closed(
+            ClosedLoopSpec {
+                clients: 8,
+                total_requests: 32,
+            },
+            |id, _client| ClosedRequest {
+                query: queries.get(id as usize % 32).to_vec(),
+                k: 5,
+                tenant: 0,
+                deadline_rel_ns: f64::INFINITY,
+            },
+        );
+        assert_eq!(run.report.requests, 32);
+        assert_eq!(run.report.completed, 32);
+        assert!(run.report.batches >= 32 / 4);
+        assert!(run.report.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn outcomes_cover_every_request_exactly_once() {
+        let (data, mut rt) = small_runtime(16);
+        rt.cfg.admission.max_queue_depth = 8;
+        let run = rt.serve_open(open_requests(&data, 40, 100.0));
+        let mut ids: Vec<u64> = run.outcomes.iter().map(Outcome::id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>(), "conservation of requests");
+        assert_eq!(
+            run.report.requests,
+            run.report.completed + run.report.rejected_overloaded + run.report.rejected_deadline
+        );
+    }
+}

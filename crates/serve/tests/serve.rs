@@ -1,0 +1,337 @@
+//! Integration tests for the serving runtime: thread-count determinism,
+//! overload shedding, cache/cold equivalence, rebuild invalidation, and
+//! deadline propagation into the fault-tolerant engine path.
+
+use fastann_core::{DistIndex, EngineConfig, SearchOptions};
+use fastann_data::quant::Sq8;
+use fastann_data::{synth, VectorSet};
+use fastann_hnsw::HnswConfig;
+use fastann_mpisim::FaultPlan;
+use fastann_serve::{
+    AdmissionPolicy, ClosedLoopSpec, ClosedRequest, Outcome, Rejection, Request, ServeConfig,
+    ServeRuntime,
+};
+
+const DIM: usize = 16;
+
+fn corpus(seed: u64) -> VectorSet {
+    synth::sift_like(3_000, DIM, seed)
+}
+
+fn build_index(data: &VectorSet, seed: u64, threads: usize) -> DistIndex {
+    DistIndex::build(
+        data,
+        EngineConfig::new(8, 2)
+            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+            .seed(seed)
+            .threads(threads),
+    )
+}
+
+fn runtime(data: &VectorSet, seed: u64, threads: usize, cfg: ServeConfig) -> ServeRuntime {
+    ServeRuntime::new(build_index(data, seed, threads), Sq8::encode(data), cfg)
+}
+
+/// A mixed open-loop workload: bursty arrivals, two tenants, repeated
+/// queries (to exercise the cache) and a spread of deadlines.
+fn mixed_workload(data: &VectorSet, n: usize, seed: u64) -> Vec<Request> {
+    let distinct = n / 3 + 1;
+    let queries = synth::queries_near(data, distinct, 0.02, seed);
+    (0..n)
+        .map(|i| {
+            // bursts of 4 arrivals every 150 µs
+            let at = (i / 4) as f64 * 150_000.0;
+            let q = queries.get(i % distinct).to_vec();
+            let r = Request::new(i as u64, at, q, 10).tenant((i % 2) as u32);
+            if i % 5 == 0 {
+                // generous deadline: 50 ms past arrival
+                r.deadline_ns(at + 5e7)
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn serve_report_is_bit_identical_across_thread_counts() {
+    let data = corpus(42);
+    let cfg = ServeConfig::new(SearchOptions::new(10)).batch(8, 100_000.0);
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let mut rt = runtime(&data, 42, threads, cfg.clone());
+        runs.push(rt.serve_open(mixed_workload(&data, 60, 7)));
+    }
+    let (a, b) = (&runs[0], &runs[1]);
+    assert_eq!(
+        a.report, b.report,
+        "ServeReport must not depend on the thread count"
+    );
+    assert_eq!(
+        a.report.fingerprint(),
+        b.report.fingerprint(),
+        "fingerprints compare full float bits"
+    );
+    assert_eq!(a.outcomes, b.outcomes, "per-request outcomes too");
+    assert!(a.report.completed > 0);
+    assert!(a.report.cache.hits > 0, "repeats should have hit the cache");
+}
+
+#[test]
+fn closed_loop_is_deterministic_across_thread_counts_and_reruns() {
+    let data = corpus(11);
+    let queries = synth::queries_near(&data, 24, 0.02, 3);
+    let mut fingerprints = Vec::new();
+    for threads in [1usize, 4, 1] {
+        let cfg = ServeConfig::new(SearchOptions::new(5)).batch(4, 50_000.0);
+        let mut rt = runtime(&data, 11, threads, cfg);
+        let run = rt.serve_closed(
+            ClosedLoopSpec {
+                clients: 6,
+                total_requests: 48,
+            },
+            |id, _client| ClosedRequest {
+                query: queries.get(id as usize % 24).to_vec(),
+                k: 5,
+                tenant: 0,
+                deadline_rel_ns: f64::INFINITY,
+            },
+        );
+        assert_eq!(run.report.requests, 48);
+        assert_eq!(run.report.completed, 48);
+        fingerprints.push(run.report.fingerprint());
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "threads 1 vs 4");
+    assert_eq!(fingerprints[0], fingerprints[2], "rerun with same seed");
+}
+
+#[test]
+fn overload_sheds_with_typed_rejections_and_bounded_p99() {
+    let data = corpus(5);
+    // a flood: 200 requests all at virtual time zero
+    let flood = |seed| {
+        let queries = synth::queries_near(&data, 200, 0.05, seed);
+        (0..200)
+            .map(|i| Request::new(i as u64, 0.0, queries.get(i).to_vec(), 10))
+            .collect::<Vec<_>>()
+    };
+
+    // baseline: open admission swallows everything and queues it
+    let open_cfg = ServeConfig::new(SearchOptions::new(10))
+        .batch(16, 100_000.0)
+        .cache_capacity(0);
+    let mut open_rt = runtime(&data, 5, 1, open_cfg);
+    let open = open_rt.serve_open(flood(21));
+    assert_eq!(open.report.rejected_overloaded, 0);
+
+    // guarded: a depth bound sheds the flood
+    let tight_cfg = ServeConfig::new(SearchOptions::new(10))
+        .batch(16, 100_000.0)
+        .cache_capacity(0)
+        .admission(AdmissionPolicy {
+            tenant_rate_qps: f64::INFINITY,
+            tenant_burst: 64.0,
+            max_queue_depth: 32,
+        });
+    let mut tight_rt = runtime(&data, 5, 1, tight_cfg);
+    let tight = tight_rt.serve_open(flood(21));
+
+    assert!(
+        tight.report.rejected_overloaded > 0,
+        "the depth bound must shed part of the flood"
+    );
+    for o in &tight.outcomes {
+        if let Outcome::Rejected { reason, .. } = o {
+            assert_eq!(*reason, Rejection::Overloaded, "typed rejection");
+        }
+    }
+    // conservation: every request either completed or was rejected
+    assert_eq!(
+        tight.report.requests,
+        tight.report.completed + tight.report.rejected_overloaded + tight.report.rejected_deadline
+    );
+    // the point of shedding: admitted requests keep a bounded tail, while
+    // the open baseline lets queueing delay run away with the flood
+    assert!(
+        tight.report.p99_ns < open.report.p99_ns,
+        "shedding must improve the admitted tail: tight {} vs open {}",
+        tight.report.p99_ns,
+        open.report.p99_ns
+    );
+    // absolute bound: at most depth-bound worth of engine batches ahead
+    let per_batch = tight.report.engine_busy_ns / tight.report.batches as f64;
+    assert!(
+        tight.report.p99_ns <= 4.0 * 32.0 / 16.0 * per_batch + 1e6,
+        "p99 {} must stay within a small multiple of the backlog bound",
+        tight.report.p99_ns
+    );
+}
+
+#[test]
+fn cache_hit_is_identical_to_cold_search() {
+    let data = corpus(9);
+    let queries = synth::queries_near(&data, 10, 0.02, 17);
+    let reqs = |offset: u64| {
+        (0..10)
+            .map(|i| {
+                Request::new(
+                    offset + i as u64,
+                    i as f64 * 300_000.0,
+                    queries.get(i).to_vec(),
+                    10,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // cold: cache disabled entirely
+    let cold_cfg = ServeConfig::new(SearchOptions::new(10))
+        .batch(1, 0.0)
+        .cache_capacity(0);
+    let mut cold_rt = runtime(&data, 9, 1, cold_cfg);
+    let cold = cold_rt.serve_open(reqs(0));
+    assert_eq!(cold.report.cache.hits, 0);
+
+    // warm: identical queries twice through a cached runtime
+    let warm_cfg = ServeConfig::new(SearchOptions::new(10))
+        .batch(1, 0.0)
+        .cache_capacity(64);
+    let mut warm_rt = runtime(&data, 9, 1, warm_cfg);
+    let first = warm_rt.serve_open(reqs(0));
+    assert_eq!(first.report.cache.hits, 0, "first pass fills the cache");
+    let second = warm_rt.serve_open(reqs(100));
+    assert_eq!(second.report.cache.hits, 10, "second pass hits every time");
+
+    for i in 0..10u64 {
+        let cold_c = cold.completion_of(i).expect("cold completed");
+        let hit_c = second.completion_of(100 + i).expect("warm completed");
+        assert!(hit_c.cache_hit);
+        assert_eq!(
+            hit_c.results, cold_c.results,
+            "a cache hit must return exactly the cold-search answer"
+        );
+    }
+}
+
+#[test]
+fn installing_a_rebuilt_index_invalidates_the_cache() {
+    let data = corpus(13);
+    let queries = synth::queries_near(&data, 8, 0.02, 29);
+    let reqs = |offset: u64| {
+        (0..8)
+            .map(|i| {
+                Request::new(
+                    offset + i as u64,
+                    i as f64 * 300_000.0,
+                    queries.get(i).to_vec(),
+                    10,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let cfg = ServeConfig::new(SearchOptions::new(10))
+        .batch(1, 0.0)
+        .cache_capacity(64);
+    let mut rt = runtime(&data, 13, 1, cfg.clone());
+    let _warmup = rt.serve_open(reqs(0));
+
+    // a rebuild with a different seed produces a different graph
+    rt.install_index(build_index(&data, 777, 1));
+    let after = rt.serve_open(reqs(100));
+    assert_eq!(
+        after.report.cache.hits - _warmup.report.cache.hits,
+        0,
+        "no request after the rebuild may be served from the old epoch"
+    );
+    assert!(
+        rt.cache_stats().stale_drops > 0,
+        "the old entries were dropped as stale"
+    );
+
+    // and the answers must match a cache-free runtime on the new index
+    let mut fresh = ServeRuntime::new(
+        build_index(&data, 777, 1),
+        Sq8::encode(&data),
+        cfg.cache_capacity(0),
+    );
+    let reference = fresh.serve_open(reqs(100));
+    for i in 100..108u64 {
+        assert_eq!(
+            after.completion_of(i).expect("served").results,
+            reference.completion_of(i).expect("served").results,
+            "post-rebuild answers come from the new index"
+        );
+    }
+}
+
+#[test]
+fn deadlines_propagate_into_the_chaos_path() {
+    let data = corpus(31);
+    let queries = synth::queries_near(&data, 20, 0.02, 37);
+    // drop a fraction of result messages so probes need retries, which a
+    // tight per-probe deadline then bounds
+    let plan = FaultPlan::new(0xFEED).drop_msgs(None, None, None, 0.15);
+    let cfg = ServeConfig::new(SearchOptions::new(10).timeout_ns(1e9).max_retries(4))
+        .batch(4, 50_000.0)
+        .cache_capacity(0)
+        .fault(plan);
+    let mut rt = runtime(&data, 31, 1, cfg);
+    let reqs: Vec<Request> = (0..20)
+        .map(|i| {
+            Request::new(i as u64, i as f64 * 200_000.0, queries.get(i).to_vec(), 10)
+                // 10 ms deadline: loose enough to admit, tight enough to
+                // clamp the engine's 1 s per-probe timeout
+                .deadline_ns(i as f64 * 200_000.0 + 1e7)
+        })
+        .collect();
+    let run = rt.serve_open(reqs);
+
+    assert_eq!(run.report.requests, 20);
+    assert!(run.report.completed > 0, "chaos must not stop the service");
+    assert!(
+        run.report.retries > 0 || run.report.failovers > 0 || run.report.degraded > 0,
+        "the fault plan should have been felt"
+    );
+    for c in run.outcomes.iter().filter_map(Outcome::completion) {
+        assert!(c.results.len() <= 10);
+        for w in c.results.windows(2) {
+            assert!(w[0].dist <= w[1].dist, "results stay sorted under chaos");
+        }
+    }
+    // determinism holds on the chaos path too
+    let plan2 = FaultPlan::new(0xFEED).drop_msgs(None, None, None, 0.15);
+    let cfg2 = ServeConfig::new(SearchOptions::new(10).timeout_ns(1e9).max_retries(4))
+        .batch(4, 50_000.0)
+        .cache_capacity(0)
+        .fault(plan2);
+    let mut rt2 = runtime(&data, 31, 4, cfg2);
+    let reqs2: Vec<Request> = (0..20)
+        .map(|i| {
+            Request::new(i as u64, i as f64 * 200_000.0, queries.get(i).to_vec(), 10)
+                .deadline_ns(i as f64 * 200_000.0 + 1e7)
+        })
+        .collect();
+    let run2 = rt2.serve_open(reqs2);
+    assert_eq!(
+        run.report.fingerprint(),
+        run2.report.fingerprint(),
+        "chaos serving is thread-count deterministic"
+    );
+}
+
+#[test]
+fn per_partition_probes_account_for_dispatched_work() {
+    let data = corpus(3);
+    let cfg = ServeConfig::new(SearchOptions::new(10))
+        .batch(8, 100_000.0)
+        .cache_capacity(0);
+    let mut rt = runtime(&data, 3, 1, cfg);
+    let run = rt.serve_open(mixed_workload(&data, 32, 19));
+    assert_eq!(run.report.per_partition_probes.len(), 8);
+    let total: u64 = run.report.per_partition_probes.iter().sum();
+    assert!(
+        total >= run.report.completed,
+        "every completed engine request probed at least one partition"
+    );
+}

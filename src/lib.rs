@@ -11,6 +11,8 @@
 //! * [`kdtree`] — PANDA-style KD-tree exact baseline
 //! * [`mpisim`] — the virtual-time message-passing cluster simulator
 //! * [`core`] — the distributed VP-tree + HNSW engine
+//! * [`serve`] — the online serving runtime (micro-batching, admission
+//!   control, result cache) layered over the engine
 
 #![forbid(unsafe_code)]
 
@@ -19,4 +21,5 @@ pub use fastann_data as data;
 pub use fastann_hnsw as hnsw;
 pub use fastann_kdtree as kdtree;
 pub use fastann_mpisim as mpisim;
+pub use fastann_serve as serve;
 pub use fastann_vptree as vptree;
