@@ -38,15 +38,20 @@ cargo build -q --release -p fastann-bench
 ./target/release/perf --smoke --threads 4 --out target
 test -s target/BENCH_SYN_SMOKE.json
 
-echo "==> serve smoke (closed-loop run, seed-stable report)"
+echo "==> serve + obs smoke (seed-stable report, golden metrics)"
 # The load generator asserts nonzero throughput and request conservation
 # internally; CI additionally pins the determinism contract: two runs
-# with the same seed must emit byte-identical reports, including the
-# embedded FNV fingerprints.
+# with the same seed — at different thread counts — must emit
+# byte-identical reports (embedded FNV fingerprints and the obs
+# MetricsSnapshot included), and the Prometheus rendering must match the
+# committed golden exactly. Regenerate the golden with:
+#   ./target/release/serveload --smoke --metrics --out crates/bench/golden
 rm -rf target/serve_a target/serve_b
 mkdir -p target/serve_a target/serve_b
-./target/release/serveload --smoke --out target/serve_a
-FASTANN_THREADS=4 ./target/release/serveload --smoke --out target/serve_b
+./target/release/serveload --smoke --metrics --out target/serve_a
+FASTANN_THREADS=4 ./target/release/serveload --smoke --metrics --out target/serve_b
 cmp target/serve_a/BENCH_serve_SMOKE.json target/serve_b/BENCH_serve_SMOKE.json
+cmp target/serve_a/METRICS_serve_SMOKE.prom target/serve_b/METRICS_serve_SMOKE.prom
+diff -u crates/bench/golden/METRICS_serve_SMOKE.prom target/serve_a/METRICS_serve_SMOKE.prom
 
 echo "CI green."

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fastann_core::{
-    search_batch, search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions,
+    search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions, SearchRequest,
 };
 use fastann_data::synth;
 use fastann_hnsw::HnswConfig;
@@ -13,20 +13,32 @@ fn bench_engine(c: &mut Criterion) {
     let data = synth::sift_like(8_000, 64, 11);
     let queries = synth::queries_near(&data, 100, 0.02, 12);
     let cfg = EngineConfig::new(16, 4)
-        .hnsw(HnswConfig::with_m(8).ef_construction(40))
-        .seed(11);
+        .with_hnsw(HnswConfig::with_m(8).ef_construction(40))
+        .with_seed(11);
     let index = DistIndex::build(&data, cfg);
 
     let mut group = c.benchmark_group("engine_16c_8k_points_100q");
     group.sample_size(10);
     group.bench_function("one_sided", |b| {
-        b.iter(|| search_batch(&index, &queries, &SearchOptions::new(10).one_sided(true)))
+        b.iter(|| {
+            SearchRequest::new(&index, &queries)
+                .opts(SearchOptions::new(10).with_one_sided(true))
+                .run()
+        })
     });
     group.bench_function("two_sided", |b| {
-        b.iter(|| search_batch(&index, &queries, &SearchOptions::new(10).one_sided(false)))
+        b.iter(|| {
+            SearchRequest::new(&index, &queries)
+                .opts(SearchOptions::new(10).with_one_sided(false))
+                .run()
+        })
     });
     group.bench_function("replicated_r3", |b| {
-        b.iter(|| search_batch(&index, &queries, &SearchOptions::new(10).replication(3)))
+        b.iter(|| {
+            SearchRequest::new(&index, &queries)
+                .opts(SearchOptions::new(10).with_replication(3))
+                .run()
+        })
     });
     group.bench_function("multi_owner", |b| {
         b.iter(|| search_batch_multi_owner(&index, &queries, &SearchOptions::new(10)))
@@ -41,8 +53,8 @@ fn bench_build(c: &mut Criterion) {
     group.bench_function("16_cores", |b| {
         b.iter(|| {
             let cfg = EngineConfig::new(16, 4)
-                .hnsw(HnswConfig::with_m(8).ef_construction(40))
-                .seed(13);
+                .with_hnsw(HnswConfig::with_m(8).ef_construction(40))
+                .with_seed(13);
             DistIndex::build(&data, cfg)
         })
     });

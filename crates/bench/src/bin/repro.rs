@@ -111,15 +111,13 @@ fn main() {
     if arg == "debug" {
         ran = true;
         use fastann_bench::datasets;
-        use fastann_core::{search_batch, DistIndex};
+        use fastann_core::{DistIndex, SearchRequest};
         let w = datasets::sift(scale);
         for cores in [16usize, 128] {
             let index = DistIndex::build(&w.data, fastann_bench::experiments::debug_cfg(cores));
-            let r = search_batch(
-                &index,
-                &w.queries,
-                &fastann_bench::experiments::debug_opts(),
-            );
+            let r = SearchRequest::new(&index, &w.queries)
+                .opts(fastann_bench::experiments::debug_opts())
+                .run();
             println!(
                 "cores={cores} total={:.1}us route={:.1}us comm_cpu={:.1}us wait={:.1}us fanout={:.2} \
                  ndist={} busy_max={:.1}us busy_sum={:.1}us",

@@ -5,10 +5,13 @@
 //! virtual time through [`fastann_serve::ServeRuntime`].
 //!
 //! ```text
-//! serveload [--smoke] [--seed N] [--out DIR]
-//!   --smoke   tiny synthetic dataset only (the CI smoke invocation)
-//!   --seed    workload seed (default 42); same seed => byte-identical JSON
-//!   --out     directory for the BENCH_serve_*.json files (default: .)
+//! serveload [--smoke] [--seed N] [--out DIR] [--metrics]
+//!   --smoke    tiny synthetic dataset only (the CI smoke invocation)
+//!   --seed     workload seed (default 42); same seed => byte-identical JSON
+//!   --out      directory for the BENCH_serve_*.json files (default: .)
+//!   --metrics  attach a fastann-obs registry to the runtime, embed its
+//!              JSON snapshot in the BENCH file and write the Prometheus
+//!              rendering next to it as METRICS_serve_<dataset>.prom
 //! ```
 //!
 //! Every quantity in the report is virtual, so the file is a
@@ -22,6 +25,7 @@ use fastann_core::{DistIndex, EngineConfig, SearchOptions};
 use fastann_data::quant::Sq8;
 use fastann_data::{synth, VectorSet};
 use fastann_hnsw::HnswConfig;
+use fastann_obs::{Metrics, MetricsSnapshot};
 use fastann_serve::{
     AdmissionPolicy, ClosedLoopSpec, ClosedRequest, Request, ServeConfig, ServeReport, ServeRuntime,
 };
@@ -32,6 +36,7 @@ struct Args {
     smoke: bool,
     seed: u64,
     out: String,
+    metrics: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +44,7 @@ fn parse_args() -> Args {
         smoke: false,
         seed: 42,
         out: ".".to_string(),
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -49,8 +55,9 @@ fn parse_args() -> Args {
                 args.seed = v.parse().expect("--seed must be a number");
             }
             "--out" => args.out = it.next().expect("--out needs a directory"),
+            "--metrics" => args.metrics = true,
             other => {
-                eprintln!("unknown argument {other:?} (try --smoke / --seed / --out)");
+                eprintln!("unknown argument {other:?} (try --smoke / --seed / --out / --metrics)");
                 std::process::exit(2);
             }
         }
@@ -118,7 +125,14 @@ fn open_workload(data: &VectorSet, w: &Workload, seed: u64) -> Vec<Request> {
     reqs
 }
 
-fn emit(name: &str, out_dir: &str, open: &ServeReport, closed: &ServeReport, seed: u64) {
+fn emit(
+    name: &str,
+    out_dir: &str,
+    open: &ServeReport,
+    closed: &ServeReport,
+    seed: u64,
+    snap: Option<&MetricsSnapshot>,
+) {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"dataset\": \"serve_{name}\",");
@@ -129,10 +143,20 @@ fn emit(name: &str, out_dir: &str, open: &ServeReport, closed: &ServeReport, see
     s.push_str(",\n");
     let _ = writeln!(s, "  \"closed_loop\":");
     s.push_str(&closed.to_json("  "));
+    if let Some(snap) = snap {
+        s.push_str(",\n");
+        let _ = writeln!(s, "  \"metrics\":");
+        s.push_str(&snap.to_json("  "));
+    }
     s.push('\n');
     s.push_str("}\n");
     let path = format!("{out_dir}/BENCH_serve_{name}.json");
     std::fs::write(&path, s).expect("write BENCH_serve json");
+    if let Some(snap) = snap {
+        let prom = format!("{out_dir}/METRICS_serve_{name}.prom");
+        std::fs::write(&prom, snap.to_prometheus()).expect("write METRICS_serve prom");
+        println!("{prom}: {} series", snap.len());
+    }
     println!(
         "{path}: open {:.0} qps (p99 {:.0} us, {:.1}% rejected, cache {:.0}% hit), \
          closed {:.0} qps over {} clients",
@@ -145,7 +169,7 @@ fn emit(name: &str, out_dir: &str, open: &ServeReport, closed: &ServeReport, see
     );
 }
 
-fn run(w: &Workload, seed: u64, out_dir: &str) {
+fn run(w: &Workload, seed: u64, out_dir: &str, metrics: bool) {
     eprintln!(
         "serveload: {} ({} x {}, {} open + {} closed requests) ...",
         w.name, w.points, w.dim, w.open_requests, w.closed_requests
@@ -155,21 +179,28 @@ fn run(w: &Workload, seed: u64, out_dir: &str) {
         DistIndex::build(
             &data,
             EngineConfig::new(8, 2)
-                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(s))
-                .seed(s),
+                .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(s))
+                .with_seed(s),
         )
     };
 
     // open loop: Poisson arrivals against guarded admission
     let cfg = ServeConfig::new(SearchOptions::new(K))
-        .batch(16, 150_000.0)
-        .cache_capacity(256)
-        .admission(AdmissionPolicy {
+        .with_batch(16, 150_000.0)
+        .with_cache_capacity(256)
+        .with_admission(AdmissionPolicy {
             tenant_rate_qps: w.open_rate_qps,
             tenant_burst: 32.0,
             max_queue_depth: 128,
         });
     let mut rt = ServeRuntime::new(build(seed), Sq8::encode(&data), cfg);
+    // One registry spans both legs: the snapshot folds the serving-layer
+    // series and the engine-side ones (router, HNSW, workers, merge) from
+    // every dispatched batch, and is bit-identical at any thread count.
+    let obs = metrics.then(Metrics::new);
+    if let Some(m) = &obs {
+        rt.set_metrics(m);
+    }
     let open = rt.serve_open(open_workload(&data, w, seed)).report;
 
     // protocol sanity: the run must conserve requests and make progress
@@ -220,14 +251,15 @@ fn run(w: &Workload, seed: u64, out_dir: &str) {
         w.name
     );
 
-    emit(w.name, out_dir, &open, &closed, seed);
+    let snap = obs.as_ref().map(Metrics::snapshot);
+    emit(w.name, out_dir, &open, &closed, seed, snap.as_ref());
 }
 
 fn main() {
     let args = parse_args();
     if args.smoke {
-        run(&SMOKE, args.seed, &args.out);
+        run(&SMOKE, args.seed, &args.out, args.metrics);
     } else {
-        run(&SYNTHETIC, args.seed, &args.out);
+        run(&SYNTHETIC, args.seed, &args.out, args.metrics);
     }
 }

@@ -5,7 +5,7 @@
 //! `repro` binary glues them to a CLI.
 
 use fastann_core::{
-    search_batch, search_batch_multi_owner, DistIndex, Distribution, EngineConfig, SearchOptions,
+    search_batch_multi_owner, DistIndex, Distribution, EngineConfig, SearchOptions, SearchRequest,
 };
 use fastann_data::{ground_truth, Distance};
 use fastann_hnsw::HnswConfig;
@@ -35,16 +35,16 @@ fn engine_cfg(cores: usize, seed: u64) -> EngineConfig {
     // (and recall) at scale.
     let cap = (cores / 16).max(4);
     EngineConfig::new(cores, pick_t(cores))
-        .hnsw(HnswConfig::with_m(16).ef_construction(60).seed(seed))
-        .route(RouteConfig {
+        .with_hnsw(HnswConfig::with_m(16).ef_construction(60).seed(seed))
+        .with_route(RouteConfig {
             margin_frac: 0.2,
             max_partitions: cap,
         })
-        .seed(seed)
+        .with_seed(seed)
 }
 
 fn search_opts() -> SearchOptions {
-    SearchOptions::new(K).ef(EF)
+    SearchOptions::new(K).with_ef(EF)
 }
 
 /// Exposed for the `repro debug` subcommand.
@@ -131,7 +131,9 @@ fn run_scaling(w: &Workload, grid: &[usize], seed: u64) -> ScalingSeries {
     let mut base = None;
     for &cores in grid {
         let index = DistIndex::build(&w.data, engine_cfg(cores, seed));
-        let report = search_batch(&index, &w.queries, &search_opts());
+        let report = SearchRequest::new(&index, &w.queries)
+            .opts(search_opts())
+            .run();
         let recall = ground_truth::recall_at_k(&report.results, &gt, K).mean;
         let b = *base.get_or_insert(report.total_ns);
         points.push(ScalingPoint {
@@ -266,18 +268,20 @@ pub fn fig4(scale: Scale) -> (Vec<ReplicationRow>, f64) {
     // (at the paper's 8192-core scale even consecutive-core workgroups
     // cross nodes regularly).
     let cfg = EngineConfig::new(cores, 2)
-        .hnsw(HnswConfig::with_m(16).ef_construction(60).seed(0xd1))
-        .route(RouteConfig {
+        .with_hnsw(HnswConfig::with_m(16).ef_construction(60).seed(0xd1))
+        .with_route(RouteConfig {
             margin_frac: 0.2,
             max_partitions: 4,
         })
-        .seed(0xd1);
+        .with_seed(0xd1);
     let index = DistIndex::build(&w.data, cfg);
     let mut rows = Vec::new();
     let mut base = None;
     let mut optimal = 0.0;
     for r in 1..=5 {
-        let report = search_batch(&index, &queries, &search_opts().replication(r));
+        let report = SearchRequest::new(&index, &queries)
+            .opts(search_opts().with_replication(r))
+            .run();
         let b = *base.get_or_insert(report.total_ns);
         let dispatched: u64 = report.per_core_queries.iter().sum();
         optimal = dispatched as f64 / cores as f64;
@@ -353,7 +357,9 @@ pub struct CompareRow {
 fn compare_one(w: &Workload, cores: usize, seed: u64) -> CompareRow {
     let gt = ground_truth::brute_force(&w.data, &w.queries, K, Distance::L2);
     let index = DistIndex::build(&w.data, engine_cfg(cores, seed));
-    let ours = search_batch(&index, &w.queries, &search_opts());
+    let ours = SearchRequest::new(&index, &w.queries)
+        .opts(search_opts())
+        .run();
     let recall = ground_truth::recall_at_k(&ours.results, &gt, K).mean;
 
     let kd_cfg = kd::DistKdConfig::new(cores);
@@ -431,7 +437,9 @@ pub fn fig5(scale: Scale) -> Vec<BreakdownRow> {
         .map(|c| {
             let cores = c * m;
             let index = DistIndex::build(&w.data, engine_cfg(cores, 0xf0));
-            let report = search_batch(&index, &w.queries, &search_opts());
+            let report = SearchRequest::new(&index, &w.queries)
+                .opts(search_opts())
+                .run();
             let (compute, comm, idle) = report.breakdown();
             BreakdownRow {
                 cores,
@@ -491,14 +499,16 @@ pub fn fig6(scale: Scale) -> Vec<RecallRow> {
         .iter()
         .map(|&m| {
             let cfg = EngineConfig::new(cores, pick_t(cores))
-                .hnsw(HnswConfig::with_m(m).ef_construction(60).seed(0x6f))
-                .route(RouteConfig {
+                .with_hnsw(HnswConfig::with_m(m).ef_construction(60).seed(0x6f))
+                .with_route(RouteConfig {
                     margin_frac: 0.3,
                     max_partitions: 6,
                 })
-                .seed(0x6f);
+                .with_seed(0x6f);
             let index = DistIndex::build(&w.data, cfg);
-            let report = search_batch(&index, &w.queries, &search_opts().ef(16));
+            let report = SearchRequest::new(&index, &w.queries)
+                .opts(search_opts().with_ef(16))
+                .run();
             RecallRow {
                 m,
                 total_ns: report.total_ns,
@@ -557,14 +567,16 @@ pub fn ablation_owner(scale: Scale) -> Vec<OwnerRow> {
             let cores = c * m;
             // small nodes so replication can move work across nodes
             let cfg = EngineConfig::new(cores, 2.min(cores))
-                .hnsw(HnswConfig::with_m(16).ef_construction(60).seed(0x0a))
-                .route(RouteConfig {
+                .with_hnsw(HnswConfig::with_m(16).ef_construction(60).seed(0x0a))
+                .with_route(RouteConfig {
                     margin_frac: 0.2,
                     max_partitions: 4,
                 })
-                .seed(0x0a);
+                .with_seed(0x0a);
             let index = DistIndex::build(&w.data, cfg);
-            let mw = search_batch(&index, &queries, &search_opts().replication(3.min(cores)));
+            let mw = SearchRequest::new(&index, &queries)
+                .opts(search_opts().with_replication(3.min(cores)))
+                .run();
             let mo = search_batch_multi_owner(&index, &queries, &search_opts());
             OwnerRow {
                 cores,
@@ -623,8 +635,12 @@ pub fn ablation_onesided(scale: Scale) -> Vec<OneSidedRow> {
         .map(|c| {
             let cores = c * m;
             let index = DistIndex::build(&w.data, engine_cfg(cores, 0x0b));
-            let one = search_batch(&index, &w.queries, &search_opts().one_sided(true));
-            let two = search_batch(&index, &w.queries, &search_opts().one_sided(false));
+            let one = SearchRequest::new(&index, &w.queries)
+                .opts(search_opts().with_one_sided(true))
+                .run();
+            let two = SearchRequest::new(&index, &w.queries)
+                .opts(search_opts().with_one_sided(false))
+                .run();
             OneSidedRow {
                 cores,
                 one_sided_ns: one.total_ns,
@@ -672,14 +688,16 @@ pub fn ablation_compression(scale: Scale) -> Vec<CompressionRow> {
     });
 
     let cores = 16 * scale.cores_mult();
-    let cfg = engine_cfg(cores, 0x59f).route(RouteConfig {
+    let cfg = engine_cfg(cores, 0x59f).with_route(RouteConfig {
         margin_frac: 0.35,
         max_partitions: 8,
     });
     let index = DistIndex::build(&w.data, cfg);
     let idx_bytes: usize = index.partitions.iter().map(|p| p.approx_bytes()).sum();
     for ef in [16usize, 64, 256] {
-        let report = search_batch(&index, &w.queries, &search_opts().ef(ef));
+        let report = SearchRequest::new(&index, &w.queries)
+            .opts(search_opts().with_ef(ef))
+            .run();
         rows.push(CompressionRow {
             system: "ours (uncompressed)",
             effort: ef,
@@ -740,7 +758,9 @@ pub fn baseline_pivot(scale: Scale) -> Vec<PivotRow> {
         } else {
             DistIndex::build(&w.data, cfg)
         };
-        let report = search_batch(&index, &w.queries, &search_opts());
+        let report = SearchRequest::new(&index, &w.queries)
+            .opts(search_opts())
+            .run();
         let sizes = &index.build_stats.partition_sizes;
         let max = *sizes.iter().max().unwrap_or(&1) as f64;
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
@@ -809,9 +829,11 @@ pub fn ablation_local(scale: Scale) -> Vec<LocalKindRow> {
     ]
     .iter()
     .map(|&(name, kind)| {
-        let cfg = engine_cfg(cores, 0x10c).local_index(kind);
+        let cfg = engine_cfg(cores, 0x10c).with_local_index(kind);
         let index = DistIndex::build(&w.data, cfg);
-        let report = search_batch(&index, &w.queries, &search_opts());
+        let report = SearchRequest::new(&index, &w.queries)
+            .opts(search_opts())
+            .run();
         LocalKindRow {
             kind: name,
             total_ns: report.total_ns,

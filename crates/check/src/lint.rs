@@ -1,6 +1,6 @@
 //! Textual lint over the workspace source tree.
 //!
-//! Six rules, all enforced without a Rust parser — the source
+//! Seven rules, all enforced without a Rust parser — the source
 //! conventions of this workspace (one statement per line, one tag-table
 //! field per line) are strict enough for a line lint, and a textual pass
 //! keeps this crate dependency-free:
@@ -11,8 +11,9 @@
 //! | `no-panic`        | no panicking macro in non-test library code (simulator exempt) |
 //! | `wildcard-recv`   | no wildcard-source / untagged receive outside the simulator    |
 //! | `tag-registry`    | every `TAG_*` constant and every sent tag is registered        |
-//! | `missing-doc`     | every `pub` item of fastann-core / -mpisim / -serve has a doc  |
+//! | `missing-doc`     | every `pub` item of fastann-core / -mpisim / -serve / -obs has a doc |
 //! | `no-thread-spawn` | no direct thread spawning outside the simulator — go through the rayon pool |
+//! | `search-batch-variant` | no new `pub fn search_batch*` entry points — one `SearchRequest` builder; only `#[deprecated]` shims may keep the old names |
 //!
 //! Test modules (`#[cfg(test)] mod …`), `tests/` and `benches/`
 //! directories, and `vendor/` stand-ins are out of scope. Justified
@@ -40,6 +41,8 @@ const SPAWN_PATS: [&str; 3] = [
     concat!(".spawn_", "scoped("),
     concat!("thread::", "Builder::new("),
 ];
+const SEARCH_BATCH_PAT: &str = concat!("pub fn search", "_batch");
+const DEPRECATED_PAT: &str = concat!("#[depre", "cated");
 
 /// Rule identifier: bare `unwrap` in non-test library code.
 pub const RULE_UNWRAP: &str = "no-unwrap";
@@ -53,6 +56,9 @@ pub const RULE_TAG: &str = "tag-registry";
 pub const RULE_DOC: &str = "missing-doc";
 /// Rule identifier: direct thread spawning outside the simulator.
 pub const RULE_SPAWN: &str = "no-thread-spawn";
+/// Rule identifier: a new `search_batch*` public entry point outside the
+/// deprecated-shim family.
+pub const RULE_SEARCH_BATCH: &str = "search-batch-variant";
 
 /// One lint finding, anchored to a file and line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -249,7 +255,8 @@ fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Ve
     let is_tags_file = rel == "crates/core/src/tags.rs";
     let wants_docs = rel.starts_with("crates/core/src")
         || rel.starts_with("crates/mpisim/src")
-        || rel.starts_with("crates/serve/src");
+        || rel.starts_with("crates/serve/src")
+        || rel.starts_with("crates/obs/src");
 
     let lines: Vec<&str> = content.lines().collect();
     let mut in_test = false;
@@ -309,6 +316,20 @@ fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Ve
             // `vendor/`, which the file walk already skips.
             if !is_mpisim && SPAWN_PATS.iter().any(|p| t.contains(p)) {
                 out.push(violation(rel, line_no, RULE_SPAWN, t));
+            }
+
+            // search-batch-variant: the five legacy entry points survive
+            // only as `#[deprecated]` shims over the SearchRequest
+            // builder; a new public variant of the family must not
+            // appear. A shim is recognized by its deprecation attribute
+            // on one of the five preceding lines.
+            if t.contains(SEARCH_BATCH_PAT) {
+                let shim = lines[i.saturating_sub(5)..i]
+                    .iter()
+                    .any(|l| l.trim_start().starts_with(DEPRECATED_PAT));
+                if !shim {
+                    out.push(violation(rel, line_no, RULE_SEARCH_BATCH, t));
+                }
             }
 
             // wildcard-recv
@@ -553,8 +574,13 @@ mod tests {
     #[test]
     fn flags_undocumented_pub_items_in_registered_crates_only() {
         let src = "pub fn naked() {}\n\n/// Documented.\npub fn clothed() {}\n\npub use other::thing;\npub(crate) fn internal() {}\n";
-        // core, mpisim and serve are registered under the doc rule
-        for dir in ["crates/core/src", "crates/mpisim/src", "crates/serve/src"] {
+        // core, mpisim, serve and obs are registered under the doc rule
+        for dir in [
+            "crates/core/src",
+            "crates/mpisim/src",
+            "crates/serve/src",
+            "crates/obs/src",
+        ] {
             let v = lint_str(&format!("{dir}/x.rs"), src);
             assert_eq!(v.len(), 1, "{dir}: {v:?}");
             assert_eq!(v[0].rule, RULE_DOC);
@@ -562,6 +588,22 @@ mod tests {
         }
         // other crates are not under the doc rule
         assert!(lint_str("crates/hnsw/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_new_search_batch_variants_but_not_deprecated_shims() {
+        let fresh = format!("/// Documented, but still a new variant.\n{SEARCH_BATCH_PAT}_faster(q: &Q) -> R {{}}\n");
+        let v = lint_str("crates/core/src/x.rs", &fresh);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_SEARCH_BATCH);
+        // the deprecation attribute (within five lines above) marks a shim
+        let shim = format!(
+            "/// Old entry point.\n{DEPRECATED_PAT}(note = \"use the builder\")]\n{SEARCH_BATCH_PAT}(q: &Q) -> R {{}}\n"
+        );
+        assert!(lint_str("crates/core/src/x.rs", &shim).is_empty());
+        // mentions in comments and `pub use` re-exports are fine
+        let bench = format!("// docs may mention {SEARCH_BATCH_PAT}\n");
+        assert!(lint_str("crates/bench/src/x.rs", &bench).is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! any fault-free divergence is a race, minimized to the first diverging
 //! index with both interleavings' event windows around it.
 
-use fastann_core::{search_batch, DistIndex, EngineConfig, QueryReport, SearchOptions};
+use fastann_core::{DistIndex, EngineConfig, QueryReport, SearchOptions, SearchRequest};
 use fastann_data::synth;
 
 /// How many events around the first divergence each window keeps.
@@ -180,10 +180,10 @@ pub fn report_events(rep: &QueryReport) -> Vec<String> {
 pub fn engine_workload() -> impl Fn(u64) -> Vec<String> {
     let data = synth::sift_like(900, 12, 42);
     let queries = synth::queries_near(&data, 10, 0.02, 43);
-    let index = DistIndex::build(&data, EngineConfig::new(8, 2).seed(42));
+    let index = DistIndex::build(&data, EngineConfig::new(8, 2).with_seed(42));
     move |seed| {
-        let opts = SearchOptions::new(8).sched_seed(seed);
-        report_events(&search_batch(&index, &queries, &opts))
+        let opts = SearchOptions::new(8).with_sched_seed(seed);
+        report_events(&SearchRequest::new(&index, &queries).opts(opts).run())
     }
 }
 

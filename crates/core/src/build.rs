@@ -776,12 +776,14 @@ mod tests {
     #[test]
     fn flat_pivot_is_searchable_and_more_imbalanced() {
         use crate::config::SearchOptions;
-        use crate::engine::search_batch;
+        use crate::request::SearchRequest;
         let data = synth::sift_like(3000, 16, 10);
         let queries = synth::queries_near(&data, 20, 0.02, 11);
         let vp = DistIndex::build(&data, small_cfg(8, 2));
         let flat = DistIndex::build_flat_pivot(&data, small_cfg(8, 2));
-        let r = search_batch(&flat, &queries, &SearchOptions::new(10));
+        let r = SearchRequest::new(&flat, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
         assert_eq!(r.results.len(), 20);
         assert!(r.results.iter().all(|v| !v.is_empty()));
         // closest-pivot assignment on clustered data is lumpier than

@@ -9,7 +9,12 @@ use crate::local::LocalIndexKind;
 
 /// Static configuration of a distributed index: cluster shape, metric,
 /// HNSW parameters and query-routing policy.
+///
+/// `#[non_exhaustive]`: construct with [`EngineConfig::new`] (or
+/// `default()`) and refine with the `with_*` setters — new knobs may be
+/// added without breaking callers.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Total processing cores `P` = number of data partitions (power of
     /// two, the paper's Section IV mapping "one partition per core").
@@ -42,6 +47,13 @@ pub struct EngineConfig {
     /// bit-identical across `threads` settings; only wall-clock speed
     /// changes.
     pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    /// A small default cluster: 8 cores grouped 2 to a node.
+    fn default() -> Self {
+        Self::new(8, 2)
+    }
 }
 
 impl EngineConfig {
@@ -79,40 +91,63 @@ impl EngineConfig {
         self.n_cores / self.cores_per_node
     }
 
+    /// Sets the metric (builder style).
+    pub fn with_metric(mut self, metric: Distance) -> Self {
+        self.metric = metric;
+        self
+    }
+
     /// Sets the HNSW parameters (builder style).
-    pub fn hnsw(mut self, hnsw: HnswConfig) -> Self {
+    pub fn with_hnsw(mut self, hnsw: HnswConfig) -> Self {
         self.hnsw = hnsw;
         self
     }
 
     /// Sets the per-partition index kind (builder style).
-    pub fn local_index(mut self, kind: LocalIndexKind) -> Self {
+    pub fn with_local_index(mut self, kind: LocalIndexKind) -> Self {
         self.local_index = kind;
         self
     }
 
     /// Sets the routing policy (builder style).
-    pub fn route(mut self, route: RouteConfig) -> Self {
+    pub fn with_route(mut self, route: RouteConfig) -> Self {
         self.route = route;
         self
     }
 
+    /// Sets the simulated interconnect (builder style).
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the virtual-clock cost model (builder style).
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
     /// Sets the RNG seed (builder style).
-    pub fn seed(mut self, seed: u64) -> Self {
+    pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Sets the real OS thread count for local work (builder style).
     /// Clamped up to 1; see [`EngineConfig::threads`].
-    pub fn threads(mut self, threads: usize) -> Self {
+    pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
 }
 
 /// Per-batch search options — the paper's optimisation knobs.
+///
+/// `#[non_exhaustive]`: construct with [`SearchOptions::new`] (or
+/// `default()`) and refine with the `with_*` setters — new knobs may be
+/// added without breaking callers.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct SearchOptions {
     /// Neighbours per query (the paper uses k = 10 throughout).
     pub k: usize,
@@ -145,6 +180,13 @@ pub struct SearchOptions {
     pub sched_seed: u64,
 }
 
+impl Default for SearchOptions {
+    /// The paper's `k = 10` with default knobs everywhere else.
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
 impl SearchOptions {
     /// Paper defaults: `ef = 4k`, one-sided on, no replication; fault
     /// tolerance tuned for the simulator's default cost model (10 ms
@@ -163,34 +205,42 @@ impl SearchOptions {
     }
 
     /// Sets the replication factor (builder style).
-    pub fn replication(mut self, r: usize) -> Self {
+    pub fn with_replication(mut self, r: usize) -> Self {
         assert!(r >= 1, "replication factor must be at least 1");
         self.replication = r;
         self
     }
 
     /// Sets one-sided aggregation on or off (builder style).
-    pub fn one_sided(mut self, on: bool) -> Self {
+    pub fn with_one_sided(mut self, on: bool) -> Self {
         self.one_sided = on;
         self
     }
 
+    /// Sets the neighbour count `k` (builder style). Does not touch `ef`
+    /// — start from [`SearchOptions::new`] to derive `ef` from `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self
+    }
+
     /// Sets the HNSW beam width (builder style).
-    pub fn ef(mut self, ef: usize) -> Self {
+    pub fn with_ef(mut self, ef: usize) -> Self {
         assert!(ef >= 1, "ef must be positive");
         self.ef = ef;
         self
     }
 
     /// Sets the fault-tolerant request timeout (builder style).
-    pub fn timeout_ns(mut self, ns: f64) -> Self {
+    pub fn with_timeout_ns(mut self, ns: f64) -> Self {
         assert!(ns > 0.0, "timeout must be positive");
         self.timeout_ns = ns;
         self
     }
 
     /// Sets the retry budget of the fault-tolerant path (builder style).
-    pub fn max_retries(mut self, n: usize) -> Self {
+    pub fn with_max_retries(mut self, n: usize) -> Self {
         self.max_retries = n;
         self
     }
@@ -213,7 +263,7 @@ impl SearchOptions {
     }
 
     /// Sets the schedule-perturbation seed (builder style); `0` disables.
-    pub fn sched_seed(mut self, seed: u64) -> Self {
+    pub fn with_sched_seed(mut self, seed: u64) -> Self {
         self.sched_seed = seed;
         self
     }
@@ -247,17 +297,17 @@ mod tests {
     fn threads_defaults_to_sequential_and_clamps() {
         let c = EngineConfig::new(8, 4);
         assert_eq!(c.threads, 1, "default must stay sequential");
-        assert_eq!(c.threads(0).threads, 1, "0 clamps to 1");
-        let c = EngineConfig::new(8, 4).threads(6);
+        assert_eq!(c.with_threads(0).threads, 1, "0 clamps to 1");
+        let c = EngineConfig::new(8, 4).with_threads(6);
         assert_eq!(c.threads, 6);
     }
 
     #[test]
     fn search_options_builders() {
         let o = SearchOptions::new(10)
-            .replication(3)
-            .one_sided(false)
-            .ef(99);
+            .with_replication(3)
+            .with_one_sided(false)
+            .with_ef(99);
         assert_eq!(o.k, 10);
         assert_eq!(o.replication, 3);
         assert!(!o.one_sided);
@@ -267,7 +317,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_replication_rejected() {
-        let _ = SearchOptions::new(10).replication(0);
+        let _ = SearchOptions::new(10).with_replication(0);
     }
 
     #[test]

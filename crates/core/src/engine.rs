@@ -29,10 +29,12 @@ use fastann_mpisim::{
     wire, Cluster, FaultPlan, Rank, SchedPerturb, SimConfig, SpanKind, Topology, Trace,
     VThreadPool, Window,
 };
+use fastann_obs::{buckets, Metrics, Stage};
 use rayon::prelude::*;
 
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
+use crate::request::SearchRequest;
 use crate::router::ReplicaDispatcher;
 use crate::stats::QueryReport;
 use crate::tags;
@@ -56,31 +58,75 @@ pub const TAG_FLUSH_ACK: u64 = 206;
 /// Virtual cost (ns) of merging one returned neighbour at the master.
 pub(crate) const MERGE_NS_PER_NEIGHBOR: f64 = 4.0;
 
+/// Single dispatch point behind [`SearchRequest`]: a non-vacuous fault
+/// plan takes the fault-tolerant chaos path, anything else the fault-free
+/// path — so `plan: None` and a vacuous plan are provably equivalent,
+/// costs included.
+pub(crate) fn dispatch(
+    index: &DistIndex,
+    queries: &VectorSet,
+    opts: &SearchOptions,
+    plan: Option<&FaultPlan>,
+    trace: Option<&Trace>,
+    obs: Option<&Metrics>,
+) -> QueryReport {
+    match plan {
+        Some(p) if !p.is_vacuous() => search_batch_chaos_inner(index, queries, opts, p, trace, obs),
+        _ => search_batch_inner(index, queries, opts, trace, obs),
+    }
+}
+
+/// The unified span layer: one call records a query-path phase into the
+/// Gantt [`Trace`] (when attached) and into the `fastann_span_ns{stage}`
+/// histogram of the [`Metrics`] registry (when attached), under the same
+/// [`Stage::label`].
+fn span(
+    trace: Option<&Trace>,
+    obs: Option<&Metrics>,
+    rank: usize,
+    start: f64,
+    end: f64,
+    kind: SpanKind,
+    stage: Stage,
+) {
+    if let Some(t) = trace {
+        t.record(rank, start, end, kind, stage.label());
+    }
+    if let Some(m) = obs {
+        m.span(stage, start, end);
+    }
+}
+
 /// Runs a batch of queries against a built [`DistIndex`] on a simulated
 /// cluster (1 master + `n_nodes` workers) and returns merged results with
 /// full virtual-time accounting.
 ///
 /// # Panics
 /// Panics on dimension mismatch or empty query set.
+#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).run()")]
 pub fn search_batch(index: &DistIndex, queries: &VectorSet, opts: &SearchOptions) -> QueryReport {
-    search_batch_inner(index, queries, opts, None)
+    SearchRequest::new(index, queries).opts(*opts).run()
 }
 
-/// Like [`search_batch`], additionally recording a virtual-time execution
-/// trace: per-query compute spans on the worker nodes (rank rows `1..=N`)
-/// and the master's dispatch/collect phases (rank row `0`). Render with
-/// [`Trace::render`].
+/// Like [`SearchRequest`] with a trace attached: records a virtual-time
+/// execution trace with per-query compute spans on the worker nodes (rank
+/// rows `1..=N`) and the master's dispatch/collect phases (rank row `0`).
+/// Render with [`Trace::render`].
+#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).trace(trace).run()")]
 pub fn search_batch_traced(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
     trace: &Trace,
 ) -> QueryReport {
-    search_batch_inner(index, queries, opts, Some(trace))
+    SearchRequest::new(index, queries)
+        .opts(*opts)
+        .trace(trace)
+        .run()
 }
 
-/// Fault-tolerant batch search: like [`search_batch`], but the simulated
-/// cluster runs under the seeded fault `plan` and the protocol survives it.
+/// Fault-tolerant batch search: the simulated cluster runs under the
+/// seeded fault `plan` and the protocol survives it.
 ///
 /// The master tracks a virtual-time deadline per partition probe
 /// ([`SearchOptions::timeout_ns`]); probes unanswered at the deadline are
@@ -101,50 +147,50 @@ pub fn search_batch_traced(
 ///   round completion — is protected from injection (a perfect failure
 ///   detector, in the ULFM sense); only data-plane traffic is at risk.
 /// * A vacuous plan ([`FaultPlan::is_vacuous`]) delegates to the exact
-///   fault-free path: `search_batch_chaos(i, q, o, &FaultPlan::none())`
-///   returns a report identical to `search_batch(i, q, o)`, virtual times
-///   included.
+///   fault-free path: a chaos run with `FaultPlan::none()` returns a
+///   report identical to the fault-free run, virtual times included.
 /// * The whole run is deterministic for a fixed plan: results are drained
 ///   node-by-node in rank order, so virtual-time folding never depends on
 ///   OS thread scheduling.
 ///
 /// # Panics
 /// Panics on dimension mismatch or empty query set.
+#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).chaos(plan).run()")]
 pub fn search_batch_chaos(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
     plan: &FaultPlan,
 ) -> QueryReport {
-    search_batch_chaos_inner(index, queries, opts, plan, None)
+    SearchRequest::new(index, queries)
+        .opts(*opts)
+        .chaos(plan)
+        .run()
 }
 
-/// Single batch entry point for layered runtimes (the `fastann-serve`
-/// micro-batcher dispatches through this): routes to the fault-free path
-/// when no fault plan is active and to the fault-tolerant chaos path
-/// otherwise.
-///
-/// `None` and a vacuous plan are equivalent — both take
-/// [`search_batch`] — so a serving stack configured "no faults" provably
-/// pays no fault-tolerance overhead and reports identical virtual times.
+/// Batch entry point for layered runtimes holding an `Option<&FaultPlan>`:
+/// routes to the fault-free path when no fault plan is active and to the
+/// fault-tolerant chaos path otherwise.
 ///
 /// # Panics
 /// Panics on dimension mismatch or empty query set.
+#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).plan(plan).run()")]
 pub fn search_batch_with_plan(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
     plan: Option<&FaultPlan>,
 ) -> QueryReport {
-    match plan {
-        Some(p) if !p.is_vacuous() => search_batch_chaos(index, queries, opts, p),
-        _ => search_batch(index, queries, opts),
-    }
+    SearchRequest::new(index, queries)
+        .opts(*opts)
+        .plan(plan)
+        .run()
 }
 
-/// [`search_batch_chaos`] with a virtual-time execution trace; timeout
-/// windows, retries and failovers show up as [`SpanKind::Recovery`] spans
-/// on the master row.
+/// Fault-tolerant batch search with a virtual-time execution trace;
+/// timeout windows, retries and failovers show up as
+/// [`SpanKind::Recovery`] spans on the master row.
+#[deprecated(note = "use SearchRequest with .chaos(plan).trace(trace)")]
 pub fn search_batch_chaos_traced(
     index: &DistIndex,
     queries: &VectorSet,
@@ -152,7 +198,11 @@ pub fn search_batch_chaos_traced(
     plan: &FaultPlan,
     trace: &Trace,
 ) -> QueryReport {
-    search_batch_chaos_inner(index, queries, opts, plan, Some(trace))
+    SearchRequest::new(index, queries)
+        .opts(*opts)
+        .chaos(plan)
+        .trace(trace)
+        .run()
 }
 
 fn search_batch_chaos_inner(
@@ -161,11 +211,12 @@ fn search_batch_chaos_inner(
     opts: &SearchOptions,
     plan: &FaultPlan,
     trace: Option<&Trace>,
+    obs: Option<&Metrics>,
 ) -> QueryReport {
     if plan.is_vacuous() {
         // no injected faults — take the exact fault-free path so that
         // FaultPlan::none() provably changes nothing, costs included
-        return search_batch_inner(index, queries, opts, trace);
+        return search_batch_inner(index, queries, opts, trace, obs);
     }
     assert!(!queries.is_empty(), "empty query batch");
     assert_eq!(queries.dim(), index.dim(), "query dimension mismatch");
@@ -187,9 +238,9 @@ fn search_batch_chaos_inner(
 
     let (outs, conservation) = cluster.run_checked(|rank| {
         if rank.rank() == 0 {
-            RankOut::Master(master_chaos(rank, index, queries, opts, trace))
+            RankOut::Master(master_chaos(rank, index, queries, opts, trace, obs))
         } else {
-            RankOut::Worker(worker_chaos(rank, index, opts, trace))
+            RankOut::Worker(worker_chaos(rank, index, opts, trace, obs))
         }
     });
     // Even under injected faults the protocol must account for every
@@ -225,6 +276,7 @@ fn search_batch_inner(
     queries: &VectorSet,
     opts: &SearchOptions,
     trace: Option<&Trace>,
+    obs: Option<&Metrics>,
 ) -> QueryReport {
     assert!(!queries.is_empty(), "empty query batch");
     assert_eq!(queries.dim(), index.dim(), "query dimension mismatch");
@@ -242,9 +294,9 @@ fn search_batch_inner(
 
     let (outs, conservation) = cluster.run_checked(|rank| {
         if rank.rank() == 0 {
-            RankOut::Master(master(rank, index, queries, opts, trace))
+            RankOut::Master(master(rank, index, queries, opts, trace, obs))
         } else {
-            RankOut::Worker(worker(rank, index, opts, trace))
+            RankOut::Worker(worker(rank, index, opts, trace, obs))
         }
     });
     if cfg!(debug_assertions) {
@@ -299,6 +351,7 @@ fn master(
     queries: &VectorSet,
     opts: &SearchOptions,
     trace: Option<&Trace>,
+    obs: Option<&Metrics>,
 ) -> QueryReport {
     let world = rank.world();
     let p_cores = index.config.n_cores;
@@ -340,6 +393,14 @@ fn master(
         rank.charge(c);
         route_ns += c;
         fanout_total += parts.len() as u64;
+        if let Some(m) = obs {
+            m.observe(
+                "fastann_router_fanout",
+                &[],
+                parts.len() as f64,
+                buckets::COUNT,
+            );
+        }
         for d in parts {
             // workgroup W_d = {d, d+1, …, d+r-1 mod P}, round-robin
             let (core, _slot) = dispatcher.next_primary(d);
@@ -353,9 +414,19 @@ fn master(
     for nodej in 0..n_nodes {
         rank.send_bytes(1 + nodej, TAG_END, Bytes::new());
     }
-    if let Some(t) = trace {
-        t.record(0, start_ns, rank.now(), SpanKind::Compute, "route+dispatch");
+    if let Some(m) = obs {
+        m.inc("fastann_engine_queries_total", &[], nq as u64);
+        m.inc("fastann_engine_probes_total", &[], pending_total);
     }
+    span(
+        trace,
+        obs,
+        0,
+        start_ns,
+        rank.now(),
+        SpanKind::Compute,
+        Stage::Route,
+    );
     let collect_start = rank.now();
 
     // Collection folds message arrivals into the master clock, so it must
@@ -376,6 +447,14 @@ fn master(
             rank.charge(k as f64 * 1.0);
         }
         result_bytes = pending_total * (k as u64) * 8;
+        if let Some(m) = obs {
+            // one window read-merge per query slot
+            m.inc(
+                "fastann_master_merge_ops_total",
+                &[("path", "one_sided")],
+                nq as u64,
+            );
+        }
     } else {
         // Two-sided: receive and merge every single result message; the
         // master knows exactly how many answers each node owes it.
@@ -392,17 +471,28 @@ fn master(
                 }
             }
         }
+        if let Some(m) = obs {
+            // one receive-and-merge per answered probe
+            m.inc(
+                "fastann_master_merge_ops_total",
+                &[("path", "two_sided")],
+                pending_total,
+            );
+        }
     }
 
-    if let Some(t) = trace {
-        t.record(
-            0,
-            collect_start,
-            rank.now(),
-            SpanKind::Wait,
-            "collect results",
-        );
+    if let Some(m) = obs {
+        m.inc("fastann_engine_result_bytes_total", &[], result_bytes);
     }
+    span(
+        trace,
+        obs,
+        0,
+        collect_start,
+        rank.now(),
+        SpanKind::Wait,
+        Stage::Collect,
+    );
     let stats = rank.stats();
     QueryReport {
         results: tops.into_iter().map(TopK::into_sorted).collect(),
@@ -444,24 +534,35 @@ struct WorkerEmit<'a> {
     pool: &'a mut VThreadPool,
     window: &'a Option<Window<TopK>>,
     trace: Option<&'a Trace>,
+    obs: Option<&'a Metrics>,
 }
 
 impl WorkerEmit<'_> {
-    /// Charges the virtual thread pool, records the trace span, translates
-    /// local row ids to global ids, and posts the answer (RMA deposit or
-    /// two-sided message) at its virtual completion time.
-    fn emit(&mut self, index: &DistIndex, item: &PendingQuery, local: &[Neighbor], ndist: u64) {
+    /// Charges the virtual thread pool, records the span and the
+    /// local-search metrics, translates local row ids to global ids, and
+    /// posts the answer (RMA deposit or two-sided message) at its virtual
+    /// completion time. Returns that completion time.
+    fn emit(
+        &mut self,
+        index: &DistIndex,
+        item: &PendingQuery,
+        local: &[Neighbor],
+        stats: fastann_hnsw::SearchStats,
+    ) -> f64 {
         let partition = &index.partitions[item.part];
-        let cost = index.config.cost.dists_ns(ndist, index.dim());
+        let cost = index.config.cost.dists_ns(stats.ndist, index.dim());
         let done_at = self.pool.assign(item.arrival, cost);
-        if let Some(t) = self.trace {
-            t.record(
-                self.rank.rank(),
-                done_at - cost,
-                done_at,
-                SpanKind::Compute,
-                "hnsw search",
-            );
+        span(
+            self.trace,
+            self.obs,
+            self.rank.rank(),
+            done_at - cost,
+            done_at,
+            SpanKind::Compute,
+            Stage::LocalSearch,
+        );
+        if let Some(m) = self.obs {
+            record_local_search(m, item.part, &stats, cost);
         }
         // translate to global ids
         let pairs: Vec<(u32, f32)> = local
@@ -481,6 +582,9 @@ impl WorkerEmit<'_> {
                         }
                     },
                 );
+                if let Some(m) = self.obs {
+                    m.inc("fastann_rma_deposits_total", &[], 1);
+                }
             }
             None => {
                 let mut b = BytesMut::new();
@@ -489,7 +593,55 @@ impl WorkerEmit<'_> {
                 self.rank.send_bytes_at(0, TAG_RESULT, b.freeze(), done_at);
             }
         }
+        done_at
     }
+}
+
+/// Folds one answered probe's local-search accounting into the registry:
+/// the HNSW work histograms and the per-partition virtual service time.
+fn record_local_search(m: &Metrics, part: usize, stats: &fastann_hnsw::SearchStats, cost_ns: f64) {
+    m.observe("fastann_hnsw_ndist", &[], stats.ndist as f64, buckets::WORK);
+    m.observe("fastann_hnsw_hops", &[], stats.hops as f64, buckets::COUNT);
+    m.observe(
+        "fastann_hnsw_heap_pushes",
+        &[],
+        stats.heap_pushes as f64,
+        buckets::WORK,
+    );
+    m.observe(
+        "fastann_hnsw_ef_churn",
+        &[],
+        stats.ef_churn as f64,
+        buckets::WORK,
+    );
+    let part = part.to_string();
+    m.observe(
+        "fastann_worker_service_ns",
+        &[("partition", &part)],
+        cost_ns,
+        buckets::NS,
+    );
+}
+
+/// Folds a worker's whole-batch accounting into the registry: how many
+/// probes it received and the peak backlog of its virtual thread pool.
+/// `served` holds one `(arrival, completion)` pair per answered probe —
+/// virtual times, so the fold is identical in immediate and deferred-batch
+/// modes and across real thread counts.
+fn record_worker_batch(m: &Metrics, served: &[(f64, f64)]) {
+    m.observe(
+        "fastann_worker_batch_size",
+        &[],
+        served.len() as f64,
+        buckets::COUNT,
+    );
+    let mut depth_max = 0usize;
+    for (i, &(arrival, _)) in served.iter().enumerate() {
+        // probes accepted earlier and still unfinished when this one arrives
+        let depth = 1 + served[..i].iter().filter(|&&(_, d)| d > arrival).count();
+        depth_max = depth_max.max(depth);
+    }
+    m.gauge_max("fastann_worker_queue_depth", &[], depth_max as f64);
 }
 
 fn worker(
@@ -497,6 +649,7 @@ fn worker(
     index: &DistIndex,
     opts: &SearchOptions,
     trace: Option<&Trace>,
+    obs: Option<&Metrics>,
 ) -> WorkerOut {
     let world = rank.world();
     let node = rank.rank() - 1;
@@ -532,6 +685,7 @@ fn worker(
     let mut ndist_total = 0u64;
     let threads = index.config.threads;
     let mut queued: Vec<PendingQuery> = Vec::new();
+    let mut served: Vec<(f64, f64)> = Vec::new();
 
     loop {
         let msg = rank.recv(Some(0), None);
@@ -559,18 +713,22 @@ fn worker(
                     // threads after TAG_END.
                     queued.push(item);
                 } else {
-                    let (local, ndist) =
-                        index.partitions[item.part]
-                            .index
-                            .search(&item.q, k, opts.ef, &mut scratch);
-                    ndist_total += ndist;
-                    WorkerEmit {
+                    let (local, stats) = index.partitions[item.part].index.search_detailed(
+                        &item.q,
+                        k,
+                        opts.ef,
+                        &mut scratch,
+                    );
+                    ndist_total += stats.ndist;
+                    let done_at = WorkerEmit {
                         rank: &mut *rank,
                         pool: &mut pool,
                         window: &window,
                         trace,
+                        obs,
                     }
-                    .emit(index, &item, &local, ndist);
+                    .emit(index, &item, &local, stats);
+                    served.push((item.arrival, done_at));
                 }
             }
             t => panic!("worker node {node}: unexpected tag {t}"),
@@ -586,26 +744,33 @@ fn worker(
     // as the immediate path — the whole report stays bit-identical to
     // `threads = 1`.
     if !queued.is_empty() {
-        let answers: Vec<(Vec<Neighbor>, u64)> = rayon::with_num_threads(threads, || {
-            queued
-                .par_iter()
-                .map_init(SearchScratch::default, |scratch, item| {
-                    index.partitions[item.part]
-                        .index
-                        .search(&item.q, k, opts.ef, scratch)
-                })
-                .collect()
-        });
-        for (item, (local, ndist)) in queued.iter().zip(answers) {
-            ndist_total += ndist;
-            WorkerEmit {
+        let answers: Vec<(Vec<Neighbor>, fastann_hnsw::SearchStats)> =
+            rayon::with_num_threads(threads, || {
+                queued
+                    .par_iter()
+                    .map_init(SearchScratch::default, |scratch, item| {
+                        index.partitions[item.part]
+                            .index
+                            .search_detailed(&item.q, k, opts.ef, scratch)
+                    })
+                    .collect()
+            });
+        for (item, (local, stats)) in queued.iter().zip(answers) {
+            ndist_total += stats.ndist;
+            let done_at = WorkerEmit {
                 rank: &mut *rank,
                 pool: &mut pool,
                 window: &window,
                 trace,
+                obs,
             }
-            .emit(index, item, &local, ndist);
+            .emit(index, item, &local, stats);
+            served.push((item.arrival, done_at));
         }
+    }
+
+    if let Some(m) = obs {
+        record_worker_batch(m, &served);
     }
 
     if window.is_some() {
@@ -652,6 +817,7 @@ fn master_chaos(
     queries: &VectorSet,
     opts: &SearchOptions,
     trace: Option<&Trace>,
+    obs: Option<&Metrics>,
 ) -> QueryReport {
     let world = rank.world();
     let p_cores = index.config.n_cores;
@@ -680,6 +846,14 @@ fn master_chaos(
         rank.charge(c);
         route_ns += c;
         fanout_total += parts.len() as u64;
+        if let Some(m) = obs {
+            m.observe(
+                "fastann_router_fanout",
+                &[],
+                parts.len() as f64,
+                buckets::COUNT,
+            );
+        }
         for d in parts {
             let (core, slot) = dispatcher.next_primary(d);
             per_core_queries[core] += 1;
@@ -693,9 +867,19 @@ fn master_chaos(
             });
         }
     }
-    if let Some(t) = trace {
-        t.record(0, start_ns, rank.now(), SpanKind::Compute, "route+dispatch");
+    if let Some(m) = obs {
+        m.inc("fastann_engine_queries_total", &[], nq as u64);
+        m.inc("fastann_engine_probes_total", &[], fanout_total);
     }
+    span(
+        trace,
+        obs,
+        0,
+        start_ns,
+        rank.now(),
+        SpanKind::Compute,
+        Stage::Route,
+    );
 
     // Answers already merged, keyed (query, partition) — a second answer
     // for the same probe (duplicate fault, retry racing its original) is
@@ -704,6 +888,8 @@ fn master_chaos(
     let mut result_bytes = 0u64;
     let mut retries = 0u64;
     let mut failovers = 0u64;
+    let mut merge_ops = 0u64;
+    let mut timeout_waits = 0u64;
     let mut round = 0usize;
 
     loop {
@@ -728,6 +914,7 @@ fn master_chaos(
                         let part = wire::get_u32(&mut payload);
                         let pairs = wire::get_neighbors(&mut payload);
                         if fulfilled.insert((qid, part)) {
+                            merge_ops += 1;
                             rank.charge(pairs.len() as f64 * MERGE_NS_PER_NEIGHBOR);
                             for (id, d) in pairs {
                                 tops[qid as usize].push(Neighbor::new(id, d));
@@ -738,9 +925,15 @@ fn master_chaos(
                 }
             }
         }
-        if let Some(t) = trace {
-            t.record(0, drain_start, rank.now(), SpanKind::Wait, "collect");
-        }
+        span(
+            trace,
+            obs,
+            0,
+            drain_start,
+            rank.now(),
+            SpanKind::Wait,
+            Stage::Collect,
+        );
 
         outstanding.retain(|p| !fulfilled.contains(&(p.qid, p.part)));
         if outstanding.is_empty() || round == opts.max_retries {
@@ -755,9 +948,16 @@ fn master_chaos(
         if max_deadline > rank.now() {
             let t0 = rank.now();
             rank.wait_until(max_deadline);
-            if let Some(t) = trace {
-                t.record(0, t0, rank.now(), SpanKind::Recovery, "timeout");
-            }
+            timeout_waits += 1;
+            span(
+                trace,
+                obs,
+                0,
+                t0,
+                rank.now(),
+                SpanKind::Recovery,
+                Stage::Timeout,
+            );
         }
         for p in outstanding.iter_mut() {
             let prev_core = dispatcher.failover(p.part, p.slot, p.attempt);
@@ -775,14 +975,12 @@ fn master_chaos(
                 encode_query(p.qid, p.part, queries.get(p.qid as usize)),
             );
             p.deadline = rank.now() + opts.timeout_ns;
-            if let Some(t) = trace {
-                let label = if core != prev_core {
-                    "failover"
-                } else {
-                    "retry"
-                };
-                t.record(0, t0, rank.now(), SpanKind::Recovery, label);
-            }
+            let stage = if core != prev_core {
+                Stage::Failover
+            } else {
+                Stage::Retry
+            };
+            span(trace, obs, 0, t0, rank.now(), SpanKind::Recovery, stage);
         }
     }
     for j in 0..n_nodes {
@@ -795,6 +993,23 @@ fn master_chaos(
         missing_partitions[p.qid as usize] += 1;
     }
     let degraded: Vec<bool> = missing_partitions.iter().map(|&m| m > 0).collect();
+
+    if let Some(m) = obs {
+        m.inc(
+            "fastann_master_merge_ops_total",
+            &[("path", "two_sided")],
+            merge_ops,
+        );
+        m.inc("fastann_engine_result_bytes_total", &[], result_bytes);
+        m.inc("fastann_chaos_retries_total", &[], retries);
+        m.inc("fastann_chaos_failovers_total", &[], failovers);
+        m.inc("fastann_chaos_timeout_waits_total", &[], timeout_waits);
+        m.inc(
+            "fastann_chaos_degraded_total",
+            &[],
+            degraded.iter().filter(|&&d| d).count() as u64,
+        );
+    }
 
     let stats = rank.stats();
     QueryReport {
@@ -821,6 +1036,7 @@ fn worker_chaos(
     index: &DistIndex,
     opts: &SearchOptions,
     trace: Option<&Trace>,
+    obs: Option<&Metrics>,
 ) -> WorkerOut {
     let world = rank.world();
     let node = rank.rank() - 1;
@@ -843,6 +1059,7 @@ fn worker_chaos(
     pool.set_perturb(rank.sched_perturb());
     let mut scratch = SearchScratch::default();
     let mut ndist_total = 0u64;
+    let mut served: Vec<(f64, f64)> = Vec::new();
 
     loop {
         let msg = rank.recv(Some(0), None);
@@ -871,19 +1088,25 @@ fn worker_chaos(
                     "node {node} asked to serve partition {part} it does not hold"
                 );
                 let partition = &index.partitions[part];
-                let (local, ndist) = partition.index.search(&q, k, opts.ef, &mut scratch);
-                ndist_total += ndist;
-                let cost = index.config.cost.dists_ns(ndist, dim);
+                let (local, sstats) = partition
+                    .index
+                    .search_detailed(&q, k, opts.ef, &mut scratch);
+                ndist_total += sstats.ndist;
+                let cost = index.config.cost.dists_ns(sstats.ndist, dim);
                 let done_at = pool.assign(arrival, cost);
-                if let Some(t) = trace {
-                    t.record(
-                        rank.rank(),
-                        done_at - cost,
-                        done_at,
-                        SpanKind::Compute,
-                        "hnsw search",
-                    );
+                span(
+                    trace,
+                    obs,
+                    rank.rank(),
+                    done_at - cost,
+                    done_at,
+                    SpanKind::Compute,
+                    Stage::LocalSearch,
+                );
+                if let Some(m) = obs {
+                    record_local_search(m, part, &sstats, cost);
                 }
+                served.push((arrival, done_at));
                 let pairs: Vec<(u32, f32)> = local
                     .iter()
                     .map(|n| (partition.global_ids[n.id as usize], n.dist))
@@ -897,6 +1120,10 @@ fn worker_chaos(
             }
             t => panic!("worker node {node}: unexpected tag {t}"),
         }
+    }
+
+    if let Some(m) = obs {
+        record_worker_batch(m, &served);
     }
 
     let stats = rank.stats();
@@ -916,6 +1143,12 @@ mod tests {
     use fastann_hnsw::HnswConfig;
     use fastann_vptree::RouteConfig;
 
+    /// Engine tests drive the builder path; the deprecated shims are
+    /// covered by `tests/parity.rs`. (Shadows the deprecated free fn.)
+    fn search_batch(index: &DistIndex, queries: &VectorSet, opts: &SearchOptions) -> QueryReport {
+        SearchRequest::new(index, queries).opts(*opts).run()
+    }
+
     fn build_small(
         n: usize,
         dim: usize,
@@ -925,8 +1158,8 @@ mod tests {
     ) -> (VectorSet, DistIndex) {
         let data = synth::sift_like(n, dim, seed);
         let cfg = EngineConfig::new(cores, per_node)
-            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-            .seed(seed);
+            .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+            .with_seed(seed);
         let index = DistIndex::build(&data, cfg);
         (data, index)
     }
@@ -966,8 +1199,16 @@ mod tests {
     fn one_sided_matches_two_sided_results() {
         let (data, index) = build_small(2000, 16, 8, 2, 5);
         let queries = synth::queries_near(&data, 15, 0.02, 6);
-        let one = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(true));
-        let two = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(false));
+        let one = search_batch(
+            &index,
+            &queries,
+            &SearchOptions::new(10).with_one_sided(true),
+        );
+        let two = search_batch(
+            &index,
+            &queries,
+            &SearchOptions::new(10).with_one_sided(false),
+        );
         assert_eq!(
             one.results, two.results,
             "result content must not depend on transport"
@@ -978,8 +1219,16 @@ mod tests {
     fn one_sided_reduces_master_comm_cpu() {
         let (data, index) = build_small(2000, 16, 16, 2, 7);
         let queries = synth::queries_near(&data, 200, 0.05, 8);
-        let one = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(true));
-        let two = search_batch(&index, &queries, &SearchOptions::new(10).one_sided(false));
+        let one = search_batch(
+            &index,
+            &queries,
+            &SearchOptions::new(10).with_one_sided(true),
+        );
+        let two = search_batch(
+            &index,
+            &queries,
+            &SearchOptions::new(10).with_one_sided(false),
+        );
         assert!(
             one.master_comm_cpu_ns < two.master_comm_cpu_ns,
             "one-sided should cut master comm CPU: {} vs {}",
@@ -1005,8 +1254,16 @@ mod tests {
             q[0] += (i % 5) as f32 * 0.01;
             queries.push(&q);
         }
-        let r1 = search_batch(&index, &queries, &SearchOptions::new(10).replication(1));
-        let r3 = search_batch(&index, &queries, &SearchOptions::new(10).replication(3));
+        let r1 = search_batch(
+            &index,
+            &queries,
+            &SearchOptions::new(10).with_replication(1),
+        );
+        let r3 = search_batch(
+            &index,
+            &queries,
+            &SearchOptions::new(10).with_replication(3),
+        );
         assert_eq!(r1.results.len(), r3.results.len());
         let d1 = r1.query_distribution();
         let d3 = r3.query_distribution();
@@ -1049,8 +1306,8 @@ mod tests {
         let queries = synth::queries_near(&data, 60, 0.05, 16);
         let time_for = |cores: usize| {
             let cfg = EngineConfig::new(cores, 2)
-                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(15))
-                .seed(15);
+                .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(15))
+                .with_seed(15);
             let index = DistIndex::build(&data, cfg);
             search_batch(&index, &queries, &SearchOptions::new(10)).total_ns
         };
@@ -1088,10 +1345,12 @@ mod tests {
             let base = search_batch(
                 &index,
                 &queries,
-                &SearchOptions::new(10).one_sided(one_sided),
+                &SearchOptions::new(10).with_one_sided(one_sided),
             );
             for seed in [1u64, 7, 0xDEAD_BEEF] {
-                let opts = SearchOptions::new(10).one_sided(one_sided).sched_seed(seed);
+                let opts = SearchOptions::new(10)
+                    .with_one_sided(one_sided)
+                    .with_sched_seed(seed);
                 let perturbed = search_batch(&index, &queries, &opts);
                 assert_eq!(
                     base, perturbed,
@@ -1110,9 +1369,9 @@ mod tests {
         let queries = synth::queries_near(&data, 15, 0.02, 26);
         let build_with = |threads: usize| {
             let cfg = EngineConfig::new(8, 2)
-                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(25))
-                .seed(25)
-                .threads(threads);
+                .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(25))
+                .with_seed(25)
+                .with_threads(threads);
             DistIndex::build(&data, cfg)
         };
         let base_index = build_with(1);
@@ -1122,7 +1381,7 @@ mod tests {
             "threaded build must not change BuildStats"
         );
         for one_sided in [true, false] {
-            let opts = SearchOptions::new(10).one_sided(one_sided);
+            let opts = SearchOptions::new(10).with_one_sided(one_sided);
             let base = search_batch(&base_index, &queries, &opts);
             let fast = search_batch(&par_index, &queries, &opts);
             assert_eq!(
@@ -1139,12 +1398,12 @@ mod tests {
         let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
         let recall_for = |margin: f32, cap: usize| {
             let cfg = EngineConfig::new(8, 2)
-                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(21))
-                .route(RouteConfig {
+                .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(21))
+                .with_route(RouteConfig {
                     margin_frac: margin,
                     max_partitions: cap,
                 })
-                .seed(21);
+                .with_seed(21);
             let index = DistIndex::build(&data, cfg);
             let mut o = SearchOptions::new(10);
             o.ef = 128;

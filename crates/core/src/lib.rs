@@ -12,10 +12,11 @@
 //!   median, `Alltoallv` shuffles), hybrid with a node-local phase that
 //!   splits a node's data into one partition per core, then per-partition
 //!   HNSW construction.
-//! * [`search_batch`] — Section IV-B, Algorithms 3–4: the master routes
+//! * [`SearchRequest`] — Section IV-B, Algorithms 3–4: the master routes
 //!   each query to the partitions `F(q)` chosen by the VP-tree skeleton;
 //!   worker nodes answer with multi-threaded local HNSW searches (modelled
-//!   by per-node virtual thread pools).
+//!   by per-node virtual thread pools). One builder covers the fault-free,
+//!   traced, fault-tolerant and metered variants.
 //! * [`SearchOptions::one_sided`] — Section IV-C1: workers deposit results
 //!   straight into the master's memory window (`MPI_Get_accumulate`
 //!   semantics) instead of two-sided replies.
@@ -25,20 +26,22 @@
 //! * [`search_batch_multi_owner`] — the multiple-owner variant discussed in
 //!   Section IV: every node owns a hash-slice of the queries and routes
 //!   them itself against a replicated skeleton.
-//! * [`search_batch_chaos`] — the same master–worker protocol hardened
+//! * [`SearchRequest::chaos`] — the same master–worker protocol hardened
 //!   against a seeded [`fastann_mpisim::FaultPlan`]: virtual-time request
 //!   timeouts, bounded retry with failover across the Algorithm-5 replica
 //!   workgroups, and a degraded mode that returns partial top-k (flagged
 //!   per query in [`QueryReport::degraded`]) instead of hanging.
 //!
 //! ```no_run
-//! use fastann_core::{DistIndex, EngineConfig, SearchOptions, search_batch};
+//! use fastann_core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 //! use fastann_data::synth;
 //!
 //! let data = synth::sift_like(20_000, 64, 1);
 //! let queries = synth::queries_near(&data, 100, 0.02, 2);
 //! let index = DistIndex::build(&data, EngineConfig::new(16, 4));
-//! let report = search_batch(&index, &queries, &SearchOptions::new(10));
+//! let report = SearchRequest::new(&index, &queries)
+//!     .opts(SearchOptions::new(10))
+//!     .run();
 //! println!("10-NN for 100 queries in {:.2} virtual ms", report.total_ns / 1e6);
 //! ```
 
@@ -50,6 +53,7 @@ mod engine;
 mod local;
 mod owner;
 mod persist;
+mod request;
 mod router;
 mod stats;
 /// Central registry of every wire tag the workspace's protocols use.
@@ -58,13 +62,16 @@ mod tune;
 
 pub use build::{DistIndex, Partition};
 pub use config::{EngineConfig, SearchOptions};
+#[allow(deprecated)]
 pub use engine::{
     search_batch, search_batch_chaos, search_batch_chaos_traced, search_batch_traced,
-    search_batch_with_plan, TAG_DONE, TAG_END, TAG_FLUSH, TAG_FLUSH_ACK, TAG_QUERY, TAG_RESULT,
+    search_batch_with_plan,
 };
+pub use engine::{TAG_DONE, TAG_END, TAG_FLUSH, TAG_FLUSH_ACK, TAG_QUERY, TAG_RESULT};
 pub use local::{LocalIndex, LocalIndexKind};
 pub use owner::search_batch_multi_owner;
 pub use persist::PersistError;
+pub use request::SearchRequest;
 pub use router::{ReplicaDispatcher, Router};
 pub use stats::{BuildStats, Distribution, QueryReport};
 pub use tune::{tune_routing, TuneOutcome};

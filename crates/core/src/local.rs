@@ -76,18 +76,41 @@ impl LocalIndex {
         ef: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, u64) {
+        let (r, s) = self.search_detailed(q, k, ef, scratch);
+        (r, s.ndist)
+    }
+
+    /// [`LocalIndex::search`] with full per-search accounting. For
+    /// non-HNSW kinds only `ndist` is meaningful (a tree walk has no beam,
+    /// so `hops`, `heap_pushes` and `ef_churn` stay zero).
+    pub fn search_detailed(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, fastann_hnsw::SearchStats) {
         match self {
-            LocalIndex::Hnsw(h) => {
-                let (r, s) = h.search_with_scratch(q, k, ef, scratch);
-                (r, s.ndist)
-            }
+            LocalIndex::Hnsw(h) => h.search_with_scratch(q, k, ef, scratch),
             LocalIndex::VpTree(t) => {
                 let (r, s) = t.knn(q, k);
-                (r, s.ndist)
+                (
+                    r,
+                    fastann_hnsw::SearchStats {
+                        ndist: s.ndist,
+                        ..Default::default()
+                    },
+                )
             }
             LocalIndex::Brute { data, metric } => {
                 let r = ground_truth::brute_force_one(data, q, k, *metric);
-                (r, data.len() as u64)
+                (
+                    r,
+                    fastann_hnsw::SearchStats {
+                        ndist: data.len() as u64,
+                        ..Default::default()
+                    },
+                )
             }
         }
     }

@@ -332,15 +332,15 @@ fn node_main(
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
-    use crate::engine::search_batch;
+    use crate::request::SearchRequest;
     use fastann_data::{ground_truth, synth, Distance};
     use fastann_hnsw::HnswConfig;
 
     fn build_small(n: usize, cores: usize, per_node: usize, seed: u64) -> (VectorSet, DistIndex) {
         let data = synth::sift_like(n, 16, seed);
         let cfg = EngineConfig::new(cores, per_node)
-            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-            .seed(seed);
+            .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+            .with_seed(seed);
         let index = DistIndex::build(&data, cfg);
         (data, index)
     }
@@ -349,7 +349,9 @@ mod tests {
     fn multi_owner_matches_master_worker_results() {
         let (data, index) = build_small(2000, 8, 2, 31);
         let queries = synth::queries_near(&data, 17, 0.02, 32);
-        let mw = search_batch(&index, &queries, &SearchOptions::new(10));
+        let mw = SearchRequest::new(&index, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
         let mo = search_batch_multi_owner(&index, &queries, &SearchOptions::new(10));
         assert_eq!(mw.results, mo.results, "strategies must agree on content");
     }
@@ -396,8 +398,11 @@ mod tests {
         let queries = synth::queries_near(&data, 13, 0.03, 42);
         let base = search_batch_multi_owner(&index, &queries, &SearchOptions::new(5));
         for seed in [1u64, 9, 0xFEED] {
-            let r =
-                search_batch_multi_owner(&index, &queries, &SearchOptions::new(5).sched_seed(seed));
+            let r = search_batch_multi_owner(
+                &index,
+                &queries,
+                &SearchOptions::new(5).with_sched_seed(seed),
+            );
             assert_eq!(base, r, "seed {seed} diverged");
         }
     }

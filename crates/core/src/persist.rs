@@ -313,7 +313,7 @@ impl DistIndex {
 mod tests {
     use super::*;
     use crate::config::SearchOptions;
-    use crate::engine::search_batch;
+    use crate::request::SearchRequest;
     use fastann_data::synth;
     use fastann_hnsw::HnswConfig;
 
@@ -324,8 +324,8 @@ mod tests {
     fn build_one(seed: u64) -> (fastann_data::VectorSet, DistIndex) {
         let data = synth::sift_like(2_000, 12, seed);
         let cfg = EngineConfig::new(8, 2)
-            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-            .seed(seed);
+            .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+            .with_seed(seed);
         (data.clone(), DistIndex::build(&data, cfg))
     }
 
@@ -340,8 +340,12 @@ mod tests {
         assert_eq!(back.n_partitions(), index.n_partitions());
         assert_eq!(back.dim(), index.dim());
         let queries = synth::queries_near(&data, 15, 0.02, 82);
-        let a = search_batch(&index, &queries, &SearchOptions::new(10));
-        let b = search_batch(&back, &queries, &SearchOptions::new(10));
+        let a = SearchRequest::new(&index, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
+        let b = SearchRequest::new(&back, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
         assert_eq!(a.results, b.results, "loaded index must answer identically");
     }
 
@@ -370,8 +374,12 @@ mod tests {
 
         // … and the loaded index answers bit-identically.
         let queries = synth::queries_near(&data, 12, 0.02, 87);
-        let a = search_batch(&index, &queries, &SearchOptions::new(10));
-        let b = search_batch(&back, &queries, &SearchOptions::new(10));
+        let a = SearchRequest::new(&index, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
+        let b = SearchRequest::new(&back, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
         assert_eq!(a.results, b.results, "results must be bit-identical");
         for (ra, rb) in a.results.iter().zip(&b.results) {
             for (x, y) in ra.iter().zip(rb) {
@@ -384,8 +392,8 @@ mod tests {
     fn non_hnsw_index_refuses_to_save() {
         let data = synth::sift_like(500, 8, 83);
         let cfg = EngineConfig::new(4, 2)
-            .local_index(crate::local::LocalIndexKind::VpExact)
-            .seed(83);
+            .with_local_index(crate::local::LocalIndexKind::VpExact)
+            .with_seed(83);
         let index = DistIndex::build(&data, cfg);
         let err = index.save(tmp("refuse")).unwrap_err();
         assert!(matches!(err, PersistError::Unsupported(_)));
@@ -394,7 +402,7 @@ mod tests {
     #[test]
     fn flat_pivot_router_refuses_to_save() {
         let data = synth::sift_like(500, 8, 84);
-        let index = DistIndex::build_flat_pivot(&data, EngineConfig::new(4, 2).seed(84));
+        let index = DistIndex::build_flat_pivot(&data, EngineConfig::new(4, 2).with_seed(84));
         let err = index.save(tmp("refuse2")).unwrap_err();
         assert!(matches!(err, PersistError::Unsupported(_)));
     }

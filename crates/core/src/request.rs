@@ -1,0 +1,126 @@
+//! The unified batch-query entry point.
+//!
+//! [`SearchRequest`] replaces the historical `search_batch*` free
+//! functions (kept as deprecated shims) with one builder, so every
+//! combination of fault plan, execution trace and metrics registry runs
+//! through a single instrumented dispatch path:
+//!
+//! ```
+//! use fastann_core::{DistIndex, EngineConfig, SearchRequest, SearchOptions};
+//! use fastann_data::synth;
+//! use fastann_obs::Metrics;
+//!
+//! let data = synth::sift_like(600, 8, 1);
+//! let index = DistIndex::build(&data, EngineConfig::new(4, 2));
+//! let queries = synth::queries_near(&data, 4, 0.02, 2);
+//! let metrics = Metrics::new();
+//! let report = SearchRequest::new(&index, &queries)
+//!     .opts(SearchOptions::new(5))
+//!     .metrics(&metrics)
+//!     .run();
+//! assert_eq!(report.results.len(), 4);
+//! assert!(metrics.snapshot().counter("fastann_engine_queries_total", &[]) == Some(4));
+//! ```
+
+use fastann_data::VectorSet;
+use fastann_mpisim::{FaultPlan, Trace};
+use fastann_obs::Metrics;
+
+use crate::build::DistIndex;
+use crate::config::SearchOptions;
+use crate::engine;
+use crate::stats::QueryReport;
+
+/// A batch search being assembled: index and queries are mandatory,
+/// everything else is optional and defaults off. [`SearchRequest::run`]
+/// executes on the simulated cluster and returns the merged
+/// [`QueryReport`].
+///
+/// With no fault plan (or a vacuous one) the batch takes the fault-free
+/// path; a non-vacuous plan takes the fault-tolerant chaos path with
+/// timeouts, retries and replica failover. Attaching a [`Trace`] records
+/// Gantt spans; attaching a [`Metrics`] registry records the full
+/// instrumented query path (router fan-out, per-stage spans, local-search
+/// work, worker service times, merge ops, chaos recovery counters) —
+/// snapshots are bit-identical across thread counts and schedules.
+#[derive(Clone, Copy)]
+pub struct SearchRequest<'a> {
+    index: &'a DistIndex,
+    queries: &'a VectorSet,
+    opts: SearchOptions,
+    plan: Option<&'a FaultPlan>,
+    trace: Option<&'a Trace>,
+    metrics: Option<&'a Metrics>,
+}
+
+impl<'a> SearchRequest<'a> {
+    /// A request for `queries` against `index` with default
+    /// [`SearchOptions`] and nothing attached.
+    pub fn new(index: &'a DistIndex, queries: &'a VectorSet) -> Self {
+        Self {
+            index,
+            queries,
+            opts: SearchOptions::default(),
+            plan: None,
+            trace: None,
+            metrics: None,
+        }
+    }
+
+    /// Sets the search options (k, ef, transport, replication, fault
+    /// knobs).
+    pub fn opts(mut self, opts: SearchOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs under the given seeded fault plan (the fault-tolerant path,
+    /// unless the plan is vacuous — [`FaultPlan::is_vacuous`] — which
+    /// provably takes the fault-free path, costs included).
+    pub fn chaos(mut self, plan: &'a FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Like [`SearchRequest::chaos`] but optional at the call site —
+    /// `None` means fault-free. Layered runtimes (the `fastann-serve`
+    /// micro-batcher) thread their configured `Option<&FaultPlan>`
+    /// straight through.
+    pub fn plan(mut self, plan: Option<&'a FaultPlan>) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Records a virtual-time execution trace: per-query compute spans on
+    /// the worker rows, dispatch/collect/recovery phases on the master
+    /// row. Render with [`Trace::render`].
+    pub fn trace(mut self, trace: &'a Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Records metrics into `metrics` (counters, gauges, histograms —
+    /// see the `fastann-obs` crate). The registry is shared by the
+    /// simulated ranks' real threads; its snapshot is bit-identical
+    /// across `FASTANN_THREADS` / [`crate::EngineConfig::threads`]
+    /// settings for the same seeded run.
+    pub fn metrics(mut self, metrics: &'a Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Executes the batch on the simulated cluster.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or empty query set.
+    pub fn run(self) -> QueryReport {
+        engine::dispatch(
+            self.index,
+            self.queries,
+            &self.opts,
+            self.plan,
+            self.trace,
+            self.metrics,
+        )
+    }
+}

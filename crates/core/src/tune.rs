@@ -15,7 +15,7 @@ use fastann_vptree::RouteConfig;
 
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
-use crate::engine::search_batch;
+use crate::request::SearchRequest;
 
 /// Result of a tuning run.
 #[derive(Clone, Debug)]
@@ -91,7 +91,7 @@ pub fn tune_routing(
     let mut evaluated = Vec::new();
     for rung in ladder(index.n_partitions()) {
         probe.config.route = rung;
-        let report = search_batch(&probe, sample, opts);
+        let report = SearchRequest::new(&probe, sample).opts(*opts).run();
         let recall = ground_truth::recall_at_k(&report.results, &gt, opts.k).mean;
         evaluated.push((rung, recall, report.mean_fanout));
         if recall >= target_recall {
@@ -146,8 +146,8 @@ mod tests {
         let data = synth::sift_like(4_000, 16, 71);
         let sample = synth::queries_near(&data, 40, 0.02, 72);
         let cfg = EngineConfig::new(16, 4)
-            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(71))
-            .seed(71);
+            .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(71))
+            .with_seed(71);
         let index = DistIndex::build(&data, cfg);
         (data, sample, index)
     }
@@ -155,7 +155,13 @@ mod tests {
     #[test]
     fn tuner_meets_moderate_target() {
         let (data, sample, index) = setup();
-        let out = tune_routing(&index, &data, &sample, &SearchOptions::new(10).ef(96), 0.8);
+        let out = tune_routing(
+            &index,
+            &data,
+            &sample,
+            &SearchOptions::new(10).with_ef(96),
+            0.8,
+        );
         assert!(out.met_target, "recall {} below target", out.recall);
         assert!(out.recall >= 0.8);
         assert!(!out.ladder.is_empty());
@@ -164,7 +170,7 @@ mod tests {
     #[test]
     fn cheaper_targets_get_cheaper_policies() {
         let (data, sample, index) = setup();
-        let opts = SearchOptions::new(10).ef(96);
+        let opts = SearchOptions::new(10).with_ef(96);
         let easy = tune_routing(&index, &data, &sample, &opts, 0.3);
         let hard = tune_routing(&index, &data, &sample, &opts, 0.9);
         assert!(
@@ -181,7 +187,13 @@ mod tests {
         let (data, sample, index) = setup();
         // ef=k exactly and a 1.0 target: likely unreachable; the tuner must
         // say so instead of pretending
-        let out = tune_routing(&index, &data, &sample, &SearchOptions::new(10).ef(10), 1.0);
+        let out = tune_routing(
+            &index,
+            &data,
+            &sample,
+            &SearchOptions::new(10).with_ef(10),
+            1.0,
+        );
         if !out.met_target {
             assert!(out.recall < 1.0);
             assert_eq!(out.ladder.len(), 6, "all rungs evaluated");
@@ -195,8 +207,12 @@ mod tests {
             margin_frac: 0.5,
             max_partitions: 16,
         });
-        let a = search_batch(&generous, &sample, &SearchOptions::new(5));
-        let b = search_batch(&index, &sample, &SearchOptions::new(5));
+        let a = SearchRequest::new(&generous, &sample)
+            .opts(SearchOptions::new(5))
+            .run();
+        let b = SearchRequest::new(&index, &sample)
+            .opts(SearchOptions::new(5))
+            .run();
         // more generous routing searches at least as many partitions
         assert!(a.mean_fanout >= b.mean_fanout);
     }

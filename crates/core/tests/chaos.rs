@@ -2,8 +2,7 @@
 //! [`FaultPlan`] — determinism, failover recovery, and degraded mode.
 
 use fastann_core::{
-    search_batch, search_batch_chaos, search_batch_chaos_traced, DistIndex, EngineConfig,
-    QueryReport, SearchOptions, TAG_QUERY, TAG_RESULT,
+    DistIndex, EngineConfig, QueryReport, SearchOptions, SearchRequest, TAG_QUERY, TAG_RESULT,
 };
 use fastann_data::{ground_truth, synth, Distance, VectorSet};
 use fastann_hnsw::HnswConfig;
@@ -16,8 +15,8 @@ fn build(nodes_of: usize, seed: u64) -> (VectorSet, VectorSet, DistIndex) {
     let data = synth::sift_like(3000, 16, seed);
     let queries = synth::queries_near(&data, 25, 0.02, seed + 1);
     let cfg = EngineConfig::new(8, nodes_of)
-        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-        .seed(seed);
+        .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .with_seed(seed);
     let index = DistIndex::build(&data, cfg);
     (data, queries, index)
 }
@@ -66,9 +65,12 @@ fn sorted_spans(t: &Trace) -> Vec<(usize, u64, u64, u8, &'static str)> {
 fn fault_plan_none_is_a_true_noop() {
     let (_, queries, index) = build(2, 41);
     for one_sided in [true, false] {
-        let opts = SearchOptions::new(10).one_sided(one_sided);
-        let clean = search_batch(&index, &queries, &opts);
-        let chaos = search_batch_chaos(&index, &queries, &opts, &FaultPlan::none());
+        let opts = SearchOptions::new(10).with_one_sided(one_sided);
+        let clean = SearchRequest::new(&index, &queries).opts(opts).run();
+        let chaos = SearchRequest::new(&index, &queries)
+            .opts(opts)
+            .chaos(&FaultPlan::none())
+            .run();
         // full-report equality: results AND every virtual-time cost field
         assert_eq!(
             clean, chaos,
@@ -83,7 +85,9 @@ fn fault_plan_none_is_a_true_noop() {
 #[test]
 fn same_seed_gives_identical_report_and_trace() {
     let (data, queries, index) = build(2, 43);
-    let opts = SearchOptions::new(10).replication(2).timeout_ns(5e6);
+    let opts = SearchOptions::new(10)
+        .with_replication(2)
+        .with_timeout_ns(5e6);
     // a bit of everything: loss, delay, duplication, plus a mid-run stall
     let plan = FaultPlan::new(0xC0FFEE)
         .drop_msgs(None, None, Some(TAG_RESULT), 0.25)
@@ -94,7 +98,11 @@ fn same_seed_gives_identical_report_and_trace() {
 
     let run = || {
         let trace = Trace::new();
-        let report = search_batch_chaos_traced(&index, &queries, &opts, &plan, &trace);
+        let report = SearchRequest::new(&index, &queries)
+            .opts(opts)
+            .chaos(&plan)
+            .trace(&trace)
+            .run();
         (report, sorted_spans(&trace))
     };
     let (r1, t1) = run();
@@ -121,13 +129,16 @@ fn crashed_worker_with_replicas_recovers_full_recall() {
     // crashing one leaves a live replica on the other
     let (data, queries, index) = build(1, 47);
     let opts = SearchOptions::new(10)
-        .replication(2)
-        .ef(128)
-        .timeout_ns(5e6);
-    let clean = search_batch(&index, &queries, &opts);
+        .with_replication(2)
+        .with_ef(128)
+        .with_timeout_ns(5e6);
+    let clean = SearchRequest::new(&index, &queries).opts(opts).run();
     // rank 3 = worker node 2 = core 2, dead from the first virtual instant
     let plan = FaultPlan::new(7).crash(3, 0.0);
-    let report = search_batch_chaos(&index, &queries, &opts, &plan);
+    let report = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .chaos(&plan)
+        .run();
 
     assert!(
         !report.any_degraded(),
@@ -164,9 +175,14 @@ fn crashed_worker_without_replicas_degrades_instead_of_hanging() {
         max_partitions: 8,
     };
     let queries = synth::queries_near(&data, 12, 0.02, 54);
-    let opts = SearchOptions::new(10).timeout_ns(5e6).max_retries(2);
+    let opts = SearchOptions::new(10)
+        .with_timeout_ns(5e6)
+        .with_max_retries(2);
     let plan = FaultPlan::new(11).crash(3, 0.0);
-    let report = search_batch_chaos(&index, &queries, &opts, &plan);
+    let report = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .chaos(&plan)
+        .run();
 
     assert_eq!(report.mean_fanout, 8.0, "full-fanout routing expected");
     assert!(report.any_degraded());
@@ -200,8 +216,13 @@ fn dropped_results_are_recovered_by_retry_on_the_same_owner() {
     // lossy link from worker node 1 back to the master; no replication, so
     // recovery can only come from re-asking the same owner
     let plan = FaultPlan::new(99).drop_msgs(Some(2), Some(0), Some(TAG_RESULT), 0.5);
-    let opts = SearchOptions::new(10).timeout_ns(5e6).max_retries(6);
-    let report = search_batch_chaos(&index, &queries, &opts, &plan);
+    let opts = SearchOptions::new(10)
+        .with_timeout_ns(5e6)
+        .with_max_retries(6);
+    let report = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .chaos(&plan)
+        .run();
 
     assert!(
         report.retries > 0,
@@ -222,11 +243,19 @@ fn dropped_results_are_recovered_by_retry_on_the_same_owner() {
 fn delayed_results_slow_the_batch_but_lose_nothing() {
     let (data, queries, index) = build(2, 61);
     // two-sided baseline so the vacuous run uses the same transport
-    let opts = SearchOptions::new(10).one_sided(false).timeout_ns(5e6);
+    let opts = SearchOptions::new(10)
+        .with_one_sided(false)
+        .with_timeout_ns(5e6);
     // every result from every worker limps home 8 virtual ms late
     let plan = FaultPlan::new(5).delay_msgs(None, Some(0), Some(TAG_RESULT), 1.0, 8e6);
-    let clean = search_batch_chaos(&index, &queries, &opts, &FaultPlan::none());
-    let slow = search_batch_chaos(&index, &queries, &opts, &plan);
+    let clean = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .chaos(&FaultPlan::none())
+        .run();
+    let slow = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .chaos(&plan)
+        .run();
     assert!(!slow.any_degraded(), "delay is not loss");
     assert!(
         slow.total_ns > clean.total_ns + 8e6,

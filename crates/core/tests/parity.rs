@@ -1,0 +1,106 @@
+//! Deprecated-shim parity: each of the five legacy `search_batch*` entry
+//! points must produce a [`QueryReport`] byte-identical (`==` on every
+//! field, virtual times included) to the [`SearchRequest`] builder chain
+//! it deprecates into — callers migrating to the builder must never see
+//! a behaviour change.
+
+#![allow(deprecated)]
+
+use fastann_core::{
+    search_batch, search_batch_chaos, search_batch_chaos_traced, search_batch_traced,
+    search_batch_with_plan, DistIndex, EngineConfig, SearchOptions, SearchRequest,
+};
+use fastann_data::{synth, VectorSet};
+use fastann_hnsw::HnswConfig;
+use fastann_mpisim::{FaultPlan, Trace};
+
+fn fixture() -> (VectorSet, DistIndex) {
+    let data = synth::sift_like(2_500, 16, 31);
+    let queries = synth::queries_near(&data, 20, 0.02, 32);
+    let cfg = EngineConfig::new(8, 2)
+        .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(31))
+        .with_seed(31);
+    let index = DistIndex::build(&data, cfg);
+    (queries, index)
+}
+
+#[test]
+fn search_batch_matches_builder() {
+    let (queries, index) = fixture();
+    for one_sided in [false, true] {
+        let opts = SearchOptions::new(5).with_one_sided(one_sided);
+        let legacy = search_batch(&index, &queries, &opts);
+        let builder = SearchRequest::new(&index, &queries).opts(opts).run();
+        assert_eq!(legacy, builder, "one_sided={one_sided}");
+    }
+}
+
+#[test]
+fn search_batch_traced_matches_builder() {
+    let (queries, index) = fixture();
+    let opts = SearchOptions::new(5);
+    let t1 = Trace::new();
+    let t2 = Trace::new();
+    let legacy = search_batch_traced(&index, &queries, &opts, &t1);
+    let builder = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .trace(&t2)
+        .run();
+    assert_eq!(legacy, builder);
+    assert_eq!(
+        t1.spans().len(),
+        t2.spans().len(),
+        "both paths must record the same trace volume"
+    );
+}
+
+#[test]
+fn search_batch_chaos_matches_builder() {
+    let (queries, index) = fixture();
+    let opts = SearchOptions::new(5)
+        .with_replication(2)
+        .with_timeout_ns(5e5)
+        .with_max_retries(2);
+    let plan = FaultPlan::new(0xBEEF).drop_msgs(None, None, None, 0.15);
+    let legacy = search_batch_chaos(&index, &queries, &opts, &plan);
+    let builder = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .chaos(&plan)
+        .run();
+    assert_eq!(legacy, builder);
+}
+
+#[test]
+fn search_batch_with_plan_matches_builder() {
+    let (queries, index) = fixture();
+    let opts = SearchOptions::new(5).with_timeout_ns(5e5);
+    let plan = FaultPlan::new(0xFACE).delay_msgs(None, None, None, 0.25, 1e6);
+    for active in [None, Some(&plan)] {
+        let legacy = search_batch_with_plan(&index, &queries, &opts, active);
+        let builder = SearchRequest::new(&index, &queries)
+            .opts(opts)
+            .plan(active)
+            .run();
+        assert_eq!(legacy, builder, "plan active: {}", active.is_some());
+    }
+}
+
+#[test]
+fn search_batch_chaos_traced_matches_builder() {
+    let (queries, index) = fixture();
+    let opts = SearchOptions::new(5)
+        .with_replication(2)
+        .with_timeout_ns(5e5)
+        .with_max_retries(1);
+    let plan = FaultPlan::new(0xD00D).drop_msgs(None, None, None, 0.10);
+    let t1 = Trace::new();
+    let t2 = Trace::new();
+    let legacy = search_batch_chaos_traced(&index, &queries, &opts, &plan, &t1);
+    let builder = SearchRequest::new(&index, &queries)
+        .opts(opts)
+        .chaos(&plan)
+        .trace(&t2)
+        .run();
+    assert_eq!(legacy, builder);
+    assert_eq!(t1.spans().len(), t2.spans().len());
+}

@@ -20,6 +20,13 @@ pub struct SearchStats {
     pub ndist: u64,
     /// Graph nodes expanded (popped from the candidate heap).
     pub hops: u64,
+    /// Candidates pushed onto the layer-0 beam (entry seeds included).
+    pub heap_pushes: u64,
+    /// Beam churn: pushes that landed while the `ef` beam was already
+    /// full, each evicting the then-worst candidate. High churn relative
+    /// to `ef` means the beam kept improving late — a signal that a
+    /// larger `ef` would still buy recall.
+    pub ef_churn: u64,
 }
 
 /// The outcome of the read-only planning half of one insertion: the
@@ -527,6 +534,7 @@ impl Hnsw {
             if scratch.mark(ep.id) {
                 candidates.push(Reverse(ep));
                 results.push(ep);
+                scratch.heap_pushes += 1;
             }
         }
         let mut nbuf: Vec<u32> = Vec::new();
@@ -545,7 +553,11 @@ impl Hnsw {
                 if !results.is_full() || d < results.prune_radius() {
                     let n = Neighbor::new(nb, d);
                     candidates.push(Reverse(n));
+                    if results.is_full() {
+                        scratch.ef_churn += 1;
+                    }
                     results.push(n);
+                    scratch.heap_pushes += 1;
                 }
             }
         }
@@ -731,6 +743,8 @@ impl Hnsw {
             SearchStats {
                 ndist: scratch.ndist(),
                 hops,
+                heap_pushes: scratch.heap_pushes,
+                ef_churn: scratch.ef_churn,
             },
         )
     }

@@ -11,6 +11,10 @@ pub struct SearchScratch {
     /// Distance evaluations performed by the search currently using this
     /// scratch. Read via [`SearchScratch::ndist`].
     pub(crate) ndist: u64,
+    /// Beam pushes performed by the current search (layer 0).
+    pub(crate) heap_pushes: u64,
+    /// Beam-full evictions performed by the current search (layer 0).
+    pub(crate) ef_churn: u64,
 }
 
 impl SearchScratch {
@@ -20,13 +24,18 @@ impl SearchScratch {
             visited: vec![0; n],
             epoch: 0,
             ndist: 0,
+            heap_pushes: 0,
+            ef_churn: 0,
         }
     }
 
-    /// Starts a new search: bumps the epoch and clears the distance counter.
+    /// Starts a new search: bumps the epoch and clears the per-search
+    /// counters.
     pub(crate) fn begin(&mut self, n: usize) {
         self.new_epoch(n);
         self.ndist = 0;
+        self.heap_pushes = 0;
+        self.ef_churn = 0;
     }
 
     /// Forgets all visited marks without touching the distance counter.

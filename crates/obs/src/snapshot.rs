@@ -1,0 +1,307 @@
+//! Immutable metric snapshots and their exporters (Prometheus text
+//! format and hand-rolled JSON — the workspace deliberately has no
+//! serde).
+
+use std::fmt::Write as _;
+
+/// One series' frozen value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueSnapshot {
+    /// Monotone counter.
+    Counter(u64),
+    /// Max-gauge: the largest value observed.
+    Gauge(f64),
+    /// Fixed-bucket histogram. `counts` is per-bucket (non-cumulative)
+    /// with one trailing entry for `+Inf`; `sum` is exact (reconstructed
+    /// from the fixed-point accumulator, resolution 1/1024).
+    Histogram {
+        /// Ascending bucket upper bounds (exclusive of the implicit
+        /// `+Inf`).
+        bounds: Vec<f64>,
+        /// Observations per bucket, `bounds.len() + 1` entries.
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+    },
+}
+
+/// One series: name, sorted label pairs, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (already Prometheus-safe by construction: the
+    /// instrumentation uses static `snake_case` names).
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// The frozen value.
+    pub value: ValueSnapshot,
+}
+
+/// A frozen, canonically-ordered view of a [`crate::Metrics`] registry.
+/// Compared with `==` in the determinism tests: two snapshots are equal
+/// iff every series, label and bit of every value is identical.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All series, sorted by `(name, labels)`.
+    pub entries: Vec<MetricEntry>,
+}
+
+/// Renders an `f64` with shortest-roundtrip precision (Rust's `{}`),
+/// which is deterministic across platforms and faithful to the bits.
+fn fmt_f64(v: f64) -> String {
+    if v == f64::NEG_INFINITY {
+        // an untouched max-gauge; Prometheus spells it "-Inf"
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `{a="1",b="2"}` (empty string when there are no labels);
+/// `extra` appends one more pair, for histogram `le` labels.
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Escapes a label value per the Prometheus text-format rules.
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+impl MetricsSnapshot {
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up one series by name and (order-insensitive) label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&ValueSnapshot> {
+        let mut want: Vec<(&str, &str)> = labels.to_vec();
+        want.sort_unstable();
+        self.entries
+            .iter()
+            .find(|e| {
+                e.name == name
+                    && e.labels.len() == want.len()
+                    && e.labels
+                        .iter()
+                        .zip(&want)
+                        .all(|((k, v), (wk, wv))| k == wk && v == wv)
+            })
+            .map(|e| &e.value)
+    }
+
+    /// The value of a counter series, if present and a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(ValueSnapshot::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// `(count, sum)` of a histogram series, if present and a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, f64)> {
+        match self.get(name, labels) {
+            Some(ValueSnapshot::Histogram { count, sum, .. }) => Some((*count, *sum)),
+            _ => None,
+        }
+    }
+
+    /// Sums every counter series with this name across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                ValueSnapshot::Counter(n) => Some(*n),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (one `# TYPE` line per metric name, cumulative `_bucket` series
+    /// plus `_sum`/`_count` for histograms). Deterministic: series are
+    /// emitted in snapshot order, floats with shortest-roundtrip
+    /// precision.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            if last_name != Some(e.name.as_str()) {
+                let ty = match &e.value {
+                    ValueSnapshot::Counter(_) => "counter",
+                    ValueSnapshot::Gauge(_) => "gauge",
+                    ValueSnapshot::Histogram { .. } => "histogram",
+                };
+                let _ = writeln!(s, "# TYPE {} {ty}", e.name);
+                last_name = Some(e.name.as_str());
+            }
+            match &e.value {
+                ValueSnapshot::Counter(n) => {
+                    let _ = writeln!(s, "{}{} {n}", e.name, fmt_labels(&e.labels, None));
+                }
+                ValueSnapshot::Gauge(v) => {
+                    let _ = writeln!(
+                        s,
+                        "{}{} {}",
+                        e.name,
+                        fmt_labels(&e.labels, None),
+                        fmt_f64(*v)
+                    );
+                }
+                ValueSnapshot::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum += c;
+                        let le = bounds
+                            .get(i)
+                            .map_or_else(|| "+Inf".to_string(), |b| fmt_f64(*b));
+                        let _ = writeln!(
+                            s,
+                            "{}_bucket{} {cum}",
+                            e.name,
+                            fmt_labels(&e.labels, Some(("le", &le)))
+                        );
+                    }
+                    let _ = writeln!(
+                        s,
+                        "{}_sum{} {}",
+                        e.name,
+                        fmt_labels(&e.labels, None),
+                        fmt_f64(*sum)
+                    );
+                    let _ = writeln!(s, "{}_count{} {count}", e.name, fmt_labels(&e.labels, None));
+                }
+            }
+        }
+        s
+    }
+
+    /// Renders the snapshot as a JSON array of series objects (no
+    /// trailing newline). `indent` is prepended to every line so the
+    /// array can nest inside a larger document (the `BENCH_*.json`
+    /// emitters pass their own indent).
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        let i = indent;
+        if self.entries.is_empty() {
+            let _ = write!(s, "{i}[]");
+            return s;
+        }
+        let _ = writeln!(s, "{i}[");
+        for (ei, e) in self.entries.iter().enumerate() {
+            let labels: Vec<String> = e
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", escape(k), escape(v)))
+                .collect();
+            let _ = writeln!(s, "{i}  {{");
+            let _ = writeln!(s, "{i}    \"name\": \"{}\",", e.name);
+            let _ = writeln!(s, "{i}    \"labels\": {{{}}},", labels.join(", "));
+            match &e.value {
+                ValueSnapshot::Counter(n) => {
+                    let _ = writeln!(s, "{i}    \"type\": \"counter\",");
+                    let _ = writeln!(s, "{i}    \"value\": {n}");
+                }
+                ValueSnapshot::Gauge(v) => {
+                    let _ = writeln!(s, "{i}    \"type\": \"gauge\",");
+                    let _ = writeln!(s, "{i}    \"value\": {}", fmt_f64(*v));
+                }
+                ValueSnapshot::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let bs: Vec<String> = bounds.iter().map(|b| fmt_f64(*b)).collect();
+                    let cs: Vec<String> = counts.iter().map(u64::to_string).collect();
+                    let _ = writeln!(s, "{i}    \"type\": \"histogram\",");
+                    let _ = writeln!(s, "{i}    \"bounds\": [{}],", bs.join(", "));
+                    let _ = writeln!(s, "{i}    \"counts\": [{}],", cs.join(", "));
+                    let _ = writeln!(s, "{i}    \"count\": {count},");
+                    let _ = writeln!(s, "{i}    \"sum\": {}", fmt_f64(*sum));
+                }
+            }
+            let comma = if ei + 1 < self.entries.len() { "," } else { "" };
+            let _ = writeln!(s, "{i}  }}{comma}");
+        }
+        let _ = write!(s, "{i}]");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{buckets, Metrics};
+
+    fn sample() -> Metrics {
+        let m = Metrics::new();
+        m.inc("fastann_requests_total", &[("tenant", "0")], 3);
+        m.gauge_max("fastann_queue_depth", &[], 5.0);
+        m.observe("fastann_fanout", &[], 2.0, buckets::COUNT);
+        m.observe("fastann_fanout", &[], 9.0, buckets::COUNT);
+        m
+    }
+
+    #[test]
+    fn prometheus_renders_types_buckets_and_escapes() {
+        let p = sample().snapshot().to_prometheus();
+        assert!(p.contains("# TYPE fastann_requests_total counter"));
+        assert!(p.contains("fastann_requests_total{tenant=\"0\"} 3"));
+        assert!(p.contains("# TYPE fastann_queue_depth gauge"));
+        assert!(p.contains("fastann_queue_depth 5"));
+        assert!(p.contains("# TYPE fastann_fanout histogram"));
+        // cumulative buckets: le=2 holds 1, le=16 holds both, +Inf = count
+        assert!(p.contains("fastann_fanout_bucket{le=\"2\"} 1"));
+        assert!(p.contains("fastann_fanout_bucket{le=\"16\"} 2"));
+        assert!(p.contains("fastann_fanout_bucket{le=\"+Inf\"} 2"));
+        assert!(p.contains("fastann_fanout_sum 11"));
+        assert!(p.contains("fastann_fanout_count 2"));
+    }
+
+    #[test]
+    fn json_nests_under_an_indent() {
+        let j = sample().snapshot().to_json("    ");
+        assert!(j.starts_with("    ["));
+        assert!(j.ends_with(']'));
+        assert!(j.contains("\"name\": \"fastann_fanout\""));
+        assert!(j.contains("\"type\": \"histogram\""));
+        assert!(j.contains("\"labels\": {\"tenant\": \"0\"}"));
+        let empty = Metrics::new().snapshot().to_json("");
+        assert_eq!(empty, "[]");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = Metrics::new();
+        m.inc("c", &[("path", "a\"b\\c")], 1);
+        let p = m.snapshot().to_prometheus();
+        assert!(p.contains("c{path=\"a\\\"b\\\\c\"} 1"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The obs determinism contract, attacked three ways: property-tested
+//! shard-merge order invariance, concurrent-vs-sequential recording, and
+//! exporter stability.
+
+use fastann_obs::{buckets, Metrics, Stage};
+use proptest::prelude::*;
+
+/// One recorded observation: `(kind, series, value)`. Kind 0 is a
+/// counter add, 1 a gauge fold, 2 a histogram observation; the vendored
+/// proptest has no `prop_oneof`, so ops are plain range tuples.
+type Op = (u8, u8, u32);
+
+const NAMES: &[&str] = &["fastann_a_total", "fastann_b_total", "fastann_c_total"];
+const HNAMES: &[&str] = &["fastann_h1", "fastann_h2"];
+
+fn apply(m: &Metrics, op: &Op) {
+    let (kind, name, v) = *op;
+    match kind {
+        0 => m.inc(NAMES[name as usize % NAMES.len()], &[], u64::from(v)),
+        1 => m.gauge_max(
+            "fastann_gauge",
+            &[("g", NAMES[name as usize % NAMES.len()])],
+            f64::from(v),
+        ),
+        _ => m.observe(
+            HNAMES[name as usize % HNAMES.len()],
+            &[],
+            f64::from(v) / 16.0,
+            buckets::COUNT,
+        ),
+    }
+}
+
+proptest! {
+    /// Splitting a stream of observations into per-thread shards and
+    /// merging the shards — in any order — snapshots identically to
+    /// recording the whole stream into one registry.
+    #[test]
+    fn shard_merge_is_order_invariant(
+        ops in collection::vec((0u8..3, 0u8..8, 0u32..100_000), 0..120),
+        n_shards in 1usize..5,
+        merge_rev in 0u8..2,
+    ) {
+        let whole = Metrics::new();
+        for op in &ops {
+            apply(&whole, op);
+        }
+
+        let shards: Vec<Metrics> = (0..n_shards).map(|_| Metrics::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&shards[i % n_shards], op);
+        }
+        let merged = Metrics::new();
+        let order: Vec<&Metrics> = if merge_rev == 1 {
+            shards.iter().rev().collect()
+        } else {
+            shards.iter().collect()
+        };
+        for s in order {
+            merged.merge_from(s);
+        }
+
+        prop_assert_eq!(whole.snapshot(), merged.snapshot());
+        prop_assert_eq!(
+            whole.snapshot().to_prometheus(),
+            merged.snapshot().to_prometheus()
+        );
+    }
+}
+
+/// Recording the same observations from 1 thread and from 4 concurrently
+/// racing threads (interleaving chosen by the OS scheduler) produces
+/// bit-identical snapshots — the property the engine's per-rank threads
+/// rely on when they share one handle.
+#[test]
+fn concurrent_recording_matches_sequential() {
+    let work: Vec<(usize, u64)> = (0..400).map(|i| (i % 7, (i as u64 % 13) + 1)).collect();
+
+    let seq = Metrics::new();
+    for &(stage, n) in &work {
+        seq.inc("fastann_ops_total", &[], n);
+        seq.observe("fastann_work", &[], n as f64 * 3.0, buckets::WORK);
+        seq.span(Stage::LocalSearch, 0.0, (stage as f64 + 1.0) * 1e4);
+    }
+
+    for _ in 0..8 {
+        let conc = Metrics::new();
+        std::thread::scope(|scope| {
+            for chunk in work.chunks(work.len() / 4 + 1) {
+                let handle = conc.clone();
+                scope.spawn(move || {
+                    for &(stage, n) in chunk {
+                        handle.inc("fastann_ops_total", &[], n);
+                        handle.observe("fastann_work", &[], n as f64 * 3.0, buckets::WORK);
+                        handle.span(Stage::LocalSearch, 0.0, (stage as f64 + 1.0) * 1e4);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            seq.snapshot(),
+            conc.snapshot(),
+            "schedule interleaving leaked into the snapshot"
+        );
+    }
+}
+
+/// Exporters are pure functions of the snapshot: rendering twice gives
+/// the same bytes, and equal snapshots render equal bytes.
+#[test]
+fn exporters_are_stable() {
+    let m = Metrics::new();
+    m.inc("fastann_x_total", &[("part", "3")], 9);
+    m.observe("fastann_ns", &[], 1234.5, buckets::NS);
+    m.gauge_max("fastann_depth", &[], 17.0);
+    let s1 = m.snapshot();
+    let s2 = m.snapshot();
+    assert_eq!(s1, s2);
+    assert_eq!(s1.to_prometheus(), s2.to_prometheus());
+    assert_eq!(s1.to_json(""), s2.to_json(""));
+}

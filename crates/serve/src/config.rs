@@ -53,7 +53,12 @@ impl Default for AdmissionPolicy {
 }
 
 /// Full configuration of a [`crate::ServeRuntime`].
+///
+/// `#[non_exhaustive]`: construct with [`ServeConfig::new`] (or
+/// `default()`) and refine with the `with_*` setters — new knobs may be
+/// added without breaking callers.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Micro-batcher bounds.
     pub batch: BatchPolicy,
@@ -82,6 +87,13 @@ pub struct ServeConfig {
     pub retry_backoff_ns: f64,
 }
 
+impl Default for ServeConfig {
+    /// Default serving stack over default [`SearchOptions`] (`k = 10`).
+    fn default() -> Self {
+        Self::new(SearchOptions::default())
+    }
+}
+
 impl ServeConfig {
     /// Defaults around the given engine search options: 32/200 µs
     /// batching, open admission, a 1024-entry cache, no faults.
@@ -99,7 +111,7 @@ impl ServeConfig {
     }
 
     /// Sets the micro-batcher policy (builder style).
-    pub fn batch(mut self, max_batch: usize, max_wait_ns: f64) -> Self {
+    pub fn with_batch(mut self, max_batch: usize, max_wait_ns: f64) -> Self {
         assert!(max_batch >= 1, "batch size must be positive");
         assert!(max_wait_ns >= 0.0, "batch wait must be non-negative");
         self.batch = BatchPolicy {
@@ -110,7 +122,7 @@ impl ServeConfig {
     }
 
     /// Sets the admission policy (builder style).
-    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
         assert!(policy.tenant_rate_qps > 0.0, "tenant rate must be positive");
         assert!(policy.tenant_burst >= 1.0, "burst must allow one request");
         self.admission = policy;
@@ -118,13 +130,13 @@ impl ServeConfig {
     }
 
     /// Sets the result-cache capacity; `0` disables (builder style).
-    pub fn cache_capacity(mut self, entries: usize) -> Self {
+    pub fn with_cache_capacity(mut self, entries: usize) -> Self {
         self.cache_capacity = entries;
         self
     }
 
     /// Sets the fault plan for dispatched batches (builder style).
-    pub fn fault(mut self, plan: FaultPlan) -> Self {
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
         self
     }
@@ -147,13 +159,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_batch_rejected() {
-        let _ = ServeConfig::new(SearchOptions::new(10)).batch(0, 1.0);
+        let _ = ServeConfig::new(SearchOptions::new(10)).with_batch(0, 1.0);
     }
 
     #[test]
     #[should_panic]
     fn zero_burst_rejected() {
-        let _ = ServeConfig::new(SearchOptions::new(10)).admission(AdmissionPolicy {
+        let _ = ServeConfig::new(SearchOptions::new(10)).with_admission(AdmissionPolicy {
             tenant_rate_qps: 100.0,
             tenant_burst: 0.0,
             max_queue_depth: 8,

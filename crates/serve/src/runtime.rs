@@ -15,10 +15,11 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
 
-use fastann_core::{search_batch_with_plan, DistIndex};
+use fastann_core::{DistIndex, SearchRequest};
 use fastann_data::quant::Sq8;
 use fastann_data::VectorSet;
 use fastann_mpisim::{EventQueue, VClock};
+use fastann_obs::{buckets, Metrics, Stage};
 
 use crate::admission::TokenBucket;
 use crate::cache::ResultCache;
@@ -81,6 +82,7 @@ pub struct ServeRuntime {
     cfg: ServeConfig,
     cache: ResultCache,
     service_est_ns: f64,
+    metrics: Option<Metrics>,
 }
 
 impl ServeRuntime {
@@ -103,7 +105,18 @@ impl ServeRuntime {
             cfg,
             cache,
             service_est_ns,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: every run from now on records the
+    /// serving pipeline (admission verdicts, cache hits and misses,
+    /// micro-batch occupancy, queue depth) and threads the same registry
+    /// into each dispatched engine batch, so router, HNSW, worker and
+    /// chaos series land alongside the serving ones. The handle is an
+    /// `Arc` clone — snapshot the original at any point.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.metrics = Some(metrics.clone());
     }
 
     /// Replaces the served index (a rebuild going live) and bumps the
@@ -324,6 +337,11 @@ impl<'a> Sim<'a> {
         debug_assert!(self.forming.is_empty(), "timer must have flushed the tail");
     }
 
+    /// The attached metrics registry, if any.
+    fn obs(&self) -> Option<&Metrics> {
+        self.rt.metrics.as_ref()
+    }
+
     fn on_arrival(&mut self, req: Request) {
         let now = self.clock.now();
         self.requests += 1;
@@ -336,6 +354,11 @@ impl<'a> Sim<'a> {
             } else {
                 break;
             }
+        }
+        if let Some(m) = self.obs() {
+            m.inc("fastann_serve_requests_total", &[], 1);
+            let depth = self.forming.len() + self.inflight.len();
+            m.gauge_max("fastann_serve_queue_depth", &[], depth as f64);
         }
 
         // 1. per-tenant token bucket
@@ -353,10 +376,21 @@ impl<'a> Sim<'a> {
         // is exactly why it sits before the depth bound: cached traffic
         // must stay cheap when the system sheds load
         let metric = self.rt.index.config.metric;
-        if let Some(results) = self.rt.cache.lookup(&req.query, req.k, metric) {
+        let cached = self.rt.cache.lookup(&req.query, req.k, metric);
+        if let Some(m) = self.obs() {
+            let outcome = if cached.is_some() { "hit" } else { "miss" };
+            m.inc("fastann_serve_cache_total", &[("outcome", outcome)], 1);
+        }
+        if let Some(results) = cached {
             let done = now + self.rt.cfg.cache_hit_ns;
+            if let Some(m) = self.obs() {
+                m.span(Stage::CacheLookup, now, done);
+            }
             if req.deadline_ns.is_finite() && done > req.deadline_ns {
                 self.deadline_misses += 1;
+                if let Some(m) = self.obs() {
+                    m.inc("fastann_serve_deadline_misses_total", &[], 1);
+                }
             }
             self.outcomes.push(Outcome::Completed(Completion {
                 id: req.id,
@@ -390,6 +424,10 @@ impl<'a> Sim<'a> {
         }
 
         // admitted: join the forming batch
+        if let Some(m) = self.obs() {
+            m.inc("fastann_serve_admitted_total", &[], 1);
+            m.span(Stage::Admission, req.arrival_ns, now);
+        }
         if self.forming.is_empty() {
             self.events.push(
                 now + self.rt.cfg.batch.max_wait_ns,
@@ -403,9 +441,18 @@ impl<'a> Sim<'a> {
     }
 
     fn reject(&mut self, req: &Request, now: f64, reason: Rejection) {
-        match reason {
-            Rejection::Overloaded => self.rejected_overloaded += 1,
-            Rejection::DeadlineUnmeetable => self.rejected_deadline += 1,
+        let label = match reason {
+            Rejection::Overloaded => {
+                self.rejected_overloaded += 1;
+                "overloaded"
+            }
+            Rejection::DeadlineUnmeetable => {
+                self.rejected_deadline += 1;
+                "deadline"
+            }
+        };
+        if let Some(m) = self.obs() {
+            m.inc("fastann_serve_rejected_total", &[("reason", label)], 1);
         }
         self.outcomes.push(Outcome::Rejected {
             id: req.id,
@@ -439,9 +486,24 @@ impl<'a> Sim<'a> {
             .fold(f64::INFINITY, f64::min);
         let opts = opts.cap_timeout_ns(headroom);
 
-        let report =
-            search_batch_with_plan(&self.rt.index, &queries, &opts, self.rt.cfg.fault.as_ref());
+        let mut engine_req = SearchRequest::new(&self.rt.index, &queries)
+            .opts(opts)
+            .plan(self.rt.cfg.fault.as_ref());
+        if let Some(m) = self.rt.metrics.as_ref() {
+            engine_req = engine_req.metrics(m);
+        }
+        let report = engine_req.run();
         let done = dispatch + report.total_ns;
+        if let Some(m) = self.obs() {
+            m.inc("fastann_serve_batches_total", &[], 1);
+            m.observe(
+                "fastann_serve_batch_occupancy",
+                &[],
+                batch.len() as f64,
+                buckets::COUNT,
+            );
+            m.span(Stage::BatchFlush, dispatch, done);
+        }
         self.engine_free_ns = done;
         self.engine_busy_ns += report.total_ns;
         self.batches += 1;
@@ -472,6 +534,9 @@ impl<'a> Sim<'a> {
             }
             if req.deadline_ns.is_finite() && done > req.deadline_ns {
                 self.deadline_misses += 1;
+                if let Some(m) = self.rt.metrics.as_ref() {
+                    m.inc("fastann_serve_deadline_misses_total", &[], 1);
+                }
             }
             self.inflight.push(Reverse(OrdNs(done)));
             self.outcomes.push(Outcome::Completed(Completion {
@@ -558,11 +623,11 @@ mod tests {
         let index = DistIndex::build(
             &data,
             EngineConfig::new(4, 2)
-                .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(7))
-                .seed(7),
+                .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(7))
+                .with_seed(7),
         );
         let codec = Sq8::encode(&data);
-        let cfg = ServeConfig::new(SearchOptions::new(5)).cache_capacity(cache_entries);
+        let cfg = ServeConfig::new(SearchOptions::new(5)).with_cache_capacity(cache_entries);
         (data, ServeRuntime::new(index, codec, cfg))
     }
 

@@ -22,9 +22,9 @@ fn build_index(data: &VectorSet, seed: u64, threads: usize) -> DistIndex {
     DistIndex::build(
         data,
         EngineConfig::new(8, 2)
-            .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-            .seed(seed)
-            .threads(threads),
+            .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+            .with_seed(seed)
+            .with_threads(threads),
     )
 }
 
@@ -56,7 +56,7 @@ fn mixed_workload(data: &VectorSet, n: usize, seed: u64) -> Vec<Request> {
 #[test]
 fn serve_report_is_bit_identical_across_thread_counts() {
     let data = corpus(42);
-    let cfg = ServeConfig::new(SearchOptions::new(10)).batch(8, 100_000.0);
+    let cfg = ServeConfig::new(SearchOptions::new(10)).with_batch(8, 100_000.0);
     let mut runs = Vec::new();
     for threads in [1usize, 4] {
         let mut rt = runtime(&data, 42, threads, cfg.clone());
@@ -83,7 +83,7 @@ fn closed_loop_is_deterministic_across_thread_counts_and_reruns() {
     let queries = synth::queries_near(&data, 24, 0.02, 3);
     let mut fingerprints = Vec::new();
     for threads in [1usize, 4, 1] {
-        let cfg = ServeConfig::new(SearchOptions::new(5)).batch(4, 50_000.0);
+        let cfg = ServeConfig::new(SearchOptions::new(5)).with_batch(4, 50_000.0);
         let mut rt = runtime(&data, 11, threads, cfg);
         let run = rt.serve_closed(
             ClosedLoopSpec {
@@ -118,17 +118,17 @@ fn overload_sheds_with_typed_rejections_and_bounded_p99() {
 
     // baseline: open admission swallows everything and queues it
     let open_cfg = ServeConfig::new(SearchOptions::new(10))
-        .batch(16, 100_000.0)
-        .cache_capacity(0);
+        .with_batch(16, 100_000.0)
+        .with_cache_capacity(0);
     let mut open_rt = runtime(&data, 5, 1, open_cfg);
     let open = open_rt.serve_open(flood(21));
     assert_eq!(open.report.rejected_overloaded, 0);
 
     // guarded: a depth bound sheds the flood
     let tight_cfg = ServeConfig::new(SearchOptions::new(10))
-        .batch(16, 100_000.0)
-        .cache_capacity(0)
-        .admission(AdmissionPolicy {
+        .with_batch(16, 100_000.0)
+        .with_cache_capacity(0)
+        .with_admission(AdmissionPolicy {
             tenant_rate_qps: f64::INFINITY,
             tenant_burst: 64.0,
             max_queue_depth: 32,
@@ -186,16 +186,16 @@ fn cache_hit_is_identical_to_cold_search() {
 
     // cold: cache disabled entirely
     let cold_cfg = ServeConfig::new(SearchOptions::new(10))
-        .batch(1, 0.0)
-        .cache_capacity(0);
+        .with_batch(1, 0.0)
+        .with_cache_capacity(0);
     let mut cold_rt = runtime(&data, 9, 1, cold_cfg);
     let cold = cold_rt.serve_open(reqs(0));
     assert_eq!(cold.report.cache.hits, 0);
 
     // warm: identical queries twice through a cached runtime
     let warm_cfg = ServeConfig::new(SearchOptions::new(10))
-        .batch(1, 0.0)
-        .cache_capacity(64);
+        .with_batch(1, 0.0)
+        .with_cache_capacity(64);
     let mut warm_rt = runtime(&data, 9, 1, warm_cfg);
     let first = warm_rt.serve_open(reqs(0));
     assert_eq!(first.report.cache.hits, 0, "first pass fills the cache");
@@ -231,8 +231,8 @@ fn installing_a_rebuilt_index_invalidates_the_cache() {
     };
 
     let cfg = ServeConfig::new(SearchOptions::new(10))
-        .batch(1, 0.0)
-        .cache_capacity(64);
+        .with_batch(1, 0.0)
+        .with_cache_capacity(64);
     let mut rt = runtime(&data, 13, 1, cfg.clone());
     let _warmup = rt.serve_open(reqs(0));
 
@@ -253,7 +253,7 @@ fn installing_a_rebuilt_index_invalidates_the_cache() {
     let mut fresh = ServeRuntime::new(
         build_index(&data, 777, 1),
         Sq8::encode(&data),
-        cfg.cache_capacity(0),
+        cfg.with_cache_capacity(0),
     );
     let reference = fresh.serve_open(reqs(100));
     for i in 100..108u64 {
@@ -272,10 +272,14 @@ fn deadlines_propagate_into_the_chaos_path() {
     // drop a fraction of result messages so probes need retries, which a
     // tight per-probe deadline then bounds
     let plan = FaultPlan::new(0xFEED).drop_msgs(None, None, None, 0.15);
-    let cfg = ServeConfig::new(SearchOptions::new(10).timeout_ns(1e9).max_retries(4))
-        .batch(4, 50_000.0)
-        .cache_capacity(0)
-        .fault(plan);
+    let cfg = ServeConfig::new(
+        SearchOptions::new(10)
+            .with_timeout_ns(1e9)
+            .with_max_retries(4),
+    )
+    .with_batch(4, 50_000.0)
+    .with_cache_capacity(0)
+    .with_fault(plan);
     let mut rt = runtime(&data, 31, 1, cfg);
     let reqs: Vec<Request> = (0..20)
         .map(|i| {
@@ -301,10 +305,14 @@ fn deadlines_propagate_into_the_chaos_path() {
     }
     // determinism holds on the chaos path too
     let plan2 = FaultPlan::new(0xFEED).drop_msgs(None, None, None, 0.15);
-    let cfg2 = ServeConfig::new(SearchOptions::new(10).timeout_ns(1e9).max_retries(4))
-        .batch(4, 50_000.0)
-        .cache_capacity(0)
-        .fault(plan2);
+    let cfg2 = ServeConfig::new(
+        SearchOptions::new(10)
+            .with_timeout_ns(1e9)
+            .with_max_retries(4),
+    )
+    .with_batch(4, 50_000.0)
+    .with_cache_capacity(0)
+    .with_fault(plan2);
     let mut rt2 = runtime(&data, 31, 4, cfg2);
     let reqs2: Vec<Request> = (0..20)
         .map(|i| {
@@ -324,8 +332,8 @@ fn deadlines_propagate_into_the_chaos_path() {
 fn per_partition_probes_account_for_dispatched_work() {
     let data = corpus(3);
     let cfg = ServeConfig::new(SearchOptions::new(10))
-        .batch(8, 100_000.0)
-        .cache_capacity(0);
+        .with_batch(8, 100_000.0)
+        .with_cache_capacity(0);
     let mut rt = runtime(&data, 3, 1, cfg);
     let run = rt.serve_open(mixed_workload(&data, 32, 19));
     assert_eq!(run.report.per_partition_probes.len(), 8);

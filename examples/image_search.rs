@@ -10,7 +10,7 @@
 //! cargo run --release --example image_search
 //! ```
 
-use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::{ground_truth, synth, Distance};
 use fastann::hnsw::HnswConfig;
 use fastann::vptree::RouteConfig;
@@ -24,8 +24,8 @@ fn main() {
     // 32 cores, 8 per node; M = 16 HNSW graphs inside the partitions, a
     // generous routing margin for quality.
     let config = EngineConfig::new(32, 8)
-        .hnsw(HnswConfig::with_m(16).ef_construction(80))
-        .route(RouteConfig {
+        .with_hnsw(HnswConfig::with_m(16).ef_construction(80))
+        .with_route(RouteConfig {
             margin_frac: 0.25,
             max_partitions: 4,
         });
@@ -38,8 +38,8 @@ fn main() {
         index.build_stats.partition_sizes.iter().max().unwrap(),
     );
 
-    let opts = SearchOptions::new(10).ef(96);
-    let report = search_batch(&index, &uploads, &opts);
+    let opts = SearchOptions::new(10).with_ef(96);
+    let report = SearchRequest::new(&index, &uploads).opts(opts).run();
 
     // Quality control: sample 100 uploads against exact search.
     let sample: Vec<usize> = (0..100).map(|i| i * 10).collect();

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::{synth, Distance};
 
 fn main() {
@@ -31,7 +31,9 @@ fn main() {
 
     // 10-NN for the whole batch through the master-worker engine with
     // one-sided result aggregation (the paper's optimised path).
-    let report = search_batch(&index, &queries, &SearchOptions::new(10));
+    let report = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
     println!(
         "answered {} queries in {:.2} virtual ms  ({:.0} queries/s, mean fan-out {:.2})",
         report.results.len(),

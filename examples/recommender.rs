@@ -13,7 +13,7 @@
 //! cargo run --release --example recommender
 //! ```
 
-use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::{synth, VectorSet};
 use fastann::hnsw::HnswConfig;
 use rand::rngs::SmallRng;
@@ -42,11 +42,15 @@ fn main() {
     users.normalize_l2();
 
     // 32 cores in small nodes of 2, so replication workgroups span nodes.
-    let config = EngineConfig::new(32, 2).hnsw(HnswConfig::with_m(16).ef_construction(60));
+    let config = EngineConfig::new(32, 2).with_hnsw(HnswConfig::with_m(16).ef_construction(60));
     let index = DistIndex::build(&items, config);
 
-    let baseline = search_batch(&index, &users, &SearchOptions::new(10));
-    let balanced = search_batch(&index, &users, &SearchOptions::new(10).replication(4));
+    let baseline = SearchRequest::new(&index, &users)
+        .opts(SearchOptions::new(10))
+        .run();
+    let balanced = SearchRequest::new(&index, &users)
+        .opts(SearchOptions::new(10).with_replication(4))
+        .run();
 
     let d0 = baseline.query_distribution();
     let d4 = balanced.query_distribution();

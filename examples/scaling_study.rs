@@ -6,7 +6,7 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::synth;
 use fastann::hnsw::HnswConfig;
 
@@ -27,10 +27,12 @@ fn main() {
 
     let mut base: Option<f64> = None;
     for cores in [4usize, 8, 16, 32, 64] {
-        let config =
-            EngineConfig::new(cores, 4.min(cores)).hnsw(HnswConfig::with_m(12).ef_construction(50));
+        let config = EngineConfig::new(cores, 4.min(cores))
+            .with_hnsw(HnswConfig::with_m(12).ef_construction(50));
         let index = DistIndex::build(&data, config);
-        let report = search_batch(&index, &queries, &SearchOptions::new(10));
+        let report = SearchRequest::new(&index, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
         let b = *base.get_or_insert(report.total_ns);
         let (_, comm, _) = report.breakdown();
         println!(

@@ -8,7 +8,7 @@
 //! cargo run --release --example texmex_pipeline
 //! ```
 
-use fastann::core::{search_batch, tune_routing, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{tune_routing, DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::{dataset_stats, io, synth, Distance};
 use fastann::hnsw::HnswConfig;
 
@@ -41,10 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Build and auto-tune for recall >= 0.9 on a held-out slice.
     let index = DistIndex::build(
         &base,
-        EngineConfig::new(16, 4).hnsw(HnswConfig::with_m(16).ef_construction(60)),
+        EngineConfig::new(16, 4).with_hnsw(HnswConfig::with_m(16).ef_construction(60)),
     );
     let tune_sample = synth::queries_near(&base, 50, 0.02, 102);
-    let opts = SearchOptions::new(10).ef(96);
+    let opts = SearchOptions::new(10).with_ef(96);
     let outcome = tune_routing(&index, &base, &tune_sample, &opts, 0.9);
     println!(
         "tuned routing: margin {:.2}, <= {} partitions/query -> recall {:.3} (target met: {})",
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run the real batch with the tuned policy and persist the results.
     let tuned = index.with_route(outcome.route);
-    let report = search_batch(&tuned, &queries, &opts);
+    let report = SearchRequest::new(&tuned, &queries).opts(opts).run();
     let id_lists: Vec<Vec<u32>> = report
         .results
         .iter()

@@ -7,21 +7,24 @@
 //! cargo run --release --example timeline
 //! ```
 
-use fastann::core::{search_batch_traced, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::{synth, VectorSet};
 use fastann::hnsw::HnswConfig;
 use fastann::mpisim::Trace;
 
 fn main() {
     let data = synth::sift_like(20_000, 64, 5);
-    let config = EngineConfig::new(16, 4).hnsw(HnswConfig::with_m(12).ef_construction(50));
+    let config = EngineConfig::new(16, 4).with_hnsw(HnswConfig::with_m(12).ef_construction(50));
     let index = DistIndex::build(&data, config);
     let n_rows = index.config.n_nodes() + 1; // master + worker nodes
 
     // Balanced batch: queries spread across the whole dataset.
     let balanced = synth::queries_near(&data, 150, 0.05, 6);
     let trace = Trace::new();
-    let report = search_batch_traced(&index, &balanced, &SearchOptions::new(10), &trace);
+    let report = SearchRequest::new(&index, &balanced)
+        .opts(SearchOptions::new(10))
+        .trace(&trace)
+        .run();
     println!(
         "=== balanced batch ({:.2} virtual ms) ===",
         report.total_ns / 1e6
@@ -36,7 +39,10 @@ fn main() {
         skewed.push(&q);
     }
     let trace = Trace::new();
-    let report = search_batch_traced(&index, &skewed, &SearchOptions::new(10), &trace);
+    let report = SearchRequest::new(&index, &skewed)
+        .opts(SearchOptions::new(10))
+        .trace(&trace)
+        .run();
     println!(
         "\n=== skewed batch, no replication ({:.2} virtual ms) ===",
         report.total_ns / 1e6
@@ -44,12 +50,10 @@ fn main() {
     print!("{}", trace.render(n_rows, 90));
 
     let trace = Trace::new();
-    let report = search_batch_traced(
-        &index,
-        &skewed,
-        &SearchOptions::new(10).replication(4),
-        &trace,
-    );
+    let report = SearchRequest::new(&index, &skewed)
+        .opts(SearchOptions::new(10).with_replication(4))
+        .trace(&trace)
+        .run();
     println!(
         "\n=== skewed batch, replication r=4 ({:.2} virtual ms) ===",
         report.total_ns / 1e6

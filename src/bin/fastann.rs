@@ -17,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::{dataset_stats, ground_truth, io, Distance, Neighbor};
 use fastann::hnsw::HnswConfig;
 
@@ -118,8 +118,8 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     let data = io::read_fvecs(base, None).map_err(|e| e.to_string())?;
     eprintln!("loaded {} x {}d vectors", data.len(), data.dim());
     let cfg = EngineConfig::new(cores, per_node)
-        .hnsw(HnswConfig::with_m(m).ef_construction(efc).seed(seed))
-        .seed(seed);
+        .with_hnsw(HnswConfig::with_m(m).ef_construction(efc).seed(seed))
+        .with_seed(seed);
     let t0 = std::time::Instant::now();
     let index = DistIndex::build(&data, cfg);
     index.save(out).map_err(|e| e.to_string())?;
@@ -144,10 +144,10 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let index = DistIndex::load(idx_path).map_err(|e| e.to_string())?;
     let queries = io::read_fvecs(q_path, None).map_err(|e| e.to_string())?;
     let opts = SearchOptions::new(k)
-        .ef(ef)
-        .replication(replication)
-        .one_sided(!args.bool_flag("two-sided"));
-    let report = search_batch(&index, &queries, &opts);
+        .with_ef(ef)
+        .with_replication(replication)
+        .with_one_sided(!args.bool_flag("two-sided"));
+    let report = SearchRequest::new(&index, &queries).opts(opts).run();
     let lists: Vec<Vec<u32>> = report
         .results
         .iter()

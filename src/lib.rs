@@ -13,6 +13,8 @@
 //! * [`core`] — the distributed VP-tree + HNSW engine
 //! * [`serve`] — the online serving runtime (micro-batching, admission
 //!   control, result cache) layered over the engine
+//! * [`obs`] — deterministic metrics (counters, gauges, histograms) with
+//!   Prometheus and JSON exporters, bit-identical across thread counts
 
 #![forbid(unsafe_code)]
 
@@ -21,5 +23,6 @@ pub use fastann_data as data;
 pub use fastann_hnsw as hnsw;
 pub use fastann_kdtree as kdtree;
 pub use fastann_mpisim as mpisim;
+pub use fastann_obs as obs;
 pub use fastann_serve as serve;
 pub use fastann_vptree as vptree;

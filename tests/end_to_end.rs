@@ -2,7 +2,7 @@
 //! across every crate in the workspace.
 
 use fastann::core::{
-    search_batch, search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions,
+    search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions, SearchRequest,
 };
 use fastann::data::{ground_truth, synth, Distance, VectorSet};
 use fastann::hnsw::HnswConfig;
@@ -10,20 +10,22 @@ use fastann::vptree::RouteConfig;
 
 fn small_engine(cores: usize, per_node: usize, seed: u64) -> EngineConfig {
     EngineConfig::new(cores, per_node)
-        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-        .seed(seed)
+        .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .with_seed(seed)
 }
 
 #[test]
 fn full_pipeline_reaches_target_recall() {
     let data = synth::sift_like(6_000, 32, 101);
     let queries = synth::queries_near(&data, 50, 0.02, 102);
-    let cfg = small_engine(8, 2, 101).route(RouteConfig {
+    let cfg = small_engine(8, 2, 101).with_route(RouteConfig {
         margin_frac: 0.3,
         max_partitions: 6,
     });
     let index = DistIndex::build(&data, cfg);
-    let report = search_batch(&index, &queries, &SearchOptions::new(10).ef(128));
+    let report = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10).with_ef(128))
+        .run();
     let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
     let recall = ground_truth::recall_at_k(&report.results, &gt, 10);
     assert!(
@@ -38,8 +40,12 @@ fn transports_and_strategies_agree_on_results() {
     let data = synth::deep_like(3_000, 24, 103);
     let queries = synth::queries_near(&data, 20, 0.02, 104);
     let index = DistIndex::build(&data, small_engine(8, 2, 103));
-    let a = search_batch(&index, &queries, &SearchOptions::new(5).one_sided(true));
-    let b = search_batch(&index, &queries, &SearchOptions::new(5).one_sided(false));
+    let a = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(5).with_one_sided(true))
+        .run();
+    let b = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(5).with_one_sided(false))
+        .run();
     let c = search_batch_multi_owner(&index, &queries, &SearchOptions::new(5));
     assert_eq!(a.results, b.results, "one-sided vs two-sided");
     assert_eq!(a.results, c.results, "master-worker vs multiple-owner");
@@ -61,8 +67,12 @@ fn replication_factors_preserve_results_and_balance_load() {
         max_partitions: 1,
     };
     let index = DistIndex::build(&data, cfg);
-    let r1 = search_batch(&index, &queries, &SearchOptions::new(5).replication(1));
-    let r4 = search_batch(&index, &queries, &SearchOptions::new(5).replication(4));
+    let r1 = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(5).with_replication(1))
+        .run();
+    let r4 = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(5).with_replication(4))
+        .run();
     assert_eq!(
         r1.results, r4.results,
         "replication must not change answers"
@@ -80,12 +90,14 @@ fn distributed_equals_single_partition_when_routing_everywhere() {
     // exact brute force.
     let data = synth::sift_like(800, 8, 107);
     let queries = synth::queries_near(&data, 10, 0.05, 108);
-    let cfg = small_engine(4, 2, 107).route(RouteConfig {
+    let cfg = small_engine(4, 2, 107).with_route(RouteConfig {
         margin_frac: f32::INFINITY,
         max_partitions: usize::MAX,
     });
     let index = DistIndex::build(&data, cfg);
-    let report = search_batch(&index, &queries, &SearchOptions::new(5).ef(800));
+    let report = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(5).with_ef(800))
+        .run();
     let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);
     for (got, want) in report.results.iter().zip(&gt) {
         let got_ids: Vec<u32> = got.iter().map(|n| n.id).collect();
@@ -108,9 +120,13 @@ fn build_then_many_batches_is_consistent() {
     let data = synth::sift_like(2_000, 16, 109);
     let queries = synth::queries_near(&data, 15, 0.02, 110);
     let index = DistIndex::build(&data, small_engine(4, 2, 109));
-    let first = search_batch(&index, &queries, &SearchOptions::new(10));
+    let first = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
     for _ in 0..3 {
-        let again = search_batch(&index, &queries, &SearchOptions::new(10));
+        let again = SearchRequest::new(&index, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
         assert_eq!(first.results, again.results);
     }
 }
@@ -122,7 +138,9 @@ fn works_under_l1_metric() {
     let mut cfg = small_engine(4, 2, 111);
     cfg.metric = Distance::L1;
     let index = DistIndex::build(&data, cfg);
-    let report = search_batch(&index, &queries, &SearchOptions::new(10).ef(128));
+    let report = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10).with_ef(128))
+        .run();
     let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L1);
     let recall = ground_truth::recall_at_k(&report.results, &gt, 10);
     assert!(recall.mean > 0.6, "L1 recall {:.3}", recall.mean);

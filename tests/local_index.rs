@@ -1,15 +1,15 @@
 //! The Section VI extension point: swapping the per-partition index.
 
-use fastann::core::{search_batch, DistIndex, EngineConfig, LocalIndexKind, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, LocalIndexKind, SearchOptions, SearchRequest};
 use fastann::data::{ground_truth, synth, Distance};
 use fastann::hnsw::HnswConfig;
 use fastann::vptree::RouteConfig;
 
 fn cfg(kind: LocalIndexKind, seed: u64) -> EngineConfig {
     EngineConfig::new(8, 2)
-        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-        .local_index(kind)
-        .seed(seed)
+        .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .with_local_index(kind)
+        .with_seed(seed)
 }
 
 #[test]
@@ -22,7 +22,9 @@ fn engine_runs_with_every_local_index_kind() {
         LocalIndexKind::BruteForce,
     ] {
         let index = DistIndex::build(&data, cfg(kind, 401));
-        let report = search_batch(&index, &queries, &SearchOptions::new(10));
+        let report = SearchRequest::new(&index, &queries)
+            .opts(SearchOptions::new(10))
+            .run();
         assert_eq!(report.results.len(), 20, "{kind:?}");
         assert!(report.results.iter().all(|r| r.len() == 10), "{kind:?}");
         assert!(report.total_ndist > 0, "{kind:?}");
@@ -37,7 +39,9 @@ fn exact_local_kinds_agree_and_beat_hnsw_recall() {
 
     let recall_of = |kind: LocalIndexKind| {
         let index = DistIndex::build(&data, cfg(kind, 403));
-        let report = search_batch(&index, &queries, &SearchOptions::new(10).ef(24));
+        let report = SearchRequest::new(&index, &queries)
+            .opts(SearchOptions::new(10).with_ef(24))
+            .run();
         (
             ground_truth::recall_at_k(&report.results, &gt, 10).mean,
             report.results,
@@ -60,12 +64,14 @@ fn fully_exact_configuration_matches_brute_force() {
     // global k-NN, end to end through the distributed engine.
     let data = synth::sift_like(1_000, 8, 405);
     let queries = synth::queries_near(&data, 10, 0.05, 406);
-    let config = cfg(LocalIndexKind::VpExact, 405).route(RouteConfig {
+    let config = cfg(LocalIndexKind::VpExact, 405).with_route(RouteConfig {
         margin_frac: f32::INFINITY,
         max_partitions: usize::MAX,
     });
     let index = DistIndex::build(&data, config);
-    let report = search_batch(&index, &queries, &SearchOptions::new(5));
+    let report = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(5))
+        .run();
     let gt = ground_truth::brute_force(&data, &queries, 5, Distance::L2);
     for (qi, (got, want)) in report.results.iter().zip(&gt).enumerate() {
         assert_eq!(got, want, "query {qi} must be exact");

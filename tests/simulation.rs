@@ -2,15 +2,15 @@
 //! parameters, cost model, topology) must move the reported times in the
 //! physically expected directions.
 
-use fastann::core::{search_batch, DistIndex, EngineConfig, SearchOptions};
+use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
 use fastann::data::synth;
 use fastann::hnsw::HnswConfig;
 use fastann::mpisim::{CostModel, NetModel};
 
 fn base_cfg(seed: u64) -> EngineConfig {
     EngineConfig::new(8, 2)
-        .hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
-        .seed(seed)
+        .with_hnsw(HnswConfig::with_m(8).ef_construction(40).seed(seed))
+        .with_seed(seed)
 }
 
 #[test]
@@ -28,8 +28,12 @@ fn slower_network_means_slower_queries() {
     slow_cfg.net = slow_net;
     let slow = DistIndex::build(&data, slow_cfg);
 
-    let rf = search_batch(&fast, &queries, &SearchOptions::new(10));
-    let rs = search_batch(&slow, &queries, &SearchOptions::new(10));
+    let rf = SearchRequest::new(&fast, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
+    let rs = SearchRequest::new(&slow, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
     assert_eq!(
         rf.results, rs.results,
         "network speed must not change answers"
@@ -55,8 +59,12 @@ fn pricier_compute_means_slower_queries() {
     };
     let costly = DistIndex::build(&data, costly_cfg);
 
-    let rc = search_batch(&cheap, &queries, &SearchOptions::new(10));
-    let rx = search_batch(&costly, &queries, &SearchOptions::new(10));
+    let rc = SearchRequest::new(&cheap, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
+    let rx = SearchRequest::new(&costly, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
     assert_eq!(rc.results, rx.results);
     assert!(rx.total_ns > rc.total_ns);
     assert!(rx.node_busy_ns.iter().sum::<f64>() > rc.node_busy_ns.iter().sum::<f64>());
@@ -93,8 +101,12 @@ fn more_queries_take_longer() {
     let q_small = synth::queries_near(&data, 10, 0.02, 308);
     let q_large = synth::queries_near(&data, 200, 0.02, 308);
     let index = DistIndex::build(&data, base_cfg(307));
-    let small = search_batch(&index, &q_small, &SearchOptions::new(10));
-    let large = search_batch(&index, &q_large, &SearchOptions::new(10));
+    let small = SearchRequest::new(&index, &q_small)
+        .opts(SearchOptions::new(10))
+        .run();
+    let large = SearchRequest::new(&index, &q_large)
+        .opts(SearchOptions::new(10))
+        .run();
     assert!(large.total_ns > small.total_ns);
     // throughput should not degrade drastically with batch size
     assert!(large.throughput_qps() > small.throughput_qps() * 0.5);
@@ -112,8 +124,12 @@ fn virtual_times_are_independent_of_host_load() {
     let data = synth::sift_like(2_000, 16, 309);
     let queries = synth::queries_near(&data, 20, 0.02, 310);
     let index = DistIndex::build(&data, base_cfg(309));
-    let a = search_batch(&index, &queries, &SearchOptions::new(10));
-    let b = search_batch(&index, &queries, &SearchOptions::new(10));
+    let a = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
+    let b = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
     assert_eq!(a.results, b.results);
     let bound_ns = 20_000.0; // ~80 messages x 250 ns, with slack
     assert!(
@@ -136,8 +152,12 @@ fn network_jitter_preserves_results_and_bounds_slowdown() {
     };
     let jittery = DistIndex::build(&data, jit_cfg);
 
-    let rc = search_batch(&calm, &queries, &SearchOptions::new(10));
-    let rj = search_batch(&jittery, &queries, &SearchOptions::new(10));
+    let rc = SearchRequest::new(&calm, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
+    let rj = SearchRequest::new(&jittery, &queries)
+        .opts(SearchOptions::new(10))
+        .run();
     assert_eq!(rc.results, rj.results, "jitter must not change answers");
     // 50% per-message jitter cannot slow a latency-tolerant pipeline by
     // more than ~50% + scheduling slack
