@@ -33,9 +33,13 @@ done
 echo "==> schedule-perturbation race smoke (K=8)"
 cargo run -q -p fastann-check -- race --k 8
 
-echo "==> BENCH_*.json perf smoke"
+echo "==> BENCH_*.json perf smoke + quantized recall-delta gate"
+# --gate fails the run if quantized recall@10 trails the exact path by
+# more than 0.01 on the same graph; both invocations also assert that
+# quantized search answers bit-identically at 1 and at N threads.
 cargo build -q --release -p fastann-bench
-./target/release/perf --smoke --threads 4 --out target
+./target/release/perf --smoke --threads 1 --gate --out target
+./target/release/perf --smoke --threads 4 --gate --out target
 test -s target/BENCH_SYN_SMOKE.json
 
 echo "==> serve + obs smoke (seed-stable report, golden metrics)"

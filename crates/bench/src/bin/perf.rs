@@ -3,11 +3,28 @@
 //! 1 thread and at `--threads N`, plus the measured speedups.
 //!
 //! ```text
-//! perf [--smoke] [--threads N] [--out DIR]
+//! perf [--smoke] [--threads N] [--out DIR] [--gate] [--only NAME]
 //!   --smoke     tiny synthetic dataset only (the CI smoke invocation)
 //!   --threads   pool width for the parallel legs (default: host cores)
 //!   --out       directory for the BENCH_*.json files (default: .)
+//!   --gate      fail unless quantized recall@k stays within 0.01 of the
+//!               exact path on the same graph (the CI recall-delta gate)
+//!   --only      substring filter on dataset names (skip the others)
 //! ```
+//!
+//! Each record also carries a `quantized` section: the SQ8-traversal +
+//! exact-re-rank pipeline timed against the exact path on the same graph,
+//! with its recall and the recall delta. Quantized search at 1 and at N
+//! threads is asserted bit-identical unconditionally, like the exact pool.
+//!
+//! Because the quantized traversal typically *over*-delivers recall at the
+//! exact path's `ef` (the re-rank stage repairs quantization error and the
+//! pool is wider than k), the fixed-`ef` QPS comparison understates it. The
+//! `quantized.matched` block is the standard equal-recall comparison: sweep
+//! the quantized `ef` down a fixed ladder and report the cheapest setting
+//! whose recall still lands within the gate tolerance of the exact path's
+//! recall — both systems delivering the same quality, each at its own
+//! operating point.
 //!
 //! Numbers are honest wall-clock measurements on *this* host: the emitted
 //! `host_cores` field records how many cores were actually available, and
@@ -25,11 +42,21 @@ use fastann_hnsw::{Hnsw, HnswConfig, SearchScratch};
 
 const K: usize = 10;
 const EF: usize = 64;
+const RERANK_FACTOR: usize = 3;
+/// The CI gate: quantized recall@K may trail exact recall@K on the same
+/// graph by at most this much.
+const MAX_RECALL_DELTA: f64 = 0.01;
+/// The `ef` ladder swept for the equal-recall operating point, smallest
+/// first. `EF` itself is the last rung so the sweep always has the fixed
+/// comparison's setting as a fallback.
+const EF_LADDER: [usize; 7] = [10, 12, 16, 24, 32, 48, EF];
 
 struct Args {
     smoke: bool,
     threads: usize,
     out: String,
+    gate: bool,
+    only: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +64,8 @@ fn parse_args() -> Args {
         smoke: false,
         threads: std::thread::available_parallelism().map_or(1, usize::from),
         out: ".".to_string(),
+        gate: false,
+        only: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,8 +76,12 @@ fn parse_args() -> Args {
                 args.threads = v.parse().expect("--threads must be a number");
             }
             "--out" => args.out = it.next().expect("--out needs a directory"),
+            "--gate" => args.gate = true,
+            "--only" => args.only = Some(it.next().expect("--only needs a dataset name")),
             other => {
-                eprintln!("unknown argument {other:?} (try --smoke / --threads / --out)");
+                eprintln!(
+                    "unknown argument {other:?} (try --smoke / --threads / --out / --gate / --only)"
+                );
                 std::process::exit(2);
             }
         }
@@ -75,6 +108,16 @@ struct Record {
     recall: f64,
     recall_seq: f64,
     pool_is_deterministic: bool,
+    q_qps_1t: f64,
+    q_qps_nt: f64,
+    q_speedup_vs_exact: f64,
+    q_recall: f64,
+    q_recall_delta: f64,
+    q_is_deterministic: bool,
+    q_matched_ef: usize,
+    q_matched_qps_1t: f64,
+    q_matched_recall: f64,
+    q_matched_speedup: f64,
 }
 
 impl Record {
@@ -102,6 +145,28 @@ impl Record {
         let _ = writeln!(s, "    \"speedup\": {:.3},", self.search_speedup);
         let _ = writeln!(s, "    \"recall_at_k\": {:.4},", self.recall);
         let _ = writeln!(s, "    \"recall_at_k_seq_build\": {:.4}", self.recall_seq);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"quantized\": {{");
+        let _ = writeln!(s, "    \"rerank_factor\": {RERANK_FACTOR},");
+        let _ = writeln!(s, "    \"qps_1t\": {:.1},", self.q_qps_1t);
+        let _ = writeln!(s, "    \"qps_nt\": {:.1},", self.q_qps_nt);
+        let _ = writeln!(
+            s,
+            "    \"speedup_vs_exact\": {:.3},",
+            self.q_speedup_vs_exact
+        );
+        let _ = writeln!(s, "    \"recall_at_k\": {:.4},", self.q_recall);
+        let _ = writeln!(s, "    \"recall_delta\": {:.4},", self.q_recall_delta);
+        let _ = writeln!(s, "    \"matched\": {{");
+        let _ = writeln!(s, "      \"ef\": {},", self.q_matched_ef);
+        let _ = writeln!(s, "      \"qps_1t\": {:.1},", self.q_matched_qps_1t);
+        let _ = writeln!(s, "      \"recall_at_k\": {:.4},", self.q_matched_recall);
+        let _ = writeln!(
+            s,
+            "      \"speedup_vs_exact\": {:.3}",
+            self.q_matched_speedup
+        );
+        let _ = writeln!(s, "    }}");
         let _ = writeln!(s, "  }},");
         let _ = writeln!(
             s,
@@ -146,17 +211,56 @@ fn measure(name: &str, data: &VectorSet, queries: &VectorSet, threads: usize) ->
     let (res_1t, wall_1t) = search_all(1);
     let (res_nt, wall_nt) = search_all(threads);
 
+    // -- the same graph again, SQ8 traversal + exact re-rank --
+    let search_all_q = |threads: usize, ef: usize| {
+        let t0 = Instant::now();
+        let out = rayon::with_num_threads(threads, || {
+            use rayon::prelude::*;
+            qvecs
+                .par_iter()
+                .map_init(
+                    || SearchScratch::with_capacity(par.len()),
+                    |scratch, q| {
+                        par.search_quantized_with_scratch(q, K, ef, RERANK_FACTOR, scratch)
+                            .0
+                    },
+                )
+                .collect::<Vec<_>>()
+        });
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let _warmup = search_all_q(1, EF); // untimed: page in codes + norms
+    let (qres_1t, qwall_1t) = search_all_q(1, EF);
+    let (qres_nt, qwall_nt) = search_all_q(threads, EF);
+
     // -- recall against brute force, for both graphs: the batch-parallel
     // build produces a *different* (equally valid) graph than the
     // sequential build, so quality parity is the meaningful comparison --
     let gt = ground_truth::brute_force(data, queries, K, Distance::L2);
     let recall = ground_truth::recall_at_k(&res_nt, &gt, K).mean;
+    let q_recall = ground_truth::recall_at_k(&qres_nt, &gt, K).mean;
     let mut scratch = SearchScratch::with_capacity(seq.len());
     let seq_res: Vec<_> = qvecs
         .iter()
         .map(|q| seq.search_with_scratch(q, K, EF, &mut scratch).0)
         .collect();
     let recall_seq = ground_truth::recall_at_k(&seq_res, &gt, K).mean;
+
+    // -- equal-recall operating point: walk the ef ladder from the
+    // cheapest rung up and stop at the first whose quantized recall lands
+    // within the gate tolerance of the exact path's recall at EF --
+    let mut matched = None;
+    for ef in EF_LADDER {
+        let (r, wall) = search_all_q(1, ef);
+        let rec = ground_truth::recall_at_k(&r, &gt, K).mean;
+        let qps = qvecs.len() as f64 / wall.max(1e-9);
+        if rec >= recall - MAX_RECALL_DELTA || ef == EF {
+            matched = Some((ef, qps, rec));
+            break;
+        }
+    }
+    let (q_matched_ef, q_matched_qps_1t, q_matched_recall) =
+        matched.expect("EF_LADDER ends with EF, so the sweep always lands");
 
     // determinism spot-check: the pool is order-preserving, so the same
     // graph searched at 1 and at N threads must answer bit-identically
@@ -179,6 +283,16 @@ fn measure(name: &str, data: &VectorSet, queries: &VectorSet, threads: usize) ->
         recall,
         recall_seq,
         pool_is_deterministic: matches,
+        q_qps_1t: qvecs.len() as f64 / qwall_1t.max(1e-9),
+        q_qps_nt: qvecs.len() as f64 / qwall_nt.max(1e-9),
+        q_speedup_vs_exact: wall_1t / qwall_1t.max(1e-9),
+        q_recall,
+        q_recall_delta: recall - q_recall,
+        q_is_deterministic: qres_1t == qres_nt,
+        q_matched_ef,
+        q_matched_qps_1t,
+        q_matched_recall,
+        q_matched_speedup: q_matched_qps_1t * wall_1t / qvecs.len() as f64,
     }
 }
 
@@ -198,6 +312,12 @@ fn main() {
     };
 
     for w in &workloads {
+        if let Some(only) = &args.only {
+            if !w.name.contains(only.as_str()) {
+                eprintln!("perf: skipping {} (--only {only})", w.name);
+                continue;
+            }
+        }
         eprintln!(
             "perf: {} ({} x {}, {} queries, {} threads) ...",
             w.name,
@@ -212,16 +332,40 @@ fn main() {
             "{}: pooled search diverged between 1 and {} threads",
             w.name, args.threads
         );
+        assert!(
+            rec.q_is_deterministic,
+            "{}: quantized search diverged between 1 and {} threads",
+            w.name, args.threads
+        );
+        if args.gate {
+            assert!(
+                rec.q_recall_delta <= MAX_RECALL_DELTA,
+                "{}: quantized recall@{K} {:.4} trails exact {:.4} by {:.4} (> {MAX_RECALL_DELTA})",
+                w.name,
+                rec.q_recall,
+                rec.recall,
+                rec.q_recall_delta
+            );
+        }
         let path = format!("{}/BENCH_{}.json", args.out, w.name);
         std::fs::write(&path, rec.to_json()).expect("write BENCH json");
         println!(
-            "{path}: build {:.2}x ({:.0} pts/s), search {:.2}x ({:.0} qps), recall@{K} {:.3} \
+            "{path}: build {:.2}x ({:.0} pts/s), search {:.2}x ({:.0} qps), recall@{K} {:.3}, \
+             quantized {:.2}x vs exact ({:.0} qps, recall {:.3}), \
+             matched-recall {:.2}x at ef={} ({:.0} qps, recall {:.3}) \
              [host has {} core(s)]",
             rec.build_speedup,
             rec.build_points_per_s,
             rec.search_speedup,
             rec.qps_nt,
             rec.recall,
+            rec.q_speedup_vs_exact,
+            rec.q_qps_nt,
+            rec.q_recall,
+            rec.q_matched_speedup,
+            rec.q_matched_ef,
+            rec.q_matched_qps_1t,
+            rec.q_matched_recall,
             rec.host_cores
         );
     }

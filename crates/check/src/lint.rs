@@ -1,6 +1,6 @@
 //! Textual lint over the workspace source tree.
 //!
-//! Seven rules, all enforced without a Rust parser — the source
+//! Eight rules, all enforced without a Rust parser — the source
 //! conventions of this workspace (one statement per line, one tag-table
 //! field per line) are strict enough for a line lint, and a textual pass
 //! keeps this crate dependency-free:
@@ -11,9 +11,10 @@
 //! | `no-panic`        | no panicking macro in non-test library code (simulator exempt) |
 //! | `wildcard-recv`   | no wildcard-source / untagged receive outside the simulator    |
 //! | `tag-registry`    | every `TAG_*` constant and every sent tag is registered        |
-//! | `missing-doc`     | every `pub` item of fastann-core / -mpisim / -serve / -obs has a doc |
+//! | `missing-doc`     | every `pub` item of fastann-core / -mpisim / -serve / -obs / -data / -hnsw has a doc |
 //! | `no-thread-spawn` | no direct thread spawning outside the simulator — go through the rayon pool |
 //! | `search-batch-variant` | no new `pub fn search_batch*` entry points — one `SearchRequest` builder; only `#[deprecated]` shims may keep the old names |
+//! | `quantized-traversal` | HNSW traversal code goes through `QueryDist` dispatch — no direct exact-distance kernels in `crates/hnsw/src` outside the re-rank stage |
 //!
 //! Test modules (`#[cfg(test)] mod …`), `tests/` and `benches/`
 //! directories, and `vendor/` stand-ins are out of scope. Justified
@@ -43,6 +44,12 @@ const SPAWN_PATS: [&str; 3] = [
 ];
 const SEARCH_BATCH_PAT: &str = concat!("pub fn search", "_batch");
 const DEPRECATED_PAT: &str = concat!("#[depre", "cated");
+const SQL2_PAT: &str = concat!("squared", "_l2(");
+const EVAL_PAT: &str = concat!(".ev", "al(");
+const TRAVERSAL_FNS: [&str; 2] = [
+    concat!("fn greedy", "_step"),
+    concat!("fn search", "_layer"),
+];
 
 /// Rule identifier: bare `unwrap` in non-test library code.
 pub const RULE_UNWRAP: &str = "no-unwrap";
@@ -59,6 +66,12 @@ pub const RULE_SPAWN: &str = "no-thread-spawn";
 /// Rule identifier: a new `search_batch*` public entry point outside the
 /// deprecated-shim family.
 pub const RULE_SEARCH_BATCH: &str = "search-batch-variant";
+/// Rule identifier: direct exact-distance evaluation in HNSW traversal
+/// code. Traversal must dispatch through `QueryDist` so the quantized
+/// and exact domains stay confined to `Hnsw::d` and the search entry
+/// points; the only sanctioned search-time exact-distance consumer is
+/// the re-rank stage (allowlisted).
+pub const RULE_QUANT: &str = "quantized-traversal";
 
 /// One lint finding, anchored to a file and line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -253,15 +266,25 @@ fn parse_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
 fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Vec<Violation>) {
     let is_mpisim = rel.starts_with("crates/mpisim/");
     let is_tags_file = rel == "crates/core/src/tags.rs";
+    let is_hnsw = rel.starts_with("crates/hnsw/src");
     let wants_docs = rel.starts_with("crates/core/src")
         || rel.starts_with("crates/mpisim/src")
         || rel.starts_with("crates/serve/src")
-        || rel.starts_with("crates/obs/src");
+        || rel.starts_with("crates/obs/src")
+        || rel.starts_with("crates/data/src")
+        || rel.starts_with("crates/hnsw/src");
 
     let lines: Vec<&str> = content.lines().collect();
     let mut in_test = false;
     let mut test_depth: i64 = 0;
     let mut pending_cfg_test = false;
+    // quantized-traversal: brace-counted span of an HNSW traversal fn
+    // (the multi-line signature has not opened a brace yet, so the span
+    // only ends once an opening brace has been seen and depth returns
+    // to zero).
+    let mut in_traversal = false;
+    let mut trav_depth: i64 = 0;
+    let mut trav_opened = false;
 
     for (i, raw) in lines.iter().enumerate() {
         let line_no = i + 1;
@@ -296,6 +319,36 @@ fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Ve
         }
 
         let is_comment = t.starts_with("//");
+
+        // quantized-traversal: inside greedy_step / search_layer every
+        // distance goes through QueryDist dispatch, so a direct metric
+        // eval there reintroduces a second distance domain into the beam.
+        if in_traversal {
+            if !is_comment && t.contains(EVAL_PAT) {
+                out.push(violation(rel, line_no, RULE_QUANT, t));
+            }
+            if opens > 0 {
+                trav_opened = true;
+            }
+            trav_depth += opens - closes;
+            if trav_opened && trav_depth <= 0 {
+                in_traversal = false;
+            }
+        } else if is_hnsw && !is_comment && TRAVERSAL_FNS.iter().any(|p| t.contains(p)) {
+            in_traversal = true;
+            trav_opened = opens > 0;
+            trav_depth = opens - closes;
+            if trav_opened && trav_depth <= 0 {
+                in_traversal = false;
+            }
+        }
+
+        // quantized-traversal: the raw exact kernel may not be called
+        // anywhere in the HNSW crate — the re-rank stage is the one
+        // sanctioned consumer and carries the allowlist entry.
+        if is_hnsw && !is_comment && t.contains(SQL2_PAT) {
+            out.push(violation(rel, line_no, RULE_QUANT, t));
+        }
 
         if !is_comment {
             // no-unwrap
@@ -574,12 +627,15 @@ mod tests {
     #[test]
     fn flags_undocumented_pub_items_in_registered_crates_only() {
         let src = "pub fn naked() {}\n\n/// Documented.\npub fn clothed() {}\n\npub use other::thing;\npub(crate) fn internal() {}\n";
-        // core, mpisim, serve and obs are registered under the doc rule
+        // core, mpisim, serve, obs, data and hnsw are registered under
+        // the doc rule
         for dir in [
             "crates/core/src",
             "crates/mpisim/src",
             "crates/serve/src",
             "crates/obs/src",
+            "crates/data/src",
+            "crates/hnsw/src",
         ] {
             let v = lint_str(&format!("{dir}/x.rs"), src);
             assert_eq!(v.len(), 1, "{dir}: {v:?}");
@@ -587,7 +643,7 @@ mod tests {
             assert_eq!(v[0].line, 1);
         }
         // other crates are not under the doc rule
-        assert!(lint_str("crates/hnsw/src/x.rs", src).is_empty());
+        assert!(lint_str("crates/vptree/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -604,6 +660,37 @@ mod tests {
         // mentions in comments and `pub use` re-exports are fine
         let bench = format!("// docs may mention {SEARCH_BATCH_PAT}\n");
         assert!(lint_str("crates/bench/src/x.rs", &bench).is_empty());
+    }
+
+    #[test]
+    fn flags_exact_kernels_in_hnsw_but_not_elsewhere() {
+        let src =
+            format!("fn f(a: &[f32], b: &[f32]) -> f32 {{\n    kernels::{SQL2_PAT}a, b)\n}}\n");
+        let v = lint_str("crates/hnsw/src/x.rs", &src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_QUANT);
+        assert_eq!(v[0].line, 2);
+        // the same call is fine outside the HNSW crate and in comments
+        assert!(lint_str("crates/core/src/x.rs", &src).is_empty());
+        let doc = format!("// re-ranking uses {SQL2_PAT}..)\n");
+        assert!(lint_str("crates/hnsw/src/x.rs", &doc).is_empty());
+    }
+
+    #[test]
+    fn flags_metric_eval_inside_traversal_spans_only() {
+        let trav = TRAVERSAL_FNS[1];
+        let src = format!(
+            "impl Hnsw {{\n    {trav}(\n        &self,\n        q: &QueryDist<'_>,\n    ) -> Vec<Neighbor> {{\n        let d = self.dist{EVAL_PAT}q, v);\n        d\n    }}\n\n    fn link_back(&self) {{\n        let d = self.dist{EVAL_PAT}a, b);\n    }}\n}}\n"
+        );
+        let v = lint_str("crates/hnsw/src/x.rs", &src);
+        assert_eq!(v.len(), 1, "construction-time evals stay legal: {v:?}");
+        assert_eq!(v[0].rule, RULE_QUANT);
+        assert_eq!(v[0].line, 6);
+        // traversal fns that stick to QueryDist dispatch are clean
+        let good = format!(
+            "impl Hnsw {{\n    {trav}(&self, q: &QueryDist<'_>) -> Vec<Neighbor> {{\n        let d = self.d(q, id, scratch);\n        d\n    }}\n}}\n"
+        );
+        assert!(lint_str("crates/hnsw/src/x.rs", &good).is_empty());
     }
 
     #[test]

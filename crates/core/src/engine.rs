@@ -601,6 +601,22 @@ impl WorkerEmit<'_> {
 /// the HNSW work histograms and the per-partition virtual service time.
 fn record_local_search(m: &Metrics, part: usize, stats: &fastann_hnsw::SearchStats, cost_ns: f64) {
     m.observe("fastann_hnsw_ndist", &[], stats.ndist as f64, buckets::WORK);
+    // quantized vs exact split of the distance work, plus the re-rank pool
+    // sizes — the counters the recall-delta gate and dashboards read
+    m.inc("fastann_dists_quant_total", &[], stats.ndist_quant);
+    m.inc(
+        "fastann_dists_exact_total",
+        &[],
+        stats.ndist - stats.ndist_quant,
+    );
+    if stats.rerank > 0 {
+        m.observe(
+            "fastann_rerank_pool",
+            &[],
+            stats.rerank as f64,
+            buckets::COUNT,
+        );
+    }
     m.observe("fastann_hnsw_hops", &[], stats.hops as f64, buckets::COUNT);
     m.observe(
         "fastann_hnsw_heap_pushes",
@@ -713,10 +729,12 @@ fn worker(
                     // threads after TAG_END.
                     queued.push(item);
                 } else {
-                    let (local, stats) = index.partitions[item.part].index.search_detailed(
+                    let (local, stats) = index.partitions[item.part].index.search_detailed_opts(
                         &item.q,
                         k,
                         opts.ef,
+                        opts.quantized,
+                        opts.rerank_factor,
                         &mut scratch,
                     );
                     ndist_total += stats.ndist;
@@ -749,9 +767,14 @@ fn worker(
                 queued
                     .par_iter()
                     .map_init(SearchScratch::default, |scratch, item| {
-                        index.partitions[item.part]
-                            .index
-                            .search_detailed(&item.q, k, opts.ef, scratch)
+                        index.partitions[item.part].index.search_detailed_opts(
+                            &item.q,
+                            k,
+                            opts.ef,
+                            opts.quantized,
+                            opts.rerank_factor,
+                            scratch,
+                        )
                     })
                     .collect()
             });
@@ -1088,9 +1111,14 @@ fn worker_chaos(
                     "node {node} asked to serve partition {part} it does not hold"
                 );
                 let partition = &index.partitions[part];
-                let (local, sstats) = partition
-                    .index
-                    .search_detailed(&q, k, opts.ef, &mut scratch);
+                let (local, sstats) = partition.index.search_detailed_opts(
+                    &q,
+                    k,
+                    opts.ef,
+                    opts.quantized,
+                    opts.rerank_factor,
+                    &mut scratch,
+                );
                 ndist_total += sstats.ndist;
                 let cost = index.config.cost.dists_ns(sstats.ndist, dim);
                 let done_at = pool.assign(arrival, cost);

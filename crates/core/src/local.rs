@@ -92,6 +92,31 @@ impl LocalIndex {
     ) -> (Vec<Neighbor>, fastann_hnsw::SearchStats) {
         match self {
             LocalIndex::Hnsw(h) => h.search_with_scratch(q, k, ef, scratch),
+            other => other.search_detailed_opts(q, k, ef, false, 1, scratch),
+        }
+    }
+
+    /// [`LocalIndex::search_detailed`] with the quantized-first knobs from
+    /// [`crate::SearchOptions`] threaded through. `quantized` routes an
+    /// HNSW partition to its SQ8 traversal + exact re-rank pipeline
+    /// (falling back to exact when the partition has no trained
+    /// quantizer); tree and brute-force kinds are always exact — they are
+    /// the ground-truth baselines, so quantizing them would defeat their
+    /// purpose.
+    pub fn search_detailed_opts(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        quantized: bool,
+        rerank_factor: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, fastann_hnsw::SearchStats) {
+        match self {
+            LocalIndex::Hnsw(h) if quantized => {
+                h.search_quantized_with_scratch(q, k, ef, rerank_factor, scratch)
+            }
+            LocalIndex::Hnsw(h) => h.search_with_scratch(q, k, ef, scratch),
             LocalIndex::VpTree(t) => {
                 let (r, s) = t.knn(q, k);
                 (

@@ -27,14 +27,25 @@
 
 #![forbid(unsafe_code)]
 
+/// Exact brute-force neighbours and recall evaluation.
 pub mod ground_truth;
+/// `fvecs` / `bvecs` / `ivecs` dataset file IO.
 pub mod io;
+/// Chunked, auto-vectorization-friendly distance inner loops.
+pub mod kernels;
+/// Distance metrics over dense `f32` vectors.
 pub mod metric;
+/// SQ8 scalar quantization with asymmetric distance.
 pub mod quant;
+/// Order statistics: quickselect and median-of-medians.
 pub mod select;
+/// Per-dimension dataset statistics.
 pub mod stats;
+/// Synthetic dataset generators (MDCGen-style and descriptor-shaped).
 pub mod synth;
+/// Streaming top-k selection and the `Neighbor` type.
 pub mod topk;
+/// Dense row-major vector storage.
 pub mod vector;
 
 pub use ground_truth::{recall_at_k, Recall};

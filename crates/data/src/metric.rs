@@ -5,9 +5,14 @@
 //! enum dispatched with `match` — cheap, `Copy`, and trivially sendable
 //! across the simulated cluster, unlike a boxed trait object.
 //!
-//! The kernels are written as chunked scalar loops that LLVM reliably
-//! auto-vectorises in release builds; this is the portable equivalent of the
-//! SIMD-optimised bucket scans in PANDA.
+//! The inner loops live in [`crate::kernels`] — chunked 8-lane scalar
+//! loops that LLVM reliably auto-vectorises in release builds, shared with
+//! the SQ8 asymmetric path in [`crate::quant`]; this is the portable
+//! equivalent of the SIMD-optimised bucket scans in PANDA. This module
+//! re-exports the f32 kernels under their historical names so existing
+//! callers keep compiling.
+
+pub use crate::kernels::{chebyshev, dot, l1, squared_l2};
 
 /// A distance (or dissimilarity) function between two equal-length vectors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -67,93 +72,6 @@ impl Distance {
             Distance::NegativeDot => "neg-dot",
         }
     }
-}
-
-/// Squared Euclidean distance, 4-way unrolled for auto-vectorisation.
-///
-/// # Panics
-/// Panics on a length mismatch, in every build profile. (An earlier
-/// version silently computed over the shorter prefix in release builds,
-/// turning dimension bugs into wrong-but-plausible distances.)
-#[inline]
-pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "squared_l2 between different dimensions");
-    let n = a.len();
-    let (ac, bc) = (&a[..n], &b[..n]);
-    let mut s0 = 0.0f32;
-    let mut s1 = 0.0f32;
-    let mut s2 = 0.0f32;
-    let mut s3 = 0.0f32;
-    let chunks = n / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        let d0 = ac[j] - bc[j];
-        let d1 = ac[j + 1] - bc[j + 1];
-        let d2 = ac[j + 2] - bc[j + 2];
-        let d3 = ac[j + 3] - bc[j + 3];
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let mut rest = 0.0f32;
-    for j in chunks * 4..n {
-        let d = ac[j] - bc[j];
-        rest += d * d;
-    }
-    s0 + s1 + s2 + s3 + rest
-}
-
-/// Manhattan distance.
-///
-/// # Panics
-/// Panics on a length mismatch, in every build profile.
-#[inline]
-pub fn l1(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "l1 between different dimensions");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-}
-
-/// Chebyshev distance.
-///
-/// # Panics
-/// Panics on a length mismatch, in every build profile.
-#[inline]
-pub fn chebyshev(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "chebyshev between different dimensions");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f32::max)
-}
-
-/// Dot product, 4-way unrolled.
-///
-/// # Panics
-/// Panics on a length mismatch, in every build profile — the same
-/// explicit-mismatch contract as [`squared_l2`].
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot between different dimensions");
-    let n = a.len();
-    let (ac, bc) = (&a[..n], &b[..n]);
-    let mut s0 = 0.0f32;
-    let mut s1 = 0.0f32;
-    let mut s2 = 0.0f32;
-    let mut s3 = 0.0f32;
-    let chunks = n / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        s0 += ac[j] * bc[j];
-        s1 += ac[j + 1] * bc[j + 1];
-        s2 += ac[j + 2] * bc[j + 2];
-        s3 += ac[j + 3] * bc[j + 3];
-    }
-    let mut rest = 0.0f32;
-    for j in chunks * 4..n {
-        rest += ac[j] * bc[j];
-    }
-    s0 + s1 + s2 + s3 + rest
 }
 
 /// Cosine distance, `1 - a·b / (|a||b|)`.
@@ -277,7 +195,7 @@ mod tests {
     }
 
     #[test]
-    fn unrolled_kernels_handle_non_multiple_of_four() {
+    fn chunked_kernels_handle_remainder_lengths() {
         // length 7 exercises the remainder loop
         let a: Vec<f32> = (0..7).map(|i| i as f32).collect();
         let b: Vec<f32> = (0..7).map(|i| (i * 2) as f32).collect();

@@ -8,7 +8,18 @@
 //! M. [`Sq8`] lets the benchmark suite demonstrate that plateau: vectors
 //! are compressed 4× (f32 → u8 per dimension, per-dimension affine grid)
 //! and searched exhaustively in the quantized domain.
+//!
+//! Beyond the plateau demo, [`Sq8`] is the engine's traversal codec: the
+//! *asymmetric* distance ([`Sq8::prepare_query`] + [`Sq8::asym_l2`]) keeps
+//! the query at full f32 precision and compares it against the quantized
+//! grid points, which halves the quantization error of the
+//! symmetric-quantized [`Sq8::knn`] scan and — via the dot-expansion in
+//! [`crate::kernels::sq8_dot`] — costs one fused multiply-add per
+//! dimension over a quarter of the memory traffic of exact `squared_l2`.
+//! The HNSW index traverses with it and re-ranks a small survivor pool at
+//! full precision (the AQR-HNSW recipe).
 
+use crate::kernels;
 use crate::metric::Distance;
 use crate::topk::{Neighbor, TopK};
 use crate::vector::VectorSet;
@@ -21,7 +32,32 @@ pub struct Sq8 {
     lo: Vec<f32>,
     step: Vec<f32>,
     codes: Vec<u8>,
+    /// Per-row squared grid norm `Σ_d (step[d]·code[d])²`, cached at encode
+    /// time so the asymmetric distance is a single dot pass per candidate.
+    norms: Vec<f32>,
     n: usize,
+}
+
+/// A query prepared for repeated [`Sq8::asym_l2`] evaluations against one
+/// trained grid.
+///
+/// Holds the grid-relative weight vector `w[d] = (q[d] − lo[d]) · step[d]`
+/// and the query's squared offset from the grid origin
+/// `qnorm = Σ_d (q[d] − lo[d])²`. The query itself is **never quantized**
+/// — out-of-training-range components stay at full precision instead of
+/// clamping to the grid edge, so asymmetric distances remain faithful at
+/// the extremes.
+#[derive(Clone, Debug)]
+pub struct Sq8Query {
+    w: Vec<f32>,
+    qnorm: f32,
+}
+
+impl Sq8Query {
+    /// The prepared query's dimensionality.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
 }
 
 impl Sq8 {
@@ -45,13 +81,58 @@ impl Sq8 {
                 codes.push(c as u8);
             }
         }
+        let norms = row_norms(dim, &step, &codes);
         Sq8 {
             dim,
             lo,
             step,
             codes,
+            norms,
             n: data.len(),
         }
+    }
+
+    /// Rebuilds a quantizer from its serialized parts (grid plus codes).
+    /// The per-row norm cache is recomputed — it is derived data, so
+    /// persisting it would only add a corruption surface.
+    ///
+    /// # Panics
+    /// Panics if `lo`/`step` are not `dim`-long, if `codes` is not a whole
+    /// number of `dim`-long rows, or if any step is non-positive.
+    pub fn from_parts(dim: usize, lo: Vec<f32>, step: Vec<f32>, codes: Vec<u8>) -> Sq8 {
+        assert!(dim > 0, "quantizer dimension must be positive");
+        assert_eq!(lo.len(), dim, "lo length must equal dim");
+        assert_eq!(step.len(), dim, "step length must equal dim");
+        assert_eq!(codes.len() % dim, 0, "codes must be whole rows");
+        assert!(
+            step.iter().all(|&s| s > 0.0),
+            "quantizer steps must be positive"
+        );
+        let n = codes.len() / dim;
+        let norms = row_norms(dim, &step, &codes);
+        Sq8 {
+            dim,
+            lo,
+            step,
+            codes,
+            norms,
+            n,
+        }
+    }
+
+    /// Per-dimension grid origin (serialization accessor).
+    pub fn lo(&self) -> &[f32] {
+        &self.lo
+    }
+
+    /// Per-dimension grid step (serialization accessor).
+    pub fn step(&self) -> &[f32] {
+        &self.step
+    }
+
+    /// All code bytes, row-major (serialization accessor).
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
     }
 
     /// Number of compressed vectors.
@@ -103,6 +184,43 @@ impl Sq8 {
             .collect()
     }
 
+    /// Prepares `q` for repeated [`Sq8::asym_l2`] evaluations: one pass
+    /// over the query amortized across every candidate it will be compared
+    /// to. No clamping and no division happens here — the query stays at
+    /// full precision even outside the trained range.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.dim()`.
+    pub fn prepare_query(&self, q: &[f32]) -> Sq8Query {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let w = q
+            .iter()
+            .zip(&self.lo)
+            .zip(&self.step)
+            .map(|((&x, &lo), &s)| (x - lo) * s)
+            .collect();
+        let qnorm = kernels::squared_l2(q, &self.lo);
+        Sq8Query { w, qnorm }
+    }
+
+    /// Asymmetric squared-L2 distance between a prepared full-precision
+    /// query and quantized row `i`: exactly `squared_l2(q, decode(i))` up
+    /// to floating-point rearrangement, computed via the dot expansion
+    /// `‖q−lo‖² + norm_i − 2·Σ_d w[d]·code[d]` so the inner loop touches
+    /// one byte per dimension. Clamped at zero (the expansion can go
+    /// slightly negative through rounding when the query sits on a grid
+    /// point).
+    ///
+    /// # Panics
+    /// Panics if the prepared query's dimension differs from the grid's or
+    /// `i` is out of range.
+    #[inline]
+    pub fn asym_l2(&self, prep: &Sq8Query, i: usize) -> f32 {
+        let s = i * self.dim;
+        let row = &self.codes[s..s + self.dim];
+        (prep.qnorm + self.norms[i] - 2.0 * kernels::sq8_dot(&prep.w, row)).max(0.0)
+    }
+
     /// Exhaustive k-NN in the quantized domain: the query is quantized to
     /// the same grid and distances computed between dequantized values.
     /// This is where the recall ceiling comes from — true neighbours whose
@@ -127,6 +245,14 @@ impl Sq8 {
         }
         top.into_sorted()
     }
+}
+
+/// Caches `Σ_d (step[d]·code[d])²` for every row.
+fn row_norms(dim: usize, step: &[f32], codes: &[u8]) -> Vec<f32> {
+    codes
+        .chunks_exact(dim)
+        .map(|row| kernels::sq8_norm(step, row))
+        .collect()
 }
 
 #[cfg(test)]
@@ -231,5 +357,106 @@ mod tests {
     fn encode_query_rejects_dim_mismatch() {
         let data = synth::sift_like(10, 8, 11);
         let _ = Sq8::encode(&data).encode_query(&[0.0; 4]);
+    }
+
+    #[test]
+    fn encode_query_clamps_out_of_range_components() {
+        // regression: components far outside the trained range must
+        // saturate at the grid edges (0 / 255), not wrap around through
+        // an unchecked float->u8 cast (which is UB-adjacent saturation in
+        // release and would skew every asymmetric comparison)
+        let mut data = VectorSet::new(2);
+        data.push(&[0.0, 0.0]);
+        data.push(&[10.0, 10.0]);
+        let sq = Sq8::encode(&data);
+        assert_eq!(sq.encode_query(&[-1e6, -1e6]), vec![0, 0]);
+        assert_eq!(sq.encode_query(&[1e6, 1e6]), vec![255, 255]);
+        // NaN propagates through the clamp and the saturating cast maps
+        // it to 0 -- defined behaviour, pinned here so it stays that way
+        assert_eq!(sq.encode_query(&[f32::NAN, 5.0]), vec![0, 127]);
+    }
+
+    #[test]
+    fn asym_l2_matches_exact_distance_to_decoded_row() {
+        let data = synth::deep_like(400, 24, 5);
+        let queries = synth::queries_near(&data, 10, 0.05, 6);
+        let sq = Sq8::encode(&data);
+        for qi in 0..queries.len() {
+            let q = queries.get(qi);
+            let prep = sq.prepare_query(q);
+            for i in (0..400).step_by(53) {
+                let want = crate::kernels::squared_l2(q, &sq.decode(i));
+                let got = sq.asym_l2(&prep, i);
+                let tol = 1e-4 * (1.0 + want);
+                assert!(
+                    (got - want).abs() <= tol,
+                    "row {i}: asym {got} vs exact-to-decoded {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asym_l2_handles_out_of_range_queries_without_distortion() {
+        // a query far outside the trained box: the asymmetric form must
+        // track the true distance to the decoded points (no clamping), so
+        // the *nearest* decoded point under asym_l2 is the true nearest
+        let mut data = VectorSet::new(2);
+        data.push(&[0.0, 0.0]);
+        data.push(&[10.0, 0.0]);
+        data.push(&[0.0, 10.0]);
+        let sq = Sq8::encode(&data);
+        let q = [1000.0f32, 0.0];
+        let prep = sq.prepare_query(&q);
+        let d: Vec<f32> = (0..3).map(|i| sq.asym_l2(&prep, i)).collect();
+        assert!(d[1] < d[0] && d[1] < d[2], "{d:?}");
+        let want = crate::kernels::squared_l2(&q, &sq.decode(1));
+        assert!((d[1] - want).abs() <= 1e-2 * want.max(1.0));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_recomputes_norms() {
+        let data = synth::sift_like(50, 16, 21);
+        let sq = Sq8::encode(&data);
+        let rebuilt = Sq8::from_parts(
+            sq.dim(),
+            sq.lo().to_vec(),
+            sq.step().to_vec(),
+            sq.codes().to_vec(),
+        );
+        assert_eq!(rebuilt.len(), sq.len());
+        let q = data.get(3);
+        let (p1, p2) = (sq.prepare_query(q), rebuilt.prepare_query(q));
+        for i in 0..50 {
+            assert_eq!(
+                sq.asym_l2(&p1, i).to_bits(),
+                rebuilt.asym_l2(&p2, i).to_bits(),
+                "row {i} not bit-identical after round trip"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "steps must be positive")]
+    fn from_parts_rejects_bad_steps() {
+        let _ = Sq8::from_parts(2, vec![0.0, 0.0], vec![1.0, 0.0], vec![0, 0]);
+    }
+
+    #[test]
+    fn degenerate_constant_data_does_not_divide_by_zero() {
+        // zero range per dimension -> step pinned at f32::MIN_POSITIVE;
+        // encode, decode, prepare, and asym all stay finite
+        let mut data = VectorSet::new(3);
+        for _ in 0..4 {
+            data.push(&[7.0, 7.0, 7.0]);
+        }
+        let sq = Sq8::encode(&data);
+        let dec = sq.decode(2);
+        assert!(dec.iter().all(|v| v.is_finite()));
+        let prep = sq.prepare_query(&[7.0, 7.0, 7.0]);
+        let d = sq.asym_l2(&prep, 0);
+        assert!(d.is_finite() && d >= 0.0);
+        let far = sq.prepare_query(&[8.0, 6.0, 7.0]);
+        assert!(sq.asym_l2(&far, 0).is_finite());
     }
 }

@@ -16,7 +16,9 @@
 //!
 //! All generators are deterministic given a seed.
 
+/// Image-descriptor-shaped generators (SIFT / DEEP / GIST stand-ins).
 pub mod descriptors;
+/// MDCGen-style multidimensional cluster generator.
 pub mod mdcgen;
 
 pub use descriptors::{deep_like, gist_like, queries_near, sift_like};

@@ -1,0 +1,170 @@
+//! Parity suite for the chunked kernels (satellite of the quantized-first
+//! traversal PR): every chunked kernel must be *byte-identical* to a naive
+//! scalar reference across lengths 0..=67, crossing the 8-lane chunk
+//! boundary many times, and the release-mode length-mismatch asserts from
+//! PR 3 must keep firing.
+//!
+//! Byte identity between two different summation orders is only guaranteed
+//! when every partial sum is exact, so the inputs are small integers
+//! represented exactly in f32 (all intermediates stay far below 2^24).
+//! That makes `to_bits()` equality a legitimate cross-implementation
+//! check rather than a flaky float comparison.
+
+use fastann_data::kernels;
+
+// Explicit fold from +0.0: `Iterator::sum` for floats starts from -0.0
+// (the additive identity preserving signed zero), which would make empty
+// inputs spuriously differ from the kernels in the bit domain.
+
+fn ref_squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .fold(0.0, |s, v| s + v)
+}
+
+fn ref_dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).fold(0.0, |s, v| s + v)
+}
+
+fn ref_l1(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, |s, v| s + v)
+}
+
+fn ref_chebyshev(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+fn ref_sq8_dot(w: &[f32], codes: &[u8]) -> f32 {
+    w.iter()
+        .zip(codes)
+        .map(|(x, &c)| x * c as f32)
+        .fold(0.0, |s, v| s + v)
+}
+
+fn ref_sq8_norm(step: &[f32], codes: &[u8]) -> f32 {
+    step.iter()
+        .zip(codes)
+        .map(|(s, &c)| (s * c as f32) * (s * c as f32))
+        .fold(0.0, |s, v| s + v)
+}
+
+/// Deterministic integer-valued f32 inputs in [-16, 15]; exact in f32.
+fn input_pair(len: usize, salt: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut x = salt.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = || {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 29;
+        ((x % 32) as i64 - 16) as f32
+    };
+    let a = (0..len).map(|_| next()).collect();
+    let b = (0..len).map(|_| next()).collect();
+    (a, b)
+}
+
+#[test]
+fn f32_kernels_bit_identical_to_scalar_reference_across_lengths() {
+    for len in 0..=67usize {
+        for salt in 0..4u64 {
+            let (a, b) = input_pair(len, salt.wrapping_add(len as u64 * 131));
+            assert_eq!(
+                kernels::squared_l2(&a, &b).to_bits(),
+                ref_squared_l2(&a, &b).to_bits(),
+                "squared_l2 diverged at len {len} salt {salt}"
+            );
+            assert_eq!(
+                kernels::dot(&a, &b).to_bits(),
+                ref_dot(&a, &b).to_bits(),
+                "dot diverged at len {len} salt {salt}"
+            );
+            assert_eq!(
+                kernels::l1(&a, &b).to_bits(),
+                ref_l1(&a, &b).to_bits(),
+                "l1 diverged at len {len} salt {salt}"
+            );
+            assert_eq!(
+                kernels::chebyshev(&a, &b).to_bits(),
+                ref_chebyshev(&a, &b).to_bits(),
+                "chebyshev diverged at len {len} salt {salt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sq8_kernels_bit_identical_to_scalar_reference_across_lengths() {
+    for len in 0..=67usize {
+        let (w, _) = input_pair(len, 0xab54a98c + len as u64);
+        let codes: Vec<u8> = (0..len).map(|i| ((i * 37 + len) % 256) as u8).collect();
+        assert_eq!(
+            kernels::sq8_dot(&w, &codes).to_bits(),
+            ref_sq8_dot(&w, &codes).to_bits(),
+            "sq8_dot diverged at len {len}"
+        );
+        // integer steps keep step*code exact up to 255*16 < 2^24
+        let step: Vec<f32> = (0..len).map(|i| (1 + i % 4) as f32).collect();
+        assert_eq!(
+            kernels::sq8_norm(&step, &codes).to_bits(),
+            ref_sq8_norm(&step, &codes).to_bits(),
+            "sq8_norm diverged at len {len}"
+        );
+    }
+}
+
+#[test]
+fn kernels_are_pure_functions_of_input() {
+    // same input, repeated calls: bit-identical (no hidden state) -- the
+    // property the cross-thread determinism contract leans on
+    let (a, b) = input_pair(67, 7);
+    for _ in 0..3 {
+        assert_eq!(
+            kernels::squared_l2(&a, &b).to_bits(),
+            kernels::squared_l2(&a, &b).to_bits()
+        );
+        assert_eq!(
+            kernels::dot(&a, &b).to_bits(),
+            kernels::dot(&a, &b).to_bits()
+        );
+    }
+}
+
+// -- release-mode length-mismatch regressions (PR 3 contract) ------------
+// These run in whatever profile the suite runs in; ci.sh runs the release
+// profile too, so a debug_assert regression would be caught there.
+
+#[test]
+#[should_panic(expected = "different dimensions")]
+fn squared_l2_length_mismatch_panics() {
+    let _ = kernels::squared_l2(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+}
+
+#[test]
+#[should_panic(expected = "different dimensions")]
+fn dot_length_mismatch_panics() {
+    let _ = kernels::dot(&[1.0], &[]);
+}
+
+#[test]
+#[should_panic(expected = "different dimensions")]
+fn l1_length_mismatch_panics() {
+    let _ = kernels::l1(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
+}
+
+#[test]
+#[should_panic(expected = "different dimensions")]
+fn chebyshev_length_mismatch_panics() {
+    let _ = kernels::chebyshev(&[], &[0.5]);
+}
+
+#[test]
+#[should_panic(expected = "different dimensions")]
+fn sq8_dot_length_mismatch_panics() {
+    let _ = kernels::sq8_dot(&[1.0, 2.0], &[3u8]);
+}

@@ -1,0 +1,46 @@
+//! Ad-hoc kernel throughput probe (ignored by default; run with
+//! `cargo test -p fastann-data --release --test kernel_timing -- --ignored --nocapture`).
+
+use std::time::Instant;
+
+use fastann_data::kernels;
+use fastann_data::quant::Sq8;
+use fastann_data::synth;
+
+#[test]
+#[ignore]
+fn time_exact_vs_sq8() {
+    let dim = 512;
+    let n = 32_000;
+    let data = synth::sift_like(n, dim, 7);
+    let sq = Sq8::encode(&data);
+    let q: Vec<f32> = data.get(0).to_vec();
+    let prep = sq.prepare_query(&q);
+
+    let rounds = 20u32;
+    let t0 = Instant::now();
+    let mut acc = 0f32;
+    for _ in 0..rounds {
+        for i in 0..n {
+            acc += kernels::squared_l2(&q, data.get(i));
+        }
+    }
+    let exact_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut acc2 = 0f32;
+    for _ in 0..rounds {
+        for i in 0..n {
+            acc2 += sq.asym_l2(&prep, i);
+        }
+    }
+    let quant_s = t0.elapsed().as_secs_f64();
+
+    let evals = (rounds as f64) * n as f64;
+    println!(
+        "dim {dim}: exact {:.1} Mevals/s, sq8 {:.1} Mevals/s, ratio {:.2} (sums {acc:.1} {acc2:.1})",
+        evals / exact_s / 1e6,
+        evals / quant_s / 1e6,
+        exact_s / quant_s
+    );
+}

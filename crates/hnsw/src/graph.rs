@@ -15,6 +15,8 @@ pub(crate) struct NodeLinks {
 }
 
 impl NodeLinks {
+    /// Pre-sizes one node's adjacency for a draw of `level`: capacity
+    /// `m_max0` at layer 0 and `m` at each upper layer.
     pub fn with_level(level: usize, m: usize, m_max0: usize) -> Self {
         let mut layers = Vec::with_capacity(level + 1);
         layers.push(Vec::with_capacity(m_max0));

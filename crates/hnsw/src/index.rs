@@ -3,12 +3,14 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use fastann_data::quant::{Sq8, Sq8Query};
 use fastann_data::{Distance, Neighbor, TopK, VectorSet};
 use parking_lot::RwLock;
 use rayon::prelude::*;
 
 use crate::config::HnswConfig;
 use crate::graph::Graph;
+use crate::rerank::rerank_exact;
 use crate::scratch::SearchScratch;
 use crate::select::select_neighbors_heuristic;
 
@@ -16,8 +18,14 @@ use crate::select::select_neighbors_heuristic;
 /// charges to a worker's virtual clock.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Distance evaluations performed.
+    /// Distance evaluations performed (quantized and exact combined).
     pub ndist: u64,
+    /// Subset of `ndist` evaluated in the quantized (SQ8 asymmetric)
+    /// domain; zero on the exact path.
+    pub ndist_quant: u64,
+    /// Candidates re-ranked at full precision after a quantized
+    /// traversal; zero on the exact path.
+    pub rerank: u64,
     /// Graph nodes expanded (popped from the candidate heap).
     pub hops: u64,
     /// Candidates pushed onto the layer-0 beam (entry seeds included).
@@ -27,6 +35,18 @@ pub struct SearchStats {
     /// to `ef` means the beam kept improving late — a signal that a
     /// larger `ef` would still buy recall.
     pub ef_churn: u64,
+}
+
+/// A query lowered into one of the two distance domains a traversal can
+/// run in. Traversal code ([`Hnsw::greedy_step`], [`Hnsw::search_layer`])
+/// only ever sees this enum — the `quantized-traversal` lint forbids it
+/// from touching `squared_l2` / `Distance::eval` directly, so the choice
+/// of domain is confined to [`Hnsw::d`] and the search entry points.
+enum QueryDist<'a> {
+    /// Full-precision traversal with the index metric.
+    Exact(&'a [f32]),
+    /// SQ8 asymmetric traversal (squared-L2 domain) against `sq`'s grid.
+    Quant { sq: &'a Sq8, prep: Sq8Query },
 }
 
 /// The outcome of the read-only planning half of one insertion: the
@@ -48,6 +68,10 @@ pub struct Hnsw {
     data: VectorSet,
     levels: Vec<u8>,
     graph: Graph,
+    /// SQ8 quantizer trained on this partition's vectors at build time;
+    /// `None` for empty indexes, unsupported metrics, or after a dynamic
+    /// [`Hnsw::add`] until [`Hnsw::train_quantizer`] refreshes the grid.
+    quant: Option<Sq8>,
     /// `(entry node, top level)`; `None` for an empty index.
     entry: RwLock<Option<(u32, u8)>>,
     /// Distance evaluations spent during construction (the quantity the
@@ -77,7 +101,7 @@ impl Hnsw {
     /// Builds the index over `data` sequentially (deterministic given the
     /// config seed).
     pub fn build(data: VectorSet, dist: Distance, config: HnswConfig) -> Self {
-        let index = Self::empty_for(data, dist, config);
+        let mut index = Self::empty_for(data, dist, config);
         let mut scratch = SearchScratch::with_capacity(index.len());
         let order = index.insertion_order();
         for id in order {
@@ -87,6 +111,7 @@ impl Hnsw {
         if let Err(e) = index.validate() {
             panic!("sequential build produced an invalid graph: {e}");
         }
+        index.train_quantizer();
         index
     }
 
@@ -114,7 +139,7 @@ impl Hnsw {
     /// Thread count follows `rayon::current_num_threads()`; wrap the call
     /// in `rayon::with_num_threads(t, ..)` to pin it.
     pub fn build_parallel(data: VectorSet, dist: Distance, config: HnswConfig) -> Self {
-        let index = Self::empty_for(data, dist, config);
+        let mut index = Self::empty_for(data, dist, config);
         let order = index.insertion_order();
         if order.is_empty() {
             return index;
@@ -156,6 +181,11 @@ impl Hnsw {
         if let Err(e) = index.validate() {
             panic!("parallel build produced an invalid graph: {e}");
         }
+        // Quantizer training is pure per-dimension arithmetic over the
+        // already-stored vectors: no distance evaluations, no dependence
+        // on thread count, so `build_ndist` and bit-identity across
+        // thread counts are unaffected.
+        index.train_quantizer();
         index
     }
 
@@ -207,9 +237,32 @@ impl Hnsw {
             data,
             levels,
             graph,
+            quant: None,
             entry: RwLock::new(None),
             build_ndist: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// (Re)trains the SQ8 quantizer on the current vectors, enabling
+    /// quantized-first search. A no-op for empty indexes and for metrics
+    /// the asymmetric distance cannot rank for (only L2 / squared-L2 are
+    /// order-compatible with the squared-domain traversal).
+    ///
+    /// Build paths call this automatically; after dynamic [`Hnsw::add`]s
+    /// (which invalidate the grid) call it again to restore quantized
+    /// search.
+    pub fn train_quantizer(&mut self) {
+        self.quant =
+            if self.data.is_empty() || !matches!(self.dist, Distance::L2 | Distance::SquaredL2) {
+                None
+            } else {
+                Some(Sq8::encode(&self.data))
+            };
+    }
+
+    /// The trained quantizer, if quantized search is currently available.
+    pub fn quantizer(&self) -> Option<&Sq8> {
+        self.quant.as_ref()
     }
 
     /// Total distance evaluations spent constructing the index.
@@ -236,9 +289,14 @@ impl Hnsw {
         levels: Vec<u8>,
         links: Vec<Vec<Vec<u32>>>,
         entry: Option<(u32, u8)>,
+        quant: Option<Sq8>,
     ) -> Self {
         assert_eq!(levels.len(), data.len());
         assert_eq!(links.len(), data.len());
+        if let Some(q) = &quant {
+            assert_eq!(q.len(), data.len(), "quantizer row count mismatch");
+            assert_eq!(q.dim(), data.dim(), "quantizer dimension mismatch");
+        }
         let graph = Graph::for_levels(&levels, config.m, config.m_max0);
         for (id, per_layer) in links.into_iter().enumerate() {
             for (layer, l) in per_layer.into_iter().enumerate() {
@@ -251,6 +309,7 @@ impl Hnsw {
             data,
             levels,
             graph,
+            quant,
             entry: RwLock::new(entry),
             build_ndist: std::sync::atomic::AtomicU64::new(0),
         }
@@ -321,16 +380,30 @@ impl Hnsw {
         self.data.as_flat().len() * 4 + self.edge_count() * 4 + self.levels.len()
     }
 
+    /// The single distance hook every traversal goes through: evaluates
+    /// the query against stored point `id` in whichever domain the query
+    /// was lowered to, and charges the scratch counters. Quantized
+    /// evaluations count toward both `ndist` (the virtual-clock quantity)
+    /// and `ndist_quant` (the observability split).
     #[inline]
-    fn d(&self, q: &[f32], id: u32, scratch: &mut SearchScratch) -> f32 {
+    fn d(&self, q: &QueryDist<'_>, id: u32, scratch: &mut SearchScratch) -> f32 {
         scratch.ndist += 1;
-        self.dist.eval(q, self.data.get(id as usize))
+        match q {
+            QueryDist::Exact(q) => self.dist.eval(q, self.data.get(id as usize)),
+            QueryDist::Quant { sq, prep } => {
+                scratch.ndist_quant += 1;
+                sq.asym_l2(prep, id as usize)
+            }
+        }
     }
 
     /// Inserts node `id` (its vector is already in `self.data`).
+    /// Construction always runs exact: link structure must not inherit
+    /// quantization error.
     fn insert(&self, id: u32, scratch: &mut SearchScratch) {
         let level = self.levels[id as usize];
         let q = self.data.get(id as usize).to_vec();
+        let qd = QueryDist::Exact(&q);
         scratch.begin(self.len());
 
         let entry_snapshot = *self.entry.read();
@@ -339,15 +412,15 @@ impl Hnsw {
             return;
         };
 
-        let mut ep_dist = self.d(&q, ep, scratch);
+        let mut ep_dist = self.d(&qd, ep, scratch);
         // Greedy descent through layers above the node's level.
         for lc in ((level as usize + 1)..=(top as usize)).rev() {
-            (ep, ep_dist) = self.greedy_step(&q, ep, ep_dist, lc, scratch);
+            (ep, ep_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
         }
 
         let mut eps: Vec<Neighbor> = vec![Neighbor::new(ep, ep_dist)];
         for lc in (0..=(level.min(top) as usize)).rev() {
-            let w = self.search_layer(&q, &eps, self.config.ef_construction, lc, scratch);
+            let w = self.search_layer(&qd, &eps, self.config.ef_construction, lc, scratch);
             let selected = select_neighbors_heuristic(
                 &self.data,
                 &q,
@@ -383,20 +456,21 @@ impl Hnsw {
     fn plan_insert(&self, id: u32, scratch: &mut SearchScratch) -> InsertPlan {
         let level = self.levels[id as usize];
         let q = self.data.get(id as usize).to_vec();
+        let qd = QueryDist::Exact(&q);
         scratch.begin(self.len());
 
         let (mut ep, top) = self
             .entry_snapshot()
             .expect("plan_insert requires a seeded graph");
-        let mut ep_dist = self.d(&q, ep, scratch);
+        let mut ep_dist = self.d(&qd, ep, scratch);
         for lc in ((level as usize + 1)..=(top as usize)).rev() {
-            (ep, ep_dist) = self.greedy_step(&q, ep, ep_dist, lc, scratch);
+            (ep, ep_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
         }
 
         let mut eps: Vec<Neighbor> = vec![Neighbor::new(ep, ep_dist)];
         let mut layers = Vec::with_capacity(level.min(top) as usize + 1);
         for lc in (0..=(level.min(top) as usize)).rev() {
-            let w = self.search_layer(&q, &eps, self.config.ef_construction, lc, scratch);
+            let w = self.search_layer(&qd, &eps, self.config.ef_construction, lc, scratch);
             let selected = select_neighbors_heuristic(
                 &self.data,
                 &q,
@@ -491,7 +565,7 @@ impl Hnsw {
     /// until no neighbour improves.
     fn greedy_step(
         &self,
-        q: &[f32],
+        q: &QueryDist<'_>,
         mut ep: u32,
         mut ep_dist: f32,
         layer: usize,
@@ -521,7 +595,7 @@ impl Hnsw {
     /// Returns up to `ef` nearest candidates sorted ascending.
     fn search_layer(
         &self,
-        q: &[f32],
+        q: &QueryDist<'_>,
         entry_points: &[Neighbor],
         ef: usize,
         layer: usize,
@@ -586,6 +660,11 @@ impl Hnsw {
             .push_node(level as usize, self.config.m, self.config.m_max0);
         let mut scratch = SearchScratch::with_capacity(self.len());
         self.insert(id, &mut scratch);
+        // The trained grid no longer covers the new point (its bounds may
+        // lie outside the training box), so quantized search is disabled
+        // until the caller retrains; searches fall back to exact rather
+        // than silently rank against a stale grid.
+        self.quant = None;
         id
     }
 
@@ -713,7 +792,9 @@ impl Hnsw {
         self.search_with_scratch(q, k, ef, &mut scratch)
     }
 
-    /// k-NN search reusing caller-provided scratch space.
+    /// k-NN search reusing caller-provided scratch space. Always exact;
+    /// [`Hnsw::search_quantized_with_scratch`] is the quantized-first
+    /// variant.
     pub fn search_with_scratch(
         &self,
         q: &[f32],
@@ -727,21 +808,105 @@ impl Hnsw {
         let Some((mut ep, top)) = *self.entry.read() else {
             return (Vec::new(), SearchStats::default());
         };
+        let qd = QueryDist::Exact(q);
         let ef = ef.max(k);
-        let mut ep_dist = self.d(q, ep, scratch);
+        let mut ep_dist = self.d(&qd, ep, scratch);
         let mut hops = 0u64;
         for lc in (1..=(top as usize)).rev() {
-            let (n_ep, n_dist) = self.greedy_step(q, ep, ep_dist, lc, scratch);
+            let (n_ep, n_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
             ep = n_ep;
             ep_dist = n_dist;
             hops += 1;
         }
-        let w = self.search_layer(q, &[Neighbor::new(ep, ep_dist)], ef, 0, scratch);
+        let w = self.search_layer(&qd, &[Neighbor::new(ep, ep_dist)], ef, 0, scratch);
         let out: Vec<Neighbor> = w.into_iter().take(k).collect();
         (
             out,
             SearchStats {
                 ndist: scratch.ndist(),
+                ndist_quant: 0,
+                rerank: 0,
+                hops,
+                heap_pushes: scratch.heap_pushes,
+                ef_churn: scratch.ef_churn,
+            },
+        )
+    }
+
+    /// Quantized-first k-NN search allocating fresh scratch; see
+    /// [`Hnsw::search_quantized_with_scratch`].
+    pub fn search_quantized(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        rerank_factor: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut scratch = SearchScratch::with_capacity(self.len());
+        self.search_quantized_with_scratch(q, k, ef, rerank_factor, &mut scratch)
+    }
+
+    /// Quantized-first k-NN search (the AQR-HNSW recipe): traverse the
+    /// graph with the SQ8 asymmetric distance at full beam width `ef`,
+    /// take the first `rerank_factor * k` beam survivors as the candidate
+    /// pool, and re-rank that pool with the exact metric before returning
+    /// the best `k`.
+    ///
+    /// The traversal runs in the squared-L2 domain (no per-candidate
+    /// square root) over one byte per dimension, so it is both
+    /// bandwidth- and compute-cheaper than the exact walk; the exact
+    /// stage touches only the pool. Falls back to
+    /// [`Hnsw::search_with_scratch`] when no quantizer is available (empty
+    /// index, non-L2 metric, or a stale grid after [`Hnsw::add`]) — the
+    /// exact-metric fallback, so callers always get correct results.
+    ///
+    /// Determinism: quantized distances are bit-identical across thread
+    /// counts (same chunked kernels, same reduction order), so results
+    /// carry the same reproducibility contract as the exact path.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `rerank_factor == 0`, or the query dimension
+    /// does not match the index.
+    pub fn search_quantized_with_scratch(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        rerank_factor: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert!(k > 0, "k must be positive");
+        assert!(rerank_factor > 0, "rerank_factor must be positive");
+        assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
+        let Some(sq) = self.quant.as_ref() else {
+            return self.search_with_scratch(q, k, ef, scratch);
+        };
+        scratch.begin(self.len());
+        let Some((mut ep, top)) = *self.entry.read() else {
+            return (Vec::new(), SearchStats::default());
+        };
+        let qd = QueryDist::Quant {
+            sq,
+            prep: sq.prepare_query(q),
+        };
+        let ef = ef.max(k);
+        let mut ep_dist = self.d(&qd, ep, scratch);
+        let mut hops = 0u64;
+        for lc in (1..=(top as usize)).rev() {
+            let (n_ep, n_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
+            ep = n_ep;
+            ep_dist = n_dist;
+            hops += 1;
+        }
+        let w = self.search_layer(&qd, &[Neighbor::new(ep, ep_dist)], ef, 0, scratch);
+        let pool = rerank_factor.saturating_mul(k).min(w.len());
+        let out = rerank_exact(self.dist, &self.data, q, &w, pool, k, &mut scratch.ndist);
+        (
+            out,
+            SearchStats {
+                ndist: scratch.ndist(),
+                ndist_quant: scratch.ndist_quant(),
+                rerank: pool as u64,
                 hops,
                 heap_pushes: scratch.heap_pushes,
                 ef_churn: scratch.ef_churn,
@@ -778,6 +943,127 @@ mod tests {
         let (r, s) = idx.search(&[0.0; 4], 3, 10);
         assert!(r.is_empty());
         assert_eq!(s.ndist, 0);
+        let (rq, sq) = idx.search_quantized(&[0.0; 4], 3, 10, 3);
+        assert!(rq.is_empty());
+        assert_eq!(sq.ndist, 0);
+    }
+
+    #[test]
+    fn quantized_search_finds_self_with_exact_distance() {
+        let (data, idx) = small_index(400, 16, 51);
+        let q = data.get(11);
+        let (hits, stats) = idx.search_quantized(q, 5, 64, 3);
+        assert_eq!(hits[0].id, 11);
+        // the re-rank stage scores survivors with the exact metric, so the
+        // self-distance is exactly zero despite the quantized traversal
+        assert_eq!(hits[0].dist, 0.0);
+        assert!(stats.ndist_quant > 0, "traversal should run quantized");
+        assert_eq!(stats.rerank, 15, "pool = rerank_factor * k");
+        assert!(
+            stats.ndist > stats.ndist_quant,
+            "re-rank adds exact evaluations on top"
+        );
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn quantized_recall_within_a_point_of_exact() {
+        // fine-grained unit-norm data is where quantization error bites;
+        // the re-rank pool must recover recall to within 0.01 of exact
+        let data = synth::deep_like(2500, 32, 91);
+        let queries = synth::queries_near(&data, 50, 0.02, 92);
+        let idx = Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(16).seed(91));
+        let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+        let mut scratch = SearchScratch::with_capacity(idx.len());
+        let exact: Vec<_> = (0..queries.len())
+            .map(|i| {
+                idx.search_with_scratch(queries.get(i), 10, 64, &mut scratch)
+                    .0
+            })
+            .collect();
+        let quant: Vec<_> = (0..queries.len())
+            .map(|i| {
+                idx.search_quantized_with_scratch(queries.get(i), 10, 64, 3, &mut scratch)
+                    .0
+            })
+            .collect();
+        let r_exact = ground_truth::recall_at_k(&exact, &gt, 10).mean;
+        let r_quant = ground_truth::recall_at_k(&quant, &gt, 10).mean;
+        assert!(
+            r_quant >= r_exact - 0.01,
+            "quantized recall {r_quant} dropped more than 0.01 below exact {r_exact}"
+        );
+    }
+
+    #[test]
+    fn quantized_search_spends_fewer_exact_evaluations() {
+        let (data, idx) = small_index(1500, 32, 61);
+        let q = data.get(7);
+        let (_, se) = idx.search(q, 10, 64);
+        let (_, sq) = idx.search_quantized(q, 10, 64, 3);
+        let exact_evals = sq.ndist - sq.ndist_quant;
+        assert_eq!(
+            exact_evals, sq.rerank,
+            "the only exact evaluations are the re-rank pool"
+        );
+        assert!(
+            exact_evals < se.ndist / 2,
+            "quantized path should do far fewer exact evals ({exact_evals} vs {})",
+            se.ndist
+        );
+    }
+
+    #[test]
+    fn quantized_search_is_deterministic_across_calls() {
+        let (data, idx) = small_index(800, 16, 71);
+        let mut s1 = SearchScratch::with_capacity(idx.len());
+        let mut s2 = SearchScratch::with_capacity(idx.len());
+        for i in (0..800).step_by(97) {
+            let q = data.get(i);
+            let (a, sa) = idx.search_quantized_with_scratch(q, 5, 48, 3, &mut s1);
+            let (b, sb) = idx.search_quantized_with_scratch(q, 5, 48, 3, &mut s2);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            }
+            assert_eq!(sa, sb, "stats identical too");
+        }
+    }
+
+    #[test]
+    fn add_invalidates_quantizer_and_retrain_restores_it() {
+        let (_, idx) = small_index(200, 8, 41);
+        assert!(idx.quantizer().is_some());
+        let mut idx = idx;
+        idx.add(&[500.0; 8]); // outside the trained box
+        assert!(idx.quantizer().is_none(), "add must invalidate the grid");
+        // fallback still answers exactly
+        let (hits, stats) = idx.search_quantized(&[500.0; 8], 1, 16, 3);
+        assert_eq!(hits[0].id, 200);
+        assert_eq!(stats.ndist_quant, 0, "stale grid must not be used");
+        idx.train_quantizer();
+        assert!(idx.quantizer().is_some());
+        let (hits, stats) = idx.search_quantized(&[500.0; 8], 1, 16, 3);
+        assert_eq!(hits[0].id, 200);
+        assert!(stats.ndist_quant > 0, "retrained grid re-enables quantized");
+    }
+
+    #[test]
+    fn cosine_index_has_no_quantizer_and_falls_back() {
+        let data = synth::deep_like(300, 8, 23);
+        let idx = Hnsw::build(
+            data.clone(),
+            Distance::Cosine,
+            HnswConfig::with_m(8).seed(23),
+        );
+        assert!(idx.quantizer().is_none(), "cosine cannot rank in sq-L2");
+        let (a, stats) = idx.search_quantized(data.get(5), 3, 32, 3);
+        let (b, _) = idx.search(data.get(5), 3, 32);
+        assert_eq!(a, b, "fallback must equal the exact path");
+        assert_eq!(stats.ndist_quant, 0);
     }
 
     #[test]
@@ -1126,6 +1412,7 @@ mod tests {
             vec![0, 0],
             vec![vec![vec![1]], vec![vec![]]],
             Some((0, 0)),
+            None,
         );
         let err = idx.validate().expect_err("asymmetry must be caught");
         assert!(err.contains("asymmetric"), "unexpected error: {err}");
@@ -1149,6 +1436,7 @@ mod tests {
             vec![0; 6],
             links,
             Some((0, 0)),
+            None,
         );
         let err = idx.validate().expect_err("degree overflow must be caught");
         assert!(err.contains("exceeds bound"), "unexpected error: {err}");
@@ -1163,6 +1451,7 @@ mod tests {
             vec![0, 0, 0],
             vec![vec![vec![1]], vec![vec![0]], vec![vec![]]],
             Some((0, 0)),
+            None,
         );
         let err = idx.validate().expect_err("island must be caught");
         assert!(err.contains("unreachable"), "unexpected error: {err}");
@@ -1178,6 +1467,7 @@ mod tests {
             vec![0, 1],
             vec![vec![vec![1]], vec![vec![0], vec![]]],
             Some((0, 0)),
+            None,
         );
         let err = idx.validate().expect_err("stale entry must be caught");
         assert!(

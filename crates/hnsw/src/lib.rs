@@ -35,6 +35,7 @@
 mod config;
 mod graph;
 mod index;
+mod rerank;
 mod scratch;
 mod select;
 mod serialize;

@@ -1,0 +1,113 @@
+//! Full-precision re-ranking stage of the quantized-first search pipeline.
+//!
+//! Quantized traversal ranks candidates with the SQ8 asymmetric distance,
+//! whose per-candidate error is bounded by the grid resolution but not
+//! zero: the final ordering of a survivor pool must therefore be settled
+//! at full precision. This module is the *only* place in the crate where
+//! search-time exact distances are computed — the `quantized-traversal`
+//! lint in `fastann-check` machine-enforces that `greedy_step` /
+//! `search_layer` never touch `squared_l2` or `Distance::eval`, and this
+//! file carries the allowlist entry for the exact stage.
+
+use fastann_data::kernels;
+use fastann_data::{Distance, Neighbor, TopK, VectorSet};
+
+/// Re-ranks the first `pool` candidates of a quantized traversal with the
+/// exact metric and returns the best `k`, sorted ascending. Every exact
+/// evaluation is charged to `ndist` (the same virtual-clock quantity the
+/// traversal charges), so quantized and exact searches stay comparable in
+/// the engine's cost model.
+///
+/// For [`Distance::L2`] the comparison runs in the squared domain and the
+/// square root is applied only to the `k` survivors — monotonicity makes
+/// the ordering identical, and it keeps the exact stage at one kernel
+/// pass per candidate. Other metrics fall through to [`Distance::eval`]
+/// (the exact-metric fallback).
+pub(crate) fn rerank_exact(
+    dist: Distance,
+    data: &VectorSet,
+    q: &[f32],
+    candidates: &[Neighbor],
+    pool: usize,
+    k: usize,
+    ndist: &mut u64,
+) -> Vec<Neighbor> {
+    let pool = pool.min(candidates.len());
+    let mut top = TopK::new(k);
+    match dist {
+        Distance::L2 | Distance::SquaredL2 => {
+            for c in &candidates[..pool] {
+                *ndist += 1;
+                let d = kernels::squared_l2(q, data.get(c.id as usize));
+                top.push(Neighbor::new(c.id, d));
+            }
+            let mut out = top.into_sorted();
+            if dist == Distance::L2 {
+                for n in &mut out {
+                    n.dist = n.dist.sqrt();
+                }
+            }
+            out
+        }
+        _ => {
+            for c in &candidates[..pool] {
+                *ndist += 1;
+                let d = dist.eval(q, data.get(c.id as usize));
+                top.push(Neighbor::new(c.id, d));
+            }
+            top.into_sorted()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastann_data::synth;
+
+    #[test]
+    fn reranked_order_matches_exact_distances() {
+        let data = synth::deep_like(100, 16, 3);
+        let q = data.get(0).to_vec();
+        // a shuffled candidate pool with deliberately wrong (quantized-ish)
+        // distances: rerank must ignore them and re-score exactly
+        let cands: Vec<Neighbor> = (0..40u32)
+            .map(|i| Neighbor::new(i, (40 - i) as f32))
+            .collect();
+        let mut ndist = 0;
+        let out = rerank_exact(Distance::L2, &data, &q, &cands, 40, 5, &mut ndist);
+        assert_eq!(ndist, 40);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].id, 0, "self should re-rank to the front");
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        // distances are the exact metric, not the pool's fake scores
+        let want = Distance::L2.eval(&q, data.get(out[1].id as usize));
+        assert_eq!(out[1].dist.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn pool_smaller_than_requested_is_fine() {
+        let data = synth::sift_like(10, 8, 4);
+        let q = data.get(1).to_vec();
+        let cands = [Neighbor::new(1, 0.5), Neighbor::new(2, 0.7)];
+        let mut ndist = 0;
+        let out = rerank_exact(Distance::SquaredL2, &data, &q, &cands, 30, 5, &mut ndist);
+        assert_eq!(out.len(), 2);
+        assert_eq!(ndist, 2);
+        assert_eq!(out[0].id, 1);
+        assert_eq!(out[0].dist, 0.0);
+    }
+
+    #[test]
+    fn non_l2_metrics_use_the_exact_fallback() {
+        let data = synth::sift_like(20, 8, 5);
+        let q = data.get(0).to_vec();
+        let cands: Vec<Neighbor> = (0..20u32).map(|i| Neighbor::new(i, 0.0)).collect();
+        let mut ndist = 0;
+        let out = rerank_exact(Distance::L1, &data, &q, &cands, 20, 3, &mut ndist);
+        let want = Distance::L1.eval(&q, data.get(out[2].id as usize));
+        assert_eq!(out[2].dist.to_bits(), want.to_bits());
+    }
+}

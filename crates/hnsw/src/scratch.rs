@@ -11,6 +11,9 @@ pub struct SearchScratch {
     /// Distance evaluations performed by the search currently using this
     /// scratch. Read via [`SearchScratch::ndist`].
     pub(crate) ndist: u64,
+    /// Subset of `ndist` evaluated in the quantized (SQ8 asymmetric)
+    /// domain; `ndist - ndist_quant` is the exact-evaluation count.
+    pub(crate) ndist_quant: u64,
     /// Beam pushes performed by the current search (layer 0).
     pub(crate) heap_pushes: u64,
     /// Beam-full evictions performed by the current search (layer 0).
@@ -24,6 +27,7 @@ impl SearchScratch {
             visited: vec![0; n],
             epoch: 0,
             ndist: 0,
+            ndist_quant: 0,
             heap_pushes: 0,
             ef_churn: 0,
         }
@@ -34,6 +38,7 @@ impl SearchScratch {
     pub(crate) fn begin(&mut self, n: usize) {
         self.new_epoch(n);
         self.ndist = 0;
+        self.ndist_quant = 0;
         self.heap_pushes = 0;
         self.ef_churn = 0;
     }
@@ -68,6 +73,12 @@ impl SearchScratch {
     /// Distance evaluations in the search that last used this scratch.
     pub fn ndist(&self) -> u64 {
         self.ndist
+    }
+
+    /// Quantized-domain distance evaluations in the search that last used
+    /// this scratch (a subset of [`SearchScratch::ndist`]).
+    pub fn ndist_quant(&self) -> u64 {
+        self.ndist_quant
     }
 }
 

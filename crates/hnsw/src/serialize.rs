@@ -13,19 +13,28 @@
 //! levels: n × u8
 //! vectors: n × dim × f32
 //! links: per node, per layer 0..=level: len u32, len × u32
+//! quant (v2): present u8 [lo dim × f32, step dim × f32, codes n·dim × u8]
 //! ```
+//!
+//! Version 2 appends the trained SQ8 quantizer so a loaded index searches
+//! quantized-first without retraining; version-1 blobs are still accepted
+//! and retrain their quantizer from the stored vectors on load (same
+//! deterministic grid, since training is a pure function of the data).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use fastann_data::quant::Sq8;
 use fastann_data::{Distance, VectorSet};
 
 use crate::config::HnswConfig;
 use crate::index::Hnsw;
 
 const MAGIC: &[u8; 8] = b"FANNHNSW";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version [`Hnsw::read_from`] still accepts (pre-quantizer).
+const MIN_VERSION: u32 = 1;
 
 /// Errors raised when loading a serialized index.
 #[derive(Debug)]
@@ -155,6 +164,19 @@ impl Hnsw {
                 }
             }
         }
+        match self.quantizer() {
+            Some(sq) => {
+                w.write_all(&[1u8])?;
+                for x in sq.lo() {
+                    w.write_all(&x.to_bits().to_le_bytes())?;
+                }
+                for x in sq.step() {
+                    w.write_all(&x.to_bits().to_le_bytes())?;
+                }
+                w.write_all(sq.codes())?;
+            }
+            None => w.write_all(&[0u8])?,
+        }
         Ok(())
     }
 
@@ -186,7 +208,7 @@ impl Hnsw {
         }
         let mut rd = Reader { inner: r };
         let version = rd.u32()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(LoadError::Format(format!("unsupported version {version}")));
         }
         let dist = dist_from_code(rd.u8()?)?;
@@ -255,9 +277,40 @@ impl Hnsw {
             }
             all_links.push(per_layer);
         }
-        Ok(Hnsw::from_parts(
-            config, dist, data, levels, all_links, entry,
-        ))
+        let quant = if version >= 2 {
+            match rd.u8()? {
+                0 => None,
+                1 => {
+                    let mut lo = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        lo.push(rd.f32()?);
+                    }
+                    let mut step = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        let s = rd.f32()?;
+                        if !s.is_finite() || s <= 0.0 {
+                            return Err(LoadError::Format("non-positive quantizer step".into()));
+                        }
+                        step.push(s);
+                    }
+                    let mut codes = vec![0u8; n * dim];
+                    rd.inner
+                        .read_exact(&mut codes)
+                        .map_err(|_| LoadError::Format("truncated".into()))?;
+                    Some(Sq8::from_parts(dim, lo, step, codes))
+                }
+                x => return Err(LoadError::Format(format!("bad quantizer flag {x}"))),
+            }
+        } else {
+            None
+        };
+        let mut index = Hnsw::from_parts(config, dist, data, levels, all_links, entry, quant);
+        if version < 2 {
+            // pre-quantizer blob: train from the stored vectors (a pure
+            // function of the data, so the grid matches a fresh build)
+            index.train_quantizer();
+        }
+        Ok(index)
     }
 }
 
@@ -348,10 +401,65 @@ mod tests {
 
     #[test]
     fn corrupted_link_target_rejected() {
-        let mut bytes = sample_index().to_bytes();
-        // stomp the last 4 bytes (a link id) with an out-of-range value
-        let n = bytes.len();
-        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let idx = sample_index();
+        let mut bytes = idx.to_bytes();
+        // the links section ends right before the v2 quant section; stomp
+        // the last link id with an out-of-range value
+        let quant_sect = 1 + 8 * idx.dim() + idx.len() * idx.dim();
+        let last_link = bytes.len() - quant_sect - 4;
+        bytes[last_link..last_link + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Hnsw::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)));
+    }
+
+    #[test]
+    fn round_trip_preserves_quantizer_and_quantized_results() {
+        let idx = sample_index();
+        assert!(idx.quantizer().is_some(), "L2 build trains a quantizer");
+        let back = Hnsw::from_bytes(&idx.to_bytes()).expect("round trip");
+        let sq = back
+            .quantizer()
+            .expect("v2 blob carries the trained quantizer");
+        assert_eq!(sq.len(), idx.len());
+        // quantized search answers bit-identically without retraining
+        for i in (0..600).step_by(53) {
+            let q = idx.vectors().get(i);
+            let (a, sa) = idx.search_quantized(q, 5, 32, 3);
+            let (b, sb) = back.search_quantized(q, 5, 32, 3);
+            assert_eq!(a.len(), b.len(), "query {i}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "query {i}");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "query {i}");
+            }
+            assert!(sa.ndist_quant > 0, "traversal ran quantized");
+            assert_eq!(sa.ndist_quant, sb.ndist_quant, "query {i}");
+        }
+    }
+
+    #[test]
+    fn cosine_index_serializes_without_quantizer() {
+        let data = synth::deep_like(150, 8, 81);
+        let idx = Hnsw::build(data, Distance::Cosine, HnswConfig::with_m(4).seed(81));
+        assert!(idx.quantizer().is_none());
+        let back = Hnsw::from_bytes(&idx.to_bytes()).expect("round trip");
+        assert!(back.quantizer().is_none());
+        // quantized search falls back to exact and still answers
+        let q = back.vectors().get(3).to_vec();
+        let (hits, stats) = back.search_quantized(&q, 3, 16, 3);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(stats.ndist_quant, 0, "fallback path is exact");
+    }
+
+    #[test]
+    fn corrupted_quantizer_step_rejected() {
+        let idx = sample_index();
+        let mut bytes = idx.to_bytes();
+        let dim = idx.dim();
+        let n = idx.len();
+        // quant section sits at the tail: flag | lo | step | codes
+        let sect = 1 + 4 * dim + 4 * dim + n * dim;
+        let step0 = bytes.len() - sect + 1 + 4 * dim;
+        bytes[step0..step0 + 4].copy_from_slice(&0.0f32.to_bits().to_le_bytes());
         let err = Hnsw::from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, LoadError::Format(_)));
     }

@@ -1,0 +1,80 @@
+//! Ad-hoc probe of exact vs quantized search quality on clustered data.
+//! Run with `cargo test -p fastann-hnsw --release --test clustered_probe -- --ignored --nocapture`.
+
+use fastann_data::synth::mdcgen;
+use fastann_data::{ground_truth, Distance};
+use fastann_hnsw::{Hnsw, HnswConfig, SearchScratch};
+
+#[test]
+#[ignore]
+fn exact_vs_quantized_on_mdcgen() {
+    let n = 32_000;
+    let ds = mdcgen::generate(&mdcgen::MdcConfig {
+        n_points: n,
+        dim: 512,
+        n_clusters: 10,
+        n_outliers: n / 200,
+        compactness: 0.05,
+        spread: mdcgen::Spread::Mixed,
+        seed: 0x517,
+    });
+    let queries = ds.queries_from_cluster(100, 3, 0.01, 0x518);
+    let data = ds.points;
+    let gt = ground_truth::brute_force(&data, &queries, 10, Distance::L2);
+
+    let index = Hnsw::build(
+        data.clone(),
+        Distance::L2,
+        HnswConfig::with_m(16).ef_construction(100).seed(7),
+    );
+    let mut scratch = SearchScratch::with_capacity(index.len());
+    let mut ex = Vec::new();
+    let mut qu = Vec::new();
+    for qi in 0..queries.len() {
+        let q = queries.get(qi);
+        ex.push(index.search_with_scratch(q, 10, 64, &mut scratch).0);
+        qu.push(
+            index
+                .search_quantized_with_scratch(q, 10, 64, 3, &mut scratch)
+                .0,
+        );
+    }
+    let rex = ground_truth::recall_at_k(&ex, &gt, 10).mean;
+    let rqu = ground_truth::recall_at_k(&qu, &gt, 10).mean;
+    let mean = |rs: &Vec<Vec<fastann_data::Neighbor>>| {
+        rs.iter()
+            .flat_map(|r| r.iter().map(|n| n.dist as f64))
+            .sum::<f64>()
+            / (rs.len() * 10) as f64
+    };
+    println!(
+        "exact recall {rex:.3} (mean dist {:.5}), quantized recall {rqu:.3} (mean dist {:.5}), gt mean {:.5}",
+        mean(&ex),
+        mean(&qu),
+        mean(&gt.iter().map(|r| r.to_vec()).collect())
+    );
+    println!(
+        "q0 exact ids  {:?}",
+        ex[0].iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+    println!(
+        "q0 exact dist {:?}",
+        ex[0].iter().map(|n| n.dist).collect::<Vec<_>>()
+    );
+    println!(
+        "q0 quant ids  {:?}",
+        qu[0].iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+    println!(
+        "q0 quant dist {:?}",
+        qu[0].iter().map(|n| n.dist).collect::<Vec<_>>()
+    );
+    println!(
+        "q0 gt ids     {:?}",
+        gt[0].iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+    println!(
+        "q0 gt dist    {:?}",
+        gt[0].iter().map(|n| n.dist).collect::<Vec<_>>()
+    );
+}
