@@ -19,8 +19,9 @@ echo "==> cargo test -q (real thread pool, FASTANN_THREADS=4)"
 # bit-identical, so the whole suite must stay green.
 FASTANN_THREADS=4 cargo test -q
 
-echo "==> fastann-check lint"
-cargo run -q -p fastann-check -- lint
+echo "==> fastann-check lint (findings archived to target/lint_findings.json)"
+cargo run -q -p fastann-check -- lint --json target/lint_findings.json
+test -s target/lint_findings.json
 
 echo "==> invariant validators are exercised"
 for crate in hnsw vptree mpisim; do

@@ -1,0 +1,416 @@
+//! Minimal Rust lexer for the lint engine.
+//!
+//! Produces a flat token stream with line numbers — enough structure for
+//! pattern-level rules without a full parser. The lexer understands the
+//! constructs a textual pass cannot: cooked strings with escapes, raw
+//! strings (`r"…"`, `r#"…"#`, any hash depth), byte strings and byte
+//! chars, char literals vs. lifetimes, nested block comments, and raw
+//! identifiers. Everything inside a string or comment becomes a single
+//! token of that kind, so rule needles can never match literal or
+//! comment *content* by accident.
+//!
+//! Multi-character operators that rules care about (`::`, compound
+//! assignments, comparisons) are fused into single punct tokens;
+//! delimiters stay single characters so bracket matching in the engine
+//! is uniform.
+
+/// Lexical class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String literal: cooked, raw, byte, or raw byte.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`), including the leading quote.
+    Lifetime,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+    /// `//` comment to end of line (includes `///` and `//!` docs).
+    LineComment,
+    /// `/* … */` comment, nesting handled; may span lines.
+    BlockComment,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line where it
+/// starts.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// `true` for a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Two-character operators fused into a single punct token, longest
+/// first where prefixes overlap.
+const TWO_CHAR_OPS: [&str; 19] = [
+    "::", "->", "=>", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "==", "!=", "<=", ">=", "&&",
+    "||", "..", "<<",
+];
+
+/// Lexes `src` into a token stream. Never fails: malformed input
+/// degrades to punct tokens rather than aborting, so the lint stays
+/// usable on files that do not (yet) compile.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let cs: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // line comment (also /// and //! docs)
+        if c == '/' && cs.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < cs.len() && cs[i] != '\n' {
+                i += 1;
+            }
+            toks.push(tok(TokKind::LineComment, &cs[start..i], line));
+            continue;
+        }
+        // block comment, nesting tracked
+        if c == '/' && cs.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < cs.len() && depth > 0 {
+                if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if cs[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(tok(TokKind::BlockComment, &cs[start..i], start_line));
+            continue;
+        }
+        // raw strings and raw identifiers: r"…", r#"…"#, r#ident
+        if c == 'r' && matches!(cs.get(i + 1), Some('"') | Some('#')) {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while cs.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if cs.get(j) == Some(&'"') {
+                let (end, nl) = raw_string_end(&cs, j + 1, hashes);
+                toks.push(tok(TokKind::Str, &cs[i..end], line));
+                line += nl;
+                i = end;
+                continue;
+            }
+            if hashes == 1 && cs.get(j).is_some_and(|&c| is_ident_start(c)) {
+                let start = i;
+                i = j;
+                while i < cs.len() && is_ident_continue(cs[i]) {
+                    i += 1;
+                }
+                toks.push(tok(TokKind::Ident, &cs[start..i], line));
+                continue;
+            }
+            // a lone `r` before something unexpected: fall through as ident
+        }
+        // byte strings / byte chars: b"…", br#"…"#, b'x'
+        if c == 'b' {
+            match cs.get(i + 1) {
+                Some('"') => {
+                    let (end, nl) = cooked_string_end(&cs, i + 2);
+                    toks.push(tok(TokKind::Str, &cs[i..end], line));
+                    line += nl;
+                    i = end;
+                    continue;
+                }
+                Some('\'') => {
+                    let end = char_literal_end(&cs, i + 2);
+                    toks.push(tok(TokKind::Char, &cs[i..end], line));
+                    i = end;
+                    continue;
+                }
+                Some('r') if matches!(cs.get(i + 2), Some('"') | Some('#')) => {
+                    let mut j = i + 2;
+                    let mut hashes = 0usize;
+                    while cs.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if cs.get(j) == Some(&'"') {
+                        let (end, nl) = raw_string_end(&cs, j + 1, hashes);
+                        toks.push(tok(TokKind::Str, &cs[i..end], line));
+                        line += nl;
+                        i = end;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // cooked string
+        if c == '"' {
+            let (end, nl) = cooked_string_end(&cs, i + 1);
+            toks.push(tok(TokKind::Str, &cs[i..end], line));
+            line += nl;
+            i = end;
+            continue;
+        }
+        // char literal vs lifetime
+        if c == '\'' {
+            if cs.get(i + 1) == Some(&'\\') {
+                let end = char_literal_end(&cs, i + 1);
+                toks.push(tok(TokKind::Char, &cs[i..end], line));
+                i = end;
+                continue;
+            }
+            let next_is_ident = cs.get(i + 1).is_some_and(|&c| is_ident_start(c));
+            if next_is_ident && cs.get(i + 2) != Some(&'\'') {
+                let start = i;
+                i += 1;
+                while i < cs.len() && is_ident_continue(cs[i]) {
+                    i += 1;
+                }
+                toks.push(tok(TokKind::Lifetime, &cs[start..i], line));
+                continue;
+            }
+            let end = char_literal_end(&cs, i + 1);
+            toks.push(tok(TokKind::Char, &cs[i..end], line));
+            i = end;
+            continue;
+        }
+        // number
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < cs.len() {
+                let d = cs[i];
+                let fractional_dot = d == '.'
+                    && cs.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    && cs.get(i.wrapping_sub(1)) != Some(&'.');
+                let exponent_sign = (d == '+' || d == '-')
+                    && matches!(cs.get(i.wrapping_sub(1)), Some('e') | Some('E'));
+                if d.is_ascii_alphanumeric() || d == '_' || fractional_dot || exponent_sign {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(tok(TokKind::Num, &cs[start..i], line));
+            continue;
+        }
+        // identifier / keyword
+        if is_ident_start(c) {
+            let start = i;
+            while i < cs.len() && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Ident, &cs[start..i], line));
+            continue;
+        }
+        // punct: fuse known two-char operators
+        if i + 1 < cs.len() {
+            let pair: String = [cs[i], cs[i + 1]].iter().collect();
+            if TWO_CHAR_OPS.contains(&pair.as_str()) {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: pair,
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+fn tok(kind: TokKind, text: &[char], line: usize) -> Tok {
+    Tok {
+        kind,
+        text: text.iter().collect(),
+        line,
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Scans past a cooked string body starting just after the opening
+/// quote; returns (index one past the closing quote, newlines crossed).
+fn cooked_string_end(cs: &[char], mut i: usize) -> (usize, usize) {
+    let mut nl = 0usize;
+    while i < cs.len() {
+        match cs[i] {
+            '\\' => {
+                if cs.get(i + 1) == Some(&'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
+            '"' => return (i + 1, nl),
+            '\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Scans past a raw string body (after the opening quote) terminated by
+/// a quote followed by `hashes` hash marks; returns (end index,
+/// newlines crossed).
+fn raw_string_end(cs: &[char], mut i: usize, hashes: usize) -> (usize, usize) {
+    let mut nl = 0usize;
+    while i < cs.len() {
+        if cs[i] == '"'
+            && cs[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return (i + 1 + hashes, nl);
+        }
+        if cs[i] == '\n' {
+            nl += 1;
+        }
+        i += 1;
+    }
+    (i, nl)
+}
+
+/// Scans past a char-literal body starting just after the opening quote
+/// (or at the backslash of an escape); returns index one past the
+/// closing quote.
+fn char_literal_end(cs: &[char], mut i: usize) -> usize {
+    while i < cs.len() {
+        match cs[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn needles_inside_strings_and_comments_are_opaque() {
+        let src = r##"
+let a = "x.unwrap() and panic!(oops)";
+// a comment mentioning y.unwrap()
+/* block with thread::spawn( inside /* nested */ still comment */
+let b = r#"raw with .recv(None, None)"#;
+"##;
+        let toks = lex(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "a", "let", "b"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2,
+            "cooked and raw strings each lex as one token"
+        );
+        assert_eq!(toks.iter().filter(|t| t.is_comment()).count(), 2);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; let e = b'z'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3, "{toks:?}");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"two\nlines\";\nlet b = 1; /* c\nc */ let d = 2;\n";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").expect("b is lexed");
+        assert_eq!(b.line, 3);
+        let d = toks.iter().find(|t| t.text == "d").expect("d is lexed");
+        assert_eq!(d.line, 4);
+    }
+
+    #[test]
+    fn two_char_operators_fuse() {
+        let toks = kinds("a += b::c; d != e .. f;");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&".."));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn hashed_raw_strings_with_embedded_quotes() {
+        let toks = lex(r###"let s = r##"a "#quoted"# b"##; let t = 9;"###);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.text == "t"), "lexing resumes after");
+    }
+}

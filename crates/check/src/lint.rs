@@ -1,9 +1,12 @@
-//! Textual lint over the workspace source tree.
+//! Workspace source lint on the token-stream analysis engine.
 //!
-//! Eight rules, all enforced without a Rust parser — the source
-//! conventions of this workspace (one statement per line, one tag-table
-//! field per line) are strict enough for a line lint, and a textual pass
-//! keeps this crate dependency-free:
+//! Twelve rules, run over a lexed token stream ([`crate::lexer`]) with
+//! shared per-file structure ([`crate::engine`]) — strings, char
+//! literals, raw strings, nested block comments and `#[cfg(test)]`
+//! scopes are handled by construction, which closes the textual pass's
+//! blind spots (needles inside literals/comments, multi-line
+//! signatures). The legacy implementation survives as
+//! [`crate::textual`] so the parity regression can prove the port.
 //!
 //! | rule              | meaning                                                        |
 //! |-------------------|----------------------------------------------------------------|
@@ -11,45 +14,30 @@
 //! | `no-panic`        | no panicking macro in non-test library code (simulator exempt) |
 //! | `wildcard-recv`   | no wildcard-source / untagged receive outside the simulator    |
 //! | `tag-registry`    | every `TAG_*` constant and every sent tag is registered        |
-//! | `missing-doc`     | every `pub` item of fastann-core / -mpisim / -serve / -obs / -data / -hnsw has a doc |
+//! | `missing-doc`     | every `pub` item of the registered crates has a doc comment    |
 //! | `no-thread-spawn` | no direct thread spawning outside the simulator — go through the rayon pool |
 //! | `search-batch-variant` | no new `pub fn search_batch*` entry points — one `SearchRequest` builder; only `#[deprecated]` shims may keep the old names |
 //! | `quantized-traversal` | HNSW traversal code goes through `QueryDist` dispatch — no direct exact-distance kernels in `crates/hnsw/src` outside the re-rank stage |
+//! | `det-map-iter`    | no order-exposing `HashMap`/`HashSet` traversal in contract crates without a `det:sort`/`det:fold` annotation |
+//! | `det-wall-clock`  | no `Instant::now`/`SystemTime::now` outside `crates/bench` — reported time is virtual |
+//! | `det-thread-id`   | no `thread::current()`/`available_parallelism` in contract crates — thread identity must not feed reported values |
+//! | `det-float-accum` | no accumulation inside `par_iter`-family statements — use the chunked map/collect + sequential fold idiom |
 //!
 //! Test modules (`#[cfg(test)] mod …`), `tests/` and `benches/`
 //! directories, and `vendor/` stand-ins are out of scope. Justified
 //! violations are suppressed by `crates/check/allowlist.txt`, one
-//! `path rule reason…` triple per line at file + rule granularity.
+//! `path[:line] rule reason…` triple per line — `path:line` pins the
+//! entry to a single line (required practice for the determinism
+//! family). An entry that suppresses nothing is *stale* and fails the
+//! lint, so the allowlist can only shrink as code is fixed.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-// The needles are spliced at compile time so that scanning this very
-// file does not self-flag the patterns as violations.
-const UNWRAP_PAT: &str = concat!(".unw", "rap()");
-const PANIC_PATS: [&str; 4] = [
-    concat!("pan", "ic!("),
-    concat!("unreach", "able!("),
-    concat!("tod", "o!("),
-    concat!("unimplem", "ented!("),
-];
-const RECV_PATS: [&str; 2] = [concat!(".re", "cv("), concat!(".try_", "recv(")];
-const SEND_PATS: [&str; 2] = [concat!(".send_", "bytes("), concat!(".send_", "bytes_at(")];
-const TAG_CONST_PAT: &str = concat!("const ", "TAG_");
-const SPAWN_PATS: [&str; 3] = [
-    concat!("thread::", "spawn("),
-    concat!(".spawn_", "scoped("),
-    concat!("thread::", "Builder::new("),
-];
-const SEARCH_BATCH_PAT: &str = concat!("pub fn search", "_batch");
-const DEPRECATED_PAT: &str = concat!("#[depre", "cated");
-const SQL2_PAT: &str = concat!("squared", "_l2(");
-const EVAL_PAT: &str = concat!(".ev", "al(");
-const TRAVERSAL_FNS: [&str; 2] = [
-    concat!("fn greedy", "_step"),
-    concat!("fn search", "_layer"),
-];
+use crate::engine::FileCtx;
+use crate::lexer;
+use crate::rules;
 
 /// Rule identifier: bare `unwrap` in non-test library code.
 pub const RULE_UNWRAP: &str = "no-unwrap";
@@ -72,6 +60,16 @@ pub const RULE_SEARCH_BATCH: &str = "search-batch-variant";
 /// points; the only sanctioned search-time exact-distance consumer is
 /// the re-rank stage (allowlisted).
 pub const RULE_QUANT: &str = "quantized-traversal";
+/// Rule identifier: order-exposing hash-collection traversal in a
+/// contract crate without a sort-or-fold annotation.
+pub const RULE_DET_MAP_ITER: &str = "det-map-iter";
+/// Rule identifier: wall-clock source in a contract crate.
+pub const RULE_DET_WALL_CLOCK: &str = "det-wall-clock";
+/// Rule identifier: thread-identity leak in a contract crate.
+pub const RULE_DET_THREAD_ID: &str = "det-thread-id";
+/// Rule identifier: accumulation inside a `par_iter`-family statement,
+/// bypassing the chunked order-preserving reduction idiom.
+pub const RULE_DET_FLOAT_ACCUM: &str = "det-float-accum";
 
 /// One lint finding, anchored to a file and line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,14 +84,41 @@ pub struct Violation {
     pub text: String,
 }
 
-/// One `path rule reason…` allowlist entry.
+/// One `path[:line] rule reason…` allowlist entry.
 #[derive(Clone, Debug)]
 pub struct AllowEntry {
     /// File the entry applies to, relative to the workspace root.
     pub path: String,
-    /// Rule identifier it suppresses in that file.
+    /// Line the entry is pinned to; `None` covers the whole file.
+    pub line: Option<usize>,
+    /// Rule identifier it suppresses.
     pub rule: String,
     /// Human justification (free text).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// `true` when this entry covers the violation.
+    fn covers(&self, v: &Violation) -> bool {
+        self.path == v.file && self.rule == v.rule && self.line.is_none_or(|l| l == v.line)
+    }
+
+    /// Rendering used in reports: `path[:line] rule`.
+    fn label(&self) -> String {
+        match self.line {
+            Some(l) => format!("{}:{} {}", self.path, l, self.rule),
+            None => format!("{} {}", self.path, self.rule),
+        }
+    }
+}
+
+/// A finding suppressed by an allowlist entry (kept for the JSON
+/// archive, so post-mortems can see what the allowlist is carrying).
+#[derive(Clone, Debug)]
+pub struct Suppressed {
+    /// The suppressed finding.
+    pub violation: Violation,
+    /// The allowlist entry's justification.
     pub reason: String,
 }
 
@@ -104,16 +129,20 @@ pub struct LintReport {
     pub violations: Vec<Violation>,
     /// Findings suppressed by an allowlist entry.
     pub suppressed: usize,
-    /// Allowlist entries that suppressed nothing (stale — worth pruning).
+    /// Suppressed findings with their justifications.
+    pub suppressed_details: Vec<Suppressed>,
+    /// Allowlist entries that suppressed nothing. Stale entries fail
+    /// the lint: the allowlist can only shrink as code is fixed.
     pub unused_allowlist: Vec<String>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl LintReport {
-    /// `true` when no violation survived the allowlist.
+    /// `true` when no violation survived the allowlist and no allowlist
+    /// entry is stale.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.unused_allowlist.is_empty()
     }
 
     /// Multi-line human rendering for the CLI.
@@ -123,16 +152,88 @@ impl LintReport {
             out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.text));
         }
         for e in &self.unused_allowlist {
-            out.push_str(&format!("warning: unused allowlist entry: {e}\n"));
+            out.push_str(&format!(
+                "stale allowlist entry (suppresses nothing — delete it): {e}\n"
+            ));
         }
         out.push_str(&format!(
-            "lint: {} files scanned, {} violations, {} suppressed by allowlist\n",
+            "lint: {} files scanned, {} violations, {} suppressed by allowlist, {} stale allowlist entries\n",
             self.files_scanned,
             self.violations.len(),
-            self.suppressed
+            self.suppressed,
+            self.unused_allowlist.len()
         ));
         out
     }
+
+    /// Machine-readable rendering: one JSON object with every finding
+    /// (surviving and suppressed), for `target/` archiving and
+    /// post-mortem diffing.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"violations\": [\n");
+        let vs: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"snippet\": {}}}",
+                    json_str(v.rule),
+                    json_str(&v.file),
+                    v.line,
+                    json_str(&v.text)
+                )
+            })
+            .collect();
+        out.push_str(&vs.join(",\n"));
+        if !vs.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"suppressed\": [\n");
+        let ss: Vec<String> = self
+            .suppressed_details
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"snippet\": {}, \"reason\": {}}}",
+                    json_str(s.violation.rule),
+                    json_str(&s.violation.file),
+                    s.violation.line,
+                    json_str(&s.violation.text),
+                    json_str(&s.reason)
+                )
+            })
+            .collect();
+        out.push_str(&ss.join(",\n"));
+        if !ss.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"stale_allowlist\": [");
+        let st: Vec<String> = self.unused_allowlist.iter().map(|e| json_str(e)).collect();
+        out.push_str(&st.join(", "));
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the required escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Runs every rule over the workspace rooted at `root`.
@@ -143,15 +244,7 @@ impl LintReport {
 /// `crates/check/allowlist.txt` (both optional — missing files simply
 /// disable the corresponding mechanism).
 pub fn run(root: &Path) -> io::Result<LintReport> {
-    let mut files = Vec::new();
-    for top in ["crates", "src"] {
-        let dir = root.join(top);
-        if dir.is_dir() {
-            collect_rs(&dir, &mut files)?;
-        }
-    }
-    files.sort();
-
+    let files = workspace_files(root)?;
     let tag_table = parse_tag_table(&root.join("crates/core/src/tags.rs"))?;
     let allowlist = parse_allowlist(&root.join("crates/check/allowlist.txt"))?;
 
@@ -159,7 +252,7 @@ pub fn run(root: &Path) -> io::Result<LintReport> {
     for path in &files {
         let rel = rel_path(root, path);
         let content = fs::read_to_string(path)?;
-        lint_file(&rel, &content, &tag_table, &mut all);
+        all.extend(lint_source(&rel, &content, &tag_table));
     }
 
     let mut used = vec![false; allowlist.len()];
@@ -168,25 +261,63 @@ pub fn run(root: &Path) -> io::Result<LintReport> {
         ..LintReport::default()
     };
     for v in all {
-        let hit = allowlist
-            .iter()
-            .position(|e| e.path == v.file && e.rule == v.rule);
-        match hit {
+        match allowlist.iter().position(|e| e.covers(&v)) {
             Some(i) => {
                 used[i] = true;
                 report.suppressed += 1;
+                report.suppressed_details.push(Suppressed {
+                    violation: v,
+                    reason: allowlist[i].reason.clone(),
+                });
             }
             None => report.violations.push(v),
         }
     }
     for (e, used) in allowlist.iter().zip(used) {
         if !used {
-            report
-                .unused_allowlist
-                .push(format!("{} {}", e.path, e.rule));
+            report.unused_allowlist.push(e.label());
         }
     }
     Ok(report)
+}
+
+/// Lints one file's source with the token engine; returns raw findings
+/// (no allowlist applied). This is the entry point the fixture corpus
+/// tests drive directly.
+pub fn lint_source(rel: &str, content: &str, tag_table: &[(String, u64)]) -> Vec<Violation> {
+    let toks = lexer::lex(content);
+    let ctx = FileCtx::new(rel, content, &toks, tag_table);
+    let mut out = Vec::new();
+    rules::run_all(&ctx, &mut out);
+    out
+}
+
+/// Raw engine findings over the whole workspace, no allowlist applied.
+/// Used by the parity regression against the textual reference pass.
+pub fn raw_findings(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = workspace_files(root)?;
+    let tag_table = parse_tag_table(&root.join("crates/core/src/tags.rs"))?;
+    let mut all = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let content = fs::read_to_string(path)?;
+        all.extend(lint_source(&rel, &content, &tag_table));
+    }
+    Ok(all)
+}
+
+/// The `.rs` files the lint scans, sorted: `crates/*/src/**` and
+/// `src/**`, skipping `tests/`, `benches/`, `vendor/`, `target/`.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -207,7 +338,8 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-fn rel_path(root: &Path, path: &Path) -> String {
+/// Workspace-relative rendering of `path`, forward slashes.
+pub fn rel_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .to_string_lossy()
@@ -216,7 +348,7 @@ fn rel_path(root: &Path, path: &Path) -> String {
 
 /// Parses `(name, value)` pairs out of the tag-table source. Relies on
 /// the "one field per line" convention documented on `TAG_TABLE`.
-fn parse_tag_table(path: &Path) -> io::Result<Vec<(String, u64)>> {
+pub fn parse_tag_table(path: &Path) -> io::Result<Vec<(String, u64)>> {
     if !path.is_file() {
         return Ok(Vec::new());
     }
@@ -239,7 +371,9 @@ fn parse_tag_table(path: &Path) -> io::Result<Vec<(String, u64)>> {
     Ok(pairs)
 }
 
-fn parse_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
+/// Parses the allowlist: one `path[:line] rule reason…` entry per line;
+/// `#` comments and blank lines are skipped.
+pub fn parse_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
     if !path.is_file() {
         return Ok(Vec::new());
     }
@@ -251,9 +385,18 @@ fn parse_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
             continue;
         }
         let mut parts = t.splitn(3, char::is_whitespace);
-        if let (Some(path), Some(rule)) = (parts.next(), parts.next()) {
+        if let (Some(path_spec), Some(rule)) = (parts.next(), parts.next()) {
+            // `path:line` pins the entry to one line; `.rs` paths always
+            // end with a suffix, so a trailing `:<digits>` is unambiguous
+            let (path, line) = match path_spec.rsplit_once(':') {
+                Some((p, l)) if l.chars().all(|c| c.is_ascii_digit()) && !l.is_empty() => {
+                    (p, l.parse::<usize>().ok())
+                }
+                _ => (path_spec, None),
+            };
             entries.push(AllowEntry {
                 path: path.to_string(),
+                line,
                 rule: rule.to_string(),
                 reason: parts.next().unwrap_or("").trim().to_string(),
             });
@@ -262,286 +405,13 @@ fn parse_allowlist(path: &Path) -> io::Result<Vec<AllowEntry>> {
     Ok(entries)
 }
 
-/// Lints one file; appends findings to `out`.
-fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Vec<Violation>) {
-    let is_mpisim = rel.starts_with("crates/mpisim/");
-    let is_tags_file = rel == "crates/core/src/tags.rs";
-    let is_hnsw = rel.starts_with("crates/hnsw/src");
-    let wants_docs = rel.starts_with("crates/core/src")
-        || rel.starts_with("crates/mpisim/src")
-        || rel.starts_with("crates/serve/src")
-        || rel.starts_with("crates/obs/src")
-        || rel.starts_with("crates/data/src")
-        || rel.starts_with("crates/hnsw/src");
-
-    let lines: Vec<&str> = content.lines().collect();
-    let mut in_test = false;
-    let mut test_depth: i64 = 0;
-    let mut pending_cfg_test = false;
-    // quantized-traversal: brace-counted span of an HNSW traversal fn
-    // (the multi-line signature has not opened a brace yet, so the span
-    // only ends once an opening brace has been seen and depth returns
-    // to zero).
-    let mut in_traversal = false;
-    let mut trav_depth: i64 = 0;
-    let mut trav_opened = false;
-
-    for (i, raw) in lines.iter().enumerate() {
-        let line_no = i + 1;
-        let t = raw.trim();
-        let opens = raw.matches('{').count() as i64;
-        let closes = raw.matches('}').count() as i64;
-
-        if in_test {
-            test_depth += opens - closes;
-            if test_depth <= 0 {
-                in_test = false;
-            }
-            continue;
-        }
-        if t.starts_with("#[cfg(test)]") {
-            pending_cfg_test = true;
-            continue;
-        }
-        if pending_cfg_test {
-            if t.starts_with("#[") {
-                continue; // further attributes on the same item
-            }
-            pending_cfg_test = false;
-            if t.starts_with("mod ") || t.starts_with("pub mod ") {
-                in_test = true;
-                test_depth = opens - closes;
-                if test_depth <= 0 {
-                    in_test = false;
-                }
-                continue;
-            }
-        }
-
-        let is_comment = t.starts_with("//");
-
-        // quantized-traversal: inside greedy_step / search_layer every
-        // distance goes through QueryDist dispatch, so a direct metric
-        // eval there reintroduces a second distance domain into the beam.
-        if in_traversal {
-            if !is_comment && t.contains(EVAL_PAT) {
-                out.push(violation(rel, line_no, RULE_QUANT, t));
-            }
-            if opens > 0 {
-                trav_opened = true;
-            }
-            trav_depth += opens - closes;
-            if trav_opened && trav_depth <= 0 {
-                in_traversal = false;
-            }
-        } else if is_hnsw && !is_comment && TRAVERSAL_FNS.iter().any(|p| t.contains(p)) {
-            in_traversal = true;
-            trav_opened = opens > 0;
-            trav_depth = opens - closes;
-            if trav_opened && trav_depth <= 0 {
-                in_traversal = false;
-            }
-        }
-
-        // quantized-traversal: the raw exact kernel may not be called
-        // anywhere in the HNSW crate — the re-rank stage is the one
-        // sanctioned consumer and carries the allowlist entry.
-        if is_hnsw && !is_comment && t.contains(SQL2_PAT) {
-            out.push(violation(rel, line_no, RULE_QUANT, t));
-        }
-
-        if !is_comment {
-            // no-unwrap
-            if t.contains(UNWRAP_PAT) {
-                out.push(violation(rel, line_no, RULE_UNWRAP, t));
-            }
-
-            // no-panic (the simulator's own internals legitimately panic:
-            // a simulated-rank panic is the simulated fault model)
-            if !is_mpisim && PANIC_PATS.iter().any(|p| t.contains(p)) {
-                out.push(violation(rel, line_no, RULE_PANIC, t));
-            }
-
-            // no-thread-spawn: all real parallelism goes through the
-            // vendored rayon pool (deterministic, order-preserving) — the
-            // only legitimate direct spawner is the cluster simulator's
-            // rank scheduler. The vendored pool itself lives under
-            // `vendor/`, which the file walk already skips.
-            if !is_mpisim && SPAWN_PATS.iter().any(|p| t.contains(p)) {
-                out.push(violation(rel, line_no, RULE_SPAWN, t));
-            }
-
-            // search-batch-variant: the five legacy entry points survive
-            // only as `#[deprecated]` shims over the SearchRequest
-            // builder; a new public variant of the family must not
-            // appear. A shim is recognized by its deprecation attribute
-            // on one of the five preceding lines.
-            if t.contains(SEARCH_BATCH_PAT) {
-                let shim = lines[i.saturating_sub(5)..i]
-                    .iter()
-                    .any(|l| l.trim_start().starts_with(DEPRECATED_PAT));
-                if !shim {
-                    out.push(violation(rel, line_no, RULE_SEARCH_BATCH, t));
-                }
-            }
-
-            // wildcard-recv
-            if !is_mpisim {
-                for pat in RECV_PATS {
-                    if let Some(pos) = t.find(pat) {
-                        let args = call_args(&t[pos + pat.len()..]);
-                        if args.contains("None") {
-                            out.push(violation(rel, line_no, RULE_RECV, t));
-                            break;
-                        }
-                    }
-                }
-            }
-
-            // tag-registry, part 1: declarations must match the table
-            if !is_mpisim && !is_tags_file {
-                if let Some(pos) = t.find(TAG_CONST_PAT) {
-                    let name_start = pos + TAG_CONST_PAT.len() - 4; // keep "TAG_"
-                    let rest = &t[name_start..];
-                    if let Some(colon) = rest.find(':') {
-                        let name = rest[..colon].trim();
-                        let value = rest
-                            .split('=')
-                            .nth(1)
-                            .and_then(|v| v.trim().trim_end_matches(';').parse::<u64>().ok());
-                        if let Some(value) = value {
-                            let registered =
-                                tag_table.iter().any(|(n, v)| n == name && *v == value);
-                            if !registered {
-                                out.push(Violation {
-                                    file: rel.to_string(),
-                                    line: line_no,
-                                    rule: RULE_TAG,
-                                    text: format!(
-                                        "{name} = {value} is not registered in core/src/tags.rs TAG_TABLE"
-                                    ),
-                                });
-                            }
-                        }
-                    }
-                }
-
-                // tag-registry, part 2: sent tags must be symbolic
-                for pat in SEND_PATS {
-                    if let Some(pos) = t.find(pat) {
-                        let joined = lines[i..lines.len().min(i + 3)].join(" ");
-                        let jpos = joined.find(pat).map(|p| p + pat.len()).unwrap_or(0);
-                        let args: Vec<&str> = joined[jpos..].splitn(3, ',').collect();
-                        let tag_ok = args
-                            .get(1)
-                            .map(|a| a.contains("TAG_") || a.to_lowercase().contains("tag"))
-                            .unwrap_or(false);
-                        if !tag_ok {
-                            out.push(Violation {
-                                file: rel.to_string(),
-                                line: line_no,
-                                rule: RULE_TAG,
-                                text: format!(
-                                    "tag argument is not a TAG_* identifier: {}",
-                                    &t[pos..]
-                                ),
-                            });
-                        }
-                        break;
-                    }
-                }
-            }
-        }
-
-        // missing-doc
-        if wants_docs && !is_comment && is_pub_item(t) {
-            let mut j = i;
-            let mut documented = false;
-            while j > 0 {
-                j -= 1;
-                let prev = lines[j].trim();
-                if prev.starts_with("///") {
-                    documented = true;
-                    break;
-                }
-                // walk through attributes (including wrapped ones)
-                if prev.starts_with("#[") || prev.starts_with("#![") || prev.ends_with(")]") {
-                    continue;
-                }
-                break;
-            }
-            if !documented {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: line_no,
-                    rule: RULE_DOC,
-                    text: format!("undocumented public item: {}", first_words(t, 6)),
-                });
-            }
-        }
-    }
-}
-
-fn violation(rel: &str, line: usize, rule: &'static str, text: &str) -> Violation {
-    Violation {
-        file: rel.to_string(),
-        line,
-        rule,
-        text: text.to_string(),
-    }
-}
-
-/// The argument span of a call: `rest` starts just past the opening
-/// parenthesis; the span ends at the matching close (or end of line for
-/// calls that wrap).
-fn call_args(rest: &str) -> &str {
-    let mut depth = 1usize;
-    for (i, c) in rest.char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return &rest[..i];
-                }
-            }
-            _ => {}
-        }
-    }
-    rest
-}
-
-/// Is this line the head of a `pub` item that needs a doc comment?
-/// `pub(crate)` and `pub use` are exempt.
-fn is_pub_item(t: &str) -> bool {
-    const HEADS: [&str; 10] = [
-        "pub fn ",
-        "pub async fn ",
-        "pub struct ",
-        "pub enum ",
-        "pub trait ",
-        "pub const ",
-        "pub static ",
-        "pub type ",
-        "pub mod ",
-        "pub union ",
-    ];
-    HEADS.iter().any(|h| t.starts_with(h))
-}
-
-fn first_words(t: &str, n: usize) -> String {
-    t.split_whitespace().take(n).collect::<Vec<_>>().join(" ")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn lint_str(rel: &str, src: &str) -> Vec<Violation> {
         let table = vec![("TAG_GOOD".to_string(), 7u64)];
-        let mut out = Vec::new();
-        lint_file(rel, src, &table, &mut out);
-        out
+        lint_source(rel, src, &table)
     }
 
     #[test]
@@ -554,9 +424,13 @@ mod tests {
     }
 
     #[test]
-    fn ignores_test_modules_and_comments() {
+    fn ignores_test_modules_comments_and_strings() {
         let src = "\
 // a comment mentioning x.unwrap() and rank.recv(None, None)
+fn g() -> String {
+    let s = \"docs may say panic!(never) or a.unwrap() safely\";
+    s.to_string()
+}
 #[cfg(test)]
 mod tests {
     fn f() {
@@ -583,6 +457,16 @@ mod tests {
         let v = lint_str("crates/kdtree/src/x.rs", src);
         assert_eq!(v.len(), 3, "{v:?}");
         assert!(v.iter().all(|v| v.rule == RULE_RECV));
+    }
+
+    #[test]
+    fn recv_rule_sees_across_wrapped_lines() {
+        // the textual pass only looked at one line; the engine matches
+        // the whole argument span
+        let src = "fn f(rank: &mut Rank) {\n    let a = rank.recv(\n        None,\n        Some(3),\n    );\n}\n";
+        let v = lint_str("crates/kdtree/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_RECV);
     }
 
     #[test]
@@ -627,8 +511,7 @@ mod tests {
     #[test]
     fn flags_undocumented_pub_items_in_registered_crates_only() {
         let src = "pub fn naked() {}\n\n/// Documented.\npub fn clothed() {}\n\npub use other::thing;\npub(crate) fn internal() {}\n";
-        // core, mpisim, serve, obs, data and hnsw are registered under
-        // the doc rule
+        // vptree and kdtree joined the registry with the token engine
         for dir in [
             "crates/core/src",
             "crates/mpisim/src",
@@ -636,6 +519,8 @@ mod tests {
             "crates/obs/src",
             "crates/data/src",
             "crates/hnsw/src",
+            "crates/vptree/src",
+            "crates/kdtree/src",
         ] {
             let v = lint_str(&format!("{dir}/x.rs"), src);
             assert_eq!(v.len(), 1, "{dir}: {v:?}");
@@ -643,54 +528,55 @@ mod tests {
             assert_eq!(v[0].line, 1);
         }
         // other crates are not under the doc rule
-        assert!(lint_str("crates/vptree/src/x.rs", src).is_empty());
+        assert!(lint_str("crates/check/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_rule_handles_multiline_attributes() {
+        // wrapped attribute between the doc and the item — the textual
+        // pass's line heuristic could not see past this
+        let src = "/// Documented.\n#[deprecated(\n    note = \"old\",\n)]\npub fn old_one() {}\n";
+        assert!(lint_str("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
     fn flags_new_search_batch_variants_but_not_deprecated_shims() {
-        let fresh = format!("/// Documented, but still a new variant.\n{SEARCH_BATCH_PAT}_faster(q: &Q) -> R {{}}\n");
-        let v = lint_str("crates/core/src/x.rs", &fresh);
+        let fresh =
+            "/// Documented, but still a new variant.\npub fn search_batch_faster(q: &Q) -> R {}\n";
+        let v = lint_str("crates/core/src/x.rs", fresh);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, RULE_SEARCH_BATCH);
-        // the deprecation attribute (within five lines above) marks a shim
-        let shim = format!(
-            "/// Old entry point.\n{DEPRECATED_PAT}(note = \"use the builder\")]\n{SEARCH_BATCH_PAT}(q: &Q) -> R {{}}\n"
-        );
-        assert!(lint_str("crates/core/src/x.rs", &shim).is_empty());
-        // mentions in comments and `pub use` re-exports are fine
-        let bench = format!("// docs may mention {SEARCH_BATCH_PAT}\n");
-        assert!(lint_str("crates/bench/src/x.rs", &bench).is_empty());
+        // the deprecation attribute marks a shim
+        let shim = "/// Old entry point.\n#[deprecated(note = \"use the builder\")]\npub fn search_batch(q: &Q) -> R {}\n";
+        assert!(lint_str("crates/core/src/x.rs", shim).is_empty());
+        // mentions in comments are fine
+        let bench = "// docs may mention pub fn search_batch\n";
+        assert!(lint_str("crates/bench/src/x.rs", bench).is_empty());
     }
 
     #[test]
     fn flags_exact_kernels_in_hnsw_but_not_elsewhere() {
-        let src =
-            format!("fn f(a: &[f32], b: &[f32]) -> f32 {{\n    kernels::{SQL2_PAT}a, b)\n}}\n");
-        let v = lint_str("crates/hnsw/src/x.rs", &src);
+        let src = "fn f(a: &[f32], b: &[f32]) -> f32 {\n    kernels::squared_l2(a, b)\n}\n";
+        let v = lint_str("crates/hnsw/src/x.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, RULE_QUANT);
         assert_eq!(v[0].line, 2);
         // the same call is fine outside the HNSW crate and in comments
-        assert!(lint_str("crates/core/src/x.rs", &src).is_empty());
-        let doc = format!("// re-ranking uses {SQL2_PAT}..)\n");
-        assert!(lint_str("crates/hnsw/src/x.rs", &doc).is_empty());
+        assert!(lint_str("crates/core/src/x.rs", src).is_empty());
+        let doc = "// re-ranking uses squared_l2(..)\n";
+        assert!(lint_str("crates/hnsw/src/x.rs", doc).is_empty());
     }
 
     #[test]
     fn flags_metric_eval_inside_traversal_spans_only() {
-        let trav = TRAVERSAL_FNS[1];
-        let src = format!(
-            "impl Hnsw {{\n    {trav}(\n        &self,\n        q: &QueryDist<'_>,\n    ) -> Vec<Neighbor> {{\n        let d = self.dist{EVAL_PAT}q, v);\n        d\n    }}\n\n    fn link_back(&self) {{\n        let d = self.dist{EVAL_PAT}a, b);\n    }}\n}}\n"
-        );
-        let v = lint_str("crates/hnsw/src/x.rs", &src);
+        let src = "impl Hnsw {\n    fn search_layer(\n        &self,\n        q: &QueryDist<'_>,\n    ) -> Vec<Neighbor> {\n        let d = self.dist.eval(q, v);\n        d\n    }\n\n    fn link_back(&self) {\n        let d = self.dist.eval(a, b);\n    }\n}\n";
+        let v = lint_str("crates/hnsw/src/x.rs", src);
         assert_eq!(v.len(), 1, "construction-time evals stay legal: {v:?}");
         assert_eq!(v[0].rule, RULE_QUANT);
         assert_eq!(v[0].line, 6);
         // traversal fns that stick to QueryDist dispatch are clean
-        let good = format!(
-            "impl Hnsw {{\n    {trav}(&self, q: &QueryDist<'_>) -> Vec<Neighbor> {{\n        let d = self.d(q, id, scratch);\n        d\n    }}\n}}\n"
-        );
-        assert!(lint_str("crates/hnsw/src/x.rs", &good).is_empty());
+        let good = "impl Hnsw {\n    fn search_layer(&self, q: &QueryDist<'_>) -> Vec<Neighbor> {\n        let d = self.d(q, id, scratch);\n        d\n    }\n}\n";
+        assert!(lint_str("crates/hnsw/src/x.rs", good).is_empty());
     }
 
     #[test]
@@ -700,7 +586,117 @@ mod tests {
     }
 
     #[test]
-    fn allowlist_suppresses_at_file_rule_granularity() {
+    fn det_map_iter_flags_unannotated_hash_traversal() {
+        let src = "\
+fn f() {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(1);
+    for s in seen {
+        use_it(s);
+    }
+}
+";
+        let v = lint_str("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DET_MAP_ITER);
+        assert_eq!(v[0].line, 4);
+        // the same traversal with a det:fold annotation is sanctioned
+        let annotated = src.replace(
+            "for s in seen {",
+            "// det:fold — commutative: each element lands in its own slot\n    for s in seen {",
+        );
+        assert!(lint_str("crates/core/src/x.rs", &annotated).is_empty());
+        // contract scope: the check crate itself is exempt
+        assert!(lint_str("crates/check/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn det_map_iter_flags_methods_and_fields() {
+        let src = "\
+struct S {
+    map: HashMap<u64, usize>,
+}
+impl S {
+    fn g(&self) -> Vec<u64> {
+        self.map.keys().copied().collect()
+    }
+}
+";
+        let v = lint_str("crates/serve/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DET_MAP_ITER);
+        // lookups and size probes stay clean
+        let good = "\
+struct S {
+    map: HashMap<u64, usize>,
+}
+impl S {
+    fn g(&self) -> usize {
+        self.map.get(&1).copied().unwrap_or(0) + self.map.len()
+    }
+}
+";
+        assert!(lint_str("crates/serve/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn det_wall_clock_flags_contract_crates_only() {
+        let src = "fn f() -> u128 {\n    let t0 = std::time::Instant::now();\n    t0.elapsed().as_nanos()\n}\n";
+        let v = lint_str("crates/obs/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DET_WALL_CLOCK);
+        assert_eq!(v[0].line, 2);
+        // the bench crate measures the real host by design
+        assert!(lint_str("crates/bench/src/bin/perf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn det_thread_id_flags_identity_leaks() {
+        let src = "fn f() -> usize {\n    std::thread::available_parallelism().map_or(1, usize::from)\n}\n";
+        let v = lint_str("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DET_THREAD_ID);
+        let src2 = "fn g() {\n    let id = std::thread::current().id();\n}\n";
+        let v2 = lint_str("crates/core/src/x.rs", src2);
+        assert_eq!(v2.len(), 1, "{v2:?}");
+        assert_eq!(v2[0].rule, RULE_DET_THREAD_ID);
+    }
+
+    #[test]
+    fn det_float_accum_flags_par_side_reduction() {
+        let src = "\
+fn f(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    xs.par_iter().for_each(|x| {
+        acc += x;
+    });
+    acc
+}
+";
+        let v = lint_str("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DET_FLOAT_ACCUM);
+        // the chunked idiom — par map/collect, sequential fold — is clean
+        let good = "\
+fn f(xs: &[f32]) -> f32 {
+    let parts: Vec<f32> = xs.par_iter().map(|x| x * 2.0).collect();
+    let mut acc = 0.0f32;
+    for p in parts {
+        acc += p;
+    }
+    acc
+}
+";
+        assert!(lint_str("crates/core/src/x.rs", good).is_empty());
+        // par-side sum() bypasses the idiom even without a captured var
+        let sum = "fn f(xs: &[f32]) -> f32 {\n    xs.par_iter().sum::<f32>()\n}\n";
+        let v = lint_str("crates/core/src/x.rs", sum);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DET_FLOAT_ACCUM);
+    }
+
+    #[test]
+    fn allowlist_supports_file_and_line_granularity() {
         use std::io::Write as _;
         let dir = std::env::temp_dir().join(format!("fastann-check-lint-{}", std::process::id()));
         let src_dir = dir.join("crates/x/src");
@@ -708,18 +704,79 @@ mod tests {
         fs::create_dir_all(dir.join("crates/check")).expect("temp tree is creatable");
         let mut f = fs::File::create(src_dir.join("lib.rs")).expect("temp file is creatable");
         writeln!(f, "fn f() {{\n    g().unwrap();\n    h().unwrap();\n}}").expect("write succeeds");
+        // file-granular entry covers both findings
         fs::write(
             dir.join("crates/check/allowlist.txt"),
-            "crates/x/src/lib.rs no-unwrap temp fixture\ncrates/x/src/lib.rs no-panic stale entry\n",
+            "crates/x/src/lib.rs no-unwrap temp fixture\n",
         )
         .expect("allowlist is writable");
         let report = run(&dir).expect("lint runs");
         assert!(report.is_clean(), "{:?}", report.violations);
         assert_eq!(report.suppressed, 2);
+        // line-granular entry covers exactly its line
+        fs::write(
+            dir.join("crates/check/allowlist.txt"),
+            "crates/x/src/lib.rs:2 no-unwrap only the first one\n",
+        )
+        .expect("allowlist is writable");
+        let report = run(&dir).expect("lint runs");
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].line, 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_allowlist_entries_fail_the_lint() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("fastann-check-stale-{}", std::process::id()));
+        let src_dir = dir.join("crates/x/src");
+        fs::create_dir_all(&src_dir).expect("temp tree is creatable");
+        fs::create_dir_all(dir.join("crates/check")).expect("temp tree is creatable");
+        let mut f = fs::File::create(src_dir.join("lib.rs")).expect("temp file is creatable");
+        writeln!(f, "fn f() {{}}").expect("write succeeds");
+        fs::write(
+            dir.join("crates/check/allowlist.txt"),
+            "crates/x/src/lib.rs no-panic stale entry\n",
+        )
+        .expect("allowlist is writable");
+        let report = run(&dir).expect("lint runs");
+        assert!(!report.is_clean(), "a stale entry must fail the lint");
+        assert!(report.violations.is_empty());
         assert_eq!(
             report.unused_allowlist,
             vec!["crates/x/src/lib.rs no-panic".to_string()]
         );
+        assert!(report.render().contains("stale allowlist entry"));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_lists_findings() {
+        let report = LintReport {
+            violations: vec![Violation {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                rule: RULE_UNWRAP,
+                text: "g(\"quote\\\").unwrap();".to_string(),
+            }],
+            suppressed: 1,
+            suppressed_details: vec![Suppressed {
+                violation: Violation {
+                    file: "crates/y/src/lib.rs".to_string(),
+                    line: 9,
+                    rule: RULE_PANIC,
+                    text: "panic!(\"boom\")".to_string(),
+                },
+                reason: "fatal by design".to_string(),
+            }],
+            unused_allowlist: vec![],
+            files_scanned: 2,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"files_scanned\": 2"), "{json}");
+        assert!(json.contains("\\\"quote\\\\\\\""), "{json}");
+        assert!(json.contains("\"reason\": \"fatal by design\""), "{json}");
+        assert!(json.contains("\"stale_allowlist\": []"), "{json}");
     }
 }

@@ -1,9 +1,13 @@
 //! `fastann-check` CLI — the CI entry points of the correctness tooling.
 //!
 //! ```text
-//! fastann-check lint [--root PATH]       # workspace source lint
-//! fastann-check race [--k N] [--seed S]  # K-interleaving race smoke
+//! fastann-check lint [--root PATH] [--json FILE]  # workspace source lint
+//! fastann-check race [--k N] [--seed S]           # K-interleaving race smoke
 //! ```
+//!
+//! `--json` additionally writes the full report (violations, suppressed
+//! findings with reasons, stale allowlist entries) as machine-readable
+//! JSON, which CI archives under `target/` for post-mortem diffing.
 //!
 //! Both subcommands exit non-zero on findings, so `ci.sh` can gate on
 //! them directly.
@@ -22,7 +26,7 @@ fn main() -> ExitCode {
         Some("race") => run_race(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fastann-check lint [--root PATH]\n       fastann-check race [--k N] [--seed S]"
+                "usage: fastann-check lint [--root PATH] [--json FILE]\n       fastann-check race [--k N] [--seed S]"
             );
             ExitCode::from(2)
         }
@@ -38,6 +42,24 @@ fn run_lint(args: &[String]) -> ExitCode {
     match lint::run(&root) {
         Ok(report) => {
             print!("{}", report.render());
+            if let Some(json_path) = flag_value(args, "--json") {
+                let path = std::path::Path::new(json_path);
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        if let Err(e) = std::fs::create_dir_all(parent) {
+                            eprintln!(
+                                "fastann-check lint: cannot create {}: {e}",
+                                parent.display()
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if let Err(e) = std::fs::write(path, report.render_json()) {
+                    eprintln!("fastann-check lint: cannot write {json_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             if report.files_scanned == 0 {
                 // a bad --root (or wrong cwd) must not green-light CI
                 eprintln!(

@@ -24,6 +24,10 @@ const WINDOW: usize = 4;
 pub struct Divergence {
     /// The perturbation seed that exposed the race.
     pub seed: u64,
+    /// Position of the diverging schedule in the exploration order
+    /// (0-based): rerunning with the same base seed and `k >
+    /// schedule_index` replays this exact interleaving.
+    pub schedule_index: usize,
     /// Index of the first diverging event (may equal the shorter run's
     /// length when one interleaving produced extra events).
     pub index: usize,
@@ -38,6 +42,10 @@ pub struct Divergence {
 pub struct RaceReport {
     /// How many perturbed runs were executed (the baseline is extra).
     pub runs: usize,
+    /// The base seed the perturbation seeds were derived from; together
+    /// with a divergence's `schedule_index` it pins the exact
+    /// reproducing invocation.
+    pub base_seed: u64,
     /// Event count of the identity-schedule baseline.
     pub baseline_len: usize,
     /// All divergences found, one per diverging seed.
@@ -66,6 +74,16 @@ impl RaceReport {
             for e in &d.perturbed_window {
                 out.push_str(&format!("    {e}\n"));
             }
+            // the exact reproducing invocation: the derived seed is a
+            // pure function of (base seed, schedule index), so a run
+            // with k just past the index replays this interleaving
+            out.push_str(&format!(
+                "  reproduce: cargo run -p fastann-check -- race --k {} --seed {:#x}  (schedule index {}, derived seed {:#x})\n",
+                d.schedule_index + 1,
+                self.base_seed,
+                d.schedule_index,
+                d.seed
+            ));
         }
         out.push_str(&format!(
             "race: {} perturbed runs against a {}-event baseline, {} divergences\n",
@@ -96,6 +114,7 @@ where
         if let Some(index) = first_divergence(&baseline, &run) {
             divergences.push(Divergence {
                 seed,
+                schedule_index: i,
                 index,
                 baseline_window: window(&baseline, index),
                 perturbed_window: window(&run, index),
@@ -104,6 +123,7 @@ where
     }
     RaceReport {
         runs: k,
+        base_seed,
         baseline_len: baseline.len(),
         divergences,
     }
@@ -217,10 +237,13 @@ mod tests {
         };
         let report = explore(3, 99, workload);
         assert_eq!(report.runs, 3);
+        assert_eq!(report.base_seed, 99);
         assert_eq!(report.baseline_len, 10);
         assert_eq!(report.divergences.len(), 3);
         let d = &report.divergences[0];
         assert_eq!(d.index, 6);
+        assert_eq!(d.schedule_index, 0);
+        assert_eq!(report.divergences[2].schedule_index, 2);
         assert_eq!(d.baseline_window.last().map(String::as_str), Some("evt-6"));
         assert_eq!(
             d.perturbed_window.last().map(String::as_str),
@@ -244,5 +267,30 @@ mod tests {
     fn explore_is_clean_on_seed_independent_workloads() {
         let workload = |_seed: u64| vec!["a".to_string(), "b".to_string()];
         assert!(explore(4, 1, workload).is_clean());
+    }
+
+    #[test]
+    fn render_prints_the_exact_reproducing_invocation() {
+        // diverge only under the third derived schedule (index 2), so
+        // the repro line must name --k 3 and that schedule's seed
+        let trigger = derive_seed(0x5EED, 2);
+        let workload = move |seed: u64| {
+            if seed == trigger {
+                vec!["evt-0'".to_string()]
+            } else {
+                vec!["evt-0".to_string()]
+            }
+        };
+        let report = explore(8, 0x5EED, workload);
+        assert_eq!(report.divergences.len(), 1);
+        let rendered = report.render();
+        assert!(
+            rendered.contains("reproduce: cargo run -p fastann-check -- race --k 3 --seed 0x5eed"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains(&format!("derived seed {trigger:#x}")),
+            "{rendered}"
+        );
     }
 }

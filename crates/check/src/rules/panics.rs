@@ -1,0 +1,58 @@
+//! `no-unwrap`, `no-panic` and `no-thread-spawn`: the failure-mode and
+//! parallelism-discipline rules.
+//!
+//! The simulator crate is exempt from `no-panic` (a simulated-rank
+//! panic *is* the simulated fault model) and from `no-thread-spawn`
+//! (its rank scheduler is the one legitimate direct spawner).
+
+use crate::engine::FileCtx;
+use crate::lint::{Violation, RULE_PANIC, RULE_SPAWN, RULE_UNWRAP};
+
+/// Macro names whose invocation panics.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the three rules over one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let is_mpisim = ctx.rel.starts_with("crates/mpisim/");
+    for ci in 0..ctx.n() {
+        if ctx.in_test(ci) {
+            continue;
+        }
+        // .unwrap()
+        if ctx.is_punct(ci, ".")
+            && ctx.is_ident(ci + 1, "unwrap")
+            && ctx.is_punct(ci + 2, "(")
+            && ctx.is_punct(ci + 3, ")")
+        {
+            ctx.flag(out, ci + 1, RULE_UNWRAP);
+        }
+        if is_mpisim {
+            continue;
+        }
+        // panicking macro invocation: name ! (
+        if ctx.is_punct(ci + 1, "!")
+            && ctx.is_punct(ci + 2, "(")
+            && PANIC_MACROS.iter().any(|m| ctx.is_ident(ci, m))
+        {
+            ctx.flag(out, ci, RULE_PANIC);
+        }
+        // direct thread spawning: thread::spawn(, .spawn_scoped(,
+        // thread::Builder::new(
+        let spawn = (ctx.is_ident(ci, "thread")
+            && ctx.is_punct(ci + 1, "::")
+            && ctx.is_ident(ci + 2, "spawn")
+            && ctx.is_punct(ci + 3, "("))
+            || (ctx.is_punct(ci, ".")
+                && ctx.is_ident(ci + 1, "spawn_scoped")
+                && ctx.is_punct(ci + 2, "("))
+            || (ctx.is_ident(ci, "thread")
+                && ctx.is_punct(ci + 1, "::")
+                && ctx.is_ident(ci + 2, "Builder")
+                && ctx.is_punct(ci + 3, "::")
+                && ctx.is_ident(ci + 4, "new")
+                && ctx.is_punct(ci + 5, "("));
+        if spawn {
+            ctx.flag(out, ci, RULE_SPAWN);
+        }
+    }
+}

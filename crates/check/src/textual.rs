@@ -1,0 +1,333 @@
+//! The legacy *textual* line lint — kept verbatim as the reference
+//! implementation for the parity regression.
+//!
+//! This was the original `fastann-check` pass: eight rules enforced by
+//! substring matching over trimmed lines, no lexer. It has known blind
+//! spots (needles inside string literals and comments on code lines,
+//! multi-line signatures and calls) that the token engine
+//! ([`crate::lint`]) closes; `tests/parity.rs` proves that on the
+//! current workspace both passes still reach the same verdicts, which
+//! is the regression guarantee for the port. Do not extend this module:
+//! new rules go on the token engine.
+
+use crate::lint::{
+    Violation, RULE_DOC, RULE_PANIC, RULE_QUANT, RULE_RECV, RULE_SEARCH_BATCH, RULE_SPAWN,
+    RULE_TAG, RULE_UNWRAP,
+};
+use std::io;
+use std::path::Path;
+
+// The needles are spliced at compile time so that scanning this very
+// file does not self-flag the patterns as violations (the textual pass
+// cannot tell a string literal from code).
+const UNWRAP_PAT: &str = concat!(".unw", "rap()");
+const PANIC_PATS: [&str; 4] = [
+    concat!("pan", "ic!("),
+    concat!("unreach", "able!("),
+    concat!("tod", "o!("),
+    concat!("unimplem", "ented!("),
+];
+const RECV_PATS: [&str; 2] = [concat!(".re", "cv("), concat!(".try_", "recv(")];
+const SEND_PATS: [&str; 2] = [concat!(".send_", "bytes("), concat!(".send_", "bytes_at(")];
+const TAG_CONST_PAT: &str = concat!("const ", "TAG_");
+const SPAWN_PATS: [&str; 3] = [
+    concat!("thread::", "spawn("),
+    concat!(".spawn_", "scoped("),
+    concat!("thread::", "Builder::new("),
+];
+const SEARCH_BATCH_PAT: &str = concat!("pub fn search", "_batch");
+const DEPRECATED_PAT: &str = concat!("#[depre", "cated");
+const SQL2_PAT: &str = concat!("squared", "_l2(");
+const EVAL_PAT: &str = concat!(".ev", "al(");
+const TRAVERSAL_FNS: [&str; 2] = [
+    concat!("fn greedy", "_step"),
+    concat!("fn search", "_layer"),
+];
+
+/// Raw textual findings over the whole workspace (no allowlist), for
+/// the parity regression against the token engine.
+pub fn raw_findings(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = crate::lint::workspace_files(root)?;
+    let tag_table = crate::lint::parse_tag_table(&root.join("crates/core/src/tags.rs"))?;
+    let mut all = Vec::new();
+    for path in &files {
+        let rel = crate::lint::rel_path(root, path);
+        let content = std::fs::read_to_string(path)?;
+        lint_file(&rel, &content, &tag_table, &mut all);
+    }
+    Ok(all)
+}
+
+/// Lints one file with the legacy textual rules; appends findings to
+/// `out`.
+pub fn lint_file(rel: &str, content: &str, tag_table: &[(String, u64)], out: &mut Vec<Violation>) {
+    let is_mpisim = rel.starts_with("crates/mpisim/");
+    let is_tags_file = rel == "crates/core/src/tags.rs";
+    let is_hnsw = rel.starts_with("crates/hnsw/src");
+    let wants_docs = rel.starts_with("crates/core/src")
+        || rel.starts_with("crates/mpisim/src")
+        || rel.starts_with("crates/serve/src")
+        || rel.starts_with("crates/obs/src")
+        || rel.starts_with("crates/data/src")
+        || rel.starts_with("crates/hnsw/src")
+        || rel.starts_with("crates/vptree/src")
+        || rel.starts_with("crates/kdtree/src");
+
+    let lines: Vec<&str> = content.lines().collect();
+    let mut in_test = false;
+    let mut test_depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    // quantized-traversal: brace-counted span of an HNSW traversal fn
+    // (the multi-line signature has not opened a brace yet, so the span
+    // only ends once an opening brace has been seen and depth returns
+    // to zero).
+    let mut in_traversal = false;
+    let mut trav_depth: i64 = 0;
+    let mut trav_opened = false;
+
+    for (i, raw) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        let t = raw.trim();
+        let opens = raw.matches('{').count() as i64;
+        let closes = raw.matches('}').count() as i64;
+
+        if in_test {
+            test_depth += opens - closes;
+            if test_depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if t.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if t.starts_with("#[") {
+                continue; // further attributes on the same item
+            }
+            pending_cfg_test = false;
+            if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                in_test = true;
+                test_depth = opens - closes;
+                if test_depth <= 0 {
+                    in_test = false;
+                }
+                continue;
+            }
+        }
+
+        let is_comment = t.starts_with("//");
+
+        // quantized-traversal: inside greedy_step / search_layer every
+        // distance goes through QueryDist dispatch, so a direct metric
+        // eval there reintroduces a second distance domain into the beam.
+        if in_traversal {
+            if !is_comment && t.contains(EVAL_PAT) {
+                out.push(violation(rel, line_no, RULE_QUANT, t));
+            }
+            if opens > 0 {
+                trav_opened = true;
+            }
+            trav_depth += opens - closes;
+            if trav_opened && trav_depth <= 0 {
+                in_traversal = false;
+            }
+        } else if is_hnsw && !is_comment && TRAVERSAL_FNS.iter().any(|p| t.contains(p)) {
+            in_traversal = true;
+            trav_opened = opens > 0;
+            trav_depth = opens - closes;
+            if trav_opened && trav_depth <= 0 {
+                in_traversal = false;
+            }
+        }
+
+        // quantized-traversal: the raw exact kernel may not be called
+        // anywhere in the HNSW crate — the re-rank stage is the one
+        // sanctioned consumer and carries the allowlist entry.
+        if is_hnsw && !is_comment && t.contains(SQL2_PAT) {
+            out.push(violation(rel, line_no, RULE_QUANT, t));
+        }
+
+        if !is_comment {
+            // no-unwrap
+            if t.contains(UNWRAP_PAT) {
+                out.push(violation(rel, line_no, RULE_UNWRAP, t));
+            }
+
+            // no-panic (the simulator's own internals legitimately panic:
+            // a simulated-rank panic is the simulated fault model)
+            if !is_mpisim && PANIC_PATS.iter().any(|p| t.contains(p)) {
+                out.push(violation(rel, line_no, RULE_PANIC, t));
+            }
+
+            // no-thread-spawn: all real parallelism goes through the
+            // vendored rayon pool (deterministic, order-preserving) — the
+            // only legitimate direct spawner is the cluster simulator's
+            // rank scheduler. The vendored pool itself lives under
+            // `vendor/`, which the file walk already skips.
+            if !is_mpisim && SPAWN_PATS.iter().any(|p| t.contains(p)) {
+                out.push(violation(rel, line_no, RULE_SPAWN, t));
+            }
+
+            // search-batch-variant: the five legacy entry points survive
+            // only as `#[deprecated]` shims over the SearchRequest
+            // builder; a new public variant of the family must not
+            // appear. A shim is recognized by its deprecation attribute
+            // on one of the five preceding lines.
+            if t.contains(SEARCH_BATCH_PAT) {
+                let shim = lines[i.saturating_sub(5)..i]
+                    .iter()
+                    .any(|l| l.trim_start().starts_with(DEPRECATED_PAT));
+                if !shim {
+                    out.push(violation(rel, line_no, RULE_SEARCH_BATCH, t));
+                }
+            }
+
+            // wildcard-recv
+            if !is_mpisim {
+                for pat in RECV_PATS {
+                    if let Some(pos) = t.find(pat) {
+                        let args = call_args(&t[pos + pat.len()..]);
+                        if args.contains("None") {
+                            out.push(violation(rel, line_no, RULE_RECV, t));
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // tag-registry, part 1: declarations must match the table
+            if !is_mpisim && !is_tags_file {
+                if let Some(pos) = t.find(TAG_CONST_PAT) {
+                    let name_start = pos + TAG_CONST_PAT.len() - 4; // keep "TAG_"
+                    let rest = &t[name_start..];
+                    if let Some(colon) = rest.find(':') {
+                        let name = rest[..colon].trim();
+                        let value = rest
+                            .split('=')
+                            .nth(1)
+                            .and_then(|v| v.trim().trim_end_matches(';').parse::<u64>().ok());
+                        if let Some(value) = value {
+                            let registered =
+                                tag_table.iter().any(|(n, v)| n == name && *v == value);
+                            if !registered {
+                                out.push(Violation {
+                                    file: rel.to_string(),
+                                    line: line_no,
+                                    rule: RULE_TAG,
+                                    text: format!(
+                                        "{name} = {value} is not registered in core/src/tags.rs TAG_TABLE"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+
+                // tag-registry, part 2: sent tags must be symbolic
+                for pat in SEND_PATS {
+                    if let Some(pos) = t.find(pat) {
+                        let joined = lines[i..lines.len().min(i + 3)].join(" ");
+                        let jpos = joined.find(pat).map(|p| p + pat.len()).unwrap_or(0);
+                        let args: Vec<&str> = joined[jpos..].splitn(3, ',').collect();
+                        let tag_ok = args
+                            .get(1)
+                            .map(|a| a.contains("TAG_") || a.to_lowercase().contains("tag"))
+                            .unwrap_or(false);
+                        if !tag_ok {
+                            out.push(Violation {
+                                file: rel.to_string(),
+                                line: line_no,
+                                rule: RULE_TAG,
+                                text: format!(
+                                    "tag argument is not a TAG_* identifier: {}",
+                                    &t[pos..]
+                                ),
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        // missing-doc
+        if wants_docs && !is_comment && is_pub_item(t) {
+            let mut j = i;
+            let mut documented = false;
+            while j > 0 {
+                j -= 1;
+                let prev = lines[j].trim();
+                if prev.starts_with("///") {
+                    documented = true;
+                    break;
+                }
+                // walk through attributes (including wrapped ones)
+                if prev.starts_with("#[") || prev.starts_with("#![") || prev.ends_with(")]") {
+                    continue;
+                }
+                break;
+            }
+            if !documented {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: RULE_DOC,
+                    text: format!("undocumented public item: {}", first_words(t, 6)),
+                });
+            }
+        }
+    }
+}
+
+fn violation(rel: &str, line: usize, rule: &'static str, text: &str) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line,
+        rule,
+        text: text.to_string(),
+    }
+}
+
+/// The argument span of a call: `rest` starts just past the opening
+/// parenthesis; the span ends at the matching close (or end of line for
+/// calls that wrap).
+fn call_args(rest: &str) -> &str {
+    let mut depth = 1usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &rest[..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    rest
+}
+
+/// Is this line the head of a `pub` item that needs a doc comment?
+/// `pub(crate)` and `pub use` are exempt.
+fn is_pub_item(t: &str) -> bool {
+    const HEADS: [&str; 10] = [
+        "pub fn ",
+        "pub async fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub const ",
+        "pub static ",
+        "pub type ",
+        "pub mod ",
+        "pub union ",
+    ];
+    HEADS.iter().any(|h| t.starts_with(h))
+}
+
+fn first_words(t: &str, n: usize) -> String {
+    t.split_whitespace().take(n).collect::<Vec<_>>().join(" ")
+}

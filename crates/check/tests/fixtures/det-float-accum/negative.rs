@@ -1,0 +1,10 @@
+fn total(xs: &[f32]) -> f32 {
+    // the sanctioned idiom: parallel map into per-chunk parts, then a
+    // sequential fold in chunk order
+    let parts: Vec<f32> = xs.par_iter().map(|x| x * x).collect();
+    parts.iter().fold(0.0, |a, b| a + b)
+}
+
+fn seq_sum(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,11 @@
+fn total(xs: &[f32]) -> f32 {
+    xs.par_iter().map(|x| x * x).sum::<f32>()
+}
+
+fn accumulate(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    xs.par_iter().for_each(|x| {
+        acc += x;
+    });
+    acc
+}

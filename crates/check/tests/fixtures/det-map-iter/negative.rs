@@ -1,0 +1,22 @@
+use std::collections::{BTreeMap, HashMap};
+
+fn lookup(counts: &HashMap<u64, usize>, k: u64) -> usize {
+    counts.get(&k).copied().unwrap_or(0)
+}
+
+fn sorted_keys(counts: &HashMap<u64, usize>) -> Vec<u64> {
+    // det:sort — collected and sorted before anything is reported
+    let mut ks: Vec<u64> = counts.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+fn fold_commutes(hits: &HashMap<u64, usize>, slots: &mut [usize]) {
+    for (n, c) in hits.iter() { // det:fold — += into disjoint slots commutes
+        slots[*n as usize] += c;
+    }
+}
+
+fn ordered(ranks: &BTreeMap<u64, usize>) -> Vec<u64> {
+    ranks.keys().copied().collect()
+}

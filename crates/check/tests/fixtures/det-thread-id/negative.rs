@@ -1,0 +1,12 @@
+fn worker_label(worker_index: usize) -> String {
+    // thread::current().id() must never name workers; the stable
+    // worker index assigned at pool construction does
+    format!("w{worker_index}")
+}
+
+fn pool_width(cfg: &Config) -> usize {
+    // width comes from FASTANN_THREADS, not available_parallelism (see
+    // the string below for the banned spelling)
+    let _doc = "std::thread::available_parallelism()";
+    cfg.fastann_threads
+}

@@ -1,0 +1,11 @@
+use std::thread;
+
+fn worker_label() -> String {
+    format!("{:?}", thread::current().id())
+}
+
+fn pool_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,13 @@
+//! Virtual-time plumbing: the only clock in a contract crate is the
+//! simulator's.
+
+fn measure(clock: &VirtualClock) -> u64 {
+    // Instant::now() is banned here; the simulated clock is authoritative
+    let start = clock.now_ns();
+    work();
+    clock.now_ns() - start
+}
+
+fn label() -> &'static str {
+    "SystemTime::now() as a string is not a call"
+}

@@ -1,0 +1,14 @@
+use std::time::Instant;
+
+fn measure() -> u64 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_nanos() as u64
+}
+
+fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

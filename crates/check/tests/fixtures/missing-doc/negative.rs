@@ -1,0 +1,20 @@
+/// A placement plan.
+pub struct Plan {
+    pub shards: usize,
+}
+
+/** Executes the plan (block-doc form also counts). */
+#[inline]
+#[allow(
+    clippy::needless_lifetimes,
+    clippy::missing_const_for_fn
+)]
+pub fn execute(p: &Plan) -> usize {
+    p.shards
+}
+
+pub(crate) fn internal() -> usize {
+    0
+}
+
+pub use std::collections::BTreeMap;

@@ -1,0 +1,7 @@
+pub struct Plan {
+    pub shards: usize,
+}
+
+pub fn execute(p: &Plan) -> usize {
+    p.shards
+}

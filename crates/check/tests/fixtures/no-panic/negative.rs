@@ -1,0 +1,16 @@
+//! Talks about panic! in prose and strings without ever invoking it.
+
+fn guard(x: u32) -> Result<(), String> {
+    if x > 3 {
+        return Err(format!("would panic!(…) in the bad old days: {x}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        panic!("assert-like failure");
+    }
+}

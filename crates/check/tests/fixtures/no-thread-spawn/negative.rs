@@ -1,0 +1,8 @@
+// thread::spawn( in a comment is not a finding, and neither is the
+// string form below — work goes through the chunked pool instead.
+
+fn run(pool: &Pool) -> usize {
+    let banned = "thread::Builder::new()";
+    let _ = banned;
+    pool.run_chunked(|chunk| chunk.len())
+}

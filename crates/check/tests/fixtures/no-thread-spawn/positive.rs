@@ -1,0 +1,8 @@
+use std::thread;
+
+fn run() -> usize {
+    let h = thread::spawn(|| 1 + 1);
+    let b = thread::Builder::new();
+    let _ = b;
+    h.join().unwrap_or(0)
+}

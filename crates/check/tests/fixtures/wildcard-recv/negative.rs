@@ -1,0 +1,7 @@
+fn drain(world: &World, src: usize) -> Vec<u8> {
+    // recv(None, None) would be the PR 1 bug class; this one is exact
+    let (_tag, bytes) = world.recv(Some(src), Some(TAG_GOOD));
+    let probe = world.try_recv(Some(src), Some(TAG_GOOD));
+    let _ = probe;
+    bytes
+}

@@ -1,0 +1,51 @@
+//! Parity: the token engine must reach the same verdicts as the retired
+//! textual pass for the 8 ported legacy rules, on the real workspace.
+//!
+//! Both passes expose raw (pre-allowlist) findings; we compare them as
+//! (file, line, rule) sets restricted to [`LEGACY_RULES`], so the
+//! determinism family (token-engine-only) doesn't enter the diff. Any
+//! asymmetric finding is printed with a marker saying which side saw it.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use fastann_check::lint;
+use fastann_check::rules::LEGACY_RULES;
+use fastann_check::textual;
+
+#[test]
+fn token_engine_matches_textual_pass_on_legacy_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+
+    let keyed = |vs: Vec<lint::Violation>| -> BTreeSet<(String, usize, &'static str)> {
+        vs.into_iter()
+            .filter(|v| LEGACY_RULES.contains(&v.rule))
+            .map(|v| (v.file, v.line, v.rule))
+            .collect()
+    };
+
+    let textual = keyed(textual::raw_findings(&root).expect("textual walk"));
+    let token = keyed(lint::raw_findings(&root).expect("token walk"));
+
+    let mut diff = String::new();
+    for f in textual.difference(&token) {
+        diff.push_str(&format!("textual only: {}:{} [{}]\n", f.0, f.1, f.2));
+    }
+    for f in token.difference(&textual) {
+        diff.push_str(&format!("token only:   {}:{} [{}]\n", f.0, f.1, f.2));
+    }
+    assert!(
+        diff.is_empty(),
+        "legacy-rule verdicts diverged between passes:\n{diff}"
+    );
+    // both passes must actually be exercising the workspace: the seed
+    // repo has allowlisted findings, so an empty set means a broken walk
+    assert!(
+        !token.is_empty(),
+        "no legacy findings at all — file walk is broken"
+    );
+}

@@ -238,6 +238,7 @@ impl DistIndex {
             for j in 0..replication.min(p) {
                 nodes_hit.insert(((part + j) % p) / t);
             }
+            // det:fold — each node occurs once; += into disjoint slots commutes
             for n in nodes_hit {
                 per_node[n] += self.partitions[part].approx_bytes();
             }

@@ -31,6 +31,9 @@
 
 #![forbid(unsafe_code)]
 
+/// Distributed KD-tree search over the simulated cluster: the
+/// PANDA-style master/worker protocol (P1/P2 phases, replicated
+/// skeleton, per-worker exact scans).
 pub mod dist;
 mod local;
 mod skeleton;
