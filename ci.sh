@@ -43,6 +43,16 @@ cargo build -q --release -p fastann-bench
 ./target/release/perf --smoke --threads 4 --gate --out target
 test -s target/BENCH_SYN_SMOKE.json
 
+echo "==> MDC_32K clustered recall gate (exact-recall floor, bit-identity)"
+# The clustered workload where single-seed greedy descent used to collapse
+# exact recall@10 to ~0.44 (ROADMAP item 1, DESIGN.md §13). --gate enforces
+# the workload's absolute exact-recall floor (0.90) on top of the recall
+# delta, and the perf harness asserts the clustered search results are
+# bit-identical at 1 and at N threads on both legs.
+FASTANN_THREADS=1 ./target/release/perf --only MDC_32K --threads 1 --gate --out target
+FASTANN_THREADS=4 ./target/release/perf --only MDC_32K --threads 4 --gate --out target
+test -s target/BENCH_MDC_32K.json
+
 echo "==> serve + obs smoke (seed-stable report, golden metrics)"
 # The load generator asserts nonzero throughput and request conservation
 # internally; CI additionally pins the determinism contract: two runs

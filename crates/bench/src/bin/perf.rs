@@ -298,26 +298,29 @@ fn measure(name: &str, data: &VectorSet, queries: &VectorSet, threads: usize) ->
 
 fn main() {
     let args = parse_args();
-    let workloads: Vec<datasets::Workload> = if args.smoke {
-        let data = fastann_data::synth::sift_like(3000, 32, 0xbe9c);
-        let queries = fastann_data::synth::queries_near(&data, 60, 0.02, 0xbe9d);
-        vec![datasets::Workload {
-            name: "SYN_SMOKE",
-            data,
-            queries,
-        }]
+    let scale = Scale::from_env();
+    // (name, constructor) pairs: workloads are built lazily, after the
+    // `--only` filter, so a filtered invocation (the CI MDC_32K leg) does
+    // not pay for generating the datasets it skips
+    type WorkloadCtor = fn(Scale) -> datasets::Workload;
+    let menu: Vec<(&str, WorkloadCtor)> = if args.smoke {
+        vec![("SYN_SMOKE", datasets::smoke)]
     } else {
-        let scale = Scale::from_env();
-        vec![datasets::syn_1m(scale), datasets::syn_10m(scale)]
+        vec![
+            ("SYN_1M", datasets::syn_1m),
+            ("SYN_10M", datasets::syn_10m),
+            ("MDC_32K", datasets::mdc_32k),
+        ]
     };
 
-    for w in &workloads {
+    for (name, build) in menu {
         if let Some(only) = &args.only {
-            if !w.name.contains(only.as_str()) {
-                eprintln!("perf: skipping {} (--only {only})", w.name);
+            if !name.contains(only.as_str()) {
+                eprintln!("perf: skipping {name} (--only {only})");
                 continue;
             }
         }
+        let w = build(scale);
         eprintln!(
             "perf: {} ({} x {}, {} queries, {} threads) ...",
             w.name,
@@ -345,6 +348,16 @@ fn main() {
                 rec.q_recall,
                 rec.recall,
                 rec.q_recall_delta
+            );
+            // absolute floor, not just parity: on the clustered workloads a
+            // descent regression drops exact and quantized recall together,
+            // which the delta gate alone would wave through
+            assert!(
+                rec.recall >= w.min_exact_recall,
+                "{}: exact recall@{K} {:.4} below the workload floor {:.2}",
+                w.name,
+                rec.recall,
+                w.min_exact_recall
             );
         }
         let path = format!("{}/BENCH_{}.json", args.out, w.name);

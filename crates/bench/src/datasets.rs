@@ -27,6 +27,12 @@ pub struct Workload {
     pub data: VectorSet,
     /// Query vectors.
     pub queries: VectorSet,
+    /// Floor the exact-path recall@10 must clear under `perf --gate`;
+    /// `0.0` disables the check. Set on the clustered workloads, where a
+    /// descent regression (the pre-multi-entry collapse to ≈0.44) would
+    /// otherwise pass the recall-*delta* gate unnoticed — both paths can
+    /// degrade together.
+    pub min_exact_recall: f64,
 }
 
 /// ANN_SIFT1B stand-in.
@@ -38,6 +44,7 @@ pub fn sift(scale: Scale) -> Workload {
         name: "ANN_SIFT1B",
         data,
         queries,
+        min_exact_recall: 0.0,
     }
 }
 
@@ -50,6 +57,7 @@ pub fn deep(scale: Scale) -> Workload {
         name: "DEEP1B",
         data,
         queries,
+        min_exact_recall: 0.0,
     }
 }
 
@@ -62,6 +70,7 @@ pub fn gist(scale: Scale) -> Workload {
         name: "ANN_GIST1M",
         data,
         queries,
+        min_exact_recall: 0.0,
     }
 }
 
@@ -84,6 +93,7 @@ pub fn syn_1m(scale: Scale) -> Workload {
         name: "SYN_1M",
         data: ds.points,
         queries,
+        min_exact_recall: 0.0,
     }
 }
 
@@ -104,6 +114,44 @@ pub fn syn_10m(scale: Scale) -> Workload {
         name: "SYN_10M",
         data: ds.points,
         queries,
+        min_exact_recall: 0.0,
+    }
+}
+
+/// The clustered-recall regression workload: the exact 32k×512 MDCGen
+/// configuration on which single-seed greedy descent collapsed exact
+/// recall@10 to ≈0.44 (crates/hnsw clustered_probe, DESIGN.md §13). Fixed
+/// size — the point is reproducing that configuration, not scaling —
+/// with an exact-recall floor the `perf --gate` leg enforces.
+pub fn mdc_32k(_scale: Scale) -> Workload {
+    let n = 32_000;
+    let ds = mdcgen::generate(&mdcgen::MdcConfig {
+        n_points: n,
+        dim: 512,
+        n_clusters: 10,
+        n_outliers: n / 200,
+        compactness: 0.05,
+        spread: mdcgen::Spread::Mixed,
+        seed: 0x517,
+    });
+    let queries = ds.queries_from_cluster(100, 3, 0.01, 0x518);
+    Workload {
+        name: "MDC_32K",
+        data: ds.points,
+        queries,
+        min_exact_recall: 0.90,
+    }
+}
+
+/// The tiny uniform dataset the CI smoke invocation measures.
+pub fn smoke(_scale: Scale) -> Workload {
+    let data = synth::sift_like(3000, 32, 0xbe9c);
+    let queries = synth::queries_near(&data, 60, 0.02, 0xbe9d);
+    Workload {
+        name: "SYN_SMOKE",
+        data,
+        queries,
+        min_exact_recall: 0.0,
     }
 }
 

@@ -907,6 +907,7 @@ mod tests {
                 0.02,
                 2,
             ),
+            min_exact_recall: 0.0,
         };
         let s = run_scaling(&w, &[4, 8], 9);
         assert_eq!(s.points.len(), 2);

@@ -190,6 +190,13 @@ pub struct SearchOptions {
     /// buy back recall lost to quantization error at a small exact-eval
     /// cost; `3` recovers exact-level recall on the synthetic workloads.
     pub rerank_factor: usize,
+    /// Width of the multi-entry descent beam in each local HNSW. `0` (the
+    /// default) inherits the index's build-time `HnswConfig::entry_beam`;
+    /// any other value overrides it per batch. `1` degenerates to the
+    /// classic single-seed greedy descent (still seeded at layer 0 from
+    /// the index's diverse entry set) — which collapses recall on
+    /// clustered data; see DESIGN.md §13.
+    pub entry_beam: usize,
 }
 
 impl Default for SearchOptions {
@@ -215,12 +222,20 @@ impl SearchOptions {
             sched_seed: 0,
             quantized: true,
             rerank_factor: 3,
+            entry_beam: 0,
         }
     }
 
     /// Enables or disables quantized-first traversal (builder style).
     pub fn with_quantized(mut self, on: bool) -> Self {
         self.quantized = on;
+        self
+    }
+
+    /// Sets the per-batch descent beam override (builder style); `0`
+    /// restores "inherit the index configuration".
+    pub fn with_entry_beam(mut self, beam: usize) -> Self {
+        self.entry_beam = beam;
         self
     }
 
@@ -361,6 +376,18 @@ mod tests {
     #[should_panic]
     fn zero_rerank_factor_rejected() {
         let _ = SearchOptions::new(10).with_rerank_factor(0);
+    }
+
+    #[test]
+    fn entry_beam_defaults_to_inherit() {
+        let o = SearchOptions::new(10);
+        assert_eq!(o.entry_beam, 0, "0 = inherit the index config");
+        assert_eq!(o.with_entry_beam(6).entry_beam, 6);
+        assert_eq!(
+            o.with_entry_beam(6).with_entry_beam(0).entry_beam,
+            0,
+            "0 restores inheritance"
+        );
     }
 
     #[test]

@@ -618,6 +618,9 @@ fn record_local_search(m: &Metrics, part: usize, stats: &fastann_hnsw::SearchSta
         );
     }
     m.observe("fastann_hnsw_hops", &[], stats.hops as f64, buckets::COUNT);
+    // diverse entry-set consumption: how many multi-basin seeds the query
+    // actually injected into its descent (DESIGN.md §13)
+    m.inc("fastann_hnsw_entry_seeds_total", &[], stats.entry_seeds);
     m.observe(
         "fastann_hnsw_heap_pushes",
         &[],
@@ -731,10 +734,7 @@ fn worker(
                 } else {
                     let (local, stats) = index.partitions[item.part].index.search_detailed_opts(
                         &item.q,
-                        k,
-                        opts.ef,
-                        opts.quantized,
-                        opts.rerank_factor,
+                        opts,
                         &mut scratch,
                     );
                     ndist_total += stats.ndist;
@@ -767,14 +767,9 @@ fn worker(
                 queued
                     .par_iter()
                     .map_init(SearchScratch::default, |scratch, item| {
-                        index.partitions[item.part].index.search_detailed_opts(
-                            &item.q,
-                            k,
-                            opts.ef,
-                            opts.quantized,
-                            opts.rerank_factor,
-                            scratch,
-                        )
+                        index.partitions[item.part]
+                            .index
+                            .search_detailed_opts(&item.q, opts, scratch)
                     })
                     .collect()
             });
@@ -1065,7 +1060,6 @@ fn worker_chaos(
     let node = rank.rank() - 1;
     let t_cores = index.config.cores_per_node;
     let p_cores = index.config.n_cores;
-    let k = opts.k;
     let dim = index.dim();
 
     world.barrier(rank);
@@ -1111,14 +1105,7 @@ fn worker_chaos(
                     "node {node} asked to serve partition {part} it does not hold"
                 );
                 let partition = &index.partitions[part];
-                let (local, sstats) = partition.index.search_detailed_opts(
-                    &q,
-                    k,
-                    opts.ef,
-                    opts.quantized,
-                    opts.rerank_factor,
-                    &mut scratch,
-                );
+                let (local, sstats) = partition.index.search_detailed_opts(&q, opts, &mut scratch);
                 ndist_total += sstats.ndist;
                 let cost = index.config.cost.dists_ns(sstats.ndist, dim);
                 let done_at = pool.assign(arrival, cost);

@@ -92,31 +92,36 @@ impl LocalIndex {
     ) -> (Vec<Neighbor>, fastann_hnsw::SearchStats) {
         match self {
             LocalIndex::Hnsw(h) => h.search_with_scratch(q, k, ef, scratch),
-            other => other.search_detailed_opts(q, k, ef, false, 1, scratch),
+            other => {
+                let mut opts = crate::SearchOptions::new(k);
+                opts.ef = ef;
+                opts.quantized = false;
+                other.search_detailed_opts(q, &opts, scratch)
+            }
         }
     }
 
-    /// [`LocalIndex::search_detailed`] with the quantized-first knobs from
-    /// [`crate::SearchOptions`] threaded through. `quantized` routes an
-    /// HNSW partition to its SQ8 traversal + exact re-rank pipeline
-    /// (falling back to exact when the partition has no trained
-    /// quantizer); tree and brute-force kinds are always exact — they are
-    /// the ground-truth baselines, so quantizing them would defeat their
-    /// purpose.
+    /// [`LocalIndex::search_detailed`] with the per-request knobs from
+    /// [`crate::SearchOptions`] threaded through: `opts.k`/`opts.ef` bound
+    /// the answer, `opts.quantized` routes an HNSW partition to its SQ8
+    /// traversal + exact re-rank pipeline (`opts.rerank_factor` wide,
+    /// falling back to exact when the partition has no trained quantizer),
+    /// and `opts.entry_beam` overrides the descent beam width (`0`
+    /// inherits the index config). Tree and brute-force kinds are always
+    /// exact and single-entry — they are the ground-truth baselines, so
+    /// quantizing them would defeat their purpose.
     pub fn search_detailed_opts(
         &self,
         q: &[f32],
-        k: usize,
-        ef: usize,
-        quantized: bool,
-        rerank_factor: usize,
+        opts: &crate::SearchOptions,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, fastann_hnsw::SearchStats) {
+        let (k, ef) = (opts.k, opts.ef);
         match self {
-            LocalIndex::Hnsw(h) if quantized => {
-                h.search_quantized_with_scratch(q, k, ef, rerank_factor, scratch)
+            LocalIndex::Hnsw(h) if opts.quantized => {
+                h.search_quantized_with_beam(q, k, ef, opts.rerank_factor, opts.entry_beam, scratch)
             }
-            LocalIndex::Hnsw(h) => h.search_with_scratch(q, k, ef, scratch),
+            LocalIndex::Hnsw(h) => h.search_with_beam(q, k, ef, opts.entry_beam, scratch),
             LocalIndex::VpTree(t) => {
                 let (r, s) = t.knn(q, k);
                 (

@@ -155,14 +155,7 @@ fn node_main(
                    ready: f64|
      -> (Vec<(u32, f32)>, f64) {
         let partition = &index.partitions[part];
-        let (local, sstats) = partition.index.search_detailed_opts(
-            q,
-            k,
-            opts.ef,
-            opts.quantized,
-            opts.rerank_factor,
-            scratch,
-        );
+        let (local, sstats) = partition.index.search_detailed_opts(q, opts, scratch);
         let ndist = sstats.ndist;
         *ndist_total += ndist;
         let cost = index.config.cost.dists_ns(ndist, dim);

@@ -27,6 +27,13 @@ pub struct HnswConfig {
     pub keep_pruned: bool,
     /// RNG seed for level assignment.
     pub seed: u64,
+    /// Width of the multi-entry beam carried across the upper layers
+    /// during descent (construction and the default for searches). `1`
+    /// degenerates to the classic single-seed greedy walk — which strands
+    /// queries in the wrong basin on multi-modal (clustered) data; see
+    /// DESIGN.md §13. Searches can override per query via
+    /// `SearchOptions::with_entry_beam`.
+    pub entry_beam: usize,
 }
 
 impl HnswConfig {
@@ -41,6 +48,7 @@ impl HnswConfig {
             extend_candidates: false,
             keep_pruned: true,
             seed: 0,
+            entry_beam: 4,
         }
     }
 
@@ -54,6 +62,13 @@ impl HnswConfig {
     pub fn ef_construction(mut self, ef: usize) -> Self {
         assert!(ef >= 1, "efConstruction must be at least 1");
         self.ef_construction = ef;
+        self
+    }
+
+    /// Sets the upper-layer descent beam width (builder style).
+    pub fn entry_beam(mut self, beam: usize) -> Self {
+        assert!(beam >= 1, "entry beam must be at least 1");
+        self.entry_beam = beam;
         self
     }
 
@@ -99,9 +114,24 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = HnswConfig::with_m(4).seed(9).ef_construction(50);
+        let c = HnswConfig::with_m(4)
+            .seed(9)
+            .ef_construction(50)
+            .entry_beam(2);
         assert_eq!(c.seed, 9);
         assert_eq!(c.ef_construction, 50);
+        assert_eq!(c.entry_beam, 2);
+    }
+
+    #[test]
+    fn entry_beam_defaults_to_four() {
+        assert_eq!(HnswConfig::default().entry_beam, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entry_beam_rejected() {
+        let _ = HnswConfig::with_m(4).entry_beam(0);
     }
 
     #[test]

@@ -28,13 +28,19 @@ pub struct SearchStats {
     pub rerank: u64,
     /// Graph nodes expanded (popped from the candidate heap).
     pub hops: u64,
-    /// Candidates pushed onto the layer-0 beam (entry seeds included).
+    /// Candidates pushed onto the beams (entry seeds included; descent
+    /// layers contribute when the entry beam is wider than one).
     pub heap_pushes: u64,
-    /// Beam churn: pushes that landed while the `ef` beam was already
-    /// full, each evicting the then-worst candidate. High churn relative
-    /// to `ef` means the beam kept improving late — a signal that a
+    /// Beam churn: pushes that landed while a beam was already full, each
+    /// evicting the then-worst candidate. High churn relative to `ef`
+    /// means the layer-0 beam kept improving late — a signal that a
     /// larger `ef` would still buy recall.
     pub ef_churn: u64,
+    /// Diverse entry-set members injected into this query's descent beyond
+    /// the primary entry point — how much of the multi-basin seeding
+    /// ([`Hnsw::entry_set`]) the query actually consumed. Zero when the
+    /// index has at most one entry (or on the tree/brute-force kinds).
+    pub entry_seeds: u64,
 }
 
 /// A query lowered into one of the two distance domains a traversal can
@@ -74,6 +80,14 @@ pub struct Hnsw {
     quant: Option<Sq8>,
     /// `(entry node, top level)`; `None` for an empty index.
     entry: RwLock<Option<(u32, u8)>>,
+    /// Diverse entry set: up to [`ENTRY_SET_CAP`] spread-out nodes that
+    /// participate above layer 0, selected farthest-first (k-center) from
+    /// the entry point. A pure function of the stored vectors, the level
+    /// assignment and the entry point — see [`Hnsw::select_entry_set`] —
+    /// so legacy serialized blobs recompute exactly the set a fresh build
+    /// would carry. The first member is always the entry point itself;
+    /// empty only for an empty index.
+    entry_set: Vec<u32>,
     /// Distance evaluations spent during construction (the quantity the
     /// distributed engine charges to a builder's virtual clock).
     build_ndist: std::sync::atomic::AtomicU64,
@@ -82,6 +96,11 @@ pub struct Hnsw {
 /// Maximum layer index; levels are geometric so 30 is unreachable in
 /// practice (p < 16^-30) but bounds the `u8` storage.
 const MAX_LEVEL: u8 = 30;
+
+/// Maximum diverse entry-set size. Sixteen spread-out seeds cover every
+/// mode of the clustered workloads (10 clusters plus outliers) while the
+/// per-query overhead stays at most sixteen extra distance evaluations.
+pub(crate) const ENTRY_SET_CAP: usize = 16;
 
 /// Deterministic per-node level assignment: `floor(-ln(U) * mult)` with `U`
 /// derived from a splitmix64 hash of `(seed, id)`, so levels do not depend
@@ -107,6 +126,12 @@ impl Hnsw {
         for id in order {
             index.insert(id, &mut scratch);
         }
+        // Sequential insertion can orphan a node too: a later neighbour's
+        // overflow prune may drop every reverse edge of an already-settled
+        // node (observed on clustered data, where redundant same-cluster
+        // nodes lose all their edges to better-placed peers).
+        index.repair_layer0(&mut scratch);
+        index.refresh_entry_set();
         #[cfg(debug_assertions)]
         if let Err(e) = index.validate() {
             panic!("sequential build produced an invalid graph: {e}");
@@ -163,20 +188,9 @@ impl Hnsw {
         // Planning against a frozen graph means batch peers do not see each
         // other: clustered peers all court the same pre-batch neighbours,
         // whose overflow prunes can drop every reverse edge of a redundant
-        // newcomer and orphan it on layer 0. Repair deterministically:
-        // unlink each orphan and re-insert it with the fresh-state
-        // sequential path, until the base layer is connected.
-        const MAX_REPAIR_ROUNDS: usize = 10;
-        for _ in 0..MAX_REPAIR_ROUNDS {
-            let orphans = index.layer0_orphans();
-            if orphans.is_empty() {
-                break;
-            }
-            for u in orphans {
-                index.unlink(u);
-                index.insert(u, &mut scratch);
-            }
-        }
+        // newcomer and orphan it on layer 0.
+        index.repair_layer0(&mut scratch);
+        index.refresh_entry_set();
         #[cfg(debug_assertions)]
         if let Err(e) = index.validate() {
             panic!("parallel build produced an invalid graph: {e}");
@@ -189,17 +203,40 @@ impl Hnsw {
         index
     }
 
-    /// Ids unreachable from the entry point on layer 0, ascending. Empty
-    /// for an empty index.
-    fn layer0_orphans(&self) -> Vec<u32> {
+    /// Repairs base-layer connectivity deterministically: unlink each
+    /// orphan and re-insert it with the fresh-state sequential path, until
+    /// the base layer is connected (or the round budget runs out — the
+    /// validator then reports any residue).
+    fn repair_layer0(&self, scratch: &mut SearchScratch) {
+        const MAX_REPAIR_ROUNDS: usize = 10;
+        for _ in 0..MAX_REPAIR_ROUNDS {
+            let orphans = self.layer0_orphans();
+            if orphans.is_empty() {
+                break;
+            }
+            for u in orphans {
+                self.unlink(u);
+                self.insert(u, scratch);
+            }
+        }
+    }
+
+    /// Layer-0 BFS from the entry point and every entry-set member;
+    /// `seen[id]` is `true` for each reachable node. All-`false` for an
+    /// empty index.
+    fn layer0_reachable(&self) -> Vec<bool> {
         let n = self.len();
-        let Some((ep, _)) = self.entry_snapshot() else {
-            return Vec::new();
-        };
         let mut seen = vec![false; n];
+        let Some((ep, _)) = self.entry_snapshot() else {
+            return seen;
+        };
         let mut queue = std::collections::VecDeque::new();
-        seen[ep as usize] = true;
-        queue.push_back(ep);
+        for &e in std::iter::once(&ep).chain(&self.entry_set) {
+            if !seen[e as usize] {
+                seen[e as usize] = true;
+                queue.push_back(e);
+            }
+        }
         while let Some(u) = queue.pop_front() {
             self.graph.with_neighbors(u, 0, |ns| {
                 for &nb in ns {
@@ -210,7 +247,22 @@ impl Hnsw {
                 }
             });
         }
-        (0..n as u32).filter(|&id| !seen[id as usize]).collect()
+        seen
+    }
+
+    /// Ids unreachable from every entry (the entry point plus the diverse
+    /// entry set) on layer 0, ascending. Empty for an empty index. During
+    /// construction the entry set is not selected yet, so this degenerates
+    /// to single-entry reachability — the stronger invariant the repair
+    /// loop restores.
+    fn layer0_orphans(&self) -> Vec<u32> {
+        let seen = self.layer0_reachable();
+        if self.is_empty() {
+            return Vec::new();
+        }
+        (0..self.len() as u32)
+            .filter(|&id| !seen[id as usize])
+            .collect()
     }
 
     /// Symmetrically detaches node `u` from the graph (every `u -> v` and
@@ -239,8 +291,76 @@ impl Hnsw {
             graph,
             quant: None,
             entry: RwLock::new(None),
+            entry_set: Vec::new(),
             build_ndist: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Deterministic diverse entry set: farthest-first (k-center) selection
+    /// over the nodes that participate above layer 0, seeded from the entry
+    /// point, capped at [`ENTRY_SET_CAP`]. Ties on equal spread go to the
+    /// smaller id; zero-spread candidates (exact duplicates of an already
+    /// chosen seed) are never added. A pure function of the stored vectors,
+    /// the level assignment and the entry point — legacy blobs with no
+    /// persisted set recompute exactly what a fresh build selects.
+    ///
+    /// Selection distances run through `Distance::eval` directly (not the
+    /// traversal's `QueryDist` dispatch): this is build-time geometry over
+    /// stored points, like neighbour selection, not query traversal. Its
+    /// `O(cap · n / 16)` evaluations are excluded from `build_ndist` so
+    /// load-time recomputation and fresh builds account identically.
+    fn select_entry_set(&self) -> Vec<u32> {
+        let Some((ep, _)) = self.entry_snapshot() else {
+            return Vec::new();
+        };
+        let mut cands: Vec<u32> = (0..self.len() as u32)
+            .filter(|&id| self.levels[id as usize] >= 1 && id != ep)
+            .collect();
+        let mut min_d: Vec<f32> = cands
+            .iter()
+            .map(|&c| {
+                self.dist
+                    .eval(self.data.get(ep as usize), self.data.get(c as usize))
+            })
+            .collect();
+        let mut chosen = vec![ep];
+        while chosen.len() < ENTRY_SET_CAP && !cands.is_empty() {
+            let mut best = 0usize;
+            for i in 1..cands.len() {
+                if min_d[i] > min_d[best] || (min_d[i] == min_d[best] && cands[i] < cands[best]) {
+                    best = i;
+                }
+            }
+            if min_d[best] <= 0.0 {
+                break; // only duplicates of chosen seeds remain
+            }
+            let c = cands.swap_remove(best);
+            min_d.swap_remove(best);
+            for (i, &other) in cands.iter().enumerate() {
+                let d = self
+                    .dist
+                    .eval(self.data.get(c as usize), self.data.get(other as usize));
+                if d < min_d[i] {
+                    min_d[i] = d;
+                }
+            }
+            chosen.push(c);
+        }
+        chosen
+    }
+
+    /// Recomputes the diverse entry set from the current graph state. Build
+    /// paths call this after base-layer repair; the deserializer calls it
+    /// for pre-v3 blobs that carry no persisted set.
+    pub(crate) fn refresh_entry_set(&mut self) {
+        self.entry_set = self.select_entry_set();
+    }
+
+    /// The diverse entry set: up to [`ENTRY_SET_CAP`] spread-out
+    /// upper-layer nodes (entry point first) that seed every search's
+    /// layer-0 beam from multiple basins.
+    pub fn entry_set(&self) -> &[u32] {
+        &self.entry_set
     }
 
     /// (Re)trains the SQ8 quantizer on the current vectors, enabling
@@ -282,6 +402,10 @@ impl Hnsw {
 
     /// Reassembles an index from deserialized parts. Callers must supply a
     /// structurally valid graph (the deserializer validates link ranges).
+    /// An empty `entry_set` means "no persisted set" — the deserializer
+    /// recomputes one for legacy blobs; validator fixtures that pass one
+    /// explicitly exercise multi-entry reachability.
+    #[allow(clippy::too_many_arguments)] // mirrors the serialized field list
     pub(crate) fn from_parts(
         config: HnswConfig,
         dist: Distance,
@@ -289,10 +413,15 @@ impl Hnsw {
         levels: Vec<u8>,
         links: Vec<Vec<Vec<u32>>>,
         entry: Option<(u32, u8)>,
+        entry_set: Vec<u32>,
         quant: Option<Sq8>,
     ) -> Self {
         assert_eq!(levels.len(), data.len());
         assert_eq!(links.len(), data.len());
+        assert!(
+            entry_set.iter().all(|&e| (e as usize) < data.len()),
+            "entry-set member out of range"
+        );
         if let Some(q) = &quant {
             assert_eq!(q.len(), data.len(), "quantizer row count mismatch");
             assert_eq!(q.dim(), data.dim(), "quantizer dimension mismatch");
@@ -311,6 +440,7 @@ impl Hnsw {
             graph,
             quant,
             entry: RwLock::new(entry),
+            entry_set,
             build_ndist: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -407,18 +537,25 @@ impl Hnsw {
         scratch.begin(self.len());
 
         let entry_snapshot = *self.entry.read();
-        let Some((mut ep, top)) = entry_snapshot else {
+        let Some((ep, top)) = entry_snapshot else {
             *self.entry.write() = Some((id, level));
             return;
         };
 
-        let mut ep_dist = self.d(&qd, ep, scratch);
-        // Greedy descent through layers above the node's level.
-        for lc in ((level as usize + 1)..=(top as usize)).rev() {
-            (ep, ep_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
-        }
-
-        let mut eps: Vec<Neighbor> = vec![Neighbor::new(ep, ep_dist)];
+        let ep_dist = self.d(&qd, ep, scratch);
+        // Beam descent through layers above the node's level. Construction
+        // descends from the single current entry (seeding not-yet-inserted
+        // entry-set nodes would link them prematurely), but still carries
+        // `entry_beam` candidates across layers so clustered inserts do not
+        // get stranded in one basin.
+        let mut eps = self.beam_layers(
+            &qd,
+            vec![Neighbor::new(ep, ep_dist)],
+            top as usize,
+            level as usize,
+            self.config.entry_beam.max(1),
+            scratch,
+        );
         for lc in (0..=(level.min(top) as usize)).rev() {
             let w = self.search_layer(&qd, &eps, self.config.ef_construction, lc, scratch);
             let selected = select_neighbors_heuristic(
@@ -459,15 +596,18 @@ impl Hnsw {
         let qd = QueryDist::Exact(&q);
         scratch.begin(self.len());
 
-        let (mut ep, top) = self
+        let (ep, top) = self
             .entry_snapshot()
             .expect("plan_insert requires a seeded graph");
-        let mut ep_dist = self.d(&qd, ep, scratch);
-        for lc in ((level as usize + 1)..=(top as usize)).rev() {
-            (ep, ep_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
-        }
-
-        let mut eps: Vec<Neighbor> = vec![Neighbor::new(ep, ep_dist)];
+        let ep_dist = self.d(&qd, ep, scratch);
+        let mut eps = self.beam_layers(
+            &qd,
+            vec![Neighbor::new(ep, ep_dist)],
+            top as usize,
+            level as usize,
+            self.config.entry_beam.max(1),
+            scratch,
+        );
         let mut layers = Vec::with_capacity(level.min(top) as usize + 1);
         for lc in (0..=(level.min(top) as usize)).rev() {
             let w = self.search_layer(&qd, &eps, self.config.ef_construction, lc, scratch);
@@ -563,6 +703,13 @@ impl Hnsw {
 
     /// One greedy walk on `layer`: repeatedly move to the closest neighbour
     /// until no neighbour improves.
+    ///
+    /// Ties on equal distance move to the smaller id, so the outcome is a
+    /// canonical `(distance, id)` minimum — independent of neighbour-list
+    /// order — and the walk still terminates (each move strictly decreases
+    /// the lexicographic `(distance, id)` pair). Without the id tie-break,
+    /// duplicate-distance points leave the walk wherever the link order
+    /// happens to put it first.
     fn greedy_step(
         &self,
         q: &QueryDist<'_>,
@@ -579,7 +726,7 @@ impl Hnsw {
             let mut improved = false;
             for &nb in &nbuf {
                 let d = self.d(q, nb, scratch);
-                if d < ep_dist {
+                if d < ep_dist || (d == ep_dist && nb < ep) {
                     ep = nb;
                     ep_dist = d;
                     improved = true;
@@ -589,6 +736,80 @@ impl Hnsw {
                 return (ep, ep_dist);
             }
         }
+    }
+
+    /// Carries a candidate beam from `top` down to `level + 1` (the layers
+    /// a descent crosses without stopping): width-`beam` best-first search
+    /// per layer, or the cheaper greedy walk when the beam is a single
+    /// candidate wide. Returns the beam to seed the next stage with.
+    fn beam_layers(
+        &self,
+        q: &QueryDist<'_>,
+        mut eps: Vec<Neighbor>,
+        top: usize,
+        level: usize,
+        beam: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Neighbor> {
+        for lc in ((level + 1)..=top).rev() {
+            eps = if beam == 1 && eps.len() == 1 {
+                let (id, d) = self.greedy_step(q, eps[0].id, eps[0].dist, lc, scratch);
+                vec![Neighbor::new(id, d)]
+            } else {
+                self.search_layer(q, &eps, beam, lc, scratch)
+            };
+        }
+        eps
+    }
+
+    /// Multi-entry beam descent — the upper-layer half of a search. Starts
+    /// from the entry point, folds each diverse entry-set member into the
+    /// beam at the topmost layer it participates in, and carries the best
+    /// `beam` candidates across layers. Every entry-set member participates
+    /// at layer 0, so any member the descent never consumed is injected
+    /// into the returned seed list — the layer-0 beam starts from every
+    /// basin the entry set covers, which is what rescues recall on
+    /// multi-modal data (DESIGN.md §13).
+    ///
+    /// Returns `(layer-0 seeds, descent hops, entry seeds consumed)`;
+    /// empty seeds only for an empty index.
+    fn descend(
+        &self,
+        q: &QueryDist<'_>,
+        beam: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, u64, u64) {
+        let Some((ep, top)) = self.entry_snapshot() else {
+            return (Vec::new(), 0, 0);
+        };
+        let mut eps = vec![Neighbor::new(ep, self.d(q, ep, scratch))];
+        let mut seeded = 0u64; // bitmask over entry_set indices
+        let mut entry_seeds = 0u64;
+        let mut hops = 0u64;
+        let mut fold_in = |lc: usize, eps: &mut Vec<Neighbor>, scratch: &mut SearchScratch| {
+            for (i, &e) in self.entry_set.iter().enumerate() {
+                if seeded & (1 << i) == 0 && (self.levels[e as usize] as usize) >= lc {
+                    seeded |= 1 << i;
+                    if !eps.iter().any(|n| n.id == e) {
+                        let d = self.d(q, e, scratch);
+                        eps.push(Neighbor::new(e, d));
+                        entry_seeds += 1;
+                    }
+                }
+            }
+        };
+        for lc in (1..=(top as usize)).rev() {
+            fold_in(lc, &mut eps, scratch);
+            eps = if beam == 1 && eps.len() == 1 {
+                let (id, d) = self.greedy_step(q, eps[0].id, eps[0].dist, lc, scratch);
+                vec![Neighbor::new(id, d)]
+            } else {
+                self.search_layer(q, &eps, beam, lc, scratch)
+            };
+            hops += 1;
+        }
+        fold_in(0, &mut eps, scratch);
+        (eps, hops, entry_seeds)
     }
 
     /// `ef`-bounded best-first search on one layer (HNSW Algorithm 2).
@@ -660,6 +881,12 @@ impl Hnsw {
             .push_node(level as usize, self.config.m, self.config.m_max0);
         let mut scratch = SearchScratch::with_capacity(self.len());
         self.insert(id, &mut scratch);
+        // A new upper-layer node can change the k-center selection; pure
+        // layer-0 nodes cannot (they are never candidates), so skip the
+        // O(cap · n) rescan for the ~94% of adds that stay on layer 0.
+        if level >= 1 || self.entry_set.is_empty() {
+            self.refresh_entry_set();
+        }
         // The trained grid no longer covers the new point (its bounds may
         // lie outside the training box), so quantized search is disabled
         // until the caller retrains; searches fall back to exact rather
@@ -677,7 +904,11 @@ impl Hnsw {
     /// * links are in range, non-self, duplicate-free, and only target
     ///   nodes that participate in the layer;
     /// * links are symmetric (`u -> v` implies `v -> u`);
-    /// * every node is reachable from the entry point on layer 0.
+    /// * the diverse entry set, when present, is in range, duplicate-free,
+    ///   starts with the entry point, respects [`ENTRY_SET_CAP`], and every
+    ///   other member participates above layer 0;
+    /// * every node is reachable on layer 0 from at least one entry (the
+    ///   entry point or an entry-set member).
     ///
     /// Every construction path — [`Hnsw::build`], [`Hnsw::build_parallel`],
     /// and [`Hnsw::add`] — must satisfy all of these (the builds check
@@ -758,27 +989,49 @@ impl Hnsw {
                 }
             }
         }
-        // Layer-0 reachability from the entry point.
-        let mut seen = vec![false; n];
-        let mut queue = std::collections::VecDeque::new();
-        seen[ep as usize] = true;
-        queue.push_back(ep);
-        let mut reached = 1usize;
-        while let Some(u) = queue.pop_front() {
-            self.graph.with_neighbors(u, 0, |ns| {
-                for &nb in ns {
-                    if !seen[nb as usize] {
-                        seen[nb as usize] = true;
-                        reached += 1;
-                        queue.push_back(nb);
-                    }
+        // Diverse entry-set invariants (an empty set is legal: construction
+        // validates before the set is selected, and validator fixtures may
+        // omit it).
+        if !self.entry_set.is_empty() {
+            if self.entry_set.len() > ENTRY_SET_CAP {
+                return Err(format!(
+                    "entry set holds {} members, cap is {ENTRY_SET_CAP}",
+                    self.entry_set.len()
+                ));
+            }
+            if self.entry_set[0] != ep {
+                return Err(format!(
+                    "entry set starts with {} instead of the entry point {ep}",
+                    self.entry_set[0]
+                ));
+            }
+            let mut sorted = self.entry_set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != self.entry_set.len() {
+                return Err("entry set has duplicate members".into());
+            }
+            for &e in &self.entry_set {
+                if (e as usize) >= n {
+                    return Err(format!("entry-set member {e} out of range (n = {n})"));
                 }
-            });
+                if e != ep && self.levels[e as usize] < 1 {
+                    return Err(format!(
+                        "entry-set member {e} does not participate above layer 0"
+                    ));
+                }
+            }
         }
+        // Layer-0 reachability from the entries (the entry point plus every
+        // entry-set member — searches seed the layer-0 beam from all of
+        // them, so a point is searchable iff some entry reaches it).
+        let seen = self.layer0_reachable();
+        let reached = seen.iter().filter(|&&s| s).count();
         if reached != n {
             return Err(format!(
-                "{} of {n} nodes unreachable from entry {ep} on layer 0",
-                n - reached
+                "{} of {n} nodes unreachable from the {} entries on layer 0",
+                n - reached,
+                1 + self.entry_set.len()
             ));
         }
         Ok(())
@@ -794,7 +1047,8 @@ impl Hnsw {
 
     /// k-NN search reusing caller-provided scratch space. Always exact;
     /// [`Hnsw::search_quantized_with_scratch`] is the quantized-first
-    /// variant.
+    /// variant. Descends with the index's configured `entry_beam`; use
+    /// [`Hnsw::search_with_beam`] to override per query.
     pub fn search_with_scratch(
         &self,
         q: &[f32],
@@ -802,23 +1056,32 @@ impl Hnsw {
         ef: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, SearchStats) {
+        self.search_with_beam(q, k, ef, 0, scratch)
+    }
+
+    /// Exact k-NN search with an explicit descent beam width. `entry_beam`
+    /// of `0` inherits the index configuration; `1` degenerates to the
+    /// classic single-seed greedy descent (still seeded at layer 0 from the
+    /// full diverse entry set).
+    pub fn search_with_beam(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        entry_beam: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
         assert!(k > 0, "k must be positive");
         assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
         scratch.begin(self.len());
-        let Some((mut ep, top)) = *self.entry.read() else {
-            return (Vec::new(), SearchStats::default());
-        };
+        let beam = self.resolve_beam(entry_beam);
         let qd = QueryDist::Exact(q);
         let ef = ef.max(k);
-        let mut ep_dist = self.d(&qd, ep, scratch);
-        let mut hops = 0u64;
-        for lc in (1..=(top as usize)).rev() {
-            let (n_ep, n_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
-            ep = n_ep;
-            ep_dist = n_dist;
-            hops += 1;
+        let (seeds, hops, entry_seeds) = self.descend(&qd, beam, scratch);
+        if seeds.is_empty() {
+            return (Vec::new(), SearchStats::default());
         }
-        let w = self.search_layer(&qd, &[Neighbor::new(ep, ep_dist)], ef, 0, scratch);
+        let w = self.search_layer(&qd, &seeds, ef, 0, scratch);
         let out: Vec<Neighbor> = w.into_iter().take(k).collect();
         (
             out,
@@ -829,8 +1092,20 @@ impl Hnsw {
                 hops,
                 heap_pushes: scratch.heap_pushes,
                 ef_churn: scratch.ef_churn,
+                entry_seeds,
             },
         )
+    }
+
+    /// `0` means "inherit the build-time config"; anything else is an
+    /// explicit per-query override.
+    #[inline]
+    fn resolve_beam(&self, entry_beam: usize) -> usize {
+        if entry_beam == 0 {
+            self.config.entry_beam.max(1)
+        } else {
+            entry_beam
+        }
     }
 
     /// Quantized-first k-NN search allocating fresh scratch; see
@@ -875,30 +1150,38 @@ impl Hnsw {
         rerank_factor: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, SearchStats) {
+        self.search_quantized_with_beam(q, k, ef, rerank_factor, 0, scratch)
+    }
+
+    /// Quantized-first k-NN search with an explicit descent beam width;
+    /// `entry_beam` semantics match [`Hnsw::search_with_beam`].
+    pub fn search_quantized_with_beam(
+        &self,
+        q: &[f32],
+        k: usize,
+        ef: usize,
+        rerank_factor: usize,
+        entry_beam: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
         assert!(k > 0, "k must be positive");
         assert!(rerank_factor > 0, "rerank_factor must be positive");
         assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
         let Some(sq) = self.quant.as_ref() else {
-            return self.search_with_scratch(q, k, ef, scratch);
+            return self.search_with_beam(q, k, ef, entry_beam, scratch);
         };
         scratch.begin(self.len());
-        let Some((mut ep, top)) = *self.entry.read() else {
-            return (Vec::new(), SearchStats::default());
-        };
+        let beam = self.resolve_beam(entry_beam);
         let qd = QueryDist::Quant {
             sq,
             prep: sq.prepare_query(q),
         };
         let ef = ef.max(k);
-        let mut ep_dist = self.d(&qd, ep, scratch);
-        let mut hops = 0u64;
-        for lc in (1..=(top as usize)).rev() {
-            let (n_ep, n_dist) = self.greedy_step(&qd, ep, ep_dist, lc, scratch);
-            ep = n_ep;
-            ep_dist = n_dist;
-            hops += 1;
+        let (seeds, hops, entry_seeds) = self.descend(&qd, beam, scratch);
+        if seeds.is_empty() {
+            return (Vec::new(), SearchStats::default());
         }
-        let w = self.search_layer(&qd, &[Neighbor::new(ep, ep_dist)], ef, 0, scratch);
+        let w = self.search_layer(&qd, &seeds, ef, 0, scratch);
         let pool = rerank_factor.saturating_mul(k).min(w.len());
         let out = rerank_exact(self.dist, &self.data, q, &w, pool, k, &mut scratch.ndist);
         (
@@ -910,6 +1193,7 @@ impl Hnsw {
                 hops,
                 heap_pushes: scratch.heap_pushes,
                 ef_churn: scratch.ef_churn,
+                entry_seeds,
             },
         )
     }
@@ -1412,6 +1696,7 @@ mod tests {
             vec![0, 0],
             vec![vec![vec![1]], vec![vec![]]],
             Some((0, 0)),
+            Vec::new(),
             None,
         );
         let err = idx.validate().expect_err("asymmetry must be caught");
@@ -1436,6 +1721,7 @@ mod tests {
             vec![0; 6],
             links,
             Some((0, 0)),
+            Vec::new(),
             None,
         );
         let err = idx.validate().expect_err("degree overflow must be caught");
@@ -1451,6 +1737,7 @@ mod tests {
             vec![0, 0, 0],
             vec![vec![vec![1]], vec![vec![0]], vec![vec![]]],
             Some((0, 0)),
+            Vec::new(),
             None,
         );
         let err = idx.validate().expect_err("island must be caught");
@@ -1467,6 +1754,7 @@ mod tests {
             vec![0, 1],
             vec![vec![vec![1]], vec![vec![0], vec![]]],
             Some((0, 0)),
+            Vec::new(),
             None,
         );
         let err = idx.validate().expect_err("stale entry must be caught");
@@ -1474,6 +1762,191 @@ mod tests {
             err.contains("not the graph maximum"),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn greedy_descent_tie_break_is_link_order_independent() {
+        // 1-D fixture where two layer-1 nodes are exactly equidistant from
+        // the query: the walk from the entry must settle on the smaller id
+        // regardless of which neighbour the link list names first. Before
+        // the id tie-break, the first-listed neighbour won, so the two
+        // mirror fixtures below disagreed.
+        let mut data = VectorSet::new(1);
+        for v in [[10.0f32], [1.0], [-1.0], [1.5], [-1.5]] {
+            data.push(&v);
+        }
+        let levels = vec![1, 1, 1, 0, 0];
+        let fixture = |layer1_of_0: Vec<u32>| {
+            Hnsw::from_parts(
+                HnswConfig::with_m(4),
+                Distance::L2,
+                data.clone(),
+                levels.clone(),
+                vec![
+                    vec![vec![1, 2], layer1_of_0],
+                    vec![vec![0, 3], vec![0]],
+                    vec![vec![0, 4], vec![0]],
+                    vec![vec![1]],
+                    vec![vec![2]],
+                ],
+                Some((0, 1)),
+                Vec::new(),
+                None,
+            )
+        };
+        let a = fixture(vec![1, 2]);
+        let b = fixture(vec![2, 1]);
+        let mut scratch = SearchScratch::with_capacity(5);
+        // beam = 1 exercises the greedy walk; ef = 1 keeps the layer-0
+        // search confined to the basin the walk picked
+        let (ra, _) = a.search_with_beam(&[0.0], 1, 1, 1, &mut scratch);
+        let (rb, _) = b.search_with_beam(&[0.0], 1, 1, 1, &mut scratch);
+        assert_eq!(ra[0].id, 1, "tie must resolve to the smaller id");
+        assert_eq!(ra, rb, "descent outcome must not depend on link order");
+    }
+
+    #[test]
+    fn duplicate_points_return_lowest_ids_deterministically() {
+        // Nine identical vectors (within the m_max0 = 8 cap, so overflow
+        // pruning never fires): every pairwise and query distance ties, so
+        // the canonical (distance, id) order must surface ids 0..5.
+        let mut data = VectorSet::new(4);
+        for _ in 0..9 {
+            data.push(&[3.0, 1.0, 4.0, 1.5]);
+        }
+        let idx = Hnsw::build(data, Distance::L2, HnswConfig::with_m(4).seed(2));
+        idx.validate().expect("duplicate-point build is valid");
+        let (r, _) = idx.search(&[3.0, 1.0, 4.0, 1.5], 5, 32);
+        let ids: Vec<u32> = r.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(r.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn entry_set_is_diverse_and_deterministic() {
+        // two well-separated blobs: the entry set must cover both
+        let mut data = VectorSet::new(2);
+        for i in 0..300 {
+            let off = if i % 2 == 0 { 0.0 } else { 1000.0 };
+            data.push(&[off + (i as f32) * 0.01, off]);
+        }
+        let cfg = HnswConfig::with_m(8).seed(5);
+        let a = Hnsw::build(data.clone(), Distance::L2, cfg);
+        let b = Hnsw::build(data.clone(), Distance::L2, cfg);
+        assert_eq!(a.entry_set(), b.entry_set(), "selection is deterministic");
+        assert!(a.entry_set().len() > 1);
+        assert_eq!(
+            a.entry_set()[0],
+            a.entry_snapshot().expect("non-empty").0,
+            "entry point leads the set"
+        );
+        let far = |id: u32| data.get(id as usize)[1] > 500.0;
+        let near_ep = far(a.entry_set()[0]);
+        assert!(
+            a.entry_set().iter().any(|&e| far(e) != near_ep),
+            "entry set must reach the opposite blob: {:?}",
+            a.entry_set()
+        );
+        // every non-entry member participates above layer 0
+        for &e in &a.entry_set()[1..] {
+            assert!(a.level(e) >= 1, "member {e} is a pure layer-0 node");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_multi_entry_reachability() {
+        // Two layer-0 components; the second is reachable only through an
+        // entry-set member. With the member supplied the graph is legal;
+        // without it node 2/3 are unsearchable and must be rejected.
+        let mut data = VectorSet::new(1);
+        for v in [[0.0f32], [0.1], [100.0], [100.1]] {
+            data.push(&v);
+        }
+        let levels = vec![1, 0, 1, 0];
+        let links = vec![
+            vec![vec![1], vec![2]],
+            vec![vec![0]],
+            vec![vec![3], vec![0]],
+            vec![vec![2]],
+        ];
+        let with_set = Hnsw::from_parts(
+            HnswConfig::with_m(4),
+            Distance::L2,
+            data.clone(),
+            levels.clone(),
+            links.clone(),
+            Some((0, 1)),
+            vec![0, 2],
+            None,
+        );
+        with_set
+            .validate()
+            .expect("second component is reachable via entry-set member 2");
+        let without_set = Hnsw::from_parts(
+            HnswConfig::with_m(4),
+            Distance::L2,
+            data,
+            levels,
+            links,
+            Some((0, 1)),
+            Vec::new(),
+            None,
+        );
+        let err = without_set
+            .validate()
+            .expect_err("single-entry reachability must fail");
+        assert!(err.contains("unreachable"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_entry_sets() {
+        let build = |entry_set: Vec<u32>| {
+            Hnsw::from_parts(
+                HnswConfig::with_m(4),
+                Distance::L2,
+                tiny_points(3),
+                vec![1, 0, 0],
+                vec![vec![vec![1, 2], vec![]], vec![vec![0, 2]], vec![vec![0, 1]]],
+                Some((0, 1)),
+                entry_set,
+                None,
+            )
+        };
+        let err = build(vec![1])
+            .validate()
+            .expect_err("must start with entry");
+        assert!(err.contains("instead of the entry point"), "{err}");
+        let err = build(vec![0, 0]).validate().expect_err("dup member");
+        assert!(err.contains("duplicate members"), "{err}");
+        let err = build(vec![0, 2]).validate().expect_err("layer-0 member");
+        assert!(err.contains("participate above layer 0"), "{err}");
+        build(vec![0]).validate().expect("entry-only set is legal");
+    }
+
+    #[test]
+    fn wider_entry_beam_never_loses_self_hits() {
+        let (data, idx) = small_index(600, 12, 44);
+        let mut scratch = SearchScratch::with_capacity(idx.len());
+        for i in (0..600).step_by(71) {
+            let q = data.get(i);
+            for beam in [1, 2, 8] {
+                let (r, _) = idx.search_with_beam(q, 1, 24, beam, &mut scratch);
+                assert_eq!(r[0].id, i as u32, "beam {beam} lost point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_seeds_reported_only_when_consumed() {
+        let (data, idx) = small_index(900, 12, 45);
+        assert!(idx.entry_set().len() > 1);
+        let mut scratch = SearchScratch::with_capacity(idx.len());
+        let (_, stats) = idx.search_with_scratch(data.get(3), 5, 32, &mut scratch);
+        assert!(
+            stats.entry_seeds > 0,
+            "multi-member entry set should inject seeds"
+        );
+        assert!(stats.entry_seeds <= (idx.entry_set().len() - 1) as u64);
     }
 
     #[test]

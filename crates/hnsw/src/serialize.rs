@@ -9,17 +9,22 @@
 //! magic "FANNHNSW" | version u32 | dist u8 | dim u32 | n u32
 //! m u32 | m_max0 u32 | ef_construction u32 | level_mult f64
 //! extend u8 | keep_pruned u8 | seed u64
+//! entry_beam (v3): u32
 //! entry: present u8 [node u32, level u8]
 //! levels: n × u8
 //! vectors: n × dim × f32
 //! links: per node, per layer 0..=level: len u32, len × u32
 //! quant (v2): present u8 [lo dim × f32, step dim × f32, codes n·dim × u8]
+//! entry set (v3): len u8, len × u32
 //! ```
 //!
 //! Version 2 appends the trained SQ8 quantizer so a loaded index searches
-//! quantized-first without retraining; version-1 blobs are still accepted
-//! and retrain their quantizer from the stored vectors on load (same
-//! deterministic grid, since training is a pure function of the data).
+//! quantized-first without retraining; version 3 adds the `entry_beam`
+//! config knob and the diverse entry set. Older blobs are still accepted:
+//! version-1 files retrain their quantizer from the stored vectors, and
+//! pre-v3 files default `entry_beam` and recompute the entry set — both
+//! pure functions of the stored data, so the loaded index matches a fresh
+//! build exactly.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -32,7 +37,7 @@ use crate::config::HnswConfig;
 use crate::index::Hnsw;
 
 const MAGIC: &[u8; 8] = b"FANNHNSW";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 /// Oldest version [`Hnsw::read_from`] still accepts (pre-quantizer).
 const MIN_VERSION: u32 = 1;
 
@@ -141,6 +146,7 @@ impl Hnsw {
         w.write_all(&cfg.level_mult.to_bits().to_le_bytes())?;
         w.write_all(&[u8::from(cfg.extend_candidates), u8::from(cfg.keep_pruned)])?;
         w.write_all(&cfg.seed.to_le_bytes())?;
+        w.write_all(&(cfg.entry_beam as u32).to_le_bytes())?;
         match self.entry_snapshot() {
             Some((node, level)) => {
                 w.write_all(&[1u8])?;
@@ -176,6 +182,11 @@ impl Hnsw {
                 w.write_all(sq.codes())?;
             }
             None => w.write_all(&[0u8])?,
+        }
+        let es = self.entry_set();
+        w.write_all(&[es.len() as u8])?;
+        for &e in es {
+            w.write_all(&e.to_le_bytes())?;
         }
         Ok(())
     }
@@ -224,6 +235,17 @@ impl Hnsw {
         let extend_candidates = rd.u8()? != 0;
         let keep_pruned = rd.u8()? != 0;
         let seed = rd.u64()?;
+        // pre-v3 blobs predate the knob; the with_m default keeps their
+        // loaded search behaviour aligned with a fresh build
+        let entry_beam = if version >= 3 {
+            let b = rd.u32()? as usize;
+            if b == 0 {
+                return Err(LoadError::Format("zero entry beam".into()));
+            }
+            b
+        } else {
+            HnswConfig::with_m(2).entry_beam
+        };
         if m < 2 || m_max0 < m {
             return Err(LoadError::Format("implausible link bounds".into()));
         }
@@ -235,6 +257,7 @@ impl Hnsw {
             extend_candidates,
             keep_pruned,
             seed,
+            entry_beam,
         };
         let entry = match rd.u8()? {
             0 => None,
@@ -304,11 +327,33 @@ impl Hnsw {
         } else {
             None
         };
-        let mut index = Hnsw::from_parts(config, dist, data, levels, all_links, entry, quant);
+        let entry_set = if version >= 3 {
+            let len = rd.u8()? as usize;
+            let mut es = Vec::with_capacity(len);
+            for _ in 0..len {
+                let e = rd.u32()?;
+                if e as usize >= n {
+                    return Err(LoadError::Format("entry-set member out of range".into()));
+                }
+                es.push(e);
+            }
+            es
+        } else {
+            Vec::new()
+        };
+        let mut index = Hnsw::from_parts(
+            config, dist, data, levels, all_links, entry, entry_set, quant,
+        );
         if version < 2 {
             // pre-quantizer blob: train from the stored vectors (a pure
             // function of the data, so the grid matches a fresh build)
             index.train_quantizer();
+        }
+        if version < 3 && !index.is_empty() {
+            // pre-entry-set blob: recompute from the stored vectors and
+            // levels — selection is a pure function of those, so the set
+            // matches what a fresh build of the same data would carry
+            index.refresh_entry_set();
         }
         Ok(index)
     }
@@ -399,14 +444,19 @@ mod tests {
         }
     }
 
+    /// Bytes the v3 entry-set tail section occupies.
+    fn entry_set_sect(idx: &Hnsw) -> usize {
+        1 + 4 * idx.entry_set().len()
+    }
+
     #[test]
     fn corrupted_link_target_rejected() {
         let idx = sample_index();
         let mut bytes = idx.to_bytes();
-        // the links section ends right before the v2 quant section; stomp
-        // the last link id with an out-of-range value
+        // the links section ends right before the quant + entry-set tail;
+        // stomp the last link id with an out-of-range value
         let quant_sect = 1 + 8 * idx.dim() + idx.len() * idx.dim();
-        let last_link = bytes.len() - quant_sect - 4;
+        let last_link = bytes.len() - entry_set_sect(&idx) - quant_sect - 4;
         bytes[last_link..last_link + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = Hnsw::from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, LoadError::Format(_)));
@@ -456,10 +506,83 @@ mod tests {
         let mut bytes = idx.to_bytes();
         let dim = idx.dim();
         let n = idx.len();
-        // quant section sits at the tail: flag | lo | step | codes
+        // quant section sits before the entry-set tail: flag | lo | step | codes
         let sect = 1 + 4 * dim + 4 * dim + n * dim;
-        let step0 = bytes.len() - sect + 1 + 4 * dim;
+        let step0 = bytes.len() - entry_set_sect(&idx) - sect + 1 + 4 * dim;
         bytes[step0..step0 + 4].copy_from_slice(&0.0f32.to_bits().to_le_bytes());
+        let err = Hnsw::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, LoadError::Format(_)));
+    }
+
+    #[test]
+    fn round_trip_preserves_entry_set_and_beam() {
+        let idx = sample_index();
+        assert!(
+            idx.entry_set().len() > 1,
+            "600-point build selects a diverse entry set"
+        );
+        let back = Hnsw::from_bytes(&idx.to_bytes()).expect("round trip");
+        assert_eq!(
+            back.entry_set(),
+            idx.entry_set(),
+            "entry set must persist bit-identically"
+        );
+        assert_eq!(back.config().entry_beam, idx.config().entry_beam);
+        // a non-default knob survives too
+        let data = synth::sift_like(300, 8, 79);
+        let wide = Hnsw::build(
+            data,
+            Distance::L2,
+            HnswConfig::with_m(8).seed(79).entry_beam(7),
+        );
+        let back = Hnsw::from_bytes(&wide.to_bytes()).expect("round trip");
+        assert_eq!(back.config().entry_beam, 7);
+    }
+
+    /// Rewrites a v3 blob as its v2 equivalent: patch the version word,
+    /// drop the `entry_beam` config field, truncate the entry-set tail.
+    fn downgrade_to_v2(idx: &Hnsw) -> Vec<u8> {
+        let mut bytes = idx.to_bytes();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        // header layout: magic 8 | version 4 | dist 1 | dim 4 | n 4 | m 4
+        // | m_max0 4 | efc 4 | level_mult 8 | extend 1 | keep 1 | seed 8
+        // puts entry_beam at byte 51
+        bytes.drain(51..55);
+        bytes.truncate(bytes.len() - (1 + 4 * idx.entry_set().len()));
+        bytes
+    }
+
+    #[test]
+    fn legacy_v2_blob_recomputes_entry_set() {
+        let idx = sample_index();
+        let back = Hnsw::from_bytes(&downgrade_to_v2(&idx)).expect("v2 blob loads");
+        assert_eq!(back.config().entry_beam, HnswConfig::default().entry_beam);
+        assert_eq!(
+            back.entry_set(),
+            idx.entry_set(),
+            "recomputed entry set must match the fresh build's"
+        );
+        back.validate().expect("legacy load is validator-clean");
+        // and searches answer bit-identically to the fresh build
+        for i in (0..600).step_by(67) {
+            let q = idx.vectors().get(i);
+            let (a, _) = idx.search(q, 5, 48);
+            let (b, _) = back.search(q, 5, 48);
+            assert_eq!(a.len(), b.len(), "query {i}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "query {i}");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_entry_set_member_rejected() {
+        let idx = sample_index();
+        let mut bytes = idx.to_bytes();
+        assert!(!idx.entry_set().is_empty());
+        let first = bytes.len() - 4 * idx.entry_set().len();
+        bytes[first..first + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = Hnsw::from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, LoadError::Format(_)));
     }
