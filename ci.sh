@@ -53,6 +53,21 @@ FASTANN_THREADS=1 ./target/release/perf --only MDC_32K --threads 1 --gate --out 
 FASTANN_THREADS=4 ./target/release/perf --only MDC_32K --threads 4 --gate --out target
 test -s target/BENCH_MDC_32K.json
 
+echo "==> churn leg (live mutation: 90/5/5 read/insert/delete, recall gates)"
+# Deletes 20% of the corpus through MutationRequest while serving reads,
+# then compacts. --gate enforces survivor recall@10 >= 0.90 on the
+# tombstoned index and within 0.02 of a from-scratch rebuild after
+# compaction; the leg itself asserts no deleted id is ever served. The
+# emitted JSON holds only virtual/deterministic fields plus an FNV
+# fingerprint of every outcome and neighbor, so the cmp below is a
+# full-trajectory bit-identity check across FASTANN_THREADS settings.
+rm -rf target/churn_a target/churn_b
+mkdir -p target/churn_a target/churn_b
+FASTANN_THREADS=1 ./target/release/perf --churn --threads 1 --gate --out target/churn_a
+FASTANN_THREADS=4 ./target/release/perf --churn --threads 4 --gate --out target/churn_b
+cmp target/churn_a/BENCH_churn_SMOKE.json target/churn_b/BENCH_churn_SMOKE.json
+test -s target/churn_a/BENCH_churn_SMOKE.json
+
 echo "==> serve + obs smoke (seed-stable report, golden metrics)"
 # The load generator asserts nonzero throughput and request conservation
 # internally; CI additionally pins the determinism contract: two runs

@@ -21,7 +21,7 @@
 
 use std::fmt::Write as _;
 
-use fastann_core::{DistIndex, EngineConfig, SearchOptions};
+use fastann_core::{DistIndex, EngineConfig, Mutation, SearchOptions};
 use fastann_data::quant::Sq8;
 use fastann_data::{synth, VectorSet};
 use fastann_hnsw::HnswConfig;
@@ -215,6 +215,46 @@ fn run(w: &Workload, seed: u64, out_dir: &str, metrics: bool) {
         "{}: open-loop throughput must be nonzero",
         w.name
     );
+
+    // live-mutation leg: a deterministic churn slice (deletes + upserts)
+    // through the runtime, so the metrics snapshot carries the mutation
+    // series and the cache-epoch invalidation path runs end to end
+    let dead: Vec<u32> = (0..w.points as u32).step_by(97).take(8).collect();
+    let mut churn: Vec<Mutation> = dead
+        .iter()
+        .map(|&g| Mutation::Delete { global_id: g })
+        .collect();
+    let fresh_rows = synth::sift_like(4, w.dim, seed ^ 0x777);
+    churn.extend(fresh_rows.iter().map(|v| Mutation::Upsert {
+        global_id: None,
+        vector: v.to_vec(),
+    }));
+    let mutated = rt.apply_mutations(churn);
+    assert!(
+        mutated
+            .outcomes
+            .iter()
+            .all(fastann_core::MutationOutcome::effective),
+        "{}: every churn mutation must apply",
+        w.name
+    );
+    let probe = rt.serve_open(
+        dead.iter()
+            .enumerate()
+            .map(|(i, &g)| Request::new(i as u64, 0.0, data.get(g as usize).to_vec(), K))
+            .collect(),
+    );
+    for c in probe
+        .outcomes
+        .iter()
+        .filter_map(fastann_serve::Outcome::completion)
+    {
+        assert!(
+            c.results.iter().all(|n| !dead.contains(&n.id)),
+            "{}: deleted id surfaced after churn",
+            w.name
+        );
+    }
 
     // closed loop: a fixed client population, fresh runtime (and a
     // rebuilt index installed first, to exercise the epoch path)

@@ -66,6 +66,11 @@ pub struct DistIndex {
     pub router: Arc<Router>,
     /// Construction accounting.
     pub build_stats: BuildStats,
+    /// Engine-level mutation epoch: bumped once per effective mutation
+    /// batch (see [`crate::MutationRequest`]); result caches key on it.
+    pub mutation_epoch: u64,
+    /// Append-only record of applied mutations (in-memory only).
+    pub mutation_log: crate::mutation::MutationLog,
 }
 
 impl DistIndex {
@@ -144,6 +149,8 @@ impl DistIndex {
             partitions: Arc::new(partitions),
             router: Arc::new(Router::VpTree(tree)),
             build_stats,
+            mutation_epoch: 0,
+            mutation_log: crate::mutation::MutationLog::default(),
         }
     }
 
@@ -212,6 +219,8 @@ impl DistIndex {
             partitions: Arc::new(partitions),
             router: Arc::new(Router::FlatPivot { pivots, metric }),
             build_stats,
+            mutation_epoch: 0,
+            mutation_log: crate::mutation::MutationLog::default(),
         }
     }
 

@@ -663,6 +663,27 @@ fn record_worker_batch(m: &Metrics, served: &[(f64, f64)]) {
     m.gauge_max("fastann_worker_queue_depth", &[], depth_max as f64);
 }
 
+/// Per-partition serveability mask for `node`: partition `p` is replicated
+/// on cores `(p + i) mod P` for `i < replication`, and split-created
+/// partitions (id ≥ P) wrap onto the existing cores the same way the
+/// dispatcher does.
+fn serveable_partitions(
+    index: &DistIndex,
+    node: usize,
+    t_cores: usize,
+    p_cores: usize,
+    replication: usize,
+) -> Vec<bool> {
+    let mut serveable = vec![false; index.n_partitions()];
+    for (p, s) in serveable.iter_mut().enumerate() {
+        *s = (0..replication).any(|i| {
+            let c = (p + i) % p_cores;
+            c / t_cores == node
+        });
+    }
+    serveable
+}
+
 fn worker(
     rank: &mut Rank,
     index: &DistIndex,
@@ -689,14 +710,10 @@ fn worker(
         world.barrier(rank);
     }
 
-    // Partitions this node can serve: for each of its cores c, partitions
-    // {c-i mod P : i < r} (partition p is replicated on cores p..p+r-1).
-    let mut serveable = vec![false; p_cores];
-    for c in node * t_cores..(node + 1) * t_cores {
-        for i in 0..opts.replication {
-            serveable[(c + p_cores - i) % p_cores] = true;
-        }
-    }
+    // Partitions this node can serve: partition p is replicated on cores
+    // (p+i) mod P for i < r. Split-created partitions (id ≥ P) wrap onto
+    // the existing cores, so the table spans every partition, not just P.
+    let serveable = serveable_partitions(index, node, t_cores, p_cores, opts.replication);
 
     let mut pool = VThreadPool::new(t_cores, 0.0);
     pool.set_perturb(rank.sched_perturb());
@@ -1065,12 +1082,7 @@ fn worker_chaos(
     world.barrier(rank);
 
     // Partitions this node can serve (identical to the fault-free path).
-    let mut serveable = vec![false; p_cores];
-    for c in node * t_cores..(node + 1) * t_cores {
-        for i in 0..opts.replication {
-            serveable[(c + p_cores - i) % p_cores] = true;
-        }
-    }
+    let serveable = serveable_partitions(index, node, t_cores, p_cores, opts.replication);
 
     let mut pool = VThreadPool::new(t_cores, 0.0);
     pool.set_perturb(rank.sched_perturb());

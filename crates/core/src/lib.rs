@@ -51,6 +51,7 @@ mod build;
 mod config;
 mod engine;
 mod local;
+mod mutation;
 mod owner;
 mod persist;
 mod request;
@@ -69,6 +70,10 @@ pub use engine::{
 };
 pub use engine::{TAG_DONE, TAG_END, TAG_FLUSH, TAG_FLUSH_ACK, TAG_QUERY, TAG_RESULT};
 pub use local::{LocalIndex, LocalIndexKind};
+pub use mutation::{
+    CompactionEvent, LogEntry, Mutation, MutationLog, MutationOutcome, MutationReport,
+    MutationRequest, SplitEvent,
+};
 pub use owner::search_batch_multi_owner;
 pub use persist::PersistError;
 pub use request::SearchRequest;

@@ -31,6 +31,9 @@ pub enum LocalIndexKind {
 }
 
 /// A built per-partition index.
+// one LocalIndex per partition, always behind Arc<Partition> — the variant
+// size spread has no aggregate cost worth boxing the hot Hnsw variant for
+#[allow(clippy::large_enum_variant)]
 pub enum LocalIndex {
     /// HNSW graph.
     Hnsw(Hnsw),
@@ -219,6 +222,83 @@ impl LocalIndex {
     /// `true` when every reported neighbour is exact.
     pub fn is_exact(&self) -> bool {
         !matches!(self, LocalIndex::Hnsw(_))
+    }
+
+    /// `true` when the partition supports live mutation (HNSW only — the
+    /// tree and brute-force kinds are frozen ground-truth baselines).
+    pub fn supports_mutation(&self) -> bool {
+        matches!(self, LocalIndex::Hnsw(_))
+    }
+
+    /// The underlying HNSW graph, when this partition is served by one.
+    pub fn as_hnsw(&self) -> Option<&Hnsw> {
+        match self {
+            LocalIndex::Hnsw(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Appends a vector through the incremental HNSW insertion path and
+    /// returns its local row id. `None` when the kind is immutable.
+    pub fn insert(&mut self, v: &[f32]) -> Option<u32> {
+        match self {
+            LocalIndex::Hnsw(h) => Some(h.add(v)),
+            _ => None,
+        }
+    }
+
+    /// Tombstones local row `local_id`. Returns `Some(changed)` for an
+    /// HNSW partition (`false` when the row was already tombstoned),
+    /// `None` when the kind is immutable.
+    pub fn remove(&mut self, local_id: u32) -> Option<bool> {
+        match self {
+            LocalIndex::Hnsw(h) => Some(h.remove(local_id)),
+            _ => None,
+        }
+    }
+
+    /// `true` when local row `id` is live (always `true` for immutable
+    /// kinds, which cannot hold tombstones).
+    pub fn is_live(&self, id: u32) -> bool {
+        match self {
+            LocalIndex::Hnsw(h) => h.is_live(id),
+            _ => true,
+        }
+    }
+
+    /// Rows that are not tombstoned (== [`LocalIndex::len`] for immutable
+    /// kinds).
+    pub fn live_len(&self) -> usize {
+        match self {
+            LocalIndex::Hnsw(h) => h.live_len(),
+            other => other.len(),
+        }
+    }
+
+    /// Tombstoned fraction of the partition (`0.0` for immutable kinds).
+    pub fn tombstone_ratio(&self) -> f64 {
+        match self {
+            LocalIndex::Hnsw(h) => h.tombstone_ratio(),
+            _ => 0.0,
+        }
+    }
+
+    /// Partition-local mutation epoch (`0` forever for immutable kinds).
+    pub fn mutation_epoch(&self) -> u64 {
+        match self {
+            LocalIndex::Hnsw(h) => h.mutation_epoch(),
+            _ => 0,
+        }
+    }
+
+    /// Detaches accumulated tombstones from the HNSW graph (see
+    /// [`Hnsw::repair_tombstones`]); returns how many were detached (`0`
+    /// for immutable kinds).
+    pub fn repair_tombstones(&mut self) -> usize {
+        match self {
+            LocalIndex::Hnsw(h) => h.repair_tombstones(),
+            _ => 0,
+        }
     }
 }
 

@@ -178,7 +178,9 @@ fn node_main(
         route_ns += c;
         fanout += parts.len() as u64;
         for d in parts {
-            let core = d as usize; // no replication in this strategy
+            // No replication in this strategy; split-created partitions
+            // (id ≥ core count) wrap onto existing cores.
+            let core = d as usize % p_cores;
             per_core_queries[core] += 1;
             let target = core / t_cores;
             if target == me {

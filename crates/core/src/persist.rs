@@ -305,6 +305,8 @@ impl DistIndex {
             partitions: Arc::new(partitions),
             router: Arc::new(Router::VpTree(tree)),
             build_stats,
+            mutation_epoch: 0,
+            mutation_log: crate::mutation::MutationLog::default(),
         })
     }
 }

@@ -103,6 +103,12 @@ impl ReplicaDispatcher {
     /// round-robin pointer. Returns `(core, slot)`; keep `slot` to derive
     /// failover targets for this probe.
     pub fn next_primary(&mut self, part: u32) -> (usize, usize) {
+        // Partitions created by a dynamic split carry ids ≥ the core count;
+        // grow the per-partition pointer table on demand (their workgroup
+        // wraps onto existing cores via `member`).
+        if part as usize >= self.next_slot.len() {
+            self.next_slot.resize(part as usize + 1, 0);
+        }
         let slot = self.next_slot[part as usize];
         self.next_slot[part as usize] = (slot + 1) % self.replication;
         (self.member(part, slot), slot)

@@ -123,6 +123,8 @@ impl DistIndex {
             partitions: std::sync::Arc::clone(&self.partitions),
             router: std::sync::Arc::clone(&self.router),
             build_stats: self.build_stats.clone(),
+            mutation_epoch: self.mutation_epoch,
+            mutation_log: self.mutation_log.clone(),
         }
     }
 

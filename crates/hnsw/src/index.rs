@@ -76,7 +76,9 @@ pub struct Hnsw {
     graph: Graph,
     /// SQ8 quantizer trained on this partition's vectors at build time;
     /// `None` for empty indexes, unsupported metrics, or after a dynamic
-    /// [`Hnsw::add`] until [`Hnsw::train_quantizer`] refreshes the grid.
+    /// [`Hnsw::add`] of a point outside the trained grid, until
+    /// [`Hnsw::train_quantizer`] refreshes the grid (in-grid adds append
+    /// their code incrementally and keep quantized search on).
     quant: Option<Sq8>,
     /// `(entry node, top level)`; `None` for an empty index.
     entry: RwLock<Option<(u32, u8)>>,
@@ -91,6 +93,17 @@ pub struct Hnsw {
     /// Distance evaluations spent during construction (the quantity the
     /// distributed engine charges to a builder's virtual clock).
     build_ndist: std::sync::atomic::AtomicU64,
+    /// `tombstones[id]` marks a removed point: it stays in `data` and stays
+    /// traversable as a graph waypoint until [`Hnsw::repair_tombstones`]
+    /// detaches it, but it is filtered from every search result. All-`false`
+    /// for a freshly built index.
+    tombstones: Vec<bool>,
+    /// Number of non-tombstoned points (`len() - #tombstones`).
+    live: usize,
+    /// Monotone counter bumped by every successful mutation ([`Hnsw::add`],
+    /// [`Hnsw::remove`], [`Hnsw::repair_tombstones`]) — the cache-
+    /// invalidation signal the serving layer keys result freshness on.
+    mutation_epoch: u64,
 }
 
 /// Maximum layer index; levels are geometric so 30 is unreachable in
@@ -250,18 +263,19 @@ impl Hnsw {
         seen
     }
 
-    /// Ids unreachable from every entry (the entry point plus the diverse
-    /// entry set) on layer 0, ascending. Empty for an empty index. During
-    /// construction the entry set is not selected yet, so this degenerates
-    /// to single-entry reachability — the stronger invariant the repair
-    /// loop restores.
+    /// Live ids unreachable from every entry (the entry point plus the
+    /// diverse entry set) on layer 0, ascending. Empty for an empty index.
+    /// During construction the entry set is not selected yet, so this
+    /// degenerates to single-entry reachability — the stronger invariant
+    /// the repair loop restores. Tombstoned nodes are never orphans: a
+    /// repair pass detaches them on purpose.
     fn layer0_orphans(&self) -> Vec<u32> {
         let seen = self.layer0_reachable();
         if self.is_empty() {
             return Vec::new();
         }
         (0..self.len() as u32)
-            .filter(|&id| !seen[id as usize])
+            .filter(|&id| !seen[id as usize] && !self.tombstones[id as usize])
             .collect()
     }
 
@@ -293,6 +307,9 @@ impl Hnsw {
             entry: RwLock::new(None),
             entry_set: Vec::new(),
             build_ndist: std::sync::atomic::AtomicU64::new(0),
+            tombstones: vec![false; n],
+            live: n,
+            mutation_epoch: 0,
         }
     }
 
@@ -314,7 +331,9 @@ impl Hnsw {
             return Vec::new();
         };
         let mut cands: Vec<u32> = (0..self.len() as u32)
-            .filter(|&id| self.levels[id as usize] >= 1 && id != ep)
+            .filter(|&id| {
+                self.levels[id as usize] >= 1 && id != ep && !self.tombstones[id as usize]
+            })
             .collect();
         let mut min_d: Vec<f32> = cands
             .iter()
@@ -361,6 +380,197 @@ impl Hnsw {
     /// layer-0 beam from multiple basins.
     pub fn entry_set(&self) -> &[u32] {
         &self.entry_set
+    }
+
+    /// `true` while point `id` has not been tombstoned by [`Hnsw::remove`].
+    pub fn is_live(&self, id: u32) -> bool {
+        !self.tombstones[id as usize]
+    }
+
+    /// Number of live (non-tombstoned) points.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Fraction of stored points that are tombstoned (`0.0` for an empty
+    /// index) — the quantity compaction thresholds gate on.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.len() - self.live) as f64 / self.len() as f64
+        }
+    }
+
+    /// Monotone mutation counter: bumped by every [`Hnsw::add`],
+    /// [`Hnsw::remove`] and effective [`Hnsw::repair_tombstones`], so equal
+    /// epochs imply an identical live set. Serialized since v4.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
+    }
+
+    /// The tombstone map, for serialization.
+    pub(crate) fn tombstone_map(&self) -> &[bool] {
+        &self.tombstones
+    }
+
+    /// Tombstones point `id`: the point disappears from all future search
+    /// results immediately, but its node stays in the graph as a traversal
+    /// waypoint until [`Hnsw::repair_tombstones`] re-points the in-edges and
+    /// detaches it — the lazy half of LANNS-style delete handling. Returns
+    /// `false` (and leaves the epoch untouched) when `id` was already
+    /// tombstoned.
+    ///
+    /// If `id` is the entry point, the entry is re-elected deterministically
+    /// to the smallest-id live node of maximal level, so descents keep
+    /// starting from a live anchor. When the last live point is removed the
+    /// entry is left in place and searches return empty.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn remove(&mut self, id: u32) -> bool {
+        assert!((id as usize) < self.len(), "remove of out-of-range id {id}");
+        if self.tombstones[id as usize] {
+            return false;
+        }
+        self.tombstones[id as usize] = true;
+        self.live -= 1;
+        self.mutation_epoch += 1;
+        let was_entry = self.entry_snapshot().is_some_and(|(ep, _)| ep == id);
+        if was_entry {
+            self.reelect_entry();
+        }
+        // Upper-layer membership (or entry re-election) can change the
+        // k-center selection; pure layer-0 removals cannot.
+        if was_entry || self.levels[id as usize] >= 1 {
+            self.refresh_entry_set();
+        }
+        true
+    }
+
+    /// Re-points the entry to the smallest-id live node of maximal level.
+    /// Keeps the current (tombstoned) entry when no live node exists, so a
+    /// fully-tombstoned index stays structurally intact.
+    fn reelect_entry(&mut self) {
+        let mut best: Option<(u32, u8)> = None;
+        for id in 0..self.len() as u32 {
+            if self.tombstones[id as usize] {
+                continue;
+            }
+            let lvl = self.levels[id as usize];
+            if best.is_none_or(|(_, b)| lvl > b) {
+                best = Some((id, lvl));
+            }
+        }
+        if let Some(e) = best {
+            *self.entry.write() = Some(e);
+        }
+    }
+
+    /// Eager half of delete handling: re-points every live in-edge of every
+    /// tombstoned node toward surviving neighbours (per-layer reselection
+    /// over the union of the old neighbourhood and the tombstone's live
+    /// neighbours), then detaches the tombstoned nodes entirely and
+    /// re-inserts any live node the detachment orphaned. Tombstones stay
+    /// marked — their rows still occupy storage until a compaction rebuild —
+    /// but after repair they are pure dead weight: unreachable, zero-degree,
+    /// and cost nothing per query.
+    ///
+    /// Runs strictly sequentially in ascending id order, so the outcome is a
+    /// pure function of the pre-repair graph — bit-identical across thread
+    /// counts. Returns the number of nodes detached (`0` leaves the epoch
+    /// untouched).
+    pub fn repair_tombstones(&mut self) -> usize {
+        let dead: Vec<u32> = (0..self.len() as u32)
+            .filter(|&id| self.tombstones[id as usize])
+            .collect();
+        // Only nodes that still carry edges need work; earlier repairs left
+        // the rest already detached.
+        let attached: Vec<u32> = dead
+            .iter()
+            .copied()
+            .filter(|&t| {
+                (0..=(self.levels[t as usize] as usize))
+                    .any(|l| self.graph.with_neighbors(t, l, |ns| !ns.is_empty()))
+            })
+            .collect();
+        if attached.is_empty() {
+            return 0;
+        }
+        let mut scratch = SearchScratch::with_capacity(self.len());
+        for &t in &attached {
+            for layer in 0..=(self.levels[t as usize] as usize) {
+                let mut t_nbrs = self.graph.neighbors(t, layer);
+                t_nbrs.sort_unstable();
+                for &u in &t_nbrs {
+                    if self.tombstones[u as usize] {
+                        continue;
+                    }
+                    self.repoint_through(u, t, &t_nbrs, layer, &mut scratch);
+                }
+            }
+            self.unlink(t);
+        }
+        // Detaching waypoints can disconnect live nodes; restore live
+        // reachability with the same unlink + re-insert loop the builds use.
+        self.repair_layer0(&mut scratch);
+        self.reelect_entry();
+        self.refresh_entry_set();
+        self.mutation_epoch += 1;
+        attached.len()
+    }
+
+    /// Reselects live node `u`'s neighbourhood at `layer` over its current
+    /// neighbours plus tombstoned node `t`'s live neighbours (`t_nbrs`), so
+    /// the edge `u -> t` is replaced by edges "through" `t` to its
+    /// survivors. Mirrors the insert-path link protocol: dropped edges lose
+    /// their reverse too, added edges gain one via [`Hnsw::link_back`].
+    fn repoint_through(
+        &self,
+        u: u32,
+        t: u32,
+        t_nbrs: &[u32],
+        layer: usize,
+        scratch: &mut SearchScratch,
+    ) {
+        let old = self.graph.neighbors(u, layer);
+        let mut cand_ids: Vec<u32> = old
+            .iter()
+            .chain(t_nbrs)
+            .copied()
+            .filter(|&c| c != u && c != t && !self.tombstones[c as usize])
+            .collect();
+        cand_ids.sort_unstable();
+        cand_ids.dedup();
+        let uv = self.data.get(u as usize);
+        let mut cands: Vec<Neighbor> = cand_ids
+            .iter()
+            .map(|&c| {
+                scratch.ndist += 1;
+                Neighbor::new(c, self.dist.eval(uv, self.data.get(c as usize)))
+            })
+            .collect();
+        cands.sort_unstable();
+        let selected = select_neighbors_heuristic(
+            &self.data,
+            uv,
+            &cands,
+            self.config.max_links(layer),
+            self.dist,
+            self.config.keep_pruned,
+            &mut scratch.ndist,
+        );
+        for &l in &old {
+            if l != t && !selected.contains(&l) {
+                self.graph.remove_neighbor(l, layer, u);
+            }
+        }
+        self.graph.set_neighbors(u, layer, selected.clone());
+        for &s in &selected {
+            if !old.contains(&s) {
+                self.link_back(s, u, layer, scratch);
+            }
+        }
     }
 
     /// (Re)trains the SQ8 quantizer on the current vectors, enabling
@@ -432,6 +642,7 @@ impl Hnsw {
                 graph.set_neighbors(id as u32, layer, l);
             }
         }
+        let n = levels.len();
         Self {
             config,
             dist,
@@ -442,7 +653,25 @@ impl Hnsw {
             entry: RwLock::new(entry),
             entry_set,
             build_ndist: std::sync::atomic::AtomicU64::new(0),
+            tombstones: vec![false; n],
+            live: n,
+            mutation_epoch: 0,
         }
+    }
+
+    /// Attaches deserialized mutation state (v4 blobs): the tombstone map
+    /// and the epoch counter. Pre-v4 blobs carry neither and keep the
+    /// all-live defaults [`Hnsw::from_parts`] installs.
+    pub(crate) fn with_mutation_state(mut self, tombstones: Vec<bool>, epoch: u64) -> Self {
+        assert_eq!(
+            tombstones.len(),
+            self.len(),
+            "tombstone map length mismatch"
+        );
+        self.live = tombstones.iter().filter(|&&t| !t).count();
+        self.tombstones = tombstones;
+        self.mutation_epoch = epoch;
+        self
     }
 
     /// Highest-level node first, then natural order — gives the parallel
@@ -527,6 +756,35 @@ impl Hnsw {
         }
     }
 
+    /// The beam restricted to link-eligible candidates: tombstoned nodes
+    /// may carry a beam as waypoints but a new node must never link to one
+    /// (their edges vanish at repair, which would orphan the newcomer).
+    /// Borrows the beam unchanged on the all-live fast path.
+    fn live_candidates<'a>(&self, w: &'a [Neighbor]) -> std::borrow::Cow<'a, [Neighbor]> {
+        if self.live == self.len() {
+            std::borrow::Cow::Borrowed(w)
+        } else {
+            std::borrow::Cow::Owned(
+                w.iter()
+                    .copied()
+                    .filter(|n| !self.tombstones[n.id as usize])
+                    .collect(),
+            )
+        }
+    }
+
+    /// Deterministically widens a beam bound to compensate for tombstoned
+    /// beam slots: `ef · n / live`, rounded up (integer arithmetic, so the
+    /// widening is bit-identical everywhere). Identity on an all-live
+    /// index; callers guard `live == 0` before searching.
+    fn inflate_ef(&self, ef: usize) -> usize {
+        if self.live == self.len() || self.live == 0 {
+            ef
+        } else {
+            (ef * self.len()).div_ceil(self.live)
+        }
+    }
+
     /// Inserts node `id` (its vector is already in `self.data`).
     /// Construction always runs exact: link structure must not inherit
     /// quantization error.
@@ -561,7 +819,7 @@ impl Hnsw {
             let selected = select_neighbors_heuristic(
                 &self.data,
                 &q,
-                &w,
+                &self.live_candidates(&w),
                 self.config.m,
                 self.dist,
                 self.config.keep_pruned,
@@ -614,7 +872,7 @@ impl Hnsw {
             let selected = select_neighbors_heuristic(
                 &self.data,
                 &q,
-                &w,
+                &self.live_candidates(&w),
                 self.config.m,
                 self.dist,
                 self.config.keep_pruned,
@@ -877,6 +1135,8 @@ impl Hnsw {
         let level = assign_level(self.config.seed, id, self.config.level_mult);
         self.data.push(v);
         self.levels.push(level);
+        self.tombstones.push(false);
+        self.live += 1;
         self.graph
             .push_node(level as usize, self.config.m, self.config.m_max0);
         let mut scratch = SearchScratch::with_capacity(self.len());
@@ -887,12 +1147,36 @@ impl Hnsw {
         if level >= 1 || self.entry_set.is_empty() {
             self.refresh_entry_set();
         }
-        // The trained grid no longer covers the new point (its bounds may
-        // lie outside the training box), so quantized search is disabled
-        // until the caller retrains; searches fall back to exact rather
-        // than silently rank against a stale grid.
-        self.quant = None;
+        // Incremental quantizer refresh: when the trained grid already
+        // covers the new point, append its code to the codebook (same lo /
+        // step, norms recomputed by `from_parts`) and quantized search stays
+        // on. A point outside the training box would clamp — silently wrong
+        // ranks — so the grid is dropped instead and searches fall back to
+        // exact until the caller retrains.
+        self.quant = match self.quant.take() {
+            Some(sq) if Self::in_grid(&sq, v) => {
+                let mut codes = sq.codes().to_vec();
+                codes.extend_from_slice(&sq.encode_query(v));
+                Some(Sq8::from_parts(
+                    sq.dim(),
+                    sq.lo().to_vec(),
+                    sq.step().to_vec(),
+                    codes,
+                ))
+            }
+            _ => None,
+        };
+        self.mutation_epoch += 1;
         id
+    }
+
+    /// `true` when `v` lies inside the per-dimension box `sq` was trained
+    /// on, i.e. encoding it loses no more than the grid's native rounding.
+    fn in_grid(sq: &Sq8, v: &[f32]) -> bool {
+        v.iter().enumerate().all(|(d, &x)| {
+            let lo = sq.lo()[d];
+            x >= lo && x <= lo + 255.0 * sq.step()[d]
+        })
     }
 
     /// Validates the structural invariants of the layered graph:
@@ -907,8 +1191,13 @@ impl Hnsw {
     /// * the diverse entry set, when present, is in range, duplicate-free,
     ///   starts with the entry point, respects [`ENTRY_SET_CAP`], and every
     ///   other member participates above layer 0;
-    /// * every node is reachable on layer 0 from at least one entry (the
-    ///   entry point or an entry-set member).
+    /// * the tombstone map covers every row, agrees with the live counter,
+    ///   and — while any live node remains — neither the entry point nor an
+    ///   entry-set member is tombstoned;
+    /// * every **live** node is reachable on layer 0 from at least one
+    ///   entry (the entry point or an entry-set member); tombstoned nodes
+    ///   may be reachable (pre-repair waypoints) or isolated (post-repair)
+    ///   but must never be the only path to a live node.
     ///
     /// Every construction path — [`Hnsw::build`], [`Hnsw::build_parallel`],
     /// and [`Hnsw::add`] — must satisfy all of these (the builds check
@@ -933,11 +1222,45 @@ impl Hnsw {
                 self.levels[ep as usize]
             ));
         }
-        let max_level = self.levels.iter().copied().max().unwrap_or(0);
-        if top != max_level {
+        // Mutation-state consistency: the tombstone map tracks every row and
+        // the live counter matches it.
+        if self.tombstones.len() != n {
             return Err(format!(
-                "entry-point level {top} is not the graph maximum {max_level}"
+                "tombstone map covers {} of {n} nodes",
+                self.tombstones.len()
             ));
+        }
+        let live = self.tombstones.iter().filter(|&&t| !t).count();
+        if live != self.live {
+            return Err(format!(
+                "live counter {} disagrees with tombstone map ({live} live)",
+                self.live
+            ));
+        }
+        if live > 0 && self.tombstones[ep as usize] {
+            return Err(format!(
+                "entry point {ep} is tombstoned while {live} live nodes remain"
+            ));
+        }
+        // The entry level must be the maximum over live nodes: removals
+        // re-elect the entry among survivors, so a higher-levelled tombstone
+        // is legal but a higher-levelled live node means the entry is stale.
+        // A fully-tombstoned index keeps whatever entry history left (every
+        // search short-circuits to empty), so the check is vacuous there.
+        if live > 0 {
+            let max_level = self
+                .levels
+                .iter()
+                .zip(&self.tombstones)
+                .filter(|&(_, &t)| !t)
+                .map(|(&l, _)| l)
+                .max()
+                .unwrap_or(0);
+            if top != max_level {
+                return Err(format!(
+                    "entry-point level {top} is not the graph maximum {max_level}"
+                ));
+            }
         }
         for id in 0..n as u32 {
             let level = self.levels[id as usize] as usize;
@@ -1020,17 +1343,25 @@ impl Hnsw {
                         "entry-set member {e} does not participate above layer 0"
                     ));
                 }
+                if live > 0 && self.tombstones[e as usize] {
+                    return Err(format!("entry-set member {e} is tombstoned"));
+                }
             }
         }
-        // Layer-0 reachability from the entries (the entry point plus every
-        // entry-set member — searches seed the layer-0 beam from all of
-        // them, so a point is searchable iff some entry reaches it).
+        // Layer-0 reachability of every LIVE node from the entries (the
+        // entry point plus every entry-set member — searches seed the
+        // layer-0 beam from all of them, so a point is searchable iff some
+        // entry reaches it). Tombstoned nodes may remain reachable as
+        // waypoints before a repair pass and become isolated after one;
+        // both states are legal — what must never happen is a live node
+        // only reachable through edges a repair already removed.
         let seen = self.layer0_reachable();
-        let reached = seen.iter().filter(|&&s| s).count();
-        if reached != n {
+        let unreachable = (0..n)
+            .filter(|&id| !seen[id] && !self.tombstones[id])
+            .count();
+        if unreachable != 0 {
             return Err(format!(
-                "{} of {n} nodes unreachable from the {} entries on layer 0",
-                n - reached,
+                "{unreachable} of {live} live nodes unreachable from the {} entries on layer 0",
                 1 + self.entry_set.len()
             ));
         }
@@ -1074,14 +1405,20 @@ impl Hnsw {
         assert!(k > 0, "k must be positive");
         assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
         scratch.begin(self.len());
+        if self.live == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
         let beam = self.resolve_beam(entry_beam);
         let qd = QueryDist::Exact(q);
-        let ef = ef.max(k);
+        let ef = self.inflate_ef(ef.max(k));
         let (seeds, hops, entry_seeds) = self.descend(&qd, beam, scratch);
         if seeds.is_empty() {
             return (Vec::new(), SearchStats::default());
         }
-        let w = self.search_layer(&qd, &seeds, ef, 0, scratch);
+        let mut w = self.search_layer(&qd, &seeds, ef, 0, scratch);
+        if self.live < self.len() {
+            w.retain(|n| !self.tombstones[n.id as usize]);
+        }
         let out: Vec<Neighbor> = w.into_iter().take(k).collect();
         (
             out,
@@ -1171,17 +1508,23 @@ impl Hnsw {
             return self.search_with_beam(q, k, ef, entry_beam, scratch);
         };
         scratch.begin(self.len());
+        if self.live == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
         let beam = self.resolve_beam(entry_beam);
         let qd = QueryDist::Quant {
             sq,
             prep: sq.prepare_query(q),
         };
-        let ef = ef.max(k);
+        let ef = self.inflate_ef(ef.max(k));
         let (seeds, hops, entry_seeds) = self.descend(&qd, beam, scratch);
         if seeds.is_empty() {
             return (Vec::new(), SearchStats::default());
         }
-        let w = self.search_layer(&qd, &seeds, ef, 0, scratch);
+        let mut w = self.search_layer(&qd, &seeds, ef, 0, scratch);
+        if self.live < self.len() {
+            w.retain(|n| !self.tombstones[n.id as usize]);
+        }
         let pool = rerank_factor.saturating_mul(k).min(w.len());
         let out = rerank_exact(self.dist, &self.data, q, &w, pool, k, &mut scratch.ndist);
         (
@@ -1959,5 +2302,245 @@ mod tests {
         );
         let (r, _) = idx.search(data.get(7), 3, 32);
         assert_eq!(r[0].id, 7);
+    }
+
+    #[test]
+    fn remove_filters_results_immediately() {
+        let (data, idx) = small_index(800, 12, 90);
+        let mut idx = idx;
+        let removed: Vec<u32> = (0..800).step_by(5).map(|i| i as u32).collect();
+        for &id in &removed {
+            assert!(idx.remove(id), "first removal of {id} succeeds");
+            assert!(!idx.remove(id), "second removal of {id} is a no-op");
+        }
+        assert_eq!(idx.live_len(), 800 - removed.len());
+        assert!((idx.tombstone_ratio() - 0.2).abs() < 1e-9);
+        let mut scratch = SearchScratch::with_capacity(idx.len());
+        for i in (0..800).step_by(31) {
+            let (r, _) = idx.search_with_scratch(data.get(i), 10, 64, &mut scratch);
+            assert!(
+                r.iter().all(|h| idx.is_live(h.id)),
+                "query {i} surfaced a tombstoned id"
+            );
+            let (rq, _) = idx.search_quantized_with_scratch(data.get(i), 10, 64, 3, &mut scratch);
+            assert!(
+                rq.iter().all(|h| idx.is_live(h.id)),
+                "quantized query {i} surfaced a tombstoned id"
+            );
+            if idx.is_live(i as u32) {
+                assert_eq!(r[0].id, i as u32, "live point {i} must still find itself");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_of_entry_point_reelects_live_entry() {
+        let (_, idx) = small_index(500, 8, 91);
+        let mut idx = idx;
+        let (ep, _) = idx.entry_snapshot().expect("non-empty");
+        assert!(idx.remove(ep));
+        let (new_ep, _) = idx.entry_snapshot().expect("still has an entry");
+        assert_ne!(new_ep, ep);
+        assert!(idx.is_live(new_ep), "re-elected entry must be live");
+        idx.validate()
+            .expect("entry re-election keeps the graph valid");
+        assert_eq!(idx.entry_set()[0], new_ep, "entry set follows the entry");
+    }
+
+    #[test]
+    fn remove_all_points_yields_empty_results() {
+        let (data, idx) = small_index(60, 8, 92);
+        let mut idx = idx;
+        for id in 0..60 {
+            idx.remove(id);
+        }
+        assert_eq!(idx.live_len(), 0);
+        assert_eq!(idx.tombstone_ratio(), 1.0);
+        idx.validate().expect("fully tombstoned index is valid");
+        assert!(idx.search(data.get(0), 5, 32).0.is_empty());
+        assert!(idx.search_quantized(data.get(0), 5, 32, 3).0.is_empty());
+    }
+
+    #[test]
+    fn mutation_epoch_bumps_on_every_effective_mutation() {
+        let (_, idx) = small_index(100, 8, 93);
+        let mut idx = idx;
+        assert_eq!(idx.mutation_epoch(), 0, "fresh build starts at epoch 0");
+        idx.remove(7);
+        assert_eq!(idx.mutation_epoch(), 1);
+        idx.remove(7); // no-op
+        assert_eq!(idx.mutation_epoch(), 1);
+        idx.add(&[0.25; 8]);
+        assert_eq!(idx.mutation_epoch(), 2);
+        assert!(idx.repair_tombstones() > 0);
+        assert_eq!(idx.mutation_epoch(), 3);
+        assert_eq!(idx.repair_tombstones(), 0, "nothing left to detach");
+        assert_eq!(idx.mutation_epoch(), 3, "no-op repair leaves the epoch");
+    }
+
+    #[test]
+    fn add_in_grid_keeps_quantizer_incrementally() {
+        let (data, idx) = small_index(300, 8, 94);
+        let mut idx = idx;
+        assert!(idx.quantizer().is_some());
+        // a copy of a stored row is inside the trained box by construction
+        let v = data.get(42).to_vec();
+        let id = idx.add(&v);
+        let sq = idx
+            .quantizer()
+            .expect("in-grid add keeps quantized search on");
+        assert_eq!(sq.len(), idx.len(), "codebook grew with the index");
+        let (hits, stats) = idx.search_quantized(&v, 2, 32, 4);
+        assert!(stats.ndist_quant > 0, "traversal stays quantized");
+        assert!(
+            hits.iter().any(|h| h.id == id || h.id == 42),
+            "appended point (or its duplicate) must be findable"
+        );
+    }
+
+    #[test]
+    fn repair_tombstones_detaches_dead_nodes_and_keeps_recall() {
+        let data = synth::sift_like(1200, 12, 95);
+        let mut idx = Hnsw::build(data.clone(), Distance::L2, HnswConfig::with_m(8).seed(95));
+        let removed: Vec<u32> = (0..1200).step_by(5).map(|i| i as u32).collect();
+        for &id in &removed {
+            idx.remove(id);
+        }
+        idx.validate()
+            .expect("pre-repair tombstoned graph is valid");
+        let survivor_recall = |idx: &Hnsw| {
+            let queries = synth::queries_near(&data, 30, 0.02, 96);
+            let mut scratch = SearchScratch::with_capacity(idx.len());
+            let mut total = 0.0;
+            for qi in 0..queries.len() {
+                let q = queries.get(qi);
+                // survivor ground truth: top-10 live ids by exact distance
+                let mut gt: Vec<Neighbor> = (0..1200u32)
+                    .filter(|&id| idx.is_live(id))
+                    .map(|id| Neighbor::new(id, Distance::L2.eval(q, data.get(id as usize))))
+                    .collect();
+                gt.sort_unstable();
+                let gt: Vec<u32> = gt.iter().take(10).map(|n| n.id).collect();
+                let (r, _) = idx.search_with_scratch(q, 10, 96, &mut scratch);
+                total += r.iter().filter(|h| gt.contains(&h.id)).count() as f64 / 10.0;
+            }
+            total / queries.len() as f64
+        };
+        let pre = survivor_recall(&idx);
+        assert!(pre >= 0.90, "pre-repair survivor recall too low: {pre}");
+        let detached = idx.repair_tombstones();
+        assert_eq!(detached, removed.len(), "every tombstone gets detached");
+        idx.validate().expect("post-repair graph is valid");
+        for &t in &removed {
+            for layer in 0..=idx.level(t) as usize {
+                assert!(
+                    idx.links_of(t, layer).is_empty(),
+                    "tombstone {t} still carries edges at layer {layer}"
+                );
+            }
+        }
+        let post = survivor_recall(&idx);
+        assert!(post >= 0.90, "post-repair survivor recall too low: {post}");
+    }
+
+    #[test]
+    fn validator_accepts_tombstones_pre_and_post_repair() {
+        let (_, idx) = small_index(400, 8, 97);
+        let mut idx = idx;
+        for id in (0..400).step_by(7) {
+            idx.remove(id);
+        }
+        idx.validate()
+            .expect("lazy tombstones uphold every invariant");
+        idx.repair_tombstones();
+        idx.validate().expect("repaired graph upholds them too");
+    }
+
+    #[test]
+    fn validator_rejects_tombstoned_entry_point() {
+        let idx = Hnsw::from_parts(
+            HnswConfig::with_m(4),
+            Distance::L2,
+            tiny_points(3),
+            vec![0, 0, 0],
+            vec![vec![vec![1, 2]], vec![vec![0, 2]], vec![vec![0, 1]]],
+            Some((0, 0)),
+            Vec::new(),
+            None,
+        )
+        .with_mutation_state(vec![true, false, false], 1);
+        let err = idx.validate().expect_err("dead entry must be caught");
+        assert!(err.contains("entry point 0 is tombstoned"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_live_orphan_but_tolerates_dead_one() {
+        // node 2 is an island. Tombstoned it is legal post-repair residue;
+        // live it is an unsearchable point and must be rejected.
+        let fixture = |tombs: Vec<bool>| {
+            Hnsw::from_parts(
+                HnswConfig::with_m(4),
+                Distance::L2,
+                tiny_points(3),
+                vec![0, 0, 0],
+                vec![vec![vec![1]], vec![vec![0]], vec![vec![]]],
+                Some((0, 0)),
+                Vec::new(),
+                None,
+            )
+            .with_mutation_state(tombs, 1)
+        };
+        fixture(vec![false, false, true])
+            .validate()
+            .expect("detached tombstone is legal");
+        let err = fixture(vec![false, true, false])
+            .validate()
+            .expect_err("live island must be caught");
+        assert!(err.contains("unreachable"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_tombstoned_entry_set_member() {
+        let idx = Hnsw::from_parts(
+            HnswConfig::with_m(4),
+            Distance::L2,
+            tiny_points(3),
+            vec![1, 1, 0],
+            vec![
+                vec![vec![1, 2], vec![1]],
+                vec![vec![0, 2], vec![0]],
+                vec![vec![0, 1]],
+            ],
+            Some((0, 1)),
+            vec![0, 1],
+            None,
+        )
+        .with_mutation_state(vec![false, true, false], 1);
+        let err = idx.validate().expect_err("dead member must be caught");
+        assert!(err.contains("entry-set member 1 is tombstoned"), "{err}");
+    }
+
+    #[test]
+    fn tombstoned_waypoints_still_route_searches() {
+        // Two clusters bridged only through a node that gets tombstoned:
+        // pre-repair the dead node keeps routing queries across the bridge.
+        let (data, idx) = small_index(600, 12, 98);
+        let mut idx = idx;
+        let (ep, _) = idx.entry_snapshot().expect("non-empty");
+        // tombstone the entry's entire layer-0 neighbourhood: every descent
+        // now must pass through dead waypoints to leave the entry's basin
+        let hood = idx.links_of(ep, 0);
+        for &id in &hood {
+            idx.remove(id);
+        }
+        idx.validate().expect("tombstoned neighbourhood is valid");
+        let mut scratch = SearchScratch::with_capacity(idx.len());
+        for i in (0..600).step_by(43) {
+            if !idx.is_live(i as u32) {
+                continue;
+            }
+            let (r, _) = idx.search_with_scratch(data.get(i), 1, 64, &mut scratch);
+            assert_eq!(r[0].id, i as u32, "point {i} lost behind dead waypoints");
+        }
     }
 }

@@ -16,15 +16,19 @@
 //! links: per node, per layer 0..=level: len u32, len × u32
 //! quant (v2): present u8 [lo dim × f32, step dim × f32, codes n·dim × u8]
 //! entry set (v3): len u8, len × u32
+//! mutation state (v4): epoch u64, any u8 [tombstones n × u8]
 //! ```
 //!
 //! Version 2 appends the trained SQ8 quantizer so a loaded index searches
 //! quantized-first without retraining; version 3 adds the `entry_beam`
-//! config knob and the diverse entry set. Older blobs are still accepted:
-//! version-1 files retrain their quantizer from the stored vectors, and
-//! pre-v3 files default `entry_beam` and recompute the entry set — both
-//! pure functions of the stored data, so the loaded index matches a fresh
-//! build exactly.
+//! config knob and the diverse entry set; version 4 adds the mutation
+//! epoch and the tombstone map (one byte per row, written only when any
+//! row is tombstoned — the common all-live case costs nine bytes). Older
+//! blobs are still accepted: version-1 files retrain their quantizer from
+//! the stored vectors, pre-v3 files default `entry_beam` and recompute the
+//! entry set — both pure functions of the stored data, so the loaded index
+//! matches a fresh build exactly — and pre-v4 files load all-live at
+//! epoch zero.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -37,7 +41,7 @@ use crate::config::HnswConfig;
 use crate::index::Hnsw;
 
 const MAGIC: &[u8; 8] = b"FANNHNSW";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 /// Oldest version [`Hnsw::read_from`] still accepts (pre-quantizer).
 const MIN_VERSION: u32 = 1;
 
@@ -187,6 +191,16 @@ impl Hnsw {
         w.write_all(&[es.len() as u8])?;
         for &e in es {
             w.write_all(&e.to_le_bytes())?;
+        }
+        w.write_all(&self.mutation_epoch().to_le_bytes())?;
+        let tombs = self.tombstone_map();
+        if tombs.iter().any(|&t| t) {
+            w.write_all(&[1u8])?;
+            for &t in tombs {
+                w.write_all(&[u8::from(t)])?;
+            }
+        } else {
+            w.write_all(&[0u8])?;
         }
         Ok(())
     }
@@ -344,6 +358,31 @@ impl Hnsw {
         let mut index = Hnsw::from_parts(
             config, dist, data, levels, all_links, entry, entry_set, quant,
         );
+        if version >= 4 {
+            let epoch = rd.u64()?;
+            let tombstones = match rd.u8()? {
+                0 => vec![false; n],
+                1 => {
+                    let mut map = vec![0u8; n];
+                    rd.inner
+                        .read_exact(&mut map)
+                        .map_err(|_| LoadError::Format("truncated".into()))?;
+                    let mut tombs = Vec::with_capacity(n);
+                    for b in map {
+                        match b {
+                            0 => tombs.push(false),
+                            1 => tombs.push(true),
+                            x => {
+                                return Err(LoadError::Format(format!("bad tombstone byte {x}")));
+                            }
+                        }
+                    }
+                    tombs
+                }
+                x => return Err(LoadError::Format(format!("bad tombstone flag {x}"))),
+            };
+            index = index.with_mutation_state(tombstones, epoch);
+        }
         if version < 2 {
             // pre-quantizer blob: train from the stored vectors (a pure
             // function of the data, so the grid matches a fresh build)
@@ -449,14 +488,24 @@ mod tests {
         1 + 4 * idx.entry_set().len()
     }
 
+    /// Bytes the v4 mutation-state tail section occupies.
+    fn mut_sect(idx: &Hnsw) -> usize {
+        8 + 1
+            + if idx.live_len() < idx.len() {
+                idx.len()
+            } else {
+                0
+            }
+    }
+
     #[test]
     fn corrupted_link_target_rejected() {
         let idx = sample_index();
         let mut bytes = idx.to_bytes();
-        // the links section ends right before the quant + entry-set tail;
-        // stomp the last link id with an out-of-range value
+        // the links section ends right before the quant + entry-set +
+        // mutation tail; stomp the last link id with an out-of-range value
         let quant_sect = 1 + 8 * idx.dim() + idx.len() * idx.dim();
-        let last_link = bytes.len() - entry_set_sect(&idx) - quant_sect - 4;
+        let last_link = bytes.len() - mut_sect(&idx) - entry_set_sect(&idx) - quant_sect - 4;
         bytes[last_link..last_link + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = Hnsw::from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, LoadError::Format(_)));
@@ -506,9 +555,10 @@ mod tests {
         let mut bytes = idx.to_bytes();
         let dim = idx.dim();
         let n = idx.len();
-        // quant section sits before the entry-set tail: flag | lo | step | codes
+        // quant section sits before the entry-set + mutation tail:
+        // flag | lo | step | codes
         let sect = 1 + 4 * dim + 4 * dim + n * dim;
-        let step0 = bytes.len() - entry_set_sect(&idx) - sect + 1 + 4 * dim;
+        let step0 = bytes.len() - mut_sect(&idx) - entry_set_sect(&idx) - sect + 1 + 4 * dim;
         bytes[step0..step0 + 4].copy_from_slice(&0.0f32.to_bits().to_le_bytes());
         let err = Hnsw::from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, LoadError::Format(_)));
@@ -539,8 +589,9 @@ mod tests {
         assert_eq!(back.config().entry_beam, 7);
     }
 
-    /// Rewrites a v3 blob as its v2 equivalent: patch the version word,
-    /// drop the `entry_beam` config field, truncate the entry-set tail.
+    /// Rewrites a v4 blob as its v2 equivalent: patch the version word,
+    /// drop the `entry_beam` config field, truncate the entry-set and
+    /// mutation-state tails.
     fn downgrade_to_v2(idx: &Hnsw) -> Vec<u8> {
         let mut bytes = idx.to_bytes();
         bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
@@ -548,8 +599,48 @@ mod tests {
         // | m_max0 4 | efc 4 | level_mult 8 | extend 1 | keep 1 | seed 8
         // puts entry_beam at byte 51
         bytes.drain(51..55);
-        bytes.truncate(bytes.len() - (1 + 4 * idx.entry_set().len()));
+        bytes.truncate(bytes.len() - mut_sect(idx) - (1 + 4 * idx.entry_set().len()));
         bytes
+    }
+
+    /// Rewrites a v4 blob as its v3 equivalent: patch the version word and
+    /// truncate the mutation-state tail.
+    fn downgrade_to_v3(idx: &Hnsw) -> Vec<u8> {
+        let mut bytes = idx.to_bytes();
+        bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
+        bytes.truncate(bytes.len() - mut_sect(idx));
+        bytes
+    }
+
+    #[test]
+    fn round_trip_preserves_tombstones_and_epoch() {
+        let mut idx = sample_index();
+        for id in [3u32, 77, 410, 599] {
+            assert!(idx.remove(id));
+        }
+        let back = Hnsw::from_bytes(&idx.to_bytes()).expect("v4 round trip");
+        assert_eq!(back.live_len(), idx.live_len());
+        assert_eq!(back.mutation_epoch(), idx.mutation_epoch());
+        for id in 0..idx.len() as u32 {
+            assert_eq!(back.is_live(id), idx.is_live(id), "tombstone {id}");
+        }
+        back.validate().expect("loaded tombstoned index is valid");
+        // deleted ids stay filtered after the round trip
+        let q = idx.vectors().get(77);
+        assert!(back.search(q, 5, 48).0.iter().all(|h| h.id != 77));
+    }
+
+    #[test]
+    fn legacy_v3_blob_loads_all_live_at_epoch_zero() {
+        let idx = sample_index();
+        let back = Hnsw::from_bytes(&downgrade_to_v3(&idx)).expect("v3 blob loads");
+        assert_eq!(back.live_len(), back.len());
+        assert_eq!(back.mutation_epoch(), 0);
+        back.validate().expect("legacy v3 load is validator-clean");
+        for i in (0..600).step_by(67) {
+            let q = idx.vectors().get(i);
+            assert_eq!(idx.search(q, 5, 48).0, back.search(q, 5, 48).0, "query {i}");
+        }
     }
 
     #[test]
@@ -581,7 +672,7 @@ mod tests {
         let idx = sample_index();
         let mut bytes = idx.to_bytes();
         assert!(!idx.entry_set().is_empty());
-        let first = bytes.len() - 4 * idx.entry_set().len();
+        let first = bytes.len() - mut_sect(&idx) - 4 * idx.entry_set().len();
         bytes[first..first + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = Hnsw::from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, LoadError::Format(_)));

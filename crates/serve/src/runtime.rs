@@ -15,7 +15,7 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
 
-use fastann_core::{DistIndex, SearchRequest};
+use fastann_core::{DistIndex, Mutation, MutationReport, MutationRequest, SearchRequest};
 use fastann_data::quant::Sq8;
 use fastann_data::VectorSet;
 use fastann_mpisim::{EventQueue, VClock};
@@ -138,6 +138,34 @@ impl ServeRuntime {
     /// Result-cache counter snapshot.
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Applies a batch of live mutations to the served index through the
+    /// engine's [`MutationRequest`] builder (upserts, deletes, then
+    /// background compaction above `compact_threshold`). When the batch
+    /// changed the index, the result-cache epoch is bumped so no request
+    /// served afterwards can observe a hit computed against pre-mutation
+    /// state; an ineffective batch leaves the cache warm.
+    ///
+    /// The attached metrics registry (see [`ServeRuntime::set_metrics`])
+    /// records `fastann_mutations_total{kind}`, `fastann_tombstone_ratio`
+    /// and `fastann_compactions_total` alongside the serving series.
+    pub fn apply_mutations(&mut self, batch: Vec<Mutation>) -> MutationReport {
+        let mut req = MutationRequest::new(&mut self.index).mutations(batch);
+        if let Some(m) = &self.metrics {
+            req = req.metrics(m);
+        }
+        let report = req.run();
+        if report.changed() {
+            self.cache.bump_epoch();
+        }
+        report
+    }
+
+    /// Engine-level mutation epoch of the served index (what the result
+    /// cache is keyed against).
+    pub fn index_epoch(&self) -> u64 {
+        self.index.mutation_epoch
     }
 
     /// Serves an open-loop workload: `requests` arrive at their own
@@ -750,6 +778,77 @@ mod tests {
         assert_eq!(run.report.completed, 32);
         assert!(run.report.batches >= 32 / 4);
         assert!(run.report.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn delete_invalidates_cache_and_filters_results() {
+        // regression: query → delete → same query must neither serve the
+        // stale cached answer nor surface the deleted id
+        let (data, mut rt) = small_runtime(64);
+        let victim = 42u32;
+        let q = data.get(victim as usize).to_vec();
+        let ask = |id: u64| vec![Request::new(id, 0.0, q.clone(), 5)];
+
+        let run = rt.serve_open(ask(0));
+        let first = run.completion_of(0).expect("first query completes");
+        assert!(!first.cache_hit);
+        assert_eq!(first.results[0].id, victim, "own row answers pre-delete");
+
+        // warm-cache sanity: an identical repeat is served from the cache
+        let run = rt.serve_open(ask(1));
+        assert!(run.completion_of(1).unwrap().cache_hit);
+
+        let report = rt.apply_mutations(vec![Mutation::Delete { global_id: victim }]);
+        assert!(report.changed());
+        assert_eq!(rt.index_epoch(), 1);
+
+        let run = rt.serve_open(ask(2));
+        let after = run.completion_of(2).expect("post-delete query completes");
+        assert!(
+            !after.cache_hit,
+            "stale epoch must not be served from the cache"
+        );
+        assert!(
+            after.results.iter().all(|n| n.id != victim),
+            "deleted id surfaced: {:?}",
+            after.results
+        );
+    }
+
+    #[test]
+    fn ineffective_mutation_batch_keeps_cache_warm() {
+        let (data, mut rt) = small_runtime(64);
+        let q = data.get(7).to_vec();
+        let ask = |id: u64| vec![Request::new(id, 0.0, q.clone(), 5)];
+        rt.serve_open(ask(0));
+
+        // deleting a nonexistent id changes nothing — no epoch bump
+        let report = rt.apply_mutations(vec![Mutation::Delete { global_id: 9999 }]);
+        assert!(!report.changed());
+        assert_eq!(rt.index_epoch(), 0);
+
+        let run = rt.serve_open(ask(1));
+        assert!(
+            run.completion_of(1).unwrap().cache_hit,
+            "a no-op batch must not cold the cache"
+        );
+    }
+
+    #[test]
+    fn upsert_is_servable_after_cache_bump() {
+        let (_, mut rt) = small_runtime(64);
+        let v = synth::sift_like(1, 12, 4321).get(0).to_vec();
+        let report = rt.apply_mutations(vec![Mutation::Upsert {
+            global_id: None,
+            vector: v.clone(),
+        }]);
+        let fastann_core::MutationOutcome::Inserted { global_id, .. } = report.outcomes[0] else {
+            panic!("expected an insert, got {:?}", report.outcomes[0]);
+        };
+        let run = rt.serve_open(vec![Request::new(0, 0.0, v, 3)]);
+        let c = run.completion_of(0).unwrap();
+        assert_eq!(c.results[0].id, global_id, "new row answers its own query");
+        assert_eq!(c.results[0].dist, 0.0);
     }
 
     #[test]

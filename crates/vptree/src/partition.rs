@@ -255,6 +255,48 @@ impl PartitionTree {
         (out, ndist)
     }
 
+    /// Dynamic LANNS-style leaf split: replaces the leaf naming `old_pid`
+    /// with an inner node over two fresh leaves — `old_pid` keeps the
+    /// within-`mu` half of its ball, `new_pid` receives the outside. The
+    /// caller computes the vantage and radius deterministically from the
+    /// partition's rows and re-homes the rows itself; the tree only learns
+    /// the new routing boundary, exactly as if the skeleton had been built
+    /// one level deeper here.
+    ///
+    /// # Panics
+    /// Panics when `old_pid` has no leaf, `new_pid` already has one, or
+    /// `mu` is not a positive finite radius.
+    pub fn split_leaf(&mut self, old_pid: u32, vp: Vec<f32>, mu: f32, new_pid: u32) {
+        assert!(
+            mu.is_finite() && mu > 0.0,
+            "split radius must be positive and finite, got {mu}"
+        );
+        assert!(
+            !self
+                .nodes
+                .iter()
+                .any(|n| matches!(n, PNode::Leaf { partition } if *partition == new_pid)),
+            "partition {new_pid} already exists"
+        );
+        let leaf_idx = self
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PNode::Leaf { partition } if *partition == old_pid))
+            .expect("split_leaf: no leaf carries the split partition id");
+        let left = self.nodes.len() as u32;
+        self.nodes.push(PNode::Leaf { partition: old_pid });
+        let right = self.nodes.len() as u32;
+        self.nodes.push(PNode::Leaf { partition: new_pid });
+        self.nodes[leaf_idx] = PNode::Inner {
+            vp,
+            mu,
+            left,
+            right,
+        };
+        self.validate()
+            .expect("leaf split produced an invalid tree");
+    }
+
     /// Checks the node array forms a tree rooted at `self.root` covering
     /// every node exactly once (no cycles, no sharing, no orphans).
     pub fn validate(&self) -> Result<(), String> {
@@ -658,6 +700,80 @@ mod tests {
             let q = data.get(qi);
             assert_eq!(tree.route(q, &cfg), back.route(q, &cfg), "query {qi}");
         }
+    }
+
+    #[test]
+    fn split_leaf_routes_both_halves() {
+        let data = synth::sift_like(800, 8, 12);
+        let (mut tree, parts) = PartitionTree::build_local(&data, 8, Distance::L2, 12);
+        // split partition 3 around one of its own rows
+        let rows = &parts[3];
+        let vp = data.get(rows[0] as usize).to_vec();
+        let mut ds: Vec<f32> = rows
+            .iter()
+            .map(|&id| Distance::L2.eval(&vp, data.get(id as usize)))
+            .collect();
+        ds.sort_by(f32::total_cmp);
+        let mu = ds[ds.len() / 2].max(f32::MIN_POSITIVE);
+        tree.split_leaf(3, vp.clone(), mu, 8);
+        assert_eq!(tree.n_partitions(), 9);
+        tree.validate().expect("split tree is valid");
+        // a query at the vantage lands in the kept half, a far one in the new
+        let cfg = RouteConfig {
+            margin_frac: 0.0,
+            max_partitions: 1,
+        };
+        assert_eq!(tree.route(&vp, &cfg).0, vec![3]);
+        let routed: std::collections::BTreeSet<u32> = rows
+            .iter()
+            .map(|&id| tree.route(data.get(id as usize), &cfg).0[0])
+            .collect();
+        assert!(
+            routed.contains(&8),
+            "outside-the-ball rows must route to the new partition: {routed:?}"
+        );
+        // the split survives a serialization round trip
+        let back = PartitionTree::from_bytes(&tree.to_bytes(), Distance::L2);
+        assert_eq!(back.n_partitions(), 9);
+        for &id in rows.iter().take(16) {
+            let q = data.get(id as usize);
+            assert_eq!(tree.route(q, &cfg), back.route(q, &cfg));
+        }
+    }
+
+    #[test]
+    fn split_leaf_of_singleton_tree() {
+        let mut b = PartitionTreeBuilder::new();
+        let l0 = b.leaf(0);
+        let mut tree = b.finish(l0, Distance::L2);
+        tree.split_leaf(0, vec![0.0, 0.0], 1.0, 1);
+        assert_eq!(tree.n_partitions(), 2);
+        let cfg = RouteConfig {
+            margin_frac: 0.0,
+            max_partitions: 4,
+        };
+        assert_eq!(tree.route(&[0.1, 0.0], &cfg).0, vec![0]);
+        assert_eq!(tree.route(&[9.0, 0.0], &cfg).0, vec![1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_leaf_unknown_partition_panics() {
+        let mut b = PartitionTreeBuilder::new();
+        let l0 = b.leaf(0);
+        let mut tree = b.finish(l0, Distance::L2);
+        tree.split_leaf(5, vec![0.0], 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_leaf_duplicate_new_pid_panics() {
+        let mut b = PartitionTreeBuilder::new();
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let root = b.inner(vec![0.0], 1.0, l0, l1);
+        let mut tree = b.finish(root, Distance::L2);
+        tree.split_leaf(0, vec![0.0], 1.0, 1);
     }
 
     #[test]
