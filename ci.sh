@@ -84,4 +84,24 @@ cmp target/serve_a/BENCH_serve_SMOKE.json target/serve_b/BENCH_serve_SMOKE.json
 cmp target/serve_a/METRICS_serve_SMOKE.prom target/serve_b/METRICS_serve_SMOKE.prom
 diff -u crates/bench/golden/METRICS_serve_SMOKE.prom target/serve_a/METRICS_serve_SMOKE.prom
 
+echo "==> zipf skewed serveload (adaptive replication gate, bit-identity)"
+# The Zipf-skewed open-loop trace runs twice per invocation: once under
+# static round-robin replication and once under the adaptive controller.
+# --gate asserts the static leg actually sheds on the hot partition, that
+# the controller raises at least one replica, and that the adaptive leg
+# beats static on both rejection rate and p99 latency. The cmp pins the
+# determinism contract (reports and metrics bit-identical across
+# FASTANN_THREADS), and the diffs pin the committed artifacts.
+# Regenerate after an intentional change with:
+#   ./target/release/serveload --only zipf --gate --metrics --out .
+#   mv METRICS_serve_zipf.prom crates/bench/golden/
+rm -rf target/zipf_a target/zipf_b
+mkdir -p target/zipf_a target/zipf_b
+FASTANN_THREADS=1 ./target/release/serveload --only zipf --gate --metrics --out target/zipf_a
+FASTANN_THREADS=4 ./target/release/serveload --only zipf --gate --metrics --out target/zipf_b
+cmp target/zipf_a/BENCH_serve_zipf.json target/zipf_b/BENCH_serve_zipf.json
+cmp target/zipf_a/METRICS_serve_zipf.prom target/zipf_b/METRICS_serve_zipf.prom
+diff -u BENCH_serve_zipf.json target/zipf_a/BENCH_serve_zipf.json
+diff -u crates/bench/golden/METRICS_serve_zipf.prom target/zipf_a/METRICS_serve_zipf.prom
+
 echo "CI green."

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fastann_core::{
-    search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions, SearchRequest,
+    search_batch_multi_owner, DistIndex, EngineConfig, RoutingPolicy, SearchOptions, SearchRequest,
 };
 use fastann_data::synth;
 use fastann_hnsw::HnswConfig;
@@ -36,7 +36,7 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("replicated_r3", |b| {
         b.iter(|| {
             SearchRequest::new(&index, &queries)
-                .opts(SearchOptions::new(10).with_replication(3))
+                .opts(SearchOptions::new(10).with_routing(RoutingPolicy::Static(3)))
                 .run()
         })
     });

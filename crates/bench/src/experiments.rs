@@ -5,7 +5,8 @@
 //! `repro` binary glues them to a CLI.
 
 use fastann_core::{
-    search_batch_multi_owner, DistIndex, Distribution, EngineConfig, SearchOptions, SearchRequest,
+    search_batch_multi_owner, DistIndex, Distribution, EngineConfig, RoutingPolicy, SearchOptions,
+    SearchRequest,
 };
 use fastann_data::{ground_truth, Distance};
 use fastann_hnsw::HnswConfig;
@@ -280,7 +281,7 @@ pub fn fig4(scale: Scale) -> (Vec<ReplicationRow>, f64) {
     let mut optimal = 0.0;
     for r in 1..=5 {
         let report = SearchRequest::new(&index, &queries)
-            .opts(search_opts().with_replication(r))
+            .opts(search_opts().with_routing(RoutingPolicy::Static(r)))
             .run();
         let b = *base.get_or_insert(report.total_ns);
         let dispatched: u64 = report.per_core_queries.iter().sum();
@@ -575,7 +576,7 @@ pub fn ablation_owner(scale: Scale) -> Vec<OwnerRow> {
                 .with_seed(0x0a);
             let index = DistIndex::build(&w.data, cfg);
             let mw = SearchRequest::new(&index, &queries)
-                .opts(search_opts().with_replication(3.min(cores)))
+                .opts(search_opts().with_routing(RoutingPolicy::Static(3.min(cores))))
                 .run();
             let mo = search_batch_multi_owner(&index, &queries, &search_opts());
             OwnerRow {

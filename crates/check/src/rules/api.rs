@@ -1,9 +1,10 @@
 //! `search-batch-variant` and `quantized-traversal`: the API-surface
 //! rules.
 //!
-//! The five legacy `search_batch*` entry points survive only as
-//! `#[deprecated]` shims over the `SearchRequest` builder; a new public
-//! variant of the family must not appear. In `crates/hnsw/src`,
+//! The five legacy `search_batch*` entry points were deleted in favour
+//! of the `SearchRequest` builder; a new public variant of the family
+//! must not appear (un-deprecated — the multiple-owner algorithm keeps
+//! its allowlisted name). In `crates/hnsw/src`,
 //! traversal code (`greedy_step` / `search_layer`) must dispatch every
 //! distance through `QueryDist`, and the raw exact kernel may not be
 //! called anywhere in the crate — the re-rank stage is the one

@@ -234,17 +234,39 @@ impl DistIndex {
         self.partitions[0].index.dim()
     }
 
-    /// Bytes resident on each node for replication factor `r` (paper
-    /// Section IV-C2's memory cost): a node holds every partition whose
-    /// workgroup includes one of its cores.
+    /// The single *home* partition of `q`: a margin-0, fan-out-1 route
+    /// through the skeleton. This is the partition whose queue a
+    /// per-partition admission controller bills the request against —
+    /// cheap (one skeleton descent), deterministic, and independent of
+    /// the wider fan-out the dispatched search may use.
+    pub fn home_partition(&self, q: &[f32]) -> u32 {
+        let cfg = fastann_vptree::RouteConfig {
+            margin_frac: 0.0,
+            max_partitions: 1,
+        };
+        let (parts, _ndist) = self.router.route(q, &cfg);
+        parts.first().copied().unwrap_or(0)
+    }
+
+    /// Bytes resident on each node for a uniform replication factor `r`
+    /// (paper Section IV-C2's memory cost): a node holds every partition
+    /// whose workgroup includes one of its cores.
     pub fn node_memory_bytes(&self, replication: usize) -> Vec<usize> {
+        self.node_memory_bytes_for(&vec![replication; self.config.n_cores])
+    }
+
+    /// Bytes resident on each node under *per-partition* replica counts —
+    /// the memory bound the serve-layer adaptive replication controller
+    /// checks before raising a hot partition. `counts[part]` replicas of
+    /// partition `part` live on cores `part..part+counts[part]-1 (mod P)`.
+    pub fn node_memory_bytes_for(&self, counts: &[usize]) -> Vec<usize> {
         let t = self.config.cores_per_node;
         let p = self.config.n_cores;
         let mut per_node = vec![0usize; self.config.n_nodes()];
-        for part in 0..p {
+        for (part, &r) in counts.iter().enumerate().take(self.partitions.len()) {
             // partition `part` lives on cores part..part+r-1 (mod P)
             let mut nodes_hit = std::collections::HashSet::new();
-            for j in 0..replication.min(p) {
+            for j in 0..r.min(p) {
                 nodes_hit.insert(((part + j) % p) / t);
             }
             // det:fold — each node occurs once; += into disjoint slots commutes

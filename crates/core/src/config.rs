@@ -6,6 +6,7 @@ use fastann_mpisim::{CostModel, NetModel};
 use fastann_vptree::RouteConfig;
 
 use crate::local::LocalIndexKind;
+use crate::routing::RoutingPolicy;
 
 /// Static configuration of a distributed index: cluster shape, metric,
 /// HNSW parameters and query-routing policy.
@@ -157,11 +158,16 @@ pub struct SearchOptions {
     /// workers return results with two-sided messages the master must
     /// receive one by one.
     pub one_sided: bool,
-    /// Replication factor `r` (Section IV-C2): each partition is replicated
-    /// on `r` consecutive cores and queries are dispatched round-robin
-    /// within the workgroup. `1` disables replication (the baseline).
-    pub replication: usize,
-    /// Fault-tolerant path only ([`crate::search_batch_chaos`]): virtual
+    /// Replication and dispatch policy (Section IV-C2, generalised): how
+    /// many replicas each partition's workgroup holds and how probes pick a
+    /// workgroup slot. [`RoutingPolicy::Static`]`(r)` is the paper's
+    /// Algorithm 5 (round-robin over `r` consecutive cores; `Static(1)`
+    /// disables replication — the baseline);
+    /// [`RoutingPolicy::PowerOfTwo`] adds load-aware slot choice and lets
+    /// an adaptive controller raise hot partitions per batch through
+    /// [`crate::SearchRequest::replicas`].
+    pub routing: RoutingPolicy,
+    /// Fault-tolerant path only ([`crate::SearchRequest::chaos`]): virtual
     /// time after dispatch before an unanswered partition probe is declared
     /// timed out and eligible for retry.
     pub timeout_ns: f64,
@@ -216,7 +222,7 @@ impl SearchOptions {
             k,
             ef: (4 * k).max(32),
             one_sided: true,
-            replication: 1,
+            routing: RoutingPolicy::Static(1),
             timeout_ns: 1e7,
             max_retries: 2,
             sched_seed: 0,
@@ -246,11 +252,20 @@ impl SearchOptions {
         self
     }
 
-    /// Sets the replication factor (builder style).
-    pub fn with_replication(mut self, r: usize) -> Self {
-        assert!(r >= 1, "replication factor must be at least 1");
-        self.replication = r;
+    /// Sets the routing/replication policy (builder style). Panics on an
+    /// incoherent shape (zero replicas, `max < base`).
+    pub fn with_routing(mut self, policy: RoutingPolicy) -> Self {
+        policy.validate();
+        self.routing = policy;
         self
+    }
+
+    /// Sets a uniform replication factor with round-robin dispatch
+    /// (builder style). Shim over the unified routing knob — exactly
+    /// `with_routing(RoutingPolicy::Static(r))`.
+    #[deprecated(note = "use with_routing(RoutingPolicy::Static(r))")]
+    pub fn with_replication(self, r: usize) -> Self {
+        self.with_routing(RoutingPolicy::Static(r))
     }
 
     /// Sets one-sided aggregation on or off (builder style).
@@ -347,19 +362,39 @@ mod tests {
     #[test]
     fn search_options_builders() {
         let o = SearchOptions::new(10)
-            .with_replication(3)
+            .with_routing(RoutingPolicy::Static(3))
             .with_one_sided(false)
             .with_ef(99);
         assert_eq!(o.k, 10);
-        assert_eq!(o.replication, 3);
+        assert_eq!(o.routing, RoutingPolicy::Static(3));
+        assert_eq!(o.routing.base_replicas(), 3);
         assert!(!o.one_sided);
         assert_eq!(o.ef, 99);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn replication_shim_maps_to_static_routing() {
+        // the satellite contract: the deprecated setter is a one-line shim
+        // over the unified knob, producing an identical options value
+        let shimmed = SearchOptions::new(10).with_replication(3);
+        let direct = SearchOptions::new(10).with_routing(RoutingPolicy::Static(3));
+        assert_eq!(shimmed.routing, direct.routing);
+        assert_eq!(shimmed.routing, RoutingPolicy::Static(3));
+    }
+
+    #[test]
+    fn adaptive_routing_shape_is_kept() {
+        let o = SearchOptions::new(10).with_routing(RoutingPolicy::PowerOfTwo { base: 1, max: 4 });
+        assert!(o.routing.is_adaptive());
+        assert_eq!(o.routing.base_replicas(), 1);
+        assert_eq!(o.routing.max_replicas(), 4);
+    }
+
+    #[test]
     #[should_panic]
     fn zero_replication_rejected() {
-        let _ = SearchOptions::new(10).with_replication(0);
+        let _ = SearchOptions::new(10).with_routing(RoutingPolicy::Static(0));
     }
 
     #[test]

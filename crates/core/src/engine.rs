@@ -17,8 +17,12 @@
 //!   synchronisation.
 //!
 //! Load balancing by replication (Section IV-C2, Algorithm 5): partition
-//! `i`'s workgroup is cores `{i, i+1, …, i+r−1 mod P}`; the master
-//! dispatches round-robin within the workgroup.
+//! `i`'s workgroup is cores `{i, i+1, …, i+r_i−1 mod P}`. The slot chosen
+//! within the workgroup follows [`crate::RoutingPolicy`]: round-robin (the
+//! paper's dispatch) or power-of-two-choices over the deterministic
+//! per-core dispatched-probe count, with per-partition replica counts
+//! supplied by an adaptive controller through
+//! [`SearchRequest::replicas`].
 
 use std::collections::HashSet;
 
@@ -34,7 +38,6 @@ use rayon::prelude::*;
 
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
-use crate::request::SearchRequest;
 use crate::router::ReplicaDispatcher;
 use crate::stats::QueryReport;
 use crate::tags;
@@ -62,17 +65,57 @@ pub(crate) const MERGE_NS_PER_NEIGHBOR: f64 = 4.0;
 /// plan takes the fault-tolerant chaos path, anything else the fault-free
 /// path — so `plan: None` and a vacuous plan are provably equivalent,
 /// costs included.
+///
+/// `replicas` is an optional per-partition replica-count snapshot (the
+/// adaptive controller's [`crate::ReplicaMap`] view); absent, every
+/// partition holds the policy's base replica count.
 pub(crate) fn dispatch(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
+    replicas: Option<&[usize]>,
     plan: Option<&FaultPlan>,
     trace: Option<&Trace>,
     obs: Option<&Metrics>,
 ) -> QueryReport {
+    let counts = effective_replicas(index, opts, replicas);
     match plan {
-        Some(p) if !p.is_vacuous() => search_batch_chaos_inner(index, queries, opts, p, trace, obs),
-        _ => search_batch_inner(index, queries, opts, trace, obs),
+        Some(p) if !p.is_vacuous() => {
+            search_batch_chaos_inner(index, queries, opts, &counts, p, trace, obs)
+        }
+        _ => search_batch_inner(index, queries, opts, &counts, trace, obs),
+    }
+}
+
+/// Resolves the per-partition replica counts a batch dispatches with:
+/// the caller-provided snapshot when present, else the policy's uniform
+/// base. Validates shape and bounds once, for both master and workers.
+fn effective_replicas(
+    index: &DistIndex,
+    opts: &SearchOptions,
+    replicas: Option<&[usize]>,
+) -> Vec<usize> {
+    opts.routing.validate();
+    let p_cores = index.config.n_cores;
+    assert!(
+        opts.routing.max_replicas() <= p_cores,
+        "replication factor exceeds core count"
+    );
+    match replicas {
+        Some(c) => {
+            assert_eq!(
+                c.len(),
+                index.n_partitions(),
+                "replica map must cover every partition"
+            );
+            assert!(
+                c.iter()
+                    .all(|&r| r >= 1 && r <= opts.routing.max_replicas().max(1)),
+                "replica counts must be within 1..=policy max"
+            );
+            c.to_vec()
+        }
+        None => vec![opts.routing.base_replicas(); index.n_partitions().max(p_cores)],
     }
 }
 
@@ -97,118 +140,11 @@ fn span(
     }
 }
 
-/// Runs a batch of queries against a built [`DistIndex`] on a simulated
-/// cluster (1 master + `n_nodes` workers) and returns merged results with
-/// full virtual-time accounting.
-///
-/// # Panics
-/// Panics on dimension mismatch or empty query set.
-#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).run()")]
-pub fn search_batch(index: &DistIndex, queries: &VectorSet, opts: &SearchOptions) -> QueryReport {
-    SearchRequest::new(index, queries).opts(*opts).run()
-}
-
-/// Like [`SearchRequest`] with a trace attached: records a virtual-time
-/// execution trace with per-query compute spans on the worker nodes (rank
-/// rows `1..=N`) and the master's dispatch/collect phases (rank row `0`).
-/// Render with [`Trace::render`].
-#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).trace(trace).run()")]
-pub fn search_batch_traced(
-    index: &DistIndex,
-    queries: &VectorSet,
-    opts: &SearchOptions,
-    trace: &Trace,
-) -> QueryReport {
-    SearchRequest::new(index, queries)
-        .opts(*opts)
-        .trace(trace)
-        .run()
-}
-
-/// Fault-tolerant batch search: the simulated cluster runs under the
-/// seeded fault `plan` and the protocol survives it.
-///
-/// The master tracks a virtual-time deadline per partition probe
-/// ([`SearchOptions::timeout_ns`]); probes unanswered at the deadline are
-/// re-dispatched up to [`SearchOptions::max_retries`] times, each retry
-/// targeting the next replica of the partition's Algorithm-5 workgroup (a
-/// true failover when `replication > 1`). Probes still unanswered after the
-/// retry budget degrade their query: the partial top-k is returned and
-/// flagged in [`QueryReport::degraded`] / [`QueryReport::missing_partitions`]
-/// — the batch *never* hangs on lost messages or a crashed worker.
-///
-/// Protocol notes:
-///
-/// * Collection is always two-sided ([`SearchOptions::one_sided`] is
-///   ignored): RMA deposits from a crashed or lossy worker cannot be
-///   detected per-probe, so the fault-tolerant path pays the two-sided
-///   receive cost for retry-ability.
-/// * The control plane — `TAG_END`, the flush handshake used to detect
-///   round completion — is protected from injection (a perfect failure
-///   detector, in the ULFM sense); only data-plane traffic is at risk.
-/// * A vacuous plan ([`FaultPlan::is_vacuous`]) delegates to the exact
-///   fault-free path: a chaos run with `FaultPlan::none()` returns a
-///   report identical to the fault-free run, virtual times included.
-/// * The whole run is deterministic for a fixed plan: results are drained
-///   node-by-node in rank order, so virtual-time folding never depends on
-///   OS thread scheduling.
-///
-/// # Panics
-/// Panics on dimension mismatch or empty query set.
-#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).chaos(plan).run()")]
-pub fn search_batch_chaos(
-    index: &DistIndex,
-    queries: &VectorSet,
-    opts: &SearchOptions,
-    plan: &FaultPlan,
-) -> QueryReport {
-    SearchRequest::new(index, queries)
-        .opts(*opts)
-        .chaos(plan)
-        .run()
-}
-
-/// Batch entry point for layered runtimes holding an `Option<&FaultPlan>`:
-/// routes to the fault-free path when no fault plan is active and to the
-/// fault-tolerant chaos path otherwise.
-///
-/// # Panics
-/// Panics on dimension mismatch or empty query set.
-#[deprecated(note = "use SearchRequest::new(index, queries).opts(*opts).plan(plan).run()")]
-pub fn search_batch_with_plan(
-    index: &DistIndex,
-    queries: &VectorSet,
-    opts: &SearchOptions,
-    plan: Option<&FaultPlan>,
-) -> QueryReport {
-    SearchRequest::new(index, queries)
-        .opts(*opts)
-        .plan(plan)
-        .run()
-}
-
-/// Fault-tolerant batch search with a virtual-time execution trace;
-/// timeout windows, retries and failovers show up as
-/// [`SpanKind::Recovery`] spans on the master row.
-#[deprecated(note = "use SearchRequest with .chaos(plan).trace(trace)")]
-pub fn search_batch_chaos_traced(
-    index: &DistIndex,
-    queries: &VectorSet,
-    opts: &SearchOptions,
-    plan: &FaultPlan,
-    trace: &Trace,
-) -> QueryReport {
-    SearchRequest::new(index, queries)
-        .opts(*opts)
-        .chaos(plan)
-        .trace(trace)
-        .run()
-}
-
 fn search_batch_chaos_inner(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
+    counts: &[usize],
     plan: &FaultPlan,
     trace: Option<&Trace>,
     obs: Option<&Metrics>,
@@ -216,14 +152,10 @@ fn search_batch_chaos_inner(
     if plan.is_vacuous() {
         // no injected faults — take the exact fault-free path so that
         // FaultPlan::none() provably changes nothing, costs included
-        return search_batch_inner(index, queries, opts, trace, obs);
+        return search_batch_inner(index, queries, opts, counts, trace, obs);
     }
     assert!(!queries.is_empty(), "empty query batch");
     assert_eq!(queries.dim(), index.dim(), "query dimension mismatch");
-    assert!(
-        opts.replication <= index.config.n_cores,
-        "replication factor exceeds core count"
-    );
     let n_nodes = index.config.n_nodes();
     // the control plane (shutdown + flush handshake) is the failure-detection
     // oracle; the central tag registry says which tags that is
@@ -238,9 +170,11 @@ fn search_batch_chaos_inner(
 
     let (outs, conservation) = cluster.run_checked(|rank| {
         if rank.rank() == 0 {
-            RankOut::Master(master_chaos(rank, index, queries, opts, trace, obs))
+            RankOut::Master(Box::new(master_chaos(
+                rank, index, queries, opts, counts, trace, obs,
+            )))
         } else {
-            RankOut::Worker(worker_chaos(rank, index, opts, trace, obs))
+            RankOut::Worker(worker_chaos(rank, index, opts, counts, trace, obs))
         }
     });
     // Even under injected faults the protocol must account for every
@@ -256,7 +190,7 @@ fn search_batch_chaos_inner(
     let mut total_ndist = 0u64;
     for out in outs {
         match out {
-            RankOut::Master(r) => report = Some(r),
+            RankOut::Master(r) => report = Some(*r),
             RankOut::Worker(w) => {
                 node_busy[w.node] = w.busy_ns;
                 node_comm[w.node] = w.comm_cpu_ns;
@@ -275,15 +209,12 @@ fn search_batch_inner(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
+    counts: &[usize],
     trace: Option<&Trace>,
     obs: Option<&Metrics>,
 ) -> QueryReport {
     assert!(!queries.is_empty(), "empty query batch");
     assert_eq!(queries.dim(), index.dim(), "query dimension mismatch");
-    assert!(
-        opts.replication <= index.config.n_cores,
-        "replication factor exceeds core count"
-    );
     let n_nodes = index.config.n_nodes();
     let sim = SimConfig::new(n_nodes + 1)
         .topology(Topology::one_rank_per_node())
@@ -294,9 +225,11 @@ fn search_batch_inner(
 
     let (outs, conservation) = cluster.run_checked(|rank| {
         if rank.rank() == 0 {
-            RankOut::Master(master(rank, index, queries, opts, trace, obs))
+            RankOut::Master(Box::new(master(
+                rank, index, queries, opts, counts, trace, obs,
+            )))
         } else {
-            RankOut::Worker(worker(rank, index, opts, trace, obs))
+            RankOut::Worker(worker(rank, index, opts, counts, trace, obs))
         }
     });
     if cfg!(debug_assertions) {
@@ -309,7 +242,7 @@ fn search_batch_inner(
     let mut total_ndist = 0u64;
     for out in outs {
         match out {
-            RankOut::Master(r) => report = Some(r),
+            RankOut::Master(r) => report = Some(*r),
             RankOut::Worker(w) => {
                 node_busy[w.node] = w.busy_ns;
                 node_comm[w.node] = w.comm_cpu_ns;
@@ -325,7 +258,7 @@ fn search_batch_inner(
 }
 
 enum RankOut {
-    Master(QueryReport),
+    Master(Box<QueryReport>),
     Worker(WorkerOut),
 }
 
@@ -350,6 +283,7 @@ fn master(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
+    counts: &[usize],
     trace: Option<&Trace>,
     obs: Option<&Metrics>,
 ) -> QueryReport {
@@ -377,9 +311,11 @@ fn master(
     let start_ns = rank.now();
     let route_cost_per_dist = index.config.cost.dist_ns(dim);
 
-    // Algorithm 5 state: round-robin pointer per workgroup.
-    let mut dispatcher = ReplicaDispatcher::new(p_cores, opts.replication);
+    // Algorithm 5 state: per-workgroup slot choice under the configured
+    // routing policy (round-robin or power-of-two-choices).
+    let mut dispatcher = ReplicaDispatcher::with_policy(p_cores, opts.routing, counts);
     let mut per_core_queries = vec![0u64; p_cores];
+    let mut per_partition_probes = vec![0u64; index.n_partitions()];
     let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
     let mut route_ns = 0f64;
     let mut fanout_total = 0u64;
@@ -402,9 +338,11 @@ fn master(
             );
         }
         for d in parts {
-            // workgroup W_d = {d, d+1, …, d+r-1 mod P}, round-robin
-            let (core, _slot) = dispatcher.next_primary(d);
+            // workgroup W_d = {d, d+1, …, d+r-1 mod P}; the slot within it
+            // follows the routing policy
+            let (core, _slot) = dispatcher.next(d, qi as u64);
             per_core_queries[core] += 1;
+            per_partition_probes[d as usize] += 1;
             let node = core / t_cores;
             rank.send_bytes(1 + node, TAG_QUERY, encode_query(qi as u32, d, q));
             pending_total += 1;
@@ -417,6 +355,11 @@ fn master(
     if let Some(m) = obs {
         m.inc("fastann_engine_queries_total", &[], nq as u64);
         m.inc("fastann_engine_probes_total", &[], pending_total);
+        m.inc(
+            "fastann_routing_decisions_total",
+            &[("policy", opts.routing.label())],
+            pending_total,
+        );
     }
     span(
         trace,
@@ -501,6 +444,7 @@ fn master(
         master_comm_cpu_ns: stats.send_cpu_ns + stats.recv_cpu_ns + stats.rma_cpu_ns,
         master_wait_ns: stats.wait_ns,
         per_core_queries,
+        per_partition_probes,
         mean_fanout: fanout_total as f64 / nq as f64,
         node_busy_ns: Vec::new(),     // filled by the caller
         node_comm_cpu_ns: Vec::new(), // filled by the caller
@@ -664,19 +608,21 @@ fn record_worker_batch(m: &Metrics, served: &[(f64, f64)]) {
 }
 
 /// Per-partition serveability mask for `node`: partition `p` is replicated
-/// on cores `(p + i) mod P` for `i < replication`, and split-created
+/// on cores `(p + i) mod P` for `i < counts[p]`, and split-created
 /// partitions (id ≥ P) wrap onto the existing cores the same way the
-/// dispatcher does.
+/// dispatcher does. `counts` comes from [`effective_replicas`] — identical
+/// on master and workers, so the mask always covers the dispatch targets.
 fn serveable_partitions(
     index: &DistIndex,
     node: usize,
     t_cores: usize,
     p_cores: usize,
-    replication: usize,
+    counts: &[usize],
 ) -> Vec<bool> {
     let mut serveable = vec![false; index.n_partitions()];
     for (p, s) in serveable.iter_mut().enumerate() {
-        *s = (0..replication).any(|i| {
+        let r = counts.get(p).copied().unwrap_or(1).min(p_cores);
+        *s = (0..r).any(|i| {
             let c = (p + i) % p_cores;
             c / t_cores == node
         });
@@ -688,6 +634,7 @@ fn worker(
     rank: &mut Rank,
     index: &DistIndex,
     opts: &SearchOptions,
+    counts: &[usize],
     trace: Option<&Trace>,
     obs: Option<&Metrics>,
 ) -> WorkerOut {
@@ -711,9 +658,9 @@ fn worker(
     }
 
     // Partitions this node can serve: partition p is replicated on cores
-    // (p+i) mod P for i < r. Split-created partitions (id ≥ P) wrap onto
-    // the existing cores, so the table spans every partition, not just P.
-    let serveable = serveable_partitions(index, node, t_cores, p_cores, opts.replication);
+    // (p+i) mod P for i < counts[p]. Split-created partitions (id ≥ P) wrap
+    // onto the existing cores, so the table spans every partition, not P.
+    let serveable = serveable_partitions(index, node, t_cores, p_cores, counts);
 
     let mut pool = VThreadPool::new(t_cores, 0.0);
     pool.set_perturb(rank.sched_perturb());
@@ -851,6 +798,7 @@ fn master_chaos(
     index: &DistIndex,
     queries: &VectorSet,
     opts: &SearchOptions,
+    counts: &[usize],
     trace: Option<&Trace>,
     obs: Option<&Metrics>,
 ) -> QueryReport {
@@ -867,8 +815,9 @@ fn master_chaos(
     let start_ns = rank.now();
     let route_cost_per_dist = index.config.cost.dist_ns(dim);
 
-    let mut dispatcher = ReplicaDispatcher::new(p_cores, opts.replication);
+    let mut dispatcher = ReplicaDispatcher::with_policy(p_cores, opts.routing, counts);
     let mut per_core_queries = vec![0u64; p_cores];
+    let mut per_partition_probes = vec![0u64; index.n_partitions()];
     let mut tops: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
     let mut route_ns = 0f64;
     let mut fanout_total = 0u64;
@@ -890,8 +839,9 @@ fn master_chaos(
             );
         }
         for d in parts {
-            let (core, slot) = dispatcher.next_primary(d);
+            let (core, slot) = dispatcher.next(d, qi as u64);
             per_core_queries[core] += 1;
+            per_partition_probes[d as usize] += 1;
             rank.send_bytes(1 + core / t_cores, TAG_QUERY, encode_query(qi as u32, d, q));
             outstanding.push(Probe {
                 qid: qi as u32,
@@ -905,6 +855,11 @@ fn master_chaos(
     if let Some(m) = obs {
         m.inc("fastann_engine_queries_total", &[], nq as u64);
         m.inc("fastann_engine_probes_total", &[], fanout_total);
+        m.inc(
+            "fastann_routing_decisions_total",
+            &[("policy", opts.routing.label())],
+            fanout_total,
+        );
     }
     span(
         trace,
@@ -1003,6 +958,7 @@ fn master_chaos(
                 failovers += 1;
             }
             per_core_queries[core] += 1;
+            per_partition_probes[p.part as usize] += 1;
             let t0 = rank.now();
             rank.send_bytes(
                 1 + core / t_cores,
@@ -1054,6 +1010,7 @@ fn master_chaos(
         master_comm_cpu_ns: stats.send_cpu_ns + stats.recv_cpu_ns + stats.rma_cpu_ns,
         master_wait_ns: stats.wait_ns,
         per_core_queries,
+        per_partition_probes,
         mean_fanout: fanout_total as f64 / nq as f64,
         node_busy_ns: Vec::new(),     // filled by the caller
         node_comm_cpu_ns: Vec::new(), // filled by the caller
@@ -1070,6 +1027,7 @@ fn worker_chaos(
     rank: &mut Rank,
     index: &DistIndex,
     opts: &SearchOptions,
+    counts: &[usize],
     trace: Option<&Trace>,
     obs: Option<&Metrics>,
 ) -> WorkerOut {
@@ -1082,7 +1040,7 @@ fn worker_chaos(
     world.barrier(rank);
 
     // Partitions this node can serve (identical to the fault-free path).
-    let serveable = serveable_partitions(index, node, t_cores, p_cores, opts.replication);
+    let serveable = serveable_partitions(index, node, t_cores, p_cores, counts);
 
     let mut pool = VThreadPool::new(t_cores, 0.0);
     pool.set_perturb(rank.sched_perturb());
@@ -1166,12 +1124,13 @@ fn worker_chaos(
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
+    use crate::request::SearchRequest;
+    use crate::routing::RoutingPolicy;
     use fastann_data::{ground_truth, synth, Distance};
     use fastann_hnsw::HnswConfig;
     use fastann_vptree::RouteConfig;
 
-    /// Engine tests drive the builder path; the deprecated shims are
-    /// covered by `tests/parity.rs`. (Shadows the deprecated free fn.)
+    /// Engine tests drive the builder path through one local helper.
     fn search_batch(index: &DistIndex, queries: &VectorSet, opts: &SearchOptions) -> QueryReport {
         SearchRequest::new(index, queries).opts(*opts).run()
     }
@@ -1284,12 +1243,12 @@ mod tests {
         let r1 = search_batch(
             &index,
             &queries,
-            &SearchOptions::new(10).with_replication(1),
+            &SearchOptions::new(10).with_routing(RoutingPolicy::Static(1)),
         );
         let r3 = search_batch(
             &index,
             &queries,
-            &SearchOptions::new(10).with_replication(3),
+            &SearchOptions::new(10).with_routing(RoutingPolicy::Static(3)),
         );
         assert_eq!(r1.results.len(), r3.results.len());
         let d1 = r1.query_distribution();

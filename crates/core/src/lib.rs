@@ -20,9 +20,14 @@
 //! * [`SearchOptions::one_sided`] — Section IV-C1: workers deposit results
 //!   straight into the master's memory window (`MPI_Get_accumulate`
 //!   semantics) instead of two-sided replies.
-//! * [`SearchOptions::replication`] — Section IV-C2, Algorithm 5:
-//!   partitions are replicated across workgroups of `r` cores and queries
-//!   dispatched round-robin within the workgroup.
+//! * [`SearchOptions::routing`] — Section IV-C2, Algorithm 5, generalised
+//!   behind [`RoutingPolicy`]: partitions are replicated across workgroups
+//!   of `r` cores with queries dispatched round-robin
+//!   ([`RoutingPolicy::Static`], the paper's scheme) or by
+//!   power-of-two-choices over deterministic virtual-time queue depth
+//!   ([`RoutingPolicy::PowerOfTwo`]), with per-partition replica counts
+//!   ([`ReplicaMap`]) raised and decayed by the `fastann-serve` adaptive
+//!   controller.
 //! * [`search_batch_multi_owner`] — the multiple-owner variant discussed in
 //!   Section IV: every node owns a hash-slice of the queries and routes
 //!   them itself against a replicated skeleton.
@@ -56,6 +61,7 @@ mod owner;
 mod persist;
 mod request;
 mod router;
+mod routing;
 mod stats;
 /// Central registry of every wire tag the workspace's protocols use.
 pub mod tags;
@@ -63,12 +69,8 @@ mod tune;
 
 pub use build::{DistIndex, Partition};
 pub use config::{EngineConfig, SearchOptions};
-#[allow(deprecated)]
-pub use engine::{
-    search_batch, search_batch_chaos, search_batch_chaos_traced, search_batch_traced,
-    search_batch_with_plan,
-};
 pub use engine::{TAG_DONE, TAG_END, TAG_FLUSH, TAG_FLUSH_ACK, TAG_QUERY, TAG_RESULT};
+pub use fastann_vptree::RouteConfig;
 pub use local::{LocalIndex, LocalIndexKind};
 pub use mutation::{
     CompactionEvent, LogEntry, Mutation, MutationLog, MutationOutcome, MutationReport,
@@ -78,5 +80,6 @@ pub use owner::search_batch_multi_owner;
 pub use persist::PersistError;
 pub use request::SearchRequest;
 pub use router::{ReplicaDispatcher, Router};
+pub use routing::{ReplicaMap, RoutingPolicy};
 pub use stats::{BuildStats, Distribution, QueryReport};
 pub use tune::{tune_routing, TuneOutcome};

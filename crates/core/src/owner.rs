@@ -54,6 +54,7 @@ pub fn search_batch_multi_owner(
     // Node 0 gathered the merged results.
     let mut results: Vec<Vec<Neighbor>> = Vec::new();
     let mut per_core = vec![0u64; index.config.n_cores];
+    let mut per_part = vec![0u64; index.n_partitions()];
     let mut node_busy = vec![0f64; n_nodes];
     let mut node_comm = vec![0f64; n_nodes];
     let mut total_ndist = 0u64;
@@ -69,6 +70,9 @@ pub fn search_batch_multi_owner(
         }
         for (c, n) in out.per_core_queries.iter().enumerate() {
             per_core[c] += n;
+        }
+        for (p, n) in out.per_partition_probes.iter().enumerate() {
+            per_part[p] += n;
         }
         node_busy[out.node] = out.busy_ns;
         node_comm[out.node] = out.comm_cpu_ns;
@@ -89,6 +93,7 @@ pub fn search_batch_multi_owner(
         master_comm_cpu_ns: comm0,
         master_wait_ns: wait0,
         per_core_queries: per_core,
+        per_partition_probes: per_part,
         mean_fanout: fanout as f64 / queries.len() as f64,
         node_busy_ns: node_busy,
         node_comm_cpu_ns: node_comm,
@@ -105,6 +110,7 @@ struct NodeOut {
     node: usize,
     results: Option<Vec<Vec<Neighbor>>>,
     per_core_queries: Vec<u64>,
+    per_partition_probes: Vec<u64>,
     busy_ns: f64,
     comm_cpu_ns: f64,
     wait_ns: f64,
@@ -135,6 +141,7 @@ fn node_main(
     let mut tops: std::collections::HashMap<usize, TopK> =
         owned.iter().map(|&qi| (qi, TopK::new(k))).collect();
     let mut per_core_queries = vec![0u64; p_cores];
+    let mut per_partition_probes = vec![0u64; index.n_partitions()];
     let mut route_ns = 0f64;
     let mut fanout = 0u64;
     let mut pool = VThreadPool::new(t_cores, 0.0);
@@ -182,6 +189,7 @@ fn node_main(
             // (id ≥ core count) wrap onto existing cores.
             let core = d as usize % p_cores;
             per_core_queries[core] += 1;
+            per_partition_probes[d as usize] += 1;
             let target = core / t_cores;
             if target == me {
                 // local work: no message, process straight away
@@ -320,6 +328,7 @@ fn node_main(
         node: me,
         results,
         per_core_queries,
+        per_partition_probes,
         busy_ns: pool.busy(),
         comm_cpu_ns: stats.send_cpu_ns + stats.recv_cpu_ns + stats.rma_cpu_ns,
         wait_ns: stats.wait_ns,

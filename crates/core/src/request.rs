@@ -1,9 +1,9 @@
 //! The unified batch-query entry point.
 //!
-//! [`SearchRequest`] replaces the historical `search_batch*` free
-//! functions (kept as deprecated shims) with one builder, so every
-//! combination of fault plan, execution trace and metrics registry runs
-//! through a single instrumented dispatch path:
+//! [`SearchRequest`] replaced the historical `search_batch*` free
+//! functions (now removed) with one builder, so every combination of
+//! fault plan, execution trace, metrics registry and replica snapshot
+//! runs through a single instrumented dispatch path:
 //!
 //! ```
 //! use fastann_core::{DistIndex, EngineConfig, SearchRequest, SearchOptions};
@@ -29,6 +29,7 @@ use fastann_obs::Metrics;
 use crate::build::DistIndex;
 use crate::config::SearchOptions;
 use crate::engine;
+use crate::routing::ReplicaMap;
 use crate::stats::QueryReport;
 
 /// A batch search being assembled: index and queries are mandatory,
@@ -48,6 +49,7 @@ pub struct SearchRequest<'a> {
     index: &'a DistIndex,
     queries: &'a VectorSet,
     opts: SearchOptions,
+    replicas: Option<&'a ReplicaMap>,
     plan: Option<&'a FaultPlan>,
     trace: Option<&'a Trace>,
     metrics: Option<&'a Metrics>,
@@ -61,16 +63,27 @@ impl<'a> SearchRequest<'a> {
             index,
             queries,
             opts: SearchOptions::default(),
+            replicas: None,
             plan: None,
             trace: None,
             metrics: None,
         }
     }
 
-    /// Sets the search options (k, ef, transport, replication, fault
+    /// Sets the search options (k, ef, transport, routing policy, fault
     /// knobs).
     pub fn opts(mut self, opts: SearchOptions) -> Self {
         self.opts = opts;
+        self
+    }
+
+    /// Dispatches this batch with an explicit per-partition replica
+    /// snapshot — the adaptive controller's [`ReplicaMap`] view. The map
+    /// must cover every partition, and every count must fit within the
+    /// routing policy's `max`. Absent, every partition holds the policy's
+    /// base replica count.
+    pub fn replicas(mut self, map: &'a ReplicaMap) -> Self {
+        self.replicas = Some(map);
         self
     }
 
@@ -118,6 +131,7 @@ impl<'a> SearchRequest<'a> {
             self.index,
             self.queries,
             &self.opts,
+            self.replicas.map(|m| m.counts()),
             self.plan,
             self.trace,
             self.metrics,

@@ -16,6 +16,8 @@
 use fastann_data::{Distance, TopK, VectorSet};
 use fastann_vptree::{PartitionTree, RouteConfig};
 
+use crate::routing::{splitmix64, RoutingPolicy};
+
 /// Maps queries to the partitions that must be searched.
 pub enum Router {
     /// Hierarchical VP-tree skeleton (the paper's design).
@@ -65,53 +67,139 @@ impl Router {
     }
 }
 
-/// Algorithm-5 replica dispatch: partition `d`'s workgroup is the cores
-/// `{d, d+1, …, d+r−1 mod P}`, and probes rotate round-robin within it.
+/// Algorithm-5 replica dispatch, generalised to per-partition replica
+/// counts: partition `d` with `r_d` replicas has workgroup cores
+/// `{d, d+1, …, d+r_d−1 mod P}`.
+///
+/// Slot choice within the workgroup follows the [`RoutingPolicy`]:
+/// round-robin ([`RoutingPolicy::Static`], the paper's dispatch) or
+/// power-of-two-choices over the per-core dispatched-probe count
+/// ([`RoutingPolicy::PowerOfTwo`]) — the count is the master's
+/// deterministic virtual-time queue-depth estimate, since the fault-free
+/// master dispatches the whole batch before collecting anything.
 ///
 /// The same workgroup doubles as the failover chain of the fault-tolerant
 /// path: attempt `a` of a probe first dispatched at workgroup slot `s`
-/// targets slot `(s + a) mod r`, so with `r > 1` a timed-out probe lands on
-/// a *different* replica, while `r = 1` retries the (only) owner — which
-/// recovers lost messages but not a dead core.
+/// targets slot `(s + a) mod r_d`, so with `r_d > 1` a timed-out probe
+/// lands on a *different* replica, while `r_d = 1` retries the (only)
+/// owner — which recovers lost messages but not a dead core.
 pub struct ReplicaDispatcher {
     p_cores: usize,
-    replication: usize,
+    /// Per-partition replica counts (indexed by partition id; split-created
+    /// partitions beyond the initial table are grown on demand at 1).
+    counts: Vec<usize>,
+    adaptive: bool,
     next_slot: Vec<usize>,
+    /// Probes dispatched to each core so far — the deterministic queue
+    /// depth the power-of-two choice compares.
+    core_load: Vec<u64>,
 }
 
 impl ReplicaDispatcher {
-    /// Dispatcher over `p_cores` cores with replication factor
-    /// `replication ≥ 1`.
+    /// Dispatcher over `p_cores` cores with a uniform replication factor
+    /// `replication ≥ 1` and round-robin slot choice (the Algorithm-5
+    /// baseline).
     pub fn new(p_cores: usize, replication: usize) -> Self {
+        Self::with_policy(
+            p_cores,
+            RoutingPolicy::Static(replication),
+            &vec![replication; p_cores],
+        )
+    }
+
+    /// Dispatcher over `p_cores` cores with per-partition replica
+    /// `counts` (one entry per partition) and the slot choice of `policy`.
+    ///
+    /// # Panics
+    /// Panics when any count falls outside `1..=p_cores`.
+    pub fn with_policy(p_cores: usize, policy: RoutingPolicy, counts: &[usize]) -> Self {
+        policy.validate();
         assert!(
-            replication >= 1 && replication <= p_cores,
-            "bad replication factor"
+            counts.iter().all(|&r| r >= 1 && r <= p_cores),
+            "replica counts must be within 1..=p_cores"
         );
         Self {
             p_cores,
-            replication,
-            next_slot: vec![0; p_cores],
+            counts: counts.to_vec(),
+            adaptive: policy.is_adaptive(),
+            next_slot: vec![0; counts.len().max(p_cores)],
+            core_load: vec![0; p_cores],
         }
     }
 
-    /// The core at workgroup `slot` (taken mod `r`) of `part`'s workgroup.
-    pub fn member(&self, part: u32, slot: usize) -> usize {
-        (part as usize + slot % self.replication) % self.p_cores
+    /// Replica count of `part`'s workgroup.
+    pub fn replicas(&self, part: u32) -> usize {
+        self.counts.get(part as usize).copied().unwrap_or(1)
     }
 
-    /// Picks the core for a fresh probe of `part` and advances the
-    /// round-robin pointer. Returns `(core, slot)`; keep `slot` to derive
-    /// failover targets for this probe.
-    pub fn next_primary(&mut self, part: u32) -> (usize, usize) {
-        // Partitions created by a dynamic split carry ids ≥ the core count;
-        // grow the per-partition pointer table on demand (their workgroup
-        // wraps onto existing cores via `member`).
+    /// The core at workgroup `slot` (taken mod `r_part`) of `part`'s
+    /// workgroup.
+    pub fn member(&self, part: u32, slot: usize) -> usize {
+        (part as usize + slot % self.replicas(part)) % self.p_cores
+    }
+
+    /// Grows the per-partition tables on demand: partitions created by a
+    /// dynamic split carry ids ≥ the initial table size (their workgroup
+    /// wraps onto existing cores via `member`, at 1 replica).
+    fn ensure_part(&mut self, part: u32) {
         if part as usize >= self.next_slot.len() {
             self.next_slot.resize(part as usize + 1, 0);
         }
+        if part as usize >= self.counts.len() {
+            self.counts.resize(part as usize + 1, 1);
+        }
+    }
+
+    /// Picks the core for a fresh probe of `part` by round-robin and
+    /// advances the pointer. Returns `(core, slot)`; keep `slot` to derive
+    /// failover targets for this probe.
+    pub fn next_primary(&mut self, part: u32) -> (usize, usize) {
+        self.ensure_part(part);
         let slot = self.next_slot[part as usize];
-        self.next_slot[part as usize] = (slot + 1) % self.replication;
-        (self.member(part, slot), slot)
+        self.next_slot[part as usize] = (slot + 1) % self.replicas(part);
+        let core = self.member(part, slot);
+        self.core_load[core] += 1;
+        (core, slot)
+    }
+
+    /// Power-of-two-choices dispatch: hashes `(qid, part)` to two distinct
+    /// workgroup slots and takes the one whose core has fewer probes
+    /// dispatched so far (ties keep the first hash) — deterministic
+    /// load-aware placement with no coordination state beyond the
+    /// dispatched-probe counters.
+    pub fn next_po2(&mut self, part: u32, qid: u64) -> (usize, usize) {
+        self.ensure_part(part);
+        let r = self.replicas(part);
+        if r == 1 {
+            let core = self.member(part, 0);
+            self.core_load[core] += 1;
+            return (core, 0);
+        }
+        let h = splitmix64((qid << 32) ^ u64::from(part));
+        let s1 = (h % r as u64) as usize;
+        let mut s2 = ((h >> 32) % r as u64) as usize;
+        if s2 == s1 {
+            s2 = (s1 + 1) % r;
+        }
+        let (c1, c2) = (self.member(part, s1), self.member(part, s2));
+        let (core, slot) = if self.core_load[c2] < self.core_load[c1] {
+            (c2, s2)
+        } else {
+            (c1, s1)
+        };
+        self.core_load[core] += 1;
+        (core, slot)
+    }
+
+    /// Policy dispatch: [`ReplicaDispatcher::next_po2`] when constructed
+    /// with an adaptive policy, [`ReplicaDispatcher::next_primary`]
+    /// otherwise.
+    pub fn next(&mut self, part: u32, qid: u64) -> (usize, usize) {
+        if self.adaptive {
+            self.next_po2(part, qid)
+        } else {
+            self.next_primary(part)
+        }
     }
 
     /// The core serving retry `attempt` (1-based) of a probe first sent at
@@ -318,5 +406,92 @@ mod tests {
     #[should_panic]
     fn dispatcher_rejects_oversized_replication() {
         let _ = ReplicaDispatcher::new(4, 5);
+    }
+
+    #[test]
+    fn per_partition_counts_shape_workgroups() {
+        // partition 1 raised to 3 replicas, everything else at 1
+        let mut counts = vec![1usize; 8];
+        counts[1] = 3;
+        let mut d = ReplicaDispatcher::with_policy(8, RoutingPolicy::Static(1), &counts);
+        assert_eq!(d.replicas(1), 3);
+        assert_eq!(d.replicas(0), 1);
+        // partition 1's workgroup is {1, 2, 3}; partition 0 stays pinned
+        assert_eq!(d.next_primary(1), (1, 0));
+        assert_eq!(d.next_primary(1), (2, 1));
+        assert_eq!(d.next_primary(1), (3, 2));
+        assert_eq!(d.next_primary(1), (1, 0), "pointer wraps at r_1 = 3");
+        assert_eq!(d.next_primary(0), (0, 0));
+        assert_eq!(d.next_primary(0), (0, 0));
+        // failover chain also honours the per-partition count
+        assert_eq!(d.failover(1, 0, 1), 2);
+        assert_eq!(d.failover(1, 2, 1), 1, "wraps at r_1");
+        assert_eq!(d.failover(0, 0, 5), 0, "r=1 retries the owner");
+    }
+
+    #[test]
+    fn po2_is_deterministic_and_stays_in_workgroup() {
+        let counts = vec![4usize; 8];
+        let policy = RoutingPolicy::PowerOfTwo { base: 4, max: 4 };
+        let mut a = ReplicaDispatcher::with_policy(8, policy, &counts);
+        let mut b = ReplicaDispatcher::with_policy(8, policy, &counts);
+        for qid in 0..64u64 {
+            let part = (qid % 8) as u32;
+            let (core, slot) = a.next(part, qid);
+            assert_eq!(
+                (core, slot),
+                b.next(part, qid),
+                "same (qid, part) stream must dispatch identically"
+            );
+            assert!(slot < 4, "slot within the workgroup");
+            assert_eq!(core, a.member(part, slot));
+        }
+    }
+
+    #[test]
+    fn po2_balances_a_hot_partition() {
+        // every probe targets partition 0 with 4 replicas: po2 must spread
+        // far better than "all on one core", and not worse than 2x the
+        // round-robin optimum
+        let mut counts = vec![1usize; 8];
+        counts[0] = 4;
+        let policy = RoutingPolicy::PowerOfTwo { base: 1, max: 4 };
+        let mut d = ReplicaDispatcher::with_policy(8, policy, &counts);
+        let mut per_core = [0u32; 8];
+        for qid in 0..400u64 {
+            let (core, _) = d.next(0, qid);
+            assert!(core < 4, "workgroup of partition 0 is {{0,1,2,3}}");
+            per_core[core] += 1;
+        }
+        let max = per_core.iter().max().copied().unwrap_or(0);
+        assert!(
+            max <= 200,
+            "po2 must spread the hot partition: per-core {per_core:?}"
+        );
+        assert!(per_core[..4].iter().all(|&c| c > 0), "every replica used");
+    }
+
+    #[test]
+    fn static_policy_with_uniform_counts_matches_legacy_dispatcher() {
+        let mut legacy = ReplicaDispatcher::new(8, 3);
+        let mut unified = ReplicaDispatcher::with_policy(8, RoutingPolicy::Static(3), &[3usize; 8]);
+        for qid in 0..48u64 {
+            let part = (qid % 8) as u32;
+            assert_eq!(legacy.next(part, qid), unified.next(part, qid));
+        }
+    }
+
+    #[test]
+    fn split_partition_grows_tables_on_demand() {
+        let mut d = ReplicaDispatcher::with_policy(
+            4,
+            RoutingPolicy::PowerOfTwo { base: 1, max: 2 },
+            &[2, 1, 1, 1],
+        );
+        // a split-created partition id beyond the table wraps onto cores
+        let (core, slot) = d.next(9, 0);
+        assert_eq!(d.replicas(9), 1, "split partitions default to 1 replica");
+        assert_eq!(core, 9 % 4);
+        assert_eq!(slot, 0);
     }
 }

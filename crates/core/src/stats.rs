@@ -96,6 +96,10 @@ pub struct QueryReport {
     pub master_wait_ns: f64,
     /// Queries dispatched to each processing core (paper Fig. 4(b)).
     pub per_core_queries: Vec<u64>,
+    /// Probes dispatched per *partition* (retries included) — the hotness
+    /// signal the serve-layer replication controller reads. Unlike
+    /// `per_core_queries`, this is invariant under replica placement.
+    pub per_partition_probes: Vec<u64>,
     /// Mean partitions searched per query (`|F(q)|`).
     pub mean_fanout: f64,
     /// Per-node virtual busy time of the search thread pools (ns).
@@ -219,6 +223,7 @@ mod tests {
             master_comm_cpu_ns: 50.0,
             master_wait_ns: 200.0,
             per_core_queries: vec![5, 5],
+            per_partition_probes: vec![5, 5],
             mean_fanout: 1.0,
             node_busy_ns: vec![800.0, 400.0],
             node_comm_cpu_ns: vec![50.0, 20.0],
@@ -243,6 +248,7 @@ mod tests {
             master_comm_cpu_ns: 0.0,
             master_wait_ns: 0.0,
             per_core_queries: vec![],
+            per_partition_probes: vec![],
             mean_fanout: 1.0,
             node_busy_ns: vec![],
             node_comm_cpu_ns: vec![],

@@ -2,7 +2,8 @@
 //! [`FaultPlan`] — determinism, failover recovery, and degraded mode.
 
 use fastann_core::{
-    DistIndex, EngineConfig, QueryReport, SearchOptions, SearchRequest, TAG_QUERY, TAG_RESULT,
+    DistIndex, EngineConfig, QueryReport, RoutingPolicy, SearchOptions, SearchRequest, TAG_QUERY,
+    TAG_RESULT,
 };
 use fastann_data::{ground_truth, synth, Distance, VectorSet};
 use fastann_hnsw::HnswConfig;
@@ -86,7 +87,7 @@ fn fault_plan_none_is_a_true_noop() {
 fn same_seed_gives_identical_report_and_trace() {
     let (data, queries, index) = build(2, 43);
     let opts = SearchOptions::new(10)
-        .with_replication(2)
+        .with_routing(RoutingPolicy::Static(2))
         .with_timeout_ns(5e6);
     // a bit of everything: loss, delay, duplication, plus a mid-run stall
     let plan = FaultPlan::new(0xC0FFEE)
@@ -129,7 +130,7 @@ fn crashed_worker_with_replicas_recovers_full_recall() {
     // crashing one leaves a live replica on the other
     let (data, queries, index) = build(1, 47);
     let opts = SearchOptions::new(10)
-        .with_replication(2)
+        .with_routing(RoutingPolicy::Static(2))
         .with_ef(128)
         .with_timeout_ns(5e6);
     let clean = SearchRequest::new(&index, &queries).opts(opts).run();

@@ -5,7 +5,7 @@
 //! virtual-time or counted-work arithmetic and the registry folds are
 //! order-invariant (DESIGN.md §10).
 
-use fastann_core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
+use fastann_core::{DistIndex, EngineConfig, RoutingPolicy, SearchOptions, SearchRequest};
 use fastann_data::synth;
 use fastann_hnsw::HnswConfig;
 use fastann_mpisim::FaultPlan;
@@ -20,7 +20,7 @@ fn chaos_snapshot(threads: usize) -> MetricsSnapshot {
         .with_threads(threads);
     let index = DistIndex::build(&data, cfg);
     let opts = SearchOptions::new(5)
-        .with_replication(2)
+        .with_routing(RoutingPolicy::Static(2))
         .with_timeout_ns(5e5)
         .with_max_retries(2);
     let plan = FaultPlan::new(0xCAFE)

@@ -1,18 +1,16 @@
-//! Deprecated-shim parity: each of the five legacy `search_batch*` entry
-//! points must produce a [`QueryReport`] byte-identical (`==` on every
-//! field, virtual times included) to the [`SearchRequest`] builder chain
-//! it deprecates into — callers migrating to the builder must never see
-//! a behaviour change.
-
-#![allow(deprecated)]
+//! Routing-policy parity: the deprecated `with_replication(r)` shim must
+//! be indistinguishable from `with_routing(RoutingPolicy::Static(r))` —
+//! byte-identical [`fastann_core::QueryReport`]s, virtual times included —
+//! and an explicit uniform [`ReplicaMap`] snapshot must match the implicit
+//! policy-base dispatch. Callers migrating to the routing API must never
+//! see a behaviour change.
 
 use fastann_core::{
-    search_batch, search_batch_chaos, search_batch_chaos_traced, search_batch_traced,
-    search_batch_with_plan, DistIndex, EngineConfig, SearchOptions, SearchRequest,
+    DistIndex, EngineConfig, ReplicaMap, RoutingPolicy, SearchOptions, SearchRequest,
 };
 use fastann_data::{synth, VectorSet};
 use fastann_hnsw::HnswConfig;
-use fastann_mpisim::{FaultPlan, Trace};
+use fastann_mpisim::FaultPlan;
 
 fn fixture() -> (VectorSet, DistIndex) {
     let data = synth::sift_like(2_500, 16, 31);
@@ -25,82 +23,93 @@ fn fixture() -> (VectorSet, DistIndex) {
 }
 
 #[test]
-fn search_batch_matches_builder() {
+fn replication_shim_matches_static_routing() {
     let (queries, index) = fixture();
-    for one_sided in [false, true] {
-        let opts = SearchOptions::new(5).with_one_sided(one_sided);
-        let legacy = search_batch(&index, &queries, &opts);
-        let builder = SearchRequest::new(&index, &queries).opts(opts).run();
-        assert_eq!(legacy, builder, "one_sided={one_sided}");
+    for r in [1usize, 2, 3] {
+        for one_sided in [false, true] {
+            #[allow(deprecated)]
+            let legacy_opts = SearchOptions::new(10)
+                .with_one_sided(one_sided)
+                .with_replication(r);
+            let legacy = SearchRequest::new(&index, &queries).opts(legacy_opts).run();
+            let routed = SearchRequest::new(&index, &queries)
+                .opts(
+                    SearchOptions::new(10)
+                        .with_one_sided(one_sided)
+                        .with_routing(RoutingPolicy::Static(r)),
+                )
+                .run();
+            assert_eq!(
+                legacy, routed,
+                "with_replication({r}) diverged from Static({r}) (one_sided={one_sided})"
+            );
+        }
     }
 }
 
 #[test]
-fn search_batch_traced_matches_builder() {
+fn uniform_replica_map_matches_policy_base() {
     let (queries, index) = fixture();
-    let opts = SearchOptions::new(5);
-    let t1 = Trace::new();
-    let t2 = Trace::new();
-    let legacy = search_batch_traced(&index, &queries, &opts, &t1);
-    let builder = SearchRequest::new(&index, &queries)
-        .opts(opts)
-        .trace(&t2)
-        .run();
-    assert_eq!(legacy, builder);
-    assert_eq!(
-        t1.spans().len(),
-        t2.spans().len(),
-        "both paths must record the same trace volume"
-    );
+    for r in [1usize, 3] {
+        let opts = SearchOptions::new(10).with_routing(RoutingPolicy::Static(r));
+        let implicit = SearchRequest::new(&index, &queries).opts(opts).run();
+        let map = ReplicaMap::uniform(index.n_partitions(), r);
+        let explicit = SearchRequest::new(&index, &queries)
+            .opts(opts)
+            .replicas(&map)
+            .run();
+        assert_eq!(
+            implicit, explicit,
+            "uniform ReplicaMap({r}) diverged from policy base"
+        );
+    }
 }
 
 #[test]
-fn search_batch_chaos_matches_builder() {
+fn shim_matches_static_routing_under_chaos() {
     let (queries, index) = fixture();
-    let opts = SearchOptions::new(5)
+    let plan = FaultPlan::new(0xBEEF)
+        .drop_msgs(None, None, None, 0.15)
+        .delay_msgs(None, None, None, 0.20, 2e6);
+    #[allow(deprecated)]
+    let legacy_opts = SearchOptions::new(10)
         .with_replication(2)
         .with_timeout_ns(5e5)
         .with_max_retries(2);
-    let plan = FaultPlan::new(0xBEEF).drop_msgs(None, None, None, 0.15);
-    let legacy = search_batch_chaos(&index, &queries, &opts, &plan);
-    let builder = SearchRequest::new(&index, &queries)
-        .opts(opts)
+    let legacy = SearchRequest::new(&index, &queries)
+        .opts(legacy_opts)
         .chaos(&plan)
         .run();
-    assert_eq!(legacy, builder);
+    let routed = SearchRequest::new(&index, &queries)
+        .opts(
+            SearchOptions::new(10)
+                .with_routing(RoutingPolicy::Static(2))
+                .with_timeout_ns(5e5)
+                .with_max_retries(2),
+        )
+        .chaos(&plan)
+        .run();
+    assert_eq!(
+        legacy, routed,
+        "chaos path diverged between shim and policy"
+    );
+    assert!(legacy.retries > 0, "plan should force retries");
 }
 
 #[test]
-fn search_batch_with_plan_matches_builder() {
+fn po2_routing_preserves_results() {
+    // load-aware slot choice may move probes between replicas, never
+    // change what a query returns
     let (queries, index) = fixture();
-    let opts = SearchOptions::new(5).with_timeout_ns(5e5);
-    let plan = FaultPlan::new(0xFACE).delay_msgs(None, None, None, 0.25, 1e6);
-    for active in [None, Some(&plan)] {
-        let legacy = search_batch_with_plan(&index, &queries, &opts, active);
-        let builder = SearchRequest::new(&index, &queries)
-            .opts(opts)
-            .plan(active)
-            .run();
-        assert_eq!(legacy, builder, "plan active: {}", active.is_some());
-    }
-}
-
-#[test]
-fn search_batch_chaos_traced_matches_builder() {
-    let (queries, index) = fixture();
-    let opts = SearchOptions::new(5)
-        .with_replication(2)
-        .with_timeout_ns(5e5)
-        .with_max_retries(1);
-    let plan = FaultPlan::new(0xD00D).drop_msgs(None, None, None, 0.10);
-    let t1 = Trace::new();
-    let t2 = Trace::new();
-    let legacy = search_batch_chaos_traced(&index, &queries, &opts, &plan, &t1);
-    let builder = SearchRequest::new(&index, &queries)
-        .opts(opts)
-        .chaos(&plan)
-        .trace(&t2)
+    let rr = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10).with_routing(RoutingPolicy::Static(3)))
         .run();
-    assert_eq!(legacy, builder);
-    assert_eq!(t1.spans().len(), t2.spans().len());
+    let po2 = SearchRequest::new(&index, &queries)
+        .opts(SearchOptions::new(10).with_routing(RoutingPolicy::PowerOfTwo { base: 3, max: 3 }))
+        .run();
+    assert_eq!(rr.results, po2.results, "routing policy changed results");
+    assert_eq!(
+        rr.per_partition_probes, po2.per_partition_probes,
+        "per-partition probe counts are placement-invariant"
+    );
 }

@@ -4,6 +4,8 @@
 use fastann_core::SearchOptions;
 use fastann_mpisim::FaultPlan;
 
+use crate::controller::ControllerPolicy;
+
 /// Micro-batcher policy: requests coalesce into one engine batch until
 /// either bound trips.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +40,11 @@ pub struct AdmissionPolicy {
     /// Upper bound on outstanding admitted requests (forming batch plus
     /// dispatched-but-unfinished); `usize::MAX` disables the bound.
     pub max_queue_depth: usize,
+    /// Upper bound on outstanding admitted requests whose *home partition*
+    /// is the same — overload on one hot partition sheds on that
+    /// partition's queue instead of globally; `usize::MAX` disables the
+    /// bound.
+    pub partition_queue_depth: usize,
 }
 
 impl Default for AdmissionPolicy {
@@ -48,6 +55,7 @@ impl Default for AdmissionPolicy {
             tenant_rate_qps: f64::INFINITY,
             tenant_burst: 64.0,
             max_queue_depth: usize::MAX,
+            partition_queue_depth: usize::MAX,
         }
     }
 }
@@ -85,6 +93,10 @@ pub struct ServeConfig {
     /// Closed-loop clients back off this long (virtual ns) after a
     /// rejection before issuing their next request.
     pub retry_backoff_ns: f64,
+    /// Knobs of the adaptive replication controller; only consulted when
+    /// [`ServeConfig::search`] carries an adaptive
+    /// [`fastann_core::RoutingPolicy`].
+    pub controller: ControllerPolicy,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +119,7 @@ impl ServeConfig {
             cache_hit_ns: 2_000.0,
             service_estimate_ns: 2e6,
             retry_backoff_ns: 200_000.0,
+            controller: ControllerPolicy::default(),
         }
     }
 
@@ -140,6 +153,12 @@ impl ServeConfig {
         self.fault = Some(plan);
         self
     }
+
+    /// Sets the adaptive replication controller's knobs (builder style).
+    pub fn with_controller(mut self, policy: ControllerPolicy) -> Self {
+        self.controller = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +188,7 @@ mod tests {
             tenant_rate_qps: 100.0,
             tenant_burst: 0.0,
             max_queue_depth: 8,
+            partition_queue_depth: usize::MAX,
         });
     }
 }

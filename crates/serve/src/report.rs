@@ -20,6 +20,9 @@ pub struct ServeReport {
     pub rejected_overloaded: u64,
     /// Requests refused with [`crate::Rejection::DeadlineUnmeetable`].
     pub rejected_deadline: u64,
+    /// Requests refused with [`crate::Rejection::HotPartition`] (the
+    /// per-partition queue-depth bound).
+    pub rejected_hot_partition: u64,
     /// Completed requests whose answer arrived after their deadline.
     pub deadline_misses: u64,
     /// Completed requests flagged degraded by the fault-tolerant path.
@@ -52,6 +55,16 @@ pub struct ServeReport {
     pub failovers: u64,
     /// Partition probes served per partition, summed over batches.
     pub per_partition_probes: Vec<u64>,
+    /// Hot-partition rejections per home partition.
+    pub per_partition_rejections: Vec<u64>,
+    /// Replica-count raises the adaptive controller applied.
+    pub replica_raises: u64,
+    /// Replica-count decays the adaptive controller applied.
+    pub replica_decays: u64,
+    /// Final per-partition replica counts (empty under static routing).
+    pub final_replicas: Vec<usize>,
+    /// Final replica-map generation (0 under static routing).
+    pub routing_generation: u64,
 }
 
 impl ServeReport {
@@ -60,7 +73,8 @@ impl ServeReport {
         if self.requests == 0 {
             0.0
         } else {
-            (self.rejected_overloaded + self.rejected_deadline) as f64 / self.requests as f64
+            (self.rejected_overloaded + self.rejected_deadline + self.rejected_hot_partition) as f64
+                / self.requests as f64
         }
     }
 
@@ -94,6 +108,11 @@ impl ServeReport {
             self.rejected_overloaded
         );
         let _ = writeln!(s, "{i}  \"rejected_deadline\": {},", self.rejected_deadline);
+        let _ = writeln!(
+            s,
+            "{i}  \"rejected_hot_partition\": {},",
+            self.rejected_hot_partition
+        );
         let _ = writeln!(s, "{i}  \"rejection_rate\": {:.4},", self.rejection_rate());
         let _ = writeln!(s, "{i}  \"deadline_misses\": {},", self.deadline_misses);
         let _ = writeln!(s, "{i}  \"degraded\": {},", self.degraded);
@@ -134,6 +153,25 @@ impl ServeReport {
             .map(u64::to_string)
             .collect();
         let _ = writeln!(s, "{i}  \"per_partition_probes\": [{}],", probes.join(", "));
+        let rejections: Vec<String> = self
+            .per_partition_rejections
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        let _ = writeln!(
+            s,
+            "{i}  \"per_partition_rejections\": [{}],",
+            rejections.join(", ")
+        );
+        let _ = writeln!(s, "{i}  \"replica_raises\": {},", self.replica_raises);
+        let _ = writeln!(s, "{i}  \"replica_decays\": {},", self.replica_decays);
+        let finals: Vec<String> = self.final_replicas.iter().map(usize::to_string).collect();
+        let _ = writeln!(s, "{i}  \"final_replicas\": [{}],", finals.join(", "));
+        let _ = writeln!(
+            s,
+            "{i}  \"routing_generation\": {},",
+            self.routing_generation
+        );
         let _ = writeln!(s, "{i}  \"fingerprint\": \"{:#018x}\"", self.fingerprint());
         let _ = write!(s, "{i}}}");
         s

@@ -58,6 +58,11 @@ pub enum Rejection {
     /// Even an immediate dispatch could not answer before the request's
     /// deadline, so queueing it would only waste engine time.
     DeadlineUnmeetable,
+    /// The request's home partition already has
+    /// [`crate::AdmissionPolicy::partition_queue_depth`] outstanding
+    /// requests: one hot partition sheds its own overload instead of
+    /// stalling the whole node.
+    HotPartition(u32),
 }
 
 impl std::fmt::Display for Rejection {
@@ -65,6 +70,7 @@ impl std::fmt::Display for Rejection {
         match self {
             Rejection::Overloaded => write!(f, "overloaded"),
             Rejection::DeadlineUnmeetable => write!(f, "deadline unmeetable"),
+            Rejection::HotPartition(p) => write!(f, "hot partition {p}"),
         }
     }
 }

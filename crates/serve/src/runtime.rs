@@ -24,6 +24,7 @@ use fastann_obs::{buckets, Metrics, Stage};
 use crate::admission::TokenBucket;
 use crate::cache::ResultCache;
 use crate::config::ServeConfig;
+use crate::controller::ReplicaController;
 use crate::report::{percentile, ServeReport};
 use crate::request::{Completion, Outcome, Rejection, Request};
 
@@ -83,6 +84,7 @@ pub struct ServeRuntime {
     cache: ResultCache,
     service_est_ns: f64,
     metrics: Option<Metrics>,
+    controller: Option<ReplicaController>,
 }
 
 impl ServeRuntime {
@@ -100,12 +102,20 @@ impl ServeRuntime {
         );
         let cache = ResultCache::new(codec, cfg.cache_capacity);
         let service_est_ns = cfg.service_estimate_ns;
+        // an adaptive routing policy needs the controller and a metrics
+        // registry to feed it (callers may still swap in their own
+        // registry with `set_metrics`)
+        let controller = cfg.search.routing.is_adaptive().then(|| {
+            ReplicaController::new(index.n_partitions(), cfg.search.routing, cfg.controller)
+        });
+        let metrics = controller.is_some().then(Metrics::new);
         Self {
             index,
             cfg,
             cache,
             service_est_ns,
-            metrics: None,
+            metrics,
+            controller,
         }
     }
 
@@ -131,8 +141,24 @@ impl ServeRuntime {
             self.index.dim(),
             "a rebuilt index must keep the dimensionality"
         );
+        // a rebuild may change the partition topology: the controller's
+        // hotness window no longer describes the new layout, so it starts
+        // over at the policy base
+        if self.controller.is_some() {
+            self.controller = Some(ReplicaController::new(
+                index.n_partitions(),
+                self.cfg.search.routing,
+                self.cfg.controller,
+            ));
+        }
         self.index = index;
         self.cache.bump_epoch();
+    }
+
+    /// The adaptive controller's live per-partition replica counts; `None`
+    /// under static routing.
+    pub fn replica_counts(&self) -> Option<&[usize]> {
+        self.controller.as_ref().map(|c| c.map().counts())
     }
 
     /// Result-cache counter snapshot.
@@ -272,15 +298,23 @@ struct Sim<'a> {
     clock: VClock,
     events: EventQueue<Ev>,
     forming: Vec<Request>,
+    /// Home partition of each request in `forming` (parallel vector).
+    forming_homes: Vec<u32>,
     forming_batch_id: u64,
     engine_free_ns: f64,
-    inflight: BinaryHeap<Reverse<OrdNs>>,
+    /// `(completion time, home partition)` of dispatched-but-unfinished
+    /// requests; retired lazily at each arrival.
+    inflight: BinaryHeap<Reverse<(OrdNs, u32)>>,
+    /// Outstanding admitted requests per home partition (forming plus
+    /// in-flight) — what the per-partition admission bound inspects.
+    part_outstanding: Vec<usize>,
     buckets: HashMap<u32, TokenBucket>,
     outcomes: Vec<Outcome>,
     // report aggregates
     requests: u64,
     rejected_overloaded: u64,
     rejected_deadline: u64,
+    rejected_hot: u64,
     deadline_misses: u64,
     degraded: u64,
     batches: u64,
@@ -289,6 +323,7 @@ struct Sim<'a> {
     retries: u64,
     failovers: u64,
     per_partition_probes: Vec<u64>,
+    per_partition_rejections: Vec<u64>,
 }
 
 impl<'a> Sim<'a> {
@@ -299,14 +334,17 @@ impl<'a> Sim<'a> {
             clock: VClock::new(),
             events: EventQueue::new(),
             forming: Vec::new(),
+            forming_homes: Vec::new(),
             forming_batch_id: 0,
             engine_free_ns: 0.0,
             inflight: BinaryHeap::new(),
+            part_outstanding: vec![0; parts],
             buckets: HashMap::new(),
             outcomes: Vec::new(),
             requests: 0,
             rejected_overloaded: 0,
             rejected_deadline: 0,
+            rejected_hot: 0,
             deadline_misses: 0,
             degraded: 0,
             batches: 0,
@@ -315,6 +353,7 @@ impl<'a> Sim<'a> {
             retries: 0,
             failovers: 0,
             per_partition_probes: vec![0; parts],
+            per_partition_rejections: vec![0; parts],
         }
     }
 
@@ -375,9 +414,12 @@ impl<'a> Sim<'a> {
         self.requests += 1;
 
         // retire dispatched work that finished before this instant, so the
-        // queue-depth bound sees the true number outstanding
-        while let Some(Reverse(OrdNs(done))) = self.inflight.peek() {
+        // queue-depth bounds see the true number outstanding
+        while let Some(Reverse((OrdNs(done), home))) = self.inflight.peek() {
             if *done <= now {
+                if let Some(c) = self.part_outstanding.get_mut(*home as usize) {
+                    *c = c.saturating_sub(1);
+                }
                 self.inflight.pop();
             } else {
                 break;
@@ -439,6 +481,21 @@ impl<'a> Sim<'a> {
             return;
         }
 
+        // 3b. per-partition queue-depth bound: overload concentrated on
+        // one hot partition sheds on that partition's own queue instead
+        // of stalling every tenant globally. The home lookup is a
+        // fan-out-1 router probe in virtual-time-free admission code —
+        // deterministic, and uncharged like the other admission checks.
+        let home = self.rt.index.home_partition(&req.query);
+        if self
+            .part_outstanding
+            .get(home as usize)
+            .is_some_and(|&c| c >= adm.partition_queue_depth)
+        {
+            self.reject(&req, now, Rejection::HotPartition(home));
+            return;
+        }
+
         // 4. deadline feasibility: would this request — batched at worst
         // after the full batching wait, behind the engine's backlog —
         // still answer in time? The service estimate is an EMA of
@@ -462,7 +519,11 @@ impl<'a> Sim<'a> {
                 Ev::BatchTimer(self.forming_batch_id),
             );
         }
+        if let Some(c) = self.part_outstanding.get_mut(home as usize) {
+            *c += 1;
+        }
         self.forming.push(req);
+        self.forming_homes.push(home);
         if self.forming.len() >= self.rt.cfg.batch.max_batch {
             self.flush();
         }
@@ -478,9 +539,24 @@ impl<'a> Sim<'a> {
                 self.rejected_deadline += 1;
                 "deadline"
             }
+            Rejection::HotPartition(p) => {
+                self.rejected_hot += 1;
+                if let Some(c) = self.per_partition_rejections.get_mut(p as usize) {
+                    *c += 1;
+                }
+                "hot_partition"
+            }
         };
         if let Some(m) = self.obs() {
             m.inc("fastann_serve_rejected_total", &[("reason", label)], 1);
+            if let Rejection::HotPartition(p) = reason {
+                let part = p.to_string();
+                m.inc(
+                    "fastann_serve_partition_rejected_total",
+                    &[("partition", &part)],
+                    1,
+                );
+            }
         }
         self.outcomes.push(Outcome::Rejected {
             id: req.id,
@@ -493,6 +569,7 @@ impl<'a> Sim<'a> {
     /// Dispatches the forming batch through the engine.
     fn flush(&mut self) {
         let batch = std::mem::take(&mut self.forming);
+        let homes = std::mem::take(&mut self.forming_homes);
         self.forming_batch_id += 1;
         let trigger = self.clock.now();
         // one simulated cluster: a batch waits for the previous one
@@ -514,9 +591,21 @@ impl<'a> Sim<'a> {
             .fold(f64::INFINITY, f64::min);
         let opts = opts.cap_timeout_ns(headroom);
 
+        // adaptive routing: snapshot the controller's replica map for
+        // this batch — generation bumps after this instant do not affect
+        // a batch already dispatched (the epoch idiom)
+        let n_parts = self.rt.index.n_partitions();
+        let replica_snap = self.rt.controller.as_mut().map(|ctl| {
+            ctl.ensure_cover(n_parts);
+            ctl.map().clone()
+        });
+
         let mut engine_req = SearchRequest::new(&self.rt.index, &queries)
             .opts(opts)
             .plan(self.rt.cfg.fault.as_ref());
+        if let Some(map) = replica_snap.as_ref() {
+            engine_req = engine_req.replicas(map);
+        }
         if let Some(m) = self.rt.metrics.as_ref() {
             engine_req = engine_req.metrics(m);
         }
@@ -538,16 +627,38 @@ impl<'a> Sim<'a> {
         self.dispatched += batch.len() as u64;
         self.retries += report.retries;
         self.failovers += report.failovers;
-        for (slot, &n) in report.per_core_queries.iter().enumerate() {
-            if let Some(p) = self.per_partition_probes.get_mut(slot) {
+        for (part, &n) in report.per_partition_probes.iter().enumerate() {
+            if let Some(p) = self.per_partition_probes.get_mut(part) {
                 *p += n;
             }
         }
         // adapt the feasibility estimate (deterministic EMA, α = 1/2)
         self.rt.service_est_ns = 0.5 * self.rt.service_est_ns + 0.5 * report.total_ns;
 
+        // feed the batch's service-time metrics to the replica controller
+        // at the batch's virtual completion instant
+        let rt = &mut *self.rt;
+        if let (Some(ctl), Some(m)) = (rt.controller.as_mut(), rt.metrics.as_ref()) {
+            let act = ctl.observe(done, &m.snapshot(), &rt.index);
+            if act.raised.is_some() {
+                m.inc("fastann_replica_raises_total", &[], 1);
+            }
+            if act.decayed.is_some() {
+                m.inc("fastann_replica_decays_total", &[], 1);
+            }
+            for (p, &r) in ctl.map().counts().iter().enumerate() {
+                let part = p.to_string();
+                m.gauge_max("fastann_replica_count", &[("partition", &part)], r as f64);
+            }
+            m.gauge_max(
+                "fastann_routing_generation",
+                &[],
+                ctl.map().generation() as f64,
+            );
+        }
+
         let metric = self.rt.index.config.metric;
-        for (i, req) in batch.into_iter().enumerate() {
+        for (i, (req, home)) in batch.into_iter().zip(homes).enumerate() {
             let mut results = report.results[i].clone();
             results.truncate(req.k);
             let was_degraded = report.degraded[i];
@@ -566,7 +677,7 @@ impl<'a> Sim<'a> {
                     m.inc("fastann_serve_deadline_misses_total", &[], 1);
                 }
             }
-            self.inflight.push(Reverse(OrdNs(done)));
+            self.inflight.push(Reverse((OrdNs(done), home)));
             self.outcomes.push(Outcome::Completed(Completion {
                 id: req.id,
                 tenant: req.tenant,
@@ -597,11 +708,21 @@ impl<'a> Sim<'a> {
             }
         }
         latencies.sort_unstable_by(f64::total_cmp);
+        let (raises, decays, finals, generation) = match self.rt.controller.as_ref() {
+            Some(c) => (
+                c.raises(),
+                c.decays(),
+                c.map().counts().to_vec(),
+                c.map().generation(),
+            ),
+            None => (0, 0, Vec::new(), 0),
+        };
         let report = ServeReport {
             requests: self.requests,
             completed,
             rejected_overloaded: self.rejected_overloaded,
             rejected_deadline: self.rejected_deadline,
+            rejected_hot_partition: self.rejected_hot,
             deadline_misses: self.deadline_misses,
             degraded: self.degraded,
             batches: self.batches,
@@ -630,6 +751,11 @@ impl<'a> Sim<'a> {
             retries: self.retries,
             failovers: self.failovers,
             per_partition_probes: self.per_partition_probes,
+            per_partition_rejections: self.per_partition_rejections,
+            replica_raises: raises,
+            replica_decays: decays,
+            final_replicas: finals,
+            routing_generation: generation,
         };
         ServeRun {
             report,
@@ -711,6 +837,7 @@ mod tests {
             tenant_rate_qps: 1_000.0,
             tenant_burst: 4.0,
             max_queue_depth: usize::MAX,
+            partition_queue_depth: usize::MAX,
         };
         // 20 requests in one instant: burst admits 4, the rest shed
         let run = rt.serve_open(open_requests(&data, 20, 0.0));
@@ -731,6 +858,7 @@ mod tests {
             tenant_rate_qps: 1_000.0,
             tenant_burst: 2.0,
             max_queue_depth: usize::MAX,
+            partition_queue_depth: usize::MAX,
         };
         let mut reqs = open_requests(&data, 8, 0.0);
         for (i, r) in reqs.iter_mut().enumerate() {
@@ -861,7 +989,66 @@ mod tests {
         assert_eq!(ids, (0..40).collect::<Vec<_>>(), "conservation of requests");
         assert_eq!(
             run.report.requests,
-            run.report.completed + run.report.rejected_overloaded + run.report.rejected_deadline
+            run.report.completed
+                + run.report.rejected_overloaded
+                + run.report.rejected_deadline
+                + run.report.rejected_hot_partition
         );
+    }
+
+    #[test]
+    fn partition_depth_bound_sheds_on_the_hot_queue() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.admission.partition_queue_depth = 2;
+        rt.cfg.batch.max_batch = 64;
+        rt.cfg.batch.max_wait_ns = 1e12; // hold everything in one forming batch
+                                         // every request asks the same query → same home partition
+        let q = data.get(3).to_vec();
+        let reqs: Vec<Request> = (0..6)
+            .map(|i| Request::new(i, i as f64, q.clone(), 5))
+            .collect();
+        let home = rt.index.home_partition(&q);
+        let run = rt.serve_open(reqs);
+        assert_eq!(run.report.rejected_hot_partition, 4, "depth 2 admits 2");
+        assert_eq!(
+            run.report.per_partition_rejections[home as usize], 4,
+            "rejections land on the hot partition"
+        );
+        for o in &run.outcomes {
+            if let Outcome::Rejected { reason, .. } = o {
+                assert_eq!(*reason, Rejection::HotPartition(home));
+            }
+        }
+        // conservation still holds with the new rejection class
+        assert_eq!(
+            run.report.requests,
+            run.report.completed
+                + run.report.rejected_overloaded
+                + run.report.rejected_deadline
+                + run.report.rejected_hot_partition
+        );
+    }
+
+    #[test]
+    fn cold_partitions_stay_admitted_while_hot_one_sheds() {
+        let (data, mut rt) = small_runtime(0);
+        rt.cfg.admission.partition_queue_depth = 1;
+        rt.cfg.batch.max_batch = 64;
+        rt.cfg.batch.max_wait_ns = 1e12;
+        // two distinct rows: if they home differently, both first
+        // arrivals admit even though each partition's bound is 1
+        let qa = data.get(0).to_vec();
+        let qb = data.get(900).to_vec();
+        let ha = rt.index.home_partition(&qa);
+        let hb = rt.index.home_partition(&qb);
+        let reqs = vec![
+            Request::new(0, 0.0, qa.clone(), 5),
+            Request::new(1, 1.0, qb.clone(), 5),
+            Request::new(2, 2.0, qa, 5),
+            Request::new(3, 3.0, qb, 5),
+        ];
+        let run = rt.serve_open(reqs);
+        let expect_rejected = if ha == hb { 3 } else { 2 };
+        assert_eq!(run.report.rejected_hot_partition, expect_rejected);
     }
 }

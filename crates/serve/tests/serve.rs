@@ -132,6 +132,7 @@ fn overload_sheds_with_typed_rejections_and_bounded_p99() {
             tenant_rate_qps: f64::INFINITY,
             tenant_burst: 64.0,
             max_queue_depth: 32,
+            partition_queue_depth: usize::MAX,
         });
     let mut tight_rt = runtime(&data, 5, 1, tight_cfg);
     let tight = tight_rt.serve_open(flood(21));
@@ -148,7 +149,10 @@ fn overload_sheds_with_typed_rejections_and_bounded_p99() {
     // conservation: every request either completed or was rejected
     assert_eq!(
         tight.report.requests,
-        tight.report.completed + tight.report.rejected_overloaded + tight.report.rejected_deadline
+        tight.report.completed
+            + tight.report.rejected_overloaded
+            + tight.report.rejected_deadline
+            + tight.report.rejected_hot_partition
     );
     // the point of shedding: admitted requests keep a bounded tail, while
     // the open baseline lets queueing delay run away with the flood

@@ -13,7 +13,7 @@
 //! cargo run --release --example recommender
 //! ```
 
-use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
+use fastann::core::{DistIndex, EngineConfig, RoutingPolicy, SearchOptions, SearchRequest};
 use fastann::data::{synth, VectorSet};
 use fastann::hnsw::HnswConfig;
 use rand::rngs::SmallRng;
@@ -49,7 +49,7 @@ fn main() {
         .opts(SearchOptions::new(10))
         .run();
     let balanced = SearchRequest::new(&index, &users)
-        .opts(SearchOptions::new(10).with_replication(4))
+        .opts(SearchOptions::new(10).with_routing(RoutingPolicy::Static(4)))
         .run();
 
     let d0 = baseline.query_distribution();

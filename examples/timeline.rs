@@ -7,7 +7,7 @@
 //! cargo run --release --example timeline
 //! ```
 
-use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
+use fastann::core::{DistIndex, EngineConfig, RoutingPolicy, SearchOptions, SearchRequest};
 use fastann::data::{synth, VectorSet};
 use fastann::hnsw::HnswConfig;
 use fastann::mpisim::Trace;
@@ -51,7 +51,7 @@ fn main() {
 
     let trace = Trace::new();
     let report = SearchRequest::new(&index, &skewed)
-        .opts(SearchOptions::new(10).with_replication(4))
+        .opts(SearchOptions::new(10).with_routing(RoutingPolicy::Static(4)))
         .trace(&trace)
         .run();
     println!(

@@ -17,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use fastann::core::{DistIndex, EngineConfig, SearchOptions, SearchRequest};
+use fastann::core::{DistIndex, EngineConfig, RoutingPolicy, SearchOptions, SearchRequest};
 use fastann::data::{dataset_stats, ground_truth, io, Distance, Neighbor};
 use fastann::hnsw::HnswConfig;
 
@@ -145,7 +145,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let queries = io::read_fvecs(q_path, None).map_err(|e| e.to_string())?;
     let opts = SearchOptions::new(k)
         .with_ef(ef)
-        .with_replication(replication)
+        .with_routing(RoutingPolicy::Static(replication))
         .with_one_sided(!args.bool_flag("two-sided"));
     let report = SearchRequest::new(&index, &queries).opts(opts).run();
     let lists: Vec<Vec<u32>> = report

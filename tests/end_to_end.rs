@@ -2,7 +2,7 @@
 //! across every crate in the workspace.
 
 use fastann::core::{
-    search_batch_multi_owner, DistIndex, EngineConfig, SearchOptions, SearchRequest,
+    search_batch_multi_owner, DistIndex, EngineConfig, RoutingPolicy, SearchOptions, SearchRequest,
 };
 use fastann::data::{ground_truth, synth, Distance, VectorSet};
 use fastann::hnsw::HnswConfig;
@@ -68,10 +68,10 @@ fn replication_factors_preserve_results_and_balance_load() {
     };
     let index = DistIndex::build(&data, cfg);
     let r1 = SearchRequest::new(&index, &queries)
-        .opts(SearchOptions::new(5).with_replication(1))
+        .opts(SearchOptions::new(5).with_routing(RoutingPolicy::Static(1)))
         .run();
     let r4 = SearchRequest::new(&index, &queries)
-        .opts(SearchOptions::new(5).with_replication(4))
+        .opts(SearchOptions::new(5).with_routing(RoutingPolicy::Static(4)))
         .run();
     assert_eq!(
         r1.results, r4.results,
